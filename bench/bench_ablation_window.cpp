@@ -1,0 +1,34 @@
+// Ablation — history/prediction window sweep for the report predictor
+// (the paper fixes both at 1 s; this shows the sensitivity).
+#include "analysis/datasets.h"
+#include "analysis/prediction.h"
+#include "bench_util.h"
+
+using namespace p5g;
+
+int main() {
+  bench::print_header("Ablation: report-predictor window sweep");
+  const std::vector<trace::TraceLog> traces = analysis::make_d2(3, 900.0, 33);
+  std::vector<int> truth;
+  for (const trace::TraceLog& t : traces) {
+    const std::vector<int> g = analysis::ground_truth(t);
+    truth.insert(truth.end(), g.begin(), g.end());
+  }
+  const auto tolerance = static_cast<std::size_t>(1.5 * traces.front().tick_hz);
+
+  std::printf("  %-10s %-10s %8s %10s %8s\n", "history", "predict", "F1", "precision",
+              "recall");
+  for (double history : {0.5, 1.0, 2.0}) {
+    for (double predict : {0.5, 1.0, 2.0}) {
+      analysis::PrognosRunOptions opts;
+      opts.bootstrap = true;
+      opts.config.report.history_window = history;
+      opts.config.report.prediction_window = predict;
+      const analysis::PrognosRunResult r = analysis::run_prognos(traces, opts);
+      const ml::EventScores s = ml::score_events(truth, r.predicted, tolerance);
+      std::printf("  %-10.1f %-10.1f %8.3f %10.3f %8.3f\n", history, predict,
+                  s.scores.f1, s.scores.precision, s.scores.recall);
+    }
+  }
+  return 0;
+}

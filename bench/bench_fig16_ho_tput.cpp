@@ -1,0 +1,55 @@
+// Fig. 16 (Appendix A.3) — Throughput in the three HO phases for every
+// procedure type over mmWave NSA, and the empirical ho_score table derived
+// from it (§7.2).
+//
+// Paper shape: SCGA boosts throughput ~17x (4G->5G); SCGR divides it by
+// ~7x; horizontal HOs dip 1.5-4.8x during execution; SCGM gains ~43 %
+// post-HO; LTEH ~-4 %; SCGC ~-14 %.
+#include "analysis/phase_tput.h"
+#include "bench_util.h"
+#include "common/stats.h"
+#include "core/prognos.h"
+
+using namespace p5g;
+
+int main() {
+  bench::print_header("Fig 16: per-procedure phase throughput, mmWave NSA");
+  sim::Scenario walk = bench::walk_nsa(radio::Band::kNrMmWave, 2100.0, 161);
+
+  std::map<ran::HoType, analysis::PhaseThroughput> agg;
+  trace::TraceLog merged;
+  for (int loop = 0; loop < 4; ++loop) {
+    walk.seed = 161 + static_cast<std::uint64_t>(loop);
+    const trace::TraceLog log = sim::run_scenario(walk);
+    for (auto& [type, pt] : analysis::phase_throughput(log)) {
+      analysis::PhaseThroughput& a = agg[type];
+      a.pre_mbps.insert(a.pre_mbps.end(), pt.pre_mbps.begin(), pt.pre_mbps.end());
+      a.exec_mbps.insert(a.exec_mbps.end(), pt.exec_mbps.begin(), pt.exec_mbps.end());
+      a.post_mbps.insert(a.post_mbps.end(), pt.post_mbps.begin(), pt.post_mbps.end());
+    }
+    if (loop == 0) merged = log;
+  }
+
+  for (const auto& [type, pt] : agg) {
+    std::printf("\n[%s]  (%zu samples)\n", ran::ho_name(type).data(), pt.pre_mbps.size());
+    bench::print_dist_row("pre   Mbps", pt.pre_mbps);
+    bench::print_dist_row("exec  Mbps", pt.exec_mbps);
+    bench::print_dist_row("post  Mbps", pt.post_mbps);
+    const double pre = stats::mean(pt.pre_mbps);
+    if (pre > 1.0) {
+      std::printf("  post/pre = %.2f   exec dip = %.2fx\n",
+                  stats::mean(pt.post_mbps) / pre,
+                  pre / std::max(1.0, stats::mean(pt.exec_mbps)));
+    }
+  }
+
+  bench::print_header("empirical ho_score calibration (median post/pre)");
+  std::printf("  %-6s %10s %12s\n", "type", "measured", "default tbl");
+  const auto defaults = core::default_ho_scores();
+  for (const auto& [type, score] : analysis::calibrate_ho_scores(merged)) {
+    const auto it = defaults.find(type);
+    std::printf("  %-6s %10.2f %12.2f\n", ran::ho_name(type).data(), score,
+                it == defaults.end() ? 1.0 : it->second);
+  }
+  return 0;
+}

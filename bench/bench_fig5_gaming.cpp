@@ -1,0 +1,64 @@
+// Fig. 5 + §4.1 — Cloud gaming (4K@60FPS) during an NSA drive: network
+// latency and dropped frames, with the SCGM vs MNBH contrast.
+//
+// Paper targets: network latency 2.26x higher during HOs; dropped frames
+// 2.6x higher; MNBH averages ~16.8 ms more network latency and ~65 % more
+// dropped frames than SCGM; "other" latency stays flat.
+#include "apps/qoe_models.h"
+#include "bench_util.h"
+#include "common/stats.h"
+
+using namespace p5g;
+
+int main() {
+  bench::print_header("Fig 5: cloud gaming during HOs (NSA drive)");
+  sim::Scenario s = bench::city_nsa(radio::Band::kNrMmWave, 960.0, 51);
+  const trace::TraceLog log = sim::run_scenario(s);
+
+  Rng rng(0x515151);
+  std::vector<double> net_latency, other_latency, drops;
+  for (const trace::TickRecord& t : log.ticks) {
+    const apps::GamingSample g = apps::gaming_sample(t, rng);
+    net_latency.push_back(g.network_latency_ms);
+    other_latency.push_back(g.other_latency_ms);
+    drops.push_back(g.dropped_frames_pct);
+  }
+
+  const apps::HoWindowSplit lat = apps::split_by_ho_window(log, net_latency, 0.5);
+  const apps::HoWindowSplit oth = apps::split_by_ho_window(log, other_latency, 0.5);
+  const apps::HoWindowSplit drp = apps::split_by_ho_window(log, drops, 0.5);
+  bench::print_dist_row("net latency w/o HO (ms)", lat.outside);
+  bench::print_dist_row("net latency w/  HO (ms)", lat.in_ho);
+  bench::print_dist_row("other latency w/ HO (ms)", oth.in_ho);
+  bench::print_dist_row("dropped w/o HO (%)", drp.outside);
+  bench::print_dist_row("dropped w/  HO (%)", drp.in_ho);
+  if (!lat.in_ho.empty()) {
+    std::printf("\n  net-latency ratio: %.2fx (paper: 2.26x);  drop ratio: %.2fx "
+                "(paper: 2.6x)\n",
+                stats::mean(lat.in_ho) / stats::mean(lat.outside),
+                stats::mean(drp.in_ho) / std::max(0.01, stats::mean(drp.outside)));
+  }
+
+  // SCGM vs MNBH contrast.
+  const apps::HoWindowSplit scgm_lat =
+      apps::split_by_ho_window(log, net_latency, 1.0, {ran::HoType::kScgm});
+  const apps::HoWindowSplit mnbh_lat =
+      apps::split_by_ho_window(log, net_latency, 1.0, {ran::HoType::kMnbh});
+  const apps::HoWindowSplit scgm_drp =
+      apps::split_by_ho_window(log, drops, 1.0, {ran::HoType::kScgm});
+  const apps::HoWindowSplit mnbh_drp =
+      apps::split_by_ho_window(log, drops, 1.0, {ran::HoType::kMnbh});
+  std::printf("\n[SCGM vs MNBH]\n");
+  bench::print_dist_row("SCGM net latency (ms)", scgm_lat.in_ho);
+  bench::print_dist_row("MNBH net latency (ms)", mnbh_lat.in_ho);
+  bench::print_dist_row("SCGM dropped (%)", scgm_drp.in_ho);
+  bench::print_dist_row("MNBH dropped (%)", mnbh_drp.in_ho);
+  if (!scgm_lat.in_ho.empty() && !mnbh_lat.in_ho.empty()) {
+    std::printf("\n  MNBH - SCGM mean net latency: %+.1f ms (paper: +16.8 ms)\n",
+                stats::mean(mnbh_lat.in_ho) - stats::mean(scgm_lat.in_ho));
+    std::printf("  MNBH vs SCGM dropped frames: %+.0f%% (paper: +65%%)\n",
+                100.0 * (stats::mean(mnbh_drp.in_ho) - stats::mean(scgm_drp.in_ho)) /
+                    std::max(0.01, stats::mean(scgm_drp.in_ho)));
+  }
+  return 0;
+}

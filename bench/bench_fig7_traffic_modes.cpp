@@ -1,0 +1,79 @@
+// Fig. 7 + §4.2 — TCP RTT during HOs in the two NSA traffic modes.
+//
+// Paper targets: 5G-only (SCG bearer) has the lower no-HO RTT; dual mode's
+// median RTT barely moves during NR HOs (1-4 %) because LTE keeps
+// transmitting; 5G-only inflates 37-58 % in the median during SCGR/SCGA/
+// SCGM.
+#include <map>
+
+#include "bench_util.h"
+#include "common/stats.h"
+
+using namespace p5g;
+
+namespace {
+
+struct RttBuckets {
+  std::vector<double> no_ho;
+  std::map<ran::HoType, std::vector<double>> by_type;
+};
+
+RttBuckets collect(const trace::TraceLog& log) {
+  RttBuckets b;
+  // Mark exec windows by type.
+  std::vector<int> ho_type(log.ticks.size(), -1);
+  const Seconds t0 = log.ticks.front().time;
+  for (const ran::HandoverRecord& h : log.handovers) {
+    const long lo = static_cast<long>((h.exec_start - t0) * log.tick_hz);
+    const long hi = static_cast<long>((h.complete_time - t0) * log.tick_hz);
+    for (long i = std::max(0L, lo); i <= hi && i < static_cast<long>(ho_type.size());
+         ++i) {
+      ho_type[static_cast<std::size_t>(i)] = static_cast<int>(h.type);
+    }
+  }
+  for (std::size_t i = 0; i < log.ticks.size(); ++i) {
+    if (ho_type[i] < 0) {
+      b.no_ho.push_back(log.ticks[i].rtt_ms);
+    } else {
+      b.by_type[static_cast<ran::HoType>(ho_type[i])].push_back(log.ticks[i].rtt_ms);
+    }
+  }
+  return b;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig 7: TCP RTT during HOs — dual vs 5G-only NSA modes");
+
+  for (tput::TrafficMode mode : {tput::TrafficMode::kDual, tput::TrafficMode::kNrOnly}) {
+    std::vector<double> no_ho;
+    std::map<ran::HoType, std::vector<double>> by_type;
+    for (int run = 0; run < 3; ++run) {
+      sim::Scenario s = bench::city_nsa(radio::Band::kNrLow, 1200.0,
+                                        71 + 13 * static_cast<std::uint64_t>(run));
+      s.traffic_mode = mode;
+      const trace::TraceLog log = sim::run_scenario(s);
+      RttBuckets b = collect(log);
+      no_ho.insert(no_ho.end(), b.no_ho.begin(), b.no_ho.end());
+      for (auto& [t, v] : b.by_type) {
+        by_type[t].insert(by_type[t].end(), v.begin(), v.end());
+      }
+    }
+    std::printf("\n[%s mode]\n",
+                mode == tput::TrafficMode::kDual ? "dual (MCG split)" : "5G-only (SCG)");
+    bench::print_dist_row("w/o HO RTT (ms)", no_ho);
+    const double base_median = stats::median(no_ho);
+    for (ran::HoType t : {ran::HoType::kScgr, ran::HoType::kScga, ran::HoType::kScgm}) {
+      const auto it = by_type.find(t);
+      if (it == by_type.end() || it->second.empty()) continue;
+      std::string label = std::string(ran::ho_name(t)) + " RTT (ms)";
+      bench::print_dist_row(label.c_str(), it->second);
+      std::printf("      median inflation vs no-HO: %+.0f%%\n",
+                  100.0 * (stats::median(it->second) - base_median) / base_median);
+    }
+  }
+  std::printf("\n  paper: dual-mode median changes 1-4%% during NR HOs; 5G-only\n"
+              "  inflates 37-58%%; 5G-only has the lower no-HO RTT.\n");
+  return 0;
+}

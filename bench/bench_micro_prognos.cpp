@@ -1,0 +1,101 @@
+// Microbenchmarks (google-benchmark) — backs the paper's "light-weight"
+// claim (§7.1): Prognos must be cheap enough for real-time on-device use.
+#include <benchmark/benchmark.h>
+
+#include "analysis/datasets.h"
+#include "core/prognos.h"
+#include "core/trace_adapter.h"
+#include "ml/regression.h"
+#include "radio/propagation.h"
+#include "sim/scenario.h"
+
+using namespace p5g;
+
+namespace {
+
+const trace::TraceLog& sample_trace() {
+  static const trace::TraceLog log = [] {
+    sim::Scenario s;
+    s.carrier = ran::profile_opx();
+    s.carrier.density_scale = 0.5;
+    s.arch = ran::Arch::kNsa;
+    s.nr_band = radio::Band::kNrMmWave;
+    s.mobility = sim::MobilityKind::kWalkLoop;
+    s.duration = 300.0;
+    s.seed = 99;
+    return sim::run_scenario(s);
+  }();
+  return log;
+}
+
+core::Prognos make_prognos() {
+  std::vector<ran::EventConfig> configs;
+  for (const auto& c : ran::default_lte_event_set(radio::Band::kNrMmWave)) {
+    configs.push_back(c);
+  }
+  for (const auto& c : ran::default_nsa_nr_event_set(radio::Band::kNrMmWave)) {
+    configs.push_back(c);
+  }
+  core::Prognos p(configs, core::Prognos::Config{});
+  p.bootstrap_with_frequent_patterns();
+  return p;
+}
+
+void BM_PrognosTick(benchmark::State& state) {
+  const trace::TraceLog& log = sample_trace();
+  core::Prognos prognos = make_prognos();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prognos.tick(core::from_tick(log.ticks[i])));
+    i = (i + 1) % log.ticks.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PrognosTick);
+
+void BM_SignalForecast(benchmark::State& state) {
+  ml::SignalForecaster f(20, 4);
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) f.add(-90.0 + rng.normal(0.0, 2.0));
+  for (auto _ : state) {
+    f.add(-90.0 + rng.normal(0.0, 2.0));
+    benchmark::DoNotOptimize(f.forecast(20));
+  }
+}
+BENCHMARK(BM_SignalForecast);
+
+void BM_ShadowingFieldLookup(benchmark::State& state) {
+  radio::ShadowingField field(radio::Band::kNrLow, 42);
+  double x = 0.0;
+  for (auto _ : state) {
+    x += 1.3;
+    benchmark::DoNotOptimize(field.at(x, 100.0));
+  }
+}
+BENCHMARK(BM_ShadowingFieldLookup);
+
+void BM_SimTick(benchmark::State& state) {
+  // Full mobility-manager tick cost in a low-band deployment.
+  sim::Scenario s;
+  s.carrier = ran::profile_opx();
+  s.duration = 1.0;
+  s.seed = 5;
+  Rng rng(s.seed);
+  geo::Route route = sim::build_route(s, rng);
+  Rng dep_rng = rng.fork(7);
+  ran::Deployment dep(s.carrier, route, dep_rng);
+  ran::MobilityManager::Config cfg;
+  ran::MobilityManager manager(dep, cfg, rng.fork(1));
+  double t = 0.0;
+  Meters pos = 0.0;
+  for (auto _ : state) {
+    t += 0.05;
+    pos += 1.5;
+    benchmark::DoNotOptimize(manager.tick(t, route.position_at(pos), 1.5, pos));
+  }
+}
+BENCHMARK(BM_SimTick);
+
+}  // namespace
+
+BENCHMARK_MAIN();

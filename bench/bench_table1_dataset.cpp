@@ -1,0 +1,52 @@
+// Table 1 — Driving-dataset statistics per carrier.
+//
+// The cross-country corpus is regenerated at a reduced scale (default 4 %
+// of the paper's mileage, override with argv[1]); counts scale roughly
+// linearly with mileage, so compare the per-km shape, not absolutes.
+#include <cstdlib>
+
+#include "analysis/datasets.h"
+#include "bench_util.h"
+
+using namespace p5g;
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.04;
+  bench::print_header("Table 1: dataset statistics (scaled corpus)");
+  std::printf("  scale = %.2f of the paper's mileage\n\n", scale);
+
+  const auto datasets = analysis::make_cross_country(scale, 7);
+  std::printf("  %-34s %10s %10s %10s\n", "", "OpX", "OpY", "OpZ");
+
+  analysis::DatasetSummary sums[3];
+  for (std::size_t i = 0; i < datasets.size() && i < 3; ++i) {
+    sums[i] = analysis::summarize_dataset(datasets[i]);
+  }
+  auto row_i = [&](const char* label, auto get) {
+    std::printf("  %-34s %10d %10d %10d\n", label, get(sums[0]), get(sums[1]),
+                get(sums[2]));
+  };
+  auto row_f = [&](const char* label, auto get) {
+    std::printf("  %-34s %10.0f %10.0f %10.0f\n", label, get(sums[0]), get(sums[1]),
+                get(sums[2]));
+  };
+
+  row_i("# unique cells observed", [](const auto& s) { return s.unique_cells; });
+  row_i("# 5G-NR bands", [](const auto& s) { return s.nr_bands; });
+  row_i("# LTE bands", [](const auto& s) { return s.lte_bands; });
+  row_f("city distance (km)", [](const auto& s) { return s.city_km; });
+  row_f("freeway distance (km)", [](const auto& s) { return s.freeway_km; });
+  row_i("# 4G/LTE handovers", [](const auto& s) { return s.lte_handovers; });
+  row_i("# 5G-NSA mobility procedures", [](const auto& s) { return s.nsa_procedures; });
+  row_i("# 5G-SA handovers", [](const auto& s) { return s.sa_handovers; });
+  row_f("5G-NR low-band minutes", [](const auto& s) { return s.low_band_minutes; });
+  row_f("5G-NR mid-band minutes", [](const auto& s) { return s.mid_band_minutes; });
+  row_f("5G-NR mmWave minutes", [](const auto& s) { return s.mmwave_minutes; });
+  row_f("5G-NSA minutes", [](const auto& s) { return s.nsa_minutes; });
+  row_f("5G-SA minutes", [](const auto& s) { return s.sa_minutes; });
+  row_f("4G/LTE minutes", [](const auto& s) { return s.lte_minutes; });
+
+  std::printf("\n  paper (full scale): 7001/9500/7491 LTE HOs; 4611/11107/6880 NSA\n"
+              "  procedures; 465 SA HOs (OpY); 3030/5535/3544 unique cells.\n");
+  return 0;
+}

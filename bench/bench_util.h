@@ -1,0 +1,76 @@
+// Shared helpers for the reproduction benches: canonical scenarios and
+// table printing. Every bench prints its measured values next to the
+// paper's reported values so the shape comparison is immediate.
+#pragma once
+
+#include <cstdio>
+#include <span>
+#include <string>
+
+#include "common/stats.h"
+#include "sim/scenario.h"
+
+namespace p5g::bench {
+
+inline sim::Scenario freeway_nsa(radio::Band nr_band, Seconds duration,
+                                 std::uint64_t seed) {
+  sim::Scenario s;
+  s.carrier = ran::profile_opx();
+  s.arch = ran::Arch::kNsa;
+  s.nr_band = nr_band;
+  s.mobility = sim::MobilityKind::kFreeway;
+  s.speed_kmh = 110.0;
+  s.duration = duration;
+  s.seed = seed;
+  s.name = "freeway";
+  return s;
+}
+
+inline sim::Scenario city_nsa(radio::Band nr_band, Seconds duration,
+                              std::uint64_t seed) {
+  sim::Scenario s;
+  s.carrier = ran::profile_opx();
+  // Urban macro grids densify; mmWave micro sites are already at their
+  // physical spacing limit.
+  s.carrier.density_scale = nr_band == radio::Band::kNrMmWave ? 1.1 : 0.6;
+  s.arch = ran::Arch::kNsa;
+  s.nr_band = nr_band;
+  s.mobility = sim::MobilityKind::kCity;
+  s.speed_kmh = 40.0;
+  s.duration = duration;
+  s.seed = seed;
+  s.name = "city";
+  return s;
+}
+
+inline sim::Scenario walk_nsa(radio::Band nr_band, Seconds duration,
+                              std::uint64_t seed) {
+  sim::Scenario s;
+  s.carrier = ran::profile_opx();
+  s.carrier.density_scale = 0.5;
+  s.arch = ran::Arch::kNsa;
+  s.nr_band = nr_band;
+  s.mobility = sim::MobilityKind::kWalkLoop;
+  s.duration = duration;
+  s.seed = seed;
+  s.name = "walk";
+  return s;
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+inline void print_dist_row(const char* label, std::span<const double> xs) {
+  if (xs.empty()) {
+    std::printf("  %-28s (no samples)\n", label);
+    return;
+  }
+  std::printf("  %-28s n=%-5zu mean=%8.2f  p25=%8.2f  p50=%8.2f  p75=%8.2f\n", label,
+              xs.size(), stats::mean(xs), stats::percentile(xs, 25.0),
+              stats::median(xs), stats::percentile(xs, 75.0));
+}
+
+}  // namespace p5g::bench

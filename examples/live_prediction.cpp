@@ -1,0 +1,64 @@
+// Live prediction: feed a drive tick-by-tick into Prognos, exactly as an
+// on-device agent would, and print a console timeline of predictions vs
+// what actually happened.
+//
+//   $ ./examples/live_prediction
+#include <cstdio>
+
+#include "core/prognos.h"
+#include "core/trace_adapter.h"
+#include "sim/scenario.h"
+
+using namespace p5g;
+
+int main() {
+  sim::Scenario drive;
+  drive.carrier = ran::profile_opx();
+  drive.arch = ran::Arch::kNsa;
+  drive.nr_band = radio::Band::kNrLow;
+  drive.mobility = sim::MobilityKind::kFreeway;
+  drive.speed_kmh = 110.0;
+  drive.duration = 300.0;
+  drive.seed = 77;
+  const trace::TraceLog log = sim::run_scenario(drive);
+
+  // The UE-visible configuration (what RRC signalled to the phone).
+  std::vector<ran::EventConfig> configs;
+  for (const auto& c : ran::default_lte_event_set(drive.nr_band)) configs.push_back(c);
+  for (const auto& c : ran::default_nsa_nr_event_set(drive.nr_band)) configs.push_back(c);
+
+  core::Prognos::Config cfg;
+  core::Prognos prognos(configs, cfg);
+  prognos.bootstrap_with_frequent_patterns();
+
+  std::printf("time     event\n-----    -----\n");
+  std::optional<ran::HoType> last_prediction;
+  for (const trace::TickRecord& tick : log.ticks) {
+    const core::PrognosInput in = core::from_tick(tick);
+    const core::PrognosPrediction p = prognos.tick(in);
+
+    // Print prediction onsets (not every tick they persist).
+    if (p.ho != last_prediction) {
+      if (p.ho) {
+        std::printf("%7.2fs  PREDICT %s within ~1 s (ho_score %.2f%s)\n", tick.time,
+                    ran::ho_name(*p.ho).data(), p.ho_score,
+                    p.from_predicted_reports ? ", from forecasted MRs" : "");
+      }
+      last_prediction = p.ho;
+    }
+    for (const ran::MeasurementReport& r : tick.reports) {
+      std::printf("%7.2fs    MR %s on %s leg\n", tick.time,
+                  ran::event_name(r.event).data(),
+                  r.scope == ran::MeasScope::kServingNr ? "NR" : "LTE");
+    }
+    for (const ran::HandoverRecord& h : tick.ho_started) {
+      std::printf("%7.2fs  >> HO %s (T1 %.0f ms, T2 %.0f ms)\n", tick.time,
+                  ran::ho_name(h.type).data(), h.timing.t1_ms, h.timing.t2_ms);
+    }
+  }
+
+  std::printf("\n%zu handovers in %.0f s; patterns learned online: %ld\n",
+              log.handovers.size(), log.duration(),
+              prognos.learner().patterns_learned_total());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: simulate a 15-minute NSA low-band freeway drive, inspect the
+// handovers the mobility manager produced, then run Prognos over the trace
+// and report its prediction quality.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "analysis/ho_stats.h"
+#include "analysis/prediction.h"
+#include "common/stats.h"
+#include "energy/power_model.h"
+#include "sim/scenario.h"
+
+using namespace p5g;
+
+int main() {
+  // 1. Describe the drive.
+  sim::Scenario scenario;
+  scenario.name = "quickstart";
+  scenario.carrier = ran::profile_opx();
+  scenario.arch = ran::Arch::kNsa;
+  scenario.nr_band = radio::Band::kNrLow;
+  scenario.mobility = sim::MobilityKind::kFreeway;
+  scenario.speed_kmh = 110.0;
+  scenario.duration = 900.0;  // 15 minutes
+  scenario.seed = 42;
+
+  // 2. Run it.
+  const trace::TraceLog log = sim::run_scenario(scenario);
+  std::printf("drive: %.1f km in %.1f min, %zu ticks @ %.0f Hz\n",
+              m_to_km(log.distance()), log.duration() / 60.0, log.ticks.size(),
+              log.tick_hz);
+
+  // 3. Handover statistics.
+  std::printf("\nhandovers (%zu total, one every %.2f km):\n", log.handovers.size(),
+              analysis::km_per_handover(log));
+  for (const auto& [type, stats] : analysis::duration_by_type(log.handovers)) {
+    std::printf("  %-5s x%-4zu  T1 %5.1f ms  T2 %5.1f ms  total %5.1f ms\n",
+                ran::ho_name(type).data(), stats.total_ms.size(),
+                stats::mean(stats.t1_ms), stats::mean(stats.t2_ms),
+                stats::mean(stats.total_ms));
+  }
+
+  // 4. Energy cost of mobility.
+  const energy::EnergySummary e = energy::summarize(log.handovers);
+  std::printf("\nHO energy: %.1f J (%.2f mAh), mean per-HO power %.2f W\n", e.joules,
+              e.mah, e.mean_power);
+
+  // 5. Predict handovers with Prognos (incremental, no training).
+  analysis::PrognosRunOptions opts;
+  const analysis::PrognosRunResult result = analysis::run_prognos({log}, opts);
+  const std::vector<int> truth = analysis::ground_truth(log);
+  const ml::EventScores scores = ml::score_events(
+      truth, result.predicted, static_cast<std::size_t>(1.5 * log.tick_hz));
+  std::printf("\nPrognos: F1 %.3f  precision %.3f  recall %.3f  (%zu/%zu HOs matched)\n",
+              scores.scores.f1, scores.scores.precision, scores.scores.recall,
+              scores.matched, scores.true_events);
+  if (!result.lead_times_s.empty()) {
+    std::printf("median prediction lead time: %.0f ms\n",
+                stats::median(result.lead_times_s) * 1000.0);
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+#include "analysis/coverage.h"
+
+#include "common/stats.h"
+
+namespace p5g::analysis {
+namespace {
+
+constexpr Meters kMinSegment = 20.0;  // discard micro-segments (noise)
+
+}  // namespace
+
+std::vector<double> nr_dwell_distances(const trace::TraceLog& log, DwellMode mode) {
+  std::vector<double> out;
+  int cur_pci = -1;
+  Meters start = 0.0, last = 0.0;
+  bool open = false;
+
+  auto close = [&]() {
+    if (open && last - start >= kMinSegment) out.push_back(last - start);
+    open = false;
+  };
+
+  for (const trace::TickRecord& t : log.ticks) {
+    if (!t.nr_attached) {
+      if (mode == DwellMode::kActual) {
+        close();
+        cur_pci = -1;
+      }
+      // kIdealSamePci: keep the segment open across the gap; it survives
+      // only if the UE re-attaches to the same PCI.
+      continue;
+    }
+    if (!open) {
+      cur_pci = t.nr_pci;
+      start = t.route_position;
+      last = t.route_position;
+      open = true;
+      continue;
+    }
+    if (t.nr_pci != cur_pci) {
+      close();
+      cur_pci = t.nr_pci;
+      start = t.route_position;
+      last = t.route_position;
+      open = true;
+    } else {
+      last = t.route_position;
+    }
+  }
+  close();
+  return out;
+}
+
+std::vector<double> lte_dwell_distances(const trace::TraceLog& log) {
+  std::vector<double> out;
+  int cur_pci = -1;
+  Meters start = 0.0, last = 0.0;
+  bool open = false;
+  for (const trace::TickRecord& t : log.ticks) {
+    if (t.lte_pci < 0) continue;
+    if (!open || t.lte_pci != cur_pci) {
+      if (open && last - start >= kMinSegment) out.push_back(last - start);
+      cur_pci = t.lte_pci;
+      start = t.route_position;
+      open = true;
+    }
+    last = t.route_position;
+  }
+  if (open && last - start >= kMinSegment) out.push_back(last - start);
+  return out;
+}
+
+CoverageStats coverage_stats(const std::vector<double>& dwells) {
+  CoverageStats s;
+  s.segments = static_cast<int>(dwells.size());
+  if (dwells.empty()) return s;
+  s.mean_m = stats::mean(dwells);
+  s.median_m = stats::median(dwells);
+  return s;
+}
+
+}  // namespace p5g::analysis

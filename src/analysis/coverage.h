@@ -1,0 +1,34 @@
+// Coverage estimation (§6.1): effective cell footprint = the continuous
+// distance a UE travels while connected to the same PCI.
+//
+// Two variants reproduce Fig. 11's comparison:
+//  * actual   — the dwell segment ends whenever the leg detaches (e.g. the
+//               SCG is released by an NSA-4C anchor HO) or the PCI changes.
+//  * ideal    — "coverage w/o NSA": segments with the same PCI separated by
+//               detach gaps are merged, i.e. coverage as long as the same
+//               gNB PCI is observed.
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "trace/trace.h"
+
+namespace p5g::analysis {
+
+enum class DwellMode { kActual, kIdealSamePci };
+
+// NR-leg dwell distances (metres per continuous same-PCI stretch).
+std::vector<double> nr_dwell_distances(const trace::TraceLog& log, DwellMode mode);
+
+// LTE-leg dwell distances.
+std::vector<double> lte_dwell_distances(const trace::TraceLog& log);
+
+struct CoverageStats {
+  double mean_m = 0.0;
+  double median_m = 0.0;
+  int segments = 0;
+};
+CoverageStats coverage_stats(const std::vector<double>& dwells);
+
+}  // namespace p5g::analysis

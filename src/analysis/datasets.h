@@ -1,0 +1,59 @@
+// Dataset builders mirroring the paper's corpora:
+//  * D1 — 7 x 35-minute walking loops of a tourist area (mmWave + LTE mid).
+//  * D2 — 10 x 25-minute walking loops of a downtown area (adds low-band).
+//  * Cross-country drive — per-carrier city + freeway segments across each
+//    deployed band (the Table 1 corpus), scalable so benches stay fast.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/scenario.h"
+#include "trace/trace.h"
+
+namespace p5g::analysis {
+
+// Walking-loop corpora for the prediction evaluation (§7.3). All loops of a
+// dataset traverse the same deployment (the paper walks the same loop).
+std::vector<trace::TraceLog> make_d1(int loops = 7, Seconds loop_duration = 2100.0,
+                                     std::uint64_t seed = 11);
+std::vector<trace::TraceLog> make_d2(int loops = 10, Seconds loop_duration = 1500.0,
+                                     std::uint64_t seed = 22);
+
+// One segment of the cross-country corpus.
+struct DriveSegment {
+  std::string label;       // "freeway" or "city"
+  trace::TraceLog log;
+};
+
+struct CarrierDataset {
+  ran::CarrierProfile carrier;
+  std::vector<DriveSegment> segments;
+};
+
+// Generates the Table 1 corpus at `scale` (1.0 = the paper's mileage;
+// benches default to ~0.05 so they finish in seconds).
+std::vector<CarrierDataset> make_cross_country(double scale = 0.05,
+                                               std::uint64_t seed = 7);
+
+// Table 1 row: aggregate statistics of one carrier's dataset.
+struct DatasetSummary {
+  std::string carrier;
+  int unique_cells = 0;
+  int nr_bands = 0;
+  int lte_bands = 0;
+  Kilometers city_km = 0.0;
+  Kilometers freeway_km = 0.0;
+  int lte_handovers = 0;      // LTEH + MNBH
+  int nsa_procedures = 0;     // SCGA/SCGR/SCGM/SCGC
+  int sa_handovers = 0;       // MCGH
+  double nsa_minutes = 0.0;
+  double sa_minutes = 0.0;
+  double lte_minutes = 0.0;
+  double low_band_minutes = 0.0;
+  double mid_band_minutes = 0.0;
+  double mmwave_minutes = 0.0;
+};
+DatasetSummary summarize_dataset(const CarrierDataset& dataset);
+
+}  // namespace p5g::analysis

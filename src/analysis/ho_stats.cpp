@@ -1,0 +1,95 @@
+#include "analysis/ho_stats.h"
+
+#include <algorithm>
+
+namespace p5g::analysis {
+
+std::map<ran::HoType, int> count_by_type(const std::vector<ran::HandoverRecord>& hos) {
+  std::map<ran::HoType, int> out;
+  for (const ran::HandoverRecord& h : hos) ++out[h.type];
+  return out;
+}
+
+CategoryCounts categorize(const std::vector<ran::HandoverRecord>& hos) {
+  CategoryCounts c;
+  for (const ran::HandoverRecord& h : hos) {
+    switch (h.type) {
+      case ran::HoType::kLteh:
+      case ran::HoType::kMnbh:
+        ++c.lte_4g;
+        break;
+      case ran::HoType::kScga:
+      case ran::HoType::kScgr:
+      case ran::HoType::kScgm:
+      case ran::HoType::kScgc:
+        ++c.nsa_5g;
+        break;
+      case ran::HoType::kMcgh:
+        ++c.sa_5g;
+        break;
+    }
+  }
+  return c;
+}
+
+Kilometers km_per_handover(const trace::TraceLog& log) {
+  if (log.handovers.empty()) return 0.0;
+  return m_to_km(log.distance()) / static_cast<double>(log.handovers.size());
+}
+
+Kilometers km_per_handover(const trace::TraceLog& log,
+                           const std::vector<ran::HoType>& types) {
+  int n = 0;
+  for (const ran::HandoverRecord& h : log.handovers) {
+    if (std::find(types.begin(), types.end(), h.type) != types.end()) ++n;
+  }
+  if (n == 0) return 0.0;
+  return m_to_km(log.distance()) / static_cast<double>(n);
+}
+
+std::map<ran::HoType, DurationStats> duration_by_type(
+    const std::vector<ran::HandoverRecord>& hos) {
+  std::map<ran::HoType, DurationStats> out;
+  for (const ran::HandoverRecord& h : hos) {
+    DurationStats& d = out[h.type];
+    d.t1_ms.push_back(h.timing.t1_ms);
+    d.t2_ms.push_back(h.timing.t2_ms);
+    d.total_ms.push_back(h.timing.total_ms());
+  }
+  return out;
+}
+
+ColocationSplit colocation_split(const std::vector<ran::HandoverRecord>& hos) {
+  ColocationSplit s;
+  int nsa = 0;
+  for (const ran::HandoverRecord& h : hos) {
+    if (ran::ho_arch(h.type) != ran::HoArch::kNsa || h.type == ran::HoType::kLteh) {
+      continue;
+    }
+    ++nsa;
+    (h.colocated ? s.colocated_ms : s.non_colocated_ms).push_back(h.timing.total_ms());
+  }
+  if (nsa > 0) {
+    s.colocated_fraction = static_cast<double>(s.colocated_ms.size()) / nsa;
+  }
+  return s;
+}
+
+SignalingRates signaling_rates(const trace::TraceLog& log) {
+  SignalingRates r;
+  const Kilometers km = m_to_km(log.distance());
+  if (km <= 0.0) return r;
+  long rrc = 0, mac = 0, phy = 0;
+  for (const ran::HandoverRecord& h : log.handovers) {
+    rrc += h.signaling.rrc;
+    mac += h.signaling.mac;
+    phy += h.signaling.phy;
+  }
+  r.rrc_per_km = static_cast<double>(rrc) / km;
+  r.mac_per_km = static_cast<double>(mac) / km;
+  r.phy_per_km = static_cast<double>(phy) / km;
+  r.total_per_km = r.rrc_per_km + r.mac_per_km + r.phy_per_km;
+  return r;
+}
+
+}  // namespace p5g::analysis

@@ -1,0 +1,60 @@
+// Handover aggregate statistics (§5): frequency, duration, signaling, and
+// co-location effects, computed from trace logs.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/units.h"
+#include "ran/handover.h"
+#include "trace/trace.h"
+
+namespace p5g::analysis {
+
+// HO counts by procedure type.
+std::map<ran::HoType, int> count_by_type(const std::vector<ran::HandoverRecord>& hos);
+
+// Counts split into the paper's Table 1 categories.
+struct CategoryCounts {
+  int lte_4g = 0;        // LTEH + MNBH ("4G/LTE handovers")
+  int nsa_5g = 0;        // SCGA/SCGR/SCGM/SCGC ("5G-NSA mobility procedures")
+  int sa_5g = 0;         // MCGH ("5G-SA handovers")
+};
+CategoryCounts categorize(const std::vector<ran::HandoverRecord>& hos);
+
+// Average distance between consecutive HOs (km/HO), the §5.1 metric.
+// Returns 0 when fewer than 2 HOs.
+Kilometers km_per_handover(const trace::TraceLog& log);
+
+// Same, restricted to a subset of HO types.
+Kilometers km_per_handover(const trace::TraceLog& log,
+                           const std::vector<ran::HoType>& types);
+
+struct DurationStats {
+  std::vector<double> t1_ms;
+  std::vector<double> t2_ms;
+  std::vector<double> total_ms;
+};
+// T1/T2 samples grouped by HO type.
+std::map<ran::HoType, DurationStats> duration_by_type(
+    const std::vector<ran::HandoverRecord>& hos);
+
+// Duration samples split by endpoint co-location (Fig. 13). Only NSA 5G
+// procedures participate.
+struct ColocationSplit {
+  std::vector<double> colocated_ms;
+  std::vector<double> non_colocated_ms;
+  double colocated_fraction = 0.0;  // share of NSA samples with same PCI
+};
+ColocationSplit colocation_split(const std::vector<ran::HandoverRecord>& hos);
+
+// Signaling message totals per km, per layer (§5.1's overhead comparison).
+struct SignalingRates {
+  double rrc_per_km = 0.0;
+  double mac_per_km = 0.0;
+  double phy_per_km = 0.0;
+  double total_per_km = 0.0;
+};
+SignalingRates signaling_rates(const trace::TraceLog& log);
+
+}  // namespace p5g::analysis

@@ -1,0 +1,54 @@
+#include "analysis/phase_tput.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace p5g::analysis {
+namespace {
+
+// Mean throughput over [t_lo, t_hi) in the trace (ticks are uniform).
+double window_mean(const trace::TraceLog& log, Seconds t_lo, Seconds t_hi) {
+  if (log.ticks.empty() || t_hi <= t_lo) return 0.0;
+  const double hz = log.tick_hz;
+  const Seconds t0 = log.ticks.front().time;
+  auto idx_of = [&](Seconds t) {
+    const long i = static_cast<long>((t - t0) * hz);
+    return std::clamp(i, 0L, static_cast<long>(log.ticks.size()) - 1);
+  };
+  const long lo = idx_of(t_lo), hi = idx_of(t_hi);
+  if (hi <= lo) return log.ticks[static_cast<std::size_t>(lo)].throughput_mbps;
+  double acc = 0.0;
+  for (long i = lo; i < hi; ++i) acc += log.ticks[static_cast<std::size_t>(i)].throughput_mbps;
+  return acc / static_cast<double>(hi - lo);
+}
+
+}  // namespace
+
+std::map<ran::HoType, PhaseThroughput> phase_throughput(const trace::TraceLog& log,
+                                                        Seconds window) {
+  std::map<ran::HoType, PhaseThroughput> out;
+  for (const ran::HandoverRecord& h : log.handovers) {
+    PhaseThroughput& p = out[h.type];
+    p.pre_mbps.push_back(window_mean(log, h.decision_time - window, h.decision_time));
+    p.exec_mbps.push_back(window_mean(log, h.exec_start, h.complete_time));
+    p.post_mbps.push_back(window_mean(log, h.complete_time, h.complete_time + window));
+  }
+  return out;
+}
+
+std::map<ran::HoType, double> calibrate_ho_scores(const trace::TraceLog& log) {
+  std::map<ran::HoType, double> out;
+  std::map<ran::HoType, std::vector<double>> ratios;
+  for (const ran::HandoverRecord& h : log.handovers) {
+    const double pre = window_mean(log, h.decision_time - 1.0, h.decision_time);
+    const double post = window_mean(log, h.complete_time, h.complete_time + 1.0);
+    if (pre > 1.0) ratios[h.type].push_back(post / pre);
+  }
+  for (auto& [type, rs] : ratios) {
+    if (!rs.empty()) out[type] = stats::median(rs);
+  }
+  return out;
+}
+
+}  // namespace p5g::analysis

@@ -1,0 +1,26 @@
+// Pre/during/post HO throughput analysis (Figs. 12 & 16, §6.2) and the
+// empirical ho_score calibration derived from it (§7.2).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "ran/handover.h"
+#include "trace/trace.h"
+
+namespace p5g::analysis {
+
+struct PhaseThroughput {
+  std::vector<double> pre_mbps;   // 1 s before the procedure starts
+  std::vector<double> exec_mbps;  // during T1+T2
+  std::vector<double> post_mbps;  // 1 s after completion
+};
+
+// Per-HO-type phase throughput distributions over a trace.
+std::map<ran::HoType, PhaseThroughput> phase_throughput(const trace::TraceLog& log,
+                                                        Seconds window = 1.0);
+
+// Median post/pre ratio per HO type — the empirical ho_score table.
+std::map<ran::HoType, double> calibrate_ho_scores(const trace::TraceLog& log);
+
+}  // namespace p5g::analysis

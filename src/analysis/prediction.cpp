@@ -1,0 +1,295 @@
+#include "analysis/prediction.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/trace_adapter.h"
+#include "ml/gbc.h"
+#include "ml/lstm.h"
+
+namespace p5g::analysis {
+
+int ho_class(ran::HoType t) { return static_cast<int>(t) + 1; }
+
+ran::HoType class_ho(int cls) { return static_cast<ran::HoType>(cls - 1); }
+
+std::vector<int> ground_truth(const trace::TraceLog& log, Seconds horizon) {
+  std::vector<int> labels(log.ticks.size(), 0);
+  if (log.ticks.empty()) return labels;
+  const Seconds t0 = log.ticks.front().time;
+  const double hz = log.tick_hz;
+  for (const ran::HandoverRecord& h : log.handovers) {
+    const long hi = static_cast<long>((h.decision_time - t0) * hz);
+    const long lo = hi - static_cast<long>(horizon * hz);
+    for (long i = std::max(lo, 0L); i < std::min(hi, static_cast<long>(labels.size()));
+         ++i) {
+      if (labels[static_cast<std::size_t>(i)] == 0) {
+        labels[static_cast<std::size_t>(i)] = ho_class(h.type);
+      }
+    }
+  }
+  return labels;
+}
+
+namespace {
+
+std::vector<ran::EventConfig> event_configs_for(ran::Arch arch, radio::Band nr_band) {
+  std::vector<ran::EventConfig> configs;
+  switch (arch) {
+    case ran::Arch::kLteOnly:
+      for (const auto& c : ran::default_lte_event_set(nr_band)) {
+        if (c.type != ran::EventType::kB1) configs.push_back(c);
+      }
+      break;
+    case ran::Arch::kNsa:
+      for (const auto& c : ran::default_lte_event_set(nr_band)) configs.push_back(c);
+      for (const auto& c : ran::default_nsa_nr_event_set(nr_band)) configs.push_back(c);
+      break;
+    case ran::Arch::kSa:
+      configs = ran::default_sa_event_set(nr_band);
+      break;
+  }
+  return configs;
+}
+
+}  // namespace
+
+PrognosRunResult run_prognos(const std::vector<trace::TraceLog>& traces,
+                             const PrognosRunOptions& options) {
+  PrognosRunResult out;
+  if (traces.empty()) return out;
+
+  core::Prognos::Config cfg = options.config;
+  cfg.report.arch = traces.front().arch;
+  core::Prognos prognos(event_configs_for(traces.front().arch, traces.front().nr_band),
+                        cfg);
+  if (options.bootstrap) prognos.bootstrap_with_frequent_patterns();
+
+  std::vector<int> truth_all;
+  Seconds offset = 0.0;
+  std::vector<std::pair<Seconds, bool>> minute_marks;  // (global time, _)
+
+  for (const trace::TraceLog& log : traces) {
+    const std::vector<int> truth = ground_truth(log, options.horizon);
+    truth_all.insert(truth_all.end(), truth.begin(), truth.end());
+
+    for (std::size_t i = 0; i < log.ticks.size(); ++i) {
+      core::PrognosInput in = core::from_tick(log.ticks[i]);
+      in.time += offset;
+      const core::PrognosPrediction pred = prognos.tick(in);
+      out.predicted.push_back(pred.ho ? ho_class(*pred.ho) : 0);
+    }
+
+    // Lead times: earliest correct prediction before each HO decision.
+    const double hz = log.tick_hz;
+    const std::size_t base = out.predicted.size() - log.ticks.size();
+    const Seconds t0 = log.ticks.front().time;
+    for (const ran::HandoverRecord& h : log.handovers) {
+      const long dec = static_cast<long>((h.decision_time - t0) * hz);
+      const long lo = std::max(0L, dec - static_cast<long>(2.0 * hz));
+      for (long i = lo; i <= dec && i < static_cast<long>(log.ticks.size()); ++i) {
+        if (out.predicted[base + static_cast<std::size_t>(i)] == ho_class(h.type)) {
+          out.lead_times_s.push_back(h.decision_time - log.ticks[static_cast<std::size_t>(i)].time);
+          break;
+        }
+      }
+    }
+    offset += log.ticks.back().time + 1.0 / log.tick_hz;
+  }
+
+  // Rolling event-F1 per minute over a trailing 5-minute window.
+  const double hz = traces.front().tick_hz;
+  const auto win = static_cast<std::size_t>(5.0 * 60.0 * hz);
+  const auto step = static_cast<std::size_t>(60.0 * hz);
+  for (std::size_t end = step; end <= truth_all.size(); end += step) {
+    const std::size_t begin = end > win ? end - win : 0;
+    const auto t = std::span<const int>(truth_all).subspan(begin, end - begin);
+    const auto p = std::span<const int>(out.predicted).subspan(begin, end - begin);
+    out.f1_over_time.push_back(
+        ml::score_events(t, p, static_cast<std::size_t>(1.5 * hz)).scores.f1);
+  }
+
+  out.patterns_learned = prognos.learner().patterns_learned_total();
+  out.patterns_evicted = prognos.learner().patterns_evicted_total();
+  out.duration = offset;
+  return out;
+}
+
+std::vector<double> gbc_features(const trace::TickRecord& tick) {
+  double best_lte_nbr = -140.0, best_nr_nbr = -140.0;
+  int nr_neighbors = 0;
+  for (const trace::ObservedCell& o : tick.observed) {
+    const bool is_nr = radio::band_rat(o.band) == radio::Rat::kNr;
+    if (is_nr) {
+      ++nr_neighbors;
+      if (o.pci != tick.nr_pci && o.rrs.rsrp > best_nr_nbr) best_nr_nbr = o.rrs.rsrp;
+    } else if (o.pci != tick.lte_pci && o.rrs.rsrp > best_lte_nbr) {
+      best_lte_nbr = o.rrs.rsrp;
+    }
+  }
+  const double nr_rsrp = tick.nr_attached ? tick.nr_rrs.rsrp : -140.0;
+  return {
+      tick.lte_rrs.rsrp,
+      tick.lte_rrs.rsrq,
+      tick.lte_rrs.sinr,
+      nr_rsrp,
+      tick.nr_attached ? tick.nr_rrs.sinr : -20.0,
+      tick.nr_attached ? 1.0 : 0.0,
+      best_lte_nbr,
+      best_nr_nbr,
+      best_lte_nbr - tick.lte_rrs.rsrp,
+      best_nr_nbr - nr_rsrp,
+      tick.speed_mps,
+      static_cast<double>(nr_neighbors),
+  };
+}
+
+namespace {
+
+std::size_t train_trace_count(std::size_t n, double frac) {
+  return std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(frac * static_cast<double>(n))));
+}
+
+}  // namespace
+
+std::vector<int> run_gbc(const std::vector<trace::TraceLog>& traces, double train_frac,
+                         Seconds horizon) {
+  std::vector<int> out;
+  if (traces.empty()) return out;
+  const std::size_t n_train = train_trace_count(traces.size(), train_frac);
+
+  // Training set: all positives plus a bounded random negative sample.
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  Rng rng(0x6BC5);
+  std::size_t negatives = 0;
+  for (std::size_t tr = 0; tr < n_train && tr < traces.size(); ++tr) {
+    const std::vector<int> labels = ground_truth(traces[tr], horizon);
+    for (std::size_t i = 0; i < traces[tr].ticks.size(); ++i) {
+      if (labels[i] != 0) {
+        x.push_back(gbc_features(traces[tr].ticks[i]));
+        y.push_back(labels[i]);
+      } else if (negatives < 20000 && rng.bernoulli(0.15)) {
+        x.push_back(gbc_features(traces[tr].ticks[i]));
+        y.push_back(0);
+        ++negatives;
+      }
+    }
+  }
+
+  ml::GradientBoostedClassifier::Config cfg;
+  cfg.n_rounds = 40;
+  cfg.n_classes = kNumHoClasses;
+  cfg.tree.max_depth = 3;
+  cfg.tree.min_leaf = 20;
+  ml::GradientBoostedClassifier gbc(cfg);
+  gbc.fit(x, y);
+
+  for (const trace::TraceLog& log : traces) {
+    for (const trace::TickRecord& t : log.ticks) {
+      out.push_back(gbc.trained() ? gbc.predict(gbc_features(t)) : 0);
+    }
+  }
+  return out;
+}
+
+std::vector<int> run_lstm(const std::vector<trace::TraceLog>& traces, double train_frac,
+                          Seconds horizon) {
+  std::vector<int> out;
+  if (traces.empty()) return out;
+  const std::size_t n_train = train_trace_count(traces.size(), train_frac);
+  constexpr std::size_t kSeqLen = 20;
+  constexpr std::size_t kPredictStride = 8;
+
+  auto features = [](const trace::TickRecord& t) {
+    // Location-centric features (Ozturk et al. use mobility/position).
+    return std::vector<double>{t.position.x / 1000.0, t.position.y / 1000.0,
+                               t.speed_mps / 10.0, (t.lte_rrs.rsrp + 100.0) / 20.0,
+                               ((t.nr_attached ? t.nr_rrs.rsrp : -140.0) + 100.0) / 20.0};
+  };
+
+  std::vector<ml::Sequence> seqs;
+  std::vector<int> labels;
+  for (std::size_t tr = 0; tr < n_train && tr < traces.size(); ++tr) {
+    const std::vector<int> truth = ground_truth(traces[tr], horizon);
+    for (std::size_t i = kSeqLen; i < traces[tr].ticks.size(); i += 5) {
+      // Include every positive onset; stride over negatives.
+      const bool positive = truth[i] != 0;
+      if (!positive && (i % 25) != 0) continue;
+      ml::Sequence s;
+      s.reserve(kSeqLen);
+      for (std::size_t k = i - kSeqLen; k < i; ++k) s.push_back(features(traces[tr].ticks[k]));
+      seqs.push_back(std::move(s));
+      labels.push_back(truth[i]);
+    }
+  }
+
+  ml::StackedLstm::Config cfg;
+  cfg.input_dim = 5;
+  cfg.hidden = 16;
+  cfg.layers = 2;
+  cfg.n_classes = kNumHoClasses;
+  cfg.epochs = 6;
+  cfg.max_train_sequences = 2500;
+  ml::StackedLstm lstm(cfg);
+  lstm.fit(seqs, labels);
+
+  for (const trace::TraceLog& log : traces) {
+    std::vector<int> preds(log.ticks.size(), 0);
+    for (std::size_t i = kSeqLen; i < log.ticks.size(); i += kPredictStride) {
+      ml::Sequence s;
+      s.reserve(kSeqLen);
+      for (std::size_t k = i - kSeqLen; k < i; ++k) s.push_back(features(log.ticks[k]));
+      const int cls = lstm.predict(s);
+      // Hold the prediction until the next evaluation point.
+      for (std::size_t k = i; k < std::min(i + kPredictStride, preds.size()); ++k) {
+        preds[k] = cls;
+      }
+    }
+    out.insert(out.end(), preds.begin(), preds.end());
+  }
+  return out;
+}
+
+std::vector<MethodResult> evaluate_predictors(const std::vector<trace::TraceLog>& traces,
+                                              double train_frac, Seconds horizon) {
+  std::vector<MethodResult> results;
+  if (traces.empty()) return results;
+  const std::size_t n_train = train_trace_count(traces.size(), train_frac);
+
+  std::vector<int> truth_all;
+  std::size_t test_begin = 0;
+  for (std::size_t tr = 0; tr < traces.size(); ++tr) {
+    const std::vector<int> t = ground_truth(traces[tr], horizon);
+    if (tr < n_train) test_begin += t.size();
+    truth_all.insert(truth_all.end(), t.begin(), t.end());
+  }
+  // Tolerance: a predicted event counts when its onset is within 1.5x the
+  // horizon of the true onset (predictions are made up to `horizon` early).
+  const auto tolerance =
+      static_cast<std::size_t>(1.5 * traces.front().tick_hz * horizon);
+  auto test_slice = [&](const std::vector<int>& v) {
+    return std::span<const int>(v).subspan(test_begin);
+  };
+  const auto truth_test = test_slice(truth_all);
+
+  PrognosRunOptions opts;
+  opts.horizon = horizon;
+  // Bootstrapping with the per-type frequent patterns is part of the system
+  // (Sec 9); without it the scored window would still include pattern
+  // warm-up for rare HO types.
+  opts.bootstrap = true;
+  const PrognosRunResult prognos = run_prognos(traces, opts);
+  results.push_back({"Prognos", ml::score_events(truth_test, test_slice(prognos.predicted),
+                                                 tolerance)});
+
+  const std::vector<int> gbc = run_gbc(traces, train_frac, horizon);
+  results.push_back({"GBC", ml::score_events(truth_test, test_slice(gbc), tolerance)});
+
+  const std::vector<int> lstm = run_lstm(traces, train_frac, horizon);
+  results.push_back({"StackedLSTM", ml::score_events(truth_test, test_slice(lstm), tolerance)});
+  return results;
+}
+
+}  // namespace p5g::analysis

@@ -1,0 +1,72 @@
+// Prediction evaluation harness (§7.3, Table 3; Figs. 15 & 18).
+//
+// Ground truth: tick i is labeled with the class of the HO whose decision
+// falls inside (t_i, t_i + horizon]; 0 = no HO. All methods emit the same
+// per-tick labels and are scored with tolerance-based event matching
+// (ml::score_events), which is oblivious to the 0.4 % class imbalance.
+//
+// Baselines:
+//  * GBC (Mei et al. [49])      — lower-layer radio features, offline 60/40.
+//  * Stacked LSTM (Ozturk [57]) — location + speed sequences, offline 60/40.
+// Prognos trains on nothing; it runs incrementally through the corpus and
+// is scored on the same test portion as the baselines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/prognos.h"
+#include "ml/metrics.h"
+#include "trace/trace.h"
+
+namespace p5g::analysis {
+
+inline constexpr int kNumHoClasses = 8;  // 0 = none, 1..7 = HoType
+
+int ho_class(ran::HoType t);
+ran::HoType class_ho(int cls);
+
+// Per-tick ground-truth labels for one trace.
+std::vector<int> ground_truth(const trace::TraceLog& log, Seconds horizon = 1.0);
+
+struct PrognosRunOptions {
+  core::Prognos::Config config{};
+  bool bootstrap = false;
+  Seconds horizon = 1.0;
+};
+
+struct PrognosRunResult {
+  std::vector<int> predicted;           // per-tick class labels
+  std::vector<double> lead_times_s;     // lead time of each first correct hit
+  std::vector<double> f1_over_time;     // rolling event-F1 per minute
+  long patterns_learned = 0;
+  long patterns_evicted = 0;
+  Seconds duration = 0.0;
+};
+// Runs Prognos over traces sequentially (continuous incremental learning).
+// Results are concatenated in trace order.
+PrognosRunResult run_prognos(const std::vector<trace::TraceLog>& traces,
+                             const PrognosRunOptions& options);
+
+// Offline baselines. Both are trained on the first `train_frac` of traces
+// and emit predictions for ALL ticks (callers slice out the test portion).
+std::vector<int> run_gbc(const std::vector<trace::TraceLog>& traces,
+                         double train_frac, Seconds horizon = 1.0);
+std::vector<int> run_lstm(const std::vector<trace::TraceLog>& traces,
+                          double train_frac, Seconds horizon = 1.0);
+
+// Feature extraction shared with tests.
+std::vector<double> gbc_features(const trace::TickRecord& tick);
+
+struct MethodResult {
+  std::string method;
+  ml::EventScores scores;
+};
+
+// The Table 3 evaluation: all three methods on a trace corpus, scored on
+// the ticks belonging to the last (1 - train_frac) traces.
+std::vector<MethodResult> evaluate_predictors(const std::vector<trace::TraceLog>& traces,
+                                              double train_frac = 0.6,
+                                              Seconds horizon = 1.0);
+
+}  // namespace p5g::analysis

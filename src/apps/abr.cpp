@@ -1,0 +1,134 @@
+#include "apps/abr.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p5g::apps {
+
+VideoProfile panoramic_16k_profile() {
+  VideoProfile v;
+  // 720p, 1080p, 2K, 4K, 8K, 16K panoramic encodings.
+  v.bitrates_mbps = {6.0, 12.0, 24.0, 48.0, 110.0, 240.0};
+  v.chunk_duration = 2.0;
+  v.chunks = 60;  // 120 s total
+  v.buffer_capacity = 30.0;
+  return v;
+}
+
+void ThroughputEstimator::observe(Mbps sample) {
+  if (sample <= 0.0) sample = 0.01;
+  samples_.push_back(sample);
+  while (samples_.size() > window_) samples_.pop_front();
+}
+
+Mbps ThroughputEstimator::predict() const {
+  if (samples_.empty()) return 0.0;
+  double acc = 0.0;
+  for (double s : samples_) acc += 1.0 / s;
+  return static_cast<double>(samples_.size()) / acc;
+}
+
+void ThroughputEstimator::record_error(Mbps predicted, Mbps actual) {
+  if (actual <= 0.0) return;
+  errors_.push_back(std::abs(predicted - actual) / actual);
+  while (errors_.size() > window_) errors_.pop_front();
+}
+
+Mbps ThroughputEstimator::max_recent_error() const {
+  double m = 0.0;
+  for (double e : errors_) m = std::max(m, e);
+  return m;
+}
+
+int RateBased::choose(const AbrState& state, const VideoProfile& video) {
+  int level = 0;
+  for (std::size_t i = 0; i < video.bitrates_mbps.size(); ++i) {
+    if (video.bitrates_mbps[i] <= state.predicted_tput) level = static_cast<int>(i);
+  }
+  return level;
+}
+
+namespace {
+
+// QoE terms (Pensieve-style): quality in "bitrate utility" units.
+double quality_utility(const VideoProfile& v, int level) {
+  return std::log(v.bitrates_mbps[static_cast<std::size_t>(level)] /
+                  v.bitrates_mbps.front());
+}
+
+constexpr double kRebufferPenalty = 8.0;  // per second of stall
+constexpr double kSmoothPenalty = 1.0;    // per utility unit changed
+
+}  // namespace
+
+double MpcAbr::plan(const AbrState& state, const VideoProfile& video, int level,
+                    int depth, Seconds buffer, int prev_level, Mbps tput) const {
+  const double bitrate = video.bitrates_mbps[static_cast<std::size_t>(level)];
+  const Seconds download = bitrate * video.chunk_duration / std::max(tput, 0.01);
+  const Seconds stall = std::max(0.0, download - buffer);
+  Seconds new_buffer = std::max(0.0, buffer - download) + video.chunk_duration;
+  new_buffer = std::min(new_buffer, video.buffer_capacity);
+
+  double value = quality_utility(video, level) - kRebufferPenalty * stall -
+                 kSmoothPenalty * std::abs(quality_utility(video, level) -
+                                           quality_utility(video, prev_level));
+  if (depth + 1 < horizon_ && state.next_chunk + depth + 1 < video.chunks) {
+    double best_tail = -1e18;
+    for (int next = 0; next < static_cast<int>(video.bitrates_mbps.size()); ++next) {
+      // Prune: limit level jumps to +-2 to keep the search shallow.
+      if (std::abs(next - level) > 2) continue;
+      best_tail = std::max(
+          best_tail, plan(state, video, next, depth + 1, new_buffer, level, tput));
+    }
+    value += best_tail;
+  }
+  return value;
+}
+
+int MpcAbr::choose(const AbrState& state, const VideoProfile& video) {
+  Mbps tput = state.predicted_tput;
+  if (robust_) tput /= (1.0 + error_bound_);
+  if (tput <= 0.0) return 0;
+
+  int best_level = 0;
+  double best_value = -1e18;
+  for (int level = 0; level < static_cast<int>(video.bitrates_mbps.size()); ++level) {
+    const double v =
+        plan(state, video, level, 0, state.buffer_level, state.prev_level, tput);
+    if (v > best_value) {
+      best_value = v;
+      best_level = level;
+    }
+  }
+  return best_level;
+}
+
+int Festive::choose(const AbrState& state, const VideoProfile& video) {
+  // Reference level: highest bitrate under 0.85 x estimate.
+  int ref = 0;
+  for (std::size_t i = 0; i < video.bitrates_mbps.size(); ++i) {
+    if (video.bitrates_mbps[i] <= 0.85 * state.predicted_tput) ref = static_cast<int>(i);
+  }
+  // Gradual switching: move one level at a time, and only up after the
+  // current level has been stable for a few chunks.
+  if (ref > state.prev_level) {
+    ++stable_count_;
+    if (stable_count_ >= 2) {
+      stable_count_ = 0;
+      target_level_ = state.prev_level + 1;
+    } else {
+      target_level_ = state.prev_level;
+    }
+  } else if (ref < state.prev_level) {
+    stable_count_ = 0;
+    target_level_ = state.prev_level - 1;
+  } else {
+    stable_count_ = 0;
+    target_level_ = state.prev_level;
+  }
+  target_level_ = std::clamp(target_level_, 0,
+                             static_cast<int>(video.bitrates_mbps.size()) - 1);
+  return target_level_;
+}
+
+}  // namespace p5g::apps

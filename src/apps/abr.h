@@ -1,0 +1,96 @@
+// Adaptive-bitrate algorithms used by the §7.4 evaluation: rate-based (RB),
+// FastMPC, RobustMPC (Yin et al.), and FESTIVE (Jiang et al.) — plus the
+// HO-aware throughput-prediction hook (-GT / -PR variants): the predicted
+// throughput is multiplied by the ho_score delivered by Prognos (or by the
+// ground truth) before the quality decision.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace p5g::apps {
+
+struct VideoProfile {
+  std::vector<double> bitrates_mbps;  // one per quality level, ascending
+  Seconds chunk_duration = 2.0;
+  int chunks = 60;
+  Seconds buffer_capacity = 30.0;
+};
+
+// The paper's 16K panoramic VoD: 6 levels (720p..16K), 60 chunks, 120 s.
+VideoProfile panoramic_16k_profile();
+
+// Harmonic-mean throughput estimator over the last k chunks (Pensieve /
+// MPC's standard predictor).
+class ThroughputEstimator {
+ public:
+  explicit ThroughputEstimator(std::size_t window = 5) : window_(window) {}
+  void observe(Mbps sample);
+  Mbps predict() const;  // harmonic mean; 0 until first sample
+  Mbps max_recent_error() const;  // relative error bound for RobustMPC
+  void record_error(Mbps predicted, Mbps actual);
+
+ private:
+  std::size_t window_;
+  std::deque<double> samples_;
+  std::deque<double> errors_;
+};
+
+struct AbrState {
+  Seconds buffer_level = 0.0;
+  int prev_level = 0;
+  int next_chunk = 0;
+  Mbps predicted_tput = 0.0;  // already ho_score-corrected
+};
+
+class AbrAlgorithm {
+ public:
+  virtual ~AbrAlgorithm() = default;
+  virtual std::string name() const = 0;
+  virtual int choose(const AbrState& state, const VideoProfile& video) = 0;
+};
+
+// RB: pick the highest bitrate below the predicted throughput.
+class RateBased : public AbrAlgorithm {
+ public:
+  std::string name() const override { return "RB"; }
+  int choose(const AbrState& state, const VideoProfile& video) override;
+};
+
+// MPC family: maximize sum over an H-chunk horizon of
+//   q(level) - rebuffer_penalty * stall - smooth_penalty * |q - q_prev|
+// under the predicted throughput. Robust mode scales the prediction down by
+// the recent maximum error.
+class MpcAbr : public AbrAlgorithm {
+ public:
+  MpcAbr(bool robust, int horizon = 5) : robust_(robust), horizon_(horizon) {}
+  std::string name() const override { return robust_ ? "robustMPC" : "fastMPC"; }
+  int choose(const AbrState& state, const VideoProfile& video) override;
+  void set_error_bound(double err) { error_bound_ = err; }
+
+ private:
+  double plan(const AbrState& state, const VideoProfile& video, int level, int depth,
+              Seconds buffer, int prev_level, Mbps tput) const;
+
+  bool robust_;
+  int horizon_;
+  double error_bound_ = 0.0;
+};
+
+// FESTIVE: quantized bandwidth estimate with stateful gradual switching and
+// a stability penalty.
+class Festive : public AbrAlgorithm {
+ public:
+  std::string name() const override { return "FESTIVE"; }
+  int choose(const AbrState& state, const VideoProfile& video) override;
+
+ private:
+  int stable_count_ = 0;
+  int target_level_ = 0;
+};
+
+}  // namespace p5g::apps

@@ -1,0 +1,100 @@
+#include "apps/ho_signal.h"
+
+#include <algorithm>
+
+#include "core/trace_adapter.h"
+
+namespace p5g::apps {
+
+double HoSignal::score_at(Seconds t) const {
+  if (score.empty()) return 1.0;
+  auto idx = static_cast<long>(t / dt);
+  idx = std::clamp(idx, 0L, static_cast<long>(score.size()) - 1);
+  return score[static_cast<std::size_t>(idx)];
+}
+
+bool HoSignal::near_at(Seconds t) const {
+  if (ho_near.empty()) return false;
+  auto idx = static_cast<long>(t / dt);
+  idx = std::clamp(idx, 0L, static_cast<long>(ho_near.size()) - 1);
+  return ho_near[static_cast<std::size_t>(idx)] != 0;
+}
+
+namespace {
+
+std::vector<char> near_flags(const trace::TraceLog& log, Seconds lookahead) {
+  std::vector<char> flags(log.ticks.size(), 0);
+  if (log.ticks.empty()) return flags;
+  const Seconds t0 = log.ticks.front().time;
+  for (const ran::HandoverRecord& h : log.handovers) {
+    const long hi = static_cast<long>((h.complete_time - t0) * log.tick_hz);
+    const long lo = static_cast<long>((h.decision_time - lookahead - t0) * log.tick_hz);
+    for (long i = std::max(0L, lo); i <= hi && i < static_cast<long>(flags.size()); ++i) {
+      flags[static_cast<std::size_t>(i)] = 1;
+    }
+  }
+  return flags;
+}
+
+}  // namespace
+
+HoSignal ground_truth_signal(const trace::TraceLog& log,
+                             const std::map<ran::HoType, double>& scores,
+                             Seconds lookahead) {
+  HoSignal s;
+  s.dt = 1.0 / log.tick_hz;
+  s.score.assign(log.ticks.size(), 1.0);
+  s.ho_near = near_flags(log, lookahead);
+  if (log.ticks.empty()) return s;
+  const Seconds t0 = log.ticks.front().time;
+  for (const ran::HandoverRecord& h : log.handovers) {
+    const auto it = scores.find(h.type);
+    // Clamp the correction: a 17x SCGA boost applied before the SCG is
+    // actually up would overshoot the throughput prediction and stall.
+    const double score =
+        std::clamp(it == scores.end() ? 1.0 : it->second, 0.1, 2.5);
+    const long hi = static_cast<long>((h.complete_time - t0) * log.tick_hz);
+    const long lo = static_cast<long>((h.decision_time - lookahead - t0) * log.tick_hz);
+    for (long i = std::max(0L, lo); i <= hi && i < static_cast<long>(s.score.size());
+         ++i) {
+      s.score[static_cast<std::size_t>(i)] = score;
+    }
+  }
+  return s;
+}
+
+HoSignal prognos_signal(const trace::TraceLog& log, const core::Prognos::Config& config,
+                        bool bootstrap, Seconds lookahead) {
+  HoSignal s;
+  s.dt = 1.0 / log.tick_hz;
+  s.score.assign(log.ticks.size(), 1.0);
+  s.ho_near = near_flags(log, lookahead);
+
+  std::vector<ran::EventConfig> configs;
+  switch (log.arch) {
+    case ran::Arch::kLteOnly:
+      for (const auto& c : ran::default_lte_event_set(log.nr_band)) {
+        if (c.type != ran::EventType::kB1) configs.push_back(c);
+      }
+      break;
+    case ran::Arch::kNsa:
+      for (const auto& c : ran::default_lte_event_set(log.nr_band)) configs.push_back(c);
+      for (const auto& c : ran::default_nsa_nr_event_set(log.nr_band)) configs.push_back(c);
+      break;
+    case ran::Arch::kSa:
+      configs = ran::default_sa_event_set(log.nr_band);
+      break;
+  }
+  core::Prognos::Config cfg = config;
+  cfg.report.arch = log.arch;
+  core::Prognos prognos(configs, cfg);
+  if (bootstrap) prognos.bootstrap_with_frequent_patterns();
+
+  for (std::size_t i = 0; i < log.ticks.size(); ++i) {
+    const core::PrognosPrediction p = prognos.tick(core::from_tick(log.ticks[i]));
+    s.score[i] = p.ho ? std::clamp(p.ho_score, 0.1, 2.5) : 1.0;
+  }
+  return s;
+}
+
+}  // namespace p5g::apps

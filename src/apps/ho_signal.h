@@ -1,0 +1,35 @@
+// HO-awareness signals for rate adaptation (§7.4): a per-tick ho_score
+// series from either ground truth (the -GT variants) or Prognos (-PR),
+// plus the ground-truth "HO imminent" flags used to split throughput-
+// prediction error into with/without-HO buckets (Fig. 14b).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/prognos.h"
+#include "trace/trace.h"
+
+namespace p5g::apps {
+
+struct HoSignal {
+  std::vector<double> score;  // per tick; 1.0 = no HO expected
+  std::vector<char> ho_near;  // ground truth: HO decision within lookahead
+  Seconds dt = 0.05;
+
+  double score_at(Seconds t) const;
+  bool near_at(Seconds t) const;
+};
+
+// Ground-truth signal: ho_score of the upcoming HO (from `scores`) during
+// the `lookahead` seconds before each HO decision.
+HoSignal ground_truth_signal(const trace::TraceLog& log,
+                             const std::map<ran::HoType, double>& scores,
+                             Seconds lookahead = 1.0);
+
+// Prognos signal: run the predictor over the trace and take its ho_score
+// output. ho_near flags still come from ground truth.
+HoSignal prognos_signal(const trace::TraceLog& log, const core::Prognos::Config& config,
+                        bool bootstrap = true, Seconds lookahead = 1.0);
+
+}  // namespace p5g::apps

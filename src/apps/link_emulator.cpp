@@ -1,0 +1,80 @@
+#include "apps/link_emulator.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace p5g::apps {
+
+LinkEmulator::LinkEmulator(std::vector<double> mbps, Seconds dt)
+    : mbps_(std::move(mbps)), dt_(dt) {}
+
+LinkEmulator LinkEmulator::from_trace(const trace::TraceLog& log) {
+  return LinkEmulator(trace::throughput_series(log), 1.0 / log.tick_hz);
+}
+
+Seconds LinkEmulator::duration() const {
+  return static_cast<double>(mbps_.size()) * dt_;
+}
+
+Mbps LinkEmulator::rate_at(Seconds t) const {
+  if (mbps_.empty()) return 0.0;
+  auto idx = static_cast<long>(t / dt_);
+  idx = std::clamp(idx, 0L, static_cast<long>(mbps_.size()) - 1);
+  return mbps_[static_cast<std::size_t>(idx)];
+}
+
+Seconds LinkEmulator::transfer_time(Seconds start, double megabits) const {
+  if (mbps_.empty()) return 1e9;
+  double remaining = megabits;
+  Seconds t = std::max(start, 0.0);
+  auto idx = static_cast<std::size_t>(t / dt_);
+  // Partial first slot.
+  while (idx < mbps_.size() && remaining > 0.0) {
+    const Seconds slot_end = static_cast<double>(idx + 1) * dt_;
+    const Seconds avail = slot_end - t;
+    const double can_move = std::max(mbps_[idx], 0.01) * avail;
+    if (can_move >= remaining) {
+      return (t + remaining / std::max(mbps_[idx], 0.01)) - start;
+    }
+    remaining -= can_move;
+    t = slot_end;
+    ++idx;
+  }
+  // Ran off the end: extrapolate with the mean of the last second.
+  const Mbps tail = average_rate(duration() - 1.0, 1.0);
+  return (t - start) + remaining / std::max(tail, 0.01);
+}
+
+Mbps LinkEmulator::average_rate(Seconds start, Seconds window) const {
+  if (mbps_.empty() || window <= 0.0) return 0.0;
+  const auto lo = static_cast<long>(std::max(start, 0.0) / dt_);
+  const auto hi = static_cast<long>(std::max(start + window, 0.0) / dt_);
+  double acc = 0.0;
+  long n = 0;
+  for (long i = lo; i <= hi && i < static_cast<long>(mbps_.size()); ++i, ++n) {
+    acc += mbps_[static_cast<std::size_t>(i)];
+  }
+  return n > 0 ? acc / static_cast<double>(n) : mbps_.back();
+}
+
+std::vector<LinkEmulator> sliding_windows(const trace::TraceLog& log, Seconds window_s,
+                                          Seconds stride_s, Mbps max_avg,
+                                          Mbps min_floor) {
+  std::vector<LinkEmulator> out;
+  const std::vector<double> series = trace::throughput_series(log);
+  const double dt = 1.0 / log.tick_hz;
+  const auto win = static_cast<std::size_t>(window_s / dt);
+  const auto stride = static_cast<std::size_t>(stride_s / dt);
+  if (win == 0 || stride == 0) return out;
+  for (std::size_t begin = 0; begin + win <= series.size(); begin += stride) {
+    const auto first = series.begin() + static_cast<long>(begin);
+    const auto last = first + static_cast<long>(win);
+    const double avg = std::accumulate(first, last, 0.0) / static_cast<double>(win);
+    const double mn = *std::min_element(first, last);
+    if (avg >= max_avg || mn <= min_floor) continue;
+    out.emplace_back(std::vector<double>(first, last), dt);
+  }
+  return out;
+}
+
+}  // namespace p5g::apps

@@ -1,0 +1,42 @@
+// Trace-driven link emulation (the paper's Mahimahi role): replays a
+// recorded bandwidth series and answers "how long does a transfer of X
+// megabits take starting at time t".
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "trace/trace.h"
+
+namespace p5g::apps {
+
+class LinkEmulator {
+ public:
+  // `mbps[i]` is the link rate during [i*dt, (i+1)*dt).
+  LinkEmulator(std::vector<double> mbps, Seconds dt);
+
+  // Convenience: replay the downlink of a recorded drive trace.
+  static LinkEmulator from_trace(const trace::TraceLog& log);
+
+  Seconds duration() const;
+  // Wall time needed to move `megabits` starting at `start`; clamps to the
+  // trailing average if the transfer runs past the end of the trace.
+  Seconds transfer_time(Seconds start, double megabits) const;
+  // Mean rate over [start, start + window).
+  Mbps average_rate(Seconds start, Seconds window) const;
+  // Instantaneous rate at time t.
+  Mbps rate_at(Seconds t) const;
+
+ private:
+  std::vector<double> mbps_;
+  Seconds dt_;
+};
+
+// The paper's trace filter (§7.4, following Mao et al.): keep windows whose
+// average bandwidth is below `max_avg` and minimum above `min_floor` so the
+// quality decision is non-trivial. Returns sliding windows of `window_s`.
+std::vector<LinkEmulator> sliding_windows(const trace::TraceLog& log, Seconds window_s,
+                                          Seconds stride_s, Mbps max_avg = 400.0,
+                                          Mbps min_floor = 2.0);
+
+}  // namespace p5g::apps

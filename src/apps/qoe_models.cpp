@@ -1,0 +1,101 @@
+#include "apps/qoe_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p5g::apps {
+namespace {
+
+bool data_plane_halted(const trace::TickRecord& t) {
+  // Whichever leg carries the media: NR when attached (NSA data plane),
+  // LTE otherwise. MNBH halts both (footnote 1), covered by either flag.
+  return t.nr_attached ? (t.nr_halted || t.lte_halted) : t.lte_halted;
+}
+
+}  // namespace
+
+ConferencingSample conferencing_sample(const trace::TickRecord& tick, Rng& rng) {
+  ConferencingSample s;
+  // One-way latency ~ RTT/2 + capture/encode/decode (~55 ms) + jitter
+  // buffer adaptation.
+  s.video_latency_ms = tick.rtt_ms / 2.0 + 55.0 + rng.exponential(8.0);
+  s.packet_loss_pct = std::max(0.0, rng.normal(0.4, 0.25));
+  if (data_plane_halted(tick)) {
+    // Media queues for the interruption; the jitter buffer overflows.
+    s.video_latency_ms += rng.uniform(400.0, 2000.0);
+    s.packet_loss_pct += rng.uniform(1.0, 12.0);
+  } else if (tick.rtt_ms > 80.0) {
+    // Congestion episodes lose a little media too.
+    s.packet_loss_pct += (tick.rtt_ms - 80.0) * 0.05;
+  }
+  // Very low throughput starves the (~1 Mbps) call.
+  if (tick.throughput_mbps < 1.0) s.packet_loss_pct += rng.uniform(2.0, 10.0);
+  s.packet_loss_pct = std::min(s.packet_loss_pct, 100.0);
+  return s;
+}
+
+GamingSample gaming_sample(const trace::TickRecord& tick, Rng& rng) {
+  GamingSample s;
+  s.network_latency_ms = tick.rtt_ms / 2.0 + 8.0 + rng.exponential(2.0);
+  s.other_latency_ms = 28.0 + rng.normal(0.0, 2.0);  // encode+decode+render
+  // A 60 FPS stream drops the frames that miss their ~50 ms budget. During
+  // an interruption every frame of the halt window is dropped.
+  if (tick.lte_halted && tick.nr_halted) {
+    // Anchor HO (MNBH): both radios down, the longest interruptions.
+    s.dropped_frames_pct = rng.uniform(70.0, 100.0);
+    s.network_latency_ms += rng.uniform(80.0, 350.0);
+  } else if (data_plane_halted(tick)) {
+    s.dropped_frames_pct = rng.uniform(30.0, 90.0);
+    s.network_latency_ms += rng.uniform(40.0, 250.0);
+  } else {
+    const double over_budget = std::max(0.0, s.network_latency_ms - 45.0);
+    s.dropped_frames_pct = std::min(100.0, over_budget * 0.3 + std::max(0.0, rng.normal(0.4, 0.3)));
+  }
+  // A 4K@60 stream needs ~40 Mbps; a starved link drops frames outright.
+  if (tick.throughput_mbps < 40.0) {
+    s.dropped_frames_pct =
+        std::min(100.0, s.dropped_frames_pct + (40.0 - tick.throughput_mbps) * 2.0);
+  }
+  return s;
+}
+
+namespace {
+
+HoWindowSplit split_impl(const trace::TraceLog& log, const std::vector<double>& metric,
+                         Seconds window, const std::vector<ran::HoType>* types) {
+  HoWindowSplit out;
+  if (log.ticks.empty()) return out;
+  const Seconds t0 = log.ticks.front().time;
+  std::vector<char> in_window(log.ticks.size(), 0);
+  for (const ran::HandoverRecord& h : log.handovers) {
+    if (types && std::find(types->begin(), types->end(), h.type) == types->end()) {
+      continue;
+    }
+    const long lo = static_cast<long>((h.decision_time - window - t0) * log.tick_hz);
+    const long hi = static_cast<long>((h.complete_time + window - t0) * log.tick_hz);
+    for (long i = std::max(0L, lo);
+         i <= hi && i < static_cast<long>(in_window.size()); ++i) {
+      in_window[static_cast<std::size_t>(i)] = 1;
+    }
+  }
+  const std::size_t n = std::min(metric.size(), log.ticks.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    (in_window[i] ? out.in_ho : out.outside).push_back(metric[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+HoWindowSplit split_by_ho_window(const trace::TraceLog& log,
+                                 const std::vector<double>& metric, Seconds window) {
+  return split_impl(log, metric, window, nullptr);
+}
+
+HoWindowSplit split_by_ho_window(const trace::TraceLog& log,
+                                 const std::vector<double>& metric, Seconds window,
+                                 const std::vector<ran::HoType>& types) {
+  return split_impl(log, metric, window, &types);
+}
+
+}  // namespace p5g::apps

@@ -1,0 +1,49 @@
+// Interactive-application QoE models (Figs. 4-6): per-tick latency, packet
+// loss and frame-drop processes driven by the trace's data-plane state
+// (RTT, halted legs) — the mechanism by which HOs hurt Zoom-style
+// conferencing and cloud gaming in the paper's case studies.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "trace/trace.h"
+
+namespace p5g::apps {
+
+struct ConferencingSample {
+  Milliseconds video_latency_ms = 0.0;
+  double packet_loss_pct = 0.0;
+};
+
+// One-on-one video call sample for a tick: latency follows RTT plus codec
+// and jitter-buffer terms; a halted data plane queues media and loses the
+// overflow.
+ConferencingSample conferencing_sample(const trace::TickRecord& tick, Rng& rng);
+
+struct GamingSample {
+  Milliseconds network_latency_ms = 0.0;
+  Milliseconds other_latency_ms = 0.0;  // encode/decode/render (stable)
+  double dropped_frames_pct = 0.0;      // of a 60 FPS stream
+};
+
+GamingSample gaming_sample(const trace::TickRecord& tick, Rng& rng);
+
+// Window helper: means of a per-tick metric inside +-window around HO
+// executions vs outside (the Fig. 4/5 "w/ HO vs w/o HO" comparison).
+struct HoWindowSplit {
+  std::vector<double> in_ho;
+  std::vector<double> outside;
+};
+HoWindowSplit split_by_ho_window(const trace::TraceLog& log,
+                                 const std::vector<double>& metric,
+                                 Seconds window = 1.0);
+
+// Restrict the split to HOs of specific types (e.g. SCGM vs MNBH, Fig. 5).
+HoWindowSplit split_by_ho_window(const trace::TraceLog& log,
+                                 const std::vector<double>& metric, Seconds window,
+                                 const std::vector<ran::HoType>& types);
+
+}  // namespace p5g::apps

@@ -1,0 +1,35 @@
+// Chunked VoD playback simulation (the 16K panoramic use case, Fig. 14a/b).
+#pragma once
+
+#include "apps/abr.h"
+#include "apps/ho_signal.h"
+#include "apps/link_emulator.h"
+
+namespace p5g::apps {
+
+struct VodResult {
+  double avg_bitrate_mbps = 0.0;
+  double normalized_bitrate = 0.0;  // vs the top level
+  Seconds stall_time = 0.0;
+  double stall_fraction = 0.0;      // stall / video duration
+  int quality_switches = 0;
+  // Throughput prediction mean-absolute-error split (Fig. 14b).
+  double pred_mae_ho = 0.0;         // chunks downloaded near a HO
+  double pred_mae_no_ho = 0.0;
+  int chunks_near_ho = 0;
+  int chunks_no_ho = 0;
+};
+
+// Plays the whole video through `link`, starting at `start_time` in the
+// trace. `signal` may be null (plain algorithm); otherwise the predicted
+// throughput is multiplied by signal->score_at(now) before the decision.
+VodResult run_vod(AbrAlgorithm& algorithm, const VideoProfile& video,
+                  const LinkEmulator& link, const HoSignal* signal,
+                  Seconds start_time = 0.0);
+
+// Window starts (seconds) passing the §7.4 trace filter.
+std::vector<Seconds> window_starts(const trace::TraceLog& log, Seconds window_s,
+                                   Seconds stride_s, Mbps max_avg = 400.0,
+                                   Mbps min_floor = 2.0);
+
+}  // namespace p5g::apps

@@ -1,0 +1,73 @@
+#include "apps/volumetric.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p5g::apps {
+
+int VivoSelector::choose(const AbrState& state, const VideoProfile& video) {
+  // Highest density sustainable at 0.75 x the predicted rate, moving at
+  // most one level per segment (point-cloud density changes are jarring).
+  int target = 0;
+  for (std::size_t i = 0; i < video.bitrates_mbps.size(); ++i) {
+    if (video.bitrates_mbps[i] <= 0.75 * state.predicted_tput) target = static_cast<int>(i);
+  }
+  return std::clamp(target, state.prev_level - 1, state.prev_level + 1);
+}
+
+VolumetricResult run_volumetric(AbrAlgorithm& algorithm, const VolumetricProfile& video,
+                                const LinkEmulator& link, const HoSignal* signal,
+                                Seconds start_time) {
+  VolumetricResult out;
+  ThroughputEstimator estimator;
+  VideoProfile as_video;  // adapt the selector interface
+  as_video.bitrates_mbps = video.bitrates_mbps;
+  as_video.chunk_duration = video.segment_duration;
+  as_video.chunks = video.segments;
+  as_video.buffer_capacity = 1.2;  // real-time: shallow buffer
+
+  Seconds now = start_time;
+  Seconds buffer = video.startup_buffer;
+  int prev_level = 0;
+  double bitrate_acc = 0.0, level_acc = 0.0;
+  auto* mpc = dynamic_cast<MpcAbr*>(&algorithm);
+
+  for (int seg = 0; seg < video.segments; ++seg) {
+    AbrState state;
+    state.buffer_level = buffer;
+    state.prev_level = prev_level;
+    state.next_chunk = seg;
+    Mbps predicted = estimator.predict();
+    if (predicted <= 0.0) predicted = link.average_rate(now, 0.5);
+    if (signal) predicted *= signal->score_at(now);
+    state.predicted_tput = predicted;
+    if (mpc) mpc->set_error_bound(estimator.max_recent_error());
+
+    const int level = algorithm.choose(state, as_video);
+    const double megabits =
+        video.bitrates_mbps[static_cast<std::size_t>(level)] * video.segment_duration;
+    const Seconds download = link.transfer_time(now, megabits);
+    const Mbps actual = megabits / std::max(download, 1e-6);
+    estimator.observe(actual);
+    estimator.record_error(predicted, actual);
+
+    // Real-time pacing: the segment is consumed while the next downloads.
+    const Seconds stall = std::max(0.0, download - buffer);
+    out.stall_time += stall;
+    buffer = std::max(0.0, buffer - download) + video.segment_duration;
+    buffer = std::min(buffer, as_video.buffer_capacity);
+    now += download;
+
+    bitrate_acc += video.bitrates_mbps[static_cast<std::size_t>(level)];
+    level_acc += level;
+    prev_level = level;
+  }
+
+  const double n = static_cast<double>(video.segments);
+  out.avg_bitrate_mbps = bitrate_acc / n;
+  out.avg_quality_level = level_acc / n;
+  out.stall_fraction = out.stall_time / (n * video.segment_duration);
+  return out;
+}
+
+}  // namespace p5g::apps

@@ -1,0 +1,38 @@
+// Real-time volumetric video streaming (ViVo-style, Figs. 6 & 14c): a
+// frame-paced stream at 5 point-cloud density levels; each 1-second segment
+// must arrive before its playback deadline or the session stalls.
+#pragma once
+
+#include "apps/abr.h"
+#include "apps/ho_signal.h"
+#include "apps/link_emulator.h"
+
+namespace p5g::apps {
+
+struct VolumetricProfile {
+  std::vector<double> bitrates_mbps = {43.0, 77.0, 110.0, 140.0, 170.0};
+  Seconds segment_duration = 1.0;
+  int segments = 180;  // 3-minute video
+  Seconds startup_buffer = 0.5;
+};
+
+// ViVo's rate adaptation (visibility-aware optimizations disabled, as in
+// the paper's evaluation): conservative rate-based with one-step smoothing.
+class VivoSelector : public AbrAlgorithm {
+ public:
+  std::string name() const override { return "ViVo"; }
+  int choose(const AbrState& state, const VideoProfile& video) override;
+};
+
+struct VolumetricResult {
+  double avg_bitrate_mbps = 0.0;
+  double avg_quality_level = 0.0;
+  Seconds stall_time = 0.0;
+  double stall_fraction = 0.0;
+};
+
+VolumetricResult run_volumetric(AbrAlgorithm& algorithm, const VolumetricProfile& video,
+                                const LinkEmulator& link, const HoSignal* signal,
+                                Seconds start_time = 0.0);
+
+}  // namespace p5g::apps

@@ -1,0 +1,79 @@
+#include "common/csv.h"
+
+#include <iomanip>
+#include <stdexcept>
+
+namespace p5g::csv {
+namespace {
+
+std::string trim(std::string_view s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string_view::npos) return {};
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return std::string(s.substr(b, e - b + 1));
+}
+
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::size_t start = 0;
+  while (true) {
+    const auto comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      cells.push_back(trim(std::string_view(line).substr(start)));
+      break;
+    }
+    cells.push_back(trim(std::string_view(line).substr(start, comma - start)));
+    start = comma + 1;
+  }
+  return cells;
+}
+
+}  // namespace
+
+Writer::Writer(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << header[i];
+  }
+  out_ << '\n';
+}
+
+void Writer::write_row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_) {
+    throw std::invalid_argument("csv::Writer: row width does not match header");
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+int Table::column(std::string_view name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Table read_file(const std::string& path) {
+  Table t;
+  std::ifstream in(path);
+  if (!in) return t;
+  std::string line;
+  if (std::getline(in, line)) t.header = split_line(line);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    t.rows.push_back(split_line(line));
+  }
+  return t;
+}
+
+std::string format(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+}  // namespace p5g::csv

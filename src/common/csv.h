@@ -1,0 +1,50 @@
+// Minimal CSV writer/reader for trace persistence and bench output.
+// Values never contain commas or quotes in our schemas, so no quoting layer
+// is needed; the reader still tolerates surrounding whitespace.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p5g::csv {
+
+class Writer {
+ public:
+  // Opens `path` for writing and emits the header row.
+  Writer(const std::string& path, const std::vector<std::string>& header);
+
+  // Appends one row; the caller must pass exactly header-many cells.
+  void write_row(const std::vector<std::string>& cells);
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+struct Table {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  // Index of a header column, or -1 when absent.
+  int column(std::string_view name) const;
+};
+
+// Reads a whole CSV file; returns an empty table when the file is missing.
+Table read_file(const std::string& path);
+
+// Formatting helpers so call sites produce consistent numeric cells.
+std::string format(double v, int precision = 6);
+
+template <typename T>
+std::string cell(const T& v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace p5g::csv

@@ -1,0 +1,130 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <numeric>
+
+namespace p5g::stats {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = std::clamp(q, 0.0, 100.0) / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {}
+
+void Histogram::add(double x) {
+  auto idx = static_cast<long>((x - lo_) / width_);
+  idx = std::clamp(idx, 0L, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double Histogram::cdf(double x) const {
+  if (total_ == 0) return 0.0;
+  std::size_t below = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double upper = lo_ + static_cast<double>(i + 1) * width_;
+    if (upper <= x) below += counts_[i];
+  }
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+std::vector<CdfPoint> empirical_cdf(std::span<const double> xs) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<CdfPoint> out;
+  out.reserve(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    out.push_back({sorted[i], static_cast<double>(i + 1) / static_cast<double>(sorted.size())});
+  }
+  return out;
+}
+
+std::vector<DensityPoint> kernel_density(std::span<const double> xs, double grid_lo,
+                                         double grid_hi, std::size_t grid_points,
+                                         double bandwidth) {
+  std::vector<DensityPoint> out;
+  if (xs.empty() || grid_points < 2) return out;
+  double h = bandwidth;
+  if (h <= 0.0) {
+    // Silverman's rule of thumb.
+    const double sd = stddev(xs);
+    const double n = static_cast<double>(xs.size());
+    h = 1.06 * (sd > 0 ? sd : 1.0) * std::pow(n, -0.2);
+  }
+  const double norm = 1.0 / (static_cast<double>(xs.size()) * h * std::sqrt(2.0 * std::numbers::pi));
+  out.reserve(grid_points);
+  const double step = (grid_hi - grid_lo) / static_cast<double>(grid_points - 1);
+  for (std::size_t i = 0; i < grid_points; ++i) {
+    const double x = grid_lo + static_cast<double>(i) * step;
+    double acc = 0.0;
+    for (double s : xs) {
+      const double z = (x - s) / h;
+      acc += std::exp(-0.5 * z * z);
+    }
+    out.push_back({x, acc * norm});
+  }
+  return out;
+}
+
+}  // namespace p5g::stats

@@ -1,0 +1,79 @@
+// Descriptive statistics used by the analysis layer and benches:
+// percentiles, running summaries, histograms, empirical CDFs, and a small
+// Gaussian kernel-density estimator (for the coverage-density figure).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace p5g::stats {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // sample variance (n-1)
+double stddev(std::span<const double> xs);
+double min(std::span<const double> xs);
+double max(std::span<const double> xs);
+
+// Linear-interpolated percentile; q in [0, 100]. Copies and sorts.
+double percentile(std::span<const double> xs, double q);
+inline double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+// Online mean/variance (Welford) — used by long-running simulations where
+// retaining every sample would be wasteful.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the end
+// bins so that totals are preserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x);
+  std::size_t total() const { return total_; }
+  std::size_t bin_count(std::size_t i) const { return counts_[i]; }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_center(std::size_t i) const;
+  // Fraction of samples at or below x.
+  double cdf(double x) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+struct CdfPoint {
+  double value;
+  double fraction;  // P(X <= value)
+};
+
+// Full empirical CDF (sorted copy of the input).
+std::vector<CdfPoint> empirical_cdf(std::span<const double> xs);
+
+// Gaussian KDE evaluated on a regular grid; bandwidth chosen by Silverman's
+// rule when `bandwidth` <= 0.
+struct DensityPoint {
+  double x;
+  double density;
+};
+std::vector<DensityPoint> kernel_density(std::span<const double> xs, double grid_lo,
+                                         double grid_hi, std::size_t grid_points,
+                                         double bandwidth = 0.0);
+
+}  // namespace p5g::stats

@@ -1,0 +1,56 @@
+// Units and small value types used across the library.
+//
+// All quantities are carried as doubles in canonical units (metres, seconds,
+// dBm, Mbps, watts, mAh). The aliases below document intent at API
+// boundaries; the helper functions perform the only conversions the library
+// needs so call sites never hand-roll unit math.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace p5g {
+
+using Meters = double;
+using Kilometers = double;
+using Seconds = double;
+using Milliseconds = double;
+using Dbm = double;     // power level relative to 1 mW, in dB
+using Db = double;      // relative power ratio, in dB
+using Mbps = double;    // megabits per second
+using Watts = double;
+using MilliampHours = double;
+using Hertz = double;
+using MegaHertz = double;
+
+constexpr double kMetersPerKilometer = 1000.0;
+constexpr double kSecondsPerHour = 3600.0;
+constexpr double kMillisecondsPerSecond = 1000.0;
+
+constexpr Meters km_to_m(Kilometers km) { return km * kMetersPerKilometer; }
+constexpr Kilometers m_to_km(Meters m) { return m / kMetersPerKilometer; }
+constexpr Seconds ms_to_s(Milliseconds ms) { return ms / kMillisecondsPerSecond; }
+constexpr Milliseconds s_to_ms(Seconds s) { return s * kMillisecondsPerSecond; }
+
+// Speed helpers (simulator configuration is naturally in km/h).
+constexpr double kmh_to_mps(double kmh) { return kmh * kMetersPerKilometer / kSecondsPerHour; }
+constexpr double mps_to_kmh(double mps) { return mps * kSecondsPerHour / kMetersPerKilometer; }
+
+// dB <-> linear power ratio conversions.
+inline double db_to_linear(Db db) { return std::pow(10.0, db / 10.0); }
+inline Db linear_to_db(double linear) { return 10.0 * std::log10(linear); }
+
+// dBm <-> milliwatts.
+inline double dbm_to_mw(Dbm dbm) { return std::pow(10.0, dbm / 10.0); }
+inline Dbm mw_to_dbm(double mw) { return 10.0 * std::log10(mw); }
+
+// Energy: integrate power over time at a nominal battery voltage.
+// Smartphone batteries are nominally 3.85 V (the paper's S20U uses a
+// 4.5 Ah/3.86 V pack); we use 3.85 V throughout.
+constexpr double kBatteryVoltage = 3.85;
+inline MilliampHours joules_to_mah(double joules) {
+  return joules / kBatteryVoltage / 3.6;  // 1 mAh = V * 3.6 J at V volts
+}
+inline double mah_to_joules(MilliampHours mah) { return mah * kBatteryVoltage * 3.6; }
+
+}  // namespace p5g

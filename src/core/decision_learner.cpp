@@ -1,0 +1,114 @@
+#include "core/decision_learner.h"
+
+#include <algorithm>
+
+namespace p5g::core {
+
+std::vector<EventKey> DecisionLearner::open_phase() const {
+  std::vector<EventKey> out;
+  out.reserve(open_phase_.size());
+  for (const TimedKey& tk : open_phase_) out.push_back(tk.key);
+  return out;
+}
+
+bool DecisionLearner::observe(const PrognosInput& input) {
+  // Age out reports beyond the policy correlation window.
+  std::erase_if(open_phase_, [&](const TimedKey& tk) {
+    return input.time - tk.time > config_.phase_memory;
+  });
+  for (const ran::MeasurementReport& r : input.reports) {
+    open_phase_.push_back({{r.event, r.scope}, input.time});
+    // Keep only the window that can still matter for matching.
+    if (open_phase_.size() > 2 * config_.max_pattern_length) {
+      open_phase_.erase(open_phase_.begin());
+    }
+  }
+
+  bool closed = false;
+  for (const ran::HandoverRecord& ho : input.ho_commands) {
+    ++phase_count_;
+    if (!open_phase_.empty()) {
+      // Register every suffix up to max_pattern_length (online prefixSpan:
+      // recent reports are the discriminative prefix of the reversed list).
+      const std::size_t longest =
+          std::min(open_phase_.size(), config_.max_pattern_length);
+      for (std::size_t len = 1; len <= longest; ++len) {
+        std::vector<EventKey> seq;
+        seq.reserve(len);
+        for (std::size_t i = open_phase_.size() - len; i < open_phase_.size(); ++i) {
+          seq.push_back(open_phase_[i].key);
+        }
+        register_sequence(seq, ho.type);
+      }
+    }
+    open_phase_.clear();
+    closed = true;
+  }
+  if (closed && config_.eviction_enabled) evict_stale();
+  return closed;
+}
+
+void DecisionLearner::register_sequence(const std::vector<EventKey>& seq,
+                                        ran::HoType ho) {
+  for (Pattern& p : patterns_) {
+    if (p.ho == ho && p.sequence == seq) {
+      ++p.support;
+      p.last_seen_phase = phase_count_;
+      return;
+    }
+  }
+  Pattern p;
+  p.sequence = seq;
+  p.ho = ho;
+  p.support = 1;
+  p.last_seen_phase = phase_count_;
+  patterns_.push_back(std::move(p));
+  ++learned_total_;
+}
+
+void DecisionLearner::evict_stale() {
+  const long before = static_cast<long>(patterns_.size());
+  std::erase_if(patterns_, [&](const Pattern& p) {
+    return phase_count_ - p.last_seen_phase > config_.freshness_threshold;
+  });
+  if (patterns_.size() > config_.max_patterns) {
+    std::sort(patterns_.begin(), patterns_.end(), [](const Pattern& a, const Pattern& b) {
+      return a.last_seen_phase > b.last_seen_phase;
+    });
+    patterns_.resize(config_.max_patterns);
+  }
+  evicted_total_ += before - static_cast<long>(patterns_.size());
+}
+
+void DecisionLearner::bootstrap(const std::vector<Pattern>& patterns) {
+  for (const Pattern& p : patterns) register_sequence(p.sequence, p.ho);
+  // Give bootstrapped patterns a head-start support so they win matches
+  // until real observations accumulate.
+  for (Pattern& p : patterns_) p.support = std::max(p.support, 5);
+  learned_total_ = 0;  // bootstrap does not count as learning
+}
+
+std::vector<Pattern> frequent_bootstrap_patterns() {
+  using ran::EventType;
+  using ran::MeasScope;
+  std::vector<Pattern> out;
+  auto add = [&](std::vector<EventKey> seq, ran::HoType ho) {
+    Pattern p;
+    p.sequence = std::move(seq);
+    p.ho = ho;
+    out.push_back(std::move(p));
+  };
+  add({{EventType::kA3, MeasScope::kServingLte}}, ran::HoType::kLteh);
+  add({{EventType::kA3, MeasScope::kServingLte}}, ran::HoType::kMnbh);
+  add({{EventType::kB1, MeasScope::kServingLte}}, ran::HoType::kScga);
+  add({{EventType::kA2, MeasScope::kServingNr}}, ran::HoType::kScgr);
+  add({{EventType::kB1, MeasScope::kServingNr}, {EventType::kA2, MeasScope::kServingNr}},
+      ran::HoType::kScgc);
+  add({{EventType::kA2, MeasScope::kServingNr}, {EventType::kB1, MeasScope::kServingNr}},
+      ran::HoType::kScgc);
+  add({{EventType::kA3, MeasScope::kServingNr}}, ran::HoType::kScgm);
+  add({{EventType::kA3, MeasScope::kServingNr}}, ran::HoType::kMcgh);
+  return out;
+}
+
+}  // namespace p5g::core

@@ -1,0 +1,75 @@
+// Decision learner (§7.2): learns the carrier's policy-based HO logic as
+// sequential patterns, online.
+//
+// The RRC stream is split into phases — each phase is the MR sequence
+// preceding one HO command. An online variant of prefixSpan registers every
+// suffix of the phase's MR sequence as a pattern for that HO type
+// (suffixes, because the most recent reports carry the decision); support
+// counts accumulate, and patterns not refreshed within the freshness
+// threshold are evicted so the pattern set tracks policy changes without
+// growing unboundedly.
+#pragma once
+
+#include <vector>
+
+#include "core/prognos_types.h"
+
+namespace p5g::core {
+
+class DecisionLearner {
+ public:
+  struct Config {
+    std::size_t max_pattern_length = 4;
+    // Evict patterns not seen for this many phases.
+    long freshness_threshold = 200;
+    // Hard cap on the pattern store (evicts stalest first).
+    std::size_t max_patterns = 256;
+    bool eviction_enabled = true;  // ablation knob
+    // Reports older than this no longer belong to the open phase (carrier
+    // decision logic correlates reports over a bounded window).
+    Seconds phase_memory = 5.0;
+  };
+
+  DecisionLearner();  // default configuration
+  explicit DecisionLearner(Config config) : config_(config) {}
+
+  // Feed one tick's observed MRs and HO commands. Returns true when a phase
+  // was closed (a HO command consumed the accumulated MRs).
+  bool observe(const PrognosInput& input);
+
+  // Seed the store with known-frequent patterns (§9 / Fig. 15 bootstrap).
+  void bootstrap(const std::vector<Pattern>& patterns);
+
+  const std::vector<Pattern>& patterns() const { return patterns_; }
+  long phase_count() const { return phase_count_; }
+  long patterns_learned_total() const { return learned_total_; }
+  long patterns_evicted_total() const { return evicted_total_; }
+
+  // The open (not yet closed) MR sequence of the current phase.
+  std::vector<EventKey> open_phase() const;
+
+ private:
+  void register_sequence(const std::vector<EventKey>& seq, ran::HoType ho);
+  void evict_stale();
+
+  struct TimedKey {
+    EventKey key;
+    Seconds time;
+  };
+
+  Config config_;
+  std::vector<Pattern> patterns_;
+  std::vector<TimedKey> open_phase_;
+  long phase_count_ = 0;
+  long learned_total_ = 0;
+  long evicted_total_ = 0;
+};
+
+inline DecisionLearner::DecisionLearner() : DecisionLearner(Config{}) {}
+
+// The empirically most frequent pattern per HO type (what our simulated
+// carriers — and, per the paper, real ones — converge to). Used for
+// bootstrapping.
+std::vector<Pattern> frequent_bootstrap_patterns();
+
+}  // namespace p5g::core

@@ -1,0 +1,113 @@
+#include "core/pattern_store.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace p5g::core {
+namespace {
+
+const char* scope_name(ran::MeasScope s) {
+  return s == ran::MeasScope::kServingNr ? "NR" : "LTE";
+}
+
+bool parse_ho(const std::string& s, ran::HoType& out) {
+  for (ran::HoType t : {ran::HoType::kLteh, ran::HoType::kScga, ran::HoType::kScgr,
+                        ran::HoType::kScgm, ran::HoType::kScgc, ran::HoType::kMnbh,
+                        ran::HoType::kMcgh}) {
+    if (s == ran::ho_name(t)) {
+      out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_event(const std::string& s, ran::EventType& out) {
+  for (ran::EventType t : {ran::EventType::kA1, ran::EventType::kA2, ran::EventType::kA3,
+                           ran::EventType::kA4, ran::EventType::kA5, ran::EventType::kA6,
+                           ran::EventType::kB1}) {
+    if (s == ran::event_name(t)) {
+      out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_key(const std::string& s, EventKey& out) {
+  const auto at = s.find('@');
+  if (at == std::string::npos) return false;
+  if (!parse_event(s.substr(0, at), out.type)) return false;
+  const std::string scope = s.substr(at + 1);
+  if (scope == "NR") {
+    out.scope = ran::MeasScope::kServingNr;
+  } else if (scope == "LTE") {
+    out.scope = ran::MeasScope::kServingLte;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string serialize_patterns(const std::vector<Pattern>& patterns) {
+  std::ostringstream os;
+  os << "# prognos-patterns v1\n";
+  for (const Pattern& p : patterns) {
+    os << ran::ho_name(p.ho) << ' ' << p.support << ' ';
+    for (std::size_t i = 0; i < p.sequence.size(); ++i) {
+      if (i) os << ',';
+      os << ran::event_name(p.sequence[i].type) << '@' << scope_name(p.sequence[i].scope);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::vector<Pattern> deserialize_patterns(const std::string& text) {
+  std::vector<Pattern> out;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string ho_str, seq_str;
+    int support = 0;
+    if (!(ls >> ho_str >> support >> seq_str)) continue;
+
+    Pattern p;
+    if (!parse_ho(ho_str, p.ho) || support <= 0) continue;
+    p.support = support;
+    bool valid = true;
+    std::istringstream ss(seq_str);
+    std::string key_str;
+    while (std::getline(ss, key_str, ',')) {
+      EventKey key;
+      if (!parse_key(key_str, key)) {
+        valid = false;
+        break;
+      }
+      p.sequence.push_back(key);
+    }
+    if (valid && !p.sequence.empty()) out.push_back(std::move(p));
+  }
+  return out;
+}
+
+bool save_patterns(const std::vector<Pattern>& patterns, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << serialize_patterns(patterns);
+  return static_cast<bool>(f);
+}
+
+std::vector<Pattern> load_patterns(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return {};
+  std::stringstream buf;
+  buf << f.rdbuf();
+  return deserialize_patterns(buf.str());
+}
+
+}  // namespace p5g::core

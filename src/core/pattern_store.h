@@ -1,0 +1,27 @@
+// Pattern persistence: serialize a learner's pattern set so a model learned
+// in one region/carrier can bootstrap another session (§7.1's
+// "transferable scheme" design goal — transfer models between areas with
+// similar deployment strategies instead of re-learning from scratch).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/prognos_types.h"
+
+namespace p5g::core {
+
+// Compact single-line-per-pattern text format:
+//   <ho-name> <support> <key>[,<key>...]
+// where key = <event-name>@<LTE|NR>. Example:
+//   SCGC 41 B1@NR,A2@NR
+std::string serialize_patterns(const std::vector<Pattern>& patterns);
+std::vector<Pattern> deserialize_patterns(const std::string& text);
+
+// File convenience wrappers. save returns false on IO failure; load returns
+// an empty vector for a missing/corrupt file (callers treat that as a cold
+// start).
+bool save_patterns(const std::vector<Pattern>& patterns, const std::string& path);
+std::vector<Pattern> load_patterns(const std::string& path);
+
+}  // namespace p5g::core

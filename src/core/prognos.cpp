@@ -1,0 +1,212 @@
+#include "core/prognos.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p5g::core {
+
+std::map<ran::HoType, double> default_ho_scores() {
+  // Median post/pre throughput ratios (Fig. 16 analogue): SCGA boosts
+  // capacity massively (4G -> 5G), SCGR collapses it, SCGM improves it,
+  // SCGC slightly degrades it (§6.2's -14 %), anchor HOs are near-neutral.
+  return {
+      {ran::HoType::kScga, 17.0}, {ran::HoType::kScgr, 0.14},
+      {ran::HoType::kScgm, 1.43}, {ran::HoType::kScgc, 0.86},
+      {ran::HoType::kLteh, 0.96}, {ran::HoType::kMnbh, 0.90},
+      {ran::HoType::kMcgh, 1.02},
+  };
+}
+
+Prognos::Prognos(std::vector<ran::EventConfig> event_configs, Config config)
+    : config_(config),
+      configs_(event_configs),
+      report_predictor_(std::move(event_configs), config.report),
+      learner_(config.learner),
+      ho_scores_(default_ho_scores()) {}
+
+void Prognos::bootstrap_with_frequent_patterns() {
+  learner_.bootstrap(frequent_bootstrap_patterns());
+}
+
+void Prognos::bootstrap_with(const std::vector<Pattern>& patterns) {
+  learner_.bootstrap(patterns);
+}
+
+void Prognos::set_ho_scores(std::map<ran::HoType, double> scores) {
+  ho_scores_ = std::move(scores);
+}
+
+bool Prognos::sanity_ok(ran::HoType ho, const PrognosInput& input) const {
+  if (!config_.sanity_checks) return true;
+  const bool lte = input.lte_serving_pci >= 0;
+  const bool nr = input.nr_serving_pci >= 0;
+  switch (ho) {
+    case ran::HoType::kScga: return lte && !nr;  // cannot add an attached SCG
+    case ran::HoType::kScgr:
+    case ran::HoType::kScgm:
+    case ran::HoType::kScgc: return nr;          // need an SCG to modify
+    case ran::HoType::kMnbh: return lte && nr;   // anchor change with SCG
+    case ran::HoType::kLteh: return lte && !nr;  // anchor change, no SCG
+    case ran::HoType::kMcgh: return nr && !lte;  // SA only
+  }
+  return true;
+}
+
+ran::HoType Prognos::adjudicate(ran::HoType ho, const std::vector<EventKey>& candidate,
+                                const PrognosInput& input) const {
+  if (ho != ran::HoType::kScgr && ho != ran::HoType::kScgc) return ho;
+  // SCGC exactly when a different-gNB candidate is available: either a B1
+  // was reported in this phase, or a neighbor currently sits above the B1
+  // threshold (UE-visible context, mirroring the network's choice).
+  const bool b1_in_phase =
+      std::any_of(candidate.begin(), candidate.end(), [](EventKey k) {
+        return k.type == ran::EventType::kB1 && k.scope == ran::MeasScope::kServingNr;
+      });
+  if (b1_in_phase) return ran::HoType::kScgc;
+
+  double b1_threshold = 0.0;
+  bool have_b1 = false;
+  for (const ran::EventConfig& c : configs_) {
+    if (c.type == ran::EventType::kB1 && c.scope == ran::MeasScope::kServingNr) {
+      b1_threshold = c.threshold1;
+      have_b1 = true;
+      break;
+    }
+  }
+  if (!have_b1) return ran::HoType::kScgr;
+  int serving_tower = -1;
+  for (const PrognosInput::CellObs& o : input.observed) {
+    if (o.pci == input.nr_serving_pci && radio::band_rat(o.band) == radio::Rat::kNr) {
+      serving_tower = o.tower_id;
+      break;
+    }
+  }
+  for (const PrognosInput::CellObs& o : input.observed) {
+    if (radio::band_rat(o.band) != radio::Rat::kNr) continue;
+    if (o.pci == input.nr_serving_pci) continue;
+    if (serving_tower >= 0 && o.tower_id == serving_tower) continue;
+    if (o.rsrp > b1_threshold) return ran::HoType::kScgc;
+  }
+  return ran::HoType::kScgr;
+}
+
+double Prognos::similarity(const Pattern& p) const {
+  const double freshness =
+      std::exp(-static_cast<double>(learner_.phase_count() - p.last_seen_phase) /
+               static_cast<double>(config_.freshness_scale));
+  return config_.w_support * std::log1p(static_cast<double>(p.support)) +
+         config_.w_length * static_cast<double>(p.sequence.size()) +
+         config_.w_freshness * freshness;
+}
+
+PrognosPrediction Prognos::tick(const PrognosInput& input) {
+  // Stage 1: learn from the actual control-plane stream.
+  learner_.observe(input);
+
+  // Stage 2: predicted MRs (optional).
+  if (config_.use_report_predictor) {
+    const std::vector<PredictedReport> fresh = report_predictor_.update(input);
+    pending_predicted_.insert(pending_predicted_.end(), fresh.begin(), fresh.end());
+  }
+  // Expire predictions and drop the ones that materialized as actual MRs.
+  std::erase_if(pending_predicted_, [&](const PredictedReport& p) {
+    if (p.expected_time + 0.25 < input.time) return true;
+    return std::any_of(input.reports.begin(), input.reports.end(),
+                       [&](const ran::MeasurementReport& r) {
+                         return EventKey{r.event, r.scope} == p.key;
+                       });
+  });
+  // A HO command closes the phase: clear speculative state too.
+  if (!input.ho_commands.empty()) {
+    pending_predicted_.clear();
+    held_until_ = -1.0;
+  }
+
+  // Stage 3: match the (actual + predicted) sequence against the patterns.
+  std::vector<EventKey> candidate = learner_.open_phase();
+  const std::size_t actual_len = candidate.size();
+  std::vector<PredictedReport> sorted = pending_predicted_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const PredictedReport& a, const PredictedReport& b) {
+              return a.expected_time < b.expected_time;
+            });
+  Seconds last_predicted_time = input.time;
+  for (const PredictedReport& p : sorted) {
+    candidate.push_back(p.key);
+    last_predicted_time = p.expected_time;
+  }
+
+  PrognosPrediction out;
+  if (candidate.empty()) {
+    // Nothing to match; keep any recent prediction alive through momentary
+    // forecast dropouts.
+    if (input.time < held_until_) return held_;
+    return out;  // "no HO"
+  }
+
+  const Pattern* best = nullptr;
+  double best_score = 0.0;
+  bool best_uses_predicted = false;
+  for (const Pattern& p : learner_.patterns()) {
+    if (p.support < config_.min_support) continue;
+    const std::size_t len = p.sequence.size();
+    if (len == 0 || len > candidate.size()) continue;
+    if (!std::equal(p.sequence.begin(), p.sequence.end(),
+                    candidate.end() - static_cast<long>(len))) {
+      continue;
+    }
+    if (!sanity_ok(p.ho, input)) continue;
+    const double score = similarity(p);
+    if (!best || score > best_score) {
+      best = &p;
+      best_score = score;
+      // Did the match need any element beyond the actual MRs?
+      best_uses_predicted = candidate.size() > actual_len &&
+                            len > 0;  // tail elements are predicted ones
+      if (candidate.size() - len >= actual_len) {
+        // Pattern lies entirely in the predicted tail.
+        best_uses_predicted = true;
+      } else if (candidate.size() == actual_len) {
+        best_uses_predicted = false;
+      }
+    }
+  }
+  if (!best) {
+    last_match_.reset();
+    consecutive_matches_ = 0;
+    if (input.time < held_until_) return held_;
+    return out;
+  }
+
+  // Context adjudication + debounce. Matches grounded purely in ACTUAL
+  // measurement reports are certain (the MR really fired); only forecast-
+  // driven matches need the confirmation debounce.
+  const ran::HoType predicted_type = adjudicate(best->ho, candidate, input);
+  if (last_match_ && *last_match_ == predicted_type) {
+    ++consecutive_matches_;
+  } else {
+    last_match_ = predicted_type;
+    consecutive_matches_ = 1;
+  }
+  const bool match_in_actual = best->sequence.size() <= actual_len &&
+                               std::equal(best->sequence.begin(), best->sequence.end(),
+                                          candidate.begin() + static_cast<long>(
+                                              actual_len - best->sequence.size()));
+  if (!match_in_actual && consecutive_matches_ < config_.confirm_ticks) {
+    if (input.time < held_until_) return held_;
+    return out;
+  }
+
+  out.ho = predicted_type;
+  const auto it = ho_scores_.find(predicted_type);
+  out.ho_score = it == ho_scores_.end() ? 1.0 : it->second;
+  out.from_predicted_reports = best_uses_predicted && candidate.size() > actual_len;
+  out.lead_time = out.from_predicted_reports
+                      ? std::max(0.0, last_predicted_time - input.time)
+                      : 0.0;
+  held_ = out;
+  held_until_ = input.time + config_.prediction_hold;
+  return out;
+}
+
+}  // namespace p5g::core

@@ -1,0 +1,88 @@
+// Prognos (§7): the two-stage HO prediction pipeline.
+//
+//   RRS stream ──> ReportPredictor ──predicted MRs──┐
+//   MR stream  ──────────────────────actual MRs────┼──> HandoverPredictor
+//   HO commands ──> DecisionLearner ──patterns──────┘        │
+//                                                            v
+//                                       predicted HO type + ho_score
+//
+// No offline training: the decision learner runs incrementally and the
+// report predictor is a closed-form forecaster. Works with any
+// 3GPP-compliant deployment because its only inputs are UE-visible.
+#pragma once
+
+#include <map>
+
+#include "core/decision_learner.h"
+#include "core/prognos_types.h"
+#include "core/report_predictor.h"
+
+namespace p5g::core {
+
+// Expected post/pre throughput ratio per HO type (the ho_score table),
+// empirically calibrated from the Fig. 16-style phase analysis.
+std::map<ran::HoType, double> default_ho_scores();
+
+class Prognos {
+ public:
+  struct Config {
+    ReportPredictor::Config report{};
+    DecisionLearner::Config learner{};
+    bool use_report_predictor = true;  // Fig. 18 ablation
+    bool sanity_checks = true;         // RAT-context action-space reduction
+    // Similarity weights (support, length, freshness), §7.2.
+    // Length dominates: a longer (more specific) matching pattern beats a
+    // shorter one regardless of support, mirroring prefix-projection order.
+    double w_support = 1.0;
+    double w_length = 2.5;
+    double w_freshness = 0.5;
+    long freshness_scale = 50;  // phases over which freshness decays
+    // A pattern participates in matching only once it has been confirmed
+    // this many times (startup predictions stay conservative).
+    int min_support = 5;
+    // A prediction is emitted only after the same HO type matched this many
+    // consecutive ticks (debounces single-tick forecast noise).
+    int confirm_ticks = 6;
+    // Once emitted, a prediction is held this long (unless a HO command
+    // arrives) so momentary forecast dropouts do not flap the output.
+    Seconds prediction_hold = 1.0;
+  };
+
+  Prognos(std::vector<ran::EventConfig> event_configs, Config config);
+
+  // Feed one tick; returns the current prediction for the upcoming window.
+  PrognosPrediction tick(const PrognosInput& input);
+
+  // Seed the learner (§9 startup mitigation).
+  void bootstrap_with_frequent_patterns();
+  // Seed the learner with transferred patterns (e.g. from pattern_store.h —
+  // a model learned in a region with a similar deployment strategy).
+  void bootstrap_with(const std::vector<Pattern>& patterns);
+
+  const DecisionLearner& learner() const { return learner_; }
+
+  // Override the ho_score table (e.g. re-calibrated from local traces).
+  void set_ho_scores(std::map<ran::HoType, double> scores);
+
+ private:
+  bool sanity_ok(ran::HoType ho, const PrognosInput& input) const;
+  double similarity(const Pattern& p) const;
+  // Context-aware SCGR <-> SCGC adjudication: release and change share MR
+  // suffixes (an [A2] suffix is registered for both), but the carrier picks
+  // SCGC exactly when an NR-B1 was reported in the same phase.
+  ran::HoType adjudicate(ran::HoType ho, const std::vector<EventKey>& candidate,
+                         const PrognosInput& input) const;
+
+  Config config_;
+  std::vector<ran::EventConfig> configs_;
+  ReportPredictor report_predictor_;
+  DecisionLearner learner_;
+  std::map<ran::HoType, double> ho_scores_;
+  std::vector<PredictedReport> pending_predicted_;
+  PrognosPrediction held_{};
+  Seconds held_until_ = -1.0;
+  std::optional<ran::HoType> last_match_;
+  int consecutive_matches_ = 0;
+};
+
+}  // namespace p5g::core

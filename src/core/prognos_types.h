@@ -1,0 +1,70 @@
+// Shared types of the Prognos pipeline (§7.2, Fig. 17).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/units.h"
+#include "radio/band.h"
+#include "ran/events.h"
+#include "ran/handover.h"
+#include "ran/rrc.h"
+
+namespace p5g::core {
+
+// What the UE can observe per tick without carrier cooperation: physical-
+// layer RRS values per visible cell, RRC-layer measurement reports it sent,
+// and the HO commands it received (type visible from the reconfiguration
+// contents).
+struct PrognosInput {
+  Seconds time = 0.0;
+
+  struct CellObs {
+    int pci = -1;
+    int tower_id = -1;  // grouping hint (same-gNB detection); -1 if unknown
+    radio::Band band{};
+    Dbm rsrp = -140.0;
+  };
+  std::vector<CellObs> observed;
+
+  int lte_serving_pci = -1;  // -1 when not attached
+  int nr_serving_pci = -1;
+
+  std::vector<ran::MeasurementReport> reports;  // MRs actually sent this tick
+  // HO commands received this tick (decision_time is when the command's
+  // procedure started; used to close learning phases).
+  std::vector<ran::HandoverRecord> ho_commands;
+};
+
+// An event identity inside a pattern: which event on which leg.
+struct EventKey {
+  ran::EventType type{};
+  ran::MeasScope scope{};
+
+  friend bool operator==(EventKey a, EventKey b) {
+    return a.type == b.type && a.scope == b.scope;
+  }
+  friend auto operator<=>(EventKey a, EventKey b) = default;
+};
+
+// A learned decision pattern: MR sequence -> HO type.
+struct Pattern {
+  std::vector<EventKey> sequence;
+  ran::HoType ho{};
+  int support = 1;            // times observed
+  long last_seen_phase = 0;   // phase counter at last observation
+};
+
+struct PrognosPrediction {
+  // Predicted HO type for the upcoming prediction window; empty = "no HO".
+  std::optional<ran::HoType> ho;
+  // Expected throughput-change ratio in (0, inf); 1 = no change (§7.2).
+  double ho_score = 1.0;
+  // How far ahead of the (predicted) decision instant we are, in seconds.
+  Seconds lead_time = 0.0;
+  // True when the triggering MRs were *predicted* by the report predictor
+  // rather than already observed (Fig. 18's lead-time improvement).
+  bool from_predicted_reports = false;
+};
+
+}  // namespace p5g::core

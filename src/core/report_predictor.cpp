@@ -1,0 +1,219 @@
+#include "core/report_predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p5g::core {
+
+ReportPredictor::ReportPredictor(std::vector<ran::EventConfig> event_configs,
+                                 Config config)
+    : configs_(std::move(event_configs)), config_(config) {
+  mirrors_.reserve(configs_.size());
+  for (const ran::EventConfig& c : configs_) mirrors_.emplace_back(c);
+}
+
+bool ReportPredictor::mirror_reported(EventKey key) const {
+  for (const ran::EventMonitor& m : mirrors_) {
+    if (m.config().type == key.type && m.config().scope == key.scope) {
+      return m.reported();
+    }
+  }
+  return false;
+}
+
+ran::MeasSnapshot ReportPredictor::actual_snapshot(const ran::EventConfig& cfg,
+                                                   const PrognosInput& input) const {
+  ran::MeasSnapshot snap;
+  const int serving_pci = cfg.scope == ran::MeasScope::kServingNr
+                              ? input.nr_serving_pci
+                              : input.lte_serving_pci;
+  if (serving_pci < 0) return snap;
+  int serving_tower = -1;
+  for (const PrognosInput::CellObs& o : input.observed) {
+    if (o.pci == serving_pci &&
+        radio::band_rat(o.band) == (cfg.scope == ran::MeasScope::kServingNr
+                                        ? radio::Rat::kNr
+                                        : radio::Rat::kLte)) {
+      snap.serving_rsrp = o.rsrp;
+      snap.serving_valid = true;
+      serving_tower = o.tower_id;
+      break;
+    }
+  }
+  for (const PrognosInput::CellObs& o : input.observed) {
+    if (radio::band_rat(o.band) != cfg.neighbor_rat) continue;
+    if (o.pci == serving_pci) continue;
+    if (cfg.type == ran::EventType::kA3 && cfg.scope == ran::MeasScope::kServingNr &&
+        config_.arch == ran::Arch::kNsa && o.tower_id != serving_tower) {
+      continue;  // NSA NR-A3: same-gNB candidates only
+    }
+    if (cfg.type == ran::EventType::kB1 && cfg.scope == ran::MeasScope::kServingNr &&
+        serving_tower >= 0 && o.tower_id == serving_tower) {
+      continue;  // NR-B1: different-gNB candidates only
+    }
+    if (!snap.neighbor_valid || o.rsrp > snap.best_neighbor_rsrp) {
+      snap.best_neighbor_rsrp = o.rsrp;
+      snap.best_neighbor_pci = o.pci;
+      snap.neighbor_valid = true;
+    }
+  }
+  return snap;
+}
+
+const ReportPredictor::PerCell* ReportPredictor::find_cell(int pci) const {
+  const auto it = cells_.find(pci);
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+ReportPredictor::NeighborForecast ReportPredictor::best_neighbor(
+    radio::Rat rat, int exclude_pci, int same_tower, int exclude_tower,
+    std::size_t steps) const {
+  NeighborForecast out;
+  for (const auto& [pci, cell] : cells_) {
+    if (pci == exclude_pci) continue;
+    if (radio::band_rat(cell.band) != rat) continue;
+    if (same_tower >= 0 && cell.tower_id != same_tower) continue;
+    if (exclude_tower >= 0 && cell.tower_id == exclude_tower) continue;
+    if (!cell.forecaster.ready()) continue;
+    const double v = cell.forecaster.forecast(steps);
+    if (!out.valid || v > out.rsrp) {
+      out.valid = true;
+      out.rsrp = v;
+      out.sigma = cell.forecaster.residual_sigma();
+    }
+  }
+  return out;
+}
+
+double ReportPredictor::forecast_rsrp(int pci, std::size_t steps) const {
+  const PerCell* c = find_cell(pci);
+  return c && c->forecaster.ready() ? c->forecaster.forecast(steps) : -140.0;
+}
+
+std::vector<PredictedReport> ReportPredictor::update(const PrognosInput& input) {
+  const auto history_samples =
+      static_cast<std::size_t>(config_.history_window * config_.tick_hz);
+
+  // 1. Ingest observations.
+  for (const PrognosInput::CellObs& o : input.observed) {
+    auto [it, inserted] = cells_.try_emplace(
+        o.pci, PerCell{ml::SignalForecaster(history_samples, config_.smooth_radius),
+                       o.band, o.tower_id, input.time});
+    it->second.forecaster.add(o.rsrp);
+    it->second.band = o.band;
+    it->second.tower_id = o.tower_id;
+    it->second.last_seen = input.time;
+  }
+  // 2. Forget cells that left the neighborhood.
+  std::erase_if(cells_, [&](const auto& kv) {
+    return input.time - kv.second.last_seen > 3.0;
+  });
+  // 3. Expire outstanding predictions.
+  std::erase_if(outstanding_, [&](const PredictedReport& p) {
+    return p.expected_time < input.time;
+  });
+
+  // 3b. Advance the mirrored UE monitors on the actual observations so the
+  // predictor knows which events are currently latched, and reset them when
+  // a HO command reconfigures measurements.
+  if (!input.ho_commands.empty()) {
+    for (ran::EventMonitor& m : mirrors_) m.reset();
+    outstanding_.clear();
+  }
+  for (ran::EventMonitor& m : mirrors_) {
+    // Mirror the network's gating: the SCG-addition B1 is deconfigured
+    // while an SCG is attached.
+    if (m.config().type == ran::EventType::kB1 &&
+        m.config().scope == ran::MeasScope::kServingLte &&
+        input.nr_serving_pci >= 0) {
+      m.reset();
+      continue;
+    }
+    m.evaluate(input.time, actual_snapshot(m.config(), input));
+  }
+
+  // 4. Evaluate every configured event on the forecasted trajectories.
+  std::vector<PredictedReport> fresh;
+  const double dt = 1.0 / config_.tick_hz;
+  const auto window = static_cast<std::size_t>(config_.prediction_window * config_.tick_hz);
+
+  for (const ran::EventConfig& base_cfg : configs_) {
+    ran::EventConfig cfg = base_cfg;
+    if (cfg.type == ran::EventType::kB1 && cfg.scope == ran::MeasScope::kServingLte &&
+        input.nr_serving_pci >= 0) {
+      continue;  // SCG already attached; B1 is deconfigured
+    }
+    const int serving_pci = cfg.scope == ran::MeasScope::kServingNr
+                                ? input.nr_serving_pci
+                                : input.lte_serving_pci;
+    if (serving_pci < 0) continue;
+    const PerCell* serving = find_cell(serving_pci);
+    if (!serving || !serving->forecaster.ready()) continue;
+    const double serving_sigma = serving->forecaster.residual_sigma();
+    const double base_hysteresis = cfg.hysteresis;
+
+    const EventKey key{cfg.type, cfg.scope};
+    const bool already_outstanding =
+        std::any_of(outstanding_.begin(), outstanding_.end(),
+                    [&](const PredictedReport& p) { return p.key == key; });
+    if (already_outstanding) continue;
+    // The real monitor is latched: the event already fired in this phase
+    // and cannot fire again until its leaving condition clears.
+    if (mirror_reported(key)) continue;
+
+    const auto ttt_samples = std::max<std::size_t>(
+        1, static_cast<std::size_t>(cfg.ttt_ms / 1000.0 * config_.tick_hz));
+
+    // Find the earliest onset where the condition holds for TTT samples.
+    std::size_t held = 0;
+    std::size_t fire_step = 0;
+    for (std::size_t s = 1; s <= window && fire_step == 0; ++s) {
+      ran::MeasSnapshot snap;
+      snap.serving_rsrp = serving->forecaster.forecast(s);
+      snap.serving_valid = true;
+
+      NeighborForecast nbr;
+      if (cfg.type == ran::EventType::kA3 && cfg.scope == ran::MeasScope::kServingNr &&
+          config_.arch == ran::Arch::kNsa) {
+        nbr = best_neighbor(cfg.neighbor_rat, serving_pci, serving->tower_id, -1, s);
+      } else if (cfg.type == ran::EventType::kB1 &&
+                 cfg.scope == ran::MeasScope::kServingNr) {
+        nbr = best_neighbor(cfg.neighbor_rat, serving_pci, -1, serving->tower_id, s);
+      } else {
+        nbr = best_neighbor(cfg.neighbor_rat, serving_pci, -1, -1, s);
+      }
+      snap.neighbor_valid = nbr.valid;
+      snap.best_neighbor_rsrp = nbr.rsrp;
+
+      // Adaptive margin: relative (two-signal) conditions carry the noise
+      // of both fits.
+      const bool relative = cfg.type == ran::EventType::kA3 ||
+                            cfg.type == ran::EventType::kA5 ||
+                            cfg.type == ran::EventType::kA6;
+      const double noise =
+          relative && nbr.valid
+              ? std::sqrt(serving_sigma * serving_sigma + nbr.sigma * nbr.sigma)
+              : serving_sigma;
+      cfg.hysteresis = base_hysteresis +
+                       std::clamp(config_.margin_sigma_mult * noise,
+                                  config_.margin_min_db, config_.margin_max_db);
+
+      if (ran::EventMonitor::entering_condition(cfg, snap)) {
+        if (++held >= ttt_samples) fire_step = s;
+      } else {
+        held = 0;
+      }
+    }
+    if (fire_step > 0) {
+      PredictedReport p;
+      p.key = key;
+      p.predicted_at = input.time;
+      p.expected_time = input.time + static_cast<double>(fire_step) * dt;
+      fresh.push_back(p);
+      outstanding_.push_back(p);
+    }
+  }
+  return fresh;
+}
+
+}  // namespace p5g::core

@@ -1,0 +1,94 @@
+// Report predictor (§7.2): forecasts the measurement reports the UE will
+// send in the next prediction window.
+//
+// Per visible cell it keeps a light-weight signal forecaster (triangular-
+// kernel smoothing + linear extrapolation over the history window). Each
+// tick it evaluates the serving cell's configured event triggers against
+// the *predicted* serving/neighbor RRS trajectories; if a trigger condition
+// would hold for its time-to-trigger inside the prediction window, the
+// corresponding MR is emitted as a prediction (with its lead time).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/prognos_types.h"
+#include "ml/regression.h"
+#include "ran/deployment.h"
+
+namespace p5g::core {
+
+struct PredictedReport {
+  EventKey key{};
+  Seconds predicted_at = 0.0;   // when the prediction was made
+  Seconds expected_time = 0.0;  // when the MR is expected to be raised
+};
+
+class ReportPredictor {
+ public:
+  struct Config {
+    double tick_hz = 20.0;
+    Seconds history_window = 1.0;     // paper's evaluation uses 1 s
+    Seconds prediction_window = 1.0;
+    std::size_t smooth_radius = 4;    // triangular kernel half-width
+    // Extra hysteresis applied when evaluating *predicted* trajectories, so
+    // marginal forecasts do not generate spurious report predictions. The
+    // margin adapts to how noisy the serving signal currently is:
+    //   margin = clamp(margin_sigma_mult * residual_sigma, min, max)
+    double margin_sigma_mult = 2.4;
+    Db margin_min_db = 1.0;
+    Db margin_max_db = 3.5;
+    // NSA vs SA changes neighbor-candidate semantics for NR-A3 (same-gNB
+    // beams in NSA, any gNB in SA).
+    ran::Arch arch = ran::Arch::kNsa;
+  };
+
+  ReportPredictor(std::vector<ran::EventConfig> event_configs, Config config);
+
+  // Feed this tick's observations; returns MRs predicted to fire within the
+  // prediction window (deduplicated: an event already predicted and still
+  // pending is not re-emitted).
+  std::vector<PredictedReport> update(const PrognosInput& input);
+
+  // Forecast RSRP of a pci `steps` ahead (exposed for tests/analysis).
+  double forecast_rsrp(int pci, std::size_t steps) const;
+
+  // Latch state of the mirrored UE event monitor for (type, scope); used by
+  // Prognos for context checks.
+  bool mirror_reported(EventKey key) const;
+
+ private:
+  struct PerCell {
+    ml::SignalForecaster forecaster;
+    radio::Band band{};
+    int tower_id = -1;
+    Seconds last_seen = 0.0;
+  };
+
+  // Builds the actual-measurement snapshot a config's monitor would see.
+  ran::MeasSnapshot actual_snapshot(const ran::EventConfig& cfg,
+                                    const PrognosInput& input) const;
+
+  const PerCell* find_cell(int pci) const;
+  // Strongest forecasted neighbor at `steps` ahead, by RAT, with tower
+  // filtering (same semantics as the network-side snapshot construction).
+  struct NeighborForecast {
+    bool valid = false;
+    double rsrp = -140.0;
+    double sigma = 0.0;  // residual noise of the chosen neighbor's fit
+  };
+  NeighborForecast best_neighbor(radio::Rat rat, int exclude_pci, int same_tower,
+                                 int exclude_tower, std::size_t steps) const;
+
+  std::vector<ran::EventConfig> configs_;
+  Config config_;
+  std::map<int, PerCell> cells_;  // by pci
+  // Events already predicted whose expected time has not yet passed.
+  std::vector<PredictedReport> outstanding_;
+  // Mirrors of the UE's real event monitors, fed with actual observations.
+  // A latched mirror means the event has already been reported in this
+  // phase, so predicting it again would be wrong.
+  std::vector<ran::EventMonitor> mirrors_;
+};
+
+}  // namespace p5g::core

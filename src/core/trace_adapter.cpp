@@ -1,0 +1,21 @@
+#include "core/trace_adapter.h"
+
+namespace p5g::core {
+
+PrognosInput from_tick(const trace::TickRecord& tick) {
+  PrognosInput in;
+  in.time = tick.time;
+  in.lte_serving_pci = tick.lte_pci;
+  in.nr_serving_pci = tick.nr_attached ? tick.nr_pci : -1;
+  in.observed.reserve(tick.observed.size());
+  for (const trace::ObservedCell& o : tick.observed) {
+    in.observed.push_back({o.pci, o.tower_id, o.band, o.rrs.rsrp});
+  }
+  in.reports = tick.reports;
+  // The UE sees the RRCReconfiguration at the end of T1, not the (network-
+  // internal) decision instant.
+  in.ho_commands = tick.ho_commands;
+  return in;
+}
+
+}  // namespace p5g::core

@@ -1,0 +1,12 @@
+// Adapter: feed recorded traces into Prognos (trace-driven emulation, §7.3).
+#pragma once
+
+#include "core/prognos_types.h"
+#include "trace/trace.h"
+
+namespace p5g::core {
+
+// Converts one trace tick into the UE-visible Prognos input.
+PrognosInput from_tick(const trace::TickRecord& tick);
+
+}  // namespace p5g::core

@@ -1,0 +1,79 @@
+#include "energy/power_model.h"
+
+namespace p5g::energy {
+namespace {
+
+constexpr double kPowerPerMessage = 0.08;  // W per RRC/MAC message
+
+double base_power(ran::HoType type, radio::Band band) {
+  switch (ran::ho_arch(type)) {
+    case ran::HoArch::kLte:
+      return 0.40;
+    case ran::HoArch::kSa:
+      return 0.60;
+    case ran::HoArch::kNsa:
+      // Both radios are involved in NSA procedures; mmWave's improved
+      // (short-format) RACH makes its per-HO power lower than sub-6.
+      return band == radio::Band::kNrMmWave ? 0.55 : 1.10;
+  }
+  return 0.5;
+}
+
+Seconds tail_window(radio::Band band, ran::HoArch arch) {
+  if (arch == ran::HoArch::kLte) return 0.20;
+  if (arch == ran::HoArch::kSa) return 0.25;
+  return band == radio::Band::kNrMmWave ? 0.28 : 0.35;
+}
+
+}  // namespace
+
+Watts ho_power(ran::HoType type, radio::Band band, const ran::SignalingCounts& s) {
+  return base_power(type, band) + kPowerPerMessage * (s.rrc + s.mac);
+}
+
+Seconds ho_energy_window(radio::Band band, const ran::HoTiming& timing) {
+  // The band argument decides the tail; arch is inferred at call sites via
+  // ho_energy_joules. Here we return duration + sub-6 NSA tail by default.
+  return ms_to_s(timing.total_ms()) + tail_window(band, ran::HoArch::kNsa);
+}
+
+double ho_energy_joules(const ran::HandoverRecord& rec) {
+  const radio::Band band = ran::ho_is_5g_procedure(rec.type) ? rec.dst_band
+                                                             : rec.src_band;
+  const Watts p = ho_power(rec.type, band, rec.signaling);
+  const Seconds window =
+      ms_to_s(rec.timing.total_ms()) + tail_window(band, ran::ho_arch(rec.type));
+  return p * window;
+}
+
+MilliampHours ho_energy_mah(const ran::HandoverRecord& rec) {
+  return joules_to_mah(ho_energy_joules(rec));
+}
+
+EnergySummary summarize(const std::vector<ran::HandoverRecord>& hos) {
+  EnergySummary s;
+  double power_acc = 0.0;
+  for (const ran::HandoverRecord& h : hos) {
+    ++s.handovers;
+    s.joules += ho_energy_joules(h);
+    const radio::Band band =
+        ran::ho_is_5g_procedure(h.type) ? h.dst_band : h.src_band;
+    power_acc += ho_power(h.type, band, h.signaling);
+  }
+  s.mah = joules_to_mah(s.joules);
+  if (s.handovers > 0) s.mean_power = power_acc / s.handovers;
+  return s;
+}
+
+double equivalent_download_gb(radio::Band band, MilliampHours mah) {
+  // GB per mAh from the quoted throughput-power slopes.
+  const double gb_per_mah = band == radio::Band::kNrMmWave ? 75.4 / 81.7 : 4.3 / 34.7;
+  return gb_per_mah * mah;
+}
+
+double equivalent_upload_gb(radio::Band band, MilliampHours mah) {
+  const double gb_per_mah = band == radio::Band::kNrMmWave ? 14.5 / 81.7 : 2.0 / 34.7;
+  return gb_per_mah * mah;
+}
+
+}  // namespace p5g::energy

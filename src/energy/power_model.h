@@ -1,0 +1,49 @@
+// UE energy model for handovers (§5.3 / Fig. 10).
+//
+// The paper measures, with a Monsoon power monitor, the extra power a HO
+// draws over baseline and finds it positively correlated with the number of
+// HO signaling messages. We model per-HO power as
+//     P = base(arch/band) + k * (rrc + mac messages)
+// and per-HO energy as P integrated over the HO duration plus a band-
+// dependent "elevated radio state" tail window.
+//
+// Calibration targets (from the paper):
+//   * LTE HO        ~0.78 W, ~0.22 J  (3.4 mAh for an hour at 130 km/h)
+//   * NSA low-band  ~1.2-2.3 x LTE per-HO power, ~0.86 J (34.7 mAh/h)
+//   * NSA mmWave    single HO ~54 % more energy-efficient than low-band,
+//                   but 1.9-2.4 x MORE energy per km due to HO frequency
+#pragma once
+
+#include "common/units.h"
+#include "ran/handover.h"
+
+namespace p5g::energy {
+
+// Average extra power drawn while performing one HO (above baseline).
+Watts ho_power(ran::HoType type, radio::Band band, const ran::SignalingCounts& s);
+
+// Window over which that power is drawn: T1 + T2 plus the post-HO elevated
+// radio tail.
+Seconds ho_energy_window(radio::Band band, const ran::HoTiming& timing);
+
+// Energy of one HO in joules / mAh.
+double ho_energy_joules(const ran::HandoverRecord& rec);
+MilliampHours ho_energy_mah(const ran::HandoverRecord& rec);
+
+// Aggregate over a set of HOs.
+struct EnergySummary {
+  int handovers = 0;
+  double joules = 0.0;
+  MilliampHours mah = 0.0;
+  Watts mean_power = 0.0;  // mean per-HO power
+};
+EnergySummary summarize(const std::vector<ran::HandoverRecord>& hos);
+
+// Equivalent bulk data volume (GB) transferable with `mah`, using the
+// throughput-power slopes of Narayanan et al. (Table 8 of [54]) that the
+// paper quotes: NSA low-band ~4.3 GB down / 2.0 GB up per 34.7 mAh;
+// mmWave ~75.4 GB down / 14.5 GB up per 81.7 mAh.
+double equivalent_download_gb(radio::Band band, MilliampHours mah);
+double equivalent_upload_gb(radio::Band band, MilliampHours mah);
+
+}  // namespace p5g::energy

@@ -1,0 +1,101 @@
+#include "geo/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p5g::geo {
+
+Meters distance(Point a, Point b) { return std::hypot(a.x - b.x, a.y - b.y); }
+
+double cross(Point o, Point a, Point b) {
+  return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+
+std::vector<Point> convex_hull(std::vector<Point> pts) {
+  std::sort(pts.begin(), pts.end(), [](Point a, Point b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  const std::size_t n = pts.size();
+  if (n < 3) return pts;
+
+  std::vector<Point> hull(2 * n);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) {  // lower hull
+    while (k >= 2 && cross(hull[k - 2], hull[k - 1], pts[i]) <= 0) --k;
+    hull[k++] = pts[i];
+  }
+  const std::size_t lower = k + 1;
+  for (std::size_t i = n - 1; i-- > 0;) {  // upper hull
+    while (k >= lower && cross(hull[k - 2], hull[k - 1], pts[i]) <= 0) --k;
+    hull[k++] = pts[i];
+  }
+  hull.resize(k - 1);
+  return hull;
+}
+
+double polygon_area(std::span<const Point> poly) {
+  if (poly.size() < 3) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    const Point a = poly[i];
+    const Point b = poly[(i + 1) % poly.size()];
+    acc += a.x * b.y - b.x * a.y;
+  }
+  return acc / 2.0;
+}
+
+bool point_in_convex(std::span<const Point> hull, Point p) {
+  if (hull.size() < 3) return false;
+  for (std::size_t i = 0; i < hull.size(); ++i) {
+    const Point a = hull[i];
+    const Point b = hull[(i + 1) % hull.size()];
+    if (cross(a, b, p) < 0) return false;
+  }
+  return true;
+}
+
+std::vector<Point> convex_intersection(std::span<const Point> subject,
+                                       std::span<const Point> clip) {
+  std::vector<Point> output(subject.begin(), subject.end());
+  if (clip.size() < 3) return {};
+  for (std::size_t c = 0; c < clip.size() && !output.empty(); ++c) {
+    const Point ca = clip[c];
+    const Point cb = clip[(c + 1) % clip.size()];
+    std::vector<Point> input = std::move(output);
+    output.clear();
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      const Point cur = input[i];
+      const Point prev = input[(i + input.size() - 1) % input.size()];
+      const bool cur_in = cross(ca, cb, cur) >= 0;
+      const bool prev_in = cross(ca, cb, prev) >= 0;
+      if (cur_in) {
+        if (!prev_in) {
+          // Edge enters: add intersection of (prev,cur) with (ca,cb).
+          const double d1 = cross(ca, cb, prev);
+          const double d2 = cross(ca, cb, cur);
+          const double t = d1 / (d1 - d2);
+          output.push_back(prev + (cur - prev) * t);
+        }
+        output.push_back(cur);
+      } else if (prev_in) {
+        const double d1 = cross(ca, cb, prev);
+        const double d2 = cross(ca, cb, cur);
+        const double t = d1 / (d1 - d2);
+        output.push_back(prev + (cur - prev) * t);
+      }
+    }
+  }
+  return output;
+}
+
+double hull_overlap_ratio(std::span<const Point> a, std::span<const Point> b) {
+  const double area_a = std::abs(polygon_area(a));
+  const double area_b = std::abs(polygon_area(b));
+  if (area_a == 0.0 || area_b == 0.0) return 0.0;
+  const auto inter = convex_intersection(a, b);
+  const double area_i = std::abs(polygon_area(inter));
+  return area_i / std::min(area_a, area_b);
+}
+
+}  // namespace p5g::geo

@@ -1,0 +1,48 @@
+// Planar geometry on a local metric grid.
+//
+// The simulator works in a local tangent plane: positions are (x, y) in
+// metres. Convex hulls and polygon intersection implement the paper's §6.3
+// co-location heuristic (overlapping 4G/5G PCI footprints).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+
+namespace p5g::geo {
+
+struct Point {
+  Meters x = 0.0;
+  Meters y = 0.0;
+
+  friend Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+  friend Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+  friend Point operator*(Point a, double s) { return {a.x * s, a.y * s}; }
+  friend bool operator==(Point a, Point b) { return a.x == b.x && a.y == b.y; }
+};
+
+Meters distance(Point a, Point b);
+double cross(Point o, Point a, Point b);  // z of (a-o) x (b-o)
+
+// Andrew's monotone chain; returns hull in counter-clockwise order with no
+// duplicate endpoint. Degenerate inputs (<3 distinct points) return the
+// distinct points themselves.
+std::vector<Point> convex_hull(std::vector<Point> points);
+
+// Signed area of a simple polygon (positive for CCW orientation).
+double polygon_area(std::span<const Point> polygon);
+
+// True if `p` lies inside or on the boundary of convex polygon `hull` (CCW).
+bool point_in_convex(std::span<const Point> hull, Point p);
+
+// Sutherland–Hodgman clipping of convex `subject` against convex `clip`.
+// Both must be CCW. Returns the (possibly empty) intersection polygon.
+std::vector<Point> convex_intersection(std::span<const Point> subject,
+                                       std::span<const Point> clip);
+
+// Fraction of the smaller hull's area covered by the intersection, in [0,1].
+// This is the overlap score used by the co-location heuristic.
+double hull_overlap_ratio(std::span<const Point> a, std::span<const Point> b);
+
+}  // namespace p5g::geo

@@ -1,0 +1,42 @@
+// Routes: polylines a UE follows, plus generators for the drive/walk
+// scenarios the paper uses (inter-state freeway, city grid, downtown loop,
+// tourist walking loop).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/geometry.h"
+
+namespace p5g::geo {
+
+class Route {
+ public:
+  Route() = default;
+  explicit Route(std::vector<Point> waypoints);
+
+  // Position at arc-length `s` from the start (clamped to [0, length()]).
+  Point position_at(Meters s) const;
+  Meters length() const { return total_length_; }
+  bool loops() const { return loops_; }
+  void set_loops(bool loops) { loops_ = loops; }
+  const std::vector<Point>& waypoints() const { return waypoints_; }
+
+ private:
+  std::vector<Point> waypoints_;
+  std::vector<Meters> cumulative_;  // arc length up to waypoint i
+  Meters total_length_ = 0.0;
+  bool loops_ = false;
+};
+
+// A long, mostly-straight inter-state style route with gentle curves.
+Route make_freeway_route(Meters length, Rng& rng);
+
+// A Manhattan-style city drive: axis-aligned segments with 90-degree turns.
+Route make_city_route(Meters approx_length, Meters block, Rng& rng);
+
+// Closed rectangular-ish downtown loop (paper's D2: 25-minute walking loop).
+Route make_loop_route(Meters perimeter, Rng& rng);
+
+}  // namespace p5g::geo

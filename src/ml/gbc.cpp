@@ -1,0 +1,84 @@
+#include "ml/gbc.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p5g::ml {
+namespace {
+
+void softmax_inplace(std::vector<double>& scores) {
+  const double m = *std::max_element(scores.begin(), scores.end());
+  double sum = 0.0;
+  for (double& s : scores) {
+    s = std::exp(s - m);
+    sum += s;
+  }
+  for (double& s : scores) s /= sum;
+}
+
+}  // namespace
+
+void GradientBoostedClassifier::fit(std::span<const std::vector<double>> x,
+                                    std::span<const int> y) {
+  rounds_.clear();
+  const std::size_t n = x.size();
+  const auto k = static_cast<std::size_t>(config_.n_classes);
+  if (n == 0 || k < 2) return;
+
+  // Priors: class log-frequencies.
+  std::vector<double> counts(k, 1.0);  // Laplace smoothing
+  for (int label : y) counts[static_cast<std::size_t>(label)] += 1.0;
+  priors_.assign(k, 0.0);
+  for (std::size_t c = 0; c < k; ++c)
+    priors_[c] = std::log(counts[c] / static_cast<double>(n + k));
+
+  // Current raw scores F[c][i].
+  std::vector<std::vector<double>> f(k, std::vector<double>(n));
+  for (std::size_t c = 0; c < k; ++c)
+    std::fill(f[c].begin(), f[c].end(), priors_[c]);
+
+  std::vector<double> grad(n), hess(n);
+  std::vector<double> probs(k);
+  const double kk = static_cast<double>(k);
+
+  for (int round = 0; round < config_.n_rounds; ++round) {
+    rounds_.emplace_back(k);
+    for (std::size_t c = 0; c < k; ++c) {
+      // Softmax residuals: r_i = 1{y_i=c} - p_c(x_i); Newton weights
+      // h_i = p(1-p) * (k-1)/k (Friedman's multiclass leaf estimate).
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t cc = 0; cc < k; ++cc) probs[cc] = f[cc][i];
+        softmax_inplace(probs);
+        const double p = probs[c];
+        grad[i] = (static_cast<std::size_t>(y[i]) == c ? 1.0 : 0.0) - p;
+        hess[i] = std::max(1e-6, p * (1.0 - p)) * kk / (kk - 1.0);
+      }
+      RegressionTree& tree = rounds_.back()[c];
+      tree.fit(x, grad, hess, config_.tree);
+      for (std::size_t i = 0; i < n; ++i) {
+        f[c][i] += config_.learning_rate * tree.predict(x[i]);
+      }
+    }
+  }
+}
+
+std::vector<double> GradientBoostedClassifier::predict_proba(
+    std::span<const double> x) const {
+  const auto k = static_cast<std::size_t>(config_.n_classes);
+  std::vector<double> scores(priors_.empty() ? std::vector<double>(k, 0.0) : priors_);
+  scores.resize(k, 0.0);
+  for (const auto& round : rounds_) {
+    for (std::size_t c = 0; c < k; ++c) {
+      scores[c] += config_.learning_rate * round[c].predict(x);
+    }
+  }
+  softmax_inplace(scores);
+  return scores;
+}
+
+int GradientBoostedClassifier::predict(std::span<const double> x) const {
+  const std::vector<double> p = predict_proba(x);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+}  // namespace p5g::ml

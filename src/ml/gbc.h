@@ -1,0 +1,37 @@
+// Gradient Boosted Classifier — the Mei et al. [49] baseline: multiclass
+// softmax gradient boosting over lower-layer radio features.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ml/tree.h"
+
+namespace p5g::ml {
+
+class GradientBoostedClassifier {
+ public:
+  struct Config {
+    int n_rounds = 60;
+    double learning_rate = 0.15;
+    TreeConfig tree{};
+    int n_classes = 2;
+  };
+
+  explicit GradientBoostedClassifier(Config config) : config_(config) {}
+
+  // x: n samples x d features; y: class labels in [0, n_classes).
+  void fit(std::span<const std::vector<double>> x, std::span<const int> y);
+
+  std::vector<double> predict_proba(std::span<const double> x) const;
+  int predict(std::span<const double> x) const;
+  bool trained() const { return !rounds_.empty(); }
+
+ private:
+  Config config_;
+  std::vector<double> priors_;                       // initial log-odds
+  std::vector<std::vector<RegressionTree>> rounds_;  // [round][class]
+};
+
+}  // namespace p5g::ml

@@ -1,0 +1,41 @@
+#include "ml/linalg.h"
+
+#include <cmath>
+#include <utility>
+
+namespace p5g::ml {
+
+bool solve_linear_system(Matrix a, std::vector<double> b, std::vector<double>& x) {
+  const std::size_t n = a.rows();
+  if (n == 0 || a.cols() != n || b.size() != n) return false;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a.at(r, col)) > std::abs(a.at(pivot, col))) pivot = r;
+    }
+    if (std::abs(a.at(pivot, col)) < 1e-12) return false;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a.at(col, c), a.at(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    // Eliminate below.
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a.at(r, col) / a.at(col, col);
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a.at(r, c) -= f * a.at(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  // Back substitution.
+  x.assign(n, 0.0);
+  for (std::size_t r = n; r-- > 0;) {
+    double acc = b[r];
+    for (std::size_t c = r + 1; c < n; ++c) acc -= a.at(r, c) * x[c];
+    x[r] = acc / a.at(r, r);
+  }
+  return true;
+}
+
+}  // namespace p5g::ml

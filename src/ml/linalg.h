@@ -1,0 +1,35 @@
+// Tiny dense linear algebra for the ML components: row-major matrices,
+// Gaussian elimination with partial pivoting. Sized for the small systems
+// the library solves (ridge regression over a few dozen features).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace p5g::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  std::span<double> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Solves A x = b in place (A square). Returns false when singular.
+bool solve_linear_system(Matrix a, std::vector<double> b, std::vector<double>& x);
+
+}  // namespace p5g::ml

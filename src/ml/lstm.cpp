@@ -1,0 +1,290 @@
+#include "ml/lstm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace p5g::ml {
+namespace {
+
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+void softmax_inplace(std::vector<double>& v) {
+  const double m = *std::max_element(v.begin(), v.end());
+  double sum = 0.0;
+  for (double& s : v) {
+    s = std::exp(s - m);
+    sum += s;
+  }
+  for (double& s : v) s /= sum;
+}
+
+// Minimal Adam optimizer over a flat parameter vector.
+class Adam {
+ public:
+  Adam(std::size_t n, double lr) : lr_(lr), m_(n, 0.0), v_(n, 0.0) {}
+  void step(std::vector<double>& params, const std::vector<double>& grad) {
+    ++t_;
+    const double bc1 = 1.0 - std::pow(0.9, t_);
+    const double bc2 = 1.0 - std::pow(0.999, t_);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      m_[i] = 0.9 * m_[i] + 0.1 * grad[i];
+      v_[i] = 0.999 * v_[i] + 0.001 * grad[i] * grad[i];
+      params[i] -= lr_ * (m_[i] / bc1) / (std::sqrt(v_[i] / bc2) + 1e-8);
+    }
+  }
+
+ private:
+  double lr_;
+  int t_ = 0;
+  std::vector<double> m_, v_;
+};
+
+}  // namespace
+
+StackedLstm::StackedLstm(Config config) : config_(config) {
+  Rng rng(config_.seed);
+  layers_.resize(static_cast<std::size_t>(config_.layers));
+  for (int l = 0; l < config_.layers; ++l) {
+    LayerParams& p = layers_[static_cast<std::size_t>(l)];
+    p.input_dim = l == 0 ? config_.input_dim : config_.hidden;
+    p.hidden = config_.hidden;
+    const std::size_t w_size =
+        static_cast<std::size_t>(4 * p.hidden) * static_cast<std::size_t>(p.input_dim + p.hidden);
+    const double scale = 1.0 / std::sqrt(static_cast<double>(p.input_dim + p.hidden));
+    p.w.resize(w_size);
+    for (double& w : p.w) w = rng.normal(0.0, scale);
+    p.b.assign(static_cast<std::size_t>(4 * p.hidden), 0.0);
+    // Forget-gate bias starts positive (standard trick for gradient flow).
+    for (int h = 0; h < p.hidden; ++h) p.b[static_cast<std::size_t>(p.hidden + h)] = 1.0;
+  }
+  out_w_.resize(static_cast<std::size_t>(config_.n_classes * config_.hidden));
+  const double out_scale = 1.0 / std::sqrt(static_cast<double>(config_.hidden));
+  for (double& w : out_w_) w = rng.normal(0.0, out_scale);
+  out_b_.assign(static_cast<std::size_t>(config_.n_classes), 0.0);
+}
+
+void StackedLstm::forward_layer(const LayerParams& p, const Sequence& in,
+                                LayerCache& cache) const {
+  const std::size_t steps = in.size();
+  const auto h = static_cast<std::size_t>(p.hidden);
+  const auto d = static_cast<std::size_t>(p.input_dim);
+  cache.x = in;
+  cache.i.assign(steps, std::vector<double>(h));
+  cache.f.assign(steps, std::vector<double>(h));
+  cache.g.assign(steps, std::vector<double>(h));
+  cache.o.assign(steps, std::vector<double>(h));
+  cache.c.assign(steps, std::vector<double>(h));
+  cache.h.assign(steps, std::vector<double>(h));
+  cache.tanh_c.assign(steps, std::vector<double>(h));
+
+  std::vector<double> h_prev(h, 0.0), c_prev(h, 0.0);
+  for (std::size_t t = 0; t < steps; ++t) {
+    for (std::size_t j = 0; j < 4 * h; ++j) {
+      double z = p.b[j];
+      const double* wrow = p.w.data() + j * (d + h);
+      for (std::size_t k = 0; k < d; ++k) z += wrow[k] * in[t][k];
+      for (std::size_t k = 0; k < h; ++k) z += wrow[d + k] * h_prev[k];
+      const std::size_t gate = j / h, unit = j % h;
+      switch (gate) {
+        case 0: cache.i[t][unit] = sigmoid(z); break;
+        case 1: cache.f[t][unit] = sigmoid(z); break;
+        case 2: cache.g[t][unit] = std::tanh(z); break;
+        case 3: cache.o[t][unit] = sigmoid(z); break;
+      }
+    }
+    for (std::size_t u = 0; u < h; ++u) {
+      cache.c[t][u] = cache.f[t][u] * c_prev[u] + cache.i[t][u] * cache.g[t][u];
+      cache.tanh_c[t][u] = std::tanh(cache.c[t][u]);
+      cache.h[t][u] = cache.o[t][u] * cache.tanh_c[t][u];
+    }
+    h_prev = cache.h[t];
+    c_prev = cache.c[t];
+  }
+}
+
+Sequence StackedLstm::backward_layer(const LayerParams& p, const LayerCache& cache,
+                                     const Sequence& grad_h_top, std::vector<double>& gw,
+                                     std::vector<double>& gb) const {
+  const std::size_t steps = cache.x.size();
+  const auto h = static_cast<std::size_t>(p.hidden);
+  const auto d = static_cast<std::size_t>(p.input_dim);
+  Sequence grad_x(steps, std::vector<double>(d, 0.0));
+  std::vector<double> dh_next(h, 0.0), dc_next(h, 0.0);
+  std::vector<double> dz(4 * h);
+  const std::vector<double> zeros(h, 0.0);
+
+  for (std::size_t t = steps; t-- > 0;) {
+    std::vector<double> dh(h);
+    for (std::size_t u = 0; u < h; ++u) dh[u] = grad_h_top[t][u] + dh_next[u];
+
+    std::vector<double> dc(h);
+    for (std::size_t u = 0; u < h; ++u) {
+      const double tc = cache.tanh_c[t][u];
+      dc[u] = dh[u] * cache.o[t][u] * (1.0 - tc * tc) + dc_next[u];
+    }
+    const std::vector<double>& c_prev = t > 0 ? cache.c[t - 1] : zeros;
+    for (std::size_t u = 0; u < h; ++u) {
+      const double di = dc[u] * cache.g[t][u];
+      const double df = dc[u] * c_prev[u];
+      const double dg = dc[u] * cache.i[t][u];
+      const double do_ = dh[u] * cache.tanh_c[t][u];
+      dz[0 * h + u] = di * cache.i[t][u] * (1.0 - cache.i[t][u]);
+      dz[1 * h + u] = df * cache.f[t][u] * (1.0 - cache.f[t][u]);
+      dz[2 * h + u] = dg * (1.0 - cache.g[t][u] * cache.g[t][u]);
+      dz[3 * h + u] = do_ * cache.o[t][u] * (1.0 - cache.o[t][u]);
+      dc_next[u] = dc[u] * cache.f[t][u];
+    }
+
+    std::fill(dh_next.begin(), dh_next.end(), 0.0);
+    const std::vector<double>& h_prev = t > 0 ? cache.h[t - 1] : zeros;
+    for (std::size_t j = 0; j < 4 * h; ++j) {
+      const double dzj = dz[j];
+      if (dzj == 0.0) continue;
+      double* gwrow = gw.data() + j * (d + h);
+      const double* wrow = p.w.data() + j * (d + h);
+      for (std::size_t k = 0; k < d; ++k) {
+        gwrow[k] += dzj * cache.x[t][k];
+        grad_x[t][k] += dzj * wrow[k];
+      }
+      for (std::size_t k = 0; k < h; ++k) {
+        gwrow[d + k] += dzj * h_prev[k];
+        dh_next[k] += dzj * wrow[d + k];
+      }
+      gb[j] += dzj;
+    }
+  }
+  return grad_x;
+}
+
+void StackedLstm::fit(std::span<const Sequence> sequences, std::span<const int> labels) {
+  if (sequences.empty()) return;
+  Rng rng(config_.seed ^ 0xBEEF);
+  const auto h = static_cast<std::size_t>(config_.hidden);
+  const auto k = static_cast<std::size_t>(config_.n_classes);
+
+  // Subsample (class-balanced-ish: keep all minority-class sequences).
+  std::vector<std::size_t> order(sequences.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (sequences.size() > config_.max_train_sequences) {
+    // Shuffle, then prefer positive (non-zero label) samples.
+    for (std::size_t i = order.size(); i-- > 1;) {
+      std::swap(order[i], order[rng.uniform_index(i + 1)]);
+    }
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return (labels[a] != 0) > (labels[b] != 0);
+    });
+    order.resize(config_.max_train_sequences);
+    for (std::size_t i = order.size(); i-- > 1;) {
+      std::swap(order[i], order[rng.uniform_index(i + 1)]);
+    }
+  }
+
+  std::vector<Adam> opts;
+  for (const LayerParams& p : layers_) opts.emplace_back(p.w.size() + p.b.size(), config_.learning_rate);
+  Adam out_opt(out_w_.size() + out_b_.size(), config_.learning_rate);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (std::size_t n : order) {
+      const Sequence& seq = sequences[n];
+      if (seq.empty()) continue;
+
+      // Forward through the stack.
+      std::vector<LayerCache> caches(layers_.size());
+      const Sequence* in = &seq;
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        forward_layer(layers_[l], *in, caches[l]);
+        in = &caches[l].h;
+      }
+      const std::vector<double>& top = caches.back().h.back();
+
+      std::vector<double> logits(k);
+      for (std::size_t c = 0; c < k; ++c) {
+        double z = out_b_[c];
+        for (std::size_t u = 0; u < h; ++u) z += out_w_[c * h + u] * top[u];
+        logits[c] = z;
+      }
+      softmax_inplace(logits);
+
+      // Output-layer gradients (cross entropy).
+      std::vector<double> gow(out_w_.size(), 0.0), gob(out_b_.size(), 0.0);
+      std::vector<double> dtop(h, 0.0);
+      for (std::size_t c = 0; c < k; ++c) {
+        const double delta =
+            logits[c] - (static_cast<std::size_t>(labels[n]) == c ? 1.0 : 0.0);
+        gob[c] = delta;
+        for (std::size_t u = 0; u < h; ++u) {
+          gow[c * h + u] = delta * top[u];
+          dtop[u] += delta * out_w_[c * h + u];
+        }
+      }
+
+      // Backward through the stack. Only the last step receives gradient
+      // from the head; recurrent paths spread it backwards.
+      const std::size_t steps = seq.size();
+      Sequence grad_h(steps, std::vector<double>(h, 0.0));
+      grad_h.back() = dtop;
+      for (std::size_t l = layers_.size(); l-- > 0;) {
+        std::vector<double> gw(layers_[l].w.size(), 0.0), gb(layers_[l].b.size(), 0.0);
+        Sequence grad_in = backward_layer(layers_[l], caches[l], grad_h, gw, gb);
+
+        // Clip and apply.
+        const double norm = std::sqrt(
+            std::inner_product(gw.begin(), gw.end(), gw.begin(), 0.0) +
+            std::inner_product(gb.begin(), gb.end(), gb.begin(), 0.0));
+        const double clip = norm > 5.0 ? 5.0 / norm : 1.0;
+        std::vector<double> flat(gw);
+        flat.insert(flat.end(), gb.begin(), gb.end());
+        for (double& g : flat) g *= clip;
+        std::vector<double> params(layers_[l].w);
+        params.insert(params.end(), layers_[l].b.begin(), layers_[l].b.end());
+        opts[l].step(params, flat);
+        std::copy(params.begin(), params.begin() + static_cast<long>(layers_[l].w.size()),
+                  layers_[l].w.begin());
+        std::copy(params.begin() + static_cast<long>(layers_[l].w.size()), params.end(),
+                  layers_[l].b.begin());
+
+        grad_h = std::move(grad_in);
+      }
+
+      std::vector<double> out_params(out_w_);
+      out_params.insert(out_params.end(), out_b_.begin(), out_b_.end());
+      std::vector<double> out_grad(gow);
+      out_grad.insert(out_grad.end(), gob.begin(), gob.end());
+      out_opt.step(out_params, out_grad);
+      std::copy(out_params.begin(), out_params.begin() + static_cast<long>(out_w_.size()),
+                out_w_.begin());
+      std::copy(out_params.begin() + static_cast<long>(out_w_.size()), out_params.end(),
+                out_b_.begin());
+    }
+  }
+  trained_ = true;
+}
+
+std::vector<double> StackedLstm::predict_proba(const Sequence& seq) const {
+  const auto h = static_cast<std::size_t>(config_.hidden);
+  const auto k = static_cast<std::size_t>(config_.n_classes);
+  if (seq.empty()) return std::vector<double>(k, 1.0 / static_cast<double>(k));
+  std::vector<LayerCache> caches(layers_.size());
+  const Sequence* in = &seq;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    forward_layer(layers_[l], *in, caches[l]);
+    in = &caches[l].h;
+  }
+  const std::vector<double>& top = caches.back().h.back();
+  std::vector<double> logits(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    double z = out_b_[c];
+    for (std::size_t u = 0; u < h; ++u) z += out_w_[c * h + u] * top[u];
+    logits[c] = z;
+  }
+  softmax_inplace(logits);
+  return logits;
+}
+
+int StackedLstm::predict(const Sequence& seq) const {
+  const std::vector<double> p = predict_proba(seq);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+}  // namespace p5g::ml

@@ -1,0 +1,62 @@
+// Stacked LSTM classifier — the Ozturk et al. [57] baseline: a
+// sequence-to-one classifier over windows of (location, radio) features.
+// Implemented from scratch: forward, full BPTT, Adam.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace p5g::ml {
+
+// One training sequence: seq[t] is the feature vector at step t.
+using Sequence = std::vector<std::vector<double>>;
+
+class StackedLstm {
+ public:
+  struct Config {
+    int input_dim = 4;
+    int hidden = 24;
+    int layers = 2;
+    int n_classes = 2;
+    int epochs = 10;
+    double learning_rate = 0.01;
+    std::size_t max_train_sequences = 4000;  // subsample cap for tractability
+    std::uint64_t seed = 42;
+  };
+
+  explicit StackedLstm(Config config);
+
+  void fit(std::span<const Sequence> sequences, std::span<const int> labels);
+  std::vector<double> predict_proba(const Sequence& seq) const;
+  int predict(const Sequence& seq) const;
+  bool trained() const { return trained_; }
+
+ private:
+  struct LayerParams {
+    // Gate order: input, forget, cell, output. Row-major [4H x (I+H)] + [4H].
+    std::vector<double> w;
+    std::vector<double> b;
+    int input_dim = 0;
+    int hidden = 0;
+  };
+  struct LayerCache {
+    std::vector<std::vector<double>> x, i, f, g, o, c, h, tanh_c;
+  };
+
+  void forward_layer(const LayerParams& p, const Sequence& in, LayerCache& cache) const;
+  // Returns gradient w.r.t. the layer's inputs; accumulates into gw/gb.
+  Sequence backward_layer(const LayerParams& p, const LayerCache& cache,
+                          const Sequence& grad_h_top, std::vector<double>& gw,
+                          std::vector<double>& gb) const;
+
+  Config config_;
+  std::vector<LayerParams> layers_;
+  std::vector<double> out_w_;  // [n_classes x hidden]
+  std::vector<double> out_b_;  // [n_classes]
+  bool trained_ = false;
+};
+
+}  // namespace p5g::ml

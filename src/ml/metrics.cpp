@@ -1,0 +1,161 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace p5g::ml {
+
+ConfusionMatrix::ConfusionMatrix(int n_classes)
+    : n_(n_classes), cells_(static_cast<std::size_t>(n_classes * n_classes), 0) {}
+
+void ConfusionMatrix::add(int truth, int predicted) {
+  if (truth < 0 || truth >= n_ || predicted < 0 || predicted >= n_) return;
+  ++cells_[static_cast<std::size_t>(truth * n_ + predicted)];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(int truth, int predicted) const {
+  return cells_[static_cast<std::size_t>(truth * n_ + predicted)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t diag = 0;
+  for (int c = 0; c < n_; ++c) diag += count(c, c);
+  return static_cast<double>(diag) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(int cls) const {
+  std::size_t tp = count(cls, cls), fp = 0;
+  for (int t = 0; t < n_; ++t) {
+    if (t != cls) fp += count(t, cls);
+  }
+  return tp + fp == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fp);
+}
+
+double ConfusionMatrix::recall(int cls) const {
+  std::size_t tp = count(cls, cls), fn = 0;
+  for (int p = 0; p < n_; ++p) {
+    if (p != cls) fn += count(cls, p);
+  }
+  return tp + fn == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fn);
+}
+
+double ConfusionMatrix::f1(int cls) const {
+  const double p = precision(cls), r = recall(cls);
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+ClassificationScores ConfusionMatrix::macro_over(std::span<const int> classes) const {
+  ClassificationScores s;
+  if (classes.empty()) return s;
+  for (int c : classes) {
+    s.precision += precision(c);
+    s.recall += recall(c);
+    s.f1 += f1(c);
+  }
+  const double n = static_cast<double>(classes.size());
+  s.precision /= n;
+  s.recall /= n;
+  s.f1 /= n;
+  s.accuracy = accuracy();
+  return s;
+}
+
+ClassificationScores ConfusionMatrix::binary_collapsed() const {
+  std::size_t tp = 0, fp = 0, fn = 0, tn = 0;
+  for (int t = 0; t < n_; ++t) {
+    for (int p = 0; p < n_; ++p) {
+      const std::size_t c = count(t, p);
+      const bool truth_pos = t != 0, pred_pos = p != 0;
+      if (truth_pos && pred_pos) tp += c;
+      else if (!truth_pos && pred_pos) fp += c;
+      else if (truth_pos && !pred_pos) fn += c;
+      else tn += c;
+    }
+  }
+  ClassificationScores s;
+  s.precision = tp + fp ? static_cast<double>(tp) / static_cast<double>(tp + fp) : 0.0;
+  s.recall = tp + fn ? static_cast<double>(tp) / static_cast<double>(tp + fn) : 0.0;
+  s.f1 = s.precision + s.recall > 0
+             ? 2.0 * s.precision * s.recall / (s.precision + s.recall)
+             : 0.0;
+  s.accuracy = total_ ? static_cast<double>(tp + tn) / static_cast<double>(total_) : 0.0;
+  return s;
+}
+
+namespace {
+
+struct EventRun {
+  std::size_t begin;  // first sample of the run
+  std::size_t end;    // one past the last sample
+  int cls;
+  bool matched = false;
+};
+
+std::vector<EventRun> extract_runs(std::span<const int> labels) {
+  std::vector<EventRun> out;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == 0) continue;
+    if (i == 0 || labels[i - 1] != labels[i]) {
+      std::size_t j = i;
+      while (j < labels.size() && labels[j] == labels[i]) ++j;
+      out.push_back({i, j, labels[i], false});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+EventScores score_events(std::span<const int> truth, std::span<const int> predicted,
+                         std::size_t tolerance) {
+  // Interval matching: a sustained predicted run is a *warning*; it counts
+  // for a true event when the true onset (+/- tolerance) overlaps the run.
+  // One predicted run may cover several true events (dense HO bursts); a
+  // run that covers none is a false warning.
+  EventScores out;
+  std::vector<EventRun> t_ev = extract_runs(truth);
+  std::vector<EventRun> p_ev = extract_runs(predicted);
+  out.true_events = t_ev.size();
+  out.predicted_events = p_ev.size();
+
+  for (EventRun& te : t_ev) {
+    const std::size_t lo = te.begin > tolerance ? te.begin - tolerance : 0;
+    const std::size_t hi = te.begin + tolerance;
+    for (EventRun& pe : p_ev) {
+      if (pe.cls != te.cls) continue;
+      if (pe.begin <= hi && pe.end >= lo) {  // overlap with onset window
+        pe.matched = true;
+        te.matched = true;
+      }
+    }
+    if (te.matched) ++out.matched;
+  }
+  std::size_t matched_pred = 0;
+  for (const EventRun& pe : p_ev) {
+    if (pe.matched) ++matched_pred;
+  }
+
+  ClassificationScores& s = out.scores;
+  s.precision = out.predicted_events
+                    ? static_cast<double>(matched_pred) / static_cast<double>(out.predicted_events)
+                    : 0.0;
+  s.recall = out.true_events
+                 ? static_cast<double>(out.matched) / static_cast<double>(out.true_events)
+                 : 0.0;
+  s.f1 = s.precision + s.recall > 0
+             ? 2.0 * s.precision * s.recall / (s.precision + s.recall)
+             : 0.0;
+  // Sample-level accuracy on the binary collapse (for the Table 3 column).
+  std::size_t correct = 0;
+  const std::size_t n = std::min(truth.size(), predicted.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((truth[i] != 0) == (predicted[i] != 0)) ++correct;
+  }
+  s.accuracy = n ? static_cast<double>(correct) / static_cast<double>(n) : 0.0;
+  return out;
+}
+
+}  // namespace p5g::ml

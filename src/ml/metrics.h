@@ -1,0 +1,59 @@
+// Classification metrics. HO prediction data is heavily imbalanced (the
+// paper: HOs are 0.4 % of data points), so the headline metrics are
+// imbalance-oblivious: precision/recall/F1 of the positive (HO) classes,
+// alongside raw accuracy (Table 3).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace p5g::ml {
+
+struct ClassificationScores {
+  double f1 = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double accuracy = 0.0;
+};
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int n_classes);
+  void add(int truth, int predicted);
+  std::size_t count(int truth, int predicted) const;
+  std::size_t total() const { return total_; }
+  int classes() const { return n_; }
+
+  double accuracy() const;
+  // Per-class one-vs-rest metrics.
+  double precision(int cls) const;
+  double recall(int cls) const;
+  double f1(int cls) const;
+  // Macro average over the given classes (e.g. all HO classes, skipping the
+  // majority "no HO" class 0).
+  ClassificationScores macro_over(std::span<const int> classes) const;
+  // Binary collapse: class 0 = negative, everything else positive. This is
+  // the Table 3 style "did we predict a HO" score.
+  ClassificationScores binary_collapsed() const;
+
+ private:
+  int n_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> cells_;  // n x n, row = truth
+};
+
+// Event-level scoring with tolerance: a predicted HO within `tolerance`
+// samples of a true HO of the same class counts as a hit. This mirrors how
+// HO prediction quality is actually consumed (did we warn in time), and is
+// the scoring used for the Table 3 / Fig. 15 reproductions.
+struct EventScores {
+  ClassificationScores scores;
+  std::size_t true_events = 0;
+  std::size_t predicted_events = 0;
+  std::size_t matched = 0;
+};
+EventScores score_events(std::span<const int> truth, std::span<const int> predicted,
+                         std::size_t tolerance);
+
+}  // namespace p5g::ml

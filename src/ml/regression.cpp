@@ -1,0 +1,159 @@
+#include "ml/regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/linalg.h"
+
+namespace p5g::ml {
+
+std::vector<double> TriangularSmoother::smooth(std::span<const double> xs) const {
+  std::vector<double> out(xs.size());
+  const auto r = static_cast<long>(radius_);
+  for (long i = 0; i < static_cast<long>(xs.size()); ++i) {
+    double acc = 0.0, wsum = 0.0;
+    for (long k = -r; k <= r; ++k) {
+      const long j = i + k;
+      if (j < 0 || j >= static_cast<long>(xs.size())) continue;
+      const double w = 1.0 - std::abs(static_cast<double>(k)) / (static_cast<double>(r) + 1.0);
+      acc += w * xs[static_cast<std::size_t>(j)];
+      wsum += w;
+    }
+    out[static_cast<std::size_t>(i)] = wsum > 0 ? acc / wsum : xs[static_cast<std::size_t>(i)];
+  }
+  return out;
+}
+
+bool RidgeRegression::fit(std::span<const std::vector<double>> x,
+                          std::span<const double> y) {
+  if (x.empty() || x.size() != y.size()) return false;
+  const std::size_t d = x[0].size() + 1;  // + intercept
+  Matrix ata(d, d, 0.0);
+  std::vector<double> aty(d, 0.0);
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    std::vector<double> row(x[n]);
+    row.push_back(1.0);
+    for (std::size_t i = 0; i < d; ++i) {
+      aty[i] += row[i] * y[n];
+      for (std::size_t j = 0; j < d; ++j) ata.at(i, j) += row[i] * row[j];
+    }
+  }
+  for (std::size_t i = 0; i + 1 < d; ++i) ata.at(i, i) += lambda_;  // not the bias
+  return solve_linear_system(std::move(ata), std::move(aty), coef_);
+}
+
+double RidgeRegression::predict(std::span<const double> x) const {
+  if (coef_.empty()) return 0.0;
+  double acc = coef_.back();
+  const std::size_t d = std::min(x.size(), coef_.size() - 1);
+  for (std::size_t i = 0; i < d; ++i) acc += coef_[i] * x[i];
+  return acc;
+}
+
+SignalForecaster::SignalForecaster(std::size_t history_window, std::size_t smooth_radius)
+    : window_(history_window), radius_(smooth_radius), smoother_(smooth_radius) {}
+
+void SignalForecaster::add(double rrs) {
+  history_.push_back(rrs);
+  while (history_.size() > window_) history_.pop_front();
+  fit_valid_ = false;
+}
+
+void SignalForecaster::refit() const {
+  fit_valid_ = true;
+  level_ = history_.empty() ? -140.0 : history_.back();
+  slope_ = 0.0;
+  residual_sigma_ = 0.0;
+  if (history_.size() < 4) return;
+
+  // Median-of-5 prefilter: impulsive fades (deep mmWave beam dips) must not
+  // bend the trend line.
+  std::vector<double> xs(history_.begin(), history_.end());
+  std::vector<double> med(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    double w[5];
+    int k = 0;
+    for (long j = static_cast<long>(i) - 2; j <= static_cast<long>(i) + 2; ++j) {
+      if (j >= 0 && j < static_cast<long>(xs.size())) w[k++] = xs[static_cast<std::size_t>(j)];
+    }
+    // Insertion sort of <= 5 values (std::sort here trips a GCC
+    // -Warray-bounds false positive when inlined).
+    for (int a = 1; a < k; ++a) {
+      const double v = w[a];
+      int b = a - 1;
+      while (b >= 0 && w[b] > v) {
+        w[b + 1] = w[b];
+        --b;
+      }
+      w[b + 1] = v;
+    }
+    med[i] = w[k / 2];
+  }
+  const std::vector<double> sm = smoother_.smooth(med);
+  const std::size_t n = sm.size();
+
+  // OLS of value against sample index (closed form).
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xi = static_cast<double>(i);
+    sx += xi;
+    sy += sm[i];
+    sxx += xi * xi;
+    sxy += xi * sm[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (std::abs(denom) < 1e-9) {
+    level_ = sm.back();
+    return;
+  }
+  double slope = (dn * sxy - sx * sy) / denom;
+  const double intercept = (sy - slope * sx) / dn;
+
+  // Shrink statistically insignificant slopes: extrapolating noise produces
+  // spurious event-trigger predictions. t = slope / stderr(slope); weight
+  // ramps from 0 (|t| = 0) to 1 (|t| >= 2).
+  if (n >= 6) {
+    // Residuals are measured against the MEDIAN-FILTERED series, not the
+    // kernel-smoothed one: smoothing hides the true noise level and would
+    // make random-walk windows look like significant trends.
+    double sse = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double fit = intercept + slope * static_cast<double>(i);
+      sse += (med[i] - fit) * (med[i] - fit);
+    }
+    const double sigma2 = sse / (dn - 2.0);
+    residual_sigma_ = std::sqrt(sigma2);
+    const double se = std::sqrt(sigma2 * dn / denom) * 1.3;  // median-filter
+                                                             // correlation
+    if (se > 1e-12) {
+      const double t = std::abs(slope) / se;
+      const double w = std::min(1.0, (t / 2.0) * (t / 2.0));
+      slope *= w;
+    }
+  }
+  slope_ = slope;
+  level_ = intercept + slope * (dn - 1.0);
+}
+
+double SignalForecaster::last_smoothed() const {
+  if (!fit_valid_) refit();
+  return level_;
+}
+
+double SignalForecaster::residual_sigma() const {
+  if (!fit_valid_) refit();
+  return residual_sigma_;
+}
+
+double SignalForecaster::forecast(std::size_t steps_ahead) const {
+  if (!fit_valid_) refit();
+  return level_ + slope_ * static_cast<double>(steps_ahead);
+}
+
+void SignalForecaster::reset() {
+  history_.clear();
+  fit_valid_ = false;
+}
+
+}  // namespace p5g::ml

@@ -1,0 +1,76 @@
+// Regression components used by Prognos' report predictor:
+//  * TriangularSmoother — kernel smoothing of RRS streams (Long & Sikdar
+//    style) that removes small-scale fading / measurement noise.
+//  * RidgeRegression — generic L2-regularized least squares.
+//  * SignalForecaster — the paper's light-weight signal predictor: smooth
+//    the last history window, fit a linear trend, extrapolate over the
+//    prediction window.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <vector>
+
+namespace p5g::ml {
+
+// Weighted moving average with a triangular kernel of half-width `radius`
+// samples (weight 1 at the center decaying linearly to 0).
+class TriangularSmoother {
+ public:
+  explicit TriangularSmoother(std::size_t radius) : radius_(radius) {}
+  // Smooths the full series (offline form, used on windows).
+  std::vector<double> smooth(std::span<const double> xs) const;
+
+ private:
+  std::size_t radius_;
+};
+
+class RidgeRegression {
+ public:
+  explicit RidgeRegression(double lambda = 1e-3) : lambda_(lambda) {}
+  // X: n x d design matrix rows; y: n targets. Adds an intercept column.
+  bool fit(std::span<const std::vector<double>> x, std::span<const double> y);
+  double predict(std::span<const double> x) const;
+  const std::vector<double>& coefficients() const { return coef_; }  // [d]+bias
+
+ private:
+  double lambda_;
+  std::vector<double> coef_;  // last entry is the intercept
+};
+
+// Streaming per-cell RRS forecaster. A median-of-5 prefilter rejects
+// impulsive fades (mmWave beam dips) before the triangular kernel smooths
+// the window; a significance-damped linear trend is then fitted once per
+// update and cached, so repeated forecast() calls are O(1).
+class SignalForecaster {
+ public:
+  // `history_window` in samples; `smooth_radius` in samples of the
+  // triangular kernel.
+  SignalForecaster(std::size_t history_window, std::size_t smooth_radius);
+
+  void add(double rrs);
+  bool ready() const { return history_.size() >= 4; }
+  // Forecast the value `steps_ahead` samples into the future by linear
+  // extrapolation of the smoothed history window.
+  double forecast(std::size_t steps_ahead) const;
+  double last_smoothed() const;
+  // Residual standard deviation of the trend fit (dB) — how noisy this
+  // signal currently is; consumers scale decision margins with it.
+  double residual_sigma() const;
+  void reset();
+
+ private:
+  void refit() const;
+
+  std::size_t window_;
+  std::size_t radius_;
+  TriangularSmoother smoother_;
+  std::deque<double> history_;
+  mutable bool fit_valid_ = false;
+  mutable double level_ = -140.0;  // fitted value at the newest sample
+  mutable double slope_ = 0.0;     // damped dB per sample
+  mutable double residual_sigma_ = 0.0;
+};
+
+}  // namespace p5g::ml

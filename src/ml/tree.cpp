@@ -1,0 +1,105 @@
+#include "ml/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace p5g::ml {
+namespace {
+
+double leaf_value(const std::vector<std::size_t>& idx, std::span<const double> target,
+                  std::span<const double> hess) {
+  double num = 0.0, den = 0.0;
+  for (std::size_t i : idx) {
+    num += target[i];
+    den += hess.empty() ? 1.0 : hess[i];
+  }
+  if (std::abs(den) < 1e-9) return 0.0;
+  return num / den;
+}
+
+}  // namespace
+
+void RegressionTree::fit(std::span<const std::vector<double>> x,
+                         std::span<const double> target, std::span<const double> hess,
+                         const TreeConfig& config) {
+  nodes_.clear();
+  if (x.empty()) return;
+  std::vector<std::size_t> idx(x.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  build(idx, x, target, hess, 0, config);
+}
+
+int RegressionTree::build(const std::vector<std::size_t>& idx,
+                          std::span<const std::vector<double>> x,
+                          std::span<const double> target, std::span<const double> hess,
+                          int depth, const TreeConfig& config) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back({});
+  nodes_[static_cast<std::size_t>(node_id)].value = leaf_value(idx, target, hess);
+
+  if (depth >= config.max_depth || idx.size() < 2 * config.min_leaf) return node_id;
+
+  // Exact greedy split search: minimize sum of squared errors of the mean.
+  const std::size_t n_features = x[0].size();
+  double best_gain = 1e-9;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  double total_sum = 0.0;
+  for (std::size_t i : idx) total_sum += target[i];
+  const double total_sq = total_sum * total_sum / static_cast<double>(idx.size());
+
+  std::vector<std::size_t> sorted(idx);
+  for (std::size_t f = 0; f < n_features; ++f) {
+    std::sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+      return x[a][f] < x[b][f];
+    });
+    double left_sum = 0.0;
+    for (std::size_t k = 0; k + 1 < sorted.size(); ++k) {
+      left_sum += target[sorted[k]];
+      const std::size_t nl = k + 1;
+      const std::size_t nr = sorted.size() - nl;
+      if (nl < config.min_leaf || nr < config.min_leaf) continue;
+      if (x[sorted[k]][f] == x[sorted[k + 1]][f]) continue;  // cannot split here
+      const double right_sum = total_sum - left_sum;
+      const double gain = left_sum * left_sum / static_cast<double>(nl) +
+                          right_sum * right_sum / static_cast<double>(nr) - total_sq;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (x[sorted[k]][f] + x[sorted[k + 1]][f]);
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  std::vector<std::size_t> left, right;
+  for (std::size_t i : idx) {
+    (x[i][static_cast<std::size_t>(best_feature)] <= best_threshold ? left : right)
+        .push_back(i);
+  }
+  if (left.size() < config.min_leaf || right.size() < config.min_leaf) return node_id;
+
+  const int l = build(left, x, target, hess, depth + 1, config);
+  const int r = build(right, x, target, hess, depth + 1, config);
+  Node& nd = nodes_[static_cast<std::size_t>(node_id)];
+  nd.feature = best_feature;
+  nd.threshold = best_threshold;
+  nd.left = l;
+  nd.right = r;
+  return node_id;
+}
+
+double RegressionTree::predict(std::span<const double> x) const {
+  if (nodes_.empty()) return 0.0;
+  int cur = 0;
+  while (nodes_[static_cast<std::size_t>(cur)].feature >= 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(cur)];
+    cur = x[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[static_cast<std::size_t>(cur)].value;
+}
+
+}  // namespace p5g::ml

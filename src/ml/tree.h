@@ -1,0 +1,41 @@
+// Regression trees (exact greedy, squared-error splits) — the weak learner
+// for the gradient-boosted classifier baseline.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace p5g::ml {
+
+struct TreeConfig {
+  int max_depth = 3;
+  std::size_t min_leaf = 5;
+};
+
+class RegressionTree {
+ public:
+  // Fits to (x, target) with optional per-sample Newton weights `hess`
+  // (leaf value = sum(target) / sum(hess); pass empty for plain mean).
+  void fit(std::span<const std::vector<double>> x, std::span<const double> target,
+           std::span<const double> hess, const TreeConfig& config);
+
+  double predict(std::span<const double> x) const;
+  bool trained() const { return !nodes_.empty(); }
+
+ private:
+  struct Node {
+    int feature = -1;      // -1: leaf
+    double threshold = 0.0;
+    int left = -1, right = -1;
+    double value = 0.0;    // leaf output
+  };
+
+  int build(const std::vector<std::size_t>& idx,
+            std::span<const std::vector<double>> x, std::span<const double> target,
+            std::span<const double> hess, int depth, const TreeConfig& config);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace p5g::ml

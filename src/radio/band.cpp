@@ -1,0 +1,34 @@
+#include "radio/band.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p5g::radio {
+
+const BandProfile& band_profile(Band b) {
+  // carrier, bw, tx, ple, shadow sigma, shadow corr, noise, peak tput, radius
+  static const BandProfile kLteLowP{700.0, 10.0, 46.0, 3.2, 6.0, 80.0, -101.0, 35.0, 1500.0};
+  static const BandProfile kLteMidP{1900.0, 20.0, 46.0, 3.5, 7.0, 60.0, -98.0, 75.0, 500.0};
+  static const BandProfile kNrLowP{600.0, 15.0, 47.0, 3.1, 6.0, 90.0, -99.5, 220.0, 1000.0};
+  static const BandProfile kNrMidP{2500.0, 80.0, 47.0, 3.6, 7.5, 55.0, -92.0, 900.0, 430.0};
+  static const BandProfile kNrMmWaveP{39000.0, 400.0, 55.0, 4.4, 9.0, 25.0, -85.0, 2800.0, 160.0};
+  switch (b) {
+    case Band::kLteLow: return kLteLowP;
+    case Band::kLteMid: return kLteMidP;
+    case Band::kNrLow: return kNrLowP;
+    case Band::kNrMid: return kNrMidP;
+    case Band::kNrMmWave: return kNrMmWaveP;
+  }
+  return kLteMidP;  // unreachable
+}
+
+double sinr_to_efficiency(Db sinr_db) {
+  // Truncated Shannon: eff = min(1, log2(1+snr) / log2(1+snr_max)).
+  // snr_max = 22 dB maps to the top MCS; below -6 dB the link is unusable.
+  if (sinr_db < -6.0) return 0.0;
+  const double cap = std::log2(1.0 + db_to_linear(sinr_db));
+  const double top = std::log2(1.0 + db_to_linear(22.0));
+  return std::min(1.0, cap / top);
+}
+
+}  // namespace p5g::radio

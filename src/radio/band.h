@@ -1,0 +1,68 @@
+// Radio access technologies and frequency bands.
+//
+// The paper spans LTE low/mid-band and 5G-NR low-band (n71), mid-band (n41)
+// and mmWave (n260). Per-band RF parameters here drive propagation, cell
+// coverage (§6.1) and throughput capacity (§6.2).
+#pragma once
+
+#include <string_view>
+
+#include "common/units.h"
+
+namespace p5g::radio {
+
+enum class Rat { kLte, kNr };
+
+enum class Band {
+  kLteLow,    // e.g. B12/B13, 700 MHz
+  kLteMid,    // e.g. B2/B66, ~1900 MHz (the NSA anchor in the paper)
+  kNrLow,     // n71, 600 MHz
+  kNrMid,     // n41, 2.5 GHz
+  kNrMmWave,  // n260, 39 GHz
+};
+
+constexpr Rat band_rat(Band b) {
+  switch (b) {
+    case Band::kLteLow:
+    case Band::kLteMid:
+      return Rat::kLte;
+    default:
+      return Rat::kNr;
+  }
+}
+
+constexpr std::string_view band_name(Band b) {
+  switch (b) {
+    case Band::kLteLow: return "LTE-Low";
+    case Band::kLteMid: return "LTE-Mid";
+    case Band::kNrLow: return "NR-Low(n71)";
+    case Band::kNrMid: return "NR-Mid(n41)";
+    case Band::kNrMmWave: return "NR-mmWave(n260)";
+  }
+  return "?";
+}
+
+constexpr std::string_view rat_name(Rat r) { return r == Rat::kLte ? "LTE" : "NR"; }
+
+// Static RF profile of a band. Values are representative of commercial
+// deployments and are chosen so the simulator reproduces the paper's
+// coverage diameters (1.4 km low / 0.73 km mid / 0.15 km mmWave, §6.1).
+struct BandProfile {
+  MegaHertz carrier_mhz;
+  MegaHertz bandwidth_mhz;
+  Dbm tx_power_dbm;          // EIRP at the cell
+  double path_loss_exponent; // log-distance exponent
+  Db shadowing_sigma_db;     // log-normal shadowing std-dev
+  Meters shadowing_corr_m;   // Gudmundson decorrelation distance
+  Dbm noise_floor_dbm;       // thermal noise + NF over the band
+  Mbps peak_throughput;      // achievable cell-edge-to-peak cap
+  Meters nominal_radius_m;   // deployment planning radius (cell spacing)
+};
+
+const BandProfile& band_profile(Band b);
+
+// Spectral-efficiency style mapping from SINR to achievable fraction of the
+// band's peak throughput; shared by the throughput models.
+double sinr_to_efficiency(Db sinr_db);
+
+}  // namespace p5g::radio

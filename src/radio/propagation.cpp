@@ -1,0 +1,108 @@
+#include "radio/propagation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p5g::radio {
+
+Db path_loss_db(Band band, Meters distance) {
+  const BandProfile& p = band_profile(band);
+  const Meters d = std::max(distance, 1.0);
+  // Free-space loss at the 10 m reference distance, then log-distance.
+  const double fspl_10m =
+      20.0 * std::log10(10.0) + 20.0 * std::log10(p.carrier_mhz) - 27.55;
+  return fspl_10m + 10.0 * p.path_loss_exponent * std::log10(d / 10.0);
+}
+
+ShadowingProcess::ShadowingProcess(Band band, Rng rng)
+    : sigma_db_(band_profile(band).shadowing_sigma_db),
+      corr_m_(band_profile(band).shadowing_corr_m),
+      rng_(rng) {
+  value_db_ = rng_.normal(0.0, sigma_db_);
+}
+
+Db ShadowingProcess::step(Meters moved) {
+  const double rho = std::exp(-std::max(moved, 0.0) / corr_m_);
+  value_db_ = rho * value_db_ + std::sqrt(std::max(0.0, 1.0 - rho * rho)) *
+                                    rng_.normal(0.0, sigma_db_);
+  return value_db_;
+}
+
+ShadowingField::ShadowingField(Band band, std::uint64_t cell_seed)
+    : sigma_db_(band_profile(band).shadowing_sigma_db),
+      grid_m_(band_profile(band).shadowing_corr_m),
+      seed_(cell_seed) {}
+
+double ShadowingField::grid_value(long ix, long iy) const {
+  // Two independent hash draws -> one Gaussian via Box-Muller.
+  SplitMix64 h(seed_ ^ (static_cast<std::uint64_t>(ix) * 0x9E3779B97f4A7C15ULL) ^
+               (static_cast<std::uint64_t>(iy) * 0xC2B2AE3D27D4EB4FULL));
+  const double u1 =
+      (static_cast<double>(h.next() >> 11) + 0.5) * 0x1.0p-53;  // (0,1)
+  const double u2 = static_cast<double>(h.next() >> 11) * 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+Db ShadowingField::at(double x, double y) const {
+  const double gx = x / grid_m_, gy = y / grid_m_;
+  const long ix = static_cast<long>(std::floor(gx));
+  const long iy = static_cast<long>(std::floor(gy));
+  const double fx = gx - static_cast<double>(ix);
+  const double fy = gy - static_cast<double>(iy);
+  const double w00 = (1 - fx) * (1 - fy), w10 = fx * (1 - fy);
+  const double w01 = (1 - fx) * fy, w11 = fx * fy;
+  const double v = grid_value(ix, iy) * w00 + grid_value(ix + 1, iy) * w10 +
+                   grid_value(ix, iy + 1) * w01 + grid_value(ix + 1, iy + 1) * w11;
+  // Normalize by the blend's own standard deviation so the field keeps
+  // exactly sigma everywhere (bilinear blending otherwise shrinks it).
+  const double norm = std::sqrt(w00 * w00 + w10 * w10 + w01 * w01 + w11 * w11);
+  return sigma_db_ * v / norm;
+}
+
+Db fast_fading_db(Band band, Rng& rng) {
+  if (band == Band::kNrMmWave) {
+    // Beam-tracking residual: usually small, occasionally a deep dip when a
+    // beam momentarily misaligns or is blocked.
+    if (rng.bernoulli(0.03)) return -rng.uniform(8.0, 20.0);
+    return rng.normal(0.0, 2.5);
+  }
+  // Mild Rician-like ripple for sub-6 GHz macro cells.
+  return rng.normal(0.0, 1.5);
+}
+
+Db sector_attenuation_db(double angle_off_boresight_rad, double beamwidth_rad,
+                         Db max_attenuation_db) {
+  // 3GPP TR 36.814 horizontal pattern: A = min(12 (theta/theta_3dB)^2, A_max).
+  const double ratio = angle_off_boresight_rad / beamwidth_rad;
+  return std::min(12.0 * ratio * ratio, max_attenuation_db);
+}
+
+BeamPattern beam_pattern(Band band) {
+  switch (band) {
+    case Band::kNrMmWave:
+      // Narrow beams; deep nulls off-boresight.
+      return {1.05, 22.0};  // ~60 deg beamwidth
+    case Band::kNrMid:
+      return {1.75, 12.0};  // ~100 deg sector
+    default:
+      return {2.1, 10.0};
+  }
+}
+
+Rrs make_rrs(Band band, Meters distance, Db shadowing_db, Db fading_db,
+             Db interference_margin_db, Db directional_loss_db) {
+  const BandProfile& p = band_profile(band);
+  Rrs r;
+  r.rsrp = p.tx_power_dbm - path_loss_db(band, distance) + shadowing_db + fading_db -
+           directional_loss_db;
+  r.rsrp = std::max(r.rsrp, -144.0);  // reporting floor
+  // SINR: signal over (noise + interference margin).
+  const Dbm noise = p.noise_floor_dbm + interference_margin_db;
+  r.sinr = std::clamp(r.rsrp - noise, -20.0, 40.0);
+  // RSRQ tracks SINR compressed into its narrower reporting range
+  // (-19.5 .. -3 dB), the standard N*RSRP/RSSI shape approximated linearly.
+  r.rsrq = std::clamp(-3.0 - (30.0 - r.sinr) * 0.55, -19.5, -3.0);
+  return r;
+}
+
+}  // namespace p5g::radio

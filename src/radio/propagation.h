@@ -1,0 +1,87 @@
+// Radio propagation: log-distance path loss, spatially correlated log-normal
+// shadowing (Gudmundson model), and small-scale fading. One ShadowingProcess
+// instance exists per (cell, UE) pair so that consecutive samples along a
+// route are correlated the way real drive-test RSRP is.
+#pragma once
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "radio/band.h"
+
+namespace p5g::radio {
+
+// Deterministic mean path loss at distance d for a band.
+Db path_loss_db(Band band, Meters distance);
+
+// First-order Gauss-Markov shadowing along a trajectory.
+class ShadowingProcess {
+ public:
+  ShadowingProcess(Band band, Rng rng);
+
+  // Advance the process by `moved` metres of UE travel and return the new
+  // shadowing value in dB.
+  Db step(Meters moved);
+  Db current() const { return value_db_; }
+
+ private:
+  Db sigma_db_;
+  Meters corr_m_;
+  Db value_db_;
+  Rng rng_;
+};
+
+// Location-bound shadowing: a deterministic spatial field per cell, so the
+// same place always shadows the same way (drive-test HO locations repeat,
+// which the paper exploits — HOs are "triggered repeatedly by a single
+// measurement event" at fixed spots, §5.3). Implemented as bilinear
+// interpolation of a hash-seeded Gaussian grid with spacing equal to the
+// band's decorrelation distance.
+class ShadowingField {
+ public:
+  ShadowingField(Band band, std::uint64_t cell_seed);
+
+  // Shadowing in dB at a position (deterministic).
+  Db at(double x, double y) const;
+
+ private:
+  double grid_value(long ix, long iy) const;
+
+  Db sigma_db_;
+  Meters grid_m_;
+  std::uint64_t seed_;
+};
+
+// Small-scale fading magnitude in dB around the local mean. mmWave uses a
+// heavier-tailed process (beam misalignment spikes); sub-6 uses mild Rician-
+// like variation. Stateless: returns an independent draw per sample, which
+// matches the 20 Hz log cadence where fast fading decorrelates sample to
+// sample at driving speeds.
+Db fast_fading_db(Band band, Rng& rng);
+
+// Received signal strength triple reported by the UE (the paper's "RRS").
+struct Rrs {
+  Dbm rsrp = -140.0;
+  Db rsrq = -20.0;
+  Db sinr = -10.0;
+};
+
+// Directional antenna pattern: attenuation (>= 0 dB) at `angle_off_boresight`
+// radians for a sector/beam with the given 3 dB beamwidth. Standard 3GPP
+// parabolic pattern capped at `max_attenuation_db`.
+Db sector_attenuation_db(double angle_off_boresight_rad, double beamwidth_rad,
+                         Db max_attenuation_db);
+
+// Per-band beam geometry used by sectored cells (beamwidth, max attenuation).
+struct BeamPattern {
+  double beamwidth_rad;
+  Db max_attenuation_db;
+};
+BeamPattern beam_pattern(Band band);
+
+// Composes path loss + shadowing value + fading into an RRS sample.
+// `interference_margin_db` models neighbor-cell load (raises the floor);
+// `directional_loss_db` is the antenna-pattern attenuation (0 for omni).
+Rrs make_rrs(Band band, Meters distance, Db shadowing_db, Db fading_db,
+             Db interference_margin_db, Db directional_loss_db = 0.0);
+
+}  // namespace p5g::radio

@@ -1,0 +1,41 @@
+// Cells and towers.
+//
+// A tower is a physical site that may host an eNB (LTE), a gNB (NR), or
+// both (co-located, §6.3). Each radio on a tower exposes one cell per band.
+// Following the paper's co-location heuristic, a co-located tower uses the
+// SAME PCI for its 4G and 5G cells; separate sites use independent PCIs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/geometry.h"
+#include "radio/band.h"
+
+namespace p5g::ran {
+
+using Pci = int;
+
+struct Cell {
+  int id = -1;             // dense index into Deployment::cells()
+  Pci pci = -1;            // physical cell id (what the UE observes)
+  radio::Band band{};      // operating band
+  int tower_id = -1;       // hosting tower
+  geo::Point position{};   // sector centroid (offset from the tower)
+  bool directional = false;  // sectored/beamformed cell vs omni macro
+  double azimuth_rad = 0.0;  // boresight direction (from the tower)
+};
+
+struct Tower {
+  int id = -1;
+  geo::Point position{};
+  bool has_enb = false;
+  bool has_gnb = false;
+  // True when the eNB and gNB at this site share a PCI (co-located NSA
+  // anchor + NR). Only meaningful when both radios are present.
+  bool colocated = false;
+};
+
+constexpr radio::Rat cell_rat(const Cell& c) { return radio::band_rat(c.band); }
+
+}  // namespace p5g::ran

@@ -1,0 +1,176 @@
+#include "ran/deployment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace p5g::ran {
+
+CarrierProfile profile_opx() {
+  CarrierProfile p;
+  p.name = "OpX";
+  p.nr_bands = {radio::Band::kNrLow, radio::Band::kNrMmWave};
+  p.offers_sa = false;
+  p.colocation_fraction = 0.05;
+  p.density_scale = 1.0;
+  return p;
+}
+
+CarrierProfile profile_opy() {
+  CarrierProfile p;
+  p.name = "OpY";
+  p.nr_bands = {radio::Band::kNrLow, radio::Band::kNrMid};
+  p.offers_sa = true;  // low-band SA deployment
+  p.colocation_fraction = 0.36;
+  p.density_scale = 0.9;  // densest grid in the paper (most unique cells)
+  return p;
+}
+
+CarrierProfile profile_opz() {
+  CarrierProfile p;
+  p.name = "OpZ";
+  p.nr_bands = {radio::Band::kNrLow, radio::Band::kNrMmWave};
+  p.offers_sa = false;
+  p.colocation_fraction = 0.2;
+  p.density_scale = 1.05;
+  return p;
+}
+
+Deployment::Deployment(const CarrierProfile& profile, const geo::Route& route, Rng& rng)
+    : profile_(profile) {
+  // Anchor LTE layers first so NR co-location can snap onto them.
+  place_band(radio::Band::kLteMid, route, rng);
+  place_band(radio::Band::kLteLow, route, rng);
+  for (radio::Band b : profile_.nr_bands) place_band(b, route, rng);
+}
+
+namespace {
+
+// Sector (or beam, for mmWave) count per tower. Multiple cells on one tower
+// are what make SCG Modification (same-gNB switches) possible; mmWave gNBs
+// expose several beam-level cells.
+int sectors_for(radio::Band band) {
+  switch (band) {
+    case radio::Band::kNrMmWave: return 3;  // beam-level cells
+    case radio::Band::kNrMid: return 2;
+    case radio::Band::kNrLow:               // wide-area macro layers: one
+    case radio::Band::kLteMid:              // cell faces the roadway
+    case radio::Band::kLteLow: return 1;
+  }
+  return 1;
+}
+
+// Boresight azimuth of sector k (120 degrees apart).
+double sector_azimuth(int k) { return 2.0943951023931953 * k + 0.5; }
+
+// Direction of sector k's coverage centroid.
+geo::Point sector_offset(int k, Meters magnitude) {
+  const double ang = sector_azimuth(k);
+  return {magnitude * std::cos(ang), magnitude * std::sin(ang)};
+}
+
+}  // namespace
+
+void Deployment::place_band(radio::Band band, const geo::Route& route, Rng& rng) {
+  const radio::BandProfile& bp = radio::band_profile(band);
+  const bool is_nr = radio::band_rat(band) == radio::Rat::kNr;
+  // Tower spacing: one cell hands over to the next roughly once per
+  // "coverage diameter", so towers sit ~2 x nominal radius apart.
+  const Meters spacing = 2.0 * bp.nominal_radius_m * profile_.density_scale;
+  const Meters route_len = route.length();
+
+  for (Meters s = rng.uniform(0.0, spacing * 0.5); s < route_len + spacing;
+       s += spacing * rng.uniform(0.85, 1.15)) {
+    const geo::Point on_route = route.position_at(s);
+    // Lateral offset from the roadway.
+    const Meters off = rng.uniform(0.05, 0.35) * bp.nominal_radius_m;
+    const double ang = rng.uniform(0.0, 6.283185307179586);
+    geo::Point pos = on_route + geo::Point{off * std::cos(ang), off * std::sin(ang)};
+
+    if (is_nr && rng.bernoulli(profile_.colocation_fraction)) {
+      // Co-locate with the nearest ANCHOR-BAND tower (the control-plane
+      // eNB whose PCI the co-located gNB shares): reuse its site and PCI.
+      int best = -1;
+      Meters best_d = std::numeric_limits<Meters>::max();
+      for (const Cell& anchor : cells_) {
+        if (anchor.band != profile_.anchor_band) continue;
+        const Tower& t = towers_[static_cast<std::size_t>(anchor.tower_id)];
+        const Meters d = geo::distance(t.position, pos);
+        if (d < best_d) {
+          best_d = d;
+          best = t.id;
+        }
+      }
+      if (best >= 0 && !towers_[static_cast<std::size_t>(best)].has_gnb) {
+        Tower& host = towers_[static_cast<std::size_t>(best)];
+        host.has_gnb = true;
+        host.colocated = true;
+        // Find the anchor-band cell on this tower and reuse its PCI for the
+        // first NR sector (the paper's co-location signature).
+        Pci shared = -1;
+        for (const Cell& c : cells_) {
+          if (c.tower_id == host.id && c.band == profile_.anchor_band) {
+            shared = c.pci;
+            break;
+          }
+        }
+        const int n = sectors_for(band);
+        for (int k = 0; k < n; ++k) {
+          Cell c;
+          c.id = static_cast<int>(cells_.size());
+          c.pci = (k == 0 && shared >= 0) ? shared : next_pci_++;
+          c.band = band;
+          c.tower_id = host.id;
+          c.position = host.position + sector_offset(k, 0.22 * bp.nominal_radius_m);
+          c.directional = n > 1;
+          c.azimuth_rad = sector_azimuth(k);
+          cells_.push_back(c);
+        }
+        continue;
+      }
+    }
+
+    Tower t;
+    t.id = static_cast<int>(towers_.size());
+    t.position = pos;
+    t.has_enb = !is_nr;
+    t.has_gnb = is_nr;
+    towers_.push_back(t);
+
+    const int n = sectors_for(band);
+    for (int k = 0; k < n; ++k) {
+      Cell c;
+      c.id = static_cast<int>(cells_.size());
+      c.pci = next_pci_++;
+      c.band = band;
+      c.tower_id = t.id;
+      c.position = t.position + sector_offset(k, 0.22 * bp.nominal_radius_m);
+      c.directional = n > 1;
+      c.azimuth_rad = sector_azimuth(k);
+      cells_.push_back(c);
+    }
+  }
+}
+
+std::vector<const Cell*> Deployment::cells_near(geo::Point p, radio::Band band,
+                                                Meters radius) const {
+  std::vector<const Cell*> out;
+  for (const Cell& c : cells_) {
+    if (c.band != band) continue;
+    if (geo::distance(c.position, p) <= radius) out.push_back(&c);
+  }
+  std::sort(out.begin(), out.end(), [&](const Cell* a, const Cell* b) {
+    return geo::distance(a->position, p) < geo::distance(b->position, p);
+  });
+  return out;
+}
+
+std::vector<const Cell*> Deployment::cells_on_band(radio::Band band) const {
+  std::vector<const Cell*> out;
+  for (const Cell& c : cells_) {
+    if (c.band == band) out.push_back(&c);
+  }
+  return out;
+}
+
+}  // namespace p5g::ran

@@ -1,0 +1,65 @@
+// Carrier deployments: how a carrier lays out towers and cells along the
+// area a route traverses. Encodes the three carrier archetypes the paper
+// studies (OpX/OpZ: NSA with low-band + mmWave; OpY: NSA+SA with low- and
+// mid-band) plus the per-band cell spacing that yields the coverage
+// landscape of §6.1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/route.h"
+#include "ran/cell.h"
+
+namespace p5g::ran {
+
+enum class Arch { kLteOnly, kNsa, kSa };
+
+struct CarrierProfile {
+  std::string name;
+  std::vector<radio::Band> nr_bands;       // NR bands this carrier deploys
+  radio::Band anchor_band = radio::Band::kLteMid;  // NSA-4C control plane
+  bool offers_sa = false;                  // OpY only, low-band SA
+  // Fraction of NR towers whose gNB is co-located with an eNB (5%-36%
+  // across the paper's carriers).
+  double colocation_fraction = 0.2;
+  // Multiplier on per-band nominal cell spacing (denser urban carriers <1).
+  double density_scale = 1.0;
+};
+
+// The three carrier archetypes from the paper.
+CarrierProfile profile_opx();
+CarrierProfile profile_opy();
+CarrierProfile profile_opz();
+
+// A concrete set of towers/cells generated for a route corridor.
+class Deployment {
+ public:
+  // Places towers of every band the carrier deploys along `route` with
+  // per-band spacing derived from radio::band_profile().nominal_radius_m.
+  Deployment(const CarrierProfile& profile, const geo::Route& route, Rng& rng);
+
+  const CarrierProfile& profile() const { return profile_; }
+  const std::vector<Cell>& cells() const { return cells_; }
+  const std::vector<Tower>& towers() const { return towers_; }
+  const Cell& cell(int id) const { return cells_[static_cast<std::size_t>(id)]; }
+  const Tower& tower(int id) const { return towers_[static_cast<std::size_t>(id)]; }
+
+  // Cells of `band` within `radius` of `p`, nearest first.
+  std::vector<const Cell*> cells_near(geo::Point p, radio::Band band,
+                                      Meters radius) const;
+
+  // All cells of a band.
+  std::vector<const Cell*> cells_on_band(radio::Band band) const;
+
+ private:
+  void place_band(radio::Band band, const geo::Route& route, Rng& rng);
+
+  CarrierProfile profile_;
+  std::vector<Tower> towers_;
+  std::vector<Cell> cells_;
+  Pci next_pci_ = 1;
+};
+
+}  // namespace p5g::ran

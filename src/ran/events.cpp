@@ -1,0 +1,158 @@
+#include "ran/events.h"
+
+#include "radio/propagation.h"
+
+namespace p5g::ran {
+
+std::string_view event_name(EventType t) {
+  switch (t) {
+    case EventType::kA1: return "A1";
+    case EventType::kA2: return "A2";
+    case EventType::kA3: return "A3";
+    case EventType::kA4: return "A4";
+    case EventType::kA5: return "A5";
+    case EventType::kA6: return "A6";
+    case EventType::kB1: return "B1";
+  }
+  return "?";
+}
+
+bool EventMonitor::entering_condition(const EventConfig& c, const MeasSnapshot& m) {
+  const double hys = c.hysteresis;
+  switch (c.type) {
+    case EventType::kA1:
+      return m.serving_valid && m.serving_rsrp - hys > c.threshold1;
+    case EventType::kA2:
+      return m.serving_valid && m.serving_rsrp + hys < c.threshold1;
+    case EventType::kA3:
+    case EventType::kA6:
+      return m.serving_valid && m.neighbor_valid &&
+             m.best_neighbor_rsrp - hys > m.serving_rsrp + c.offset;
+    case EventType::kA4:
+    case EventType::kB1:
+      return m.neighbor_valid && m.best_neighbor_rsrp - hys > c.threshold1;
+    case EventType::kA5:
+      return m.serving_valid && m.neighbor_valid &&
+             m.serving_rsrp + hys < c.threshold1 &&
+             m.best_neighbor_rsrp - hys > c.threshold2;
+  }
+  return false;
+}
+
+bool EventMonitor::leaving_condition(const EventConfig& c, const MeasSnapshot& m) {
+  const double hys = c.hysteresis;
+  switch (c.type) {
+    case EventType::kA1:
+      return !m.serving_valid || m.serving_rsrp + hys < c.threshold1;
+    case EventType::kA2:
+      return !m.serving_valid || m.serving_rsrp - hys > c.threshold1;
+    case EventType::kA3:
+    case EventType::kA6:
+      return !m.serving_valid || !m.neighbor_valid ||
+             m.best_neighbor_rsrp + hys < m.serving_rsrp + c.offset;
+    case EventType::kA4:
+    case EventType::kB1:
+      return !m.neighbor_valid || m.best_neighbor_rsrp + hys < c.threshold1;
+    case EventType::kA5:
+      return !m.serving_valid || !m.neighbor_valid ||
+             m.serving_rsrp - hys > c.threshold1 ||
+             m.best_neighbor_rsrp + hys < c.threshold2;
+  }
+  return true;
+}
+
+std::optional<TriggeredEvent> EventMonitor::evaluate(Seconds t, const MeasSnapshot& m) {
+  if (reported_) {
+    if (leaving_condition(config_, m)) {
+      reported_ = false;
+      condition_since_.reset();
+    }
+    return std::nullopt;
+  }
+  if (entering_condition(config_, m)) {
+    if (!condition_since_) condition_since_ = t;
+    if ((t - *condition_since_) * kMillisecondsPerSecond >= config_.ttt_ms) {
+      reported_ = true;
+      TriggeredEvent e;
+      e.type = config_.type;
+      e.scope = config_.scope;
+      e.time = t;
+      e.serving_rsrp = m.serving_rsrp;
+      e.neighbor_rsrp = m.best_neighbor_rsrp;
+      e.neighbor_pci = m.best_neighbor_pci;
+      e.neighbor_cell_id = m.best_neighbor_cell_id;
+      return e;
+    }
+  } else {
+    condition_since_.reset();
+  }
+  return std::nullopt;
+}
+
+void EventMonitor::reset() {
+  condition_since_.reset();
+  reported_ = false;
+}
+
+namespace {
+
+// Thresholds are self-calibrated to each band's cell-edge RSRP so that the
+// event machinery tracks the deployment geometry rather than magic numbers.
+Dbm edge_rsrp(radio::Band b) {
+  const radio::BandProfile& p = radio::band_profile(b);
+  return p.tx_power_dbm - radio::path_loss_db(b, p.nominal_radius_m);
+}
+
+}  // namespace
+
+std::vector<EventConfig> default_lte_event_set(radio::Band nr_band) {
+  std::vector<EventConfig> v;
+  const Dbm edge = edge_rsrp(radio::Band::kLteMid);
+  // A2: serving LTE degrades below cell-edge quality.
+  v.push_back({EventType::kA2, MeasScope::kServingLte, radio::Rat::kLte,
+               edge - 4.0, 0.0, 0.0, 1.0, 320.0});
+  // A3: intra-LTE neighbor offset-better -> LTEH / MNBH.
+  v.push_back({EventType::kA3, MeasScope::kServingLte, radio::Rat::kLte,
+               0.0, 0.0, 5.0, 1.5, 560.0});
+  // A5: serving bad + neighbor acceptable (inter-frequency fallback).
+  v.push_back({EventType::kA5, MeasScope::kServingLte, radio::Rat::kLte,
+               edge - 8.0, edge - 3.0, 0.0, 1.5, 480.0});
+  // B1: NR neighbor above threshold -> SCG Addition (NSA only).
+  v.push_back({EventType::kB1, MeasScope::kServingLte, radio::Rat::kNr,
+               edge_rsrp(nr_band) - 2.0, 0.0, 0.0, 1.5, 256.0});
+  return v;
+}
+
+std::vector<EventConfig> default_nsa_nr_event_set(radio::Band nr_band) {
+  std::vector<EventConfig> v;
+  const Dbm nr_edge = edge_rsrp(nr_band);
+  const bool mmwave = nr_band == radio::Band::kNrMmWave;
+  // NR-A2: SCG leg degrades -> candidate for SCGR / SCGC. mmWave reacts
+  // earlier (beams die fast once the UE leaves the boresight).
+  v.push_back({EventType::kA2, MeasScope::kServingNr, radio::Rat::kNr,
+               mmwave ? nr_edge + 2.0 : nr_edge - 5.0, 0.0, 0.0, 1.0,
+               mmwave ? 200.0 : 256.0});
+  // NR-A3: a beam/sector of the same gNB becomes offset-better -> SCGM.
+  // mmWave beam switching is deliberately aggressive (short TTT).
+  v.push_back({EventType::kA3, MeasScope::kServingNr, radio::Rat::kNr,
+               0.0, 0.0, mmwave ? 3.5 : 4.0, 1.5, mmwave ? 260.0 : 400.0});
+  // NR-B1: NR neighbor above absolute threshold (used with A2 for SCGC).
+  v.push_back({EventType::kB1, MeasScope::kServingNr, radio::Rat::kNr,
+               nr_edge - 3.0, 0.0, 0.0, 1.5, mmwave ? 200.0 : 256.0});
+  return v;
+}
+
+std::vector<EventConfig> default_sa_event_set(radio::Band nr_band) {
+  std::vector<EventConfig> v;
+  const Dbm nr_edge = edge_rsrp(nr_band);
+  v.push_back({EventType::kA2, MeasScope::kServingNr, radio::Rat::kNr,
+               nr_edge - 5.0, 0.0, 0.0, 1.0, 320.0});
+  // SA MCG HO driven by NR-A3 (any gNB).
+  v.push_back({EventType::kA3, MeasScope::kServingNr, radio::Rat::kNr,
+               0.0, 0.0, 3.5, 1.5, 400.0});
+  v.push_back({EventType::kA5, MeasScope::kServingNr, radio::Rat::kNr,
+               nr_edge - 8.0, nr_edge - 3.0, 0.0, 1.5, 480.0});
+  return v;
+}
+
+}  // namespace p5g::ran

@@ -1,0 +1,106 @@
+// 3GPP measurement events (Table 4 of the paper / TS 36.331 & 38.331).
+//
+// The UE is configured with a set of events by its primary cell; it
+// evaluates the trigger condition against serving/neighbor measurements,
+// applies hysteresis and time-to-trigger (TTT), and raises a measurement
+// report (MR) when an event "enters". Reports re-arm once the condition
+// (with hysteresis) clears.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/units.h"
+#include "radio/band.h"
+
+namespace p5g::ran {
+
+enum class EventType {
+  kA1,  // serving becomes better than threshold
+  kA2,  // serving becomes worse than threshold
+  kA3,  // neighbor becomes offset better than serving (same RAT)
+  kA4,  // neighbor becomes better than threshold
+  kA5,  // serving worse than thr1 AND neighbor better than thr2
+  kA6,  // neighbor becomes offset better than secondary serving (SCG)
+  kB1,  // inter-RAT neighbor becomes better than threshold
+};
+
+std::string_view event_name(EventType t);
+
+// Which leg of the connection an event is measured against.
+enum class MeasScope {
+  kServingLte,  // the LTE primary (MCG) leg
+  kServingNr,   // the NR secondary (SCG) leg, or NR primary in SA
+};
+
+struct EventConfig {
+  EventType type{};
+  MeasScope scope = MeasScope::kServingLte;
+  // Which RAT the *neighbor* side of the condition measures (for A3/A4/A5/
+  // A6/B1). B1 is inter-RAT by definition (LTE serving, NR neighbor).
+  radio::Rat neighbor_rat = radio::Rat::kLte;
+  Dbm threshold1 = -100.0;   // A1/A2/A4/B1 threshold, A5 thr1 (serving)
+  Dbm threshold2 = -105.0;   // A5 thr2 (neighbor)
+  Db offset = 3.0;           // A3/A6 offset
+  Db hysteresis = 1.0;       // applied on enter and leave
+  Milliseconds ttt_ms = 160.0;
+};
+
+// One serving/neighbor measurement snapshot used to evaluate events.
+struct MeasSnapshot {
+  Dbm serving_rsrp = -140.0;        // RSRP of the leg named by `scope`
+  bool serving_valid = false;
+  Dbm best_neighbor_rsrp = -140.0;  // strongest neighbor of `neighbor_rat`
+  int best_neighbor_pci = -1;
+  int best_neighbor_cell_id = -1;
+  bool neighbor_valid = false;
+};
+
+struct TriggeredEvent {
+  EventType type{};
+  MeasScope scope{};
+  Seconds time = 0.0;
+  Dbm serving_rsrp = -140.0;
+  Dbm neighbor_rsrp = -140.0;
+  int neighbor_pci = -1;
+  int neighbor_cell_id = -1;
+};
+
+// Tracks enter/leave state and TTT for one configured event.
+class EventMonitor {
+ public:
+  explicit EventMonitor(EventConfig config) : config_(config) {}
+
+  const EventConfig& config() const { return config_; }
+
+  // Evaluate at time `t`; returns the triggered event when the condition
+  // has held for TTT and the event has not already been reported.
+  std::optional<TriggeredEvent> evaluate(Seconds t, const MeasSnapshot& m);
+
+  // Raw entering-condition check (exposed for the report predictor, which
+  // runs the same logic over *predicted* measurements).
+  static bool entering_condition(const EventConfig& c, const MeasSnapshot& m);
+  static bool leaving_condition(const EventConfig& c, const MeasSnapshot& m);
+
+  void reset();
+
+  // True while the event has fired and its leaving condition has not yet
+  // been met (3GPP reporting is edge-triggered; no re-report while latched).
+  bool reported() const { return reported_; }
+
+ private:
+  EventConfig config_;
+  std::optional<Seconds> condition_since_;
+  bool reported_ = false;
+};
+
+// The standard event set for each architecture/leg, mirroring what the
+// paper observes in carrier configurations (§7.1, Fig. 16 annotations).
+// Absolute thresholds self-calibrate to the NR band the area deploys
+// (mmWave edge RSRP differs from low-band by tens of dB).
+std::vector<EventConfig> default_lte_event_set(radio::Band nr_band);
+std::vector<EventConfig> default_nsa_nr_event_set(radio::Band nr_band);
+std::vector<EventConfig> default_sa_event_set(radio::Band nr_band);
+
+}  // namespace p5g::ran

@@ -1,0 +1,162 @@
+#include "ran/handover.h"
+
+#include <algorithm>
+
+namespace p5g::ran {
+
+std::string_view ho_name(HoType t) {
+  switch (t) {
+    case HoType::kLteh: return "LTEH";
+    case HoType::kScga: return "SCGA";
+    case HoType::kScgr: return "SCGR";
+    case HoType::kScgm: return "SCGM";
+    case HoType::kScgc: return "SCGC";
+    case HoType::kMnbh: return "MNBH";
+    case HoType::kMcgh: return "MCGH";
+  }
+  return "?";
+}
+
+bool ho_is_5g_procedure(HoType t) {
+  switch (t) {
+    case HoType::kScga:
+    case HoType::kScgr:
+    case HoType::kScgm:
+    case HoType::kScgc:
+    case HoType::kMcgh:
+      return true;
+    case HoType::kLteh:
+    case HoType::kMnbh:
+      return false;
+  }
+  return false;
+}
+
+HoArch ho_arch(HoType t) {
+  switch (t) {
+    case HoType::kLteh: return HoArch::kLte;  // NSA anchor LTEH shares the model
+    case HoType::kMcgh: return HoArch::kSa;
+    default: return HoArch::kNsa;
+  }
+}
+
+HoInterruption ho_interruption(HoType t) {
+  switch (t) {
+    case HoType::kLteh:
+      return {.halts_lte = true, .halts_nr = false};
+    case HoType::kMnbh:
+      // 4G HOs interrupt data activity on the 5G radio as well (footnote 1).
+      return {.halts_lte = true, .halts_nr = true};
+    case HoType::kScga:
+    case HoType::kScgr:
+    case HoType::kScgm:
+    case HoType::kScgc:
+      return {.halts_lte = false, .halts_nr = true};
+    case HoType::kMcgh:
+      return {.halts_lte = false, .halts_nr = true};
+  }
+  return {};
+}
+
+namespace {
+
+// Truncated-normal sampler: mean/sd with a hard floor.
+Milliseconds tnorm(Rng& rng, double mean, double sd, double floor_ms) {
+  return std::max(floor_ms, rng.normal(mean, sd));
+}
+
+}  // namespace
+
+HoTiming sample_ho_timing(HoType t, radio::Band band, bool colocated, Rng& rng) {
+  HoTiming h;
+  const bool mmwave = band == radio::Band::kNrMmWave;
+  switch (t) {
+    case HoType::kLteh:
+      h.t1_ms = tnorm(rng, 46.0, 10.0, 15.0);
+      h.t2_ms = tnorm(rng, 30.0, 8.0, 10.0);
+      break;
+    case HoType::kScga:
+      h.t1_ms = tnorm(rng, 64.0, 14.0, 20.0);
+      h.t2_ms = tnorm(rng, mmwave ? 135.0 : 94.0, 20.0, 30.0);
+      break;
+    case HoType::kScgr:
+      // Release is the lightest NSA procedure: no target RACH.
+      h.t1_ms = tnorm(rng, 52.0, 12.0, 15.0);
+      h.t2_ms = tnorm(rng, 42.0, 10.0, 12.0);
+      break;
+    case HoType::kScgm:
+      h.t1_ms = tnorm(rng, 66.0, 14.0, 20.0);
+      h.t2_ms = tnorm(rng, mmwave ? 142.0 : 99.0, 22.0, 30.0);
+      break;
+    case HoType::kScgc:
+      // Release + Addition executed back-to-back.
+      h.t1_ms = tnorm(rng, 78.0, 16.0, 25.0);
+      h.t2_ms = tnorm(rng, mmwave ? 160.0 : 112.0, 26.0, 35.0);
+      break;
+    case HoType::kMnbh:
+      h.t1_ms = tnorm(rng, 72.0, 15.0, 22.0);
+      h.t2_ms = tnorm(rng, 102.0, 22.0, 30.0);
+      break;
+    case HoType::kMcgh:
+      // SA: preparation median comparable to LTE but with high variance
+      // (the paper attributes this to SA's early-stage deployments).
+      h.t1_ms = tnorm(rng, 52.0, 34.0, 12.0);
+      h.t2_ms = tnorm(rng, 58.0, 16.0, 18.0);
+      break;
+  }
+  // Cross-tower eNB<->gNB coordination penalty for NSA procedures whose
+  // endpoints are not co-located (+13 ms on average, §6.3).
+  if (!colocated && ho_arch(t) == HoArch::kNsa && t != HoType::kLteh) {
+    h.t1_ms += tnorm(rng, 13.0, 4.0, 2.0);
+  }
+  return h;
+}
+
+SignalingCounts ho_signaling(HoType t, radio::Band band, Rng& rng) {
+  SignalingCounts s;
+  const bool mmwave = band == radio::Band::kNrMmWave;
+  // RRC: 1 MR + 1 Reconfiguration + 1 ReconfigurationComplete per leg that
+  // reconfigures; composite procedures (SCGC, MNBH-with-SCG) carry more.
+  switch (t) {
+    case HoType::kLteh:
+      s.rrc = 3;
+      s.mac = 2;
+      s.phy = 9;  // inter-frequency gap measurements
+      break;
+    case HoType::kScga:
+      s.rrc = 3;
+      s.mac = 3;  // RACH toward the new gNB
+      s.phy = mmwave ? 30 : 8;
+      break;
+    case HoType::kScgr:
+      s.rrc = 3;
+      s.mac = 0;  // no RACH on release
+      s.phy = mmwave ? 14 : 4;
+      break;
+    case HoType::kScgm:
+      s.rrc = 3;
+      s.mac = 3;
+      s.phy = mmwave ? 34 : 8;
+      break;
+    case HoType::kScgc:
+      s.rrc = 6;  // release + addition
+      s.mac = 3;
+      s.phy = mmwave ? 44 : 12;
+      break;
+    case HoType::kMnbh:
+      s.rrc = 5;  // anchor reconfig + SCG handling
+      s.mac = 3;
+      s.phy = 10;
+      break;
+    case HoType::kMcgh:
+      s.rrc = 3;
+      s.mac = 1;  // contention-free RACH
+      s.phy = 4;
+      break;
+  }
+  // Small burstiness so counts are not perfectly deterministic.
+  s.phy += static_cast<int>(rng.uniform_index(3));
+  return s;
+}
+
+}  // namespace p5g::ran

@@ -1,0 +1,447 @@
+#include "ran/mobility_manager.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p5g::ran {
+
+MobilityManager::MobilityManager(const Deployment& deployment, Config config, Rng rng)
+    : deployment_(deployment), config_(config), rng_(rng) {
+  state_.arch = config_.arch;
+  std::vector<EventConfig> configs;
+  switch (config_.arch) {
+    case Arch::kLteOnly: {
+      for (const EventConfig& c : default_lte_event_set(config_.nr_band)) {
+        if (c.type != EventType::kB1) configs.push_back(c);  // no NR layer
+      }
+      break;
+    }
+    case Arch::kNsa: {
+      for (const EventConfig& c : default_lte_event_set(config_.nr_band)) configs.push_back(c);
+      for (const EventConfig& c : default_nsa_nr_event_set(config_.nr_band)) configs.push_back(c);
+      break;
+    }
+    case Arch::kSa: {
+      for (const EventConfig& c : default_sa_event_set(config_.nr_band)) configs.push_back(c);
+      break;
+    }
+  }
+  monitors_.reserve(configs.size());
+  for (const EventConfig& c : configs) monitors_.emplace_back(c);
+}
+
+std::vector<EventConfig> MobilityManager::active_event_configs() const {
+  std::vector<EventConfig> out;
+  out.reserve(monitors_.size());
+  for (const EventMonitor& m : monitors_) out.push_back(m.config());
+  return out;
+}
+
+void MobilityManager::observe(Seconds /*t*/, geo::Point pos, Meters moved,
+                              radio::Band band, std::vector<CellObservation>& out) {
+  const radio::BandProfile& bp = radio::band_profile(band);
+  const Meters radius = bp.nominal_radius_m * config_.observe_radius_factor;
+  const Db interference = radio::band_rat(band) == radio::Rat::kLte
+                              ? config_.lte_interference_db
+                              : config_.nr_interference_db;
+  (void)moved;
+  for (const Cell* c : deployment_.cells_near(pos, band, radius)) {
+    // The shadowing field is seeded by the cell identity only, so the same
+    // location shadows the same way on every loop of a route.
+    auto [it, inserted] = shadowing_.try_emplace(
+        c->id, band, 0x5EEDULL ^ (static_cast<std::uint64_t>(c->id) * 0x9E37ULL));
+    const Db shadow = it->second.at(pos.x, pos.y);
+    const Db fading = radio::fast_fading_db(band, rng_);
+    // Directional cells attenuate off-boresight (angle from the TOWER).
+    Db dir_loss = 0.0;
+    if (c->directional) {
+      const geo::Point tower = deployment_.tower(c->tower_id).position;
+      const double ue_angle = std::atan2(pos.y - tower.y, pos.x - tower.x);
+      double diff = std::abs(ue_angle - c->azimuth_rad);
+      while (diff > 3.14159265358979) diff = std::abs(diff - 2.0 * 3.14159265358979);
+      const radio::BeamPattern bp = radio::beam_pattern(band);
+      dir_loss = radio::sector_attenuation_db(diff, bp.beamwidth_rad,
+                                              bp.max_attenuation_db);
+    }
+    const Meters d = geo::distance(c->position, pos);
+    out.push_back({c, radio::make_rrs(band, d, shadow, fading, interference, dir_loss)});
+  }
+}
+
+const CellObservation* MobilityManager::find_obs(
+    const std::vector<CellObservation>& obs, int cell_id) const {
+  for (const CellObservation& o : obs) {
+    if (o.cell->id == cell_id) return &o;
+  }
+  return nullptr;
+}
+
+const CellObservation* MobilityManager::best_of_band(
+    const std::vector<CellObservation>& obs, radio::Band band, int same_tower,
+    int exclude_tower, int exclude_cell) const {
+  const CellObservation* best = nullptr;
+  for (const CellObservation& o : obs) {
+    if (o.cell->band != band) continue;
+    if (o.cell->id == exclude_cell) continue;
+    if (same_tower >= 0 && o.cell->tower_id != same_tower) continue;
+    if (exclude_tower >= 0 && o.cell->tower_id == exclude_tower) continue;
+    if (!best || o.rrs.rsrp > best->rrs.rsrp) best = &o;
+  }
+  return best;
+}
+
+void MobilityManager::ensure_attached(const std::vector<CellObservation>& obs) {
+  if (config_.arch != Arch::kSa) {
+    if (state_.lte_cell_id >= 0 && !find_obs(obs, state_.lte_cell_id)) {
+      state_.lte_cell_id = -1;  // radio link lost; will re-attach below
+    }
+    if (state_.lte_cell_id < 0) {
+      const CellObservation* best =
+          best_of_band(obs, config_.lte_band, -1, -1, -1);
+      if (best) state_.lte_cell_id = best->cell->id;
+    }
+    if (state_.nr_cell_id >= 0 && !find_obs(obs, state_.nr_cell_id)) {
+      state_.nr_cell_id = -1;  // SCG radio link failure (silent release)
+    }
+  } else {
+    if (state_.nr_cell_id >= 0 && !find_obs(obs, state_.nr_cell_id)) {
+      state_.nr_cell_id = -1;
+    }
+    if (state_.nr_cell_id < 0) {
+      const CellObservation* best = best_of_band(obs, config_.nr_band, -1, -1, -1);
+      if (best) state_.nr_cell_id = best->cell->id;
+    }
+  }
+}
+
+void MobilityManager::run_event_monitors(Seconds t,
+                                         const std::vector<CellObservation>& obs,
+                                         TickResult& out) {
+  for (EventMonitor& mon : monitors_) {
+    const EventConfig& c = mon.config();
+
+    // B1 on the LTE leg exists to add an SCG; once one is attached the
+    // network removes the configuration (re-added after release).
+    if (c.type == EventType::kB1 && c.scope == MeasScope::kServingLte &&
+        state_.nr_attached()) {
+      mon.reset();
+      continue;
+    }
+
+    MeasSnapshot snap;
+    int serving_pci = -1;
+    if (c.scope == MeasScope::kServingLte) {
+      if (state_.lte_cell_id < 0) continue;
+      const CellObservation* s = find_obs(obs, state_.lte_cell_id);
+      if (!s) continue;
+      snap.serving_rsrp = s->rrs.rsrp;
+      snap.serving_valid = true;
+      serving_pci = s->cell->pci;
+      const CellObservation* n = nullptr;
+      if (c.neighbor_rat == radio::Rat::kLte) {
+        n = best_of_band(obs, config_.lte_band, -1, -1, state_.lte_cell_id);
+      } else {
+        // B1: any NR cell is a candidate for SCG Addition.
+        n = best_of_band(obs, config_.nr_band, -1, -1, -1);
+      }
+      if (n) {
+        snap.best_neighbor_rsrp = n->rrs.rsrp;
+        snap.best_neighbor_pci = n->cell->pci;
+        snap.best_neighbor_cell_id = n->cell->id;
+        snap.neighbor_valid = true;
+      }
+    } else {  // kServingNr
+      if (state_.nr_cell_id < 0) continue;
+      const CellObservation* s = find_obs(obs, state_.nr_cell_id);
+      if (!s) continue;
+      snap.serving_rsrp = s->rrs.rsrp;
+      snap.serving_valid = true;
+      serving_pci = s->cell->pci;
+      const int serving_tower = s->cell->tower_id;
+      const CellObservation* n = nullptr;
+      if (c.type == EventType::kA3 && config_.arch == Arch::kNsa) {
+        // NSA NR-A3: sector/beam switch candidates on the SAME gNB (SCGM).
+        n = best_of_band(obs, config_.nr_band, serving_tower, -1, state_.nr_cell_id);
+      } else if (c.type == EventType::kB1) {
+        // NR-B1: candidate on a DIFFERENT gNB (pairs with NR-A2 -> SCGC).
+        n = best_of_band(obs, config_.nr_band, -1, serving_tower, state_.nr_cell_id);
+      } else {
+        n = best_of_band(obs, config_.nr_band, -1, -1, state_.nr_cell_id);
+      }
+      if (n) {
+        snap.best_neighbor_rsrp = n->rrs.rsrp;
+        snap.best_neighbor_pci = n->cell->pci;
+        snap.best_neighbor_cell_id = n->cell->id;
+        snap.neighbor_valid = true;
+      }
+    }
+
+    if (auto fired = mon.evaluate(t, snap)) {
+      MeasurementReport mr;
+      mr.time = t;
+      mr.event = fired->type;
+      mr.scope = fired->scope;
+      mr.serving_pci = serving_pci;
+      mr.neighbor_pci = fired->neighbor_pci;
+      mr.neighbor_cell_id = fired->neighbor_cell_id;
+      mr.serving_rsrp = fired->serving_rsrp;
+      mr.neighbor_rsrp = fired->neighbor_rsrp;
+      out.reports.push_back(mr);
+      phase_reports_.push_back(mr);
+    }
+  }
+
+  // Bound the phase memory: reports older than 5 s no longer participate in
+  // composite decisions.
+  std::erase_if(phase_reports_,
+                [t](const MeasurementReport& r) { return t - r.time > 5.0; });
+}
+
+namespace {
+
+bool phase_contains(const std::vector<MeasurementReport>& phase, EventType type,
+                    MeasScope scope) {
+  return std::any_of(phase.begin(), phase.end(), [&](const MeasurementReport& r) {
+    return r.event == type && r.scope == scope;
+  });
+}
+
+const MeasurementReport* phase_find(const std::vector<MeasurementReport>& phase,
+                                    EventType type, MeasScope scope) {
+  for (auto it = phase.rbegin(); it != phase.rend(); ++it) {
+    if (it->event == type && it->scope == scope) return &*it;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void MobilityManager::decide(Seconds t, Meters route_position,
+                             const std::vector<CellObservation>& obs,
+                             TickResult& out) {
+  if (pending_) return;  // one procedure at a time
+
+  for (const MeasurementReport& r : out.reports) {
+    if (pending_) break;
+    switch (r.event) {
+      case EventType::kA3:
+        if (r.scope == MeasScope::kServingLte) {
+          if (r.neighbor_cell_id < 0) break;
+          const HoType type = state_.nr_attached() ? HoType::kMnbh : HoType::kLteh;
+          start_ho(type, t, route_position, state_.lte_cell_id, r.neighbor_cell_id,
+                   out);
+        } else if (config_.arch == Arch::kSa) {
+          if (r.neighbor_cell_id >= 0) {
+            start_ho(HoType::kMcgh, t, route_position, state_.nr_cell_id,
+                     r.neighbor_cell_id, out);
+          }
+        } else if (state_.nr_attached() && r.neighbor_cell_id >= 0) {
+          start_ho(HoType::kScgm, t, route_position, state_.nr_cell_id,
+                   r.neighbor_cell_id, out);
+        }
+        break;
+
+      case EventType::kA5:
+        if (r.neighbor_cell_id < 0) break;
+        if (r.scope == MeasScope::kServingLte) {
+          const HoType type = state_.nr_attached() ? HoType::kMnbh : HoType::kLteh;
+          start_ho(type, t, route_position, state_.lte_cell_id, r.neighbor_cell_id,
+                   out);
+        } else if (config_.arch == Arch::kSa) {
+          start_ho(HoType::kMcgh, t, route_position, state_.nr_cell_id,
+                   r.neighbor_cell_id, out);
+        }
+        break;
+
+      case EventType::kB1:
+        if (r.scope == MeasScope::kServingLte) {
+          // SCG Addition: LTE-anchored B1 with no SCG attached.
+          if (config_.arch == Arch::kNsa && !state_.nr_attached() &&
+              r.neighbor_cell_id >= 0) {
+            start_ho(HoType::kScga, t, route_position, -1, r.neighbor_cell_id, out);
+          }
+        } else {
+          // NR-B1 after NR-A2 -> SCG Change to the other gNB.
+          if (state_.nr_attached() &&
+              phase_contains(phase_reports_, EventType::kA2, MeasScope::kServingNr) &&
+              r.neighbor_cell_id >= 0) {
+            start_ho(HoType::kScgc, t, route_position, state_.nr_cell_id,
+                     r.neighbor_cell_id, out);
+          }
+        }
+        break;
+
+      case EventType::kA2:
+        if (r.scope == MeasScope::kServingNr && config_.arch == Arch::kNsa &&
+            state_.nr_attached()) {
+          // SCGC when a different-gNB candidate sits above the B1 threshold
+          // (reported earlier in this phase, or known from the still-latched
+          // B1 monitor); otherwise release the SCG.
+          int target = -1;
+          const MeasurementReport* b1 =
+              phase_find(phase_reports_, EventType::kB1, MeasScope::kServingNr);
+          if (b1 && b1->neighbor_cell_id >= 0 && find_obs(obs, b1->neighbor_cell_id)) {
+            target = b1->neighbor_cell_id;
+          } else {
+            // SCG Change picks a candidate by ABSOLUTE threshold, not by
+            // comparing candidates: the release and re-addition legs are
+            // independent decisions (the §6.2 inefficiency). The nearest
+            // candidate above the B1 threshold wins, best or not.
+            const Dbm b1_threshold = nr_b1_threshold();
+            const Cell& serving = deployment_.cell(state_.nr_cell_id);
+            int best_id = -1;
+            for (const CellObservation& o : obs) {
+              if (o.cell->band != config_.nr_band) continue;
+              if (o.cell->id == state_.nr_cell_id) continue;
+              if (o.cell->tower_id == serving.tower_id) continue;
+              if (o.rrs.rsrp <= b1_threshold) continue;
+              // Lowest cell id above threshold: an arbitrary-but-qualifying
+              // candidate, NOT the best one. A later SCGM corrects the beam
+              // (the Fig. 16 post-SCGM gain).
+              if (best_id < 0 || o.cell->id < best_id) best_id = o.cell->id;
+            }
+            target = best_id;
+          }
+          if (target >= 0) {
+            start_ho(HoType::kScgc, t, route_position, state_.nr_cell_id, target, out);
+          } else {
+            start_ho(HoType::kScgr, t, route_position, state_.nr_cell_id, -1, out);
+          }
+        }
+        break;
+
+      default:
+        break;  // A1/A4/A6 carry no decision in the default policy
+    }
+  }
+}
+
+Dbm MobilityManager::nr_b1_threshold() const {
+  for (const EventMonitor& m : monitors_) {
+    if (m.config().type == EventType::kB1 &&
+        m.config().scope == MeasScope::kServingNr) {
+      return m.config().threshold1;
+    }
+  }
+  return -90.0;
+}
+
+bool MobilityManager::is_colocated_endpoint(int src_cell, int dst_cell) const {
+  // "Co-located" when the gNB tower of the origin or destination NR cell
+  // also hosts an eNB (§6.3). For pure-LTE procedures this is vacuous.
+  for (int id : {dst_cell, src_cell}) {
+    if (id < 0) continue;
+    const Cell& c = deployment_.cell(id);
+    if (radio::band_rat(c.band) != radio::Rat::kNr) continue;
+    if (deployment_.tower(c.tower_id).colocated) return true;
+  }
+  return false;
+}
+
+void MobilityManager::start_ho(HoType type, Seconds t, Meters route_position,
+                               int src_cell, int dst_cell, TickResult& out) {
+  HandoverRecord rec;
+  rec.type = type;
+  rec.decision_time = t;
+  rec.colocated = is_colocated_endpoint(src_cell, dst_cell);
+
+  radio::Band band = config_.nr_band;
+  if (type == HoType::kLteh) band = config_.lte_band;
+  rec.timing = sample_ho_timing(type, band, rec.colocated, rng_);
+  rec.signaling = ho_signaling(type, band, rng_);
+  rec.exec_start = t + ms_to_s(rec.timing.t1_ms);
+  rec.complete_time = rec.exec_start + ms_to_s(rec.timing.t2_ms);
+  rec.route_position = route_position;
+
+  if (src_cell >= 0) {
+    rec.src_pci = deployment_.cell(src_cell).pci;
+    rec.src_band = deployment_.cell(src_cell).band;
+  } else {
+    rec.src_band = band;
+  }
+  if (dst_cell >= 0) {
+    rec.dst_pci = deployment_.cell(dst_cell).pci;
+    rec.dst_band = deployment_.cell(dst_cell).band;
+  } else {
+    rec.dst_band = band;
+  }
+
+  PendingHo p;
+  p.record = rec;
+  p.in_execution = false;
+  p.phase_end = rec.exec_start;
+  // Stash target cell ids via pci lookup on completion; keep ids here.
+  target_cell_ = dst_cell;
+  pending_ = p;
+  phase_reports_.clear();
+  out.started.push_back(rec);
+}
+
+void MobilityManager::progress_pending(Seconds t, TickResult& out) {
+  while (pending_ && pending_->phase_end <= t) {
+    if (!pending_->in_execution) {
+      pending_->in_execution = true;
+      pending_->phase_end = pending_->record.complete_time;
+      const HoInterruption intr = ho_interruption(pending_->record.type);
+      state_.lte_data_halted = intr.halts_lte;
+      state_.nr_data_halted = intr.halts_nr;
+    } else {
+      const HandoverRecord rec = pending_->record;
+      pending_.reset();
+      state_.lte_data_halted = false;
+      state_.nr_data_halted = false;
+      apply_completed(rec);
+      out.completed.push_back(rec);
+    }
+  }
+}
+
+void MobilityManager::apply_completed(const HandoverRecord& rec) {
+  switch (rec.type) {
+    case HoType::kLteh:
+      state_.lte_cell_id = target_cell_;
+      break;
+    case HoType::kMnbh:
+      state_.lte_cell_id = target_cell_;
+      if (config_.mnbh_releases_scg) state_.nr_cell_id = -1;
+      break;
+    case HoType::kScga:
+    case HoType::kScgm:
+    case HoType::kScgc:
+    case HoType::kMcgh:
+      state_.nr_cell_id = target_cell_;
+      break;
+    case HoType::kScgr:
+      state_.nr_cell_id = -1;
+      break;
+  }
+  for (EventMonitor& m : monitors_) m.reset();
+  phase_reports_.clear();
+}
+
+void MobilityManager::reset_monitors(MeasScope scope) {
+  for (EventMonitor& m : monitors_) {
+    if (m.config().scope == scope) m.reset();
+  }
+}
+
+TickResult MobilityManager::tick(Seconds t, geo::Point pos, Meters moved,
+                                 Meters route_position) {
+  TickResult out;
+  // Observe all layers relevant to the architecture.
+  if (config_.arch != Arch::kSa) observe(t, pos, moved, config_.lte_band, out.observations);
+  if (config_.arch != Arch::kLteOnly) observe(t, pos, moved, config_.nr_band, out.observations);
+
+  progress_pending(t, out);
+  ensure_attached(out.observations);
+
+  // UEs do not report during HO execution.
+  const bool executing = pending_ && pending_->in_execution;
+  if (!executing) {
+    run_event_monitors(t, out.observations, out);
+    decide(t, route_position, out.observations, out);
+  }
+  return out;
+}
+
+}  // namespace p5g::ran

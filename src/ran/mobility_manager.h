@@ -1,0 +1,136 @@
+// MobilityManager — the network-side mobility state machine driven by UE
+// movement. Each tick it:
+//   1. produces RRS observations for every in-range cell (path loss +
+//      correlated shadowing + fading),
+//   2. evaluates the configured 3GPP measurement events and raises
+//      measurement reports,
+//   3. runs the carrier HO decision logic mapping report sequences to HO
+//      procedures (the patterns Prognos later has to learn):
+//        [A3 lte]           -> LTEH (or MNBH when the SCG is attached)
+//        [B1 lte-scope]     -> SCGA
+//        [A2 nr]            -> SCGR          (no NR candidate)
+//        [A2 nr, B1 nr]     -> SCGC          (candidate on another gNB)
+//        [A3 nr]            -> SCGM          (sector/beam on the same gNB)
+//        [A3 nr] (SA)       -> MCGH
+//   4. advances in-flight HOs through T1 (preparation) and T2 (execution,
+//      data plane halted per ho_interruption()).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "radio/propagation.h"
+#include "ran/deployment.h"
+#include "ran/events.h"
+#include "ran/handover.h"
+
+namespace p5g::ran {
+
+struct CellObservation {
+  const Cell* cell = nullptr;
+  radio::Rrs rrs{};
+};
+
+// UE connection state as visible to upper layers.
+struct UeRadioState {
+  Arch arch = Arch::kNsa;
+  int lte_cell_id = -1;   // MCG primary (invalid in SA)
+  int nr_cell_id = -1;    // SCG (NSA) or primary (SA)
+  bool lte_data_halted = false;  // inside a T2 that halts the LTE leg
+  bool nr_data_halted = false;   // inside a T2 that halts the NR leg
+  bool nr_attached() const { return nr_cell_id >= 0; }
+  bool lte_attached() const { return lte_cell_id >= 0; }
+};
+
+struct TickResult {
+  std::vector<CellObservation> observations;
+  std::vector<MeasurementReport> reports;
+  std::vector<HandoverRecord> started;    // decisions made this tick
+  std::vector<HandoverRecord> completed;  // RACH finished this tick
+};
+
+class MobilityManager {
+ public:
+  struct Config {
+    Arch arch = Arch::kNsa;
+    radio::Band nr_band = radio::Band::kNrLow;   // NR layer for this area
+    radio::Band lte_band = radio::Band::kLteMid; // anchor / LTE-only layer
+    // NSA-4C anchor HO releases the SCG (the §6.1 effective-coverage
+    // mechanism). Set false to ablate.
+    bool mnbh_releases_scg = true;
+    // Observation radius as a multiple of the band's nominal cell radius.
+    double observe_radius_factor = 2.6;
+    // Extra interference margin (raises the noise floor), per leg.
+    Db lte_interference_db = 4.0;
+    Db nr_interference_db = 3.0;
+  };
+
+  MobilityManager(const Deployment& deployment, Config config, Rng rng);
+
+  // Advance to time `t` with the UE at `pos`, having moved `moved` metres
+  // since the previous tick. `route_position` is arc length along the
+  // route (recorded into HandoverRecords for frequency analysis).
+  TickResult tick(Seconds t, geo::Point pos, Meters moved, Meters route_position);
+
+  const UeRadioState& state() const { return state_; }
+  const Deployment& deployment() const { return deployment_; }
+
+  // Event configurations currently active (what a real UE would have
+  // received via RRC); Prognos consumes these.
+  std::vector<EventConfig> active_event_configs() const;
+
+  // True while any HO is in flight (T1 or T2).
+  bool ho_in_flight() const { return pending_.has_value(); }
+
+  // The HO currently in its execution (T2) stage, if any.
+  std::optional<HoType> executing_ho() const {
+    if (pending_ && pending_->in_execution) return pending_->record.type;
+    return std::nullopt;
+  }
+
+ private:
+  struct PendingHo {
+    HandoverRecord record;
+    bool in_execution = false;  // false: T1 (prep), true: T2 (exec)
+    Seconds phase_end = 0.0;
+  };
+
+  void observe(Seconds t, geo::Point pos, Meters moved, radio::Band band,
+               std::vector<CellObservation>& out);
+  const CellObservation* find_obs(const std::vector<CellObservation>& obs,
+                                  int cell_id) const;
+  // Strongest observation of `band`, optionally restricted to / excluding a
+  // tower.
+  const CellObservation* best_of_band(const std::vector<CellObservation>& obs,
+                                      radio::Band band, int same_tower,
+                                      int exclude_tower, int exclude_cell) const;
+
+  void ensure_attached(const std::vector<CellObservation>& obs);
+  void run_event_monitors(Seconds t, const std::vector<CellObservation>& obs,
+                          TickResult& out);
+  void decide(Seconds t, Meters route_position,
+              const std::vector<CellObservation>& obs, TickResult& out);
+  void start_ho(HoType type, Seconds t, Meters route_position, int src_cell,
+                int dst_cell, TickResult& out);
+  void progress_pending(Seconds t, TickResult& out);
+  void apply_completed(const HandoverRecord& rec);
+  bool is_colocated_endpoint(int src_cell, int dst_cell) const;
+  void reset_monitors(MeasScope scope);
+  // Configured NR-B1 absolute threshold (SCGC candidate gate).
+  Dbm nr_b1_threshold() const;
+
+  const Deployment& deployment_;
+  Config config_;
+  Rng rng_;
+  UeRadioState state_;
+  std::map<int, radio::ShadowingField> shadowing_;  // by cell id
+  std::vector<EventMonitor> monitors_;
+  std::optional<PendingHo> pending_;
+  int target_cell_ = -1;  // dense cell id of the pending HO's target
+  // Recent reports in the current decision phase (cleared on HO start).
+  std::vector<MeasurementReport> phase_reports_;
+};
+
+}  // namespace p5g::ran

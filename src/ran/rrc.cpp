@@ -1,0 +1,14 @@
+#include "ran/rrc.h"
+
+namespace p5g::ran {
+
+std::string_view rrc_message_name(RrcMessageType t) {
+  switch (t) {
+    case RrcMessageType::kMeasurementReport: return "MeasurementReport";
+    case RrcMessageType::kRrcReconfiguration: return "RRCReconfiguration";
+    case RrcMessageType::kRrcReconfigurationComplete: return "RRCReconfigurationComplete";
+  }
+  return "?";
+}
+
+}  // namespace p5g::ran

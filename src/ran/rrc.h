@@ -1,0 +1,52 @@
+// RRC-layer signaling message types and per-layer signaling accounting.
+//
+// The paper counts three RRC message types (Measurement Report,
+// RRCReconfiguration, RRCReconfigurationComplete), the MAC-layer RACH
+// procedure, and PHY-layer SSB/SSR measurements when comparing signaling
+// overhead across architectures (§5.1).
+#pragma once
+
+#include <string_view>
+
+#include "common/units.h"
+#include "ran/events.h"
+
+namespace p5g::ran {
+
+enum class RrcMessageType {
+  kMeasurementReport,
+  kRrcReconfiguration,          // the HO command
+  kRrcReconfigurationComplete,  // UE acknowledgement
+};
+
+std::string_view rrc_message_name(RrcMessageType t);
+
+// A measurement report as delivered to the primary cell.
+struct MeasurementReport {
+  Seconds time = 0.0;
+  EventType event{};
+  MeasScope scope{};
+  int serving_pci = -1;
+  int neighbor_pci = -1;
+  int neighbor_cell_id = -1;
+  Dbm serving_rsrp = -140.0;
+  Dbm neighbor_rsrp = -140.0;
+};
+
+// Per-layer signaling message counts attributable to one HO (or accumulated
+// over a window).
+struct SignalingCounts {
+  int rrc = 0;   // MR + Reconfiguration + ReconfigurationComplete
+  int mac = 0;   // RACH attempts (preamble + response + msg3/msg4)
+  int phy = 0;   // SSB / SSR measurement occasions
+
+  SignalingCounts& operator+=(const SignalingCounts& o) {
+    rrc += o.rrc;
+    mac += o.mac;
+    phy += o.phy;
+    return *this;
+  }
+  int total() const { return rrc + mac + phy; }
+};
+
+}  // namespace p5g::ran

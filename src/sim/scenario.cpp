@@ -1,0 +1,162 @@
+#include "sim/scenario.h"
+
+#include <memory>
+
+#include "ue/mobility.h"
+
+namespace p5g::sim {
+
+geo::Route build_route(const Scenario& s, Rng& rng) {
+  switch (s.mobility) {
+    case MobilityKind::kFreeway: {
+      const Meters len = kmh_to_mps(s.speed_kmh) * s.duration * 1.1;
+      return geo::make_freeway_route(len, rng);
+    }
+    case MobilityKind::kCity: {
+      const Meters len = kmh_to_mps(s.speed_kmh) * s.duration * 0.8;
+      return geo::make_city_route(len, 180.0, rng);
+    }
+    case MobilityKind::kWalkLoop: {
+      // Perimeter sized so one loop takes roughly a third of the duration.
+      const Meters perimeter = std::max(800.0, 1.4 * s.duration / 3.0);
+      return geo::make_loop_route(perimeter, rng);
+    }
+  }
+  return geo::Route({{0, 0}, {1000, 0}});
+}
+
+namespace {
+
+std::unique_ptr<ue::MobilityModel> build_mobility(const Scenario& s,
+                                                  const geo::Route& route, Rng rng) {
+  switch (s.mobility) {
+    case MobilityKind::kFreeway:
+      return std::make_unique<ue::ConstantSpeedDriver>(route, s.speed_kmh, rng);
+    case MobilityKind::kCity:
+      return std::make_unique<ue::StopAndGoDriver>(route, s.speed_kmh, rng);
+    case MobilityKind::kWalkLoop:
+      return std::make_unique<ue::Walker>(route, rng);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+trace::TraceLog run_scenario(const Scenario& s, const ran::Deployment& deployment,
+                             const geo::Route& route) {
+  Rng rng(s.seed ^ 0xD1CEu);
+  ran::MobilityManager::Config mm_cfg;
+  mm_cfg.arch = s.arch;
+  mm_cfg.nr_band = s.nr_band;
+  mm_cfg.lte_band = s.lte_band;
+  mm_cfg.mnbh_releases_scg = s.mnbh_releases_scg;
+  ran::MobilityManager manager(deployment, mm_cfg, rng.fork(1));
+
+  auto mobility = build_mobility(s, route, rng.fork(2));
+  Rng data_rng = rng.fork(3);
+
+  trace::TraceLog log;
+  log.name = s.name;
+  log.arch = s.arch;
+  log.nr_band = s.nr_band;
+  log.lte_band = s.lte_band;
+  log.tick_hz = s.tick_hz;
+
+  const Seconds dt = 1.0 / s.tick_hz;
+  Meters prev_s = mobility->current().route_position;
+  const auto total_ticks = static_cast<std::size_t>(s.duration * s.tick_hz);
+  log.ticks.reserve(total_ticks);
+
+  // Bulk-TCP recovery: after a data-plane interruption the flow rebuilds
+  // its window; throughput ramps back over ~1.5 s instead of stepping.
+  constexpr Seconds kTcpRecovery = 1.5;
+  Seconds halted_until = -1.0;  // end of the last interruption
+  bool was_halted = false;
+
+  // The UE receives the HO command (RRCReconfiguration) at the END of the
+  // preparation stage, T1 after the decision.
+  std::vector<ran::HandoverRecord> pending_commands;
+
+  for (std::size_t i = 0; i < total_ticks; ++i) {
+    const Seconds t = static_cast<double>(i) * dt;
+    const ue::UePosition pos = mobility->advance(dt);
+    const Meters moved = pos.route_position - prev_s;
+    prev_s = pos.route_position;
+
+    ran::TickResult res = manager.tick(t, pos.point, moved, pos.route_position);
+    const ran::UeRadioState& st = manager.state();
+
+    trace::TickRecord rec;
+    rec.time = t;
+    rec.route_position = pos.route_position;
+    rec.position = pos.point;
+    rec.speed_mps = pos.speed_mps;
+    rec.lte_halted = st.lte_data_halted;
+    rec.nr_halted = st.nr_data_halted;
+    rec.nr_attached = st.nr_attached();
+
+    tput::DataPlaneInput dp;
+    dp.mode = s.traffic_mode;
+    for (const ran::CellObservation& o : res.observations) {
+      trace::ObservedCell oc;
+      oc.pci = o.cell->pci;
+      oc.cell_id = o.cell->id;
+      oc.tower_id = o.cell->tower_id;
+      oc.band = o.cell->band;
+      oc.rrs = o.rrs;
+      rec.observed.push_back(oc);
+      if (o.cell->id == st.lte_cell_id) {
+        rec.lte_pci = o.cell->pci;
+        rec.lte_rrs = o.rrs;
+        dp.lte = {true, st.lte_data_halted, o.cell->band, o.rrs.sinr};
+      }
+      if (o.cell->id == st.nr_cell_id) {
+        rec.nr_pci = o.cell->pci;
+        rec.nr_rrs = o.rrs;
+        dp.nr = {true, st.nr_data_halted, o.cell->band, o.rrs.sinr};
+      }
+    }
+
+    rec.throughput_mbps = tput::downlink_throughput(dp, data_rng);
+    // TCP window recovery after interruptions of the active leg.
+    const bool halted_now =
+        (dp.nr.attached && dp.nr.halted) || (!dp.nr.attached && dp.lte.halted) ||
+        (s.traffic_mode == tput::TrafficMode::kDual && dp.lte.halted);
+    if (halted_now) {
+      was_halted = true;
+    } else if (was_halted) {
+      was_halted = false;
+      halted_until = t;
+    }
+    if (!halted_now && halted_until >= 0.0 && t - halted_until < kTcpRecovery) {
+      const double ramp = 0.15 + 0.85 * (t - halted_until) / kTcpRecovery;
+      rec.throughput_mbps *= ramp;
+    }
+    rec.rtt_ms = tput::rtt_sample(dp, manager.executing_ho(), data_rng);
+    rec.reports = res.reports;
+    rec.ho_started = res.started;
+    for (const ran::HandoverRecord& h : res.started) pending_commands.push_back(h);
+    std::erase_if(pending_commands, [&](const ran::HandoverRecord& h) {
+      if (h.exec_start <= t) {
+        rec.ho_commands.push_back(h);
+        return true;
+      }
+      return false;
+    });
+    rec.ho_completed = res.completed;
+    for (const ran::HandoverRecord& h : res.completed) log.handovers.push_back(h);
+
+    log.ticks.push_back(std::move(rec));
+  }
+  return log;
+}
+
+trace::TraceLog run_scenario(const Scenario& s) {
+  Rng rng(s.seed);
+  geo::Route route = build_route(s, rng);
+  Rng dep_rng = rng.fork(7);
+  ran::Deployment deployment(s.carrier, route, dep_rng);
+  return run_scenario(s, deployment, route);
+}
+
+}  // namespace p5g::sim

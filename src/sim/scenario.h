@@ -1,0 +1,49 @@
+// Scenario definitions and the drive/walk simulator that produces TraceLogs.
+//
+// A Scenario fixes everything the paper's field methodology fixed: carrier,
+// architecture, NR band for the area, route shape, mobility profile, NSA
+// traffic mode, duration, and the RNG seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ran/deployment.h"
+#include "trace/trace.h"
+#include "tput/throughput.h"
+
+namespace p5g::sim {
+
+enum class MobilityKind {
+  kFreeway,  // near-constant high speed on a long route
+  kCity,     // stop-and-go grid driving
+  kWalkLoop, // pedestrian loop (the D1/D2 prediction datasets)
+};
+
+struct Scenario {
+  std::string name = "scenario";
+  ran::CarrierProfile carrier = ran::profile_opx();
+  ran::Arch arch = ran::Arch::kNsa;
+  radio::Band nr_band = radio::Band::kNrLow;
+  radio::Band lte_band = radio::Band::kLteMid;
+  MobilityKind mobility = MobilityKind::kFreeway;
+  double speed_kmh = 110.0;            // ignored for kWalkLoop
+  Seconds duration = 1800.0;
+  double tick_hz = 20.0;
+  tput::TrafficMode traffic_mode = tput::TrafficMode::kNrOnly;
+  bool mnbh_releases_scg = true;       // §6.1 coverage mechanism (ablatable)
+  std::uint64_t seed = 1;
+};
+
+// Runs the scenario end to end and returns the full trace.
+trace::TraceLog run_scenario(const Scenario& s);
+
+// Variant that reuses an existing deployment (so repeated loops over the
+// same area — the paper's 6x/10x walking loops — see the same towers).
+trace::TraceLog run_scenario(const Scenario& s, const ran::Deployment& deployment,
+                             const geo::Route& route);
+
+// Builds the route a scenario would use (exposed so callers can share it).
+geo::Route build_route(const Scenario& s, Rng& rng);
+
+}  // namespace p5g::sim

@@ -1,0 +1,82 @@
+#include "tput/throughput.h"
+
+#include <algorithm>
+
+namespace p5g::tput {
+
+Mbps link_capacity(radio::Band band, Db sinr_db) {
+  const radio::BandProfile& p = radio::band_profile(band);
+  return p.peak_throughput * radio::sinr_to_efficiency(sinr_db);
+}
+
+namespace {
+
+Mbps leg_capacity(const LegState& leg) {
+  if (!leg.attached || leg.halted) return 0.0;
+  return link_capacity(leg.band, leg.sinr_db);
+}
+
+}  // namespace
+
+Mbps downlink_throughput(const DataPlaneInput& in, Rng& rng) {
+  const Mbps lte_cap = leg_capacity(in.lte);
+  const Mbps nr_cap = leg_capacity(in.nr);
+
+  Mbps total = 0.0;
+  if (in.mode == TrafficMode::kNrOnly) {
+    // SCG bearer: everything rides NR; when the SCG is absent the bearer
+    // falls back to the MCG (LTE).
+    total = in.nr.attached ? nr_cap : lte_cap;
+  } else {
+    // MCG split: both interfaces carry data; the eNB split point costs some
+    // NR efficiency (core -> eNB -> gNB forwarding).
+    total = 0.92 * nr_cap + 0.80 * lte_cap;
+  }
+  // Scheduler / fair-share utilization ripple.
+  return total * rng.uniform(0.82, 1.0);
+}
+
+Milliseconds rtt_sample(const DataPlaneInput& in,
+                        std::optional<ran::HoType> active_ho, Rng& rng) {
+  // Base path RTT by bearer topology.
+  Milliseconds base;
+  if (!in.nr.attached) {
+    base = 42.0;  // LTE only
+  } else if (in.mode == TrafficMode::kNrOnly) {
+    base = 28.0;  // core -> gNB directly
+  } else {
+    base = 38.0;  // core -> eNB -> gNB detour
+  }
+  // Heavy-tailed queueing noise.
+  Milliseconds rtt = base + rng.exponential(4.0) + rng.normal(0.0, 1.5);
+
+  if (active_ho) {
+    const ran::HoInterruption intr = ran::ho_interruption(*active_ho);
+    const bool nr_hit = intr.halts_nr;
+    const bool lte_hit = intr.halts_lte;
+    if (nr_hit && lte_hit) {
+      // Anchor HO with SCG handling (MNBH): every path is down.
+      rtt *= rng.uniform(1.9, 3.2);
+      if (rng.bernoulli(0.5)) rtt += rng.uniform(80.0, 300.0);
+    } else if (nr_hit && !in.nr.attached) {
+      // SCG Addition: the bearer stays on LTE; only a brief reconfiguration
+      // pause is felt.
+      rtt *= rng.uniform(1.2, 1.5);
+    } else if (in.mode == TrafficMode::kDual && in.nr.attached && nr_hit && !lte_hit) {
+      // The 4G leg keeps transmitting: only a slight median change (1-4 %).
+      rtt *= rng.uniform(1.01, 1.05);
+    } else if (lte_hit && (in.mode == TrafficMode::kDual || !in.nr.attached)) {
+      // Anchor HO stalls everything.
+      rtt *= rng.uniform(1.8, 3.5);
+    } else if (nr_hit) {
+      // NR-only bearer with the single interface down: packets queue for
+      // the length of the interruption; median inflation 37-58 %, tail
+      // much worse.
+      rtt *= rng.uniform(1.37, 1.9);
+      if (rng.bernoulli(0.2)) rtt += rng.uniform(40.0, 160.0);
+    }
+  }
+  return std::max(rtt, 4.0);
+}
+
+}  // namespace p5g::tput

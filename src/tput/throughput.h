@@ -1,0 +1,56 @@
+// Data-plane models: per-tick downlink throughput and TCP RTT, as functions
+// of the UE radio state and any HO in execution.
+//
+// Key behaviours reproduced:
+//  * NSA traffic modes (§4.2): SCG ("5G-only") bearer puts all traffic on
+//    NR — lower base RTT but a dead data plane during NR HOs; MCG-split
+//    ("dual") bearer keeps LTE flowing through NR HOs at the cost of the
+//    core->eNB->gNB detour (higher base RTT).
+//  * HO interruption (§5.2): data on a halted leg is zero during T2.
+//  * Band capacity ordering (§6.2/Fig. 12/16): mmWave >> mid > low >> LTE.
+#pragma once
+
+#include <optional>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "radio/band.h"
+#include "radio/propagation.h"
+#include "ran/handover.h"
+
+namespace p5g::tput {
+
+// NSA bearer configuration (§4.2).
+enum class TrafficMode {
+  kDual,    // MCG split bearer: traffic on both 4G and 5G interfaces
+  kNrOnly,  // SCG bearer: all traffic on the 5G interface
+};
+
+// Instantaneous achievable capacity of one link.
+Mbps link_capacity(radio::Band band, Db sinr_db);
+
+// Per-leg link state fed into the data-plane models.
+struct LegState {
+  bool attached = false;
+  bool halted = false;  // inside a T2 that halts this leg
+  radio::Band band{};
+  Db sinr_db = -20.0;
+};
+
+struct DataPlaneInput {
+  LegState lte;
+  LegState nr;
+  TrafficMode mode = TrafficMode::kNrOnly;
+};
+
+// Bulk-transfer (iPerf-style saturating flow) downlink throughput for one
+// tick. Applies scheduler utilization noise.
+Mbps downlink_throughput(const DataPlaneInput& in, Rng& rng);
+
+// TCP round-trip-time sample for one tick. `active_ho` is the procedure in
+// execution (T2) if any; dual mode absorbs NR HO interruptions (1-4 % RTT
+// change) while NR-only mode inflates 37-58 % in the median (§4.2).
+Milliseconds rtt_sample(const DataPlaneInput& in,
+                        std::optional<ran::HoType> active_ho, Rng& rng);
+
+}  // namespace p5g::tput

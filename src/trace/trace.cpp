@@ -1,0 +1,166 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/csv.h"
+
+namespace p5g::trace {
+namespace {
+
+const char* band_code(radio::Band b) {
+  switch (b) {
+    case radio::Band::kLteLow: return "lte_low";
+    case radio::Band::kLteMid: return "lte_mid";
+    case radio::Band::kNrLow: return "nr_low";
+    case radio::Band::kNrMid: return "nr_mid";
+    case radio::Band::kNrMmWave: return "nr_mmw";
+  }
+  return "?";
+}
+
+radio::Band parse_band(const std::string& s) {
+  if (s == "lte_low") return radio::Band::kLteLow;
+  if (s == "lte_mid") return radio::Band::kLteMid;
+  if (s == "nr_low") return radio::Band::kNrLow;
+  if (s == "nr_mid") return radio::Band::kNrMid;
+  return radio::Band::kNrMmWave;
+}
+
+const char* ho_code(ran::HoType t) { return ran::ho_name(t).data(); }
+
+ran::HoType parse_ho(const std::string& s) {
+  if (s == "LTEH") return ran::HoType::kLteh;
+  if (s == "SCGA") return ran::HoType::kScga;
+  if (s == "SCGR") return ran::HoType::kScgr;
+  if (s == "SCGM") return ran::HoType::kScgm;
+  if (s == "SCGC") return ran::HoType::kScgc;
+  if (s == "MNBH") return ran::HoType::kMnbh;
+  return ran::HoType::kMcgh;
+}
+
+std::string encode_reports(const std::vector<ran::MeasurementReport>& rs) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    if (i) os << ';';
+    os << ran::event_name(rs[i].event) << '@'
+       << (rs[i].scope == ran::MeasScope::kServingNr ? "NR" : "LTE");
+  }
+  return os.str();
+}
+
+ran::EventType parse_event(const std::string& s) {
+  if (s == "A1") return ran::EventType::kA1;
+  if (s == "A2") return ran::EventType::kA2;
+  if (s == "A3") return ran::EventType::kA3;
+  if (s == "A4") return ran::EventType::kA4;
+  if (s == "A5") return ran::EventType::kA5;
+  if (s == "A6") return ran::EventType::kA6;
+  return ran::EventType::kB1;
+}
+
+std::vector<ran::MeasurementReport> decode_reports(const std::string& s, Seconds t) {
+  std::vector<ran::MeasurementReport> out;
+  std::istringstream is(s);
+  std::string item;
+  while (std::getline(is, item, ';')) {
+    const auto at = item.find('@');
+    if (at == std::string::npos) continue;
+    ran::MeasurementReport mr;
+    mr.time = t;
+    mr.event = parse_event(item.substr(0, at));
+    mr.scope = item.substr(at + 1) == "NR" ? ran::MeasScope::kServingNr
+                                           : ran::MeasScope::kServingLte;
+    out.push_back(mr);
+  }
+  return out;
+}
+
+double to_d(const std::string& s) { return std::atof(s.c_str()); }
+int to_i(const std::string& s) { return std::atoi(s.c_str()); }
+
+}  // namespace
+
+void write_csv(const TraceLog& log, const std::string& path) {
+  csv::Writer w(path, {"time", "route_pos", "x", "y", "speed", "lte_pci", "lte_rsrp",
+                       "lte_rsrq", "lte_sinr", "nr_pci", "nr_rsrp", "nr_rsrq",
+                       "nr_sinr", "nr_attached", "lte_halted", "nr_halted",
+                       "tput_mbps", "rtt_ms", "reports"});
+  for (const TickRecord& t : log.ticks) {
+    w.write_row({csv::format(t.time, 3), csv::format(t.route_position, 1),
+                 csv::format(t.position.x, 1), csv::format(t.position.y, 1),
+                 csv::format(t.speed_mps, 2), csv::cell(t.lte_pci),
+                 csv::format(t.lte_rrs.rsrp, 1), csv::format(t.lte_rrs.rsrq, 1),
+                 csv::format(t.lte_rrs.sinr, 1), csv::cell(t.nr_pci),
+                 csv::format(t.nr_rrs.rsrp, 1), csv::format(t.nr_rrs.rsrq, 1),
+                 csv::format(t.nr_rrs.sinr, 1), t.nr_attached ? "1" : "0",
+                 t.lte_halted ? "1" : "0", t.nr_halted ? "1" : "0",
+                 csv::format(t.throughput_mbps, 1), csv::format(t.rtt_ms, 2),
+                 encode_reports(t.reports)});
+  }
+
+  csv::Writer hw(path + ".ho.csv",
+                 {"type", "decision_time", "exec_start", "complete_time", "t1_ms",
+                  "t2_ms", "src_pci", "dst_pci", "src_band", "dst_band", "colocated",
+                  "rrc", "mac", "phy", "route_pos"});
+  for (const ran::HandoverRecord& h : log.handovers) {
+    hw.write_row({ho_code(h.type), csv::format(h.decision_time, 3),
+                  csv::format(h.exec_start, 3), csv::format(h.complete_time, 3),
+                  csv::format(h.timing.t1_ms, 2), csv::format(h.timing.t2_ms, 2),
+                  csv::cell(h.src_pci), csv::cell(h.dst_pci), band_code(h.src_band),
+                  band_code(h.dst_band), h.colocated ? "1" : "0",
+                  csv::cell(h.signaling.rrc), csv::cell(h.signaling.mac),
+                  csv::cell(h.signaling.phy), csv::format(h.route_position, 1)});
+  }
+}
+
+TraceLog read_csv(const std::string& path) {
+  TraceLog log;
+  const csv::Table t = csv::read_file(path);
+  for (const auto& r : t.rows) {
+    TickRecord rec;
+    rec.time = to_d(r[0]);
+    rec.route_position = to_d(r[1]);
+    rec.position = {to_d(r[2]), to_d(r[3])};
+    rec.speed_mps = to_d(r[4]);
+    rec.lte_pci = to_i(r[5]);
+    rec.lte_rrs = {to_d(r[6]), to_d(r[7]), to_d(r[8])};
+    rec.nr_pci = to_i(r[9]);
+    rec.nr_rrs = {to_d(r[10]), to_d(r[11]), to_d(r[12])};
+    rec.nr_attached = r[13] == "1";
+    rec.lte_halted = r[14] == "1";
+    rec.nr_halted = r[15] == "1";
+    rec.throughput_mbps = to_d(r[16]);
+    rec.rtt_ms = to_d(r[17]);
+    if (r.size() > 18) rec.reports = decode_reports(r[18], rec.time);
+    log.ticks.push_back(std::move(rec));
+  }
+  const csv::Table h = csv::read_file(path + ".ho.csv");
+  for (const auto& r : h.rows) {
+    ran::HandoverRecord rec;
+    rec.type = parse_ho(r[0]);
+    rec.decision_time = to_d(r[1]);
+    rec.exec_start = to_d(r[2]);
+    rec.complete_time = to_d(r[3]);
+    rec.timing = {to_d(r[4]), to_d(r[5])};
+    rec.src_pci = to_i(r[6]);
+    rec.dst_pci = to_i(r[7]);
+    rec.src_band = parse_band(r[8]);
+    rec.dst_band = parse_band(r[9]);
+    rec.colocated = r[10] == "1";
+    rec.signaling = {to_i(r[11]), to_i(r[12]), to_i(r[13])};
+    rec.route_position = to_d(r[14]);
+    log.handovers.push_back(rec);
+  }
+  return log;
+}
+
+std::vector<double> throughput_series(const TraceLog& log) {
+  std::vector<double> out;
+  out.reserve(log.ticks.size());
+  for (const TickRecord& t : log.ticks) out.push_back(t.throughput_mbps);
+  return out;
+}
+
+}  // namespace p5g::trace

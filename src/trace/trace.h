@@ -1,0 +1,85 @@
+// Trace schema: the 20 Hz log a drive/walk produces, mirroring the paper's
+// merged 5G-Tracker + XCAL dataset (per-tick radio state, measurement
+// reports, HO commands, throughput, RTT) plus the extracted HO records.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "radio/band.h"
+#include "radio/propagation.h"
+#include "ran/handover.h"
+#include "ran/mobility_manager.h"
+
+namespace p5g::trace {
+
+// One observed cell in a tick (serving or neighbor).
+struct ObservedCell {
+  int pci = -1;
+  int cell_id = -1;
+  int tower_id = -1;
+  radio::Band band{};
+  radio::Rrs rrs{};
+};
+
+struct TickRecord {
+  Seconds time = 0.0;
+  Meters route_position = 0.0;
+  geo::Point position{};
+  double speed_mps = 0.0;
+
+  // Serving state.
+  int lte_pci = -1;
+  radio::Rrs lte_rrs{};
+  int nr_pci = -1;
+  radio::Rrs nr_rrs{};
+  bool nr_attached = false;
+  bool lte_halted = false;
+  bool nr_halted = false;
+
+  // Full observation list (serving + neighbors), for predictors.
+  std::vector<ObservedCell> observed;
+
+  // Control plane activity this tick.
+  std::vector<ran::MeasurementReport> reports;
+  std::vector<ran::HandoverRecord> ho_started;    // decision made (network side)
+  std::vector<ran::HandoverRecord> ho_commands;   // RRCReconfiguration received
+                                                  // by the UE (end of T1)
+  std::vector<ran::HandoverRecord> ho_completed;
+
+  // Data plane.
+  Mbps throughput_mbps = 0.0;
+  Milliseconds rtt_ms = 0.0;
+};
+
+struct TraceLog {
+  // Scenario metadata.
+  std::string name;
+  ran::Arch arch = ran::Arch::kNsa;
+  radio::Band nr_band = radio::Band::kNrLow;
+  radio::Band lte_band = radio::Band::kLteMid;
+  double tick_hz = 20.0;
+
+  std::vector<TickRecord> ticks;
+  std::vector<ran::HandoverRecord> handovers;  // all completed HOs
+
+  Seconds duration() const {
+    return ticks.empty() ? 0.0 : ticks.back().time - ticks.front().time;
+  }
+  Meters distance() const {
+    return ticks.empty() ? 0.0
+                         : ticks.back().route_position - ticks.front().route_position;
+  }
+};
+
+// CSV persistence (one row per tick; observed-cell list flattened to the
+// strongest 4 neighbors per RAT; HOs in a separate file `<path>.ho.csv`).
+void write_csv(const TraceLog& log, const std::string& path);
+TraceLog read_csv(const std::string& path);
+
+// Extract per-band throughput series around each HO for phase analysis.
+std::vector<double> throughput_series(const TraceLog& log);
+
+}  // namespace p5g::trace

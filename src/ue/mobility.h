@@ -1,0 +1,76 @@
+// UE mobility: processes that advance a UE along a route over time.
+//
+// Three profiles cover the paper's data collection modes: steady freeway
+// driving (~constant high speed), stop-and-go city driving (traffic lights,
+// speed changes), and walking loops (the D1/D2 prediction datasets).
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "geo/route.h"
+
+namespace p5g::ue {
+
+struct UePosition {
+  geo::Point point{};
+  Meters route_position = 0.0;  // arc length along the route
+  double speed_mps = 0.0;
+};
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+  // Advance by dt and return the new position.
+  virtual UePosition advance(Seconds dt) = 0;
+  virtual UePosition current() const = 0;
+};
+
+// Near-constant speed with small Gaussian perturbation (freeway driving).
+class ConstantSpeedDriver : public MobilityModel {
+ public:
+  ConstantSpeedDriver(const geo::Route& route, double speed_kmh, Rng rng);
+  UePosition advance(Seconds dt) override;
+  UePosition current() const override;
+
+ private:
+  const geo::Route& route_;
+  double target_mps_;
+  double speed_mps_;
+  Meters s_ = 0.0;
+  Rng rng_;
+};
+
+// City driving: alternates cruise segments and stops (lights/congestion).
+class StopAndGoDriver : public MobilityModel {
+ public:
+  StopAndGoDriver(const geo::Route& route, double cruise_kmh, Rng rng);
+  UePosition advance(Seconds dt) override;
+  UePosition current() const override;
+
+ private:
+  const geo::Route& route_;
+  double cruise_mps_;
+  double speed_mps_ = 0.0;
+  Meters s_ = 0.0;
+  Seconds phase_remaining_ = 0.0;
+  bool stopped_ = false;
+  Rng rng_;
+};
+
+// Pedestrian walking at ~1.4 m/s with mild variation.
+class Walker : public MobilityModel {
+ public:
+  Walker(const geo::Route& route, Rng rng);
+  UePosition advance(Seconds dt) override;
+  UePosition current() const override;
+
+ private:
+  const geo::Route& route_;
+  double speed_mps_ = 1.4;
+  Meters s_ = 0.0;
+  Rng rng_;
+};
+
+}  // namespace p5g::ue

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "analysis/coverage.h"
+#include "analysis/datasets.h"
+#include "analysis/ho_stats.h"
+#include "analysis/phase_tput.h"
+#include "analysis/prediction.h"
+
+namespace p5g::analysis {
+namespace {
+
+trace::TraceLog synthetic_log() {
+  trace::TraceLog log;
+  log.tick_hz = 20.0;
+  // 60 s of ticks, route position advancing 1.5 m per tick.
+  for (int i = 0; i < 1200; ++i) {
+    trace::TickRecord t;
+    t.time = i * 0.05;
+    t.route_position = i * 1.5;
+    t.throughput_mbps = 100.0;
+    t.nr_attached = true;
+    t.nr_pci = i < 600 ? 10 : 20;  // PCI change at 45 m dwell boundary
+    t.lte_pci = 1;
+    log.ticks.push_back(t);
+  }
+  ran::HandoverRecord h;
+  h.type = ran::HoType::kScgm;
+  h.decision_time = 30.0;
+  h.exec_start = 30.07;
+  h.complete_time = 30.17;
+  h.timing = {70.0, 100.0};
+  h.route_position = 900.0;
+  log.handovers.push_back(h);
+  return log;
+}
+
+TEST(HoStats, CountAndCategorize) {
+  std::vector<ran::HandoverRecord> hos;
+  for (ran::HoType t : {ran::HoType::kLteh, ran::HoType::kMnbh, ran::HoType::kScga,
+                        ran::HoType::kScgr, ran::HoType::kMcgh, ran::HoType::kScga}) {
+    ran::HandoverRecord h;
+    h.type = t;
+    hos.push_back(h);
+  }
+  const auto counts = count_by_type(hos);
+  EXPECT_EQ(counts.at(ran::HoType::kScga), 2);
+  const CategoryCounts c = categorize(hos);
+  EXPECT_EQ(c.lte_4g, 2);
+  EXPECT_EQ(c.nsa_5g, 3);
+  EXPECT_EQ(c.sa_5g, 1);
+}
+
+TEST(HoStats, KmPerHandover) {
+  const trace::TraceLog log = synthetic_log();  // 1.8 km, 1 HO
+  EXPECT_NEAR(km_per_handover(log), 1.7985, 0.01);
+  EXPECT_NEAR(km_per_handover(log, {ran::HoType::kScgm}), 1.7985, 0.01);
+  EXPECT_DOUBLE_EQ(km_per_handover(log, {ran::HoType::kLteh}), 0.0);
+}
+
+TEST(HoStats, SignalingRatesScaleWithDistance) {
+  trace::TraceLog log = synthetic_log();
+  log.handovers[0].signaling = {6, 3, 12};
+  const SignalingRates r = signaling_rates(log);
+  EXPECT_NEAR(r.rrc_per_km, 6.0 / 1.7985, 0.01);
+  EXPECT_NEAR(r.total_per_km, 21.0 / 1.7985, 0.02);
+}
+
+TEST(Coverage, DwellSegmentsSplitAtPciChange) {
+  const trace::TraceLog log = synthetic_log();
+  const auto dwells = nr_dwell_distances(log, DwellMode::kActual);
+  ASSERT_EQ(dwells.size(), 2u);
+  EXPECT_NEAR(dwells[0], 898.5, 2.0);
+  EXPECT_NEAR(dwells[1], 898.5, 2.0);
+}
+
+TEST(Coverage, DetachEndsActualButNotIdealDwell) {
+  trace::TraceLog log = synthetic_log();
+  // Detach for 2 s in the middle of the first PCI's dwell.
+  for (int i = 200; i < 240; ++i) log.ticks[static_cast<std::size_t>(i)].nr_attached = false;
+  const auto actual = nr_dwell_distances(log, DwellMode::kActual);
+  const auto ideal = nr_dwell_distances(log, DwellMode::kIdealSamePci);
+  EXPECT_EQ(actual.size(), 3u);  // split by the gap
+  EXPECT_EQ(ideal.size(), 2u);   // same PCI resumed: merged
+}
+
+TEST(Coverage, StatsComputeMeanMedian) {
+  const CoverageStats s = coverage_stats({100.0, 200.0, 300.0});
+  EXPECT_EQ(s.segments, 3);
+  EXPECT_DOUBLE_EQ(s.mean_m, 200.0);
+  EXPECT_DOUBLE_EQ(s.median_m, 200.0);
+}
+
+TEST(PhaseTput, WindowsLandOnPhases) {
+  trace::TraceLog log = synthetic_log();
+  // Make the execution window visibly degraded.
+  for (auto& t : log.ticks) {
+    if (t.time >= 30.07 && t.time <= 30.17) t.throughput_mbps = 0.0;
+  }
+  const auto phases = phase_throughput(log);
+  const PhaseThroughput& pt = phases.at(ran::HoType::kScgm);
+  ASSERT_EQ(pt.pre_mbps.size(), 1u);
+  EXPECT_NEAR(pt.pre_mbps[0], 100.0, 1.0);
+  EXPECT_LE(pt.exec_mbps[0], 60.0);
+  EXPECT_NEAR(pt.post_mbps[0], 100.0, 7.0);
+}
+
+TEST(PhaseTput, CalibratedScoresArePostOverPre) {
+  trace::TraceLog log = synthetic_log();
+  for (auto& t : log.ticks) {
+    if (t.time > 30.17) t.throughput_mbps = 50.0;  // halved after the HO
+  }
+  const auto scores = calibrate_ho_scores(log);
+  EXPECT_NEAR(scores.at(ran::HoType::kScgm), 0.5, 0.05);
+}
+
+TEST(Prediction, GroundTruthMarksHorizonBeforeDecision) {
+  const trace::TraceLog log = synthetic_log();
+  const std::vector<int> labels = ground_truth(log, 1.0);
+  ASSERT_EQ(labels.size(), log.ticks.size());
+  const int cls = ho_class(ran::HoType::kScgm);
+  // Decision at t=30 -> ticks in [29, 30) are labeled.
+  EXPECT_EQ(labels[585], cls);
+  EXPECT_EQ(labels[595], cls);
+  EXPECT_EQ(labels[540], 0);
+  EXPECT_EQ(labels[605], 0);
+}
+
+TEST(Prediction, HoClassRoundTrip) {
+  for (int c = 1; c <= 7; ++c) {
+    EXPECT_EQ(ho_class(class_ho(c)), c);
+  }
+}
+
+TEST(Prediction, GbcFeaturesAreFiniteAndSized) {
+  const trace::TraceLog log = synthetic_log();
+  const std::vector<double> f = gbc_features(log.ticks[100]);
+  EXPECT_EQ(f.size(), 12u);
+  for (double v : f) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Datasets, D1SharesDeploymentAcrossLoops) {
+  const auto d1 = make_d1(2, 240.0, 99);
+  ASSERT_EQ(d1.size(), 2u);
+  // The same walking area: observed PCI sets overlap heavily.
+  std::set<int> a, b;
+  for (const auto& t : d1[0].ticks) {
+    for (const auto& o : t.observed) a.insert(o.pci);
+  }
+  for (const auto& t : d1[1].ticks) {
+    for (const auto& o : t.observed) b.insert(o.pci);
+  }
+  int shared = 0;
+  for (int pci : a) shared += b.count(pci) ? 1 : 0;
+  EXPECT_GT(shared, static_cast<int>(a.size()) / 2);
+}
+
+TEST(Datasets, CrossCountrySummaryShape) {
+  const auto ds = make_cross_country(0.004, 3);
+  ASSERT_EQ(ds.size(), 3u);
+  const DatasetSummary opy = summarize_dataset(ds[1]);
+  EXPECT_EQ(opy.carrier, "OpY");
+  EXPECT_GT(opy.sa_minutes, 0.0);      // only OpY runs SA
+  EXPECT_GT(opy.mid_band_minutes, 0.0);
+  const DatasetSummary opx = summarize_dataset(ds[0]);
+  EXPECT_DOUBLE_EQ(opx.sa_minutes, 0.0);
+  EXPECT_GT(opx.mmwave_minutes, 0.0);
+  EXPECT_GT(opx.unique_cells, 10);
+  EXPECT_GT(opx.freeway_km, opx.city_km);
+}
+
+}  // namespace
+}  // namespace p5g::analysis

@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+#include "apps/abr.h"
+#include "apps/ho_signal.h"
+#include "apps/link_emulator.h"
+#include "apps/qoe_models.h"
+#include "apps/vod_session.h"
+#include "apps/volumetric.h"
+
+namespace p5g::apps {
+namespace {
+
+// ---------------------------------------------------------- link emulator --
+TEST(LinkEmulator, TransferTimeOnConstantLink) {
+  LinkEmulator link(std::vector<double>(100, 50.0), 1.0);  // 50 Mbps, 100 s
+  EXPECT_NEAR(link.transfer_time(0.0, 100.0), 2.0, 1e-9);
+  EXPECT_NEAR(link.transfer_time(10.5, 25.0), 0.5, 1e-9);
+}
+
+TEST(LinkEmulator, TransferSpansRateChange) {
+  std::vector<double> rates(10, 10.0);
+  rates[1] = 90.0;  // second slot is fast
+  LinkEmulator link(rates, 1.0);
+  // 1 s at 10 Mbps (10 Mb) + remaining 40 Mb at 90 Mbps = 1 + 0.444 s.
+  EXPECT_NEAR(link.transfer_time(0.0, 50.0), 1.0 + 40.0 / 90.0, 1e-9);
+}
+
+TEST(LinkEmulator, ExtrapolatesPastEnd) {
+  LinkEmulator link(std::vector<double>(10, 20.0), 1.0);
+  const Seconds t = link.transfer_time(9.0, 100.0);
+  EXPECT_GT(t, 4.0);
+  EXPECT_LT(t, 6.0);
+}
+
+TEST(LinkEmulator, AverageRate) {
+  std::vector<double> rates{10.0, 20.0, 30.0, 40.0};
+  LinkEmulator link(rates, 1.0);
+  EXPECT_NEAR(link.average_rate(0.0, 3.0), 25.0, 1e-9);
+  EXPECT_DOUBLE_EQ(link.rate_at(2.5), 30.0);
+}
+
+// -------------------------------------------------------------------- abr --
+TEST(ThroughputEstimator, HarmonicMean) {
+  ThroughputEstimator e(3);
+  e.observe(10.0);
+  e.observe(40.0);
+  // Harmonic mean of {10, 40} = 16.
+  EXPECT_NEAR(e.predict(), 16.0, 1e-9);
+  e.observe(40.0);
+  e.observe(40.0);
+  e.observe(40.0);  // window of 3: all 40
+  EXPECT_NEAR(e.predict(), 40.0, 1e-9);
+}
+
+TEST(ThroughputEstimator, ErrorTracking) {
+  ThroughputEstimator e(5);
+  e.record_error(100.0, 50.0);  // 100 % error
+  e.record_error(50.0, 50.0);
+  EXPECT_NEAR(e.max_recent_error(), 1.0, 1e-9);
+}
+
+TEST(RateBased, PicksHighestSustainableLevel) {
+  RateBased rb;
+  const VideoProfile v = panoramic_16k_profile();  // {6,12,24,48,110,240}
+  AbrState s;
+  s.predicted_tput = 60.0;
+  EXPECT_EQ(rb.choose(s, v), 3);  // 48 Mbps
+  s.predicted_tput = 500.0;
+  EXPECT_EQ(rb.choose(s, v), 5);
+  s.predicted_tput = 1.0;
+  EXPECT_EQ(rb.choose(s, v), 0);
+}
+
+TEST(Mpc, AvoidsStallWithEmptyBuffer) {
+  MpcAbr mpc(false);
+  const VideoProfile v = panoramic_16k_profile();
+  AbrState s;
+  s.buffer_level = 0.0;
+  s.predicted_tput = 30.0;
+  // With an empty buffer, picking 24 Mbps at 30 Mbps still stalls a bit;
+  // the rebuffer penalty must push the choice well below the RB level.
+  EXPECT_LE(mpc.choose(s, v), 2);
+}
+
+TEST(Mpc, UsesBufferToReachHigherQuality) {
+  MpcAbr mpc(false);
+  const VideoProfile v = panoramic_16k_profile();
+  AbrState low, high;
+  low.buffer_level = 0.5;
+  low.predicted_tput = 120.0;
+  high.buffer_level = 25.0;
+  high.predicted_tput = 120.0;
+  high.prev_level = 4;
+  EXPECT_GE(mpc.choose(high, v), mpc.choose(low, v));
+}
+
+TEST(RobustMpc, MoreConservativeUnderError) {
+  MpcAbr fast(false), robust(true);
+  robust.set_error_bound(1.0);  // halves the usable estimate
+  const VideoProfile v = panoramic_16k_profile();
+  AbrState s;
+  s.buffer_level = 6.0;
+  s.predicted_tput = 100.0;
+  EXPECT_LE(robust.choose(s, v), fast.choose(s, v));
+}
+
+TEST(Festive, MovesOneLevelAtATime) {
+  Festive f;
+  const VideoProfile v = panoramic_16k_profile();
+  AbrState s;
+  s.prev_level = 1;
+  s.predicted_tput = 1000.0;  // wants the top level
+  const int first = f.choose(s, v);
+  EXPECT_LE(first, 2);  // at most one step up
+  s.prev_level = 4;
+  s.predicted_tput = 1.0;  // collapse: still one step down at a time
+  EXPECT_EQ(f.choose(s, v), 3);
+}
+
+TEST(Vivo, ConservativeAndSmooth) {
+  VivoSelector vivo;
+  VideoProfile v;
+  v.bitrates_mbps = {43.0, 77.0, 110.0, 140.0, 170.0};
+  AbrState s;
+  s.prev_level = 2;
+  s.predicted_tput = 1000.0;
+  EXPECT_EQ(vivo.choose(s, v), 3);  // one step up only
+  s.predicted_tput = 100.0;         // 0.75*100 = 75 -> level 0 sustainable
+  EXPECT_EQ(vivo.choose(s, v), 1);  // one step down only
+}
+
+// -------------------------------------------------------------- ho signal --
+TEST(HoSignal, GroundTruthMarksWindows) {
+  trace::TraceLog log;
+  log.tick_hz = 20.0;
+  for (int i = 0; i < 400; ++i) {
+    trace::TickRecord t;
+    t.time = i * 0.05;
+    log.ticks.push_back(t);
+  }
+  ran::HandoverRecord h;
+  h.type = ran::HoType::kScgr;
+  h.decision_time = 10.0;
+  h.complete_time = 10.2;
+  log.handovers.push_back(h);
+  const HoSignal sig = ground_truth_signal(log, {{ran::HoType::kScgr, 0.2}}, 1.0);
+  EXPECT_DOUBLE_EQ(sig.score_at(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(sig.score_at(9.5), 0.2);
+  EXPECT_DOUBLE_EQ(sig.score_at(10.1), 0.2);
+  EXPECT_DOUBLE_EQ(sig.score_at(12.0), 1.0);
+  EXPECT_TRUE(sig.near_at(9.0));
+  EXPECT_FALSE(sig.near_at(5.0));
+}
+
+// ------------------------------------------------------------ vod session --
+TEST(VodSession, CompletesAndAccountsStall) {
+  RateBased rb;
+  const VideoProfile v = panoramic_16k_profile();
+  // Link much slower than the lowest bitrate: guaranteed stalling.
+  LinkEmulator slow(std::vector<double>(2000, 3.0), 1.0);
+  const VodResult r = run_vod(rb, v, slow, nullptr);
+  EXPECT_GT(r.stall_time, 10.0);
+  EXPECT_NEAR(r.avg_bitrate_mbps, 6.0, 1.0);  // pinned to the lowest level
+}
+
+TEST(VodSession, FastLinkReachesTopQualityWithoutStall) {
+  RateBased rb;
+  const VideoProfile v = panoramic_16k_profile();
+  LinkEmulator fast(std::vector<double>(2000, 2000.0), 1.0);
+  const VodResult r = run_vod(rb, v, fast, nullptr);
+  EXPECT_LT(r.stall_fraction, 0.02);
+  EXPECT_GT(r.normalized_bitrate, 0.9);
+}
+
+TEST(VodSession, HoAwareCorrectionReducesStallOnDroppyLink) {
+  // Link alternates 200 Mbps and 5 Mbps every 10 s; the signal predicts the
+  // drops (score 0.05), so a corrected MPC backs off in time.
+  std::vector<double> rates;
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    for (int i = 0; i < 10; ++i) rates.push_back(200.0);
+    for (int i = 0; i < 10; ++i) rates.push_back(5.0);
+  }
+  LinkEmulator link(rates, 1.0);
+  HoSignal sig;
+  sig.dt = 1.0;
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    for (int i = 0; i < 7; ++i) sig.score.push_back(1.0);
+    for (int i = 0; i < 13; ++i) sig.score.push_back(0.05);
+  }
+  sig.ho_near.assign(sig.score.size(), 0);
+
+  const VideoProfile v = panoramic_16k_profile();
+  MpcAbr plain(false), aware(false);
+  const VodResult base = run_vod(plain, v, link, nullptr);
+  const VodResult corrected = run_vod(aware, v, link, &sig);
+  EXPECT_LT(corrected.stall_time, base.stall_time);
+}
+
+TEST(VodSession, WindowStartsRespectFilter) {
+  trace::TraceLog log;
+  log.tick_hz = 20.0;
+  for (int i = 0; i < 20 * 600; ++i) {
+    trace::TickRecord t;
+    t.time = i * 0.05;
+    // First 300 s: healthy 100 Mbps; then a dead zone.
+    t.throughput_mbps = i < 20 * 300 ? 100.0 : 0.5;
+    log.ticks.push_back(t);
+  }
+  const auto starts = window_starts(log, 120.0, 60.0, 400.0, 2.0);
+  ASSERT_FALSE(starts.empty());
+  for (Seconds s : starts) EXPECT_LT(s, 200.0);  // only the healthy region
+}
+
+// ------------------------------------------------------------- volumetric --
+TEST(Volumetric, RealTimeStallsOnSlowLink) {
+  VivoSelector vivo;
+  VolumetricProfile v;
+  v.segments = 60;
+  LinkEmulator slow(std::vector<double>(400, 20.0), 1.0);  // below min level
+  const VolumetricResult r = run_volumetric(vivo, v, slow, nullptr);
+  EXPECT_GT(r.stall_fraction, 0.2);
+}
+
+TEST(Volumetric, FastLinkReachesTopDensity) {
+  VivoSelector vivo;
+  VolumetricProfile v;
+  v.segments = 60;
+  LinkEmulator fast(std::vector<double>(400, 1500.0), 1.0);
+  const VolumetricResult r = run_volumetric(vivo, v, fast, nullptr);
+  EXPECT_GT(r.avg_quality_level, 3.0);
+  EXPECT_LT(r.stall_fraction, 0.05);
+}
+
+// ------------------------------------------------------------- qoe models --
+trace::TickRecord qoe_tick(bool halted, double rtt, double tput) {
+  trace::TickRecord t;
+  t.nr_attached = true;
+  t.nr_halted = halted;
+  t.rtt_ms = rtt;
+  t.throughput_mbps = tput;
+  return t;
+}
+
+TEST(QoeModels, HaltedTickDegradesConferencing) {
+  Rng rng(1);
+  double lat_ok = 0.0, lat_ho = 0.0, loss_ok = 0.0, loss_ho = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const ConferencingSample ok = conferencing_sample(qoe_tick(false, 30.0, 200.0), rng);
+    const ConferencingSample ho = conferencing_sample(qoe_tick(true, 45.0, 0.0), rng);
+    lat_ok += ok.video_latency_ms;
+    lat_ho += ho.video_latency_ms;
+    loss_ok += ok.packet_loss_pct;
+    loss_ho += ho.packet_loss_pct;
+  }
+  EXPECT_GT(lat_ho, 3.0 * lat_ok);
+  EXPECT_GT(loss_ho, 3.0 * loss_ok);
+}
+
+TEST(QoeModels, GamingOtherLatencyStable) {
+  Rng rng(2);
+  stats::RunningStats ok, ho;
+  for (int i = 0; i < 2000; ++i) {
+    ok.add(gaming_sample(qoe_tick(false, 30.0, 200.0), rng).other_latency_ms);
+    ho.add(gaming_sample(qoe_tick(true, 45.0, 0.0), rng).other_latency_ms);
+  }
+  EXPECT_NEAR(ok.mean(), ho.mean(), 1.0);  // encode/decode unaffected by HOs
+}
+
+TEST(QoeModels, SplitByHoWindow) {
+  trace::TraceLog log;
+  log.tick_hz = 20.0;
+  std::vector<double> metric;
+  for (int i = 0; i < 1000; ++i) {
+    trace::TickRecord t;
+    t.time = i * 0.05;
+    log.ticks.push_back(t);
+    metric.push_back(static_cast<double>(i));
+  }
+  ran::HandoverRecord h;
+  h.type = ran::HoType::kScgm;
+  h.decision_time = 25.0;
+  h.complete_time = 25.2;
+  log.handovers.push_back(h);
+  const HoWindowSplit split = split_by_ho_window(log, metric, 1.0);
+  EXPECT_GT(split.in_ho.size(), 40u);   // ~2.2 s of ticks
+  EXPECT_LT(split.in_ho.size(), 60u);
+  EXPECT_EQ(split.in_ho.size() + split.outside.size(), metric.size());
+  // Type filter excludes non-matching HOs entirely.
+  const HoWindowSplit none = split_by_ho_window(log, metric, 1.0, {ran::HoType::kMnbh});
+  EXPECT_TRUE(none.in_ho.empty());
+}
+
+}  // namespace
+}  // namespace p5g::apps

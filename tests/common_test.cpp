@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/units.h"
+
+namespace p5g {
+namespace {
+
+// ---------------------------------------------------------------- units --
+TEST(Units, DistanceConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(km_to_m(1.5), 1500.0);
+  EXPECT_DOUBLE_EQ(m_to_km(km_to_m(3.7)), 3.7);
+}
+
+TEST(Units, TimeConversions) {
+  EXPECT_DOUBLE_EQ(ms_to_s(250.0), 0.25);
+  EXPECT_DOUBLE_EQ(s_to_ms(ms_to_s(167.0)), 167.0);
+}
+
+TEST(Units, SpeedConversions) {
+  EXPECT_NEAR(kmh_to_mps(130.0), 36.11, 0.01);
+  EXPECT_NEAR(mps_to_kmh(kmh_to_mps(55.0)), 55.0, 1e-9);
+}
+
+TEST(Units, DbLinearRoundTrip) {
+  for (double db : {-20.0, -3.0, 0.0, 3.0, 10.0, 30.0}) {
+    EXPECT_NEAR(linear_to_db(db_to_linear(db)), db, 1e-9);
+  }
+}
+
+TEST(Units, DbmMilliwatt) {
+  EXPECT_NEAR(dbm_to_mw(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(dbm_to_mw(30.0), 1000.0, 1e-9);
+  EXPECT_NEAR(mw_to_dbm(100.0), 20.0, 1e-9);
+}
+
+TEST(Units, EnergyConversionRoundTrip) {
+  const double joules = 500.0;
+  EXPECT_NEAR(mah_to_joules(joules_to_mah(joules)), joules, 1e-9);
+  // 1 mAh at 3.85 V is 13.86 J.
+  EXPECT_NEAR(mah_to_joules(1.0), 13.86, 1e-9);
+}
+
+// ------------------------------------------------------------------ rng --
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(11);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  stats::RunningStats rs;
+  for (int i = 0; i < 100000; ++i) rs.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(rs.mean(), 5.0, 0.05);
+  EXPECT_NEAR(rs.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.exponential(3.0);
+  EXPECT_NEAR(acc / n, 3.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic) {
+  Rng parent(23);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  Rng c1_again = parent.fork(1);
+  EXPECT_EQ(c1.next_u64(), c1_again.next_u64());
+  EXPECT_NE(c1.next_u64(), c2.next_u64());
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform_index(7), 7u);
+  }
+  EXPECT_EQ(rng.uniform_index(0), 0u);
+}
+
+TEST(Rng, RayleighIsPositive) {
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.rayleigh(2.0), 0.0);
+}
+
+// ---------------------------------------------------------------- stats --
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(stats::mean(xs), 5.0);
+  EXPECT_NEAR(stats::variance(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Stats, EmptyInputsAreSafe) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(stats::mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(stats::stddev(empty), 0.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(empty, 50.0), 0.0);
+}
+
+struct PercentileCase {
+  double q;
+  double expected;
+};
+
+class PercentileTest : public ::testing::TestWithParam<PercentileCase> {};
+
+TEST_P(PercentileTest, LinearInterpolation) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_NEAR(stats::percentile(xs, GetParam().q), GetParam().expected, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, PercentileTest,
+                         ::testing::Values(PercentileCase{0.0, 10.0},
+                                           PercentileCase{25.0, 20.0},
+                                           PercentileCase{50.0, 30.0},
+                                           PercentileCase{75.0, 40.0},
+                                           PercentileCase{100.0, 50.0},
+                                           PercentileCase{12.5, 15.0}));
+
+TEST(Stats, RunningMatchesBatch) {
+  Rng rng(37);
+  std::vector<double> xs;
+  stats::RunningStats rs;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.normal(3.0, 1.5);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_NEAR(rs.mean(), stats::mean(xs), 1e-9);
+  EXPECT_NEAR(rs.variance(), stats::variance(xs), 1e-6);
+  EXPECT_DOUBLE_EQ(rs.min(), stats::min(xs));
+  EXPECT_DOUBLE_EQ(rs.max(), stats::max(xs));
+}
+
+TEST(Stats, HistogramCountsAndCdf) {
+  stats::Histogram h(0.0, 10.0, 10);
+  for (double x : {0.5, 1.5, 1.6, 9.5, 11.0, -1.0}) h.add(x);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.bin_count(0), 2u);  // 0.5 and clamped -1.0
+  EXPECT_EQ(h.bin_count(1), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);  // 9.5 and clamped 11.0
+  EXPECT_NEAR(h.cdf(2.0), 4.0 / 6.0, 1e-9);
+}
+
+TEST(Stats, EmpiricalCdfIsMonotone) {
+  Rng rng(41);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.normal(0.0, 1.0));
+  const auto cdf = stats::empirical_cdf(xs);
+  ASSERT_EQ(cdf.size(), xs.size());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].value, cdf[i].value);
+    EXPECT_LT(cdf[i - 1].fraction, cdf[i].fraction);
+  }
+  EXPECT_NEAR(cdf.back().fraction, 1.0, 1e-12);
+}
+
+TEST(Stats, KdeIntegratesToRoughlyOne) {
+  Rng rng(43);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(rng.normal(0.0, 1.0));
+  const auto d = stats::kernel_density(xs, -6.0, 6.0, 241);
+  double integral = 0.0;
+  for (std::size_t i = 1; i < d.size(); ++i) {
+    integral += 0.5 * (d[i].density + d[i - 1].density) * (d[i].x - d[i - 1].x);
+  }
+  EXPECT_NEAR(integral, 1.0, 0.03);
+  // Peak near the mean.
+  auto peak = std::max_element(d.begin(), d.end(), [](auto a, auto b) {
+    return a.density < b.density;
+  });
+  EXPECT_NEAR(peak->x, 0.0, 0.5);
+}
+
+// ------------------------------------------------------------------ csv --
+TEST(Csv, WriteReadRoundTrip) {
+  const std::string path = "/tmp/p5g_csv_test.csv";
+  {
+    csv::Writer w(path, {"a", "b", "c"});
+    w.write_row({"1", "2.5", "x"});
+    w.write_row({"4", "5.5", "y"});
+  }
+  const csv::Table t = csv::read_file(path);
+  ASSERT_EQ(t.header.size(), 3u);
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.column("b"), 1);
+  EXPECT_EQ(t.column("missing"), -1);
+  EXPECT_EQ(t.rows[1][2], "y");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  csv::Writer w("/tmp/p5g_csv_test2.csv", {"a", "b"});
+  EXPECT_THROW(w.write_row({"only-one"}), std::invalid_argument);
+  std::filesystem::remove("/tmp/p5g_csv_test2.csv");
+}
+
+TEST(Csv, MissingFileGivesEmptyTable) {
+  const csv::Table t = csv::read_file("/tmp/does_not_exist_p5g.csv");
+  EXPECT_TRUE(t.header.empty());
+  EXPECT_TRUE(t.rows.empty());
+}
+
+TEST(Csv, FormatPrecision) {
+  EXPECT_EQ(csv::format(3.14159, 2), "3.14");
+  EXPECT_EQ(csv::cell(42), "42");
+}
+
+}  // namespace
+}  // namespace p5g

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geo/geometry.h"
+#include "geo/route.h"
+
+namespace p5g::geo {
+namespace {
+
+TEST(Geometry, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Geometry, CrossSign) {
+  EXPECT_GT(cross({0, 0}, {1, 0}, {0, 1}), 0.0);  // CCW
+  EXPECT_LT(cross({0, 0}, {0, 1}, {1, 0}), 0.0);  // CW
+  EXPECT_DOUBLE_EQ(cross({0, 0}, {1, 1}, {2, 2}), 0.0);  // collinear
+}
+
+TEST(ConvexHull, Square) {
+  std::vector<Point> pts{{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}};
+  const auto hull = convex_hull(pts);
+  EXPECT_EQ(hull.size(), 4u);
+  EXPECT_NEAR(polygon_area(hull), 1.0, 1e-12);
+}
+
+TEST(ConvexHull, DegenerateInputs) {
+  EXPECT_TRUE(convex_hull({}).empty());
+  EXPECT_EQ(convex_hull({{1, 2}}).size(), 1u);
+  EXPECT_EQ(convex_hull({{1, 2}, {3, 4}}).size(), 2u);
+  // Duplicates collapse.
+  EXPECT_EQ(convex_hull({{1, 2}, {1, 2}, {1, 2}}).size(), 1u);
+}
+
+// Property test: every input point is inside (or on) the hull, and the hull
+// is convex (all cross products non-negative in CCW order).
+class HullPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HullPropertyTest, ContainsAllPointsAndIsConvex) {
+  Rng rng(GetParam());
+  std::vector<Point> pts;
+  for (int i = 0; i < 60; ++i) {
+    pts.push_back({rng.uniform(-100.0, 100.0), rng.uniform(-100.0, 100.0)});
+  }
+  const auto hull = convex_hull(pts);
+  ASSERT_GE(hull.size(), 3u);
+  for (std::size_t i = 0; i < hull.size(); ++i) {
+    const Point a = hull[i];
+    const Point b = hull[(i + 1) % hull.size()];
+    const Point c = hull[(i + 2) % hull.size()];
+    EXPECT_GE(cross(a, b, c), 0.0) << "hull not convex";
+  }
+  for (const Point& p : pts) {
+    EXPECT_TRUE(point_in_convex(hull, p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HullPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+TEST(PolygonIntersection, OverlappingSquares) {
+  const std::vector<Point> a{{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  const std::vector<Point> b{{1, 1}, {3, 1}, {3, 3}, {1, 3}};
+  const auto inter = convex_intersection(a, b);
+  EXPECT_NEAR(std::abs(polygon_area(inter)), 1.0, 1e-9);
+}
+
+TEST(PolygonIntersection, DisjointIsEmpty) {
+  const std::vector<Point> a{{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  const std::vector<Point> b{{5, 5}, {6, 5}, {6, 6}, {5, 6}};
+  const auto inter = convex_intersection(a, b);
+  EXPECT_NEAR(std::abs(polygon_area(inter)), 0.0, 1e-9);
+}
+
+TEST(PolygonIntersection, ContainedPolygon) {
+  const std::vector<Point> outer{{0, 0}, {10, 0}, {10, 10}, {0, 10}};
+  const std::vector<Point> inner{{4, 4}, {6, 4}, {6, 6}, {4, 6}};
+  EXPECT_NEAR(std::abs(polygon_area(convex_intersection(inner, outer))), 4.0, 1e-9);
+  EXPECT_NEAR(hull_overlap_ratio(outer, inner), 1.0, 1e-9);
+}
+
+TEST(HullOverlap, PartialRatio) {
+  const std::vector<Point> a{{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  const std::vector<Point> b{{1, 0}, {3, 0}, {3, 2}, {1, 2}};
+  // Intersection area 2, each area 4 -> ratio 0.5 of the smaller.
+  EXPECT_NEAR(hull_overlap_ratio(a, b), 0.5, 1e-9);
+}
+
+// ---------------------------------------------------------------- route --
+TEST(Route, ArcLengthAndInterpolation) {
+  Route r({{0, 0}, {100, 0}, {100, 50}});
+  EXPECT_DOUBLE_EQ(r.length(), 150.0);
+  const Point mid = r.position_at(100.0);
+  EXPECT_NEAR(mid.x, 100.0, 1e-9);
+  EXPECT_NEAR(mid.y, 0.0, 1e-9);
+  const Point p = r.position_at(125.0);
+  EXPECT_NEAR(p.x, 100.0, 1e-9);
+  EXPECT_NEAR(p.y, 25.0, 1e-9);
+}
+
+TEST(Route, ClampsWhenNotLooping) {
+  Route r({{0, 0}, {10, 0}});
+  EXPECT_NEAR(r.position_at(-5.0).x, 0.0, 1e-9);
+  EXPECT_NEAR(r.position_at(99.0).x, 10.0, 1e-9);
+}
+
+TEST(Route, WrapsWhenLooping) {
+  Route r({{0, 0}, {10, 0}, {10, 10}, {0, 10}, {0, 0}});
+  r.set_loops(true);
+  const Point a = r.position_at(5.0);
+  const Point b = r.position_at(45.0);  // perimeter 40
+  EXPECT_NEAR(a.x, b.x, 1e-9);
+  EXPECT_NEAR(a.y, b.y, 1e-9);
+}
+
+class RouteGeneratorTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RouteGeneratorTest, FreewayLengthApproximatelyRequested) {
+  Rng rng(GetParam());
+  const Route r = make_freeway_route(20000.0, rng);
+  EXPECT_GE(r.length(), 20000.0);
+  EXPECT_LE(r.length(), 23000.0);
+}
+
+TEST_P(RouteGeneratorTest, CityRouteIsAxisAligned) {
+  Rng rng(GetParam());
+  const Route r = make_city_route(5000.0, 180.0, rng);
+  const auto& wps = r.waypoints();
+  ASSERT_GE(wps.size(), 2u);
+  for (std::size_t i = 1; i < wps.size(); ++i) {
+    const bool horizontal = std::abs(wps[i].y - wps[i - 1].y) < 1e-9;
+    const bool vertical = std::abs(wps[i].x - wps[i - 1].x) < 1e-9;
+    EXPECT_TRUE(horizontal || vertical);
+  }
+}
+
+TEST_P(RouteGeneratorTest, LoopRouteClosesAndLoops) {
+  Rng rng(GetParam());
+  const Route r = make_loop_route(2000.0, rng);
+  EXPECT_TRUE(r.loops());
+  const auto& wps = r.waypoints();
+  EXPECT_NEAR(wps.front().x, wps.back().x, 1e-9);
+  EXPECT_NEAR(wps.front().y, wps.back().y, 1e-9);
+  EXPECT_NEAR(r.length(), 2000.0, 450.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RouteGeneratorTest, ::testing::Values(1u, 7u, 42u, 99u));
+
+}  // namespace
+}  // namespace p5g::geo

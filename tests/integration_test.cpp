@@ -1,0 +1,147 @@
+// End-to-end properties of the full pipeline: simulator -> traces ->
+// analysis -> Prognos, checking the paper's qualitative claims hold on
+// fresh (non-bench) seeds.
+#include <gtest/gtest.h>
+
+#include "analysis/coverage.h"
+#include "analysis/ho_stats.h"
+#include "analysis/prediction.h"
+#include "apps/ho_signal.h"
+#include "common/stats.h"
+#include "sim/scenario.h"
+
+namespace p5g {
+namespace {
+
+sim::Scenario base_scenario(ran::Arch arch, radio::Band band, std::uint64_t seed,
+                            Seconds duration = 600.0) {
+  sim::Scenario s;
+  s.carrier = arch == ran::Arch::kSa ? ran::profile_opy() : ran::profile_opx();
+  s.arch = arch;
+  s.nr_band = band;
+  s.mobility = sim::MobilityKind::kFreeway;
+  s.speed_kmh = 110.0;
+  s.duration = duration;
+  s.seed = seed;
+  return s;
+}
+
+TEST(Integration, NsaHandoversMoreFrequentThanLte) {
+  const trace::TraceLog nsa =
+      sim::run_scenario(base_scenario(ran::Arch::kNsa, radio::Band::kNrLow, 501, 900.0));
+  sim::Scenario lte_s = base_scenario(ran::Arch::kLteOnly, radio::Band::kNrLow, 501, 900.0);
+  const trace::TraceLog lte = sim::run_scenario(lte_s);
+  ASSERT_GT(nsa.handovers.size(), 0u);
+  ASSERT_GT(lte.handovers.size(), 0u);
+  EXPECT_LT(analysis::km_per_handover(nsa), analysis::km_per_handover(lte));
+}
+
+TEST(Integration, SaHandoversLessFrequentThanNsa) {
+  const trace::TraceLog nsa =
+      sim::run_scenario(base_scenario(ran::Arch::kNsa, radio::Band::kNrLow, 502, 900.0));
+  const trace::TraceLog sa =
+      sim::run_scenario(base_scenario(ran::Arch::kSa, radio::Band::kNrLow, 502, 900.0));
+  ASSERT_GT(sa.handovers.size(), 0u);
+  EXPECT_GT(analysis::km_per_handover(sa), analysis::km_per_handover(nsa));
+}
+
+TEST(Integration, NsaDurationsExceedLte) {
+  const trace::TraceLog nsa =
+      sim::run_scenario(base_scenario(ran::Arch::kNsa, radio::Band::kNrLow, 503, 900.0));
+  const trace::TraceLog lte =
+      sim::run_scenario(base_scenario(ran::Arch::kLteOnly, radio::Band::kNrLow, 503, 900.0));
+  std::vector<double> nsa_ms, lte_ms;
+  for (const auto& h : nsa.handovers) {
+    if (ran::ho_is_5g_procedure(h.type)) nsa_ms.push_back(h.timing.total_ms());
+  }
+  for (const auto& h : lte.handovers) lte_ms.push_back(h.timing.total_ms());
+  ASSERT_FALSE(nsa_ms.empty());
+  ASSERT_FALSE(lte_ms.empty());
+  EXPECT_GT(stats::mean(nsa_ms), 1.5 * stats::mean(lte_ms));
+}
+
+TEST(Integration, EffectiveCoverageShrinksUnderNsa) {
+  sim::Scenario with = base_scenario(ran::Arch::kNsa, radio::Band::kNrLow, 504, 1200.0);
+  sim::Scenario without = with;
+  without.mnbh_releases_scg = false;
+  const auto actual = analysis::nr_dwell_distances(sim::run_scenario(with),
+                                                   analysis::DwellMode::kActual);
+  const auto ideal = analysis::nr_dwell_distances(sim::run_scenario(without),
+                                                  analysis::DwellMode::kActual);
+  ASSERT_FALSE(actual.empty());
+  ASSERT_FALSE(ideal.empty());
+  EXPECT_LT(stats::mean(actual), stats::mean(ideal));
+}
+
+TEST(Integration, MmWaveCoverageSmallerThanLowBand) {
+  sim::Scenario low = base_scenario(ran::Arch::kNsa, radio::Band::kNrLow, 505, 900.0);
+  sim::Scenario mmw = base_scenario(ran::Arch::kNsa, radio::Band::kNrMmWave, 505, 900.0);
+  mmw.mobility = sim::MobilityKind::kCity;
+  mmw.speed_kmh = 40.0;
+  const auto low_d = analysis::nr_dwell_distances(sim::run_scenario(low),
+                                                  analysis::DwellMode::kActual);
+  const auto mmw_d = analysis::nr_dwell_distances(sim::run_scenario(mmw),
+                                                  analysis::DwellMode::kActual);
+  ASSERT_FALSE(low_d.empty());
+  ASSERT_FALSE(mmw_d.empty());
+  EXPECT_GT(stats::mean(low_d), 3.0 * stats::mean(mmw_d));
+}
+
+TEST(Integration, DualModeKeepsThroughputDuringNrHo) {
+  sim::Scenario dual = base_scenario(ran::Arch::kNsa, radio::Band::kNrLow, 506, 900.0);
+  dual.traffic_mode = tput::TrafficMode::kDual;
+  const trace::TraceLog log = sim::run_scenario(dual);
+  int nr_halted_with_tput = 0, nr_halted = 0;
+  for (const auto& t : log.ticks) {
+    if (t.nr_attached && t.nr_halted && !t.lte_halted) {
+      ++nr_halted;
+      if (t.throughput_mbps > 1.0) ++nr_halted_with_tput;
+    }
+  }
+  ASSERT_GT(nr_halted, 0);
+  EXPECT_GT(nr_halted_with_tput, nr_halted * 9 / 10);
+}
+
+TEST(Integration, PrognosBeatsChanceOnFreshTrace) {
+  sim::Scenario s = base_scenario(ran::Arch::kNsa, radio::Band::kNrLow, 507, 900.0);
+  const trace::TraceLog log = sim::run_scenario(s);
+  analysis::PrognosRunOptions opts;
+  opts.bootstrap = true;
+  const analysis::PrognosRunResult r = analysis::run_prognos({log}, opts);
+  const std::vector<int> truth = analysis::ground_truth(log);
+  const ml::EventScores scores = ml::score_events(truth, r.predicted, 30);
+  EXPECT_GT(scores.scores.f1, 0.5);
+  EXPECT_GT(scores.scores.recall, 0.5);
+}
+
+TEST(Integration, PrognosSignalTracksGroundTruthDirection) {
+  sim::Scenario s = base_scenario(ran::Arch::kNsa, radio::Band::kNrLow, 508, 600.0);
+  const trace::TraceLog log = sim::run_scenario(s);
+  core::Prognos::Config cfg;
+  const apps::HoSignal pr = apps::prognos_signal(log, cfg);
+  // The Prognos score must deviate from 1.0 around at least half the HOs.
+  int covered = 0;
+  for (const ran::HandoverRecord& h : log.handovers) {
+    for (Seconds t = h.decision_time - 1.5; t <= h.decision_time; t += 0.05) {
+      if (pr.score_at(t) != 1.0) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(log.handovers.size(), 5u);
+  EXPECT_GT(covered, static_cast<int>(log.handovers.size()) / 2);
+}
+
+TEST(Integration, ColocationShortensNsaHandovers) {
+  sim::Scenario s = base_scenario(ran::Arch::kNsa, radio::Band::kNrLow, 509, 1500.0);
+  s.carrier = ran::profile_opy();  // 36 % co-location
+  const trace::TraceLog log = sim::run_scenario(s);
+  const analysis::ColocationSplit split = analysis::colocation_split(log.handovers);
+  if (split.colocated_ms.size() > 5 && split.non_colocated_ms.size() > 5) {
+    EXPECT_LT(stats::mean(split.colocated_ms), stats::mean(split.non_colocated_ms));
+  }
+}
+
+}  // namespace
+}  // namespace p5g

@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/gbc.h"
+#include "ml/linalg.h"
+#include "ml/lstm.h"
+#include "ml/metrics.h"
+#include "ml/regression.h"
+#include "ml/tree.h"
+
+namespace p5g::ml {
+namespace {
+
+// --------------------------------------------------------------- linalg --
+TEST(Linalg, SolvesSimpleSystem) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 2.0; a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0; a.at(1, 1) = 3.0;
+  std::vector<double> x;
+  ASSERT_TRUE(solve_linear_system(a, {5.0, 10.0}, x));
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 3.0, 1e-9);
+}
+
+TEST(Linalg, DetectsSingularMatrix) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0; a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0; a.at(1, 1) = 4.0;
+  std::vector<double> x;
+  EXPECT_FALSE(solve_linear_system(a, {1.0, 2.0}, x));
+}
+
+TEST(Linalg, PivotingHandlesZeroDiagonal) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 0.0; a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0; a.at(1, 1) = 0.0;
+  std::vector<double> x;
+  ASSERT_TRUE(solve_linear_system(a, {3.0, 7.0}, x));
+  EXPECT_NEAR(x[0], 7.0, 1e-9);
+  EXPECT_NEAR(x[1], 3.0, 1e-9);
+}
+
+// ----------------------------------------------------------- regression --
+TEST(Ridge, RecoversLinearRelation) {
+  Rng rng(1);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(-5.0, 5.0), b = rng.uniform(-5.0, 5.0);
+    x.push_back({a, b});
+    y.push_back(3.0 * a - 2.0 * b + 1.0 + rng.normal(0.0, 0.01));
+  }
+  RidgeRegression r(1e-6);
+  ASSERT_TRUE(r.fit(x, y));
+  EXPECT_NEAR(r.predict(std::vector<double>{1.0, 1.0}), 2.0, 0.05);
+  EXPECT_NEAR(r.predict(std::vector<double>{0.0, 0.0}), 1.0, 0.05);
+}
+
+TEST(TriangularSmoother, PreservesConstant) {
+  TriangularSmoother s(3);
+  const std::vector<double> xs(20, 5.0);
+  for (double v : s.smooth(xs)) EXPECT_NEAR(v, 5.0, 1e-12);
+}
+
+TEST(TriangularSmoother, ReducesNoiseVariance) {
+  Rng rng(2);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.normal(0.0, 1.0));
+  TriangularSmoother s(4);
+  const std::vector<double> sm = s.smooth(xs);
+  double var_raw = 0.0, var_sm = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    var_raw += xs[i] * xs[i];
+    var_sm += sm[i] * sm[i];
+  }
+  EXPECT_LT(var_sm, 0.5 * var_raw);
+}
+
+TEST(SignalForecaster, ExtrapolatesCleanLinearTrend) {
+  SignalForecaster f(20, 3);
+  for (int i = 0; i < 20; ++i) f.add(-100.0 + 0.5 * i);  // +0.5 dB/sample
+  // 10 samples ahead of the last (-90.5): expect about -85.5.
+  EXPECT_NEAR(f.forecast(10), -85.5, 1.5);
+  EXPECT_NEAR(f.residual_sigma(), 0.0, 0.3);
+}
+
+TEST(SignalForecaster, ForecastStaysWithinDataEnvelope) {
+  // Property: on pure-noise windows the (damped) 1-second-ahead forecast
+  // never leaves the observed sample range by more than a small margin.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    SignalForecaster f(20, 3);
+    double lo = 0.0, hi = -1e9;
+    lo = 1e9;
+    for (int i = 0; i < 20; ++i) {
+      const double v = -90.0 + rng.normal(0.0, 3.0);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      f.add(v);
+    }
+    const double fc = f.forecast(20);
+    EXPECT_GT(fc, lo - 4.0) << "seed " << seed;
+    EXPECT_LT(fc, hi + 4.0) << "seed " << seed;
+  }
+}
+
+TEST(SignalForecaster, MedianFilterRejectsImpulse) {
+  SignalForecaster clean(20, 3), spiked(20, 3);
+  for (int i = 0; i < 20; ++i) {
+    clean.add(-90.0);
+    spiked.add(i == 10 ? -120.0 : -90.0);  // one deep fade dip
+  }
+  EXPECT_NEAR(spiked.forecast(5), clean.forecast(5), 1.5);
+}
+
+TEST(SignalForecaster, ResetClearsHistory) {
+  SignalForecaster f(20, 3);
+  for (int i = 0; i < 20; ++i) f.add(-80.0);
+  f.reset();
+  EXPECT_FALSE(f.ready());
+  EXPECT_DOUBLE_EQ(f.forecast(5), -140.0);
+}
+
+// ----------------------------------------------------------------- tree --
+TEST(Tree, LearnsAxisAlignedSplit) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    const double v = i < 50 ? -1.0 : 1.0;
+    x.push_back({static_cast<double>(i)});
+    y.push_back(v);
+  }
+  RegressionTree t;
+  t.fit(x, y, {}, {3, 5});
+  EXPECT_NEAR(t.predict(std::vector<double>{10.0}), -1.0, 0.01);
+  EXPECT_NEAR(t.predict(std::vector<double>{90.0}), 1.0, 0.01);
+}
+
+TEST(Tree, RespectsMinLeaf) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 8; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(i < 4 ? 0.0 : 1.0);
+  }
+  RegressionTree t;
+  TreeConfig cfg;
+  cfg.min_leaf = 10;  // cannot split
+  t.fit(x, y, {}, cfg);
+  EXPECT_NEAR(t.predict(std::vector<double>{0.0}), 0.5, 1e-9);
+}
+
+// ------------------------------------------------------------------ gbc --
+TEST(Gbc, LearnsSeparableClasses) {
+  Rng rng(4);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 600; ++i) {
+    const int cls = static_cast<int>(rng.uniform_index(3));
+    const double cx = cls == 0 ? -5.0 : (cls == 1 ? 0.0 : 5.0);
+    x.push_back({cx + rng.normal(0.0, 0.7), rng.normal(0.0, 1.0)});
+    y.push_back(cls);
+  }
+  GradientBoostedClassifier::Config cfg;
+  cfg.n_classes = 3;
+  cfg.n_rounds = 25;
+  GradientBoostedClassifier gbc(cfg);
+  gbc.fit(x, y);
+  int correct = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (gbc.predict(x[i]) == y[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(x.size()), 0.95);
+}
+
+TEST(Gbc, ProbabilitiesSumToOne) {
+  Rng rng(5);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back({rng.normal(0.0, 1.0)});
+    y.push_back(static_cast<int>(rng.uniform_index(2)));
+  }
+  GradientBoostedClassifier::Config cfg;
+  cfg.n_classes = 2;
+  cfg.n_rounds = 5;
+  GradientBoostedClassifier gbc(cfg);
+  gbc.fit(x, y);
+  const std::vector<double> p = gbc.predict_proba(std::vector<double>{0.3});
+  double sum = 0.0;
+  for (double v : p) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+// ----------------------------------------------------------------- lstm --
+TEST(Lstm, LearnsLastStepRule) {
+  // Label = 1 iff the last feature value is positive: trivially learnable.
+  Rng rng(6);
+  std::vector<Sequence> seqs;
+  std::vector<int> labels;
+  for (int i = 0; i < 400; ++i) {
+    Sequence s;
+    for (int t = 0; t < 8; ++t) s.push_back({rng.normal(0.0, 1.0)});
+    labels.push_back(s.back()[0] > 0.0 ? 1 : 0);
+    seqs.push_back(std::move(s));
+  }
+  StackedLstm::Config cfg;
+  cfg.input_dim = 1;
+  cfg.hidden = 8;
+  cfg.layers = 2;
+  cfg.n_classes = 2;
+  cfg.epochs = 8;
+  StackedLstm lstm(cfg);
+  lstm.fit(seqs, labels);
+  int correct = 0;
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    if (lstm.predict(seqs[i]) == labels[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(seqs.size()), 0.9);
+}
+
+TEST(Lstm, ProbabilitiesWellFormed) {
+  StackedLstm::Config cfg;
+  cfg.input_dim = 2;
+  cfg.hidden = 4;
+  cfg.n_classes = 3;
+  StackedLstm lstm(cfg);
+  Sequence s{{0.1, 0.2}, {0.3, 0.4}};
+  const std::vector<double> p = lstm.predict_proba(s);
+  ASSERT_EQ(p.size(), 3u);
+  double sum = 0.0;
+  for (double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+// -------------------------------------------------------------- metrics --
+TEST(ConfusionMatrix, BasicCounts) {
+  ConfusionMatrix m(3);
+  m.add(0, 0);
+  m.add(0, 1);
+  m.add(1, 1);
+  m.add(2, 2);
+  m.add(2, 2);
+  EXPECT_EQ(m.total(), 5u);
+  EXPECT_NEAR(m.accuracy(), 0.8, 1e-12);
+  EXPECT_NEAR(m.precision(1), 0.5, 1e-12);  // 1 TP, 1 FP from class 0
+  EXPECT_NEAR(m.recall(1), 1.0, 1e-12);
+  EXPECT_NEAR(m.f1(1), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, BinaryCollapse) {
+  ConfusionMatrix m(3);
+  m.add(0, 0);  // TN
+  m.add(1, 2);  // positive predicted positive (class mismatch still TP binary)
+  m.add(2, 0);  // FN
+  m.add(0, 1);  // FP
+  const ClassificationScores s = m.binary_collapsed();
+  EXPECT_NEAR(s.precision, 0.5, 1e-12);
+  EXPECT_NEAR(s.recall, 0.5, 1e-12);
+  EXPECT_NEAR(s.accuracy, 0.5, 1e-12);
+}
+
+TEST(EventScores, PerfectPrediction) {
+  std::vector<int> truth(200, 0), pred(200, 0);
+  for (int i = 50; i < 60; ++i) truth[i] = pred[i] = 1;
+  const EventScores s = score_events(truth, pred, 10);
+  EXPECT_DOUBLE_EQ(s.scores.f1, 1.0);
+  EXPECT_EQ(s.matched, 1u);
+}
+
+TEST(EventScores, EarlySustainedWarningCounts) {
+  // Prediction starts 15 samples before the truth onset and overlaps it.
+  std::vector<int> truth(200, 0), pred(200, 0);
+  for (int i = 100; i < 110; ++i) truth[i] = 1;
+  for (int i = 85; i < 105; ++i) pred[i] = 1;
+  const EventScores s = score_events(truth, pred, 10);
+  EXPECT_DOUBLE_EQ(s.scores.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.scores.precision, 1.0);
+}
+
+TEST(EventScores, WrongClassDoesNotMatch) {
+  std::vector<int> truth(100, 0), pred(100, 0);
+  for (int i = 40; i < 50; ++i) truth[i] = 1;
+  for (int i = 40; i < 50; ++i) pred[i] = 2;
+  const EventScores s = score_events(truth, pred, 10);
+  EXPECT_DOUBLE_EQ(s.scores.f1, 0.0);
+}
+
+TEST(EventScores, FarPredictionIsFalsePositive) {
+  std::vector<int> truth(300, 0), pred(300, 0);
+  for (int i = 50; i < 60; ++i) truth[i] = 1;
+  for (int i = 200; i < 210; ++i) pred[i] = 1;
+  const EventScores s = score_events(truth, pred, 10);
+  EXPECT_DOUBLE_EQ(s.scores.precision, 0.0);
+  EXPECT_DOUBLE_EQ(s.scores.recall, 0.0);
+  EXPECT_EQ(s.predicted_events, 1u);
+  EXPECT_EQ(s.true_events, 1u);
+}
+
+TEST(EventScores, OneRunCanCoverABurst) {
+  // Two true HOs in quick succession covered by one sustained warning.
+  std::vector<int> truth(300, 0), pred(300, 0);
+  for (int i = 100; i < 105; ++i) truth[i] = 1;
+  for (int i = 120; i < 125; ++i) truth[i] = 1;
+  for (int i = 95; i < 126; ++i) pred[i] = 1;
+  const EventScores s = score_events(truth, pred, 10);
+  EXPECT_EQ(s.matched, 2u);
+  EXPECT_DOUBLE_EQ(s.scores.recall, 1.0);
+}
+
+}  // namespace
+}  // namespace p5g::ml

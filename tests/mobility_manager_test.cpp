@@ -1,0 +1,209 @@
+// Integration tests of the mobility-management state machine: drive a UE
+// through deployments and check structural invariants of the produced HO
+// streams.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "geo/route.h"
+#include "ran/mobility_manager.h"
+
+namespace p5g::ran {
+namespace {
+
+struct DriveResult {
+  std::vector<HandoverRecord> handovers;
+  std::vector<MeasurementReport> reports;
+  int ticks_attached_lte = 0;
+  int ticks_attached_nr = 0;
+  int ticks = 0;
+};
+
+DriveResult drive(Arch arch, radio::Band nr_band, Meters length, double speed_mps,
+                  std::uint64_t seed, bool mnbh_releases = true) {
+  Rng rng(seed);
+  geo::Route route({{0.0, 0.0}, {length, 0.0}});
+  CarrierProfile carrier = arch == Arch::kSa ? profile_opy() : profile_opx();
+  if (nr_band == radio::Band::kNrMid) carrier = profile_opy();
+  Rng dep_rng = rng.fork(7);
+  Deployment dep(carrier, route, dep_rng);
+
+  MobilityManager::Config cfg;
+  cfg.arch = arch;
+  cfg.nr_band = nr_band;
+  cfg.mnbh_releases_scg = mnbh_releases;
+  MobilityManager mgr(dep, cfg, rng.fork(1));
+
+  DriveResult out;
+  const double dt = 0.05;
+  Meters pos = 0.0;
+  for (Seconds t = 0.0; pos < length; t += dt) {
+    pos += speed_mps * dt;
+    const TickResult r = mgr.tick(t, route.position_at(pos), speed_mps * dt, pos);
+    for (const auto& h : r.completed) out.handovers.push_back(h);
+    for (const auto& m : r.reports) out.reports.push_back(m);
+    ++out.ticks;
+    if (mgr.state().lte_attached()) ++out.ticks_attached_lte;
+    if (mgr.state().nr_attached()) ++out.ticks_attached_nr;
+  }
+  return out;
+}
+
+TEST(MobilityManager, NsaDriveProducesHandovers) {
+  const DriveResult r = drive(Arch::kNsa, radio::Band::kNrLow, 20000.0, 30.0, 1);
+  EXPECT_GT(r.handovers.size(), 10u);
+  EXPECT_GT(r.reports.size(), r.handovers.size() / 2);
+}
+
+TEST(MobilityManager, StaysAttachedAlmostAlways) {
+  const DriveResult r = drive(Arch::kNsa, radio::Band::kNrLow, 20000.0, 30.0, 2);
+  EXPECT_GT(r.ticks_attached_lte, r.ticks * 95 / 100);
+  EXPECT_GT(r.ticks_attached_nr, r.ticks / 2);
+}
+
+TEST(MobilityManager, HandoverTimesAreOrdered) {
+  const DriveResult r = drive(Arch::kNsa, radio::Band::kNrLow, 15000.0, 30.0, 3);
+  Seconds prev_complete = -1.0;
+  for (const HandoverRecord& h : r.handovers) {
+    EXPECT_LT(h.decision_time, h.exec_start);
+    EXPECT_LT(h.exec_start, h.complete_time);
+    EXPECT_NEAR(h.exec_start - h.decision_time, ms_to_s(h.timing.t1_ms), 1e-6);
+    EXPECT_NEAR(h.complete_time - h.exec_start, ms_to_s(h.timing.t2_ms), 1e-6);
+    // One procedure at a time.
+    EXPECT_GE(h.decision_time, prev_complete - 1e-9);
+    prev_complete = h.complete_time;
+  }
+}
+
+TEST(MobilityManager, LteOnlyArchProducesOnlyLteh) {
+  const DriveResult r = drive(Arch::kLteOnly, radio::Band::kNrLow, 20000.0, 30.0, 4);
+  ASSERT_GT(r.handovers.size(), 3u);
+  for (const HandoverRecord& h : r.handovers) EXPECT_EQ(h.type, HoType::kLteh);
+}
+
+TEST(MobilityManager, SaArchProducesOnlyMcgh) {
+  const DriveResult r = drive(Arch::kSa, radio::Band::kNrLow, 30000.0, 30.0, 5);
+  ASSERT_GT(r.handovers.size(), 3u);
+  for (const HandoverRecord& h : r.handovers) EXPECT_EQ(h.type, HoType::kMcgh);
+}
+
+TEST(MobilityManager, NsaProducesMixOfProcedures) {
+  const DriveResult r = drive(Arch::kNsa, radio::Band::kNrLow, 40000.0, 30.0, 6);
+  std::map<HoType, int> counts;
+  for (const HandoverRecord& h : r.handovers) ++counts[h.type];
+  // Anchor changes and SCG additions must both occur.
+  EXPECT_GT(counts[HoType::kMnbh] + counts[HoType::kLteh], 0);
+  EXPECT_GT(counts[HoType::kScga], 0);
+  // No SA procedure in NSA.
+  EXPECT_EQ(counts[HoType::kMcgh], 0);
+}
+
+TEST(MobilityManager, ScgaOnlyWhenDetached) {
+  // Replay the HO sequence and track SCG attachment: SCGA must only start
+  // from a detached SCG, SCGM/SCGC/SCGR from an attached one.
+  const DriveResult r = drive(Arch::kNsa, radio::Band::kNrLow, 40000.0, 30.0, 7);
+  bool attached = false;
+  for (const HandoverRecord& h : r.handovers) {
+    switch (h.type) {
+      case HoType::kScga:
+        EXPECT_FALSE(attached) << "SCGA while attached at t=" << h.decision_time;
+        attached = true;
+        break;
+      case HoType::kScgr:
+        EXPECT_TRUE(attached);
+        attached = false;
+        break;
+      case HoType::kScgm:
+      case HoType::kScgc:
+        EXPECT_TRUE(attached);
+        break;
+      case HoType::kMnbh:
+        EXPECT_TRUE(attached);  // MNBH requires an SCG by construction
+        attached = false;       // default config releases the SCG
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+TEST(MobilityManager, MnbhKeepsScgWhenConfigured) {
+  const DriveResult rel = drive(Arch::kNsa, radio::Band::kNrLow, 30000.0, 30.0, 8, true);
+  const DriveResult keep = drive(Arch::kNsa, radio::Band::kNrLow, 30000.0, 30.0, 8, false);
+  auto count = [](const DriveResult& r, HoType t) {
+    int n = 0;
+    for (const auto& h : r.handovers) {
+      if (h.type == t) ++n;
+    }
+    return n;
+  };
+  // Releasing on MNBH forces re-additions: strictly more SCGA procedures.
+  EXPECT_GT(count(rel, HoType::kScga), count(keep, HoType::kScga));
+}
+
+TEST(MobilityManager, ScgmStaysWithinGnb) {
+  const DriveResult r = drive(Arch::kNsa, radio::Band::kNrMid, 30000.0, 30.0, 9);
+  int scgm = 0;
+  for (const HandoverRecord& h : r.handovers) {
+    if (h.type != HoType::kScgm) continue;
+    ++scgm;
+    EXPECT_NE(h.src_pci, h.dst_pci);
+    EXPECT_EQ(h.src_band, h.dst_band);
+  }
+  EXPECT_GT(scgm, 0) << "mid-band sectored deployment should yield SCGM";
+}
+
+TEST(MobilityManager, ScgcChangesGnb) {
+  const DriveResult r = drive(Arch::kNsa, radio::Band::kNrMmWave, 8000.0, 12.0, 10);
+  for (const HandoverRecord& h : r.handovers) {
+    if (h.type != HoType::kScgc) continue;
+    EXPECT_NE(h.src_pci, h.dst_pci);
+  }
+}
+
+TEST(MobilityManager, ReportsPrecedeDecisions) {
+  const DriveResult r = drive(Arch::kNsa, radio::Band::kNrLow, 20000.0, 30.0, 11);
+  ASSERT_FALSE(r.handovers.empty());
+  ASSERT_FALSE(r.reports.empty());
+  // Every HO decision must have at least one report in the preceding 5 s.
+  for (const HandoverRecord& h : r.handovers) {
+    bool found = false;
+    for (const MeasurementReport& m : r.reports) {
+      if (m.time <= h.decision_time && h.decision_time - m.time <= 5.0) found = true;
+    }
+    EXPECT_TRUE(found) << "HO at " << h.decision_time << " without recent MR";
+  }
+}
+
+TEST(MobilityManager, ActiveEventConfigsMatchArch) {
+  Rng rng(12);
+  geo::Route route({{0, 0}, {1000, 0}});
+  Rng dep_rng = rng.fork(7);
+  Deployment dep(profile_opx(), route, dep_rng);
+  for (Arch arch : {Arch::kLteOnly, Arch::kNsa, Arch::kSa}) {
+    MobilityManager::Config cfg;
+    cfg.arch = arch;
+    MobilityManager mgr(dep, cfg, rng.fork(static_cast<std::uint64_t>(arch)));
+    const auto configs = mgr.active_event_configs();
+    bool has_nr_scope = false, has_lte_scope = false;
+    for (const auto& c : configs) {
+      (c.scope == MeasScope::kServingNr ? has_nr_scope : has_lte_scope) = true;
+    }
+    if (arch == Arch::kLteOnly) EXPECT_FALSE(has_nr_scope);
+    if (arch == Arch::kNsa) EXPECT_TRUE(has_nr_scope && has_lte_scope);
+    if (arch == Arch::kSa) EXPECT_FALSE(has_lte_scope);
+  }
+}
+
+TEST(MobilityManager, DeterministicForSameSeed) {
+  const DriveResult a = drive(Arch::kNsa, radio::Band::kNrLow, 10000.0, 30.0, 13);
+  const DriveResult b = drive(Arch::kNsa, radio::Band::kNrLow, 10000.0, 30.0, 13);
+  ASSERT_EQ(a.handovers.size(), b.handovers.size());
+  for (std::size_t i = 0; i < a.handovers.size(); ++i) {
+    EXPECT_EQ(a.handovers[i].type, b.handovers[i].type);
+    EXPECT_DOUBLE_EQ(a.handovers[i].decision_time, b.handovers[i].decision_time);
+  }
+}
+
+}  // namespace
+}  // namespace p5g::ran

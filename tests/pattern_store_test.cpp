@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/decision_learner.h"
+#include "core/pattern_store.h"
+
+namespace p5g::core {
+namespace {
+
+using ran::EventType;
+using ran::HoType;
+using ran::MeasScope;
+
+std::vector<Pattern> sample_patterns() {
+  Pattern scgc;
+  scgc.ho = HoType::kScgc;
+  scgc.support = 41;
+  scgc.sequence = {{EventType::kB1, MeasScope::kServingNr},
+                   {EventType::kA2, MeasScope::kServingNr}};
+  Pattern mnbh;
+  mnbh.ho = HoType::kMnbh;
+  mnbh.support = 7;
+  mnbh.sequence = {{EventType::kA3, MeasScope::kServingLte}};
+  return {scgc, mnbh};
+}
+
+TEST(PatternStore, SerializeDeserializeRoundTrip) {
+  const std::vector<Pattern> in = sample_patterns();
+  const std::vector<Pattern> out = deserialize_patterns(serialize_patterns(in));
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].ho, in[i].ho);
+    EXPECT_EQ(out[i].support, in[i].support);
+    ASSERT_EQ(out[i].sequence.size(), in[i].sequence.size());
+    for (std::size_t k = 0; k < in[i].sequence.size(); ++k) {
+      EXPECT_EQ(out[i].sequence[k], in[i].sequence[k]);
+    }
+  }
+}
+
+TEST(PatternStore, FormatIsHumanReadable) {
+  const std::string text = serialize_patterns(sample_patterns());
+  EXPECT_NE(text.find("SCGC 41 B1@NR,A2@NR"), std::string::npos);
+  EXPECT_NE(text.find("MNBH 7 A3@LTE"), std::string::npos);
+}
+
+TEST(PatternStore, SkipsCorruptLines) {
+  const std::string text =
+      "# comment\n"
+      "SCGA 3 B1@LTE\n"
+      "BOGUS 5 A2@NR\n"        // unknown HO type
+      "SCGR -2 A2@NR\n"        // invalid support
+      "SCGM 4 A3@MARS\n"       // invalid scope
+      "SCGM 4\n"               // missing sequence
+      "SCGC 2 B1@NR,A2@NR\n";
+  const std::vector<Pattern> out = deserialize_patterns(text);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].ho, ran::HoType::kScga);
+  EXPECT_EQ(out[1].ho, ran::HoType::kScgc);
+}
+
+TEST(PatternStore, FileRoundTrip) {
+  const std::string path = "/tmp/p5g_patterns_test.txt";
+  ASSERT_TRUE(save_patterns(sample_patterns(), path));
+  const std::vector<Pattern> out = load_patterns(path);
+  EXPECT_EQ(out.size(), 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(PatternStore, MissingFileIsColdStart) {
+  EXPECT_TRUE(load_patterns("/tmp/does_not_exist_p5g_patterns.txt").empty());
+}
+
+TEST(PatternStore, TransferredPatternsBootstrapALearner) {
+  DecisionLearner learner;
+  learner.bootstrap(deserialize_patterns(serialize_patterns(sample_patterns())));
+  ASSERT_EQ(learner.patterns().size(), 2u);
+  // Bootstrapped patterns get head-start support.
+  for (const Pattern& p : learner.patterns()) EXPECT_GE(p.support, 5);
+}
+
+}  // namespace
+}  // namespace p5g::core

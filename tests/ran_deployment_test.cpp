@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "geo/route.h"
+#include "ran/deployment.h"
+
+namespace p5g::ran {
+namespace {
+
+geo::Route straight_route(Meters length) {
+  return geo::Route({{0.0, 0.0}, {length, 0.0}});
+}
+
+class DeploymentTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Rng rng_{GetParam()};
+};
+
+TEST_P(DeploymentTest, PlacesAllCarrierBands) {
+  Deployment d(profile_opx(), straight_route(20000.0), rng_);
+  EXPECT_FALSE(d.cells_on_band(radio::Band::kLteMid).empty());
+  EXPECT_FALSE(d.cells_on_band(radio::Band::kNrLow).empty());
+  EXPECT_FALSE(d.cells_on_band(radio::Band::kNrMmWave).empty());
+}
+
+TEST_P(DeploymentTest, TowerSpacingTracksBandRadius) {
+  Deployment d(profile_opx(), straight_route(30000.0), rng_);
+  // Low-band towers are much sparser than mmWave towers.
+  std::set<int> low_towers, mmw_towers;
+  for (const Cell* c : d.cells_on_band(radio::Band::kNrLow)) low_towers.insert(c->tower_id);
+  for (const Cell* c : d.cells_on_band(radio::Band::kNrMmWave)) mmw_towers.insert(c->tower_id);
+  EXPECT_GT(mmw_towers.size(), 3 * low_towers.size());
+}
+
+TEST_P(DeploymentTest, MmWaveTowersHaveThreeBeams) {
+  Deployment d(profile_opx(), straight_route(5000.0), rng_);
+  std::map<int, int> beams_per_tower;
+  for (const Cell* c : d.cells_on_band(radio::Band::kNrMmWave)) {
+    ++beams_per_tower[c->tower_id];
+  }
+  ASSERT_FALSE(beams_per_tower.empty());
+  for (const auto& [tower, beams] : beams_per_tower) EXPECT_EQ(beams, 3);
+}
+
+TEST_P(DeploymentTest, ColocatedTowersSharePci) {
+  CarrierProfile p = profile_opy();
+  p.colocation_fraction = 1.0;  // force co-location wherever possible
+  Deployment d(p, straight_route(30000.0), rng_);
+  int checked = 0;
+  for (const Tower& t : d.towers()) {
+    if (!t.colocated) continue;
+    ++checked;
+    // The anchor LTE cell and the first NR sector share a PCI.
+    std::set<int> lte_pcis, nr_pcis;
+    for (const Cell& c : d.cells()) {
+      if (c.tower_id != t.id) continue;
+      (radio::band_rat(c.band) == radio::Rat::kLte ? lte_pcis : nr_pcis).insert(c.pci);
+    }
+    bool shared = false;
+    for (int pci : nr_pcis) {
+      if (lte_pcis.count(pci)) shared = true;
+    }
+    EXPECT_TRUE(shared) << "tower " << t.id;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST_P(DeploymentTest, NonColocatedCellsHaveUniquePcisPerBandPair) {
+  CarrierProfile p = profile_opx();
+  p.colocation_fraction = 0.0;
+  Deployment d(p, straight_route(20000.0), rng_);
+  std::set<int> pcis;
+  for (const Cell& c : d.cells()) {
+    EXPECT_TRUE(pcis.insert(c.pci).second) << "duplicate pci " << c.pci;
+  }
+}
+
+TEST_P(DeploymentTest, CellsNearReturnsSortedByDistance) {
+  Deployment d(profile_opx(), straight_route(20000.0), rng_);
+  const geo::Point probe{10000.0, 0.0};
+  const auto near = d.cells_near(probe, radio::Band::kNrLow, 5000.0);
+  ASSERT_GE(near.size(), 2u);
+  for (std::size_t i = 1; i < near.size(); ++i) {
+    EXPECT_LE(geo::distance(near[i - 1]->position, probe),
+              geo::distance(near[i]->position, probe));
+  }
+  for (const Cell* c : near) {
+    EXPECT_LE(geo::distance(c->position, probe), 5000.0);
+    EXPECT_EQ(c->band, radio::Band::kNrLow);
+  }
+}
+
+TEST_P(DeploymentTest, DirectionalFlagsMatchSectorCount) {
+  Deployment d(profile_opy(), straight_route(10000.0), rng_);
+  for (const Cell& c : d.cells()) {
+    if (c.band == radio::Band::kNrMid || c.band == radio::Band::kNrMmWave) {
+      EXPECT_TRUE(c.directional);
+    }
+    if (c.band == radio::Band::kLteMid || c.band == radio::Band::kLteLow ||
+        c.band == radio::Band::kNrLow) {
+      EXPECT_FALSE(c.directional);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeploymentTest, ::testing::Values(1u, 17u, 23u));
+
+TEST(CarrierProfiles, MatchPaperArchetypes) {
+  EXPECT_FALSE(profile_opx().offers_sa);
+  EXPECT_TRUE(profile_opy().offers_sa);
+  EXPECT_FALSE(profile_opz().offers_sa);
+  // OpY deploys mid-band; OpX/OpZ deploy mmWave.
+  auto has = [](const CarrierProfile& p, radio::Band b) {
+    return std::find(p.nr_bands.begin(), p.nr_bands.end(), b) != p.nr_bands.end();
+  };
+  EXPECT_TRUE(has(profile_opy(), radio::Band::kNrMid));
+  EXPECT_TRUE(has(profile_opx(), radio::Band::kNrMmWave));
+  EXPECT_TRUE(has(profile_opz(), radio::Band::kNrMmWave));
+  // Co-location fractions span the paper's 5-36 % range.
+  EXPECT_NEAR(profile_opx().colocation_fraction, 0.05, 1e-9);
+  EXPECT_NEAR(profile_opy().colocation_fraction, 0.36, 1e-9);
+}
+
+TEST(ColocationFraction, RoughlyMatchesProfile) {
+  CarrierProfile p = profile_opy();  // 36 %
+  Rng rng(5);
+  Deployment d(p, straight_route(100000.0), rng);
+  int nr_towers = 0, colocated = 0;
+  for (const Tower& t : d.towers()) {
+    if (!t.has_gnb) continue;
+    ++nr_towers;
+    if (t.colocated) ++colocated;
+  }
+  ASSERT_GT(nr_towers, 20);
+  const double frac = static_cast<double>(colocated) / nr_towers;
+  EXPECT_GT(frac, 0.15);
+  EXPECT_LT(frac, 0.60);
+}
+
+}  // namespace
+}  // namespace p5g::ran

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "ran/events.h"
+
+namespace p5g::ran {
+namespace {
+
+EventConfig make_config(EventType type, double thr1 = -100.0, double thr2 = -105.0,
+                        double offset = 3.0, double hys = 1.0, double ttt = 100.0) {
+  EventConfig c;
+  c.type = type;
+  c.scope = MeasScope::kServingLte;
+  c.neighbor_rat = radio::Rat::kLte;
+  c.threshold1 = thr1;
+  c.threshold2 = thr2;
+  c.offset = offset;
+  c.hysteresis = hys;
+  c.ttt_ms = ttt;
+  return c;
+}
+
+MeasSnapshot snapshot(double serving, double neighbor) {
+  MeasSnapshot m;
+  m.serving_rsrp = serving;
+  m.serving_valid = true;
+  m.best_neighbor_rsrp = neighbor;
+  m.best_neighbor_pci = 7;
+  m.best_neighbor_cell_id = 3;
+  m.neighbor_valid = true;
+  return m;
+}
+
+// Table 4 trigger conditions, parameterized over (event, serving, neighbor,
+// expected-entering).
+struct TriggerCase {
+  EventType type;
+  double serving;
+  double neighbor;
+  bool enters;
+};
+
+class TriggerConditionTest : public ::testing::TestWithParam<TriggerCase> {};
+
+TEST_P(TriggerConditionTest, EnteringMatchesTable4) {
+  const TriggerCase& tc = GetParam();
+  const EventConfig c = make_config(tc.type);
+  EXPECT_EQ(EventMonitor::entering_condition(c, snapshot(tc.serving, tc.neighbor)),
+            tc.enters);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table4, TriggerConditionTest,
+    ::testing::Values(
+        // A1: serving better than threshold (-100), hysteresis 1.
+        TriggerCase{EventType::kA1, -95.0, -140.0, true},
+        TriggerCase{EventType::kA1, -100.5, -140.0, false},
+        // A2: serving worse than threshold.
+        TriggerCase{EventType::kA2, -105.0, -140.0, true},
+        TriggerCase{EventType::kA2, -99.0, -140.0, false},
+        TriggerCase{EventType::kA2, -100.5, -140.0, false},  // within hysteresis
+        // A3: neighbor offset(3)+hys(1) better than serving.
+        TriggerCase{EventType::kA3, -90.0, -85.0, true},
+        TriggerCase{EventType::kA3, -90.0, -87.0, false},
+        TriggerCase{EventType::kA3, -90.0, -85.9, true},
+        // A4/B1: neighbor above absolute threshold.
+        TriggerCase{EventType::kA4, -140.0, -95.0, true},
+        TriggerCase{EventType::kB1, -140.0, -95.0, true},
+        TriggerCase{EventType::kB1, -140.0, -100.5, false},
+        // A5: serving below thr1 AND neighbor above thr2 (-105).
+        TriggerCase{EventType::kA5, -106.0, -100.0, true},
+        TriggerCase{EventType::kA5, -95.0, -100.0, false},
+        TriggerCase{EventType::kA5, -106.0, -106.0, false}));
+
+TEST(EventMonitor, RequiresTimeToTrigger) {
+  EventMonitor mon(make_config(EventType::kA2, -100.0, 0, 0, 1.0, 200.0));
+  // Condition true but TTT (200 ms) not yet elapsed.
+  EXPECT_FALSE(mon.evaluate(0.00, snapshot(-110.0, -140.0)).has_value());
+  EXPECT_FALSE(mon.evaluate(0.10, snapshot(-110.0, -140.0)).has_value());
+  const auto fired = mon.evaluate(0.25, snapshot(-110.0, -140.0));
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(fired->type, EventType::kA2);
+  EXPECT_DOUBLE_EQ(fired->serving_rsrp, -110.0);
+}
+
+TEST(EventMonitor, InterruptedConditionRestartsTtt) {
+  EventMonitor mon(make_config(EventType::kA2, -100.0, 0, 0, 1.0, 200.0));
+  EXPECT_FALSE(mon.evaluate(0.00, snapshot(-110.0, -140.0)).has_value());
+  EXPECT_FALSE(mon.evaluate(0.10, snapshot(-95.0, -140.0)).has_value());  // recovers
+  EXPECT_FALSE(mon.evaluate(0.20, snapshot(-110.0, -140.0)).has_value());
+  EXPECT_FALSE(mon.evaluate(0.30, snapshot(-110.0, -140.0)).has_value());
+  EXPECT_TRUE(mon.evaluate(0.45, snapshot(-110.0, -140.0)).has_value());
+}
+
+TEST(EventMonitor, LatchesUntilLeavingCondition) {
+  EventMonitor mon(make_config(EventType::kA2, -100.0, 0, 0, 1.0, 100.0));
+  mon.evaluate(0.0, snapshot(-110.0, -140.0));
+  ASSERT_TRUE(mon.evaluate(0.2, snapshot(-110.0, -140.0)).has_value());
+  EXPECT_TRUE(mon.reported());
+  // Still bad: no re-report.
+  EXPECT_FALSE(mon.evaluate(0.4, snapshot(-110.0, -140.0)).has_value());
+  EXPECT_TRUE(mon.reported());
+  // Recovers beyond hysteresis: unlatches...
+  EXPECT_FALSE(mon.evaluate(0.6, snapshot(-95.0, -140.0)).has_value());
+  EXPECT_FALSE(mon.reported());
+  // ...and can fire again.
+  mon.evaluate(0.8, snapshot(-110.0, -140.0));
+  EXPECT_TRUE(mon.evaluate(1.0, snapshot(-110.0, -140.0)).has_value());
+}
+
+TEST(EventMonitor, ResetClearsState) {
+  EventMonitor mon(make_config(EventType::kA2, -100.0, 0, 0, 1.0, 100.0));
+  mon.evaluate(0.0, snapshot(-110.0, -140.0));
+  mon.evaluate(0.2, snapshot(-110.0, -140.0));
+  EXPECT_TRUE(mon.reported());
+  mon.reset();
+  EXPECT_FALSE(mon.reported());
+  // Fires again after TTT from scratch.
+  EXPECT_FALSE(mon.evaluate(0.3, snapshot(-110.0, -140.0)).has_value());
+  EXPECT_TRUE(mon.evaluate(0.45, snapshot(-110.0, -140.0)).has_value());
+}
+
+TEST(EventMonitor, InvalidServingBlocksServingEvents) {
+  EventMonitor mon(make_config(EventType::kA2, -100.0, 0, 0, 1.0, 0.0));
+  MeasSnapshot m;
+  m.serving_valid = false;
+  EXPECT_FALSE(mon.evaluate(0.1, m).has_value());
+}
+
+TEST(DefaultEventSets, LteSetHasExpectedEvents) {
+  const auto set = default_lte_event_set(radio::Band::kNrLow);
+  ASSERT_EQ(set.size(), 4u);
+  EXPECT_EQ(set[0].type, EventType::kA2);
+  EXPECT_EQ(set[1].type, EventType::kA3);
+  EXPECT_EQ(set[2].type, EventType::kA5);
+  EXPECT_EQ(set[3].type, EventType::kB1);
+  EXPECT_EQ(set[3].neighbor_rat, radio::Rat::kNr);
+  for (const auto& c : set) EXPECT_EQ(c.scope, MeasScope::kServingLte);
+}
+
+TEST(DefaultEventSets, NsaNrSetScopesAndB1ThresholdTracksBand) {
+  const auto low = default_nsa_nr_event_set(radio::Band::kNrLow);
+  const auto mmw = default_nsa_nr_event_set(radio::Band::kNrMmWave);
+  ASSERT_EQ(low.size(), 3u);
+  for (const auto& c : low) EXPECT_EQ(c.scope, MeasScope::kServingNr);
+  // Absolute thresholds must differ between bands (self-calibration).
+  EXPECT_NE(low[2].threshold1, mmw[2].threshold1);
+  // mmWave beam management is faster.
+  EXPECT_LT(mmw[1].ttt_ms, low[1].ttt_ms);
+}
+
+TEST(DefaultEventSets, SaSetIsNrScoped) {
+  const auto set = default_sa_event_set(radio::Band::kNrLow);
+  ASSERT_EQ(set.size(), 3u);
+  for (const auto& c : set) {
+    EXPECT_EQ(c.scope, MeasScope::kServingNr);
+    EXPECT_EQ(c.neighbor_rat, radio::Rat::kNr);
+  }
+}
+
+TEST(EventNames, AllDistinct) {
+  std::set<std::string_view> names;
+  for (EventType t : {EventType::kA1, EventType::kA2, EventType::kA3, EventType::kA4,
+                      EventType::kA5, EventType::kA6, EventType::kB1}) {
+    names.insert(event_name(t));
+  }
+  EXPECT_EQ(names.size(), 7u);
+}
+
+}  // namespace
+}  // namespace p5g::ran

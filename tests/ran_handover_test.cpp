@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/stats.h"
+#include "ran/handover.h"
+
+namespace p5g::ran {
+namespace {
+
+const HoType kAllTypes[] = {HoType::kLteh, HoType::kScga, HoType::kScgr,
+                            HoType::kScgm, HoType::kScgc, HoType::kMnbh,
+                            HoType::kMcgh};
+
+TEST(Taxonomy, Table2Categories) {
+  // "4G/5G HO" column of Table 2.
+  EXPECT_FALSE(ho_is_5g_procedure(HoType::kLteh));
+  EXPECT_FALSE(ho_is_5g_procedure(HoType::kMnbh));
+  EXPECT_TRUE(ho_is_5g_procedure(HoType::kScga));
+  EXPECT_TRUE(ho_is_5g_procedure(HoType::kScgr));
+  EXPECT_TRUE(ho_is_5g_procedure(HoType::kScgm));
+  EXPECT_TRUE(ho_is_5g_procedure(HoType::kScgc));
+  EXPECT_TRUE(ho_is_5g_procedure(HoType::kMcgh));
+}
+
+TEST(Taxonomy, ArchMapping) {
+  EXPECT_EQ(ho_arch(HoType::kLteh), HoArch::kLte);
+  EXPECT_EQ(ho_arch(HoType::kMcgh), HoArch::kSa);
+  for (HoType t : {HoType::kScga, HoType::kScgr, HoType::kScgm, HoType::kScgc,
+                   HoType::kMnbh}) {
+    EXPECT_EQ(ho_arch(t), HoArch::kNsa);
+  }
+}
+
+TEST(Taxonomy, NamesDistinct) {
+  std::set<std::string_view> names;
+  for (HoType t : kAllTypes) names.insert(ho_name(t));
+  EXPECT_EQ(names.size(), 7u);
+}
+
+TEST(Interruption, Footnote1Semantics) {
+  // NSA 5G HOs do not affect the LTE data plane; 4G HOs interrupt 5G too.
+  for (HoType t : {HoType::kScga, HoType::kScgr, HoType::kScgm, HoType::kScgc}) {
+    EXPECT_FALSE(ho_interruption(t).halts_lte) << ho_name(t);
+    EXPECT_TRUE(ho_interruption(t).halts_nr) << ho_name(t);
+  }
+  EXPECT_TRUE(ho_interruption(HoType::kMnbh).halts_lte);
+  EXPECT_TRUE(ho_interruption(HoType::kMnbh).halts_nr);
+  EXPECT_TRUE(ho_interruption(HoType::kLteh).halts_lte);
+  EXPECT_FALSE(ho_interruption(HoType::kLteh).halts_nr);
+}
+
+std::vector<double> sample_totals(HoType t, radio::Band band, bool colocated, int n) {
+  Rng rng(77);
+  std::vector<double> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(sample_ho_timing(t, band, colocated, rng).total_ms());
+  }
+  return out;
+}
+
+TEST(Timing, Section52Calibration) {
+  // LTE ~76 ms, NSA SCGM ~165-180 ms (low-band), SA ~110 ms.
+  EXPECT_NEAR(stats::mean(sample_totals(HoType::kLteh, radio::Band::kLteMid, false, 4000)),
+              76.0, 5.0);
+  EXPECT_NEAR(stats::mean(sample_totals(HoType::kScgm, radio::Band::kNrLow, false, 4000)),
+              178.0, 8.0);
+  EXPECT_NEAR(stats::mean(sample_totals(HoType::kMcgh, radio::Band::kNrLow, false, 4000)),
+              110.0, 8.0);
+}
+
+TEST(Timing, T1FractionOfNsaDuration) {
+  // T1 is ~41 % of the overall NSA HO duration (Sec 5.2).
+  Rng rng(78);
+  double t1 = 0.0, total = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    const HoTiming h = sample_ho_timing(HoType::kScgm, radio::Band::kNrLow, true, rng);
+    t1 += h.t1_ms;
+    total += h.total_ms();
+  }
+  EXPECT_NEAR(t1 / total, 0.41, 0.05);
+}
+
+TEST(Timing, MmWaveT2Larger) {
+  // mmWave T2 is 42-45 % larger than low-band (Sec 5.2).
+  Rng rng(79);
+  double low = 0.0, mmw = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    low += sample_ho_timing(HoType::kScgm, radio::Band::kNrLow, true, rng).t2_ms;
+    mmw += sample_ho_timing(HoType::kScgm, radio::Band::kNrMmWave, true, rng).t2_ms;
+  }
+  EXPECT_NEAR(mmw / low, 1.43, 0.08);
+}
+
+TEST(Timing, ColocationSavesAbout13Ms) {
+  const double non = stats::mean(sample_totals(HoType::kScgm, radio::Band::kNrLow,
+                                               false, 6000));
+  const double col = stats::mean(sample_totals(HoType::kScgm, radio::Band::kNrLow,
+                                               true, 6000));
+  EXPECT_NEAR(non - col, 13.0, 3.0);
+}
+
+TEST(Timing, ColocationIrrelevantForPureLte) {
+  const double non = stats::mean(sample_totals(HoType::kLteh, radio::Band::kLteMid,
+                                               false, 6000));
+  const double col = stats::mean(sample_totals(HoType::kLteh, radio::Band::kLteMid,
+                                               true, 6000));
+  EXPECT_NEAR(non - col, 0.0, 2.0);
+}
+
+TEST(Timing, SaPreparationHasHighVariance) {
+  Rng rng(80);
+  stats::RunningStats sa, lte;
+  for (int i = 0; i < 4000; ++i) {
+    sa.add(sample_ho_timing(HoType::kMcgh, radio::Band::kNrLow, false, rng).t1_ms);
+    lte.add(sample_ho_timing(HoType::kLteh, radio::Band::kLteMid, false, rng).t1_ms);
+  }
+  EXPECT_GT(sa.stddev(), 2.0 * lte.stddev());
+}
+
+TEST(Timing, AllPositive) {
+  Rng rng(81);
+  for (HoType t : kAllTypes) {
+    for (int i = 0; i < 200; ++i) {
+      const HoTiming h = sample_ho_timing(t, radio::Band::kNrMmWave, false, rng);
+      EXPECT_GT(h.t1_ms, 0.0);
+      EXPECT_GT(h.t2_ms, 0.0);
+    }
+  }
+}
+
+TEST(Signaling, ScgcCarriesMostRrc) {
+  Rng rng(82);
+  const SignalingCounts scgc = ho_signaling(HoType::kScgc, radio::Band::kNrLow, rng);
+  const SignalingCounts scgm = ho_signaling(HoType::kScgm, radio::Band::kNrLow, rng);
+  EXPECT_GT(scgc.rrc, scgm.rrc);  // release + addition
+}
+
+TEST(Signaling, MmWavePhyHeavy) {
+  Rng rng(83);
+  const SignalingCounts low = ho_signaling(HoType::kScgm, radio::Band::kNrLow, rng);
+  const SignalingCounts mmw = ho_signaling(HoType::kScgm, radio::Band::kNrMmWave, rng);
+  EXPECT_GT(mmw.phy, 3 * low.phy);
+}
+
+TEST(Signaling, ReleaseHasNoRach) {
+  Rng rng(84);
+  EXPECT_EQ(ho_signaling(HoType::kScgr, radio::Band::kNrLow, rng).mac, 0);
+}
+
+TEST(Signaling, AccumulationOperator) {
+  SignalingCounts a{1, 2, 3}, b{10, 20, 30};
+  a += b;
+  EXPECT_EQ(a.rrc, 11);
+  EXPECT_EQ(a.mac, 22);
+  EXPECT_EQ(a.phy, 33);
+  EXPECT_EQ(a.total(), 66);
+}
+
+}  // namespace
+}  // namespace p5g::ran

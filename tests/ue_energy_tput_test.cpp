@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/stats.h"
+#include "energy/power_model.h"
+#include "tput/throughput.h"
+#include "ue/mobility.h"
+
+namespace p5g {
+namespace {
+
+// ------------------------------------------------------------- mobility --
+TEST(Mobility, ConstantSpeedMakesSteadyProgress) {
+  geo::Route route({{0, 0}, {100000, 0}});
+  ue::ConstantSpeedDriver drv(route, 110.0, Rng(1));
+  ue::UePosition last{};
+  for (int i = 0; i < 1000; ++i) last = drv.advance(0.05);
+  // 50 s at ~110 km/h: ~1530 m, within the perturbation envelope.
+  EXPECT_NEAR(last.route_position, 1530.0, 300.0);
+}
+
+TEST(Mobility, PositionsAreMonotone) {
+  geo::Route route({{0, 0}, {100000, 0}});
+  for (auto make : {+[](const geo::Route& r) -> std::unique_ptr<ue::MobilityModel> {
+                      return std::make_unique<ue::ConstantSpeedDriver>(r, 80.0, Rng(2));
+                    },
+                    +[](const geo::Route& r) -> std::unique_ptr<ue::MobilityModel> {
+                      return std::make_unique<ue::StopAndGoDriver>(r, 40.0, Rng(3));
+                    },
+                    +[](const geo::Route& r) -> std::unique_ptr<ue::MobilityModel> {
+                      return std::make_unique<ue::Walker>(r, Rng(4));
+                    }}) {
+    auto m = make(route);
+    Meters prev = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+      const ue::UePosition p = m->advance(0.05);
+      EXPECT_GE(p.route_position, prev - 1e-9);
+      EXPECT_GE(p.speed_mps, 0.0);
+      prev = p.route_position;
+    }
+  }
+}
+
+TEST(Mobility, StopAndGoActuallyStops) {
+  geo::Route route({{0, 0}, {100000, 0}});
+  ue::StopAndGoDriver drv(route, 40.0, Rng(5));
+  int stopped_ticks = 0, moving_ticks = 0;
+  for (int i = 0; i < 20 * 300; ++i) {  // 5 minutes
+    const ue::UePosition p = drv.advance(0.05);
+    if (p.speed_mps < 0.5) ++stopped_ticks;
+    if (p.speed_mps > 5.0) ++moving_ticks;
+  }
+  EXPECT_GT(stopped_ticks, 200);
+  EXPECT_GT(moving_ticks, 1000);
+}
+
+TEST(Mobility, WalkerSpeedIsPedestrian) {
+  geo::Route route({{0, 0}, {10000, 0}});
+  ue::Walker w(route, Rng(6));
+  for (int i = 0; i < 4000; ++i) {
+    const ue::UePosition p = w.advance(0.05);
+    EXPECT_GE(p.speed_mps, 0.7);
+    EXPECT_LE(p.speed_mps, 2.1);
+  }
+}
+
+// --------------------------------------------------------------- energy --
+ran::HandoverRecord make_ho(ran::HoType type, radio::Band band) {
+  ran::HandoverRecord h;
+  h.type = type;
+  h.src_band = band;
+  h.dst_band = band;
+  Rng rng(9);
+  h.timing = ran::sample_ho_timing(type, band, false, rng);
+  h.signaling = ran::ho_signaling(type, band, rng);
+  return h;
+}
+
+TEST(Energy, LtePerHoCalibration) {
+  // ~0.22 J per LTE HO (3.4 mAh for ~220 HOs in an hour at 130 km/h).
+  stats::RunningStats rs;
+  for (int i = 0; i < 500; ++i) {
+    rs.add(energy::ho_energy_joules(make_ho(ran::HoType::kLteh, radio::Band::kLteMid)));
+  }
+  EXPECT_NEAR(rs.mean(), 0.22, 0.06);
+}
+
+TEST(Energy, NsaLowBandCostsMoreThanLte) {
+  const double lte =
+      energy::ho_energy_joules(make_ho(ran::HoType::kLteh, radio::Band::kLteMid));
+  const double nsa =
+      energy::ho_energy_joules(make_ho(ran::HoType::kScgm, radio::Band::kNrLow));
+  EXPECT_GT(nsa, 2.5 * lte);
+}
+
+TEST(Energy, SingleMmWaveHoCheaperThanLowBand) {
+  // Paper: a single mmWave HO is ~54 % more energy-efficient.
+  stats::RunningStats low, mmw;
+  for (int i = 0; i < 500; ++i) {
+    low.add(energy::ho_energy_joules(make_ho(ran::HoType::kScgm, radio::Band::kNrLow)));
+    mmw.add(energy::ho_energy_joules(make_ho(ran::HoType::kScgm, radio::Band::kNrMmWave)));
+  }
+  EXPECT_NEAR(low.mean() / mmw.mean(), 1.54, 0.25);
+}
+
+TEST(Energy, PowerCorrelatesWithSignaling) {
+  const ran::SignalingCounts few{3, 1, 5};
+  const ran::SignalingCounts many{8, 4, 40};
+  EXPECT_GT(energy::ho_power(ran::HoType::kScgm, radio::Band::kNrLow, many),
+            energy::ho_power(ran::HoType::kScgm, radio::Band::kNrLow, few));
+}
+
+TEST(Energy, SummaryAggregates) {
+  std::vector<ran::HandoverRecord> hos;
+  for (int i = 0; i < 10; ++i) hos.push_back(make_ho(ran::HoType::kScga, radio::Band::kNrLow));
+  const energy::EnergySummary s = energy::summarize(hos);
+  EXPECT_EQ(s.handovers, 10);
+  EXPECT_GT(s.joules, 0.0);
+  EXPECT_NEAR(s.mah, joules_to_mah(s.joules), 1e-12);
+  EXPECT_GT(s.mean_power, 0.5);
+}
+
+TEST(Energy, EquivalentDataVolumesMatchPaperRatios) {
+  // 34.7 mAh ~= 4.3 GB down on low-band; 81.7 mAh ~= 75.4 GB on mmWave.
+  EXPECT_NEAR(energy::equivalent_download_gb(radio::Band::kNrLow, 34.7), 4.3, 0.01);
+  EXPECT_NEAR(energy::equivalent_download_gb(radio::Band::kNrMmWave, 81.7), 75.4, 0.01);
+  EXPECT_NEAR(energy::equivalent_upload_gb(radio::Band::kNrLow, 34.7), 2.0, 0.01);
+}
+
+// ----------------------------------------------------------- throughput --
+TEST(Tput, LinkCapacityMonotoneInSinr) {
+  double prev = -1.0;
+  for (double sinr = -10.0; sinr <= 30.0; sinr += 1.0) {
+    const double c = tput::link_capacity(radio::Band::kNrLow, sinr);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(tput::link_capacity(radio::Band::kNrLow, -15.0), 0.0);
+}
+
+TEST(Tput, MmWavePeakDominates) {
+  EXPECT_GT(tput::link_capacity(radio::Band::kNrMmWave, 22.0),
+            tput::link_capacity(radio::Band::kNrMid, 22.0));
+  EXPECT_GT(tput::link_capacity(radio::Band::kNrMid, 22.0),
+            tput::link_capacity(radio::Band::kNrLow, 22.0));
+}
+
+tput::DataPlaneInput both_up(tput::TrafficMode mode) {
+  tput::DataPlaneInput in;
+  in.mode = mode;
+  in.lte = {true, false, radio::Band::kLteMid, 20.0};
+  in.nr = {true, false, radio::Band::kNrLow, 20.0};
+  return in;
+}
+
+TEST(Tput, NrOnlyModeUsesNrCapacity) {
+  Rng rng(1);
+  stats::RunningStats rs;
+  for (int i = 0; i < 2000; ++i) rs.add(tput::downlink_throughput(both_up(tput::TrafficMode::kNrOnly), rng));
+  const double nr_cap = tput::link_capacity(radio::Band::kNrLow, 20.0);
+  EXPECT_NEAR(rs.mean(), nr_cap * 0.91, nr_cap * 0.05);
+}
+
+TEST(Tput, DualModeAddsLteShare) {
+  Rng rng(2);
+  stats::RunningStats dual, nr_only;
+  for (int i = 0; i < 2000; ++i) {
+    dual.add(tput::downlink_throughput(both_up(tput::TrafficMode::kDual), rng));
+    nr_only.add(tput::downlink_throughput(both_up(tput::TrafficMode::kNrOnly), rng));
+  }
+  EXPECT_GT(dual.mean(), nr_only.mean() * 0.95);  // LTE share offsets split loss
+}
+
+TEST(Tput, HaltedNrZeroesNrOnlyMode) {
+  Rng rng(3);
+  tput::DataPlaneInput in = both_up(tput::TrafficMode::kNrOnly);
+  in.nr.halted = true;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(tput::downlink_throughput(in, rng), 0.0);
+  }
+}
+
+TEST(Tput, HaltedNrKeepsLteInDualMode) {
+  Rng rng(4);
+  tput::DataPlaneInput in = both_up(tput::TrafficMode::kDual);
+  in.nr.halted = true;
+  stats::RunningStats rs;
+  for (int i = 0; i < 2000; ++i) rs.add(tput::downlink_throughput(in, rng));
+  EXPECT_GT(rs.mean(), 10.0);  // the 4G leg keeps flowing
+}
+
+TEST(Rtt, NrOnlyBaseBelowDualBase) {
+  // Sec 4.2: 5G-only has lower RTT without HOs (no eNB detour).
+  Rng rng(5);
+  stats::RunningStats dual, nr_only;
+  for (int i = 0; i < 4000; ++i) {
+    dual.add(tput::rtt_sample(both_up(tput::TrafficMode::kDual), std::nullopt, rng));
+    nr_only.add(tput::rtt_sample(both_up(tput::TrafficMode::kNrOnly), std::nullopt, rng));
+  }
+  EXPECT_LT(nr_only.mean(), dual.mean());
+}
+
+TEST(Rtt, DualModeAbsorbsNrHandovers) {
+  Rng rng(6);
+  stats::RunningStats base, during;
+  for (int i = 0; i < 4000; ++i) {
+    base.add(tput::rtt_sample(both_up(tput::TrafficMode::kDual), std::nullopt, rng));
+    during.add(tput::rtt_sample(both_up(tput::TrafficMode::kDual),
+                                ran::HoType::kScgm, rng));
+  }
+  // 1-4 % median change in the paper; allow a few percent here.
+  EXPECT_LT(during.mean() / base.mean(), 1.10);
+}
+
+TEST(Rtt, NrOnlyModeSuffersDuringNrHandovers) {
+  Rng rng(7);
+  stats::RunningStats base, during;
+  for (int i = 0; i < 4000; ++i) {
+    base.add(tput::rtt_sample(both_up(tput::TrafficMode::kNrOnly), std::nullopt, rng));
+    during.add(tput::rtt_sample(both_up(tput::TrafficMode::kNrOnly),
+                                ran::HoType::kScgm, rng));
+  }
+  EXPECT_GT(during.mean() / base.mean(), 1.3);
+}
+
+TEST(Rtt, MnbhWorstCase) {
+  Rng rng(8);
+  stats::RunningStats scgm, mnbh;
+  for (int i = 0; i < 4000; ++i) {
+    scgm.add(tput::rtt_sample(both_up(tput::TrafficMode::kNrOnly), ran::HoType::kScgm, rng));
+    mnbh.add(tput::rtt_sample(both_up(tput::TrafficMode::kNrOnly), ran::HoType::kMnbh, rng));
+  }
+  EXPECT_GT(mnbh.mean(), scgm.mean());
+}
+
+}  // namespace
+}  // namespace p5g
