@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_vod.dir/bench_fig14_vod.cpp.o"
+  "CMakeFiles/bench_fig14_vod.dir/bench_fig14_vod.cpp.o.d"
+  "bench_fig14_vod"
+  "bench_fig14_vod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_vod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_bootstrap.dir/bench_fig15_bootstrap.cpp.o"
+  "CMakeFiles/bench_fig15_bootstrap.dir/bench_fig15_bootstrap.cpp.o.d"
+  "bench_fig15_bootstrap"
+  "bench_fig15_bootstrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

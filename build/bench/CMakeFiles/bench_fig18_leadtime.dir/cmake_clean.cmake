@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_leadtime.dir/bench_fig18_leadtime.cpp.o"
+  "CMakeFiles/bench_fig18_leadtime.dir/bench_fig18_leadtime.cpp.o.d"
+  "bench_fig18_leadtime"
+  "bench_fig18_leadtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_leadtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

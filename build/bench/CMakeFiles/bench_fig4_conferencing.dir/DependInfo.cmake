@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4_conferencing.cpp" "bench/CMakeFiles/bench_fig4_conferencing.dir/bench_fig4_conferencing.cpp.o" "gcc" "bench/CMakeFiles/bench_fig4_conferencing.dir/bench_fig4_conferencing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/p5g_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/p5g_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/p5g_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tput/CMakeFiles/p5g_tput.dir/DependInfo.cmake"
+  "/root/repo/build/src/ue/CMakeFiles/p5g_ue.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/p5g_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/p5g_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/p5g_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/p5g_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ran/CMakeFiles/p5g_ran.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/p5g_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/p5g_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/p5g_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

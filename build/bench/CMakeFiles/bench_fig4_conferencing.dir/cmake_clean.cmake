@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_conferencing.dir/bench_fig4_conferencing.cpp.o"
+  "CMakeFiles/bench_fig4_conferencing.dir/bench_fig4_conferencing.cpp.o.d"
+  "bench_fig4_conferencing"
+  "bench_fig4_conferencing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_conferencing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

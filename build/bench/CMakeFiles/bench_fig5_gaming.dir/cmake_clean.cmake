@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_gaming.dir/bench_fig5_gaming.cpp.o"
+  "CMakeFiles/bench_fig5_gaming.dir/bench_fig5_gaming.cpp.o.d"
+  "bench_fig5_gaming"
+  "bench_fig5_gaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_gaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_volumetric.dir/bench_fig6_volumetric.cpp.o"
+  "CMakeFiles/bench_fig6_volumetric.dir/bench_fig6_volumetric.cpp.o.d"
+  "bench_fig6_volumetric"
+  "bench_fig6_volumetric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_volumetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

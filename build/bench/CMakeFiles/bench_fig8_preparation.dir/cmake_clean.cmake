@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_preparation.dir/bench_fig8_preparation.cpp.o"
+  "CMakeFiles/bench_fig8_preparation.dir/bench_fig8_preparation.cpp.o.d"
+  "bench_fig8_preparation"
+  "bench_fig8_preparation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_preparation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_prognos.dir/bench_micro_prognos.cpp.o"
+  "CMakeFiles/bench_micro_prognos.dir/bench_micro_prognos.cpp.o.d"
+  "bench_micro_prognos"
+  "bench_micro_prognos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_prognos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

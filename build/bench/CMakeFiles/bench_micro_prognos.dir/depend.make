@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_micro_prognos.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec51_frequency.dir/bench_sec51_frequency.cpp.o"
+  "CMakeFiles/bench_sec51_frequency.dir/bench_sec51_frequency.cpp.o.d"
+  "bench_sec51_frequency"
+  "bench_sec51_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec51_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ho_aware_streaming.dir/ho_aware_streaming.cpp.o"
+  "CMakeFiles/ho_aware_streaming.dir/ho_aware_streaming.cpp.o.d"
+  "ho_aware_streaming"
+  "ho_aware_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ho_aware_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

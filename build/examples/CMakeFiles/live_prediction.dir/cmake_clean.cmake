@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_prediction.dir/live_prediction.cpp.o"
+  "CMakeFiles/live_prediction.dir/live_prediction.cpp.o.d"
+  "live_prediction"
+  "live_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

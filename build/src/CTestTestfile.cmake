@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("geo")
+subdirs("radio")
+subdirs("ran")
+subdirs("ue")
+subdirs("energy")
+subdirs("tput")
+subdirs("trace")
+subdirs("sim")
+subdirs("ml")
+subdirs("core")
+subdirs("apps")
+subdirs("analysis")

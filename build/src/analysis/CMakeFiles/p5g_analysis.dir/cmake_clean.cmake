@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p5g_analysis.dir/coverage.cpp.o"
+  "CMakeFiles/p5g_analysis.dir/coverage.cpp.o.d"
+  "CMakeFiles/p5g_analysis.dir/datasets.cpp.o"
+  "CMakeFiles/p5g_analysis.dir/datasets.cpp.o.d"
+  "CMakeFiles/p5g_analysis.dir/ho_stats.cpp.o"
+  "CMakeFiles/p5g_analysis.dir/ho_stats.cpp.o.d"
+  "CMakeFiles/p5g_analysis.dir/phase_tput.cpp.o"
+  "CMakeFiles/p5g_analysis.dir/phase_tput.cpp.o.d"
+  "CMakeFiles/p5g_analysis.dir/prediction.cpp.o"
+  "CMakeFiles/p5g_analysis.dir/prediction.cpp.o.d"
+  "libp5g_analysis.a"
+  "libp5g_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p5g_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

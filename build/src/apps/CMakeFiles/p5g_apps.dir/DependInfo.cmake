@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/abr.cpp" "src/apps/CMakeFiles/p5g_apps.dir/abr.cpp.o" "gcc" "src/apps/CMakeFiles/p5g_apps.dir/abr.cpp.o.d"
+  "/root/repo/src/apps/ho_signal.cpp" "src/apps/CMakeFiles/p5g_apps.dir/ho_signal.cpp.o" "gcc" "src/apps/CMakeFiles/p5g_apps.dir/ho_signal.cpp.o.d"
+  "/root/repo/src/apps/link_emulator.cpp" "src/apps/CMakeFiles/p5g_apps.dir/link_emulator.cpp.o" "gcc" "src/apps/CMakeFiles/p5g_apps.dir/link_emulator.cpp.o.d"
+  "/root/repo/src/apps/qoe_models.cpp" "src/apps/CMakeFiles/p5g_apps.dir/qoe_models.cpp.o" "gcc" "src/apps/CMakeFiles/p5g_apps.dir/qoe_models.cpp.o.d"
+  "/root/repo/src/apps/vod_session.cpp" "src/apps/CMakeFiles/p5g_apps.dir/vod_session.cpp.o" "gcc" "src/apps/CMakeFiles/p5g_apps.dir/vod_session.cpp.o.d"
+  "/root/repo/src/apps/volumetric.cpp" "src/apps/CMakeFiles/p5g_apps.dir/volumetric.cpp.o" "gcc" "src/apps/CMakeFiles/p5g_apps.dir/volumetric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/p5g_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/p5g_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ran/CMakeFiles/p5g_ran.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/p5g_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/p5g_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/p5g_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/p5g_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p5g_apps.dir/abr.cpp.o"
+  "CMakeFiles/p5g_apps.dir/abr.cpp.o.d"
+  "CMakeFiles/p5g_apps.dir/ho_signal.cpp.o"
+  "CMakeFiles/p5g_apps.dir/ho_signal.cpp.o.d"
+  "CMakeFiles/p5g_apps.dir/link_emulator.cpp.o"
+  "CMakeFiles/p5g_apps.dir/link_emulator.cpp.o.d"
+  "CMakeFiles/p5g_apps.dir/qoe_models.cpp.o"
+  "CMakeFiles/p5g_apps.dir/qoe_models.cpp.o.d"
+  "CMakeFiles/p5g_apps.dir/vod_session.cpp.o"
+  "CMakeFiles/p5g_apps.dir/vod_session.cpp.o.d"
+  "CMakeFiles/p5g_apps.dir/volumetric.cpp.o"
+  "CMakeFiles/p5g_apps.dir/volumetric.cpp.o.d"
+  "libp5g_apps.a"
+  "libp5g_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p5g_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

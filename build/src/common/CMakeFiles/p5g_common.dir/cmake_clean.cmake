@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p5g_common.dir/csv.cpp.o"
+  "CMakeFiles/p5g_common.dir/csv.cpp.o.d"
+  "CMakeFiles/p5g_common.dir/rng.cpp.o"
+  "CMakeFiles/p5g_common.dir/rng.cpp.o.d"
+  "CMakeFiles/p5g_common.dir/stats.cpp.o"
+  "CMakeFiles/p5g_common.dir/stats.cpp.o.d"
+  "libp5g_common.a"
+  "libp5g_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p5g_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

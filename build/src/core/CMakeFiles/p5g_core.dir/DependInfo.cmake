@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/decision_learner.cpp" "src/core/CMakeFiles/p5g_core.dir/decision_learner.cpp.o" "gcc" "src/core/CMakeFiles/p5g_core.dir/decision_learner.cpp.o.d"
+  "/root/repo/src/core/pattern_store.cpp" "src/core/CMakeFiles/p5g_core.dir/pattern_store.cpp.o" "gcc" "src/core/CMakeFiles/p5g_core.dir/pattern_store.cpp.o.d"
+  "/root/repo/src/core/prognos.cpp" "src/core/CMakeFiles/p5g_core.dir/prognos.cpp.o" "gcc" "src/core/CMakeFiles/p5g_core.dir/prognos.cpp.o.d"
+  "/root/repo/src/core/report_predictor.cpp" "src/core/CMakeFiles/p5g_core.dir/report_predictor.cpp.o" "gcc" "src/core/CMakeFiles/p5g_core.dir/report_predictor.cpp.o.d"
+  "/root/repo/src/core/trace_adapter.cpp" "src/core/CMakeFiles/p5g_core.dir/trace_adapter.cpp.o" "gcc" "src/core/CMakeFiles/p5g_core.dir/trace_adapter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ran/CMakeFiles/p5g_ran.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/p5g_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/p5g_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/p5g_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/p5g_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/p5g_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p5g_core.dir/decision_learner.cpp.o"
+  "CMakeFiles/p5g_core.dir/decision_learner.cpp.o.d"
+  "CMakeFiles/p5g_core.dir/pattern_store.cpp.o"
+  "CMakeFiles/p5g_core.dir/pattern_store.cpp.o.d"
+  "CMakeFiles/p5g_core.dir/prognos.cpp.o"
+  "CMakeFiles/p5g_core.dir/prognos.cpp.o.d"
+  "CMakeFiles/p5g_core.dir/report_predictor.cpp.o"
+  "CMakeFiles/p5g_core.dir/report_predictor.cpp.o.d"
+  "CMakeFiles/p5g_core.dir/trace_adapter.cpp.o"
+  "CMakeFiles/p5g_core.dir/trace_adapter.cpp.o.d"
+  "libp5g_core.a"
+  "libp5g_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p5g_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

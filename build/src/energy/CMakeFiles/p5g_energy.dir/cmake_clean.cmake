@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p5g_energy.dir/power_model.cpp.o"
+  "CMakeFiles/p5g_energy.dir/power_model.cpp.o.d"
+  "libp5g_energy.a"
+  "libp5g_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p5g_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

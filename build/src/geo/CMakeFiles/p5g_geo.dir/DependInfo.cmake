@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/geometry.cpp" "src/geo/CMakeFiles/p5g_geo.dir/geometry.cpp.o" "gcc" "src/geo/CMakeFiles/p5g_geo.dir/geometry.cpp.o.d"
+  "/root/repo/src/geo/route.cpp" "src/geo/CMakeFiles/p5g_geo.dir/route.cpp.o" "gcc" "src/geo/CMakeFiles/p5g_geo.dir/route.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p5g_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p5g_geo.dir/geometry.cpp.o"
+  "CMakeFiles/p5g_geo.dir/geometry.cpp.o.d"
+  "CMakeFiles/p5g_geo.dir/route.cpp.o"
+  "CMakeFiles/p5g_geo.dir/route.cpp.o.d"
+  "libp5g_geo.a"
+  "libp5g_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p5g_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for p5g_geo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/gbc.cpp" "src/ml/CMakeFiles/p5g_ml.dir/gbc.cpp.o" "gcc" "src/ml/CMakeFiles/p5g_ml.dir/gbc.cpp.o.d"
+  "/root/repo/src/ml/linalg.cpp" "src/ml/CMakeFiles/p5g_ml.dir/linalg.cpp.o" "gcc" "src/ml/CMakeFiles/p5g_ml.dir/linalg.cpp.o.d"
+  "/root/repo/src/ml/lstm.cpp" "src/ml/CMakeFiles/p5g_ml.dir/lstm.cpp.o" "gcc" "src/ml/CMakeFiles/p5g_ml.dir/lstm.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/p5g_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/p5g_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/regression.cpp" "src/ml/CMakeFiles/p5g_ml.dir/regression.cpp.o" "gcc" "src/ml/CMakeFiles/p5g_ml.dir/regression.cpp.o.d"
+  "/root/repo/src/ml/tree.cpp" "src/ml/CMakeFiles/p5g_ml.dir/tree.cpp.o" "gcc" "src/ml/CMakeFiles/p5g_ml.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p5g_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

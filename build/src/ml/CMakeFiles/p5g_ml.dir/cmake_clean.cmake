@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p5g_ml.dir/gbc.cpp.o"
+  "CMakeFiles/p5g_ml.dir/gbc.cpp.o.d"
+  "CMakeFiles/p5g_ml.dir/linalg.cpp.o"
+  "CMakeFiles/p5g_ml.dir/linalg.cpp.o.d"
+  "CMakeFiles/p5g_ml.dir/lstm.cpp.o"
+  "CMakeFiles/p5g_ml.dir/lstm.cpp.o.d"
+  "CMakeFiles/p5g_ml.dir/metrics.cpp.o"
+  "CMakeFiles/p5g_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/p5g_ml.dir/regression.cpp.o"
+  "CMakeFiles/p5g_ml.dir/regression.cpp.o.d"
+  "CMakeFiles/p5g_ml.dir/tree.cpp.o"
+  "CMakeFiles/p5g_ml.dir/tree.cpp.o.d"
+  "libp5g_ml.a"
+  "libp5g_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p5g_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/band.cpp" "src/radio/CMakeFiles/p5g_radio.dir/band.cpp.o" "gcc" "src/radio/CMakeFiles/p5g_radio.dir/band.cpp.o.d"
+  "/root/repo/src/radio/propagation.cpp" "src/radio/CMakeFiles/p5g_radio.dir/propagation.cpp.o" "gcc" "src/radio/CMakeFiles/p5g_radio.dir/propagation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p5g_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

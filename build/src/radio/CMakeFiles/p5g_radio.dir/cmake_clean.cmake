@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p5g_radio.dir/band.cpp.o"
+  "CMakeFiles/p5g_radio.dir/band.cpp.o.d"
+  "CMakeFiles/p5g_radio.dir/propagation.cpp.o"
+  "CMakeFiles/p5g_radio.dir/propagation.cpp.o.d"
+  "libp5g_radio.a"
+  "libp5g_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p5g_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libp5g_radio.a"
+)

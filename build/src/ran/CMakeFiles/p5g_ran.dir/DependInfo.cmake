@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ran/deployment.cpp" "src/ran/CMakeFiles/p5g_ran.dir/deployment.cpp.o" "gcc" "src/ran/CMakeFiles/p5g_ran.dir/deployment.cpp.o.d"
+  "/root/repo/src/ran/events.cpp" "src/ran/CMakeFiles/p5g_ran.dir/events.cpp.o" "gcc" "src/ran/CMakeFiles/p5g_ran.dir/events.cpp.o.d"
+  "/root/repo/src/ran/handover.cpp" "src/ran/CMakeFiles/p5g_ran.dir/handover.cpp.o" "gcc" "src/ran/CMakeFiles/p5g_ran.dir/handover.cpp.o.d"
+  "/root/repo/src/ran/mobility_manager.cpp" "src/ran/CMakeFiles/p5g_ran.dir/mobility_manager.cpp.o" "gcc" "src/ran/CMakeFiles/p5g_ran.dir/mobility_manager.cpp.o.d"
+  "/root/repo/src/ran/rrc.cpp" "src/ran/CMakeFiles/p5g_ran.dir/rrc.cpp.o" "gcc" "src/ran/CMakeFiles/p5g_ran.dir/rrc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/p5g_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/p5g_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/p5g_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p5g_ran.dir/deployment.cpp.o"
+  "CMakeFiles/p5g_ran.dir/deployment.cpp.o.d"
+  "CMakeFiles/p5g_ran.dir/events.cpp.o"
+  "CMakeFiles/p5g_ran.dir/events.cpp.o.d"
+  "CMakeFiles/p5g_ran.dir/handover.cpp.o"
+  "CMakeFiles/p5g_ran.dir/handover.cpp.o.d"
+  "CMakeFiles/p5g_ran.dir/mobility_manager.cpp.o"
+  "CMakeFiles/p5g_ran.dir/mobility_manager.cpp.o.d"
+  "CMakeFiles/p5g_ran.dir/rrc.cpp.o"
+  "CMakeFiles/p5g_ran.dir/rrc.cpp.o.d"
+  "libp5g_ran.a"
+  "libp5g_ran.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p5g_ran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

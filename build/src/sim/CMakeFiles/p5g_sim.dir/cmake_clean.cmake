@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p5g_sim.dir/scenario.cpp.o"
+  "CMakeFiles/p5g_sim.dir/scenario.cpp.o.d"
+  "libp5g_sim.a"
+  "libp5g_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p5g_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

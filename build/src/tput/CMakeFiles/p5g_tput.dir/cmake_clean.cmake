@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p5g_tput.dir/throughput.cpp.o"
+  "CMakeFiles/p5g_tput.dir/throughput.cpp.o.d"
+  "libp5g_tput.a"
+  "libp5g_tput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p5g_tput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

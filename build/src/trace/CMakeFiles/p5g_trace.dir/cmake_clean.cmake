@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p5g_trace.dir/trace.cpp.o"
+  "CMakeFiles/p5g_trace.dir/trace.cpp.o.d"
+  "libp5g_trace.a"
+  "libp5g_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p5g_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

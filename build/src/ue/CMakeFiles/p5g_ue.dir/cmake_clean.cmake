@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p5g_ue.dir/mobility.cpp.o"
+  "CMakeFiles/p5g_ue.dir/mobility.cpp.o.d"
+  "libp5g_ue.a"
+  "libp5g_ue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p5g_ue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

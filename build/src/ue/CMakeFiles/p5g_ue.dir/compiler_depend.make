@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for p5g_ue.
+# This may be replaced when dependencies are built.

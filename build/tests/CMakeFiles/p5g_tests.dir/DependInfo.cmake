@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/p5g_tests.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/p5g_tests.dir/analysis_test.cpp.o.d"
+  "/root/repo/tests/apps_test.cpp" "tests/CMakeFiles/p5g_tests.dir/apps_test.cpp.o" "gcc" "tests/CMakeFiles/p5g_tests.dir/apps_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/p5g_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/p5g_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/p5g_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/p5g_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/geo_test.cpp" "tests/CMakeFiles/p5g_tests.dir/geo_test.cpp.o" "gcc" "tests/CMakeFiles/p5g_tests.dir/geo_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/p5g_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/p5g_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/ml_test.cpp" "tests/CMakeFiles/p5g_tests.dir/ml_test.cpp.o" "gcc" "tests/CMakeFiles/p5g_tests.dir/ml_test.cpp.o.d"
+  "/root/repo/tests/mobility_manager_test.cpp" "tests/CMakeFiles/p5g_tests.dir/mobility_manager_test.cpp.o" "gcc" "tests/CMakeFiles/p5g_tests.dir/mobility_manager_test.cpp.o.d"
+  "/root/repo/tests/pattern_store_test.cpp" "tests/CMakeFiles/p5g_tests.dir/pattern_store_test.cpp.o" "gcc" "tests/CMakeFiles/p5g_tests.dir/pattern_store_test.cpp.o.d"
+  "/root/repo/tests/radio_test.cpp" "tests/CMakeFiles/p5g_tests.dir/radio_test.cpp.o" "gcc" "tests/CMakeFiles/p5g_tests.dir/radio_test.cpp.o.d"
+  "/root/repo/tests/ran_deployment_test.cpp" "tests/CMakeFiles/p5g_tests.dir/ran_deployment_test.cpp.o" "gcc" "tests/CMakeFiles/p5g_tests.dir/ran_deployment_test.cpp.o.d"
+  "/root/repo/tests/ran_events_test.cpp" "tests/CMakeFiles/p5g_tests.dir/ran_events_test.cpp.o" "gcc" "tests/CMakeFiles/p5g_tests.dir/ran_events_test.cpp.o.d"
+  "/root/repo/tests/ran_handover_test.cpp" "tests/CMakeFiles/p5g_tests.dir/ran_handover_test.cpp.o" "gcc" "tests/CMakeFiles/p5g_tests.dir/ran_handover_test.cpp.o.d"
+  "/root/repo/tests/trace_sim_test.cpp" "tests/CMakeFiles/p5g_tests.dir/trace_sim_test.cpp.o" "gcc" "tests/CMakeFiles/p5g_tests.dir/trace_sim_test.cpp.o.d"
+  "/root/repo/tests/ue_energy_tput_test.cpp" "tests/CMakeFiles/p5g_tests.dir/ue_energy_tput_test.cpp.o" "gcc" "tests/CMakeFiles/p5g_tests.dir/ue_energy_tput_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/p5g_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/p5g_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/p5g_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tput/CMakeFiles/p5g_tput.dir/DependInfo.cmake"
+  "/root/repo/build/src/ue/CMakeFiles/p5g_ue.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/p5g_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/p5g_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/p5g_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/p5g_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ran/CMakeFiles/p5g_ran.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/p5g_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/p5g_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/p5g_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
