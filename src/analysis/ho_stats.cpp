@@ -75,6 +75,63 @@ ColocationSplit colocation_split(const std::vector<ran::HandoverRecord>& hos) {
   return s;
 }
 
+namespace {
+
+void tally(OutcomeCounts& c, ran::HoOutcome o) {
+  switch (o) {
+    case ran::HoOutcome::kSuccess: ++c.success; break;
+    case ran::HoOutcome::kPrepFailure: ++c.prep_failure; break;
+    case ran::HoOutcome::kExecFailure: ++c.exec_failure; break;
+    case ran::HoOutcome::kRlfReestablish: ++c.rlf_reestablish; break;
+  }
+}
+
+}  // namespace
+
+OutcomeCounts count_outcomes(const std::vector<ran::HandoverRecord>& hos) {
+  OutcomeCounts c;
+  for (const ran::HandoverRecord& h : hos) tally(c, h.outcome);
+  return c;
+}
+
+std::map<ran::HoType, OutcomeCounts> outcomes_by_type(
+    const std::vector<ran::HandoverRecord>& hos) {
+  std::map<ran::HoType, OutcomeCounts> out;
+  for (const ran::HandoverRecord& h : hos) tally(out[h.type], h.outcome);
+  return out;
+}
+
+std::map<radio::Band, OutcomeCounts> outcomes_by_band(
+    const std::vector<ran::HandoverRecord>& hos) {
+  std::map<radio::Band, OutcomeCounts> out;
+  for (const ran::HandoverRecord& h : hos) tally(out[h.dst_band], h.outcome);
+  return out;
+}
+
+RetryStats retry_stats(const std::vector<ran::HandoverRecord>& hos) {
+  RetryStats s;
+  int executed = 0, retried = 0;
+  long attempts = 0;
+  for (const ran::HandoverRecord& h : hos) {
+    if (h.rach_attempts > 0) {
+      ++executed;
+      attempts += h.rach_attempts;
+      s.max_rach_attempts = std::max(s.max_rach_attempts, h.rach_attempts);
+      if (h.rach_attempts > 1) {
+        ++retried;
+        s.total_backoff_ms += h.backoff_ms;
+      }
+    }
+    if (h.outcome == ran::HoOutcome::kRlfReestablish) {
+      ++s.reestablishments;
+      s.total_reestablish_ms += h.reestablish_ms;
+    }
+  }
+  if (executed > 0) s.mean_rach_attempts = static_cast<double>(attempts) / executed;
+  if (retried > 0) s.mean_backoff_ms = s.total_backoff_ms / retried;
+  return s;
+}
+
 SignalingRates signaling_rates(const trace::TraceLog& log) {
   SignalingRates r;
   const Kilometers km = m_to_km(log.distance());

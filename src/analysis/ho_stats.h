@@ -48,6 +48,41 @@ struct ColocationSplit {
 };
 ColocationSplit colocation_split(const std::vector<ran::HandoverRecord>& hos);
 
+// Outcome tallies for the fault layer (ran/faults.h).
+struct OutcomeCounts {
+  int success = 0;
+  int prep_failure = 0;
+  int exec_failure = 0;
+  int rlf_reestablish = 0;
+
+  int total() const { return success + prep_failure + exec_failure + rlf_reestablish; }
+  int failed() const { return prep_failure + exec_failure + rlf_reestablish; }
+  // Share of procedures that did not complete cleanly; 0 when empty.
+  double failure_rate() const {
+    const int n = total();
+    return n == 0 ? 0.0 : static_cast<double>(failed()) / n;
+  }
+};
+
+OutcomeCounts count_outcomes(const std::vector<ran::HandoverRecord>& hos);
+
+// Per-procedure-type and per-band (destination band) outcome splits.
+std::map<ran::HoType, OutcomeCounts> outcomes_by_type(
+    const std::vector<ran::HandoverRecord>& hos);
+std::map<radio::Band, OutcomeCounts> outcomes_by_band(
+    const std::vector<ran::HandoverRecord>& hos);
+
+// RACH retry / backoff / re-establishment accounting across a HO set.
+struct RetryStats {
+  double mean_rach_attempts = 0.0;  // over procedures that reached execution
+  int max_rach_attempts = 0;
+  double total_backoff_ms = 0.0;
+  double mean_backoff_ms = 0.0;       // over retried procedures (attempts > 1)
+  double total_reestablish_ms = 0.0;  // summed re-establishment outage
+  int reestablishments = 0;
+};
+RetryStats retry_stats(const std::vector<ran::HandoverRecord>& hos);
+
 // Signaling message totals per km, per layer (§5.1's overhead comparison).
 struct SignalingRates {
   double rrc_per_km = 0.0;

@@ -57,6 +57,17 @@ Mbps LinkEmulator::average_rate(Seconds start, Seconds window) const {
   return n > 0 ? acc / static_cast<double>(n) : mbps_.back();
 }
 
+Seconds LinkEmulator::outage_seconds(Seconds start, Seconds window, Mbps floor) const {
+  if (mbps_.empty() || window <= 0.0) return 0.0;
+  const auto lo = static_cast<long>(std::max(start, 0.0) / dt_);
+  const auto hi = static_cast<long>(std::max(start + window, 0.0) / dt_);
+  Seconds outage = 0.0;
+  for (long i = lo; i < hi && i < static_cast<long>(mbps_.size()); ++i) {
+    if (mbps_[static_cast<std::size_t>(i)] <= floor) outage += dt_;
+  }
+  return outage;
+}
+
 std::vector<LinkEmulator> sliding_windows(const trace::TraceLog& log, Seconds window_s,
                                           Seconds stride_s, Mbps max_avg,
                                           Mbps min_floor) {

@@ -26,6 +26,10 @@ class LinkEmulator {
   Mbps average_rate(Seconds start, Seconds window) const;
   // Instantaneous rate at time t.
   Mbps rate_at(Seconds t) const;
+  // Time within [start, start + window) where the rate sits at or below
+  // `floor` — the outage an application actually experiences. Failed HO
+  // executions and RRC re-establishments show up as longer outages here.
+  Seconds outage_seconds(Seconds start, Seconds window, Mbps floor = 0.1) const;
 
  private:
   std::vector<double> mbps_;

@@ -1,7 +1,7 @@
 #include "common/csv.h"
 
+#include <algorithm>
 #include <iomanip>
-#include <stdexcept>
 
 namespace p5g::csv {
 namespace {
@@ -40,12 +40,11 @@ Writer::Writer(const std::string& path, const std::vector<std::string>& header)
 }
 
 void Writer::write_row(const std::vector<std::string>& cells) {
-  if (cells.size() != columns_) {
-    throw std::invalid_argument("csv::Writer: row width does not match header");
-  }
-  for (std::size_t i = 0; i < cells.size(); ++i) {
+  if (cells.size() != columns_) ++width_mismatches_;
+  const std::size_t n = std::min(cells.size(), columns_);
+  for (std::size_t i = 0; i < columns_; ++i) {
     if (i) out_ << ',';
-    out_ << cells[i];
+    if (i < n) out_ << cells[i];
   }
   out_ << '\n';
 }
@@ -65,7 +64,14 @@ Table read_file(const std::string& path) {
   if (std::getline(in, line)) t.header = split_line(line);
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    t.rows.push_back(split_line(line));
+    std::vector<std::string> cells = split_line(line);
+    if (!t.header.empty() && cells.size() != t.header.size()) {
+      ++t.malformed_rows;
+      // Pad short rows so positional reads stay in bounds; keep extra cells
+      // on long rows (name-based column lookups still resolve correctly).
+      if (cells.size() < t.header.size()) cells.resize(t.header.size());
+    }
+    t.rows.push_back(std::move(cells));
   }
   return t;
 }

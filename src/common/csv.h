@@ -16,25 +16,35 @@ class Writer {
   // Opens `path` for writing and emits the header row.
   Writer(const std::string& path, const std::vector<std::string>& header);
 
-  // Appends one row; the caller must pass exactly header-many cells.
+  // Appends one row. A row narrower than the header is padded with empty
+  // cells, a wider one truncated; either case is counted instead of thrown,
+  // so a malformed record cannot abort a trace flush mid-file.
   void write_row(const std::vector<std::string>& cells);
 
   bool ok() const { return static_cast<bool>(out_); }
+  // Rows whose width did not match the header (padded/truncated).
+  std::size_t width_mismatches() const { return width_mismatches_; }
 
  private:
   std::ofstream out_;
   std::size_t columns_;
+  std::size_t width_mismatches_ = 0;
 };
 
 struct Table {
   std::vector<std::string> header;
   std::vector<std::vector<std::string>> rows;
+  // Rows whose cell count did not match the header. Short rows are padded
+  // with empty cells so positional access never misindexes.
+  std::size_t malformed_rows = 0;
 
   // Index of a header column, or -1 when absent.
   int column(std::string_view name) const;
 };
 
 // Reads a whole CSV file; returns an empty table when the file is missing.
+// Ragged rows are tolerated: counted in `malformed_rows` and padded to the
+// header width rather than silently misindexing downstream.
 Table read_file(const std::string& path);
 
 // Formatting helpers so call sites produce consistent numeric cells.

@@ -13,8 +13,12 @@ PrognosInput from_tick(const trace::TickRecord& tick) {
   }
   in.reports = tick.reports;
   // The UE sees the RRCReconfiguration at the end of T1, not the (network-
-  // internal) decision instant.
-  in.ho_commands = tick.ho_commands;
+  // internal) decision instant. Aborted procedures are dropped: the UE
+  // learns the failure moments later (T304 expiry / SCGFailure) and discards
+  // the phase, so failed HOs never poison the learned report->HO patterns.
+  for (const ran::HandoverRecord& h : tick.ho_commands) {
+    if (h.succeeded()) in.ho_commands.push_back(h);
+  }
   return in;
 }
 

@@ -1,0 +1,68 @@
+#include "ran/faults.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p5g::ran {
+
+FaultProfile FaultProfile::uniform(double prep_p, double exec_p, bool rlf) {
+  FaultProfile f;
+  f.prep_failure.fill(prep_p);
+  f.exec_failure.fill(exec_p);
+  f.rlf_enabled = rlf;
+  return f;
+}
+
+bool FaultInjector::prep_fails(HoType t) {
+  const double p = profile_.prep_failure[t];
+  if (p <= 0.0) return false;
+  return rng_.bernoulli(p);
+}
+
+Milliseconds FaultInjector::backoff_ms(int attempt) const {
+  const double raw = profile_.rach_backoff_base_ms *
+                     std::pow(profile_.rach_backoff_factor, attempt - 1);
+  return std::min(raw, profile_.rach_backoff_cap_ms);
+}
+
+FaultInjector::ExecPlan FaultInjector::plan_execution(HoType t) {
+  ExecPlan plan;
+  // SCG Release carries no RACH toward a target; its execution cannot fail.
+  if (t == HoType::kScgr) return plan;
+  const double p = profile_.exec_failure[t];
+  if (p <= 0.0) return plan;
+  const int max_attempts = std::max(1, profile_.rach_max_attempts);
+  while (rng_.bernoulli(p)) {
+    if (plan.attempts == max_attempts) {
+      plan.success = false;
+      return plan;
+    }
+    plan.backoff_ms += backoff_ms(plan.attempts);
+    plan.retry_ms += profile_.rach_attempt_ms;
+    ++plan.attempts;
+  }
+  return plan;
+}
+
+Milliseconds FaultInjector::reestablish_duration() {
+  return std::max(profile_.reestablish_floor_ms,
+                  rng_.normal(profile_.reestablish_mean_ms,
+                              profile_.reestablish_sd_ms));
+}
+
+bool RlfMonitor::update(Seconds t, Dbm serving_rsrp, bool serving_valid) {
+  if (!enabled_) return false;
+  const bool below = !serving_valid || serving_rsrp < qout_;
+  if (!below) {
+    below_since_.reset();
+    return false;
+  }
+  if (!below_since_) below_since_ = t;
+  if (t - *below_since_ >= t310_) {
+    below_since_.reset();  // timer consumed; re-arm after recovery
+    return true;
+  }
+  return false;
+}
+
+}  // namespace p5g::ran

@@ -1,0 +1,146 @@
+// RAN fault injection: the failure machinery 3GPP wraps around every
+// handover, modeled so traces can contain the preparation failures, T304
+// expiries, RACH retries, and radio-link failures that real drive logs show
+// (Ghoshal et al., Kalntis et al.).
+//
+// Mapping to the standards vocabulary:
+//   * preparation failure  — the target rejects the HO request during T1
+//     (HandoverPreparationFailure); the UE never receives a command and the
+//     data plane is untouched.
+//   * execution failure    — the T304-style supervision timer expires when
+//     RACH toward the target fails. Each attempt may be retried after a
+//     capped exponential backoff; when all attempts fail, SCG procedures
+//     fall back via a fast SCG release (SCGFailureInformation path) while
+//     MCG procedures enter RRC re-establishment.
+//   * radio link failure   — serving RSRP below a Qout-style threshold for a
+//     T310-style interval declares RLF and triggers RRC re-establishment
+//     with an extended full data-plane interruption.
+//
+// Fault randomness is drawn from a DEDICATED RNG stream: a default
+// (all-zero) FaultProfile consumes no randomness at all and reproduces the
+// fault-free simulation bit-for-bit. That determinism is acceptance-tested.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "ran/handover.h"
+
+namespace p5g::ran {
+
+// Per-HO-type probability table (indexed by HoType).
+struct HoTypeProbs {
+  std::array<double, 7> p{};
+
+  double operator[](HoType t) const { return p[static_cast<std::size_t>(t)]; }
+  double& operator[](HoType t) { return p[static_cast<std::size_t>(t)]; }
+  void fill(double v) { p.fill(v); }
+  bool any() const {
+    for (double v : p) {
+      if (v > 0.0) return true;
+    }
+    return false;
+  }
+};
+
+struct FaultProfile {
+  // T1 aborts: probability the target rejects the preparation.
+  HoTypeProbs prep_failure;
+  // T2 aborts: per-RACH-attempt failure probability (SCGR carries no RACH
+  // and is exempt from execution failure).
+  HoTypeProbs exec_failure;
+
+  // RACH retry with capped exponential backoff. A failed attempt waits
+  // backoff(k) = min(base * factor^(k-1), cap) and then spends another
+  // attempt duration; at most `rach_max_attempts` attempts are made.
+  int rach_max_attempts = 3;
+  Milliseconds rach_attempt_ms = 18.0;
+  Milliseconds rach_backoff_base_ms = 20.0;
+  double rach_backoff_factor = 2.0;
+  Milliseconds rach_backoff_cap_ms = 160.0;
+
+  // Radio link failure: primary serving RSRP below `rlf_qout_dbm` for
+  // `rlf_t310` seconds declares RLF.
+  bool rlf_enabled = false;
+  Dbm rlf_qout_dbm = -120.0;
+  Seconds rlf_t310 = 1.0;
+
+  // RRC re-establishment duration (truncated normal), applied after RLF and
+  // after MCG execution failures. The whole data plane is down throughout.
+  Milliseconds reestablish_mean_ms = 240.0;
+  Milliseconds reestablish_sd_ms = 60.0;
+  Milliseconds reestablish_floor_ms = 80.0;
+
+  // Extra interruption when an SCG procedure exhausts its RACH attempts and
+  // the UE falls back to LTE via fast SCG release.
+  Milliseconds scg_failure_fallback_ms = 30.0;
+
+  // True for the default profile: no fault machinery runs and the simulator
+  // reproduces the fault-free trace exactly.
+  bool is_zero() const {
+    return !prep_failure.any() && !exec_failure.any() && !rlf_enabled;
+  }
+
+  // Convenience: a profile with uniform prep/exec failure probabilities and
+  // RLF enabled, for tests and robustness scenarios.
+  static FaultProfile uniform(double prep_p, double exec_p, bool rlf = false);
+};
+
+// Samples fault decisions from a dedicated RNG stream.
+class FaultInjector {
+ public:
+  FaultInjector(FaultProfile profile, Rng rng)
+      : profile_(profile), rng_(rng) {}
+
+  const FaultProfile& profile() const { return profile_; }
+  bool enabled() const { return !profile_.is_zero(); }
+
+  // One Bernoulli draw against the per-type preparation-failure probability.
+  bool prep_fails(HoType t);
+
+  // Samples the whole execution stage up front: attempts consumed, retry
+  // time beyond the first attempt, total backoff, and final success.
+  struct ExecPlan {
+    int attempts = 1;
+    Milliseconds retry_ms = 0.0;    // extra attempt durations (excl. backoff)
+    Milliseconds backoff_ms = 0.0;  // capped-exponential backoff total
+    bool success = true;
+  };
+  ExecPlan plan_execution(HoType t);
+
+  // Pure backoff math for attempt k >= 1 (exposed for tests).
+  Milliseconds backoff_ms(int attempt) const;
+
+  // One re-establishment duration sample.
+  Milliseconds reestablish_duration();
+
+ private:
+  FaultProfile profile_;
+  Rng rng_;
+};
+
+// Qout/T310-style radio-link-failure monitor over the primary serving leg.
+class RlfMonitor {
+ public:
+  explicit RlfMonitor(const FaultProfile& profile)
+      : enabled_(profile.rlf_enabled),
+        qout_(profile.rlf_qout_dbm),
+        t310_(profile.rlf_t310) {}
+
+  // Feed one tick; returns true exactly when the T310 timer expires.
+  // `serving_valid` false (no measurable serving cell) counts as below Qout.
+  bool update(Seconds t, Dbm serving_rsrp, bool serving_valid);
+
+  void reset() { below_since_.reset(); }
+  bool enabled() const { return enabled_; }
+
+ private:
+  bool enabled_;
+  Dbm qout_;
+  Seconds t310_;
+  std::optional<Seconds> below_since_;
+};
+
+}  // namespace p5g::ran

@@ -17,6 +17,16 @@ std::string_view ho_name(HoType t) {
   return "?";
 }
 
+std::string_view ho_outcome_name(HoOutcome o) {
+  switch (o) {
+    case HoOutcome::kSuccess: return "success";
+    case HoOutcome::kPrepFailure: return "prep_fail";
+    case HoOutcome::kExecFailure: return "exec_fail";
+    case HoOutcome::kRlfReestablish: return "rlf_reest";
+  }
+  return "?";
+}
+
 bool ho_is_5g_procedure(HoType t) {
   switch (t) {
     case HoType::kScga:

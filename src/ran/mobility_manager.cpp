@@ -6,7 +6,13 @@
 namespace p5g::ran {
 
 MobilityManager::MobilityManager(const Deployment& deployment, Config config, Rng rng)
-    : deployment_(deployment), config_(config), rng_(rng) {
+    : deployment_(deployment),
+      config_(config),
+      rng_(rng),
+      // The fault stream is forked (not consumed) from the main stream:
+      // fault draws can never shift the fault-free simulation.
+      injector_(config.faults, rng.fork(0xFA177FULL)),
+      rlf_(config.faults) {
   state_.arch = config_.arch;
   std::vector<EventConfig> configs;
   switch (config_.arch) {
@@ -366,9 +372,11 @@ void MobilityManager::start_ho(HoType type, Seconds t, Meters route_position,
     rec.dst_band = band;
   }
 
+  plan_faults(rec);
+
   PendingHo p;
   p.record = rec;
-  p.in_execution = false;
+  p.phase = Phase::kPrep;
   p.phase_end = rec.exec_start;
   // Stash target cell ids via pci lookup on completion; keep ids here.
   target_cell_ = dst_cell;
@@ -377,21 +385,99 @@ void MobilityManager::start_ho(HoType type, Seconds t, Meters route_position,
   out.started.push_back(rec);
 }
 
+void MobilityManager::plan_faults(HandoverRecord& rec) {
+  if (!injector_.enabled()) return;
+  if (injector_.prep_fails(rec.type)) {
+    // Target rejected the preparation: the procedure dies at the end of T1
+    // with the data plane untouched.
+    rec.outcome = HoOutcome::kPrepFailure;
+    rec.rach_attempts = 0;
+    rec.complete_time = rec.exec_start;
+    return;
+  }
+  const FaultInjector::ExecPlan plan = injector_.plan_execution(rec.type);
+  rec.rach_attempts = plan.attempts;
+  rec.backoff_ms = plan.backoff_ms;
+  rec.timing.t2_ms += plan.retry_ms + plan.backoff_ms;
+  rec.signaling.mac += 3 * (plan.attempts - 1);  // preamble/response/msg3 per retry
+  if (plan.success) {
+    rec.complete_time = rec.exec_start + ms_to_s(rec.timing.t2_ms);
+    return;
+  }
+  const bool scg_procedure = rec.type == HoType::kScga ||
+                             rec.type == HoType::kScgm ||
+                             rec.type == HoType::kScgc;
+  if (scg_procedure) {
+    // SCGFailureInformation -> fast SCG release; the UE falls back to LTE
+    // after a short additional stall.
+    rec.outcome = HoOutcome::kExecFailure;
+    rec.timing.t2_ms += injector_.profile().scg_failure_fallback_ms;
+    rec.signaling.rrc += 1;  // SCGFailureInformation
+    rec.complete_time = rec.exec_start + ms_to_s(rec.timing.t2_ms);
+  } else {
+    // T304 expiry on an MCG procedure: RRC re-establishment with the whole
+    // data plane down for its duration.
+    rec.outcome = HoOutcome::kRlfReestablish;
+    rec.reestablish_ms = injector_.reestablish_duration();
+    rec.signaling.rrc += 2;  // ReestablishmentRequest + Reestablishment
+    rec.signaling.mac += 3;  // re-establishment RACH
+    rec.complete_time = rec.exec_start + ms_to_s(rec.timing.t2_ms) +
+                        ms_to_s(rec.reestablish_ms);
+  }
+}
+
 void MobilityManager::progress_pending(Seconds t, TickResult& out) {
   while (pending_ && pending_->phase_end <= t) {
-    if (!pending_->in_execution) {
-      pending_->in_execution = true;
-      pending_->phase_end = pending_->record.complete_time;
-      const HoInterruption intr = ho_interruption(pending_->record.type);
-      state_.lte_data_halted = intr.halts_lte;
-      state_.nr_data_halted = intr.halts_nr;
-    } else {
-      const HandoverRecord rec = pending_->record;
-      pending_.reset();
-      state_.lte_data_halted = false;
-      state_.nr_data_halted = false;
-      apply_completed(rec);
-      out.completed.push_back(rec);
+    switch (pending_->phase) {
+      case Phase::kPrep: {
+        if (pending_->record.outcome == HoOutcome::kPrepFailure) {
+          const HandoverRecord rec = pending_->record;
+          pending_.reset();
+          apply_failed(rec);
+          out.completed.push_back(rec);
+          break;
+        }
+        // T1 done: the UE receives the RRCReconfiguration and execution
+        // (with its data-plane interruption) begins.
+        pending_->phase = Phase::kExec;
+        pending_->phase_end =
+            pending_->record.exec_start + ms_to_s(pending_->record.timing.t2_ms);
+        out.commands.push_back(pending_->record);
+        const HoInterruption intr = ho_interruption(pending_->record.type);
+        state_.lte_data_halted = intr.halts_lte;
+        state_.nr_data_halted = intr.halts_nr;
+        break;
+      }
+      case Phase::kExec: {
+        if (pending_->record.outcome == HoOutcome::kRlfReestablish) {
+          // All RACH attempts burned: re-establish with both legs down.
+          pending_->phase = Phase::kReestablish;
+          pending_->phase_end = pending_->record.complete_time;
+          state_.lte_data_halted = true;
+          state_.nr_data_halted = true;
+          break;
+        }
+        const HandoverRecord rec = pending_->record;
+        pending_.reset();
+        state_.lte_data_halted = false;
+        state_.nr_data_halted = false;
+        if (rec.outcome == HoOutcome::kSuccess) {
+          apply_completed(rec);
+        } else {
+          apply_failed(rec);  // kExecFailure: fast SCG release fallback
+        }
+        out.completed.push_back(rec);
+        break;
+      }
+      case Phase::kReestablish: {
+        const HandoverRecord rec = pending_->record;
+        pending_.reset();
+        state_.lte_data_halted = false;
+        state_.nr_data_halted = false;
+        apply_failed(rec);
+        out.completed.push_back(rec);
+        break;
+      }
     }
   }
 }
@@ -417,6 +503,72 @@ void MobilityManager::apply_completed(const HandoverRecord& rec) {
   }
   for (EventMonitor& m : monitors_) m.reset();
   phase_reports_.clear();
+  rlf_.reset();  // serving changed; restart the Qout watch
+}
+
+void MobilityManager::apply_failed(const HandoverRecord& rec) {
+  switch (rec.outcome) {
+    case HoOutcome::kPrepFailure:
+      break;  // nothing changed; the UE stays on its old cells
+    case HoOutcome::kExecFailure:
+      // SCG failure -> fast SCG release: back to the LTE-only bearer.
+      state_.nr_cell_id = -1;
+      break;
+    case HoOutcome::kRlfReestablish:
+      // Re-establishment lands on whatever cell is strongest next tick:
+      // drop every leg and let ensure_attached() re-attach.
+      state_.lte_cell_id = -1;
+      state_.nr_cell_id = -1;
+      break;
+    case HoOutcome::kSuccess:
+      break;  // not routed here
+  }
+  for (EventMonitor& m : monitors_) m.reset();
+  phase_reports_.clear();
+  rlf_.reset();
+}
+
+void MobilityManager::monitor_radio_link(Seconds t, Meters route_position,
+                                         const std::vector<CellObservation>& obs,
+                                         TickResult& out) {
+  if (!rlf_.enabled() || pending_) return;
+  const int primary =
+      config_.arch == Arch::kSa ? state_.nr_cell_id : state_.lte_cell_id;
+  if (primary < 0) return;
+  const CellObservation* s = find_obs(obs, primary);
+  const bool valid = s != nullptr;
+  if (rlf_.update(t, valid ? s->rrs.rsrp : -200.0, valid)) {
+    start_reestablishment(t, route_position, primary, out);
+  }
+}
+
+void MobilityManager::start_reestablishment(Seconds t, Meters route_position,
+                                            int serving_cell, TickResult& out) {
+  HandoverRecord rec;
+  rec.type = config_.arch == Arch::kSa ? HoType::kMcgh : HoType::kLteh;
+  rec.outcome = HoOutcome::kRlfReestablish;
+  rec.decision_time = t;
+  rec.exec_start = t;  // RLF has no preparation stage
+  rec.timing = {0.0, 0.0};
+  rec.reestablish_ms = injector_.reestablish_duration();
+  rec.complete_time = t + ms_to_s(rec.reestablish_ms);
+  rec.signaling = {.rrc = 2, .mac = 3, .phy = 4};
+  rec.route_position = route_position;
+  const Cell& c = deployment_.cell(serving_cell);
+  rec.src_pci = c.pci;
+  rec.src_band = c.band;
+  rec.dst_band = c.band;
+
+  PendingHo p;
+  p.record = rec;
+  p.phase = Phase::kReestablish;
+  p.phase_end = rec.complete_time;
+  target_cell_ = -1;
+  pending_ = p;
+  phase_reports_.clear();
+  state_.lte_data_halted = true;
+  state_.nr_data_halted = true;
+  out.started.push_back(rec);
 }
 
 void MobilityManager::reset_monitors(MeasScope scope) {
@@ -434,9 +586,10 @@ TickResult MobilityManager::tick(Seconds t, geo::Point pos, Meters moved,
 
   progress_pending(t, out);
   ensure_attached(out.observations);
+  monitor_radio_link(t, route_position, out.observations, out);
 
-  // UEs do not report during HO execution.
-  const bool executing = pending_ && pending_->in_execution;
+  // UEs do not report during HO execution or re-establishment.
+  const bool executing = pending_ && pending_->phase != Phase::kPrep;
   if (!executing) {
     run_event_monitors(t, out.observations, out);
     decide(t, route_position, out.observations, out);

@@ -13,7 +13,10 @@
 //        [A3 nr]            -> SCGM          (sector/beam on the same gNB)
 //        [A3 nr] (SA)       -> MCGH
 //   4. advances in-flight HOs through T1 (preparation) and T2 (execution,
-//      data plane halted per ho_interruption()).
+//      data plane halted per ho_interruption()), including the fault layer's
+//      failure/retry/re-establishment paths (ran/faults.h), and
+//   5. watches the primary serving leg for Qout/T310 radio link failure when
+//      the fault profile enables it.
 #pragma once
 
 #include <map>
@@ -24,6 +27,7 @@
 #include "radio/propagation.h"
 #include "ran/deployment.h"
 #include "ran/events.h"
+#include "ran/faults.h"
 #include "ran/handover.h"
 
 namespace p5g::ran {
@@ -48,7 +52,10 @@ struct TickResult {
   std::vector<CellObservation> observations;
   std::vector<MeasurementReport> reports;
   std::vector<HandoverRecord> started;    // decisions made this tick
-  std::vector<HandoverRecord> completed;  // RACH finished this tick
+  // RRCReconfiguration delivered to the UE this tick (end of a successful
+  // T1). Prep-failed procedures never produce a command.
+  std::vector<HandoverRecord> commands;
+  std::vector<HandoverRecord> completed;  // procedure finished this tick
 };
 
 class MobilityManager {
@@ -65,6 +72,9 @@ class MobilityManager {
     // Extra interference margin (raises the noise floor), per leg.
     Db lte_interference_db = 4.0;
     Db nr_interference_db = 3.0;
+    // Failure injection. The default all-zero profile draws no fault
+    // randomness and reproduces the fault-free trace bit-for-bit.
+    FaultProfile faults{};
   };
 
   MobilityManager(const Deployment& deployment, Config config, Rng rng);
@@ -86,14 +96,22 @@ class MobilityManager {
 
   // The HO currently in its execution (T2) stage, if any.
   std::optional<HoType> executing_ho() const {
-    if (pending_ && pending_->in_execution) return pending_->record.type;
+    if (pending_ && pending_->phase == Phase::kExec) return pending_->record.type;
     return std::nullopt;
   }
 
+  // True while an RRC re-establishment (post-RLF or post-execution-failure)
+  // has the whole data plane down.
+  bool reestablishing() const {
+    return pending_ && pending_->phase == Phase::kReestablish;
+  }
+
  private:
+  enum class Phase { kPrep, kExec, kReestablish };
+
   struct PendingHo {
     HandoverRecord record;
-    bool in_execution = false;  // false: T1 (prep), true: T2 (exec)
+    Phase phase = Phase::kPrep;
     Seconds phase_end = 0.0;
   };
 
@@ -114,8 +132,21 @@ class MobilityManager {
               const std::vector<CellObservation>& obs, TickResult& out);
   void start_ho(HoType type, Seconds t, Meters route_position, int src_cell,
                 int dst_cell, TickResult& out);
+  // Samples the fault layer for a freshly decided HO and folds the planned
+  // retries/failures into the record's timing and outcome.
+  void plan_faults(HandoverRecord& rec);
   void progress_pending(Seconds t, TickResult& out);
   void apply_completed(const HandoverRecord& rec);
+  // Post-failure state transitions (monitor resets; SCG release on SCG
+  // failure; full detach after re-establishment).
+  void apply_failed(const HandoverRecord& rec);
+  // Qout/T310 watch over the primary serving leg; may start a
+  // re-establishment procedure.
+  void monitor_radio_link(Seconds t, Meters route_position,
+                          const std::vector<CellObservation>& obs,
+                          TickResult& out);
+  void start_reestablishment(Seconds t, Meters route_position, int serving_cell,
+                             TickResult& out);
   bool is_colocated_endpoint(int src_cell, int dst_cell) const;
   void reset_monitors(MeasScope scope);
   // Configured NR-B1 absolute threshold (SCGC candidate gate).
@@ -124,6 +155,10 @@ class MobilityManager {
   const Deployment& deployment_;
   Config config_;
   Rng rng_;
+  // Dedicated fault stream: fault draws never perturb the main stream, so
+  // the zero-fault profile reproduces seed traces exactly.
+  FaultInjector injector_;
+  RlfMonitor rlf_;
   UeRadioState state_;
   std::map<int, radio::ShadowingField> shadowing_;  // by cell id
   std::vector<EventMonitor> monitors_;

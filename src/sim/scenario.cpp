@@ -50,6 +50,7 @@ trace::TraceLog run_scenario(const Scenario& s, const ran::Deployment& deploymen
   mm_cfg.nr_band = s.nr_band;
   mm_cfg.lte_band = s.lte_band;
   mm_cfg.mnbh_releases_scg = s.mnbh_releases_scg;
+  mm_cfg.faults = s.faults;
   ran::MobilityManager manager(deployment, mm_cfg, rng.fork(1));
 
   auto mobility = build_mobility(s, route, rng.fork(2));
@@ -72,10 +73,6 @@ trace::TraceLog run_scenario(const Scenario& s, const ran::Deployment& deploymen
   constexpr Seconds kTcpRecovery = 1.5;
   Seconds halted_until = -1.0;  // end of the last interruption
   bool was_halted = false;
-
-  // The UE receives the HO command (RRCReconfiguration) at the END of the
-  // preparation stage, T1 after the decision.
-  std::vector<ran::HandoverRecord> pending_commands;
 
   for (std::size_t i = 0; i < total_ticks; ++i) {
     const Seconds t = static_cast<double>(i) * dt;
@@ -132,17 +129,13 @@ trace::TraceLog run_scenario(const Scenario& s, const ran::Deployment& deploymen
       const double ramp = 0.15 + 0.85 * (t - halted_until) / kTcpRecovery;
       rec.throughput_mbps *= ramp;
     }
-    rec.rtt_ms = tput::rtt_sample(dp, manager.executing_ho(), data_rng);
+    rec.rtt_ms =
+        tput::rtt_sample(dp, manager.executing_ho(), manager.reestablishing(), data_rng);
     rec.reports = res.reports;
     rec.ho_started = res.started;
-    for (const ran::HandoverRecord& h : res.started) pending_commands.push_back(h);
-    std::erase_if(pending_commands, [&](const ran::HandoverRecord& h) {
-      if (h.exec_start <= t) {
-        rec.ho_commands.push_back(h);
-        return true;
-      }
-      return false;
-    });
+    // The UE receives the HO command (RRCReconfiguration) at the END of the
+    // preparation stage; prep-failed procedures never emit one.
+    rec.ho_commands = res.commands;
     rec.ho_completed = res.completed;
     for (const ran::HandoverRecord& h : res.completed) log.handovers.push_back(h);
 

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "ran/deployment.h"
+#include "ran/faults.h"
 #include "trace/trace.h"
 #include "tput/throughput.h"
 
@@ -32,6 +33,9 @@ struct Scenario {
   double tick_hz = 20.0;
   tput::TrafficMode traffic_mode = tput::TrafficMode::kNrOnly;
   bool mnbh_releases_scg = true;       // §6.1 coverage mechanism (ablatable)
+  // Failure injection (ran/faults.h). The default all-zero profile keeps
+  // the trace bit-identical to a fault-free run of the same seed.
+  ran::FaultProfile faults{};
   std::uint64_t seed = 1;
 };
 

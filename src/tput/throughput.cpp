@@ -38,6 +38,12 @@ Mbps downlink_throughput(const DataPlaneInput& in, Rng& rng) {
 
 Milliseconds rtt_sample(const DataPlaneInput& in,
                         std::optional<ran::HoType> active_ho, Rng& rng) {
+  return rtt_sample(in, active_ho, /*reestablishing=*/false, rng);
+}
+
+Milliseconds rtt_sample(const DataPlaneInput& in,
+                        std::optional<ran::HoType> active_ho,
+                        bool reestablishing, Rng& rng) {
   // Base path RTT by bearer topology.
   Milliseconds base;
   if (!in.nr.attached) {
@@ -49,6 +55,14 @@ Milliseconds rtt_sample(const DataPlaneInput& in,
   }
   // Heavy-tailed queueing noise.
   Milliseconds rtt = base + rng.exponential(4.0) + rng.normal(0.0, 1.5);
+
+  if (reestablishing) {
+    // RRC re-establishment: every path is down until the new connection is
+    // up; packets ride retransmission timers, far past any HO stall.
+    rtt *= rng.uniform(2.2, 4.0);
+    if (rng.bernoulli(0.6)) rtt += rng.uniform(150.0, 600.0);
+    return std::max(rtt, 4.0);
+  }
 
   if (active_ho) {
     const ran::HoInterruption intr = ran::ho_interruption(*active_ho);

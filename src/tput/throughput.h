@@ -53,4 +53,11 @@ Mbps downlink_throughput(const DataPlaneInput& in, Rng& rng);
 Milliseconds rtt_sample(const DataPlaneInput& in,
                         std::optional<ran::HoType> active_ho, Rng& rng);
 
+// Variant aware of the fault layer: while an RRC re-establishment has the
+// whole data plane down, packets queue far longer than during any HO
+// execution window. `reestablishing` false is byte-for-byte the old model.
+Milliseconds rtt_sample(const DataPlaneInput& in,
+                        std::optional<ran::HoType> active_ho,
+                        bool reestablishing, Rng& rng);
+
 }  // namespace p5g::tput

@@ -40,6 +40,13 @@ ran::HoType parse_ho(const std::string& s) {
   return ran::HoType::kMcgh;
 }
 
+ran::HoOutcome parse_outcome(const std::string& s) {
+  if (s == "prep_fail") return ran::HoOutcome::kPrepFailure;
+  if (s == "exec_fail") return ran::HoOutcome::kExecFailure;
+  if (s == "rlf_reest") return ran::HoOutcome::kRlfReestablish;
+  return ran::HoOutcome::kSuccess;
+}
+
 std::string encode_reports(const std::vector<ran::MeasurementReport>& rs) {
   std::ostringstream os;
   for (std::size_t i = 0; i < rs.size(); ++i) {
@@ -100,10 +107,13 @@ void write_csv(const TraceLog& log, const std::string& path) {
                  encode_reports(t.reports)});
   }
 
+  // Fault-layer columns come last so fault-free rows share their leading
+  // bytes with pre-fault-layer traces.
   csv::Writer hw(path + ".ho.csv",
                  {"type", "decision_time", "exec_start", "complete_time", "t1_ms",
                   "t2_ms", "src_pci", "dst_pci", "src_band", "dst_band", "colocated",
-                  "rrc", "mac", "phy", "route_pos"});
+                  "rrc", "mac", "phy", "route_pos", "outcome", "rach_attempts",
+                  "backoff_ms", "reestablish_ms"});
   for (const ran::HandoverRecord& h : log.handovers) {
     hw.write_row({ho_code(h.type), csv::format(h.decision_time, 3),
                   csv::format(h.exec_start, 3), csv::format(h.complete_time, 3),
@@ -111,7 +121,10 @@ void write_csv(const TraceLog& log, const std::string& path) {
                   csv::cell(h.src_pci), csv::cell(h.dst_pci), band_code(h.src_band),
                   band_code(h.dst_band), h.colocated ? "1" : "0",
                   csv::cell(h.signaling.rrc), csv::cell(h.signaling.mac),
-                  csv::cell(h.signaling.phy), csv::format(h.route_position, 1)});
+                  csv::cell(h.signaling.phy), csv::format(h.route_position, 1),
+                  std::string(ran::ho_outcome_name(h.outcome)),
+                  csv::cell(h.rach_attempts), csv::format(h.backoff_ms, 2),
+                  csv::format(h.reestablish_ms, 2)});
   }
 }
 
@@ -137,6 +150,11 @@ TraceLog read_csv(const std::string& path) {
     log.ticks.push_back(std::move(rec));
   }
   const csv::Table h = csv::read_file(path + ".ho.csv");
+  // Fault columns are optional (pre-fault-layer traces lack them).
+  const int c_outcome = h.column("outcome");
+  const int c_attempts = h.column("rach_attempts");
+  const int c_backoff = h.column("backoff_ms");
+  const int c_reest = h.column("reestablish_ms");
   for (const auto& r : h.rows) {
     ran::HandoverRecord rec;
     rec.type = parse_ho(r[0]);
@@ -151,6 +169,18 @@ TraceLog read_csv(const std::string& path) {
     rec.colocated = r[10] == "1";
     rec.signaling = {to_i(r[11]), to_i(r[12]), to_i(r[13])};
     rec.route_position = to_d(r[14]);
+    if (c_outcome >= 0 && static_cast<std::size_t>(c_outcome) < r.size()) {
+      rec.outcome = parse_outcome(r[c_outcome]);
+    }
+    if (c_attempts >= 0 && static_cast<std::size_t>(c_attempts) < r.size()) {
+      rec.rach_attempts = to_i(r[c_attempts]);
+    }
+    if (c_backoff >= 0 && static_cast<std::size_t>(c_backoff) < r.size()) {
+      rec.backoff_ms = to_d(r[c_backoff]);
+    }
+    if (c_reest >= 0 && static_cast<std::size_t>(c_reest) < r.size()) {
+      rec.reestablish_ms = to_d(r[c_reest]);
+    }
     log.handovers.push_back(rec);
   }
   return log;

@@ -231,10 +231,39 @@ TEST(Csv, WriteReadRoundTrip) {
   std::filesystem::remove(path);
 }
 
-TEST(Csv, RowWidthMismatchThrows) {
-  csv::Writer w("/tmp/p5g_csv_test2.csv", {"a", "b"});
-  EXPECT_THROW(w.write_row({"only-one"}), std::invalid_argument);
-  std::filesystem::remove("/tmp/p5g_csv_test2.csv");
+TEST(Csv, RowWidthMismatchReportedNotThrown) {
+  const std::string path = "/tmp/p5g_csv_test2.csv";
+  {
+    csv::Writer w(path, {"a", "b"});
+    w.write_row({"only-one"});        // short: padded
+    w.write_row({"1", "2", "extra"}); // wide: truncated
+    w.write_row({"3", "4"});
+    EXPECT_EQ(w.width_mismatches(), 2u);
+  }
+  const csv::Table t = csv::read_file(path);
+  ASSERT_EQ(t.rows.size(), 3u);
+  EXPECT_EQ(t.malformed_rows, 0u);  // writer normalized every row
+  EXPECT_EQ(t.rows[0][0], "only-one");
+  EXPECT_EQ(t.rows[0][1], "");
+  EXPECT_EQ(t.rows[1][1], "2");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, RaggedRowsCountedAndPadded) {
+  const std::string path = "/tmp/p5g_csv_test3.csv";
+  {
+    std::ofstream out(path);
+    out << "a,b,c\n1,2,3\n4,5\n6,7,8,9\n";
+  }
+  const csv::Table t = csv::read_file(path);
+  ASSERT_EQ(t.rows.size(), 3u);
+  EXPECT_EQ(t.malformed_rows, 2u);
+  // Short row padded: positional access stays in bounds.
+  ASSERT_GE(t.rows[1].size(), 3u);
+  EXPECT_EQ(t.rows[1][2], "");
+  // Long row keeps its cells.
+  EXPECT_EQ(t.rows[2][3], "9");
+  std::filesystem::remove(path);
 }
 
 TEST(Csv, MissingFileGivesEmptyTable) {

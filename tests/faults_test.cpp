@@ -1,0 +1,447 @@
+// Fault-injection layer tests: FaultProfile/FaultInjector sampling and
+// backoff math, the RLF monitor timer, every HoOutcome path through the
+// mobility manager, and the byte-identity regression proving the zero-fault
+// default reproduces the seed trace for a fixed seed.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "analysis/ho_stats.h"
+#include "apps/link_emulator.h"
+#include "core/decision_learner.h"
+#include "core/trace_adapter.h"
+#include "geo/route.h"
+#include "ran/faults.h"
+#include "ran/mobility_manager.h"
+#include "sim/scenario.h"
+#include "trace/trace.h"
+
+namespace p5g::ran {
+namespace {
+
+// ------------------------------------------------------------- profile --
+TEST(FaultProfile, DefaultIsZero) {
+  const FaultProfile f;
+  EXPECT_TRUE(f.is_zero());
+}
+
+TEST(FaultProfile, AnyKnobMakesItNonZero) {
+  FaultProfile prep;
+  prep.prep_failure[HoType::kScga] = 0.01;
+  EXPECT_FALSE(prep.is_zero());
+
+  FaultProfile exec;
+  exec.exec_failure[HoType::kLteh] = 0.01;
+  EXPECT_FALSE(exec.is_zero());
+
+  FaultProfile rlf;
+  rlf.rlf_enabled = true;
+  EXPECT_FALSE(rlf.is_zero());
+
+  EXPECT_FALSE(FaultProfile::uniform(0.1, 0.2).is_zero());
+}
+
+// ------------------------------------------------------------- backoff --
+TEST(FaultInjector, BackoffGrowsExponentiallyAndCaps) {
+  FaultProfile f;  // base 20 ms, factor 2, cap 160 ms
+  FaultInjector inj(f, Rng(1));
+  EXPECT_DOUBLE_EQ(inj.backoff_ms(1), 20.0);
+  EXPECT_DOUBLE_EQ(inj.backoff_ms(2), 40.0);
+  EXPECT_DOUBLE_EQ(inj.backoff_ms(3), 80.0);
+  EXPECT_DOUBLE_EQ(inj.backoff_ms(4), 160.0);
+  EXPECT_DOUBLE_EQ(inj.backoff_ms(5), 160.0);  // capped
+}
+
+TEST(FaultInjector, ZeroExecProbGivesSingleCleanAttempt) {
+  FaultInjector inj(FaultProfile{}, Rng(2));
+  const auto plan = inj.plan_execution(HoType::kScga);
+  EXPECT_TRUE(plan.success);
+  EXPECT_EQ(plan.attempts, 1);
+  EXPECT_DOUBLE_EQ(plan.retry_ms, 0.0);
+  EXPECT_DOUBLE_EQ(plan.backoff_ms, 0.0);
+}
+
+TEST(FaultInjector, CertainExecFailureExhaustsAttempts) {
+  FaultProfile f;
+  f.exec_failure.fill(1.0);  // every RACH attempt fails
+  FaultInjector inj(f, Rng(3));
+  const auto plan = inj.plan_execution(HoType::kLteh);
+  EXPECT_FALSE(plan.success);
+  EXPECT_EQ(plan.attempts, f.rach_max_attempts);
+  // Retries beyond the first attempt: (max - 1) extra attempt durations and
+  // backoff(1) + backoff(2) of waiting.
+  EXPECT_DOUBLE_EQ(plan.retry_ms, 2.0 * f.rach_attempt_ms);
+  EXPECT_DOUBLE_EQ(plan.backoff_ms, 20.0 + 40.0);
+}
+
+TEST(FaultInjector, ScgrIsExemptFromExecFailure) {
+  FaultProfile f;
+  f.exec_failure.fill(1.0);
+  FaultInjector inj(f, Rng(4));
+  const auto plan = inj.plan_execution(HoType::kScgr);
+  EXPECT_TRUE(plan.success);
+  EXPECT_EQ(plan.attempts, 1);
+}
+
+TEST(FaultInjector, PrepFailureFollowsProbability) {
+  FaultProfile f;
+  f.prep_failure[HoType::kScga] = 0.3;
+  FaultInjector inj(f, Rng(5));
+  int fails = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) fails += inj.prep_fails(HoType::kScga) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(fails) / n, 0.3, 0.02);
+  // Types with p = 0 never fail and consume no randomness.
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(inj.prep_fails(HoType::kLteh));
+}
+
+TEST(FaultInjector, RetryFrequencyMatchesPerAttemptProbability) {
+  FaultProfile f;
+  f.exec_failure.fill(0.3);
+  FaultInjector inj(f, Rng(6));
+  int retried = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (inj.plan_execution(HoType::kScga).attempts > 1) ++retried;
+  }
+  EXPECT_NEAR(static_cast<double>(retried) / n, 0.3, 0.02);
+}
+
+TEST(FaultInjector, ReestablishDurationRespectsFloor) {
+  FaultProfile f;
+  f.reestablish_mean_ms = 100.0;
+  f.reestablish_sd_ms = 200.0;  // wide: would often sample negative
+  f.rlf_enabled = true;
+  FaultInjector inj(f, Rng(7));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(inj.reestablish_duration(), f.reestablish_floor_ms);
+  }
+}
+
+// --------------------------------------------------------- RLF monitor --
+FaultProfile rlf_profile(Dbm qout, Seconds t310) {
+  FaultProfile f;
+  f.rlf_enabled = true;
+  f.rlf_qout_dbm = qout;
+  f.rlf_t310 = t310;
+  return f;
+}
+
+TEST(RlfMonitor, TriggersExactlyWhenT310Expires) {
+  RlfMonitor mon(rlf_profile(-100.0, 1.0));
+  EXPECT_FALSE(mon.update(0.0, -110.0, true));  // arms the timer
+  EXPECT_FALSE(mon.update(0.5, -110.0, true));
+  EXPECT_TRUE(mon.update(1.0, -110.0, true));   // T310 expiry
+  // Timer consumed: stays quiet until a fresh window elapses.
+  EXPECT_FALSE(mon.update(1.05, -110.0, true));
+}
+
+TEST(RlfMonitor, GoodSampleResetsTimer) {
+  RlfMonitor mon(rlf_profile(-100.0, 1.0));
+  EXPECT_FALSE(mon.update(0.0, -110.0, true));
+  EXPECT_FALSE(mon.update(0.9, -90.0, true));   // recovery above Qout
+  EXPECT_FALSE(mon.update(1.2, -110.0, true));  // re-arms here
+  EXPECT_FALSE(mon.update(2.1, -110.0, true));
+  EXPECT_TRUE(mon.update(2.2, -110.0, true));
+}
+
+TEST(RlfMonitor, MissingServingCellCountsAsBelowQout) {
+  RlfMonitor mon(rlf_profile(-100.0, 0.5));
+  EXPECT_FALSE(mon.update(0.0, 0.0, false));
+  EXPECT_TRUE(mon.update(0.5, 0.0, false));
+}
+
+TEST(RlfMonitor, DisabledNeverTriggers) {
+  RlfMonitor mon(FaultProfile{});
+  EXPECT_FALSE(mon.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(mon.update(static_cast<double>(i), -140.0, false));
+  }
+}
+
+// ------------------------------------- mobility-manager outcome paths --
+struct FaultDriveResult {
+  std::vector<HandoverRecord> handovers;  // completed (any outcome)
+  std::vector<HandoverRecord> commands;   // RRCReconfigurations delivered
+  int ticks_attached_lte = 0;
+  int ticks_attached_nr = 0;
+  int ticks = 0;
+};
+
+FaultDriveResult drive_with_faults(const FaultProfile& faults, Meters length,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  geo::Route route({{0.0, 0.0}, {length, 0.0}});
+  Rng dep_rng = rng.fork(7);
+  Deployment dep(profile_opx(), route, dep_rng);
+
+  MobilityManager::Config cfg;
+  cfg.arch = Arch::kNsa;
+  cfg.nr_band = radio::Band::kNrLow;
+  cfg.faults = faults;
+  MobilityManager mgr(dep, cfg, rng.fork(1));
+
+  FaultDriveResult out;
+  const double dt = 0.05;
+  const double speed_mps = 30.0;
+  Meters pos = 0.0;
+  for (Seconds t = 0.0; pos < length; t += dt) {
+    pos += speed_mps * dt;
+    const TickResult r = mgr.tick(t, route.position_at(pos), speed_mps * dt, pos);
+    for (const auto& h : r.completed) out.handovers.push_back(h);
+    for (const auto& h : r.commands) out.commands.push_back(h);
+    ++out.ticks;
+    if (mgr.state().lte_attached()) ++out.ticks_attached_lte;
+    if (mgr.state().nr_attached()) ++out.ticks_attached_nr;
+  }
+  return out;
+}
+
+TEST(MobilityManagerFaults, CertainPrepFailureAbortsEveryHandover) {
+  FaultProfile f;
+  f.prep_failure.fill(1.0);
+  const FaultDriveResult r = drive_with_faults(f, 20000.0, 21);
+  ASSERT_GT(r.handovers.size(), 5u);
+  for (const HandoverRecord& h : r.handovers) {
+    EXPECT_EQ(h.outcome, HoOutcome::kPrepFailure);
+    EXPECT_EQ(h.rach_attempts, 0);  // the UE never got to RACH
+    EXPECT_DOUBLE_EQ(h.reestablish_ms, 0.0);
+  }
+  // No command is ever delivered, so the SCG can never be added and the
+  // serving LTE cell never changes hands.
+  EXPECT_TRUE(r.commands.empty());
+  EXPECT_EQ(r.ticks_attached_nr, 0);
+  EXPECT_GT(r.ticks_attached_lte, r.ticks * 95 / 100);
+}
+
+TEST(MobilityManagerFaults, CertainExecFailureSplitsScgAndMcgPaths) {
+  FaultProfile f;
+  f.exec_failure.fill(1.0);
+  const FaultDriveResult r = drive_with_faults(f, 20000.0, 22);
+  ASSERT_GT(r.handovers.size(), 5u);
+  int scg_failures = 0, mcg_reestablishments = 0;
+  for (const HandoverRecord& h : r.handovers) {
+    switch (h.type) {
+      case HoType::kScgr:  // exempt: no RACH toward a target
+        EXPECT_EQ(h.outcome, HoOutcome::kSuccess);
+        break;
+      case HoType::kScga:
+      case HoType::kScgm:
+      case HoType::kScgc:
+        EXPECT_EQ(h.outcome, HoOutcome::kExecFailure);
+        EXPECT_EQ(h.rach_attempts, f.rach_max_attempts);
+        EXPECT_DOUBLE_EQ(h.backoff_ms, 60.0);  // backoff(1) + backoff(2)
+        EXPECT_DOUBLE_EQ(h.reestablish_ms, 0.0);  // fast SCG release instead
+        ++scg_failures;
+        break;
+      default:  // MCG procedures (LTEH / MNBH) enter re-establishment
+        EXPECT_EQ(h.outcome, HoOutcome::kRlfReestablish);
+        EXPECT_EQ(h.rach_attempts, f.rach_max_attempts);
+        EXPECT_GE(h.reestablish_ms, f.reestablish_floor_ms);
+        ++mcg_reestablishments;
+        break;
+    }
+  }
+  EXPECT_GT(scg_failures, 0);
+  EXPECT_GT(mcg_reestablishments, 0);
+}
+
+TEST(MobilityManagerFaults, RetriedExecutionExtendsT2) {
+  // With a nonzero per-attempt probability, successful-but-retried HOs must
+  // carry their retry and backoff time inside T2.
+  FaultProfile f;
+  f.exec_failure.fill(0.4);
+  const FaultDriveResult r = drive_with_faults(f, 30000.0, 23);
+  bool saw_retried_success = false;
+  for (const HandoverRecord& h : r.handovers) {
+    if (h.outcome != HoOutcome::kSuccess || h.rach_attempts <= 1) continue;
+    saw_retried_success = true;
+    // T2 must cover at least the extra attempts plus their backoff.
+    const double extra =
+        (h.rach_attempts - 1) * f.rach_attempt_ms + h.backoff_ms;
+    EXPECT_GE(h.timing.t2_ms, extra);
+    EXPECT_GT(h.backoff_ms, 0.0);
+  }
+  EXPECT_TRUE(saw_retried_success);
+}
+
+TEST(MobilityManagerFaults, FaultyRunsAreDeterministic) {
+  FaultProfile f = FaultProfile::uniform(0.2, 0.4, true);
+  f.rlf_qout_dbm = -80.0;
+  const FaultDriveResult a = drive_with_faults(f, 15000.0, 24);
+  const FaultDriveResult b = drive_with_faults(f, 15000.0, 24);
+  ASSERT_EQ(a.handovers.size(), b.handovers.size());
+  for (std::size_t i = 0; i < a.handovers.size(); ++i) {
+    EXPECT_EQ(a.handovers[i].type, b.handovers[i].type);
+    EXPECT_EQ(a.handovers[i].outcome, b.handovers[i].outcome);
+    EXPECT_EQ(a.handovers[i].rach_attempts, b.handovers[i].rach_attempts);
+    EXPECT_DOUBLE_EQ(a.handovers[i].complete_time, b.handovers[i].complete_time);
+  }
+}
+
+// ---------------------------------------------- end-to-end / regression --
+sim::Scenario golden_scenario() {
+  sim::Scenario s;
+  s.name = "golden_zero_fault";
+  s.carrier = profile_opx();
+  s.arch = Arch::kNsa;
+  s.nr_band = radio::Band::kNrLow;
+  s.mobility = sim::MobilityKind::kFreeway;
+  s.speed_kmh = 110.0;
+  s.duration = 90.0;
+  s.seed = 42;
+  return s;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) out.push_back(line);
+  return out;
+}
+
+// The acceptance criterion for the whole fault layer: a default (all-zero)
+// FaultProfile must reproduce the pre-fault-layer trace byte for byte. The
+// golden files were generated by the seed code before faults existed.
+TEST(FaultsRegression, ZeroFaultDefaultReproducesSeedTrace) {
+  const std::string golden = std::string(P5G_GOLDEN_DIR) + "/zero_fault_seed42.csv";
+  const std::string fresh = "/tmp/p5g_zero_fault_regen.csv";
+  const trace::TraceLog log = sim::run_scenario(golden_scenario());
+  trace::write_csv(log, fresh);
+
+  // Tick CSV: byte-identical.
+  const std::string golden_ticks = slurp(golden);
+  ASSERT_FALSE(golden_ticks.empty()) << "golden trace missing: " << golden;
+  EXPECT_EQ(slurp(fresh), golden_ticks) << "tick CSV diverged from seed trace";
+
+  // HO CSV: the fault columns were appended at the END of the schema, so
+  // every golden line must be a byte-prefix of the regenerated line.
+  const auto golden_ho = lines_of(slurp(golden + ".ho.csv"));
+  const auto fresh_ho = lines_of(slurp(fresh + ".ho.csv"));
+  ASSERT_FALSE(golden_ho.empty());
+  ASSERT_EQ(fresh_ho.size(), golden_ho.size());
+  for (std::size_t i = 0; i < golden_ho.size(); ++i) {
+    ASSERT_GE(fresh_ho[i].size(), golden_ho[i].size());
+    EXPECT_EQ(fresh_ho[i].substr(0, golden_ho[i].size()), golden_ho[i])
+        << "ho.csv line " << i << " no longer extends the seed row";
+  }
+  std::filesystem::remove(fresh);
+  std::filesystem::remove(fresh + ".ho.csv");
+}
+
+sim::Scenario faulty_scenario() {
+  sim::Scenario s;
+  s.name = "faulty";
+  s.arch = Arch::kNsa;
+  s.nr_band = radio::Band::kNrLow;
+  s.mobility = sim::MobilityKind::kFreeway;
+  s.speed_kmh = 110.0;
+  s.duration = 600.0;
+  s.seed = 7;
+  s.faults.prep_failure.fill(0.12);
+  s.faults.exec_failure.fill(0.45);
+  s.faults.rlf_enabled = true;
+  s.faults.rlf_qout_dbm = -78.0;
+  s.faults.rlf_t310 = 0.6;
+  return s;
+}
+
+TEST(FaultsRegression, FaultyScenarioEmitsAllFourOutcomes) {
+  const trace::TraceLog log = sim::run_scenario(faulty_scenario());
+  const analysis::OutcomeCounts c = analysis::count_outcomes(log.handovers);
+  EXPECT_GT(c.success, 0);
+  EXPECT_GT(c.prep_failure, 0);
+  EXPECT_GT(c.exec_failure, 0);
+  EXPECT_GT(c.rlf_reestablish, 0);
+  EXPECT_GT(c.failure_rate(), 0.0);
+
+  // Per-type stats must show nonzero failure rates for more than one type.
+  const auto by_type = analysis::outcomes_by_type(log.handovers);
+  int types_with_failures = 0;
+  for (const auto& [type, counts] : by_type) {
+    if (counts.failed() > 0) ++types_with_failures;
+  }
+  EXPECT_GE(types_with_failures, 2);
+
+  const analysis::RetryStats rs = analysis::retry_stats(log.handovers);
+  EXPECT_GT(rs.mean_rach_attempts, 1.0);
+  EXPECT_GT(rs.total_backoff_ms, 0.0);
+  EXPECT_GT(rs.reestablishments, 0);
+
+  // Outcomes survive a CSV round trip.
+  const std::string path = "/tmp/p5g_faulty_roundtrip.csv";
+  trace::write_csv(log, path);
+  const trace::TraceLog back = trace::read_csv(path);
+  ASSERT_EQ(back.handovers.size(), log.handovers.size());
+  for (std::size_t i = 0; i < log.handovers.size(); ++i) {
+    EXPECT_EQ(back.handovers[i].outcome, log.handovers[i].outcome);
+    EXPECT_EQ(back.handovers[i].rach_attempts, log.handovers[i].rach_attempts);
+  }
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".ho.csv");
+}
+
+TEST(FaultsRegression, ReestablishmentHaltsBothLegs) {
+  const trace::TraceLog log = sim::run_scenario(faulty_scenario());
+  const apps::LinkEmulator link = apps::LinkEmulator::from_trace(log);
+  int checked = 0;
+  for (const HandoverRecord& h : log.handovers) {
+    if (h.outcome != HoOutcome::kRlfReestablish) continue;
+    const Seconds start = h.complete_time - ms_to_s(h.reestablish_ms);
+    // Every tick inside the re-establishment window has the whole data
+    // plane down.
+    for (const trace::TickRecord& tick : log.ticks) {
+      if (tick.time <= start || tick.time >= h.complete_time) continue;
+      EXPECT_TRUE(tick.lte_halted) << "t=" << tick.time;
+      EXPECT_TRUE(tick.nr_halted) << "t=" << tick.time;
+      EXPECT_DOUBLE_EQ(tick.throughput_mbps, 0.0);
+      ++checked;
+    }
+    // The link emulator reports the window as an outage.
+    if (h.reestablish_ms >= 200.0) {
+      EXPECT_GT(link.outage_seconds(start, ms_to_s(h.reestablish_ms)), 0.0);
+    }
+  }
+  EXPECT_GT(checked, 0) << "no re-establishment windows overlapped ticks";
+}
+
+TEST(FaultsRegression, PrognosIngestsOnlySuccessfulCommands) {
+  const trace::TraceLog log = sim::run_scenario(faulty_scenario());
+  std::size_t raw_commands = 0, failed_commands = 0, adapted_commands = 0;
+  core::DecisionLearner learner;
+  for (const trace::TickRecord& tick : log.ticks) {
+    for (const HandoverRecord& h : tick.ho_commands) {
+      ++raw_commands;
+      if (!h.succeeded()) ++failed_commands;
+    }
+    const core::PrognosInput in = core::from_tick(tick);
+    adapted_commands += in.ho_commands.size();
+    for (const HandoverRecord& h : in.ho_commands) {
+      EXPECT_TRUE(h.succeeded());
+    }
+    learner.observe(in);
+  }
+  // The scenario genuinely produced aborted executions, and the adapter
+  // dropped exactly those.
+  EXPECT_GT(failed_commands, 0u);
+  EXPECT_EQ(adapted_commands, raw_commands - failed_commands);
+  // The learner only closes phases on surviving (successful) commands.
+  EXPECT_GT(learner.phase_count(), 0);
+  EXPECT_LE(learner.phase_count(), static_cast<long>(adapted_commands));
+  EXPECT_FALSE(learner.patterns().empty());
+}
+
+}  // namespace
+}  // namespace p5g::ran
