@@ -27,11 +27,13 @@ int main() {
   sim::Scenario low_ideal = bench::freeway_nsa(radio::Band::kNrLow, kDuration, 111);
   low_ideal.mnbh_releases_scg = false;
 
-  const trace::TraceLog low_log = sim::run_scenario(low);
-  const trace::TraceLog mid_log = sim::run_scenario(mid);
-  const trace::TraceLog mmw_log = sim::run_scenario(mmw);
-  const trace::TraceLog sa_log = sim::run_scenario(sa);
-  const trace::TraceLog low_ideal_log = sim::run_scenario(low_ideal);
+  const sim::Scenario scenarios[] = {low, mid, mmw, sa, low_ideal};
+  const auto logs = bench::run_all(scenarios);
+  const trace::TraceLog& low_log = logs[0];
+  const trace::TraceLog& mid_log = logs[1];
+  const trace::TraceLog& mmw_log = logs[2];
+  const trace::TraceLog& sa_log = logs[3];
+  const trace::TraceLog& low_ideal_log = logs[4];
 
   struct Row {
     const char* label;

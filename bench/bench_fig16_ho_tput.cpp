@@ -16,11 +16,17 @@ int main() {
   bench::print_header("Fig 16: per-procedure phase throughput, mmWave NSA");
   sim::Scenario walk = bench::walk_nsa(radio::Band::kNrMmWave, 2100.0, 161);
 
+  std::vector<sim::Scenario> sweeps;
+  for (int loop = 0; loop < 4; ++loop) {
+    walk.seed = 161 + static_cast<std::uint64_t>(loop);
+    sweeps.push_back(walk);
+  }
+  const auto logs = bench::run_all(sweeps);
+
   std::map<ran::HoType, analysis::PhaseThroughput> agg;
   trace::TraceLog merged;
   for (int loop = 0; loop < 4; ++loop) {
-    walk.seed = 161 + static_cast<std::uint64_t>(loop);
-    const trace::TraceLog log = sim::run_scenario(walk);
+    const trace::TraceLog& log = logs[static_cast<std::size_t>(loop)];
     for (auto& [type, pt] : analysis::phase_throughput(log)) {
       analysis::PhaseThroughput& a = agg[type];
       a.pre_mbps.insert(a.pre_mbps.end(), pt.pre_mbps.begin(), pt.pre_mbps.end());

@@ -1,0 +1,210 @@
+// Performance harness for the simulator's hot paths. Times
+//   1. cells_near proximity queries — spatial index vs the reference
+//      linear scan — on a dense mmWave deployment,
+//   2. single-tick stepping / full-scenario simulation, and
+//   3. an N-scenario sweep, serial loop vs sim::run_scenarios thread pool,
+// then writes BENCH_perf.json so the perf trajectory is tracked PR over PR.
+//
+// Usage: bench_perf [--quick] [--out <path>]
+//   --quick  shrink workloads ~10x (CI-friendly)
+//   --out    JSON output path (default: BENCH_perf.json in the CWD)
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/runner.h"
+
+using namespace p5g;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct QueryBench {
+  double linear_qps = 0.0;
+  double index_qps = 0.0;
+  double speedup = 0.0;
+  std::size_t cells = 0;
+};
+
+// Dense-deployment proximity queries: the per-tick dominant cost. Probes
+// walk the route so bucket occupancy matches what a drive actually sees.
+QueryBench bench_cells_near(int probes) {
+  // A four-hour city corridor: ~130 km of mmWave micro sites, the densest
+  // grid the paper's carriers deploy. Only the probe count shrinks in
+  // --quick mode; the deployment itself stays production-sized.
+  sim::Scenario dense = bench::city_nsa(radio::Band::kNrMmWave, 14400.0, 7);
+  Rng rng(dense.seed);
+  const geo::Route route = sim::build_route(dense, rng);
+  Rng dep_rng = rng.fork(7);
+  const ran::Deployment dep(dense.carrier, route, dep_rng);
+
+  const radio::Band band = radio::Band::kNrMmWave;
+  const Meters radius = radio::band_profile(band).nominal_radius_m * 2.6;
+  const Meters route_len = route.length();
+  auto probe_point = [&](int i) {
+    return route.position_at(std::fmod(static_cast<double>(i) * 137.7, route_len));
+  };
+
+  QueryBench out;
+  out.cells = dep.cells().size();
+  std::size_t checksum = 0;
+
+  std::vector<ran::CellHit> buf;
+  auto t0 = Clock::now();
+  for (int i = 0; i < probes; ++i) {
+    dep.cells_near(probe_point(i), band, radius, buf);
+    checksum += buf.size();
+  }
+  const double index_s = seconds_since(t0);
+
+  t0 = Clock::now();
+  for (int i = 0; i < probes; ++i) {
+    checksum += dep.cells_near_linear(probe_point(i), band, radius).size();
+  }
+  const double linear_s = seconds_since(t0);
+
+  out.index_qps = probes / index_s;
+  out.linear_qps = probes / linear_s;
+  out.speedup = linear_s / index_s;
+  if (checksum == 0) std::printf("  (no cells observed?)\n");
+  return out;
+}
+
+struct TickBench {
+  double wall_s = 0.0;
+  double ticks_per_sec = 0.0;
+  std::size_t ticks = 0;
+};
+
+// Full-scenario stepping: everything a production sweep pays per tick.
+TickBench bench_tick(Seconds duration) {
+  sim::Scenario s = bench::city_nsa(radio::Band::kNrMmWave, duration, 11);
+  const auto t0 = Clock::now();
+  const trace::TraceLog log = sim::run_scenario(s);
+  TickBench out;
+  out.wall_s = seconds_since(t0);
+  out.ticks = log.ticks.size();
+  out.ticks_per_sec = static_cast<double>(out.ticks) / out.wall_s;
+  return out;
+}
+
+struct SweepBench {
+  int scenarios = 0;
+  unsigned threads = 0;
+  double serial_s = 0.0;
+  double parallel_s = 0.0;
+  double speedup = 0.0;
+};
+
+SweepBench bench_sweep(int n, Seconds duration) {
+  std::vector<sim::Scenario> sweep;
+  for (int i = 0; i < n; ++i) {
+    sweep.push_back(bench::freeway_nsa(radio::Band::kNrLow, duration,
+                                       100 + static_cast<std::uint64_t>(i)));
+  }
+
+  SweepBench out;
+  out.scenarios = n;
+  out.threads = std::max(1u, std::thread::hardware_concurrency());
+
+  auto t0 = Clock::now();
+  std::size_t serial_ticks = 0;
+  for (const sim::Scenario& s : sweep) serial_ticks += sim::run_scenario(s).ticks.size();
+  out.serial_s = seconds_since(t0);
+
+  t0 = Clock::now();
+  std::size_t parallel_ticks = 0;
+  for (const trace::TraceLog& log : sim::run_scenarios(sweep)) {
+    parallel_ticks += log.ticks.size();
+  }
+  out.parallel_s = seconds_since(t0);
+  out.speedup = out.serial_s / out.parallel_s;
+  if (serial_ticks != parallel_ticks) {
+    std::printf("  WARNING: serial/parallel tick counts differ (%zu vs %zu)\n",
+                serial_ticks, parallel_ticks);
+  }
+  return out;
+}
+
+void write_json(const std::string& path, bool quick, const QueryBench& q,
+                const TickBench& tk, const SweepBench& sw) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::printf("  cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"quick\": %s,\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"cells_near\": {\n"
+               "    \"deployment_cells\": %zu,\n"
+               "    \"linear_qps\": %.1f,\n"
+               "    \"index_qps\": %.1f,\n"
+               "    \"speedup\": %.2f\n"
+               "  },\n"
+               "  \"tick_stepping\": {\n"
+               "    \"ticks\": %zu,\n"
+               "    \"wall_seconds\": %.3f,\n"
+               "    \"ticks_per_sec\": %.1f\n"
+               "  },\n"
+               "  \"scenario_sweep\": {\n"
+               "    \"scenarios\": %d,\n"
+               "    \"threads\": %u,\n"
+               "    \"serial_seconds\": %.3f,\n"
+               "    \"parallel_seconds\": %.3f,\n"
+               "    \"speedup\": %.2f,\n"
+               "    \"scaling_vs_cores\": %.2f\n"
+               "  }\n"
+               "}\n",
+               quick ? "true" : "false", std::max(1u, std::thread::hardware_concurrency()),
+               q.cells, q.linear_qps, q.index_qps, q.speedup, tk.ticks, tk.wall_s,
+               tk.ticks_per_sec, sw.scenarios, sw.threads, sw.serial_s, sw.parallel_s,
+               sw.speedup, sw.speedup / static_cast<double>(sw.threads));
+  std::fclose(f);
+  std::printf("\n  wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_perf.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+  }
+
+  bench::print_header(quick ? "perf harness (--quick)" : "perf harness");
+
+  const QueryBench q = bench_cells_near(quick ? 20000 : 200000);
+  std::printf("  cells_near (dense mmWave, %zu cells):\n", q.cells);
+  std::printf("    linear scan  %12.0f queries/s\n", q.linear_qps);
+  std::printf("    grid index   %12.0f queries/s\n", q.index_qps);
+  std::printf("    speedup      %12.2fx\n", q.speedup);
+
+  const TickBench tk = bench_tick(quick ? 120.0 : 900.0);
+  std::printf("  full-scenario stepping (city mmWave):\n");
+  std::printf("    %zu ticks in %.2f s = %.0f ticks/s\n", tk.ticks, tk.wall_s,
+              tk.ticks_per_sec);
+
+  const SweepBench sw = bench_sweep(8, quick ? 60.0 : 300.0);
+  std::printf("  %d-scenario sweep on %u hardware thread(s):\n", sw.scenarios,
+              sw.threads);
+  std::printf("    serial    %8.2f s\n", sw.serial_s);
+  std::printf("    parallel  %8.2f s  (speedup %.2fx, %.2fx per core)\n", sw.parallel_s,
+              sw.speedup, sw.speedup / static_cast<double>(sw.threads));
+
+  write_json(out_path, quick, q, tk, sw);
+  return 0;
+}

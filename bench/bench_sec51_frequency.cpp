@@ -34,12 +34,14 @@ int main() {
   sim::Scenario nsa_mmw = bench::city_nsa(radio::Band::kNrMmWave, kDuration, 105);
   nsa_mmw.speed_kmh = 50.0;
 
+  const sim::Scenario scenarios[] = {lte, sa, nsa_low, nsa_mid, nsa_mmw};
+  auto logs = bench::run_all(scenarios);
   Row rows[] = {
-      {"4G/LTE (freeway)", 0.6, sim::run_scenario(lte)},
-      {"SA low-band (freeway)", 0.9, sim::run_scenario(sa)},
-      {"NSA low-band (freeway)", 0.4, sim::run_scenario(nsa_low)},
-      {"NSA mid-band (freeway)", 0.35, sim::run_scenario(nsa_mid)},
-      {"NSA mmWave (city)", 0.13, sim::run_scenario(nsa_mmw)},
+      {"4G/LTE (freeway)", 0.6, std::move(logs[0])},
+      {"SA low-band (freeway)", 0.9, std::move(logs[1])},
+      {"NSA low-band (freeway)", 0.4, std::move(logs[2])},
+      {"NSA mid-band (freeway)", 0.35, std::move(logs[3])},
+      {"NSA mmWave (city)", 0.13, std::move(logs[4])},
   };
 
   std::printf("  %-26s %10s %12s %12s\n", "configuration", "HOs", "km/HO (sim)",

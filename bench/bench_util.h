@@ -6,11 +6,19 @@
 #include <cstdio>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "common/stats.h"
+#include "sim/runner.h"
 #include "sim/scenario.h"
 
 namespace p5g::bench {
+
+// Runs a bench's scenario set through the parallel sweep runner. Output
+// order (and every byte of every log) matches a serial run_scenario loop.
+inline std::vector<trace::TraceLog> run_all(std::span<const sim::Scenario> scenarios) {
+  return sim::run_scenarios(scenarios);
+}
 
 inline sim::Scenario freeway_nsa(radio::Band nr_band, Seconds duration,
                                  std::uint64_t seed) {

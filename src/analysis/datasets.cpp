@@ -3,6 +3,7 @@
 #include <set>
 
 #include "analysis/ho_stats.h"
+#include "sim/runner.h"
 
 namespace p5g::analysis {
 namespace {
@@ -27,15 +28,17 @@ std::vector<trace::TraceLog> make_walk_corpus(ran::CarrierProfile carrier,
   Rng dep_rng = rng.fork(7);
   ran::Deployment deployment(s.carrier, route, dep_rng);
 
-  std::vector<trace::TraceLog> out;
-  out.reserve(static_cast<std::size_t>(loops));
+  std::vector<sim::Scenario> loops_spec;
+  loops_spec.reserve(static_cast<std::size_t>(loops));
   for (int i = 0; i < loops; ++i) {
     sim::Scenario loop = s;
     loop.name = name + "-loop" + std::to_string(i);
     loop.seed = seed + 1000u * static_cast<std::uint64_t>(i + 1);
-    out.push_back(sim::run_scenario(loop, deployment, route));
+    loops_spec.push_back(std::move(loop));
   }
-  return out;
+  // Loops are independent given the shared (read-only) deployment; the
+  // parallel sweep returns them in input order, identical to a serial run.
+  return sim::run_scenarios(loops_spec, deployment, route);
 }
 
 }  // namespace
@@ -73,11 +76,15 @@ std::vector<CarrierDataset> make_cross_country(double scale, std::uint64_t seed)
     sim::MobilityKind mobility;
   };
 
+  // Stage every segment of every carrier, then run the whole corpus as one
+  // parallel sweep and regroup the logs by carrier.
+  std::vector<sim::Scenario> all_scenarios;
+  std::vector<std::string> all_labels;
+  std::vector<std::size_t> carrier_sizes;
+  std::vector<ran::CarrierProfile> carriers;
   auto build = [&](const ran::CarrierProfile& carrier,
                    const std::vector<SegmentSpec>& specs,
                    std::uint64_t carrier_seed) {
-    CarrierDataset ds;
-    ds.carrier = carrier;
     for (std::size_t i = 0; i < specs.size(); ++i) {
       const SegmentSpec& sp = specs[i];
       sim::Scenario s;
@@ -89,35 +96,48 @@ std::vector<CarrierDataset> make_cross_country(double scale, std::uint64_t seed)
       s.speed_kmh = sp.speed_kmh;
       s.duration = sp.minutes * 60.0 * scale;
       s.seed = carrier_seed + 31u * static_cast<std::uint64_t>(i + 1);
-      ds.segments.push_back({sp.label, sim::run_scenario(s)});
+      all_scenarios.push_back(std::move(s));
+      all_labels.push_back(sp.label);
     }
-    return ds;
+    carrier_sizes.push_back(specs.size());
+    carriers.push_back(carrier);
   };
 
   using B = radio::Band;
   using A = ran::Arch;
   using M = sim::MobilityKind;
-  std::vector<CarrierDataset> out;
   // Minutes follow Table 1's per-band trace durations.
-  out.push_back(build(ran::profile_opx(),
-                      {{"freeway", A::kNsa, B::kNrLow, 723, 110, M::kFreeway},
-                       {"city", A::kNsa, B::kNrMmWave, 258, 40, M::kCity},
-                       {"freeway", A::kLteOnly, B::kNrLow, 1688, 110, M::kFreeway},
-                       {"city", A::kLteOnly, B::kNrLow, 724, 40, M::kCity}},
-                      seed));
-  out.push_back(build(ran::profile_opy(),
-                      {{"freeway", A::kNsa, B::kNrLow, 1532, 110, M::kFreeway},
-                       {"city", A::kNsa, B::kNrMid, 1088, 40, M::kCity},
-                       {"freeway", A::kSa, B::kNrLow, 416, 110, M::kFreeway},
-                       {"freeway", A::kLteOnly, B::kNrLow, 1057, 110, M::kFreeway},
-                       {"city", A::kLteOnly, B::kNrLow, 453, 40, M::kCity}},
-                      seed + 101));
-  out.push_back(build(ran::profile_opz(),
-                      {{"freeway", A::kNsa, B::kNrLow, 1063, 110, M::kFreeway},
-                       {"city", A::kNsa, B::kNrMmWave, 172, 40, M::kCity},
-                       {"freeway", A::kLteOnly, B::kNrLow, 1427, 110, M::kFreeway},
-                       {"city", A::kLteOnly, B::kNrLow, 611, 40, M::kCity}},
-                      seed + 202));
+  build(ran::profile_opx(),
+        {{"freeway", A::kNsa, B::kNrLow, 723, 110, M::kFreeway},
+         {"city", A::kNsa, B::kNrMmWave, 258, 40, M::kCity},
+         {"freeway", A::kLteOnly, B::kNrLow, 1688, 110, M::kFreeway},
+         {"city", A::kLteOnly, B::kNrLow, 724, 40, M::kCity}},
+        seed);
+  build(ran::profile_opy(),
+        {{"freeway", A::kNsa, B::kNrLow, 1532, 110, M::kFreeway},
+         {"city", A::kNsa, B::kNrMid, 1088, 40, M::kCity},
+         {"freeway", A::kSa, B::kNrLow, 416, 110, M::kFreeway},
+         {"freeway", A::kLteOnly, B::kNrLow, 1057, 110, M::kFreeway},
+         {"city", A::kLteOnly, B::kNrLow, 453, 40, M::kCity}},
+        seed + 101);
+  build(ran::profile_opz(),
+        {{"freeway", A::kNsa, B::kNrLow, 1063, 110, M::kFreeway},
+         {"city", A::kNsa, B::kNrMmWave, 172, 40, M::kCity},
+         {"freeway", A::kLteOnly, B::kNrLow, 1427, 110, M::kFreeway},
+         {"city", A::kLteOnly, B::kNrLow, 611, 40, M::kCity}},
+        seed + 202);
+
+  std::vector<trace::TraceLog> logs = sim::run_scenarios(all_scenarios);
+  std::vector<CarrierDataset> out;
+  std::size_t next = 0;
+  for (std::size_t c = 0; c < carriers.size(); ++c) {
+    CarrierDataset ds;
+    ds.carrier = carriers[c];
+    for (std::size_t i = 0; i < carrier_sizes[c]; ++i, ++next) {
+      ds.segments.push_back({all_labels[next], std::move(logs[next])});
+    }
+    out.push_back(std::move(ds));
+  }
   return out;
 }
 

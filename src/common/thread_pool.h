@@ -1,0 +1,49 @@
+// A small fixed-size worker pool for embarrassingly parallel jobs (the
+// multi-scenario sweeps in sim::run_scenarios and the benches). Jobs are
+// plain std::function<void()>; the pool makes no ordering promises, so
+// callers own determinism by giving each job its own output slot and its
+// own RNG stream (every sim::Scenario already carries a seed).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace p5g {
+
+class ThreadPool {
+ public:
+  // `threads` == 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Enqueue a job. Jobs must not throw (exceptions would cross thread
+  // boundaries); wrap fallible work and report through the captured state.
+  void submit(std::function<void()> job);
+
+  // Block until the queue is empty and every worker is idle. The pool is
+  // reusable after wait_idle() returns.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: job or shutdown
+  std::condition_variable idle_cv_;   // signals wait_idle(): all drained
+  std::size_t active_ = 0;            // jobs currently executing
+  bool stop_ = false;
+};
+
+}  // namespace p5g

@@ -1,0 +1,136 @@
+#include "ran/cell_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <limits>
+
+namespace p5g::ran {
+
+namespace {
+
+std::size_t band_slot(radio::Band b) { return static_cast<std::size_t>(b); }
+
+}  // namespace
+
+const CellIndex::Grid& CellIndex::grid(radio::Band band) const {
+  return grids_[band_slot(band)];
+}
+
+CellIndex::Grid& CellIndex::grid(radio::Band band) { return grids_[band_slot(band)]; }
+
+void CellIndex::add(radio::Band band, geo::Point pos, int id) {
+  grid(band).staged.push_back({pos, id});
+}
+
+void CellIndex::build() {
+  for (std::size_t slot = 0; slot < std::size(grids_); ++slot) {
+    Grid& g = grids_[slot];
+    if (g.staged.empty()) continue;
+    // Queries iterate buckets in scan order and tie-break on id, so the
+    // staged order only has to be id-sorted within each bucket; sorting
+    // the whole band keeps that invariant trivially.
+    std::sort(g.staged.begin(), g.staged.end(),
+              [](const Entry& a, const Entry& b) { return a.id < b.id; });
+
+    double min_x = std::numeric_limits<double>::max();
+    double min_y = std::numeric_limits<double>::max();
+    double max_x = std::numeric_limits<double>::lowest();
+    double max_y = std::numeric_limits<double>::lowest();
+    for (const Entry& e : g.staged) {
+      min_x = std::min(min_x, e.pos.x);
+      min_y = std::min(min_y, e.pos.y);
+      max_x = std::max(max_x, e.pos.x);
+      max_y = std::max(max_y, e.pos.y);
+    }
+    g.bucket_m = radio::band_profile(static_cast<radio::Band>(slot)).nominal_radius_m;
+    g.min_x = min_x;
+    g.min_y = min_y;
+    g.nx = 1 + static_cast<int>((max_x - min_x) / g.bucket_m);
+    g.ny = 1 + static_cast<int>((max_y - min_y) / g.bucket_m);
+    g.buckets.assign(static_cast<std::size_t>(g.nx) * static_cast<std::size_t>(g.ny), {});
+    for (const Entry& e : g.staged) {
+      const int bx = std::clamp(
+          static_cast<int>((e.pos.x - g.min_x) / g.bucket_m), 0, g.nx - 1);
+      const int by = std::clamp(
+          static_cast<int>((e.pos.y - g.min_y) / g.bucket_m), 0, g.ny - 1);
+      g.buckets[static_cast<std::size_t>(by) * g.nx + bx].push_back(e);
+    }
+  }
+}
+
+std::size_t CellIndex::size(radio::Band band) const { return grid(band).staged.size(); }
+
+void CellIndex::query_radius(geo::Point p, radio::Band band, Meters radius,
+                             std::vector<IndexHit>& out) const {
+  out.clear();
+  const Grid& g = grid(band);
+  if (g.nx == 0) return;
+  const int x0 = std::clamp(
+      static_cast<int>(std::floor((p.x - radius - g.min_x) / g.bucket_m)), 0, g.nx - 1);
+  const int x1 = std::clamp(
+      static_cast<int>(std::floor((p.x + radius - g.min_x) / g.bucket_m)), 0, g.nx - 1);
+  const int y0 = std::clamp(
+      static_cast<int>(std::floor((p.y - radius - g.min_y) / g.bucket_m)), 0, g.ny - 1);
+  const int y1 = std::clamp(
+      static_cast<int>(std::floor((p.y + radius - g.min_y) / g.bucket_m)), 0, g.ny - 1);
+  for (int by = y0; by <= y1; ++by) {
+    for (int bx = x0; bx <= x1; ++bx) {
+      for (const Entry& e : g.buckets[static_cast<std::size_t>(by) * g.nx + bx]) {
+        // Same expression (and argument order) as the historical linear
+        // scan, so the filtered set is bit-identical.
+        const Meters d = geo::distance(e.pos, p);
+        if (d <= radius) out.push_back({e.id, d});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const IndexHit& a, const IndexHit& b) {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.id < b.id;
+  });
+}
+
+std::optional<IndexHit> CellIndex::nearest(geo::Point p, radio::Band band) const {
+  const Grid& g = grid(band);
+  if (g.staged.empty()) return std::nullopt;
+  if (g.nx == 0) return std::nullopt;  // add() after build(); not supported
+
+  // Ideal (unclamped) bucket of p; may lie outside the grid when p does.
+  const int cx = static_cast<int>(std::floor((p.x - g.min_x) / g.bucket_m));
+  const int cy = static_cast<int>(std::floor((p.y - g.min_y) / g.bucket_m));
+
+  std::optional<IndexHit> best;
+  auto consider = [&](int bx, int by) {
+    if (bx < 0 || bx >= g.nx || by < 0 || by >= g.ny) return;
+    for (const Entry& e : g.buckets[static_cast<std::size_t>(by) * g.nx + bx]) {
+      const Meters d = geo::distance(e.pos, p);
+      if (!best || d < best->dist || (d == best->dist && e.id < best->id)) {
+        best = IndexHit{e.id, d};
+      }
+    }
+  };
+
+  // Expand Chebyshev rings around the ideal bucket. Any entry in ring r
+  // is at least (r - 1) * bucket_m away from p, so once the incumbent is
+  // closer than that bound no farther ring can beat it.
+  const int r_max = std::max({cx, g.nx - 1 - cx, cy, g.ny - 1 - cy,
+                              -cx, cx - (g.nx - 1), -cy, cy - (g.ny - 1), 0});
+  for (int r = 0; r <= r_max; ++r) {
+    if (best && best->dist <= static_cast<double>(r - 1) * g.bucket_m) break;
+    if (r == 0) {
+      consider(cx, cy);
+      continue;
+    }
+    for (int bx = cx - r; bx <= cx + r; ++bx) {
+      consider(bx, cy - r);
+      consider(bx, cy + r);
+    }
+    for (int by = cy - r + 1; by <= cy + r - 1; ++by) {
+      consider(cx - r, by);
+      consider(cx + r, by);
+    }
+  }
+  return best;
+}
+
+}  // namespace p5g::ran

@@ -1,0 +1,74 @@
+// Uniform-grid spatial index over (point, id) entries, bucketed per band.
+//
+// The per-tick hot path (MobilityManager::observe -> Deployment::cells_near)
+// and the co-location nearest-anchor search in Deployment::place_band both
+// used to scan every cell in the deployment. The index makes both queries
+// touch only the grid buckets the query circle overlaps, and returns the
+// distance it already computed so callers never re-evaluate geo::distance.
+//
+// Determinism contract: query_radius returns hits sorted by (distance,
+// id) and nearest breaks exact-distance ties toward the lowest id — the
+// same order a linear scan over id-ordered cells produces — so traces
+// stay byte-identical to the pre-index simulator.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geo/geometry.h"
+#include "radio/band.h"
+
+namespace p5g::ran {
+
+// One query hit: the entry id plus its (cached) distance to the query point.
+struct IndexHit {
+  int id = -1;
+  Meters dist = 0.0;
+};
+
+class CellIndex {
+ public:
+  // Stage an entry. `id` is whatever dense identifier the caller wants
+  // back from queries (cell id for cells_near, tower id for the anchor
+  // search). All add() calls must precede build().
+  void add(radio::Band band, geo::Point pos, int id);
+
+  // Finalize: size each band's grid to its bounding box with bucket edge
+  // equal to the band's nominal cell radius (queries cover an O(1) number
+  // of buckets at the observe radius of ~2.6 radii).
+  void build();
+
+  // All entries of `band` within `radius` of `p`, sorted by (dist, id).
+  // Replaces `out`'s contents; the buffer is reusable across calls.
+  void query_radius(geo::Point p, radio::Band band, Meters radius,
+                    std::vector<IndexHit>& out) const;
+
+  // Nearest entry of `band` to `p` (lowest id on exact ties), or nullopt
+  // when the band has no entries.
+  std::optional<IndexHit> nearest(geo::Point p, radio::Band band) const;
+
+  std::size_t size(radio::Band band) const;
+
+ private:
+  struct Entry {
+    geo::Point pos;
+    int id = -1;
+  };
+
+  struct Grid {
+    std::vector<Entry> staged;  // id-ordered entries, pre-build
+    Meters bucket_m = 1.0;
+    double min_x = 0.0;
+    double min_y = 0.0;
+    int nx = 0;  // bucket counts; 0 until build() or when the band is empty
+    int ny = 0;
+    std::vector<std::vector<Entry>> buckets;  // nx * ny, row-major
+  };
+
+  const Grid& grid(radio::Band band) const;
+  Grid& grid(radio::Band band);
+
+  Grid grids_[5];  // one per radio::Band enumerator
+};
+
+}  // namespace p5g::ran

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 
 namespace p5g::ran {
 
@@ -41,7 +40,17 @@ Deployment::Deployment(const CarrierProfile& profile, const geo::Route& route, R
   // Anchor LTE layers first so NR co-location can snap onto them.
   place_band(radio::Band::kLteMid, route, rng);
   place_band(radio::Band::kLteLow, route, rng);
+  // The co-location search measures from the anchor cell's TOWER, and all
+  // anchor-band cells exist before any NR band is placed.
+  for (const Cell& c : cells_) {
+    if (c.band != profile_.anchor_band) continue;
+    anchor_index_.add(c.band, towers_[static_cast<std::size_t>(c.tower_id)].position,
+                      c.tower_id);
+  }
+  anchor_index_.build();
   for (radio::Band b : profile_.nr_bands) place_band(b, route, rng);
+  for (const Cell& c : cells_) index_.add(c.band, c.position, c.id);
+  index_.build();
 }
 
 namespace {
@@ -90,17 +99,8 @@ void Deployment::place_band(radio::Band band, const geo::Route& route, Rng& rng)
     if (is_nr && rng.bernoulli(profile_.colocation_fraction)) {
       // Co-locate with the nearest ANCHOR-BAND tower (the control-plane
       // eNB whose PCI the co-located gNB shares): reuse its site and PCI.
-      int best = -1;
-      Meters best_d = std::numeric_limits<Meters>::max();
-      for (const Cell& anchor : cells_) {
-        if (anchor.band != profile_.anchor_band) continue;
-        const Tower& t = towers_[static_cast<std::size_t>(anchor.tower_id)];
-        const Meters d = geo::distance(t.position, pos);
-        if (d < best_d) {
-          best_d = d;
-          best = t.id;
-        }
-      }
+      const auto hit = anchor_index_.nearest(pos, profile_.anchor_band);
+      const int best = hit ? hit->id : -1;
       if (best >= 0 && !towers_[static_cast<std::size_t>(best)].has_gnb) {
         Tower& host = towers_[static_cast<std::size_t>(best)];
         host.has_gnb = true;
@@ -154,13 +154,39 @@ void Deployment::place_band(radio::Band band, const geo::Route& route, Rng& rng)
 
 std::vector<const Cell*> Deployment::cells_near(geo::Point p, radio::Band band,
                                                 Meters radius) const {
+  std::vector<IndexHit> hits;
+  index_.query_radius(p, band, radius, hits);
   std::vector<const Cell*> out;
+  out.reserve(hits.size());
+  for (const IndexHit& h : hits) out.push_back(&cells_[static_cast<std::size_t>(h.id)]);
+  return out;
+}
+
+void Deployment::cells_near(geo::Point p, radio::Band band, Meters radius,
+                            std::vector<CellHit>& out) const {
+  thread_local std::vector<IndexHit> hits;
+  index_.query_radius(p, band, radius, hits);
+  out.clear();
+  out.reserve(hits.size());
+  for (const IndexHit& h : hits) {
+    out.push_back({&cells_[static_cast<std::size_t>(h.id)], h.dist});
+  }
+}
+
+std::vector<CellHit> Deployment::cells_near_linear(geo::Point p, radio::Band band,
+                                                   Meters radius) const {
+  // The pre-index implementation: scan every cell, sort by distance. The
+  // (dist, id) sort key matches the index's tie-break, so both paths agree
+  // even on exact-distance ties.
+  std::vector<CellHit> out;
   for (const Cell& c : cells_) {
     if (c.band != band) continue;
-    if (geo::distance(c.position, p) <= radius) out.push_back(&c);
+    const Meters d = geo::distance(c.position, p);
+    if (d <= radius) out.push_back({&c, d});
   }
-  std::sort(out.begin(), out.end(), [&](const Cell* a, const Cell* b) {
-    return geo::distance(a->position, p) < geo::distance(b->position, p);
+  std::sort(out.begin(), out.end(), [](const CellHit& a, const CellHit& b) {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.cell->id < b.cell->id;
   });
   return out;
 }

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "geo/route.h"
 #include "ran/cell.h"
+#include "ran/cell_index.h"
 
 namespace p5g::ran {
 
@@ -33,11 +34,19 @@ CarrierProfile profile_opx();
 CarrierProfile profile_opy();
 CarrierProfile profile_opz();
 
+// A cell returned from a proximity query together with the distance the
+// index already computed, so hot-path callers never re-run geo::distance.
+struct CellHit {
+  const Cell* cell = nullptr;
+  Meters dist = 0.0;
+};
+
 // A concrete set of towers/cells generated for a route corridor.
 class Deployment {
  public:
   // Places towers of every band the carrier deploys along `route` with
-  // per-band spacing derived from radio::band_profile().nominal_radius_m.
+  // per-band spacing derived from radio::band_profile().nominal_radius_m,
+  // then builds the per-band spatial index all proximity queries use.
   Deployment(const CarrierProfile& profile, const geo::Route& route, Rng& rng);
 
   const CarrierProfile& profile() const { return profile_; }
@@ -46,12 +55,25 @@ class Deployment {
   const Cell& cell(int id) const { return cells_[static_cast<std::size_t>(id)]; }
   const Tower& tower(int id) const { return towers_[static_cast<std::size_t>(id)]; }
 
-  // Cells of `band` within `radius` of `p`, nearest first.
+  // Cells of `band` within `radius` of `p`, nearest first (ties on exact
+  // distance break toward the lower cell id). Index-backed.
   std::vector<const Cell*> cells_near(geo::Point p, radio::Band band,
                                       Meters radius) const;
 
+  // Same query, but replaces `out` with (cell, distance) hits so the
+  // caller can reuse one buffer per tick and skip the distance recompute.
+  void cells_near(geo::Point p, radio::Band band, Meters radius,
+                  std::vector<CellHit>& out) const;
+
+  // Reference linear-scan implementation of cells_near, kept for the
+  // index equivalence tests and the bench_perf speedup baseline.
+  std::vector<CellHit> cells_near_linear(geo::Point p, radio::Band band,
+                                         Meters radius) const;
+
   // All cells of a band.
   std::vector<const Cell*> cells_on_band(radio::Band band) const;
+
+  const CellIndex& index() const { return index_; }
 
  private:
   void place_band(radio::Band band, const geo::Route& route, Rng& rng);
@@ -60,6 +82,9 @@ class Deployment {
   std::vector<Tower> towers_;
   std::vector<Cell> cells_;
   Pci next_pci_ = 1;
+  CellIndex index_;         // all cells, keyed by cell position
+  CellIndex anchor_index_;  // anchor-band cells, keyed by their TOWER
+                            // position (the co-location site search)
 };
 
 }  // namespace p5g::ran

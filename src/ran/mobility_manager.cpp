@@ -34,6 +34,15 @@ MobilityManager::MobilityManager(const Deployment& deployment, Config config, Rn
   }
   monitors_.reserve(configs.size());
   for (const EventConfig& c : configs) monitors_.emplace_back(c);
+
+  // Pre-resolve every cell's shadowing field. Seeded by cell identity only
+  // (same seed expression the lazy per-tick path used), so the field values
+  // — and therefore traces — are unchanged.
+  shadow_fields_.reserve(deployment_.cells().size());
+  for (const Cell& c : deployment_.cells()) {
+    shadow_fields_.emplace_back(
+        c.band, 0x5EEDULL ^ (static_cast<std::uint64_t>(c.id) * 0x9E37ULL));
+  }
 }
 
 std::vector<EventConfig> MobilityManager::active_event_configs() const {
@@ -51,12 +60,13 @@ void MobilityManager::observe(Seconds /*t*/, geo::Point pos, Meters moved,
                               ? config_.lte_interference_db
                               : config_.nr_interference_db;
   (void)moved;
-  for (const Cell* c : deployment_.cells_near(pos, band, radius)) {
+  deployment_.cells_near(pos, band, radius, near_buf_);
+  out.reserve(out.size() + near_buf_.size());
+  for (const CellHit& hit : near_buf_) {
+    const Cell* c = hit.cell;
     // The shadowing field is seeded by the cell identity only, so the same
     // location shadows the same way on every loop of a route.
-    auto [it, inserted] = shadowing_.try_emplace(
-        c->id, band, 0x5EEDULL ^ (static_cast<std::uint64_t>(c->id) * 0x9E37ULL));
-    const Db shadow = it->second.at(pos.x, pos.y);
+    const Db shadow = shadow_fields_[static_cast<std::size_t>(c->id)].at(pos.x, pos.y);
     const Db fading = radio::fast_fading_db(band, rng_);
     // Directional cells attenuate off-boresight (angle from the TOWER).
     Db dir_loss = 0.0;
@@ -69,8 +79,9 @@ void MobilityManager::observe(Seconds /*t*/, geo::Point pos, Meters moved,
       dir_loss = radio::sector_attenuation_db(diff, bp.beamwidth_rad,
                                               bp.max_attenuation_db);
     }
-    const Meters d = geo::distance(c->position, pos);
-    out.push_back({c, radio::make_rrs(band, d, shadow, fading, interference, dir_loss)});
+    // hit.dist is geo::distance(c->position, pos) cached by the index.
+    out.push_back(
+        {c, radio::make_rrs(band, hit.dist, shadow, fading, interference, dir_loss)});
   }
 }
 
@@ -580,9 +591,11 @@ void MobilityManager::reset_monitors(MeasScope scope) {
 TickResult MobilityManager::tick(Seconds t, geo::Point pos, Meters moved,
                                  Meters route_position) {
   TickResult out;
+  out.observations.reserve(obs_high_water_);
   // Observe all layers relevant to the architecture.
   if (config_.arch != Arch::kSa) observe(t, pos, moved, config_.lte_band, out.observations);
   if (config_.arch != Arch::kLteOnly) observe(t, pos, moved, config_.nr_band, out.observations);
+  obs_high_water_ = std::max(obs_high_water_, out.observations.size());
 
   progress_pending(t, out);
   ensure_attached(out.observations);

@@ -19,7 +19,6 @@
 //      the fault profile enables it.
 #pragma once
 
-#include <map>
 #include <optional>
 #include <vector>
 
@@ -160,8 +159,15 @@ class MobilityManager {
   FaultInjector injector_;
   RlfMonitor rlf_;
   UeRadioState state_;
-  std::map<int, radio::ShadowingField> shadowing_;  // by cell id
+  // Dense per-cell shadowing fields (indexed by cell id), resolved once in
+  // the constructor so the per-tick path does no hash/tree lookups.
+  std::vector<radio::ShadowingField> shadow_fields_;
   std::vector<EventMonitor> monitors_;
+  // Scratch for cells_near hits, reused across ticks to avoid reallocation.
+  std::vector<CellHit> near_buf_;
+  // High-water mark of the per-tick observation list; the next tick's
+  // buffer is reserved to it up front.
+  std::size_t obs_high_water_ = 0;
   std::optional<PendingHo> pending_;
   int target_cell_ = -1;  // dense cell id of the pending HO's target
   // Recent reports in the current decision phase (cleared on HO start).

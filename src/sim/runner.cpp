@@ -1,0 +1,49 @@
+#include "sim/runner.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/thread_pool.h"
+
+namespace p5g::sim {
+
+namespace {
+
+// Dispatches scenarios[i] -> out[i] over a pool. `run_one` must be safe to
+// call concurrently for distinct indices.
+template <typename RunOne>
+std::vector<trace::TraceLog> sweep(std::span<const Scenario> scenarios,
+                                   unsigned threads, RunOne run_one) {
+  std::vector<trace::TraceLog> out(scenarios.size());
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<unsigned>(threads, std::max<std::size_t>(scenarios.size(), 1));
+  if (threads <= 1 || scenarios.size() <= 1) {
+    for (std::size_t i = 0; i < scenarios.size(); ++i) out[i] = run_one(i);
+    return out;
+  }
+  ThreadPool pool(threads);
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    pool.submit([i, &out, &run_one] { out[i] = run_one(i); });
+  }
+  pool.wait_idle();
+  return out;
+}
+
+}  // namespace
+
+std::vector<trace::TraceLog> run_scenarios(std::span<const Scenario> scenarios,
+                                           unsigned threads) {
+  return sweep(scenarios, threads,
+               [&](std::size_t i) { return run_scenario(scenarios[i]); });
+}
+
+std::vector<trace::TraceLog> run_scenarios(std::span<const Scenario> scenarios,
+                                           const ran::Deployment& deployment,
+                                           const geo::Route& route,
+                                           unsigned threads) {
+  return sweep(scenarios, threads, [&](std::size_t i) {
+    return run_scenario(scenarios[i], deployment, route);
+  });
+}
+
+}  // namespace p5g::sim

@@ -1,0 +1,29 @@
+// Parallel scenario sweeps.
+//
+// Every Scenario owns its seed and every run_scenario() call builds (or is
+// handed) immutable shared state, so independent scenarios can run on a
+// thread pool with results that are byte-identical to a serial loop — the
+// i-th output is always run_scenario(scenarios[i]), whatever the schedule.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/scenario.h"
+
+namespace p5g::sim {
+
+// Runs each scenario concurrently on `threads` workers (0 = one per
+// hardware thread) and returns the logs in input order. Equivalent to
+// calling run_scenario(s) for each element serially.
+std::vector<trace::TraceLog> run_scenarios(std::span<const Scenario> scenarios,
+                                           unsigned threads = 0);
+
+// Variant that reuses one deployment/route across all scenarios (the
+// paper's repeated walking loops). Deployment and Route are only read.
+std::vector<trace::TraceLog> run_scenarios(std::span<const Scenario> scenarios,
+                                           const ran::Deployment& deployment,
+                                           const geo::Route& route,
+                                           unsigned threads = 0);
+
+}  // namespace p5g::sim

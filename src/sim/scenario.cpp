@@ -94,6 +94,7 @@ trace::TraceLog run_scenario(const Scenario& s, const ran::Deployment& deploymen
 
     tput::DataPlaneInput dp;
     dp.mode = s.traffic_mode;
+    rec.observed.reserve(res.observations.size());
     for (const ran::CellObservation& o : res.observations) {
       trace::ObservedCell oc;
       oc.pci = o.cell->pci;

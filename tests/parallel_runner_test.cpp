@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "sim/runner.h"
+
+namespace p5g {
+namespace {
+
+TEST(ThreadPool, RunsEveryJobAndIsReusable) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+  for (int i = 0; i < 50; ++i) pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 150);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not deadlock
+}
+
+TEST(ThreadPool, DefaultSizeUsesHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+std::string csv_bytes(const trace::TraceLog& log, const std::string& tag) {
+  const std::string path = "/tmp/p5g_runner_" + tag + ".csv";
+  trace::write_csv(log, path);
+  auto slurp = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+  };
+  const std::string bytes = slurp(path) + "\n---ho---\n" + slurp(path + ".ho.csv");
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".ho.csv");
+  return bytes;
+}
+
+std::vector<sim::Scenario> sweep_scenarios() {
+  std::vector<sim::Scenario> out;
+  for (std::uint64_t seed : {7u, 8u, 9u}) {
+    sim::Scenario s;
+    s.name = "sweep" + std::to_string(seed);
+    s.arch = ran::Arch::kNsa;
+    s.nr_band = radio::Band::kNrLow;
+    s.mobility = sim::MobilityKind::kFreeway;
+    s.duration = 45.0;
+    s.seed = seed;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+// The core determinism claim of the parallel runner: its output is the
+// serial output, byte for byte, whatever the thread schedule.
+TEST(RunScenarios, ParallelOutputByteIdenticalToSerial) {
+  const std::vector<sim::Scenario> sweep = sweep_scenarios();
+  const std::vector<trace::TraceLog> parallel = sim::run_scenarios(sweep, 3);
+  ASSERT_EQ(parallel.size(), sweep.size());
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const trace::TraceLog serial = sim::run_scenario(sweep[i]);
+    // Constant tags are safe: each csv_bytes call removes its files.
+    EXPECT_EQ(csv_bytes(parallel[i], "p"), csv_bytes(serial, "s"))
+        << "scenario " << i << " diverged between parallel and serial runs";
+  }
+}
+
+TEST(RunScenarios, ThreadCountDoesNotChangeResults) {
+  const std::vector<sim::Scenario> sweep = sweep_scenarios();
+  const std::vector<trace::TraceLog> one = sim::run_scenarios(sweep, 1);
+  const std::vector<trace::TraceLog> many = sim::run_scenarios(sweep, 8);
+  ASSERT_EQ(one.size(), many.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    ASSERT_EQ(one[i].ticks.size(), many[i].ticks.size());
+    EXPECT_EQ(one[i].handovers.size(), many[i].handovers.size());
+    for (std::size_t t = 0; t < one[i].ticks.size(); ++t) {
+      ASSERT_DOUBLE_EQ(one[i].ticks[t].throughput_mbps, many[i].ticks[t].throughput_mbps)
+          << "scenario " << i << " tick " << t;
+    }
+  }
+}
+
+// Scenarios sharing one (read-only) deployment — the walking-loop corpora
+// — must also be schedule-independent.
+TEST(RunScenarios, SharedDeploymentOverloadMatchesSerial) {
+  sim::Scenario base;
+  base.name = "loop";
+  base.arch = ran::Arch::kNsa;
+  base.nr_band = radio::Band::kNrMmWave;
+  base.mobility = sim::MobilityKind::kWalkLoop;
+  base.duration = 60.0;
+  base.seed = 21;
+
+  Rng rng(base.seed);
+  const geo::Route route = sim::build_route(base, rng);
+  Rng dep_rng = rng.fork(7);
+  const ran::Deployment deployment(base.carrier, route, dep_rng);
+
+  std::vector<sim::Scenario> loops;
+  for (int i = 0; i < 4; ++i) {
+    sim::Scenario s = base;
+    s.seed = base.seed + 1000u * static_cast<std::uint64_t>(i + 1);
+    loops.push_back(std::move(s));
+  }
+  const auto parallel = sim::run_scenarios(loops, deployment, route, 4);
+  ASSERT_EQ(parallel.size(), loops.size());
+  for (std::size_t i = 0; i < loops.size(); ++i) {
+    const trace::TraceLog serial = sim::run_scenario(loops[i], deployment, route);
+    EXPECT_EQ(csv_bytes(parallel[i], "dp"), csv_bytes(serial, "ds")) << "loop " << i;
+  }
+}
+
+TEST(RunScenarios, EmptySweepReturnsEmpty) {
+  EXPECT_TRUE(sim::run_scenarios(std::vector<sim::Scenario>{}).empty());
+}
+
+}  // namespace
+}  // namespace p5g
