@@ -4,10 +4,11 @@
 #include "analysis/datasets.h"
 #include "analysis/prediction.h"
 #include "bench_util.h"
+#include "obs/export.h"
 
 using namespace p5g;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Ablation: decision-learner pattern eviction");
   const std::vector<trace::TraceLog> traces = analysis::make_d2(4, 900.0, 31);
   std::vector<int> truth;
@@ -31,5 +32,6 @@ int main() {
     std::printf("  patterns learned %.1f/h, evicted %.1f/h (paper: ~9.1/h, ~8.3/h)\n",
                 r.patterns_learned / hours, r.patterns_evicted / hours);
   }
+  p5g::obs::export_from_args(argc, argv, "bench_ablation_eviction");
   return 0;
 }

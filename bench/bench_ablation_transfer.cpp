@@ -6,6 +6,7 @@
 #include "bench_util.h"
 #include "core/pattern_store.h"
 #include "core/trace_adapter.h"
+#include "obs/export.h"
 
 using namespace p5g;
 
@@ -20,7 +21,7 @@ std::vector<ran::EventConfig> configs_for(const trace::TraceLog& log) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Ablation: pattern transfer between cities");
 
   // City A: learn patterns by simply running Prognos over its traces.
@@ -55,5 +56,6 @@ int main() {
   }
   std::printf("\n  a transferred model should recover most of the bootstrap benefit\n"
               "  (Fig 15) without hand-curated frequent patterns.\n");
+  p5g::obs::export_from_args(argc, argv, "bench_ablation_transfer");
   return 0;
 }

@@ -3,10 +3,11 @@
 #include "analysis/datasets.h"
 #include "analysis/prediction.h"
 #include "bench_util.h"
+#include "obs/export.h"
 
 using namespace p5g;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Ablation: report-predictor window sweep");
   const std::vector<trace::TraceLog> traces = analysis::make_d2(3, 900.0, 33);
   std::vector<int> truth;
@@ -30,5 +31,6 @@ int main() {
                   s.scores.f1, s.scores.precision, s.scores.recall);
     }
   }
+  p5g::obs::export_from_args(argc, argv, "bench_ablation_window");
   return 0;
 }

@@ -8,10 +8,11 @@
 #include "analysis/ho_stats.h"
 #include "bench_util.h"
 #include "energy/power_model.h"
+#include "obs/export.h"
 
 using namespace p5g;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Fig 10: HO power and per-distance energy");
   constexpr Seconds kDuration = 1800.0;
 
@@ -81,5 +82,6 @@ int main() {
     if (i == 2) std::printf("   (paper: 998 HOs, ~81.7 mAh)");
     std::printf("\n");
   }
+  p5g::obs::export_from_args(argc, argv, "bench_fig10_energy");
   return 0;
 }

@@ -8,10 +8,11 @@
 #include "analysis/coverage.h"
 #include "bench_util.h"
 #include "common/stats.h"
+#include "obs/export.h"
 
 using namespace p5g;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Fig 11 / Sec 6.1: effective coverage (same-PCI dwell)");
   constexpr Seconds kDuration = 2400.0;
 
@@ -69,5 +70,6 @@ int main() {
                 "(paper: 1.2-2x)\n",
                 ideal_low / actual_low);
   }
+  p5g::obs::export_from_args(argc, argv, "bench_fig11_coverage");
   return 0;
 }

@@ -7,10 +7,11 @@
 #include "analysis/phase_tput.h"
 #include "bench_util.h"
 #include "common/stats.h"
+#include "obs/export.h"
 
 using namespace p5g;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Fig 12: SCGC pre/exec/post throughput (mmWave walk)");
   sim::Scenario walk = bench::walk_nsa(radio::Band::kNrMmWave, 2100.0, 121);
   walk.traffic_mode = tput::TrafficMode::kNrOnly;
@@ -44,5 +45,6 @@ int main() {
     std::printf("\n  post/pre throughput change: %+.1f%% (paper: about -14%%)\n",
                 100.0 * (post - pre) / pre);
   }
+  p5g::obs::export_from_args(argc, argv, "bench_fig12_scgc_tput");
   return 0;
 }

@@ -7,10 +7,11 @@
 #include "bench_util.h"
 #include "common/stats.h"
 #include "geo/geometry.h"
+#include "obs/export.h"
 
 using namespace p5g;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Fig 13: HO duration, co-located vs not (NSA low-band)");
 
   for (const ran::CarrierProfile& carrier :
@@ -64,5 +65,6 @@ int main() {
   }
   std::printf("  co-located towers: %d; hull-overlap heuristic agrees on %d\n", checked,
               agreed);
+  p5g::obs::export_from_args(argc, argv, "bench_fig13_colocation");
   return 0;
 }

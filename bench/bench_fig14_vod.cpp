@@ -9,10 +9,11 @@
 #include "analysis/phase_tput.h"
 #include "apps/vod_session.h"
 #include "bench_util.h"
+#include "obs/export.h"
 
 using namespace p5g;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Fig 14a/b: 16K panoramic VoD with HO-aware ABR");
 
   // Bandwidth traces: mmWave + low-band city drives, 240-s sliding windows
@@ -115,5 +116,6 @@ int main() {
     std::printf("  HO-window prediction MAE improvement: %.0f%% (paper: 52-61%%)\n",
                 100.0 * (mae_base_ho - mae_pr_ho) / mae_base_ho);
   }
+  p5g::obs::export_from_args(argc, argv, "bench_fig14_vod");
   return 0;
 }

@@ -11,10 +11,11 @@
 #include "apps/volumetric.h"
 #include "apps/vod_session.h"
 #include "bench_util.h"
+#include "obs/export.h"
 
 using namespace p5g;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Fig 14c: volumetric streaming with HO-aware adaptation");
 
   std::vector<trace::TraceLog> logs;
@@ -73,5 +74,6 @@ int main() {
     }
   }
   std::printf("\n  paper: -PR quality +15.1-36.2%% with stall reduced 0.24-3.67%%.\n");
+  p5g::obs::export_from_args(argc, argv, "bench_fig14_volumetric");
   return 0;
 }

@@ -6,10 +6,11 @@
 #include "analysis/datasets.h"
 #include "analysis/prediction.h"
 #include "bench_util.h"
+#include "obs/export.h"
 
 using namespace p5g;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Fig 15: F1 over time, bootstrap vs cold start (D1-style trace)");
   const std::vector<trace::TraceLog> traces = analysis::make_d1(2, 1200.0, 15);
 
@@ -36,5 +37,6 @@ int main() {
   std::printf("\n  minutes to F1 >= 0.7: cold %ld, bootstrapped %ld\n",
               first_above(r_cold.f1_over_time, 0.7), first_above(r_boot.f1_over_time, 0.7));
   std::printf("  paper: bootstrap reaches ~0.8 within ~1.5 min; cold start needs 11-14 min.\n");
+  p5g::obs::export_from_args(argc, argv, "bench_fig15_bootstrap");
   return 0;
 }

@@ -9,10 +9,11 @@
 #include "bench_util.h"
 #include "common/stats.h"
 #include "core/prognos.h"
+#include "obs/export.h"
 
 using namespace p5g;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Fig 16: per-procedure phase throughput, mmWave NSA");
   sim::Scenario walk = bench::walk_nsa(radio::Band::kNrMmWave, 2100.0, 161);
 
@@ -57,5 +58,6 @@ int main() {
     std::printf("  %-6s %10.2f %12.2f\n", ran::ho_name(type).data(), score,
                 it == defaults.end() ? 1.0 : it->second);
   }
+  p5g::obs::export_from_args(argc, argv, "bench_fig16_ho_tput");
   return 0;
 }

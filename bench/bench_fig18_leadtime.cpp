@@ -8,10 +8,11 @@
 #include "analysis/prediction.h"
 #include "bench_util.h"
 #include "common/stats.h"
+#include "obs/export.h"
 
 using namespace p5g;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Fig 18: prediction lead time, w/ vs w/o report predictor");
   const std::vector<trace::TraceLog> traces = analysis::make_d2(3, 900.0, 18);
   std::vector<int> truth;
@@ -53,5 +54,6 @@ int main() {
     std::printf("  mean lead-time gain: %+.0f ms (paper: ~931 ms earlier)\n",
                 1000.0 * (stats::mean(on.lead_times_s) - stats::mean(off.lead_times_s)));
   }
+  p5g::obs::export_from_args(argc, argv, "bench_fig18_leadtime");
   return 0;
 }

@@ -6,10 +6,11 @@
 #include "apps/qoe_models.h"
 #include "bench_util.h"
 #include "common/stats.h"
+#include "obs/export.h"
 
 using namespace p5g;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Fig 4: video conferencing during HOs (NSA low-band city drive)");
   sim::Scenario s = bench::city_nsa(radio::Band::kNrLow, 840.0, 41);  // 14 minutes
   const trace::TraceLog log = sim::run_scenario(s);
@@ -40,5 +41,6 @@ int main() {
     std::printf("  loss ratio w/HO vs w/o:     %.2fx (paper: 2.24x)\n",
                 stats::mean(lss.in_ho) / std::max(0.01, stats::mean(lss.outside)));
   }
+  p5g::obs::export_from_args(argc, argv, "bench_fig4_conferencing");
   return 0;
 }

@@ -7,10 +7,11 @@
 #include "apps/qoe_models.h"
 #include "bench_util.h"
 #include "common/stats.h"
+#include "obs/export.h"
 
 using namespace p5g;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Fig 5: cloud gaming during HOs (NSA drive)");
   sim::Scenario s = bench::city_nsa(radio::Band::kNrMmWave, 960.0, 51);
   const trace::TraceLog log = sim::run_scenario(s);
@@ -60,5 +61,6 @@ int main() {
                 100.0 * (stats::mean(mnbh_drp.in_ho) - stats::mean(scgm_drp.in_ho)) /
                     std::max(0.01, stats::mean(scgm_drp.in_ho)));
   }
+  p5g::obs::export_from_args(argc, argv, "bench_fig5_gaming");
   return 0;
 }

@@ -6,6 +6,7 @@
 #include "apps/qoe_models.h"
 #include "bench_util.h"
 #include "common/stats.h"
+#include "obs/export.h"
 
 using namespace p5g;
 
@@ -46,9 +47,10 @@ void run_band(radio::Band band, const char* label, double paper_bitrate_drop,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Fig 6: volumetric streaming QoE vs radio band");
   run_band(radio::Band::kNrLow, "NSA low-band", -31.0, 41.0);
   run_band(radio::Band::kNrMmWave, "NSA mmWave", -58.0, 107.0);
+  p5g::obs::export_from_args(argc, argv, "bench_fig6_volumetric");
   return 0;
 }

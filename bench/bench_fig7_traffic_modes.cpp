@@ -8,6 +8,7 @@
 
 #include "bench_util.h"
 #include "common/stats.h"
+#include "obs/export.h"
 
 using namespace p5g;
 
@@ -43,7 +44,7 @@ RttBuckets collect(const trace::TraceLog& log) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Fig 7: TCP RTT during HOs — dual vs 5G-only NSA modes");
 
   for (tput::TrafficMode mode : {tput::TrafficMode::kDual, tput::TrafficMode::kNrOnly}) {
@@ -75,5 +76,6 @@ int main() {
   }
   std::printf("\n  paper: dual-mode median changes 1-4%% during NR HOs; 5G-only\n"
               "  inflates 37-58%%; 5G-only has the lower no-HO RTT.\n");
+  p5g::obs::export_from_args(argc, argv, "bench_fig7_traffic_modes");
   return 0;
 }

@@ -4,10 +4,11 @@
 // median T1 is comparable to LTE but with much higher variance.
 #include "analysis/ho_stats.h"
 #include "bench_util.h"
+#include "obs/export.h"
 
 using namespace p5g;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Fig 8: T1 (preparation) by deployment, OpY-style carrier");
   constexpr Seconds kDuration = 1800.0;
 
@@ -42,5 +43,6 @@ int main() {
     std::printf("\n  NSA T1 / LTE T1 = %.2fx (paper: ~1.48x)\n",
                 (nsa_t1_acc / nsa_t1_n) / lte_t1);
   }
+  p5g::obs::export_from_args(argc, argv, "bench_fig8_preparation");
   return 0;
 }

@@ -4,10 +4,11 @@
 // larger than low-band; overall NSA HO ~167 ms vs LTE ~76 ms vs SA ~110 ms.
 #include "analysis/ho_stats.h"
 #include "bench_util.h"
+#include "obs/export.h"
 
 using namespace p5g;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Fig 9: T2 (execution) across technologies and bands");
   constexpr Seconds kDuration = 1800.0;
 
@@ -77,5 +78,6 @@ int main() {
     std::printf("  mmWave SCGM T2 / low-band SCGM T2 = %.2fx (paper: 1.42-1.45x)\n",
                 mmw_scgm_t2 / low_scgm_t2);
   }
+  p5g::obs::export_from_args(argc, argv, "bench_fig9_execution");
   return 0;
 }

@@ -3,20 +3,28 @@
 //      linear scan — on a dense mmWave deployment,
 //   2. single-tick stepping / full-scenario simulation, and
 //   3. an N-scenario sweep, serial loop vs sim::run_scenarios thread pool,
+//   4. observability overhead: the same tick corridor with the metrics
+//      layer enabled vs disabled (the "no-op registry" baseline),
 // then writes BENCH_perf.json so the perf trajectory is tracked PR over PR.
 //
-// Usage: bench_perf [--quick] [--out <path>]
-//   --quick  shrink workloads ~10x (CI-friendly)
-//   --out    JSON output path (default: BENCH_perf.json in the CWD)
+// Usage: bench_perf [--quick] [--out <path>] [--check-overhead <pct>]
+//                   [--metrics-out <path>]
+//   --quick            shrink workloads ~10x (CI-friendly)
+//   --out              JSON output path (default: BENCH_perf.json in the CWD)
+//   --check-overhead   exit nonzero when obs overhead on the tick loop
+//                      exceeds <pct> percent (CI regression gate)
+//   --metrics-out      dump the obs registry via the shared exporter
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/export.h"
 #include "sim/runner.h"
 
 using namespace p5g;
@@ -98,6 +106,34 @@ TickBench bench_tick(Seconds duration) {
   return out;
 }
 
+struct ObsOverheadBench {
+  double on_ticks_per_sec = 0.0;
+  double off_ticks_per_sec = 0.0;
+  double overhead_pct = 0.0;
+  int reps = 0;
+};
+
+// A/B of the same tick corridor with the metrics layer on vs off
+// (obs::set_enabled(false) == the no-op-registry baseline: counters,
+// timers, and histograms all early-return before touching an atomic or the
+// clock). Takes the best of `reps` runs per arm to shave scheduler noise.
+ObsOverheadBench bench_obs_overhead(Seconds duration, int reps) {
+  ObsOverheadBench out;
+  out.reps = reps;
+  double best_on = 0.0, best_off = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    obs::set_enabled(true);
+    best_on = std::max(best_on, bench_tick(duration).ticks_per_sec);
+    obs::set_enabled(false);
+    best_off = std::max(best_off, bench_tick(duration).ticks_per_sec);
+  }
+  obs::set_enabled(true);
+  out.on_ticks_per_sec = best_on;
+  out.off_ticks_per_sec = best_off;
+  out.overhead_pct = (best_off / best_on - 1.0) * 100.0;
+  return out;
+}
+
 struct SweepBench {
   int scenarios = 0;
   unsigned threads = 0;
@@ -137,40 +173,56 @@ SweepBench bench_sweep(int n, Seconds duration) {
 }
 
 void write_json(const std::string& path, bool quick, const QueryBench& q,
-                const TickBench& tk, const SweepBench& sw) {
+                const TickBench& tk, const SweepBench& sw,
+                const ObsOverheadBench& ov) {
+  // Shared JSON emitter (obs::JsonWriter) — same machinery every
+  // --metrics-out report uses, no hand-rolled fprintf schema. Existing keys
+  // are preserved; "manifest" and "obs_overhead" are additive.
+  const obs::RunManifest manifest = obs::make_manifest("bench_perf", 7);
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("quick", quick);
+  w.field("hardware_threads", std::max(1u, std::thread::hardware_concurrency()));
+  w.begin_object("manifest");
+  w.field("run", manifest.run);
+  w.field("seed", static_cast<std::uint64_t>(manifest.seed));
+  w.field("git_describe", manifest.git_describe);
+  w.field("build_type", manifest.build_type);
+  w.end_object();
+  w.begin_object("cells_near");
+  w.field("deployment_cells", static_cast<std::uint64_t>(q.cells));
+  w.field("linear_qps", q.linear_qps);
+  w.field("index_qps", q.index_qps);
+  w.field("speedup", q.speedup);
+  w.end_object();
+  w.begin_object("tick_stepping");
+  w.field("ticks", static_cast<std::uint64_t>(tk.ticks));
+  w.field("wall_seconds", tk.wall_s);
+  w.field("ticks_per_sec", tk.ticks_per_sec);
+  w.end_object();
+  w.begin_object("obs_overhead");
+  w.field("reps", ov.reps);
+  w.field("enabled_ticks_per_sec", ov.on_ticks_per_sec);
+  w.field("disabled_ticks_per_sec", ov.off_ticks_per_sec);
+  w.field("overhead_pct", ov.overhead_pct);
+  w.end_object();
+  w.begin_object("scenario_sweep");
+  w.field("scenarios", sw.scenarios);
+  w.field("threads", sw.threads);
+  w.field("serial_seconds", sw.serial_s);
+  w.field("parallel_seconds", sw.parallel_s);
+  w.field("speedup", sw.speedup);
+  w.field("scaling_vs_cores", sw.speedup / static_cast<double>(sw.threads));
+  w.end_object();
+  w.end_object();
+
   FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::printf("  cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(f,
-               "{\n"
-               "  \"quick\": %s,\n"
-               "  \"hardware_threads\": %u,\n"
-               "  \"cells_near\": {\n"
-               "    \"deployment_cells\": %zu,\n"
-               "    \"linear_qps\": %.1f,\n"
-               "    \"index_qps\": %.1f,\n"
-               "    \"speedup\": %.2f\n"
-               "  },\n"
-               "  \"tick_stepping\": {\n"
-               "    \"ticks\": %zu,\n"
-               "    \"wall_seconds\": %.3f,\n"
-               "    \"ticks_per_sec\": %.1f\n"
-               "  },\n"
-               "  \"scenario_sweep\": {\n"
-               "    \"scenarios\": %d,\n"
-               "    \"threads\": %u,\n"
-               "    \"serial_seconds\": %.3f,\n"
-               "    \"parallel_seconds\": %.3f,\n"
-               "    \"speedup\": %.2f,\n"
-               "    \"scaling_vs_cores\": %.2f\n"
-               "  }\n"
-               "}\n",
-               quick ? "true" : "false", std::max(1u, std::thread::hardware_concurrency()),
-               q.cells, q.linear_qps, q.index_qps, q.speedup, tk.ticks, tk.wall_s,
-               tk.ticks_per_sec, sw.scenarios, sw.threads, sw.serial_s, sw.parallel_s,
-               sw.speedup, sw.speedup / static_cast<double>(sw.threads));
+  const std::string json = w.str();
+  std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
   std::printf("\n  wrote %s\n", path.c_str());
 }
@@ -180,9 +232,13 @@ void write_json(const std::string& path, bool quick, const QueryBench& q,
 int main(int argc, char** argv) {
   bool quick = false;
   std::string out_path = "BENCH_perf.json";
+  double check_overhead_pct = -1.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+    if (std::strcmp(argv[i], "--check-overhead") == 0 && i + 1 < argc) {
+      check_overhead_pct = std::atof(argv[++i]);
+    }
   }
 
   bench::print_header(quick ? "perf harness (--quick)" : "perf harness");
@@ -198,6 +254,12 @@ int main(int argc, char** argv) {
   std::printf("    %zu ticks in %.2f s = %.0f ticks/s\n", tk.ticks, tk.wall_s,
               tk.ticks_per_sec);
 
+  const ObsOverheadBench ov = bench_obs_overhead(quick ? 60.0 : 300.0, 3);
+  std::printf("  observability overhead (tick loop, best of %d):\n", ov.reps);
+  std::printf("    metrics on   %12.0f ticks/s\n", ov.on_ticks_per_sec);
+  std::printf("    metrics off  %12.0f ticks/s\n", ov.off_ticks_per_sec);
+  std::printf("    overhead     %12.2f %%\n", ov.overhead_pct);
+
   const SweepBench sw = bench_sweep(8, quick ? 60.0 : 300.0);
   std::printf("  %d-scenario sweep on %u hardware thread(s):\n", sw.scenarios,
               sw.threads);
@@ -205,6 +267,13 @@ int main(int argc, char** argv) {
   std::printf("    parallel  %8.2f s  (speedup %.2fx, %.2fx per core)\n", sw.parallel_s,
               sw.speedup, sw.speedup / static_cast<double>(sw.threads));
 
-  write_json(out_path, quick, q, tk, sw);
+  write_json(out_path, quick, q, tk, sw, ov);
+  obs::export_from_args(argc, argv, "bench_perf", 7);
+
+  if (check_overhead_pct >= 0.0 && ov.overhead_pct > check_overhead_pct) {
+    std::printf("  FAIL: obs overhead %.2f%% exceeds budget %.2f%%\n",
+                ov.overhead_pct, check_overhead_pct);
+    return 1;
+  }
   return 0;
 }

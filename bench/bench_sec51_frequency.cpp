@@ -6,6 +6,7 @@
 // mmWave PHY signaling >5x low-band.
 #include "analysis/ho_stats.h"
 #include "bench_util.h"
+#include "obs/export.h"
 
 using namespace p5g;
 
@@ -19,7 +20,7 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Sec 5.1: HO frequency by RAT / architecture / band");
   constexpr Seconds kDuration = 1500.0;
 
@@ -75,5 +76,6 @@ int main() {
     std::printf("  mmWave/low-band PHY signaling ratio: %.1fx (paper: >5x)\n",
                 mmw_phy / low_phy);
   }
+  p5g::obs::export_from_args(argc, argv, "bench_sec51_frequency");
   return 0;
 }

@@ -7,6 +7,7 @@
 
 #include "analysis/datasets.h"
 #include "bench_util.h"
+#include "obs/export.h"
 
 using namespace p5g;
 
@@ -48,5 +49,6 @@ int main(int argc, char** argv) {
 
   std::printf("\n  paper (full scale): 7001/9500/7491 LTE HOs; 4611/11107/6880 NSA\n"
               "  procedures; 465 SA HOs (OpY); 3030/5535/3544 unique cells.\n");
+  p5g::obs::export_from_args(argc, argv, "bench_table1_dataset");
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "analysis/datasets.h"
 #include "analysis/prediction.h"
 #include "bench_util.h"
+#include "obs/export.h"
 
 using namespace p5g;
 
@@ -48,5 +49,6 @@ int main(int argc, char** argv) {
     run_dataset("D2", analysis::make_d2(5, 900.0));
   }
   std::printf("\n  paper: Prognos 0.92-0.94 F1; GBC 0.40-0.48; LSTM 0.24-0.28.\n");
+  p5g::obs::export_from_args(argc, argv, "bench_table3_prediction");
   return 0;
 }

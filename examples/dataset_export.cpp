@@ -11,6 +11,7 @@
 
 #include "analysis/datasets.h"
 #include "trace/trace.h"
+#include "obs/export.h"
 
 using namespace p5g;
 
@@ -47,5 +48,6 @@ int main(int argc, char** argv) {
   const trace::TraceLog back = trace::read_csv(probe);
   std::printf("read-back check: %s -> %zu ticks, %zu handovers\n", probe.c_str(),
               back.ticks.size(), back.handovers.size());
+  p5g::obs::export_from_args(argc, argv, "dataset_export");
   return 0;
 }

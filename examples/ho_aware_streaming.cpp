@@ -9,10 +9,11 @@
 #include "analysis/phase_tput.h"
 #include "apps/vod_session.h"
 #include "sim/scenario.h"
+#include "obs/export.h"
 
 using namespace p5g;
 
-int main() {
+int main(int argc, char** argv) {
   // 1. Record a 20-minute mmWave city drive (bandwidth + control plane).
   sim::Scenario drive;
   drive.carrier = ran::profile_opx();
@@ -65,5 +66,6 @@ int main() {
     std::printf("\nPrognos removed %.0f%% of stall time (paper: 34.6-58.6%%).\n",
                 100.0 * (base_stall - pr_stall) / base_stall);
   }
+  p5g::obs::export_from_args(argc, argv, "ho_aware_streaming");
   return 0;
 }

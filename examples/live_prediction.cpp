@@ -8,10 +8,11 @@
 #include "core/prognos.h"
 #include "core/trace_adapter.h"
 #include "sim/scenario.h"
+#include "obs/export.h"
 
 using namespace p5g;
 
-int main() {
+int main(int argc, char** argv) {
   sim::Scenario drive;
   drive.carrier = ran::profile_opx();
   drive.arch = ran::Arch::kNsa;
@@ -60,5 +61,6 @@ int main() {
   std::printf("\n%zu handovers in %.0f s; patterns learned online: %ld\n",
               log.handovers.size(), log.duration(),
               prognos.learner().patterns_learned_total());
+  p5g::obs::export_from_args(argc, argv, "live_prediction");
   return 0;
 }

@@ -10,10 +10,11 @@
 #include "common/stats.h"
 #include "energy/power_model.h"
 #include "sim/scenario.h"
+#include "obs/export.h"
 
 using namespace p5g;
 
-int main() {
+int main(int argc, char** argv) {
   // 1. Describe the drive.
   sim::Scenario scenario;
   scenario.name = "quickstart";
@@ -59,5 +60,6 @@ int main() {
     std::printf("median prediction lead time: %.0f ms\n",
                 stats::median(result.lead_times_s) * 1000.0);
   }
+  p5g::obs::export_from_args(argc, argv, "quickstart");
   return 0;
 }

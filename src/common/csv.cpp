@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <iomanip>
 
+#include "obs/metrics.h"
+
 namespace p5g::csv {
 namespace {
 
@@ -40,7 +42,14 @@ Writer::Writer(const std::string& path, const std::vector<std::string>& header)
 }
 
 void Writer::write_row(const std::vector<std::string>& cells) {
-  if (cells.size() != columns_) ++width_mismatches_;
+  if (cells.size() != columns_) {
+    ++width_mismatches_;
+    // Surfaced through the run manifest (obs::make_manifest warns when
+    // nonzero); per-writer counts were previously dropped with the object.
+    static obs::Counter& ragged =
+        obs::registry().counter("p5g.csv.write_ragged_rows");
+    ragged.add(1);
+  }
   const std::size_t n = std::min(cells.size(), columns_);
   for (std::size_t i = 0; i < columns_; ++i) {
     if (i) out_ << ',';
@@ -72,6 +81,11 @@ Table read_file(const std::string& path) {
       if (cells.size() < t.header.size()) cells.resize(t.header.size());
     }
     t.rows.push_back(std::move(cells));
+  }
+  if (t.malformed_rows > 0) {
+    static obs::Counter& ragged =
+        obs::registry().counter("p5g.csv.read_ragged_rows");
+    ragged.add(t.malformed_rows);
   }
   return t;
 }

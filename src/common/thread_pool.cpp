@@ -3,11 +3,21 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/timer.h"
+
 namespace p5g {
 
-ThreadPool::ThreadPool(unsigned threads) {
+ThreadPool::ThreadPool(unsigned threads)
+    : jobs_submitted_(&obs::registry().counter("p5g.pool.jobs_submitted")),
+      jobs_completed_(&obs::registry().counter("p5g.pool.jobs_completed")),
+      busy_ms_total_(&obs::registry().counter("p5g.pool.busy_ms_total")),
+      queue_depth_(&obs::registry().gauge("p5g.pool.queue_depth")),
+      active_workers_(&obs::registry().gauge("p5g.pool.active_workers")),
+      pool_threads_(&obs::registry().gauge("p5g.pool.threads")),
+      queue_wait_ms_(&obs::registry().histogram("p5g.pool.queue_wait_ms")) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(threads);
+  pool_threads_->set(static_cast<double>(threads));
   for (unsigned i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
@@ -25,8 +35,11 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> job) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(job));
+    queue_.push_back({std::move(job), obs::enabled() ? obs::ObsClock::now()
+                                                     : obs::ObsClock::time_point{}});
+    queue_depth_->set(static_cast<double>(queue_.size()));
   }
+  jobs_submitted_->add(1);
   work_cv_.notify_one();
 }
 
@@ -37,19 +50,34 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> job;
+    Job job;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       job = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_->set(static_cast<double>(queue_.size()));
       ++active_;
+      active_workers_->set(static_cast<double>(active_));
     }
-    job();
+    obs::ObsClock::time_point start{};
+    if (obs::enabled()) {
+      start = obs::ObsClock::now();
+      if (job.enqueued != obs::ObsClock::time_point{}) {
+        queue_wait_ms_->record(
+            std::chrono::duration<double, std::milli>(start - job.enqueued).count());
+      }
+    }
+    job.fn();
+    if (obs::enabled() && start != obs::ObsClock::time_point{}) {
+      busy_ms_total_->add(static_cast<std::uint64_t>(obs::ms_since(start)));
+    }
+    jobs_completed_->add(1);
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;
+      active_workers_->set(static_cast<double>(active_));
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }
   }

@@ -3,8 +3,13 @@
 // plain std::function<void()>; the pool makes no ordering promises, so
 // callers own determinism by giving each job its own output slot and its
 // own RNG stream (every sim::Scenario already carries a seed).
+//
+// The pool reports into the global obs registry (p5g.pool.*): queue-depth
+// and active-worker gauges, submit/complete counters, a queue-wait
+// histogram, and cumulative busy time for utilization accounting.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -12,6 +17,12 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+namespace p5g::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace p5g::obs
 
 namespace p5g {
 
@@ -35,15 +46,29 @@ class ThreadPool {
   void wait_idle();
 
  private:
+  struct Job {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued{};
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Job> queue_;
   std::mutex mu_;
   std::condition_variable work_cv_;   // signals workers: job or shutdown
   std::condition_variable idle_cv_;   // signals wait_idle(): all drained
   std::size_t active_ = 0;            // jobs currently executing
   bool stop_ = false;
+
+  // Global-registry metrics, resolved once at construction (p5g.pool.*).
+  obs::Counter* jobs_submitted_;
+  obs::Counter* jobs_completed_;
+  obs::Counter* busy_ms_total_;
+  obs::Gauge* queue_depth_;
+  obs::Gauge* active_workers_;
+  obs::Gauge* pool_threads_;
+  obs::Histogram* queue_wait_ms_;
 };
 
 }  // namespace p5g

@@ -1,0 +1,465 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace p5g::obs {
+
+namespace {
+
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // JSON has no inf/nan literals; clamp to null-free sentinels.
+  if (std::strstr(buf, "inf") || std::strstr(buf, "nan")) return "0";
+  return buf;
+}
+
+std::string fmt_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double process_uptime_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       g_process_start)
+      .count();
+}
+
+// ---------------------------------------------------------- JsonWriter --
+
+void JsonWriter::comma_and_indent() {
+  if (!has_items_.empty()) {
+    if (has_items_.back()) out_ += ',';
+    has_items_.back() = true;
+  }
+  out_ += '\n';
+  out_.append(2 * has_items_.size(), ' ');
+}
+
+void JsonWriter::key_prefix(std::string_view key) {
+  comma_and_indent();
+  if (!key.empty()) {
+    out_ += '"';
+    out_ += escape(key);
+    out_ += "\": ";
+  }
+}
+
+JsonWriter& JsonWriter::begin_object(std::string_view key) {
+  if (has_items_.empty() && out_.empty()) {
+    out_ += '{';  // root object: no leading newline
+  } else {
+    key_prefix(key);
+    out_ += '{';
+  }
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool had = has_items_.back();
+  has_items_.pop_back();
+  if (had) {
+    out_ += '\n';
+    out_.append(2 * has_items_.size(), ' ');
+  }
+  out_ += '}';
+  if (has_items_.empty()) out_ += '\n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(std::string_view key) {
+  key_prefix(key);
+  out_ += '[';
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool had = has_items_.back();
+  has_items_.pop_back();
+  if (had) {
+    out_ += '\n';
+    out_.append(2 * has_items_.size(), ' ');
+  }
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::string_view v) {
+  key_prefix(key);
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  return *this;
+}
+JsonWriter& JsonWriter::field(std::string_view key, const char* v) {
+  return field(key, std::string_view(v));
+}
+JsonWriter& JsonWriter::field(std::string_view key, double v) {
+  key_prefix(key);
+  out_ += fmt_double(v);
+  return *this;
+}
+JsonWriter& JsonWriter::field(std::string_view key, std::uint64_t v) {
+  key_prefix(key);
+  out_ += fmt_u64(v);
+  return *this;
+}
+JsonWriter& JsonWriter::field(std::string_view key, int v) {
+  key_prefix(key);
+  out_ += std::to_string(v);
+  return *this;
+}
+JsonWriter& JsonWriter::field(std::string_view key, unsigned v) {
+  key_prefix(key);
+  out_ += std::to_string(v);
+  return *this;
+}
+JsonWriter& JsonWriter::field(std::string_view key, bool v) {
+  key_prefix(key);
+  out_ += v ? "true" : "false";
+  return *this;
+}
+JsonWriter& JsonWriter::element(double v) {
+  comma_and_indent();
+  out_ += fmt_double(v);
+  return *this;
+}
+JsonWriter& JsonWriter::element(std::uint64_t v) {
+  comma_and_indent();
+  out_ += fmt_u64(v);
+  return *this;
+}
+JsonWriter& JsonWriter::element(std::string_view v) {
+  comma_and_indent();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  return *this;
+}
+
+// --------------------------------------------------------------- parser --
+
+const JsonValue* JsonValue::get(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  const auto it = object.find(std::string(key));
+  return it == object.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+struct Parser {
+  std::string_view s;
+  std::size_t i = 0;
+  bool ok = true;
+
+  void skip_ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    if (i >= s.size()) {
+      ok = false;
+      return {};
+    }
+    const char c = s[i];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') {
+      if (s.substr(i, 4) == "null") {
+        i += 4;
+        return {};
+      }
+      ok = false;
+      return {};
+    }
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    consume('{');
+    skip_ws();
+    if (consume('}')) return v;
+    while (ok) {
+      skip_ws();
+      JsonValue key = string_value();
+      if (!ok || !consume(':')) {
+        ok = false;
+        break;
+      }
+      v.object.emplace(key.string, value());
+      if (consume('}')) break;
+      if (!consume(',')) {
+        ok = false;
+        break;
+      }
+    }
+    return v;
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    consume('[');
+    skip_ws();
+    if (consume(']')) return v;
+    while (ok) {
+      v.array.push_back(value());
+      if (consume(']')) break;
+      if (!consume(',')) {
+        ok = false;
+        break;
+      }
+    }
+    return v;
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    if (!consume('"')) {
+      ok = false;
+      return v;
+    }
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\' && i + 1 < s.size()) {
+        ++i;
+        switch (s[i]) {
+          case 'n': v.string += '\n'; break;
+          case 't': v.string += '\t'; break;
+          case 'r': v.string += '\r'; break;
+          default: v.string += s[i];
+        }
+      } else {
+        v.string += s[i];
+      }
+      ++i;
+    }
+    if (i >= s.size()) {
+      ok = false;
+      return v;
+    }
+    ++i;  // closing quote
+    return v;
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    if (s.substr(i, 4) == "true") {
+      v.boolean = true;
+      i += 4;
+    } else if (s.substr(i, 5) == "false") {
+      v.boolean = false;
+      i += 5;
+    } else {
+      ok = false;
+    }
+    return v;
+  }
+
+  JsonValue number() {
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    const std::size_t start = i;
+    while (i < s.size() && (std::isdigit(static_cast<unsigned char>(s[i])) ||
+                            s[i] == '-' || s[i] == '+' || s[i] == '.' ||
+                            s[i] == 'e' || s[i] == 'E')) {
+      ++i;
+    }
+    if (i == start) {
+      ok = false;
+      return v;
+    }
+    v.number = std::strtod(std::string(s.substr(start, i - start)).c_str(), nullptr);
+    return v;
+  }
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(std::string_view text) {
+  Parser p{text};
+  JsonValue v = p.value();
+  p.skip_ws();
+  if (!p.ok || p.i != text.size()) return std::nullopt;
+  return v;
+}
+
+// ------------------------------------------------------ metrics reports --
+
+std::string to_json(const MetricsSnapshot& s, const RunManifest* manifest,
+                    bool counters_only) {
+  JsonWriter w;
+  w.begin_object();
+  if (manifest && !counters_only) {
+    w.begin_object("manifest");
+    w.field("run", manifest->run);
+    w.field("seed", static_cast<std::uint64_t>(manifest->seed));
+    w.field("git_describe", manifest->git_describe);
+    w.field("build_type", manifest->build_type);
+    w.field("wall_seconds", manifest->wall_seconds);
+    w.field("ticks", static_cast<std::uint64_t>(manifest->ticks));
+    w.begin_array("warnings");
+    for (const std::string& warning : manifest->warnings) w.element(warning);
+    w.end_array();
+    w.end_object();
+  }
+  w.begin_object("counters");
+  for (const auto& [name, v] : s.counters) w.field(name, v);
+  w.end_object();
+  if (!counters_only) {
+    w.begin_object("gauges");
+    for (const auto& [name, v] : s.gauges) w.field(name, v);
+    w.end_object();
+    w.begin_object("histograms");
+    for (const HistogramSnapshot& h : s.histograms) {
+      w.begin_object(h.name);
+      w.field("count", h.count);
+      w.field("sum", h.sum);
+      w.field("min", h.min);
+      w.field("max", h.max);
+      w.begin_array("bounds");
+      for (double b : h.bounds) w.element(b);
+      w.end_array();
+      w.begin_array("buckets");
+      for (std::uint64_t b : h.buckets) w.element(b);
+      w.end_array();
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_object();
+  return w.str();
+}
+
+void write_csv(const MetricsSnapshot& s, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return;
+  out << "metric,kind,field,value\n";
+  for (const auto& [name, v] : s.counters) {
+    out << name << ",counter,value," << v << '\n';
+  }
+  for (const auto& [name, v] : s.gauges) {
+    out << name << ",gauge,value," << fmt_double(v) << '\n';
+  }
+  for (const HistogramSnapshot& h : s.histograms) {
+    out << h.name << ",histogram,count," << h.count << '\n';
+    out << h.name << ",histogram,sum," << fmt_double(h.sum) << '\n';
+    out << h.name << ",histogram,min," << fmt_double(h.min) << '\n';
+    out << h.name << ",histogram,max," << fmt_double(h.max) << '\n';
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      out << h.name << ",histogram,le_"
+          << (i < h.bounds.size() ? fmt_double(h.bounds[i]) : "inf") << ','
+          << h.buckets[i] << '\n';
+    }
+  }
+}
+
+std::optional<ParsedMetrics> parse_metrics_json(std::string_view text) {
+  const std::optional<JsonValue> root = parse_json(text);
+  if (!root || root->type != JsonValue::Type::kObject) return std::nullopt;
+  ParsedMetrics out;
+  if (const JsonValue* c = root->get("counters")) {
+    for (const auto& [name, v] : c->object) {
+      out.counters[name] = static_cast<std::uint64_t>(v.number);
+    }
+  }
+  if (const JsonValue* g = root->get("gauges")) {
+    for (const auto& [name, v] : g->object) out.gauges[name] = v.number;
+  }
+  if (const JsonValue* hs = root->get("histograms")) {
+    for (const auto& [name, v] : hs->object) {
+      HistogramSnapshot h;
+      h.name = name;
+      if (const JsonValue* f = v.get("count")) {
+        h.count = static_cast<std::uint64_t>(f->number);
+      }
+      if (const JsonValue* f = v.get("sum")) h.sum = f->number;
+      if (const JsonValue* f = v.get("min")) h.min = f->number;
+      if (const JsonValue* f = v.get("max")) h.max = f->number;
+      if (const JsonValue* f = v.get("bounds")) {
+        for (const JsonValue& b : f->array) h.bounds.push_back(b.number);
+      }
+      if (const JsonValue* f = v.get("buckets")) {
+        for (const JsonValue& b : f->array) {
+          h.buckets.push_back(static_cast<std::uint64_t>(b.number));
+        }
+      }
+      out.histograms.emplace(name, std::move(h));
+    }
+  }
+  return out;
+}
+
+bool write_report(const std::string& path, const MetricsSnapshot& s,
+                  const RunManifest& manifest) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << to_json(s, &manifest);
+  write_csv(s, path + ".csv");
+  return true;
+}
+
+bool export_from_args(int argc, char** argv, std::string_view run_name,
+                      std::uint64_t seed) {
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      path = argv[i + 1];
+    }
+  }
+  if (!path) return false;
+  RunManifest m = make_manifest(std::string(run_name), seed);
+  m.wall_seconds = process_uptime_seconds();
+  m.ticks = registry().counter("p5g.sim.ticks").value();
+  const bool ok = write_report(path, registry().snapshot(), m);
+  if (ok) std::printf("  wrote metrics report %s (+%s.csv)\n", path, path);
+  return ok;
+}
+
+}  // namespace p5g::obs

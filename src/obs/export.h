@@ -1,0 +1,109 @@
+// Exporters: turn a MetricsSnapshot (+ RunManifest) into JSON or CSV, plus
+// the tiny JSON reader used for round-trip tests and by tooling that
+// consumes the reports. Every bench and example shares this one emitter —
+// `--metrics-out <path>` on any of them produces the same schema:
+//
+//   {
+//     "manifest":   { run, seed, git_describe, build_type, wall_seconds,
+//                     ticks, warnings: [...] },
+//     "counters":   { "p5g.sim.ticks": 36000, ... },
+//     "gauges":     { "p5g.pool.queue_depth": 0, ... },
+//     "histograms": { "p5g.sim.tick_ms": { count, sum, min, max,
+//                                          bounds: [...], buckets: [...] } }
+//   }
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+
+namespace p5g::obs {
+
+// ------------------------------------------------------------------ JSON --
+// Minimal append-only JSON builder (objects, arrays, scalar fields) shared
+// by the metrics exporter and the bench harnesses, so no bench hand-rolls
+// fprintf-JSON again. Doubles are emitted with %.17g: round-trip exact.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object(std::string_view key = {});
+  JsonWriter& end_object();
+  JsonWriter& begin_array(std::string_view key = {});
+  JsonWriter& end_array();
+  JsonWriter& field(std::string_view key, std::string_view v);
+  JsonWriter& field(std::string_view key, const char* v);
+  JsonWriter& field(std::string_view key, double v);
+  JsonWriter& field(std::string_view key, std::uint64_t v);
+  JsonWriter& field(std::string_view key, int v);
+  JsonWriter& field(std::string_view key, unsigned v);
+  JsonWriter& field(std::string_view key, bool v);
+  JsonWriter& element(double v);
+  JsonWriter& element(std::uint64_t v);
+  JsonWriter& element(std::string_view v);
+  std::string str() const { return out_; }
+
+ private:
+  void comma_and_indent();
+  void key_prefix(std::string_view key);
+  std::string out_;
+  std::vector<bool> has_items_;  // per open scope
+};
+
+// Parsed JSON value (just enough for our reports; no unicode escapes).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* get(std::string_view key) const;
+};
+
+// Returns nullopt on malformed input.
+std::optional<JsonValue> parse_json(std::string_view text);
+
+// ------------------------------------------------------- metrics reports --
+// `counters_only` emits just the {"counters": {...}} object — the
+// deterministic subset used by the golden-file regression (timings and wall
+// clock vary run to run; event counts for a fixed seed must not).
+std::string to_json(const MetricsSnapshot& s, const RunManifest* manifest = nullptr,
+                    bool counters_only = false);
+
+// Flat CSV: metric,kind,field,value (one row per scalar; histograms expand
+// to count/sum/min/max plus one `le_<bound>` row per bucket).
+void write_csv(const MetricsSnapshot& s, const std::string& path);
+
+// Snapshot re-read from an exported JSON report (manifest ignored).
+struct ParsedMetrics {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+std::optional<ParsedMetrics> parse_metrics_json(std::string_view text);
+
+// -------------------------------------------------------------- CLI hook --
+// Scans argv for `--metrics-out <path>`; when present, snapshots the global
+// registry and writes the JSON report to <path> and the CSV twin to
+// <path>.csv. The manifest gets `run`/`seed` from the arguments, provenance
+// from the build, warnings from the registry, and wall_seconds measured
+// since process start. Returns true when a report was written. Call it at
+// the end of main() — two lines give any bench or example `--metrics-out`.
+bool export_from_args(int argc, char** argv, std::string_view run_name,
+                      std::uint64_t seed = 0);
+
+// Non-CLI variant for callers that assembled their own manifest.
+bool write_report(const std::string& path, const MetricsSnapshot& s,
+                  const RunManifest& manifest);
+
+// Seconds since this process initialised the obs library (static init).
+double process_uptime_seconds();
+
+}  // namespace p5g::obs

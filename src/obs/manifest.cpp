@@ -1,0 +1,42 @@
+#include "obs/manifest.h"
+
+#include <sstream>
+
+#include "obs/metrics.h"
+
+#ifndef P5G_GIT_DESCRIBE
+#define P5G_GIT_DESCRIBE "unknown"
+#endif
+#ifndef P5G_BUILD_TYPE
+#define P5G_BUILD_TYPE "unknown"
+#endif
+
+namespace p5g::obs {
+
+RunManifest make_manifest(std::string run, std::uint64_t seed) {
+  RunManifest m;
+  m.run = std::move(run);
+  m.seed = seed;
+  m.git_describe = P5G_GIT_DESCRIBE;
+  m.build_type = P5G_BUILD_TYPE;
+
+  // Surface the CSV ragged-row tolerance counters (common/csv pads or
+  // truncates mismatched rows instead of throwing; the counts land here).
+  const std::uint64_t read_ragged =
+      registry().counter("p5g.csv.read_ragged_rows").value();
+  const std::uint64_t write_ragged =
+      registry().counter("p5g.csv.write_ragged_rows").value();
+  if (read_ragged > 0) {
+    std::ostringstream os;
+    os << "csv: " << read_ragged << " ragged row(s) tolerated on read";
+    m.warnings.push_back(os.str());
+  }
+  if (write_ragged > 0) {
+    std::ostringstream os;
+    os << "csv: " << write_ragged << " ragged row(s) padded/truncated on write";
+    m.warnings.push_back(os.str());
+  }
+  return m;
+}
+
+}  // namespace p5g::obs

@@ -1,0 +1,31 @@
+// Run provenance: what produced a trace or a metrics report. Attached to
+// every trace::TraceLog and emitted by the exporters next to the metric
+// snapshot, so any CSV/JSON artifact can be traced back to the exact
+// scenario, seed, commit, and build that generated it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p5g::obs {
+
+struct RunManifest {
+  std::string run;           // scenario / bench / app name
+  std::uint64_t seed = 0;
+  std::string git_describe;  // `git describe --always --dirty` at configure
+  std::string build_type;    // CMAKE_BUILD_TYPE
+  double wall_seconds = 0.0; // end-to-end wall time of the run
+  std::uint64_t ticks = 0;   // simulation ticks executed (0 for non-sim runs)
+  // Data-quality flags raised during the run (e.g. nonzero CSV ragged-row
+  // counters). Empty on a clean run.
+  std::vector<std::string> warnings;
+};
+
+// Fills provenance fields (git describe, build type) baked in at configure
+// time and scans the global registry for data-quality warnings — today the
+// `p5g.csv.*_ragged_rows` counters, which used to be counted but silently
+// dropped.
+RunManifest make_manifest(std::string run, std::uint64_t seed = 0);
+
+}  // namespace p5g::obs

@@ -1,0 +1,103 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace p5g::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+// Default bucket ladder for timing histograms: milliseconds, 1us..10s in
+// roughly 1-2.5-5 steps. Wide enough for a 4us tick and a minutes-long
+// scenario alike.
+constexpr double kDefaultBoundsMs[] = {0.001, 0.0025, 0.005, 0.01,  0.025, 0.05,
+                                       0.1,   0.25,   0.5,   1.0,   2.5,   5.0,
+                                       10.0,  25.0,   50.0,  100.0, 250.0, 500.0,
+                                       1000.0, 2500.0, 5000.0, 10000.0};
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+unsigned shard_index() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+}  // namespace detail
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    const std::span<const double> b =
+        bounds.empty() ? std::span<const double>(kDefaultBoundsMs) : bounds;
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>(b))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.counters.emplace_back(name, c->value());
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.gauges.emplace_back(name, g->value());
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.bounds = h->bounds();
+    hs.buckets.resize(hs.bounds.size() + 1);
+    for (std::size_t i = 0; i < hs.buckets.size(); ++i) hs.buckets[i] = h->bucket(i);
+    hs.count = h->count();
+    hs.sum = h->sum();
+    hs.min = hs.count ? h->min() : 0.0;
+    hs.max = hs.count ? h->max() : 0.0;
+    out.histograms.push_back(std::move(hs));
+  }
+  return out;  // std::map iteration order == name-sorted
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [_, c] : counters_) c->reset();
+  for (auto& [_, g] : gauges_) g->reset();
+  for (auto& [_, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& registry() {
+  static MetricsRegistry* r = new MetricsRegistry();  // never destroyed
+  return *r;
+}
+
+}  // namespace p5g::obs

@@ -1,0 +1,203 @@
+// Observability core: a process-wide registry of named counters, gauges and
+// fixed-bucket histograms, cheap enough to live on the simulator's per-tick
+// hot path.
+//
+// Design constraints (see DESIGN.md "Observability"):
+//   * Hot-path writes are lock-free: counters are relaxed fetch_adds on
+//     cache-line-padded per-thread shards, aggregated only on snapshot().
+//   * Instrumentation must never perturb simulation behaviour — metrics
+//     touch no RNG stream and no simulation state, so the zero-fault golden
+//     trace stays byte-identical with observability enabled or disabled.
+//   * The whole layer can be disabled at runtime (obs::set_enabled(false));
+//     disabled call sites skip clock reads and atomic writes, which is the
+//     "no-op registry" baseline the bench_perf overhead A/B compares against.
+//   * Metric names follow `p5g.<subsystem>.<name>` (e.g. p5g.sim.ticks).
+//
+// This library deliberately depends on nothing but the C++ standard library
+// so every other layer (common, ran, sim, trace, benches) can link it.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p5g::obs {
+
+// Global kill switch for the whole layer. Relaxed load on every hot-path
+// operation; flipping it mid-run is safe (counts just stop/resume).
+bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+namespace detail {
+// Index of the calling thread's counter shard (stable per thread).
+unsigned shard_index() noexcept;
+inline constexpr unsigned kShards = 8;
+
+struct alignas(64) PaddedAtomic {
+  std::atomic<std::uint64_t> v{0};
+};
+}  // namespace detail
+
+// Monotonic event count. add() is a relaxed fetch_add on the calling
+// thread's shard; value() sums shards (approximate only while writers are
+// concurrently active, exact after they quiesce).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    if (!enabled()) return;
+    shards_[detail::shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+  void reset() noexcept {
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<detail::PaddedAtomic, detail::kShards> shards_{};
+};
+
+// Last-write-wins instantaneous value (queue depth, active workers, thread
+// count). Signed so add(-1) works for up/down tracking.
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    if (!enabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(double delta) noexcept {
+    if (!enabled()) return;
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  void reset() noexcept { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+// Fixed-bucket histogram. Bucket i counts samples <= bounds[i]; one
+// implicit overflow bucket counts the rest. Values are unit-free doubles —
+// by convention timing histograms record milliseconds (suffix `_ms`).
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> bounds)
+      : bounds_(bounds.begin(), bounds.end()),
+        buckets_(bounds.size() + 1) {}
+
+  void record(double v) noexcept {
+    if (!enabled()) return;
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    buckets_[i].v.fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+    }
+    atomic_min(min_, v);
+    atomic_max(max_, v);
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const { return min_.load(std::memory_order_relaxed); }
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].v.load(std::memory_order_relaxed);
+  }
+  double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.v.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+    min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+    max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  }
+
+ private:
+  static void atomic_min(std::atomic<double>& slot, double v) noexcept {
+    double cur = slot.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  static void atomic_max(std::atomic<double>& slot, double v) noexcept {
+    double cur = slot.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::vector<double> bounds_;
+  std::vector<detail::PaddedAtomic> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+// Point-in-time copy of every registered metric, safe to serialize or
+// compare after the producing threads have quiesced.
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  // bounds.size() + 1 (overflow last)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // 0 when count == 0
+  double max = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;  // name-sorted
+  std::vector<std::pair<std::string, double>> gauges;           // name-sorted
+  std::vector<HistogramSnapshot> histograms;                    // name-sorted
+};
+
+// Named-metric registry. Registration takes a mutex; the returned
+// references are stable for the registry's lifetime, so hot call sites
+// resolve them once (static local or constructor member) and then write
+// lock-free.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  // Bounds are fixed on first registration; later lookups of the same name
+  // ignore the argument. Empty bounds pick the default latency ladder
+  // (milliseconds, 1us..10s).
+  Histogram& histogram(std::string_view name, std::span<const double> bounds = {});
+
+  MetricsSnapshot snapshot() const;
+  // Zeroes every registered metric (registrations survive). Test helper;
+  // not meant to race live writers.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// The process-wide registry every instrumented subsystem writes to.
+MetricsRegistry& registry();
+
+}  // namespace p5g::obs

@@ -1,0 +1,55 @@
+// Scoped (RAII) phase timers recording into obs::Histogram, plus a
+// deterministic sampling helper for per-tick phases where even two clock
+// reads per tick would eat the overhead budget.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace p5g::obs {
+
+using ObsClock = std::chrono::steady_clock;
+
+inline double ms_since(ObsClock::time_point start) noexcept {
+  return std::chrono::duration<double, std::milli>(ObsClock::now() - start).count();
+}
+
+// Times the enclosing scope and records the duration (milliseconds) into a
+// histogram on destruction. When the layer is disabled — or the optional
+// `active` argument is false (sampled call sites) — neither clock read
+// happens.
+class ObsTimer {
+ public:
+  explicit ObsTimer(Histogram& h, bool active = true) noexcept
+      : h_(h), active_(active && enabled()) {
+    if (active_) start_ = ObsClock::now();
+  }
+  ~ObsTimer() {
+    if (active_) h_.record(ms_since(start_));
+  }
+
+  ObsTimer(const ObsTimer&) = delete;
+  ObsTimer& operator=(const ObsTimer&) = delete;
+
+ private:
+  Histogram& h_;
+  bool active_;
+  ObsClock::time_point start_{};
+};
+
+// Deterministic 1-in-2^k sampler for hot loops: `sampler.next()` is true on
+// every (2^k)-th call. Pure modular counting — no RNG, no clock — so
+// sampling can never perturb simulation behaviour.
+class SampleEvery {
+ public:
+  explicit SampleEvery(unsigned log2_period) noexcept
+      : mask_((1u << log2_period) - 1u) {}
+  bool next() noexcept { return (n_++ & mask_) == 0; }
+
+ private:
+  unsigned mask_;
+  unsigned n_ = 0;
+};
+
+}  // namespace p5g::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace p5g::ran {
 
 CarrierProfile profile_opx() {
@@ -164,8 +166,14 @@ std::vector<const Cell*> Deployment::cells_near(geo::Point p, radio::Band band,
 
 void Deployment::cells_near(geo::Point p, radio::Band band, Meters radius,
                             std::vector<CellHit>& out) const {
+  static obs::Counter& m_queries =
+      obs::registry().counter("p5g.ran.cell_index.queries");
+  static obs::Counter& m_hits =
+      obs::registry().counter("p5g.ran.cell_index.hits");
   thread_local std::vector<IndexHit> hits;
   index_.query_radius(p, band, radius, hits);
+  m_queries.add(1);
+  m_hits.add(hits.size());
   out.clear();
   out.reserve(hits.size());
   for (const IndexHit& h : hits) {

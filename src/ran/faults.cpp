@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace p5g::ran {
 
 FaultProfile FaultProfile::uniform(double prep_p, double exec_p, bool rlf) {
@@ -16,7 +18,12 @@ FaultProfile FaultProfile::uniform(double prep_p, double exec_p, bool rlf) {
 bool FaultInjector::prep_fails(HoType t) {
   const double p = profile_.prep_failure[t];
   if (p <= 0.0) return false;
-  return rng_.bernoulli(p);
+  const bool fails = rng_.bernoulli(p);
+  if (fails) {
+    static obs::Counter& m = obs::registry().counter("p5g.ran.faults.prep_failures");
+    m.add(1);
+  }
+  return fails;
 }
 
 Milliseconds FaultInjector::backoff_ms(int attempt) const {
@@ -26,6 +33,10 @@ Milliseconds FaultInjector::backoff_ms(int attempt) const {
 }
 
 FaultInjector::ExecPlan FaultInjector::plan_execution(HoType t) {
+  static obs::Counter& m_retries =
+      obs::registry().counter("p5g.ran.faults.rach_retries");
+  static obs::Counter& m_exec_failures =
+      obs::registry().counter("p5g.ran.faults.exec_failures");
   ExecPlan plan;
   // SCG Release carries no RACH toward a target; its execution cannot fail.
   if (t == HoType::kScgr) return plan;
@@ -35,12 +46,15 @@ FaultInjector::ExecPlan FaultInjector::plan_execution(HoType t) {
   while (rng_.bernoulli(p)) {
     if (plan.attempts == max_attempts) {
       plan.success = false;
+      m_retries.add(static_cast<std::uint64_t>(plan.attempts - 1));
+      m_exec_failures.add(1);
       return plan;
     }
     plan.backoff_ms += backoff_ms(plan.attempts);
     plan.retry_ms += profile_.rach_attempt_ms;
     ++plan.attempts;
   }
+  m_retries.add(static_cast<std::uint64_t>(plan.attempts - 1));
   return plan;
 }
 

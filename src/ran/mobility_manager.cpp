@@ -43,6 +43,18 @@ MobilityManager::MobilityManager(const Deployment& deployment, Config config, Rn
     shadow_fields_.emplace_back(
         c.band, 0x5EEDULL ^ (static_cast<std::uint64_t>(c.id) * 0x9E37ULL));
   }
+
+  p5g::obs::MetricsRegistry& reg = p5g::obs::registry();
+  metrics_.reports = &reg.counter("p5g.ran.reports");
+  metrics_.ho_started = &reg.counter("p5g.ran.ho.started");
+  metrics_.ho_commands = &reg.counter("p5g.ran.ho.commands");
+  metrics_.ho_success = &reg.counter("p5g.ran.ho.success");
+  metrics_.ho_prep_fail = &reg.counter("p5g.ran.ho.prep_failure");
+  metrics_.ho_exec_fail = &reg.counter("p5g.ran.ho.exec_failure");
+  metrics_.ho_rlf_reest = &reg.counter("p5g.ran.ho.rlf_reestablish");
+  metrics_.rlf_triggers = &reg.counter("p5g.ran.rlf.triggers");
+  metrics_.observe_ms = &reg.histogram("p5g.ran.observe_ms");
+  metrics_.decide_ms = &reg.histogram("p5g.ran.decide_ms");
 }
 
 std::vector<EventConfig> MobilityManager::active_event_configs() const {
@@ -555,6 +567,7 @@ void MobilityManager::monitor_radio_link(Seconds t, Meters route_position,
 
 void MobilityManager::start_reestablishment(Seconds t, Meters route_position,
                                             int serving_cell, TickResult& out) {
+  metrics_.rlf_triggers->add(1);  // only reached on a T310 expiry
   HandoverRecord rec;
   rec.type = config_.arch == Arch::kSa ? HoType::kMcgh : HoType::kLteh;
   rec.outcome = HoOutcome::kRlfReestablish;
@@ -590,11 +603,15 @@ void MobilityManager::reset_monitors(MeasScope scope) {
 
 TickResult MobilityManager::tick(Seconds t, geo::Point pos, Meters moved,
                                  Meters route_position) {
+  const bool sample_phases = phase_sampler_.next();
   TickResult out;
   out.observations.reserve(obs_high_water_);
-  // Observe all layers relevant to the architecture.
-  if (config_.arch != Arch::kSa) observe(t, pos, moved, config_.lte_band, out.observations);
-  if (config_.arch != Arch::kLteOnly) observe(t, pos, moved, config_.nr_band, out.observations);
+  {
+    const p5g::obs::ObsTimer timer(*metrics_.observe_ms, sample_phases);
+    // Observe all layers relevant to the architecture.
+    if (config_.arch != Arch::kSa) observe(t, pos, moved, config_.lte_band, out.observations);
+    if (config_.arch != Arch::kLteOnly) observe(t, pos, moved, config_.nr_band, out.observations);
+  }
   obs_high_water_ = std::max(obs_high_water_, out.observations.size());
 
   progress_pending(t, out);
@@ -604,8 +621,21 @@ TickResult MobilityManager::tick(Seconds t, geo::Point pos, Meters moved,
   // UEs do not report during HO execution or re-establishment.
   const bool executing = pending_ && pending_->phase != Phase::kPrep;
   if (!executing) {
+    const p5g::obs::ObsTimer timer(*metrics_.decide_ms, sample_phases);
     run_event_monitors(t, out.observations, out);
     decide(t, route_position, out.observations, out);
+  }
+
+  if (!out.reports.empty()) metrics_.reports->add(out.reports.size());
+  if (!out.started.empty()) metrics_.ho_started->add(out.started.size());
+  if (!out.commands.empty()) metrics_.ho_commands->add(out.commands.size());
+  for (const HandoverRecord& rec : out.completed) {
+    switch (rec.outcome) {
+      case HoOutcome::kSuccess: metrics_.ho_success->add(1); break;
+      case HoOutcome::kPrepFailure: metrics_.ho_prep_fail->add(1); break;
+      case HoOutcome::kExecFailure: metrics_.ho_exec_fail->add(1); break;
+      case HoOutcome::kRlfReestablish: metrics_.ho_rlf_reest->add(1); break;
+    }
   }
   return out;
 }

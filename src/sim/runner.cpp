@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/thread_pool.h"
+#include "obs/timer.h"
 
 namespace p5g::sim {
 
@@ -14,6 +15,15 @@ namespace {
 template <typename RunOne>
 std::vector<trace::TraceLog> sweep(std::span<const Scenario> scenarios,
                                    unsigned threads, RunOne run_one) {
+  static obs::Counter& m_sweeps = obs::registry().counter("p5g.sim.sweeps");
+  static obs::Counter& m_sweep_scenarios =
+      obs::registry().counter("p5g.sim.sweep_scenarios");
+  static obs::Histogram& m_sweep_ms =
+      obs::registry().histogram("p5g.sim.sweep_ms");
+  const obs::ObsTimer sweep_timer(m_sweep_ms);
+  m_sweeps.add(1);
+  m_sweep_scenarios.add(scenarios.size());
+
   std::vector<trace::TraceLog> out(scenarios.size());
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   threads = std::min<unsigned>(threads, std::max<std::size_t>(scenarios.size(), 1));

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "obs/manifest.h"
 #include "radio/band.h"
 #include "radio/propagation.h"
 #include "ran/handover.h"
@@ -64,6 +65,11 @@ struct TraceLog {
 
   std::vector<TickRecord> ticks;
   std::vector<ran::HandoverRecord> handovers;  // all completed HOs
+
+  // Provenance of the run that produced this log (seed, commit, build,
+  // wall time, data-quality warnings). Filled by sim::run_scenario; not
+  // part of the CSV schema, exported via obs::write_report.
+  obs::RunManifest manifest;
 
   Seconds duration() const {
     return ticks.empty() ? 0.0 : ticks.back().time - ticks.front().time;

@@ -1,0 +1,391 @@
+// Observability layer tests: registry semantics (counters, gauges,
+// histograms), multi-threaded exactness (run under TSan in CI), exporter
+// round-trips, the CSV ragged-row surfacing, thread-pool gauges, the
+// TraceLog run manifest, and the golden-file determinism regression for
+// `--metrics-out` on the zero-fault seed-42 scenario.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/thread_pool.h"
+#include "obs/export.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "sim/scenario.h"
+#include "trace/trace.h"
+
+namespace p5g::obs {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// ------------------------------------------------------------- registry --
+TEST(ObsRegistry, CounterAddAndValue) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(&reg.counter("test.counter"), &c);  // same instance by name
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsRegistry, GaugeSetAndAdd) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("test.gauge");
+  g.set(5.0);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.add(2.5);
+  g.add(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 6.0);
+}
+
+TEST(ObsRegistry, HistogramBucketsAndStats) {
+  MetricsRegistry reg;
+  const double bounds[] = {1.0, 10.0, 100.0};
+  Histogram& h = reg.histogram("test.hist", bounds);
+  h.record(0.5);   // bucket 0 (<= 1)
+  h.record(5.0);   // bucket 1 (<= 10)
+  h.record(50.0);  // bucket 2 (<= 100)
+  h.record(500.0); // overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 555.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 500.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 555.5 / 4.0);
+}
+
+TEST(ObsRegistry, DisabledLayerIsNoOp) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("test.disabled");
+  Histogram& h = reg.histogram("test.disabled_hist");
+  set_enabled(false);
+  c.add(10);
+  h.record(1.0);
+  set_enabled(true);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  c.add(1);
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(ObsRegistry, SnapshotIsNameSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("b.counter").add(2);
+  reg.counter("a.counter").add(1);
+  reg.gauge("z.gauge").set(3.0);
+  reg.histogram("m.hist").record(0.5);
+  const MetricsSnapshot s = reg.snapshot();
+  ASSERT_EQ(s.counters.size(), 2u);
+  EXPECT_EQ(s.counters[0].first, "a.counter");
+  EXPECT_EQ(s.counters[0].second, 1u);
+  EXPECT_EQ(s.counters[1].first, "b.counter");
+  ASSERT_EQ(s.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.gauges[0].second, 3.0);
+  ASSERT_EQ(s.histograms.size(), 1u);
+  EXPECT_EQ(s.histograms[0].count, 1u);
+}
+
+// Satellite: hammer the registry from 8 threads; totals must be exact.
+// This test is in the TSan CI job's filter — it also proves data-race
+// freedom of the sharded counter path.
+TEST(ObsRegistry, EightThreadHammerExactTotals) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("test.hammer.counter");
+  Gauge& g = reg.gauge("test.hammer.gauge");
+  const double bounds[] = {0.25, 0.5, 0.75};
+  Histogram& h = reg.histogram("test.hammer.hist", bounds);
+
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 100000;
+  constexpr int kRecordsPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      for (int i = 0; i < kAddsPerThread; ++i) c.add(1);
+      c.add(static_cast<std::uint64_t>(tid));  // 0+1+...+7 = 28
+      for (int i = 0; i < kRecordsPerThread; ++i) {
+        // 0.125, 0.375, 0.625, 0.875: one value per bucket incl. overflow.
+        h.record(static_cast<double>(i % 4) * 0.25 + 0.125);
+      }
+      for (int i = 0; i < 1000; ++i) g.add(1.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAddsPerThread + 28u);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kRecordsPerThread);
+  // i%4 spreads records evenly across the 3 bounds + overflow.
+  for (std::size_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(h.bucket(b), static_cast<std::uint64_t>(kThreads) * kRecordsPerThread / 4)
+        << "bucket " << b;
+  }
+  EXPECT_DOUBLE_EQ(g.value(), kThreads * 1000.0);
+}
+
+TEST(ObsTimerTest, RecordsIntoHistogram) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("test.timer_ms");
+  {
+    ObsTimer t(h);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.max(), 1.0);  // at least ~1 ms measured
+  {
+    ObsTimer t(h, /*active=*/false);  // sampled-out: no clock, no record
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(ObsTimerTest, SampleEveryPeriod) {
+  SampleEvery s(2);  // 1 in 4
+  int hits = 0;
+  for (int i = 0; i < 16; ++i) hits += s.next() ? 1 : 0;
+  EXPECT_EQ(hits, 4);
+}
+
+// ------------------------------------------------------------- exporter --
+TEST(ObsExport, JsonRoundTripIdenticalValues) {
+  MetricsRegistry reg;
+  reg.counter("p5g.test.alpha").add(12345678901234ull);
+  reg.counter("p5g.test.beta").add(7);
+  reg.gauge("p5g.test.depth").set(3.25);
+  const double bounds[] = {0.1, 1.0, 10.0};
+  Histogram& h = reg.histogram("p5g.test.lat_ms", bounds);
+  h.record(0.05);
+  h.record(0.5);
+  h.record(99.0);
+
+  const std::string json = to_json(reg.snapshot());
+  const std::optional<ParsedMetrics> parsed = parse_metrics_json(json);
+  ASSERT_TRUE(parsed.has_value());
+
+  EXPECT_EQ(parsed->counters.at("p5g.test.alpha"), 12345678901234ull);
+  EXPECT_EQ(parsed->counters.at("p5g.test.beta"), 7u);
+  EXPECT_DOUBLE_EQ(parsed->gauges.at("p5g.test.depth"), 3.25);
+  const HistogramSnapshot& hs = parsed->histograms.at("p5g.test.lat_ms");
+  EXPECT_EQ(hs.count, 3u);
+  EXPECT_DOUBLE_EQ(hs.sum, 99.55);
+  EXPECT_DOUBLE_EQ(hs.min, 0.05);
+  EXPECT_DOUBLE_EQ(hs.max, 99.0);
+  ASSERT_EQ(hs.bounds.size(), 3u);
+  EXPECT_DOUBLE_EQ(hs.bounds[1], 1.0);
+  ASSERT_EQ(hs.buckets.size(), 4u);
+  EXPECT_EQ(hs.buckets[0], 1u);
+  EXPECT_EQ(hs.buckets[1], 1u);
+  EXPECT_EQ(hs.buckets[2], 0u);
+  EXPECT_EQ(hs.buckets[3], 1u);
+}
+
+TEST(ObsExport, ManifestSerializedWithReport) {
+  MetricsRegistry reg;
+  reg.counter("p5g.test.c").add(1);
+  RunManifest m = make_manifest("unit_test", 99);
+  m.wall_seconds = 1.5;
+  m.ticks = 1800;
+  const std::string json = to_json(reg.snapshot(), &m);
+  const std::optional<JsonValue> root = parse_json(json);
+  ASSERT_TRUE(root.has_value());
+  const JsonValue* manifest = root->get("manifest");
+  ASSERT_NE(manifest, nullptr);
+  EXPECT_EQ(manifest->get("run")->string, "unit_test");
+  EXPECT_DOUBLE_EQ(manifest->get("seed")->number, 99.0);
+  EXPECT_FALSE(manifest->get("git_describe")->string.empty());
+  EXPECT_FALSE(manifest->get("build_type")->string.empty());
+  EXPECT_DOUBLE_EQ(manifest->get("wall_seconds")->number, 1.5);
+  EXPECT_DOUBLE_EQ(manifest->get("ticks")->number, 1800.0);
+}
+
+TEST(ObsExport, ExportFromArgsWritesJsonAndCsvTwin) {
+  registry().counter("p5g.test.export_hook").add(3);
+  const std::string path = "/tmp/p5g_obs_export_test.json";
+  const char* argv_arr[] = {"prog", "--metrics-out", path.c_str()};
+  ASSERT_TRUE(export_from_args(3, const_cast<char**>(argv_arr), "hook_test", 5));
+
+  const std::optional<ParsedMetrics> parsed = parse_metrics_json(slurp(path));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->counters.at("p5g.test.export_hook"), 3u);
+
+  // CSV twin: header plus one row per scalar.
+  const std::string csv_text = slurp(path + ".csv");
+  EXPECT_NE(csv_text.find("metric,kind,field,value"), std::string::npos);
+  EXPECT_NE(csv_text.find("p5g.test.export_hook,counter,value,3"),
+            std::string::npos);
+
+  // Without the flag, nothing happens.
+  const char* argv_none[] = {"prog"};
+  EXPECT_FALSE(export_from_args(1, const_cast<char**>(argv_none), "hook_test"));
+
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".csv");
+}
+
+// ------------------------------------------- csv ragged-row surfacing --
+TEST(ObsCsv, RaggedRowsSurfaceInRegistryAndManifest) {
+  registry().reset();
+  const std::string path = "/tmp/p5g_obs_ragged.csv";
+  {
+    csv::Writer w(path, {"a", "b", "c"});
+    w.write_row({"1", "2", "3"});
+    w.write_row({"1", "2"});            // short: padded, counted
+    w.write_row({"1", "2", "3", "4"});  // long: truncated, counted
+  }
+  EXPECT_EQ(registry().counter("p5g.csv.write_ragged_rows").value(), 2u);
+
+  // Hand-write a ragged file and read it back.
+  {
+    std::ofstream out(path);
+    out << "a,b,c\n1,2,3\n4,5\n";
+  }
+  const csv::Table t = csv::read_file(path);
+  EXPECT_EQ(t.malformed_rows, 1u);
+  EXPECT_EQ(registry().counter("p5g.csv.read_ragged_rows").value(), 1u);
+
+  // The run manifest warns when the tolerance counters are nonzero.
+  const RunManifest m = make_manifest("ragged_test");
+  ASSERT_EQ(m.warnings.size(), 2u);
+  EXPECT_NE(m.warnings[0].find("ragged"), std::string::npos);
+  EXPECT_NE(m.warnings[1].find("ragged"), std::string::npos);
+
+  registry().reset();
+  EXPECT_TRUE(make_manifest("clean_test").warnings.empty());
+  std::filesystem::remove(path);
+}
+
+// --------------------------------------------------- thread pool gauges --
+TEST(ObsThreadPool, QueueAndActiveGaugesTrackLoad) {
+  registry().reset();
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> running{0};
+
+  Gauge& active = registry().gauge("p5g.pool.active_workers");
+  Gauge& depth = registry().gauge("p5g.pool.queue_depth");
+  {
+    ThreadPool pool(2);
+    EXPECT_DOUBLE_EQ(registry().gauge("p5g.pool.threads").value(), 2.0);
+    for (int i = 0; i < 4; ++i) {
+      pool.submit([&] {
+        running.fetch_add(1);
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return release; });
+      });
+    }
+    // Both workers busy, two jobs queued.
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (running.load() < 2 && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+    ASSERT_EQ(running.load(), 2);
+    EXPECT_DOUBLE_EQ(active.value(), 2.0);
+    EXPECT_DOUBLE_EQ(depth.value(), 2.0);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      release = true;
+    }
+    cv.notify_all();
+    pool.wait_idle();
+  }
+  EXPECT_EQ(registry().counter("p5g.pool.jobs_submitted").value(), 4u);
+  EXPECT_EQ(registry().counter("p5g.pool.jobs_completed").value(), 4u);
+  EXPECT_DOUBLE_EQ(active.value(), 0.0);
+  EXPECT_DOUBLE_EQ(depth.value(), 0.0);
+  // Every job's queue wait was sampled.
+  const MetricsSnapshot s = registry().snapshot();
+  for (const HistogramSnapshot& h : s.histograms) {
+    if (h.name == "p5g.pool.queue_wait_ms") EXPECT_EQ(h.count, 4u);
+  }
+}
+
+// ------------------------------------------------- manifest on TraceLog --
+sim::Scenario golden_scenario() {
+  sim::Scenario s;
+  s.name = "golden_zero_fault";
+  s.carrier = ran::profile_opx();
+  s.arch = ran::Arch::kNsa;
+  s.nr_band = radio::Band::kNrLow;
+  s.mobility = sim::MobilityKind::kFreeway;
+  s.speed_kmh = 110.0;
+  s.duration = 90.0;
+  s.seed = 42;
+  return s;
+}
+
+TEST(ObsManifest, AttachedToEveryTraceLog) {
+  const trace::TraceLog log = sim::run_scenario(golden_scenario());
+  EXPECT_EQ(log.manifest.run, "golden_zero_fault");
+  EXPECT_EQ(log.manifest.seed, 42u);
+  EXPECT_EQ(log.manifest.ticks, log.ticks.size());
+  EXPECT_GT(log.manifest.wall_seconds, 0.0);
+  EXPECT_FALSE(log.manifest.git_describe.empty());
+  EXPECT_FALSE(log.manifest.build_type.empty());
+}
+
+// --------------------------------------------- determinism + golden file --
+// The zero-fault seed-42 scenario must produce identical counters on every
+// run (timings vary; event counts must not), and those counters must match
+// the committed golden metrics file — the metrics twin of the byte-identity
+// trace regression in faults_test.cpp.
+TEST(ObsDeterminism, GoldenScenarioCountersAreReproducible) {
+  registry().reset();
+  (void)sim::run_scenario(golden_scenario());
+  const std::string run_a = to_json(registry().snapshot(), nullptr,
+                                    /*counters_only=*/true);
+
+  registry().reset();
+  (void)sim::run_scenario(golden_scenario());
+  const std::string run_b = to_json(registry().snapshot(), nullptr,
+                                    /*counters_only=*/true);
+
+  // Byte-identical counters across runs in the same process.
+  EXPECT_EQ(run_a, run_b);
+
+  const std::optional<ParsedMetrics> fresh = parse_metrics_json(run_b);
+  ASSERT_TRUE(fresh.has_value());
+  // Debug aid + golden (re)generation source.
+  std::ofstream("/tmp/p5g_zero_fault_seed42.metrics.fresh.json") << run_b;
+
+  const std::string golden_path =
+      std::string(P5G_GOLDEN_DIR) + "/zero_fault_seed42.metrics.json";
+  const std::string golden_text = slurp(golden_path);
+  ASSERT_FALSE(golden_text.empty()) << "golden metrics missing: " << golden_path;
+  const std::optional<ParsedMetrics> golden = parse_metrics_json(golden_text);
+  ASSERT_TRUE(golden.has_value());
+  ASSERT_FALSE(golden->counters.empty());
+
+  // Every golden counter must be present with the exact same value. (Subset
+  // comparison, not byte equality: a full-binary run registers extra
+  // zero-valued metrics from earlier tests.)
+  for (const auto& [name, expected] : golden->counters) {
+    const auto it = fresh->counters.find(name);
+    ASSERT_NE(it, fresh->counters.end()) << "counter vanished: " << name;
+    EXPECT_EQ(it->second, expected) << "counter diverged: " << name;
+  }
+}
+
+}  // namespace
+}  // namespace p5g::obs
