@@ -30,7 +30,8 @@ int main(int argc, char** argv) {
     std::printf("  F1 %.3f  precision %.3f  recall %.3f\n", s.scores.f1,
                 s.scores.precision, s.scores.recall);
     std::printf("  patterns learned %.1f/h, evicted %.1f/h (paper: ~9.1/h, ~8.3/h)\n",
-                r.patterns_learned / hours, r.patterns_evicted / hours);
+                static_cast<double>(r.patterns_learned) / hours,
+                static_cast<double>(r.patterns_evicted) / hours);
   }
   p5g::obs::export_from_args(argc, argv, "bench_ablation_eviction");
   return 0;

@@ -65,7 +65,8 @@ int main(int argc, char** argv) {
   for (int i = 0; i < 3; ++i) {
     const double km = m_to_km(rows[i].log.distance());
     if (km <= 0) continue;
-    const double hos_per_km = rows[i].log.handovers.size() / km;
+    const double hos_per_km =
+        static_cast<double>(rows[i].log.handovers.size()) / km;
     const energy::EnergySummary e = energy::summarize(rows[i].log.handovers);
     const double j_per_ho = e.handovers ? e.joules / e.handovers : 0.0;
     const double hos_hour = hos_per_km * 130.0;

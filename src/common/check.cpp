@@ -1,0 +1,46 @@
+#include "common/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace p5g::check {
+
+namespace {
+
+void default_handler(const Failure& f) {
+  std::fprintf(stderr, "p5g %s violated at %s:%d: %s%s%s\n", kind_name(f.kind),
+               f.file, f.line, f.expression, f.message[0] ? " — " : "",
+               f.message);
+}
+
+std::atomic<Handler> g_handler{&default_handler};
+
+}  // namespace
+
+const char* kind_name(Kind k) noexcept {
+  switch (k) {
+    case Kind::kRequire: return "REQUIRE";
+    case Kind::kAssert: return "ASSERT";
+    case Kind::kEnsure: return "ENSURE";
+  }
+  return "?";
+}
+
+Handler set_handler(Handler h) noexcept {
+  return g_handler.exchange(h ? h : &default_handler,
+                            std::memory_order_acq_rel);
+}
+
+void fail(Kind kind, const char* expr, const char* file, int line,
+          const char* message) {
+  const Failure f{kind, expr, file, line, message};
+  g_handler.load(std::memory_order_acquire)(f);
+  // A handler that neither throws nor exits gets the default treatment: a
+  // violated contract must never be silently resumed.
+  std::abort();
+}
+
+bool library_checks_enabled() noexcept { return P5G_CHECKS_ENABLED != 0; }
+
+}  // namespace p5g::check

@@ -1,0 +1,90 @@
+// Contract-check layer: machine-checked invariants for the simulator's
+// correctness-critical seams (HO state machine transitions, fault-profile
+// ranges, spatial-index/linear-scan equivalence, RRS bounds, metric-name
+// uniqueness).
+//
+// Three macros, mirroring design-by-contract vocabulary:
+//   P5G_REQUIRE(cond, "msg")  — precondition on caller-supplied inputs
+//   P5G_ASSERT(cond, "msg")   — internal invariant inside an algorithm
+//   P5G_ENSURE(cond, "msg")   — postcondition on produced results
+// The message is an optional string literal.
+//
+// Activation model (per translation unit):
+//   * Debug builds (no NDEBUG): checks compile in by default.
+//   * Release/RelWithDebInfo:   checks compile OUT — the condition is NOT
+//     evaluated, so checks may be arbitrarily expensive without taxing the
+//     tick loop (bench_perf --check-overhead guards this).
+//   * -DP5G_CHECKS=ON (CMake) forces P5G_CHECKS_ENABLED=1 everywhere; CI
+//     runs the whole suite in this mode and in the sanitizer builds.
+//
+// On failure the installed handler is invoked (default: print to stderr and
+// abort). Tests install a throwing handler via set_handler() to turn trips
+// into catchable exceptions. The handler API and library_checks_enabled()
+// are compiled unconditionally, so mixing checks-on test code with a
+// checks-off library never violates the one-definition rule: no type layout
+// or signature in this header depends on P5G_CHECKS_ENABLED.
+#pragma once
+
+namespace p5g::check {
+
+enum class Kind { kRequire, kAssert, kEnsure };
+
+const char* kind_name(Kind k) noexcept;
+
+// Everything known about one failed contract. `message` is "" when the
+// macro was invoked without one.
+struct Failure {
+  Kind kind;
+  const char* expression;
+  const char* file;
+  int line;
+  const char* message;
+};
+
+// A handler may throw (tests) or log-and-return; if it returns, fail()
+// aborts so a violated contract can never be silently resumed.
+using Handler = void (*)(const Failure&);
+
+// Installs `h` (nullptr restores the default abort handler) and returns the
+// previously installed handler. Not thread-safe against concurrent trips;
+// intended for test setup/teardown.
+Handler set_handler(Handler h) noexcept;
+
+// Routes a failure through the installed handler, then aborts if the
+// handler returns. Out-of-line so call sites stay small.
+[[noreturn]] void fail(Kind kind, const char* expr, const char* file, int line,
+                       const char* message);
+
+// True when the p5g libraries themselves were compiled with checks active
+// (all src/ targets share one flag set). Tests that need a LIBRARY-side
+// contract to trip skip themselves when this is false.
+bool library_checks_enabled() noexcept;
+
+}  // namespace p5g::check
+
+#if !defined(P5G_CHECKS_ENABLED)
+#if defined(NDEBUG)
+#define P5G_CHECKS_ENABLED 0
+#else
+#define P5G_CHECKS_ENABLED 1
+#endif
+#endif
+
+#if P5G_CHECKS_ENABLED
+// "" __VA_ARGS__ concatenates with an optional literal message, yielding ""
+// when the macro is used without one.
+#define P5G_CHECK_IMPL_(kind, cond, ...)                                   \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::p5g::check::fail(kind, #cond, __FILE__, __LINE__,            \
+                               "" __VA_ARGS__))
+#else
+// Compiled out: the condition is not evaluated and generates no code.
+#define P5G_CHECK_IMPL_(kind, cond, ...) static_cast<void>(0)
+#endif
+
+#define P5G_REQUIRE(cond, ...) \
+  P5G_CHECK_IMPL_(::p5g::check::Kind::kRequire, cond, ##__VA_ARGS__)
+#define P5G_ASSERT(cond, ...) \
+  P5G_CHECK_IMPL_(::p5g::check::Kind::kAssert, cond, ##__VA_ARGS__)
+#define P5G_ENSURE(cond, ...) \
+  P5G_CHECK_IMPL_(::p5g::check::Kind::kEnsure, cond, ##__VA_ARGS__)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/check.h"
 #include "obs/timer.h"
 
 namespace p5g {
@@ -16,6 +17,7 @@ ThreadPool::ThreadPool(unsigned threads)
       pool_threads_(&obs::registry().gauge("p5g.pool.threads")),
       queue_wait_ms_(&obs::registry().histogram("p5g.pool.queue_wait_ms")) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  P5G_ENSURE(threads >= 1, "pool must end up with at least one worker");
   workers_.reserve(threads);
   pool_threads_->set(static_cast<double>(threads));
   for (unsigned i = 0; i < threads; ++i) {
@@ -33,6 +35,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> job) {
+  P5G_REQUIRE(job != nullptr, "null job submitted to pool");
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back({std::move(job), obs::enabled() ? obs::ObsClock::now()

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace p5g::obs {
 
 namespace {
@@ -38,6 +40,12 @@ Counter& MetricsRegistry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
+    // A name must stay one kind forever: exporters key rows by name, so a
+    // counter/gauge collision would silently merge unrelated series.
+    P5G_REQUIRE(gauges_.find(name) == gauges_.end(),
+                "metric name already registered as a gauge");
+    P5G_REQUIRE(histograms_.find(name) == histograms_.end(),
+                "metric name already registered as a histogram");
     it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
   }
   return *it->second;
@@ -47,6 +55,10 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
+    P5G_REQUIRE(counters_.find(name) == counters_.end(),
+                "metric name already registered as a counter");
+    P5G_REQUIRE(histograms_.find(name) == histograms_.end(),
+                "metric name already registered as a histogram");
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
   }
   return *it->second;
@@ -57,6 +69,10 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
+    P5G_REQUIRE(counters_.find(name) == counters_.end(),
+                "metric name already registered as a counter");
+    P5G_REQUIRE(gauges_.find(name) == gauges_.end(),
+                "metric name already registered as a gauge");
     const std::span<const double> b =
         bounds.empty() ? std::span<const double>(kDefaultBoundsMs) : bounds;
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>(b))

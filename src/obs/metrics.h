@@ -29,6 +29,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/check.h"
+
 namespace p5g::obs {
 
 // Global kill switch for the whole layer. Relaxed load on every hot-path
@@ -96,7 +98,12 @@ class Histogram {
  public:
   explicit Histogram(std::span<const double> bounds)
       : bounds_(bounds.begin(), bounds.end()),
-        buckets_(bounds.size() + 1) {}
+        buckets_(bounds.size() + 1) {
+    for (std::size_t i = 1; i < bounds_.size(); ++i) {
+      P5G_REQUIRE(bounds_[i - 1] < bounds_[i],
+                  "histogram bounds must be strictly increasing");
+    }
+  }
 
   void record(double v) noexcept {
     if (!enabled()) return;

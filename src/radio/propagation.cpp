@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
+
 namespace p5g::radio {
 
 Db path_loss_db(Band band, Meters distance) {
@@ -102,6 +104,11 @@ Rrs make_rrs(Band band, Meters distance, Db shadowing_db, Db fading_db,
   // RSRQ tracks SINR compressed into its narrower reporting range
   // (-19.5 .. -3 dB), the standard N*RSRP/RSSI shape approximated linearly.
   r.rsrq = std::clamp(-3.0 - (30.0 - r.sinr) * 0.55, -19.5, -3.0);
+  // Downstream event monitors assume reported values stay inside the 3GPP
+  // reporting ranges; the clamps above are the enforcement.
+  P5G_ENSURE(r.rsrp >= -144.0, "RSRP below the reporting floor");
+  P5G_ENSURE(r.sinr >= -20.0 && r.sinr <= 40.0, "SINR outside reporting range");
+  P5G_ENSURE(r.rsrq >= -19.5 && r.rsrq <= -3.0, "RSRQ outside reporting range");
   return r;
 }
 

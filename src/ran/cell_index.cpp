@@ -5,6 +5,8 @@
 #include <iterator>
 #include <limits>
 
+#include "common/check.h"
+
 namespace p5g::ran {
 
 namespace {
@@ -88,6 +90,14 @@ void CellIndex::query_radius(geo::Point p, radio::Band band, Meters radius,
     if (a.dist != b.dist) return a.dist < b.dist;
     return a.id < b.id;
   });
+  // The (dist, id) order is the determinism contract callers (and the golden
+  // traces) depend on — keep this ENSURE in sync with the comparator above.
+  P5G_ENSURE(std::is_sorted(out.begin(), out.end(),
+                            [](const IndexHit& a, const IndexHit& b) {
+                              if (a.dist != b.dist) return a.dist < b.dist;
+                              return a.id < b.id;
+                            }),
+             "query_radius hits must be (dist, id)-sorted");
 }
 
 std::optional<IndexHit> CellIndex::nearest(geo::Point p, radio::Band band) const {

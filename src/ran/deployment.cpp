@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "obs/metrics.h"
 
 namespace p5g::ran {
@@ -174,6 +175,22 @@ void Deployment::cells_near(geo::Point p, radio::Band band, Meters radius,
   index_.query_radius(p, band, radius, hits);
   m_queries.add(1);
   m_hits.add(hits.size());
+#if P5G_CHECKS_ENABLED
+  // Cross-check the index against the reference linear scan for the first
+  // few queries of this deployment's lifetime. Bounded so checks-on builds
+  // keep the index's asymptotic win; fetch_sub keeps it thread-safe under
+  // the parallel runner.
+  if (crosscheck_budget_.load(std::memory_order_relaxed) > 0 &&
+      crosscheck_budget_.fetch_sub(1, std::memory_order_relaxed) > 0) {
+    const std::vector<CellHit> ref = cells_near_linear(p, band, radius);
+    P5G_ENSURE(ref.size() == hits.size(),
+               "spatial index and linear scan disagree on hit count");
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      P5G_ENSURE(ref[i].cell->id == hits[i].id && ref[i].dist == hits[i].dist,
+                 "spatial index and linear scan disagree on hit order");
+    }
+  }
+#endif
   out.clear();
   out.reserve(hits.size());
   for (const IndexHit& h : hits) {

@@ -5,6 +5,7 @@
 // landscape of §6.1.
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -85,6 +86,11 @@ class Deployment {
   CellIndex index_;         // all cells, keyed by cell position
   CellIndex anchor_index_;  // anchor-band cells, keyed by their TOWER
                             // position (the co-location site search)
+  // Contract-layer budget: when checks are active, the first few cells_near
+  // queries are cross-checked against cells_near_linear. Present in every
+  // build (layout must not depend on the checks macro); only decremented
+  // when the contract layer is compiled in.
+  mutable std::atomic<int> crosscheck_budget_{32};
 };
 
 }  // namespace p5g::ran

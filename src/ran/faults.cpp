@@ -3,9 +3,43 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "obs/metrics.h"
 
 namespace p5g::ran {
+
+namespace {
+
+#if P5G_CHECKS_ENABLED
+bool probs_in_unit_range(const HoTypeProbs& probs) {
+  for (double p : probs.p) {
+    if (!(p >= 0.0 && p <= 1.0)) return false;
+  }
+  return true;
+}
+#endif
+
+}  // namespace
+
+void validate_fault_profile([[maybe_unused]] const FaultProfile& p) {
+  P5G_REQUIRE(probs_in_unit_range(p.prep_failure),
+              "prep-failure probabilities must lie in [0, 1]");
+  P5G_REQUIRE(probs_in_unit_range(p.exec_failure),
+              "exec-failure probabilities must lie in [0, 1]");
+  P5G_REQUIRE(p.rach_max_attempts >= 1, "at least one RACH attempt");
+  P5G_REQUIRE(p.rach_attempt_ms >= 0.0);
+  P5G_REQUIRE(p.rach_backoff_base_ms >= 0.0);
+  P5G_REQUIRE(p.rach_backoff_factor >= 1.0,
+              "backoff must not shrink across attempts");
+  P5G_REQUIRE(p.rach_backoff_cap_ms >= p.rach_backoff_base_ms,
+              "backoff cap below base");
+  P5G_REQUIRE(p.rlf_t310 > 0.0, "T310 must be a positive interval");
+  P5G_REQUIRE(p.reestablish_sd_ms >= 0.0);
+  P5G_REQUIRE(p.reestablish_floor_ms >= 0.0);
+  P5G_REQUIRE(p.reestablish_mean_ms >= p.reestablish_floor_ms,
+              "re-establishment mean below its floor");
+  P5G_REQUIRE(p.scg_failure_fallback_ms >= 0.0);
+}
 
 FaultProfile FaultProfile::uniform(double prep_p, double exec_p, bool rlf) {
   FaultProfile f;

@@ -88,11 +88,19 @@ struct FaultProfile {
   static FaultProfile uniform(double prep_p, double exec_p, bool rlf = false);
 };
 
+// Contract check over every FaultProfile field (probabilities in [0, 1],
+// positive retry/backoff parameters, sane RLF timer). Runs when the
+// contract layer is active; a no-op otherwise. FaultInjector calls it, so
+// a malformed profile trips at construction instead of skewing a sweep.
+void validate_fault_profile(const FaultProfile& profile);
+
 // Samples fault decisions from a dedicated RNG stream.
 class FaultInjector {
  public:
   FaultInjector(FaultProfile profile, Rng rng)
-      : profile_(profile), rng_(rng) {}
+      : profile_(profile), rng_(rng) {
+    validate_fault_profile(profile_);
+  }
 
   const FaultProfile& profile() const { return profile_; }
   bool enabled() const { return !profile_.is_zero(); }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
+
 namespace p5g::ran {
 
 MobilityManager::MobilityManager(const Deployment& deployment, Config config, Rng rng)
@@ -87,9 +89,9 @@ void MobilityManager::observe(Seconds /*t*/, geo::Point pos, Meters moved,
       const double ue_angle = std::atan2(pos.y - tower.y, pos.x - tower.x);
       double diff = std::abs(ue_angle - c->azimuth_rad);
       while (diff > 3.14159265358979) diff = std::abs(diff - 2.0 * 3.14159265358979);
-      const radio::BeamPattern bp = radio::beam_pattern(band);
-      dir_loss = radio::sector_attenuation_db(diff, bp.beamwidth_rad,
-                                              bp.max_attenuation_db);
+      const radio::BeamPattern beam = radio::beam_pattern(band);
+      dir_loss = radio::sector_attenuation_db(diff, beam.beamwidth_rad,
+                                              beam.max_attenuation_db);
     }
     // hit.dist is geo::distance(c->position, pos) cached by the index.
     out.push_back(
@@ -369,6 +371,13 @@ bool MobilityManager::is_colocated_endpoint(int src_cell, int dst_cell) const {
 
 void MobilityManager::start_ho(HoType type, Seconds t, Meters route_position,
                                int src_cell, int dst_cell, TickResult& out) {
+  P5G_REQUIRE(!pending_, "one HO procedure at a time");
+  // Every procedure except SCG Release moves the UE toward a target cell;
+  // SCG Addition is the only one without a source leg.
+  P5G_REQUIRE(type == HoType::kScgr || dst_cell >= 0,
+              "non-release HO needs a target cell");
+  P5G_REQUIRE(type == HoType::kScga || src_cell >= 0,
+              "non-addition HO needs a source cell");
   HandoverRecord rec;
   rec.type = type;
   rec.decision_time = t;
@@ -462,6 +471,7 @@ void MobilityManager::progress_pending(Seconds t, TickResult& out) {
         }
         // T1 done: the UE receives the RRCReconfiguration and execution
         // (with its data-plane interruption) begins.
+        P5G_ASSERT(phase_transition_legal(pending_->phase, Phase::kExec));
         pending_->phase = Phase::kExec;
         pending_->phase_end =
             pending_->record.exec_start + ms_to_s(pending_->record.timing.t2_ms);
@@ -474,6 +484,8 @@ void MobilityManager::progress_pending(Seconds t, TickResult& out) {
       case Phase::kExec: {
         if (pending_->record.outcome == HoOutcome::kRlfReestablish) {
           // All RACH attempts burned: re-establish with both legs down.
+          P5G_ASSERT(
+              phase_transition_legal(pending_->phase, Phase::kReestablish));
           pending_->phase = Phase::kReestablish;
           pending_->phase_end = pending_->record.complete_time;
           state_.lte_data_halted = true;
@@ -506,6 +518,10 @@ void MobilityManager::progress_pending(Seconds t, TickResult& out) {
 }
 
 void MobilityManager::apply_completed(const HandoverRecord& rec) {
+  P5G_REQUIRE(rec.outcome == HoOutcome::kSuccess,
+              "failed HOs route through apply_failed");
+  P5G_REQUIRE(rec.type == HoType::kScgr || target_cell_ >= 0,
+              "completed non-release HO lost its target cell");
   switch (rec.type) {
     case HoType::kLteh:
       state_.lte_cell_id = target_cell_;
@@ -530,6 +546,8 @@ void MobilityManager::apply_completed(const HandoverRecord& rec) {
 }
 
 void MobilityManager::apply_failed(const HandoverRecord& rec) {
+  P5G_REQUIRE(rec.outcome != HoOutcome::kSuccess,
+              "successful HOs route through apply_completed");
   switch (rec.outcome) {
     case HoOutcome::kPrepFailure:
       break;  // nothing changed; the UE stays on its old cells

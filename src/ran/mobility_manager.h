@@ -109,6 +109,19 @@ class MobilityManager {
  private:
   enum class Phase { kPrep, kExec, kReestablish };
 
+  // Legal-transition table of the pending-HO state machine. Completion
+  // (pending_.reset()) is a legal exit from every phase; the only in-flight
+  // moves are T1 -> T2 and T2 -> re-establishment (T304 expiry on an MCG
+  // procedure). Contract-checked at every phase change.
+  static constexpr bool phase_transition_legal(Phase from, Phase to) {
+    switch (from) {
+      case Phase::kPrep: return to == Phase::kExec;
+      case Phase::kExec: return to == Phase::kReestablish;
+      case Phase::kReestablish: return false;
+    }
+    return false;
+  }
+
   struct PendingHo {
     HandoverRecord record;
     Phase phase = Phase::kPrep;

@@ -26,7 +26,8 @@ std::vector<trace::TraceLog> sweep(std::span<const Scenario> scenarios,
 
   std::vector<trace::TraceLog> out(scenarios.size());
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-  threads = std::min<unsigned>(threads, std::max<std::size_t>(scenarios.size(), 1));
+  const std::size_t want = std::max<std::size_t>(scenarios.size(), 1);
+  if (want < threads) threads = static_cast<unsigned>(want);
   if (threads <= 1 || scenarios.size() <= 1) {
     for (std::size_t i = 0; i < scenarios.size(); ++i) out[i] = run_one(i);
     return out;

@@ -1,0 +1,143 @@
+// Trip tests for the contract layer, compiled in their own test target
+// (p5g_check_tests) with P5G_CHECKS_ENABLED forced to 1 so the macro paths
+// are exercised in every build configuration, including Release.
+//
+// Contracts living in HEADERS (e.g. obs::Histogram's bounds check) are
+// instantiated in this TU and therefore always active here. Contracts
+// compiled into the LIBRARIES (faults.cpp, thread_pool.cpp, metrics.cpp)
+// follow the build's flag set; those tests skip themselves via
+// check::library_checks_enabled() when the libraries were built checks-off.
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "ran/faults.h"
+
+namespace p5g {
+namespace {
+
+static_assert(P5G_CHECKS_ENABLED == 1,
+              "this target must be compiled with checks forced on");
+
+[[noreturn]] void throwing_handler(const check::Failure& f) {
+  throw std::runtime_error(std::string(check::kind_name(f.kind)) + ": " +
+                           f.expression);
+}
+
+class ThrowingHandlerScope {
+ public:
+  ThrowingHandlerScope() : prev_(check::set_handler(&throwing_handler)) {}
+  ~ThrowingHandlerScope() { check::set_handler(prev_); }
+
+ private:
+  check::Handler prev_;
+};
+
+#define EXPECT_TRIP(stmt) EXPECT_THROW(stmt, std::runtime_error)
+
+TEST(CheckEnforced, RequireTripCarriesKindAndExpression) {
+  ThrowingHandlerScope scope;
+  try {
+    P5G_REQUIRE(1 == 2, "one is not two");
+    FAIL() << "P5G_REQUIRE(false) did not trip";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "REQUIRE: 1 == 2");
+  }
+}
+
+TEST(CheckEnforced, AllThreeMacrosTrip) {
+  ThrowingHandlerScope scope;
+  EXPECT_TRIP(P5G_REQUIRE(false));
+  EXPECT_TRIP(P5G_ASSERT(false, "message"));
+  EXPECT_TRIP(P5G_ENSURE(false));
+}
+
+TEST(CheckEnforced, ConditionEvaluatedExactlyOnce) {
+  ThrowingHandlerScope scope;
+  int evals = 0;
+  EXPECT_NO_THROW(P5G_ASSERT((++evals, true)));
+  EXPECT_EQ(evals, 1);
+  EXPECT_TRIP(P5G_ASSERT((++evals, false)));
+  EXPECT_EQ(evals, 2);
+}
+
+// Uninstalled (default) handler: a trip must terminate the process, never
+// resume. Death test so the abort happens in a forked child.
+TEST(CheckEnforcedDeathTest, DefaultHandlerAborts) {
+  EXPECT_DEATH(check::fail(check::Kind::kRequire, "x", "f.cpp", 1, ""),
+               "REQUIRE violated");
+}
+
+// Header-inline library contract: Histogram's bounds check compiles into
+// this TU, so it is enforced here regardless of how the libraries were
+// built.
+TEST(CheckEnforced, HistogramRejectsNonIncreasingBounds) {
+  ThrowingHandlerScope scope;
+  const std::vector<double> bad = {1.0, 1.0, 2.0};
+  EXPECT_TRIP(obs::Histogram h(bad));
+  const std::vector<double> good = {1.0, 2.0, 4.0};
+  EXPECT_NO_THROW(obs::Histogram h(good));
+}
+
+// --- Library-side contracts (skip when the libraries are checks-off) ---
+
+TEST(CheckEnforced, FaultProfileProbabilityOutOfRangeTrips) {
+  if (!check::library_checks_enabled()) {
+    GTEST_SKIP() << "libraries built without contract checks";
+  }
+  ThrowingHandlerScope scope;
+  ran::FaultProfile bad = ran::FaultProfile::uniform(1.5, 0.0);
+  EXPECT_TRIP(ran::validate_fault_profile(bad));
+  bad = ran::FaultProfile::uniform(0.0, -0.1);
+  EXPECT_TRIP(ran::validate_fault_profile(bad));
+  EXPECT_NO_THROW(ran::validate_fault_profile(ran::FaultProfile{}));
+}
+
+TEST(CheckEnforced, FaultInjectorValidatesAtConstruction) {
+  if (!check::library_checks_enabled()) {
+    GTEST_SKIP() << "libraries built without contract checks";
+  }
+  ThrowingHandlerScope scope;
+  ran::FaultProfile bad;
+  bad.rach_max_attempts = 0;
+  EXPECT_TRIP(ran::FaultInjector(bad, Rng(7)));
+  ran::FaultProfile backwards;
+  backwards.reestablish_floor_ms = 500.0;  // floor above the mean
+  backwards.reestablish_mean_ms = 240.0;
+  EXPECT_TRIP(ran::FaultInjector(backwards, Rng(7)));
+  EXPECT_NO_THROW(ran::FaultInjector(ran::FaultProfile{}, Rng(7)));
+}
+
+TEST(CheckEnforced, MetricsRegistryRejectsCrossKindNameReuse) {
+  if (!check::library_checks_enabled()) {
+    GTEST_SKIP() << "libraries built without contract checks";
+  }
+  ThrowingHandlerScope scope;
+  // A local registry keeps the trip out of the process-wide one.
+  obs::MetricsRegistry reg;
+  reg.counter("p5g.test.dup");
+  EXPECT_TRIP(reg.gauge("p5g.test.dup"));
+  EXPECT_TRIP(reg.histogram("p5g.test.dup"));
+  // Same kind, same name is a lookup, not a violation.
+  EXPECT_NO_THROW(reg.counter("p5g.test.dup"));
+}
+
+TEST(CheckEnforced, ThreadPoolRejectsNullJob) {
+  if (!check::library_checks_enabled()) {
+    GTEST_SKIP() << "libraries built without contract checks";
+  }
+  ThrowingHandlerScope scope;
+  ThreadPool pool(1);
+  EXPECT_TRIP(pool.submit(std::function<void()>{}));
+  pool.wait_idle();
+}
+
+}  // namespace
+}  // namespace p5g

@@ -1,0 +1,101 @@
+// Contract-layer API tests valid under ANY build configuration: the handler
+// plumbing and kind metadata are compiled unconditionally, and the macro
+// evaluation test adapts to whether this TU has checks active. The
+// always-enforced trip tests live in check_enforced_test.cpp (compiled with
+// P5G_CHECKS_ENABLED forced on).
+#include "common/check.h"
+
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace p5g {
+namespace {
+
+using check::Failure;
+using check::Handler;
+using check::Kind;
+
+[[noreturn]] void throwing_handler(const Failure& f) {
+  throw std::runtime_error(std::string(check::kind_name(f.kind)) + ": " +
+                           f.expression);
+}
+
+// Installs a throwing handler for one test body and restores the previous
+// one on scope exit, so a trip never leaks into later tests as an abort.
+class ThrowingHandlerScope {
+ public:
+  ThrowingHandlerScope() : prev_(check::set_handler(&throwing_handler)) {}
+  ~ThrowingHandlerScope() { check::set_handler(prev_); }
+
+ private:
+  Handler prev_;
+};
+
+TEST(Check, KindNames) {
+  EXPECT_STREQ(check::kind_name(Kind::kRequire), "REQUIRE");
+  EXPECT_STREQ(check::kind_name(Kind::kAssert), "ASSERT");
+  EXPECT_STREQ(check::kind_name(Kind::kEnsure), "ENSURE");
+}
+
+TEST(Check, FailRoutesThroughInstalledHandler) {
+  ThrowingHandlerScope scope;
+  EXPECT_THROW(check::fail(Kind::kRequire, "x > 0", "f.cpp", 12, "msg"),
+               std::runtime_error);
+}
+
+Failure g_last_failure{};
+
+[[noreturn]] void recording_handler(const Failure& f) {
+  g_last_failure = f;
+  throw std::runtime_error("trip");
+}
+
+TEST(Check, HandlerSeesFailureDetails) {
+  const Handler prev = check::set_handler(&recording_handler);
+  EXPECT_THROW(check::fail(Kind::kEnsure, "a == b", "file.cpp", 7, "m"),
+               std::runtime_error);
+  check::set_handler(prev);
+  EXPECT_EQ(g_last_failure.kind, Kind::kEnsure);
+  EXPECT_STREQ(g_last_failure.expression, "a == b");
+  EXPECT_STREQ(g_last_failure.file, "file.cpp");
+  EXPECT_EQ(g_last_failure.line, 7);
+  EXPECT_STREQ(g_last_failure.message, "m");
+}
+
+TEST(Check, SetHandlerReturnsPreviousAndNullRestoresDefault) {
+  const Handler default_h = check::set_handler(&throwing_handler);
+  // Installing again returns what we just installed.
+  EXPECT_EQ(check::set_handler(&recording_handler), &throwing_handler);
+  // nullptr restores the default, and the default is what the first call
+  // displaced.
+  EXPECT_EQ(check::set_handler(nullptr), &recording_handler);
+  EXPECT_EQ(check::set_handler(default_h), default_h);
+}
+
+// The compile-out guarantee: in builds without checks the condition operand
+// is never evaluated (zero overhead); with checks it runs exactly once.
+TEST(Check, MacrosEvaluateConditionOnlyWhenChecksAreCompiledIn) {
+  int evals = 0;
+  P5G_REQUIRE((++evals, true));
+  P5G_ASSERT((++evals, true), "with a message");
+  P5G_ENSURE((++evals, true));
+  EXPECT_EQ(evals, P5G_CHECKS_ENABLED ? 3 : 0);
+}
+
+TEST(Check, PassingConditionsNeverInvokeHandler) {
+  ThrowingHandlerScope scope;
+  EXPECT_NO_THROW(P5G_REQUIRE(2 + 2 == 4));
+  EXPECT_NO_THROW(P5G_ASSERT(true, "never shown"));
+  EXPECT_NO_THROW(P5G_ENSURE(1 < 2));
+}
+
+// p5g_tests compiles with the same global flag set as the libraries, so the
+// runtime probe must agree with this TU's macro.
+TEST(Check, LibraryProbeMatchesThisTranslationUnit) {
+  EXPECT_EQ(check::library_checks_enabled(), P5G_CHECKS_ENABLED != 0);
+}
+
+}  // namespace
+}  // namespace p5g

@@ -189,9 +189,15 @@ TEST(MobilityManager, ActiveEventConfigsMatchArch) {
     for (const auto& c : configs) {
       (c.scope == MeasScope::kServingNr ? has_nr_scope : has_lte_scope) = true;
     }
-    if (arch == Arch::kLteOnly) EXPECT_FALSE(has_nr_scope);
-    if (arch == Arch::kNsa) EXPECT_TRUE(has_nr_scope && has_lte_scope);
-    if (arch == Arch::kSa) EXPECT_FALSE(has_lte_scope);
+    if (arch == Arch::kLteOnly) {
+      EXPECT_FALSE(has_nr_scope);
+    }
+    if (arch == Arch::kNsa) {
+      EXPECT_TRUE(has_nr_scope && has_lte_scope);
+    }
+    if (arch == Arch::kSa) {
+      EXPECT_FALSE(has_lte_scope);
+    }
   }
 }
 

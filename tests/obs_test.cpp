@@ -317,7 +317,9 @@ TEST(ObsThreadPool, QueueAndActiveGaugesTrackLoad) {
   // Every job's queue wait was sampled.
   const MetricsSnapshot s = registry().snapshot();
   for (const HistogramSnapshot& h : s.histograms) {
-    if (h.name == "p5g.pool.queue_wait_ms") EXPECT_EQ(h.count, 4u);
+    if (h.name == "p5g.pool.queue_wait_ms") {
+      EXPECT_EQ(h.count, 4u);
+    }
   }
 }
 
