@@ -237,7 +237,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
     if (std::strcmp(argv[i], "--check-overhead") == 0 && i + 1 < argc) {
-      check_overhead_pct = std::atof(argv[++i]);
+      check_overhead_pct = std::strtod(argv[++i], nullptr);
     }
   }
 

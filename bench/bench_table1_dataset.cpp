@@ -12,7 +12,7 @@
 using namespace p5g;
 
 int main(int argc, char** argv) {
-  const double scale = argc > 1 ? std::atof(argv[1]) : 0.04;
+  const double scale = argc > 1 ? std::strtod(argv[1], nullptr) : 0.04;
   bench::print_header("Table 1: dataset statistics (scaled corpus)");
   std::printf("  scale = %.2f of the paper's mileage\n\n", scale);
 

@@ -16,7 +16,7 @@
 using namespace p5g;
 
 int main(int argc, char** argv) {
-  const double scale = argc > 1 ? std::atof(argv[1]) : 0.01;
+  const double scale = argc > 1 ? std::strtod(argv[1], nullptr) : 0.01;
   const std::string out_dir = argc > 2 ? argv[2] : "/tmp/p5g_dataset";
   std::filesystem::create_directories(out_dir);
 

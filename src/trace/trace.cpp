@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 
 #include "common/csv.h"
@@ -84,8 +85,25 @@ std::vector<ran::MeasurementReport> decode_reports(const std::string& s, Seconds
   return out;
 }
 
-double to_d(const std::string& s) { return std::atof(s.c_str()); }
-int to_i(const std::string& s) { return std::atoi(s.c_str()); }
+// Checked numeric parsing for trace files read back from disk. std::atoi /
+// std::atof are undefined behaviour when the text is outside the
+// representable range — a truncated or corrupted trace must never be UB.
+// strtol/strtod define those cases: cells with no parsable number read as 0
+// (matching the old atoi/atof behaviour) and out-of-range values saturate.
+double to_d(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  return end == s.c_str() ? 0.0 : v;
+}
+
+int to_i(const std::string& s) {
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == s.c_str()) return 0;
+  return static_cast<int>(
+      std::clamp(v, static_cast<long>(std::numeric_limits<int>::min()),
+                 static_cast<long>(std::numeric_limits<int>::max())));
+}
 
 }  // namespace
 

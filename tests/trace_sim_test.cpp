@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <filesystem>
+#include <fstream>
+#include <limits>
 
 #include "sim/scenario.h"
 #include "trace/trace.h"
@@ -128,6 +131,41 @@ TEST(TraceCsv, RoundTripPreservesKeyFields) {
     EXPECT_EQ(back.handovers[i].colocated, log.handovers[i].colocated);
     EXPECT_EQ(back.handovers[i].signaling.rrc, log.handovers[i].signaling.rrc);
   }
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".ho.csv");
+}
+
+TEST(TraceCsv, ReadCsvToleratesMalformedAndOutOfRangeCells) {
+  // Regression: read_csv used atoi/atof, which are undefined behaviour on
+  // out-of-range text. A corrupted or hand-edited trace must parse with
+  // defined results — overflow saturates, garbage and empty cells read 0.
+  const std::string path = "/tmp/p5g_trace_malformed.csv";
+  {
+    std::ofstream f(path);
+    f << "time,route_pos,x,y,speed,lte_pci,lte_rsrp,lte_rsrq,lte_sinr,"
+         "nr_pci,nr_rsrp,nr_rsrq,nr_sinr,nr_attached,lte_halted,nr_halted,"
+         "tput_mbps,rtt_ms,reports\n";
+    f << "1e999,-1e999,abc,,12.5,99999999999999999999,-80,-10,5,"
+         "-99999999999999999999,x,-11,6,1,0,0,50,20,\n";
+  }
+  {
+    std::ofstream f(path + ".ho.csv");
+    f << "type,decision_time,exec_start,complete_time,t1_ms,t2_ms,src_pci,"
+         "dst_pci,src_band,dst_band,colocated,rrc,mac,phy,route_pos\n";
+  }
+  const trace::TraceLog log = trace::read_csv(path);
+  ASSERT_EQ(log.ticks.size(), 1u);
+  const trace::TickRecord& r = log.ticks[0];
+  EXPECT_TRUE(std::isinf(r.time) && r.time > 0.0);
+  EXPECT_TRUE(std::isinf(r.route_position) && r.route_position < 0.0);
+  EXPECT_EQ(r.position.x, 0.0);  // no parsable digits
+  EXPECT_EQ(r.position.y, 0.0);  // empty cell
+  EXPECT_DOUBLE_EQ(r.speed_mps, 12.5);
+  EXPECT_EQ(r.lte_pci, std::numeric_limits<int>::max());
+  EXPECT_EQ(r.nr_pci, std::numeric_limits<int>::min());
+  EXPECT_EQ(r.nr_rrs.rsrp, 0.0);
+  EXPECT_TRUE(r.nr_attached);
+  EXPECT_TRUE(log.handovers.empty());
   std::filesystem::remove(path);
   std::filesystem::remove(path + ".ho.csv");
 }
