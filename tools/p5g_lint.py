@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""Determinism linter for the p5g simulator.
+
+The simulator's core promise is bit-for-bit reproducibility: the same
+scenario and seed must produce byte-identical traces on every run and every
+machine (tests/golden/). That breaks the moment tick-path code reads a wall
+clock, draws from an unseeded/global RNG, or interleaves console writes from
+worker threads. Those bugs are trivial to introduce and expensive to bisect,
+so this linter rejects them in CI before they land.
+
+Scanned: src/sim, src/ran, src/radio, src/core (the deterministic layers).
+NOT scanned: src/obs (the observability layer is the sanctioned consumer of
+steady_clock), src/common (owns the seeded RNG), trace/analysis/apps (I/O is
+their job).
+
+Rules:
+  wall-clock    chrono clocks, time(), gettimeofday, clock() — tick code
+                must derive all timing from simulated Seconds.
+  std-random    std:: random machinery (rand, srand, random_device, any
+                std engine) — randomness must come from the seeded p5g::Rng
+                streams so fault draws stay on their dedicated stream.
+  tick-io       stdout/stderr writes (iostream, printf family) — the tick
+                path is run under the parallel runner; console writes are
+                nondeterministically interleaved and hide in timing noise.
+  trace-schema  the CSV headers written by src/trace/trace.cpp must match
+                tests/golden/: the tick header exactly, and the golden
+                .ho.csv header must be a byte-prefix of the writer's (fault
+                columns are appended after the golden columns).
+
+Suppress a finding by putting  p5g-lint: allow(<rule>)  in a comment on the
+offending line.
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SCAN_DIRS = ["src/sim", "src/ran", "src/radio", "src/core"]
+TRACE_WRITER = REPO / "src/trace/trace.cpp"
+GOLDEN_TICK = REPO / "tests/golden/zero_fault_seed42.csv"
+GOLDEN_HO = REPO / "tests/golden/zero_fault_seed42.csv.ho.csv"
+
+ALLOW_RE = re.compile(r"p5g-lint:\s*allow\(([a-z-]+)\)")
+
+RULES = {
+    "wall-clock": re.compile(
+        r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"
+        r"|\bgettimeofday\s*\("
+        r"|\bclock\s*\(\s*\)"
+        r"|\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
+    ),
+    "std-random": re.compile(
+        r"\bstd\s*::\s*(?:rand|srand|random_device|mt19937(?:_64)?"
+        r"|minstd_rand0?|default_random_engine|random_shuffle)\b"
+        r"|\bsrand\s*\("
+    ),
+    "tick-io": re.compile(
+        r"\bstd\s*::\s*(?:cout|cerr|clog)\b"
+        r"|\b(?:printf|puts|putchar)\s*\("
+        r"|\bfprintf\s*\(\s*(?:stdout|stderr)\b"
+    ),
+}
+
+
+def strip_code(text: str) -> str:
+    """Blank out comments and string/char literals, preserving newlines so
+    line numbers survive. Comment text must not trip the code rules (it
+    routinely names the forbidden constructs, as this docstring does)."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def lint_file(path: Path) -> list[str]:
+    raw = path.read_text(encoding="utf-8")
+    raw_lines = raw.splitlines()
+    code_lines = strip_code(raw).splitlines()
+    findings = []
+    for lineno, (code, orig) in enumerate(zip(code_lines, raw_lines), start=1):
+        allowed = set(ALLOW_RE.findall(orig))
+        for rule, pattern in RULES.items():
+            if rule in allowed:
+                continue
+            m = pattern.search(code)
+            if m:
+                rel = path.relative_to(REPO)
+                findings.append(
+                    f"{rel}:{lineno}: {rule}: forbidden construct "
+                    f"'{m.group(0).strip()}' in deterministic tick-path code"
+                )
+    return findings
+
+
+def writer_headers() -> list[list[str]]:
+    """Column lists of every csv::Writer construction in trace.cpp, in
+    source order."""
+    text = TRACE_WRITER.read_text(encoding="utf-8")
+    headers = []
+    for m in re.finditer(r"csv::Writer\s+\w+\s*\(", text):
+        # Walk the balanced parens of the constructor call, then pull every
+        # string literal out of its brace-enclosed column list.
+        depth, j = 1, m.end()
+        while j < len(text) and depth:
+            if text[j] == "(":
+                depth += 1
+            elif text[j] == ")":
+                depth -= 1
+            j += 1
+        call = text[m.end() : j]
+        brace = re.search(r"\{(.*)\}", call, re.DOTALL)
+        if brace:
+            headers.append(re.findall(r'"([^"]*)"', brace.group(1)))
+    return headers
+
+
+def check_trace_schema() -> list[str]:
+    findings = []
+    headers = writer_headers()
+    by_first = {h[0]: h for h in headers if h}
+    golden_tick = GOLDEN_TICK.read_text(encoding="utf-8").splitlines()[0].split(",")
+    golden_ho = GOLDEN_HO.read_text(encoding="utf-8").splitlines()[0].split(",")
+
+    tick = by_first.get(golden_tick[0])
+    if tick is None:
+        findings.append(
+            f"src/trace/trace.cpp: trace-schema: no csv::Writer emits a "
+            f"header starting with '{golden_tick[0]}'"
+        )
+    elif tick != golden_tick:
+        findings.append(
+            f"src/trace/trace.cpp: trace-schema: tick header has "
+            f"{len(tick)} columns {tick}, golden "
+            f"{GOLDEN_TICK.relative_to(REPO)} has {len(golden_tick)} "
+            f"{golden_tick} — regenerate the golden or fix the writer"
+        )
+
+    ho = by_first.get(golden_ho[0])
+    if ho is None:
+        findings.append(
+            f"src/trace/trace.cpp: trace-schema: no csv::Writer emits a "
+            f"header starting with '{golden_ho[0]}'"
+        )
+    elif ho[: len(golden_ho)] != golden_ho:
+        # Columns may be APPENDED after the golden set (that keeps the
+        # byte-prefix identity test working), never renamed or reordered.
+        findings.append(
+            f"src/trace/trace.cpp: trace-schema: golden ho.csv header "
+            f"{golden_ho} is not a prefix of the writer's {ho} — new "
+            f"columns must be appended, not inserted"
+        )
+    return findings
+
+
+def main() -> int:
+    findings: list[str] = []
+    scanned = 0
+    for d in SCAN_DIRS:
+        root = REPO / d
+        if not root.is_dir():
+            print(f"p5g_lint: missing scan dir {d}", file=sys.stderr)
+            return 2
+        for path in sorted(root.rglob("*")):
+            if path.suffix not in (".h", ".cpp", ".cc", ".hpp"):
+                continue
+            scanned += 1
+            findings += lint_file(path)
+    findings += check_trace_schema()
+
+    if findings:
+        print(f"p5g_lint: {len(findings)} finding(s) in {scanned} files:")
+        for f in findings:
+            print(f"  {f}")
+        return 1
+    print(f"p5g_lint: OK ({scanned} files, trace schema consistent)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
