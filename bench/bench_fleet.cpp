@@ -1,0 +1,223 @@
+// Fleet scaling bench: N UEs over ONE shared deployment, three arms per N.
+//   1. naive serial — the pre-fleet baseline: rebuild route + deployment +
+//      shadow map per UE and run each UE alone (what a run_scenario loop
+//      costs), reduced to summaries as it goes.
+//   2. fleet serial — sim::run_fleet with 1 worker: shared environment,
+//      identical per-UE work, no pool.
+//   3. fleet pooled — sim::run_fleet on the thread pool (1 worker per core).
+// The headline number is naive_serial / pooled. Every arm must produce the
+// same per-UE summaries (the fleet determinism contract); the bench fails
+// loudly if they diverge. Results are spliced into BENCH_perf.json under
+// "fleet" (existing sections are preserved).
+//
+// Usage: bench_fleet [--quick] [--out <path>] [--metrics-out <path>]
+//   --quick   N in {1, 8, 64} and shorter drives (CI-friendly);
+//             full mode adds N=256
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/fleet_stats.h"
+#include "bench_util.h"
+#include "obs/export.h"
+#include "sim/fleet.h"
+
+using namespace p5g;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+sim::FleetScenario make_fleet(std::size_t n, Seconds duration) {
+  sim::FleetScenario f;
+  // City mmWave: the densest deployment we build, so the shared-environment
+  // amortization the fleet layer buys is visible, not noise.
+  f.base = bench::city_nsa(radio::Band::kNrMmWave, duration, 42);
+  f.base.name = "fleet_city";
+  f.n_ues = n;
+  f.stagger_m = 150.0;
+  f.mobility_mix = {sim::MobilityKind::kCity, sim::MobilityKind::kCity,
+                    sim::MobilityKind::kWalkLoop};
+  return f;
+}
+
+struct Arm {
+  double wall_s = 0.0;
+  std::vector<sim::UeSummary> ues;
+};
+
+// The pre-fleet cost: every UE pays a fresh route/deployment/shadow build.
+Arm naive_serial(const sim::FleetScenario& f) {
+  Arm out;
+  out.ues.resize(f.n_ues);
+  const auto t0 = Clock::now();
+  for (std::size_t ue = 0; ue < f.n_ues; ++ue) {
+    const sim::FleetEnv env(f);  // rebuilt per UE, deliberately
+    const sim::Scenario s = sim::fleet_ue_scenario(f, ue);
+    const trace::TraceLog log = sim::run_scenario(s, env.deployment(), env.route());
+    sim::UeSummary& u = out.ues[ue];
+    u.ue = ue;
+    u.seed = s.seed;
+    u.mobility = s.mobility;
+    u.start_offset_m = s.start_offset_m;
+    u.trace = trace::summarize(log);
+  }
+  out.wall_s = seconds_since(t0);
+  return out;
+}
+
+Arm fleet_arm(const sim::FleetScenario& f, unsigned threads) {
+  Arm out;
+  const auto t0 = Clock::now();
+  out.ues = sim::run_fleet(f, threads).ues;
+  out.wall_s = seconds_since(t0);
+  return out;
+}
+
+struct SizeResult {
+  std::size_t n = 0;
+  double naive_s = 0.0;
+  double serial_s = 0.0;
+  double pooled_s = 0.0;
+  double speedup_vs_naive = 0.0;
+  double speedup_vs_serial = 0.0;
+  bool summaries_match = false;
+};
+
+SizeResult bench_size(std::size_t n, Seconds duration) {
+  const sim::FleetScenario f = make_fleet(n, duration);
+  const Arm naive = naive_serial(f);
+  const Arm serial = fleet_arm(f, 1);
+  const Arm pooled = fleet_arm(f, 0);
+
+  SizeResult r;
+  r.n = n;
+  r.naive_s = naive.wall_s;
+  r.serial_s = serial.wall_s;
+  r.pooled_s = pooled.wall_s;
+  r.speedup_vs_naive = naive.wall_s / pooled.wall_s;
+  r.speedup_vs_serial = serial.wall_s / pooled.wall_s;
+  r.summaries_match = naive.ues == serial.ues && serial.ues == pooled.ues;
+  return r;
+}
+
+// Splice the fleet section into an existing BENCH_perf.json (written by
+// bench_perf) without disturbing its other sections; a missing or
+// unparsable file degrades to a fresh {"fleet": ...} object.
+void append_json(const std::string& path, bool quick,
+                 const std::vector<SizeResult>& sizes) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("quick", quick);
+  w.field("hardware_threads", std::max(1u, std::thread::hardware_concurrency()));
+  w.begin_array("sizes");
+  for (const SizeResult& r : sizes) {
+    w.begin_object();
+    w.field("ues", static_cast<std::uint64_t>(r.n));
+    w.field("naive_serial_seconds", r.naive_s);
+    w.field("fleet_serial_seconds", r.serial_s);
+    w.field("pooled_seconds", r.pooled_s);
+    w.field("speedup_vs_naive", r.speedup_vs_naive);
+    w.field("speedup_vs_serial", r.speedup_vs_serial);
+    w.field("summaries_match", r.summaries_match);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  const std::optional<obs::JsonValue> fleet = obs::parse_json(w.str());
+  if (!fleet) {
+    std::printf("  internal error: fleet section did not round-trip\n");
+    return;
+  }
+
+  obs::JsonValue root;
+  root.type = obs::JsonValue::Type::kObject;
+  if (std::ifstream in(path); in) {
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (std::optional<obs::JsonValue> existing = obs::parse_json(buf.str());
+        existing && existing->type == obs::JsonValue::Type::kObject) {
+      root = std::move(*existing);
+    } else {
+      std::printf("  %s exists but is not a JSON object; rewriting\n", path.c_str());
+    }
+  }
+  root.object["fleet"] = *fleet;
+
+  std::ofstream out(path);
+  if (!out) {
+    std::printf("  cannot write %s\n", path.c_str());
+    return;
+  }
+  out << obs::to_json(root);
+  std::printf("\n  appended fleet section to %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_perf.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+  }
+
+  bench::print_header(quick ? "fleet scaling (--quick)" : "fleet scaling");
+  const Seconds duration = quick ? 60.0 : 300.0;
+  std::vector<std::size_t> sizes = {1, 8, 64};
+  if (!quick) sizes.push_back(256);
+
+  std::printf("  %u hardware thread(s); %.0f s drives\n",
+              std::max(1u, std::thread::hardware_concurrency()), duration);
+  std::printf("  %6s %12s %12s %12s %10s %8s\n", "UEs", "naive(s)", "serial(s)",
+              "pooled(s)", "speedup", "match");
+
+  bool all_match = true;
+  std::vector<SizeResult> results;
+  for (std::size_t n : sizes) {
+    const SizeResult r = bench_size(n, duration);
+    results.push_back(r);
+    all_match = all_match && r.summaries_match;
+    std::printf("  %6zu %12.3f %12.3f %12.3f %9.2fx %8s\n", r.n, r.naive_s,
+                r.serial_s, r.pooled_s, r.speedup_vs_naive,
+                r.summaries_match ? "yes" : "NO");
+  }
+
+  // Cross-UE population statistics for the largest fleet — the distributions
+  // a single drive phone cannot see.
+  const std::size_t biggest = sizes.back();
+  const analysis::FleetStats fs =
+      analysis::fleet_stats(make_fleet(biggest, duration));
+  std::printf("\n  population (N=%zu):\n", fs.ues);
+  const auto row = [](const char* label, const analysis::SampleStats& s) {
+    std::printf("  %-24s n=%-6zu mean=%8.2f  p25=%8.2f  p50=%8.2f  p75=%8.2f\n",
+                label, s.n, s.mean, s.p25, s.median, s.p75);
+  };
+  row("HO per km", fs.ho_per_km);
+  row("failure rate", fs.failure_rate);
+  row("interruption (s)", fs.interruption_s);
+  row("mean tput (Mbps)", fs.mean_tput_mbps);
+  row("NR coverage (m)", fs.nr_coverage_m);
+  std::printf("  outcomes: %d ok / %d prep / %d exec / %d rlf\n",
+              fs.outcomes.success, fs.outcomes.prep_failure,
+              fs.outcomes.exec_failure, fs.outcomes.rlf_reestablish);
+
+  append_json(out_path, quick, results);
+  obs::export_from_args(argc, argv, "bench_fleet", 42);
+
+  if (!all_match) {
+    std::printf("  FAIL: fleet arms disagree — determinism contract broken\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "analysis/fleet_stats.h"
+
+#include <mutex>
+
+#include "analysis/coverage.h"
+#include "common/stats.h"
+
+namespace p5g::analysis {
+
+SampleStats sample_stats(std::span<const double> xs) {
+  SampleStats s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  s.mean = stats::mean(xs);
+  s.min = stats::min(xs);
+  s.p25 = stats::percentile(xs, 25.0);
+  s.median = stats::median(xs);
+  s.p75 = stats::percentile(xs, 75.0);
+  s.max = stats::max(xs);
+  return s;
+}
+
+FleetStats fleet_stats(const sim::FleetScenario& f, unsigned threads) {
+  FleetStats out;
+  out.ues = f.n_ues;
+  out.per_ue.resize(f.n_ues);
+
+  // Pooled accumulators need a lock (consume runs on pool workers); the
+  // per-UE slots do not. Dwells and outcome tallies are order-insensitive,
+  // so the result stays deterministic for any schedule.
+  std::mutex pooled_mu;
+  std::vector<double> dwells;
+
+  sim::for_each_ue_trace(
+      f,
+      [&](std::size_t ue, const sim::Scenario& s, const trace::TraceLog& log) {
+        sim::UeSummary& u = out.per_ue[ue];
+        u.ue = ue;
+        u.seed = s.seed;
+        u.mobility = s.mobility;
+        u.start_offset_m = s.start_offset_m;
+        u.trace = trace::summarize(log);
+
+        std::vector<double> d = nr_dwell_distances(log, DwellMode::kActual);
+        const OutcomeCounts oc = count_outcomes(log.handovers);
+        const std::map<ran::HoType, int> bt = count_by_type(log.handovers);
+
+        const std::lock_guard<std::mutex> lock(pooled_mu);
+        dwells.insert(dwells.end(), d.begin(), d.end());
+        out.outcomes.success += oc.success;
+        out.outcomes.prep_failure += oc.prep_failure;
+        out.outcomes.exec_failure += oc.exec_failure;
+        out.outcomes.rlf_reestablish += oc.rlf_reestablish;
+        for (const auto& [type, n] : bt) out.by_type[type] += n;
+      },
+      threads);
+
+  std::vector<double> ho_per_km, ho_count, failure_rate, interruption,
+      mean_tput;
+  ho_per_km.reserve(f.n_ues);
+  ho_count.reserve(f.n_ues);
+  failure_rate.reserve(f.n_ues);
+  interruption.reserve(f.n_ues);
+  mean_tput.reserve(f.n_ues);
+  for (const sim::UeSummary& u : out.per_ue) {
+    ho_per_km.push_back(u.trace.ho_per_km());
+    ho_count.push_back(static_cast<double>(u.trace.handovers));
+    const int total = u.trace.handovers;
+    const int failed =
+        u.trace.ho_prep_failure + u.trace.ho_exec_failure + u.trace.ho_rlf_reestablish;
+    failure_rate.push_back(total > 0 ? static_cast<double>(failed) / total : 0.0);
+    interruption.push_back(u.trace.any_halted_s);
+    mean_tput.push_back(u.trace.mean_throughput_mbps);
+  }
+  out.ho_per_km = sample_stats(ho_per_km);
+  out.ho_count = sample_stats(ho_count);
+  out.failure_rate = sample_stats(failure_rate);
+  out.interruption_s = sample_stats(interruption);
+  out.mean_tput_mbps = sample_stats(mean_tput);
+  out.nr_coverage_m = sample_stats(dwells);
+  return out;
+}
+
+}  // namespace p5g::analysis

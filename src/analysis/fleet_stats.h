@@ -1,0 +1,53 @@
+// Population statistics over a UE fleet (the cross-UE versions of
+// ho_stats/coverage): distributions of per-UE HO rate, outcome mix,
+// coverage, and data-plane interruption over one shared deployment. The
+// underlying runs stream through sim::for_each_ue_trace, so memory stays
+// O(UEs) summaries + pooled dwell samples, never N full TraceLogs.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "analysis/ho_stats.h"
+#include "sim/fleet.h"
+
+namespace p5g::analysis {
+
+// Five-number summary (plus mean) of a sample set; all zeros when empty.
+struct SampleStats {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+SampleStats sample_stats(std::span<const double> xs);
+
+struct FleetStats {
+  std::size_t ues = 0;
+
+  // Cross-UE distributions (one sample per UE).
+  SampleStats ho_per_km;          // completed procedures per route km
+  SampleStats ho_count;           // completed procedures
+  SampleStats failure_rate;       // per-UE share of non-success outcomes
+  SampleStats interruption_s;     // per-UE total data-plane interruption
+  SampleStats mean_tput_mbps;     // per-UE mean downlink throughput
+
+  // Pooled over every UE's trace.
+  SampleStats nr_coverage_m;      // same-PCI NR dwell distances (kActual)
+  OutcomeCounts outcomes;         // HO outcome mix across the population
+  std::map<ran::HoType, int> by_type;
+
+  // The per-UE summaries the distributions were computed from (UE order).
+  std::vector<sim::UeSummary> per_ue;
+};
+
+// Runs the fleet (streaming, `threads` workers; 0 = hardware concurrency)
+// and aggregates. Deterministic in `f` regardless of thread count.
+FleetStats fleet_stats(const sim::FleetScenario& f, unsigned threads = 0);
+
+}  // namespace p5g::analysis

@@ -327,6 +327,74 @@ std::optional<JsonValue> parse_json(std::string_view text) {
   return v;
 }
 
+// -------------------------------------------------------- re-serializer --
+
+namespace {
+
+void write_value(const JsonValue& v, std::string& out, std::size_t depth) {
+  const auto indent = [&out](std::size_t d) { out.append(2 * d, ' '); };
+  switch (v.type) {
+    case JsonValue::Type::kNull: out += "null"; break;
+    case JsonValue::Type::kBool: out += v.boolean ? "true" : "false"; break;
+    case JsonValue::Type::kNumber: out += fmt_double(v.number); break;
+    case JsonValue::Type::kString:
+      out += '"';
+      out += escape(v.string);
+      out += '"';
+      break;
+    case JsonValue::Type::kArray: {
+      if (v.array.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const JsonValue& e : v.array) {
+        if (!first) out += ',';
+        first = false;
+        out += '\n';
+        indent(depth + 1);
+        write_value(e, out, depth + 1);
+      }
+      out += '\n';
+      indent(depth);
+      out += ']';
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      if (v.object.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, e] : v.object) {
+        if (!first) out += ',';
+        first = false;
+        out += '\n';
+        indent(depth + 1);
+        out += '"';
+        out += escape(key);
+        out += "\": ";
+        write_value(e, out, depth + 1);
+      }
+      out += '\n';
+      indent(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_json(const JsonValue& v) {
+  std::string out;
+  write_value(v, out, 0);
+  if (v.type == JsonValue::Type::kObject) out += '\n';  // match JsonWriter
+  return out;
+}
+
 // ------------------------------------------------------ metrics reports --
 
 std::string to_json(const MetricsSnapshot& s, const RunManifest* manifest,

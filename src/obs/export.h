@@ -70,6 +70,11 @@ struct JsonValue {
 // Returns nullopt on malformed input.
 std::optional<JsonValue> parse_json(std::string_view text);
 
+// Re-serialize a parsed (possibly edited) JsonValue tree with the same
+// formatting as JsonWriter produces. round-trips parse_json output; lets
+// tools read a report, splice in a section, and write it back.
+std::string to_json(const JsonValue& v);
+
 // ------------------------------------------------------- metrics reports --
 // `counters_only` emits just the {"counters": {...}} object — the
 // deterministic subset used by the golden-file regression (timings and wall

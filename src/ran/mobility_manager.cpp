@@ -7,7 +7,21 @@
 
 namespace p5g::ran {
 
-MobilityManager::MobilityManager(const Deployment& deployment, Config config, Rng rng)
+ShadowMap resolve_shadow_fields(const Deployment& deployment) {
+  ShadowMap fields;
+  fields.reserve(deployment.cells().size());
+  // Seeded by cell identity only (same seed expression the lazy per-tick
+  // path used), so the field values — and therefore traces — are unchanged
+  // whether the map is owned or shared.
+  for (const Cell& c : deployment.cells()) {
+    fields.emplace_back(c.band,
+                        0x5EEDULL ^ (static_cast<std::uint64_t>(c.id) * 0x9E37ULL));
+  }
+  return fields;
+}
+
+MobilityManager::MobilityManager(const Deployment& deployment, Config config, Rng rng,
+                                 const ShadowMap* shared_shadow)
     : deployment_(deployment),
       config_(config),
       rng_(rng),
@@ -37,13 +51,13 @@ MobilityManager::MobilityManager(const Deployment& deployment, Config config, Rn
   monitors_.reserve(configs.size());
   for (const EventConfig& c : configs) monitors_.emplace_back(c);
 
-  // Pre-resolve every cell's shadowing field. Seeded by cell identity only
-  // (same seed expression the lazy per-tick path used), so the field values
-  // — and therefore traces — are unchanged.
-  shadow_fields_.reserve(deployment_.cells().size());
-  for (const Cell& c : deployment_.cells()) {
-    shadow_fields_.emplace_back(
-        c.band, 0x5EEDULL ^ (static_cast<std::uint64_t>(c.id) * 0x9E37ULL));
+  if (shared_shadow != nullptr) {
+    P5G_REQUIRE(shared_shadow->size() == deployment_.cells().size(),
+                "shared shadow map must cover every deployment cell");
+    shadow_ = shared_shadow;
+  } else {
+    shadow_owned_ = resolve_shadow_fields(deployment_);
+    shadow_ = &shadow_owned_;
   }
 
   p5g::obs::MetricsRegistry& reg = p5g::obs::registry();
@@ -80,7 +94,7 @@ void MobilityManager::observe(Seconds /*t*/, geo::Point pos, Meters moved,
     const Cell* c = hit.cell;
     // The shadowing field is seeded by the cell identity only, so the same
     // location shadows the same way on every loop of a route.
-    const Db shadow = shadow_fields_[static_cast<std::size_t>(c->id)].at(pos.x, pos.y);
+    const Db shadow = (*shadow_)[static_cast<std::size_t>(c->id)].at(pos.x, pos.y);
     const Db fading = radio::fast_fading_db(band, rng_);
     // Directional cells attenuate off-boresight (angle from the TOWER).
     Db dir_loss = 0.0;

@@ -37,6 +37,13 @@ struct CellObservation {
   radio::Rrs rrs{};
 };
 
+// Dense per-cell shadowing fields, indexed by dense cell id. Fields are a
+// pure function of cell identity (band + id-derived seed), so every manager
+// over the same deployment resolves identical values; a fleet of UEs can
+// resolve the map once and share it read-only across threads.
+using ShadowMap = std::vector<radio::ShadowingField>;
+ShadowMap resolve_shadow_fields(const Deployment& deployment);
+
 // UE connection state as visible to upper layers.
 struct UeRadioState {
   Arch arch = Arch::kNsa;
@@ -77,7 +84,11 @@ class MobilityManager {
     FaultProfile faults{};
   };
 
-  MobilityManager(const Deployment& deployment, Config config, Rng rng);
+  // `shared_shadow`, when non-null, must cover every cell of `deployment`
+  // (see resolve_shadow_fields) and outlive the manager; null means the
+  // manager resolves and owns its own map.
+  MobilityManager(const Deployment& deployment, Config config, Rng rng,
+                  const ShadowMap* shared_shadow = nullptr);
 
   // Advance to time `t` with the UE at `pos`, having moved `moved` metres
   // since the previous tick. `route_position` is arc length along the
@@ -175,7 +186,9 @@ class MobilityManager {
   UeRadioState state_;
   // Dense per-cell shadowing fields (indexed by cell id), resolved once in
   // the constructor so the per-tick path does no hash/tree lookups.
-  std::vector<radio::ShadowingField> shadow_fields_;
+  // `shadow_` aliases either the owned map or a caller-shared one.
+  ShadowMap shadow_owned_;
+  const ShadowMap* shadow_ = nullptr;
   std::vector<EventMonitor> monitors_;
   // Scratch for cells_near hits, reused across ticks to avoid reallocation.
   std::vector<CellHit> near_buf_;

@@ -1,0 +1,117 @@
+// Fleet simulation: N UEs driving/walking concurrently over ONE shared
+// deployment — the population workload behind the paper's per-carrier
+// claims (HO rates, coverage, outage are all statements about many phones
+// in one radio environment, measured there with a single drive phone).
+//
+// Determinism contract:
+//   * Per-UE RNG streams are split from the fleet seed (fleet_ue_seed), so
+//     any single UE is reproducible in isolation — rerun just that UE via
+//     fleet_ue_scenario + FleetEnv and its trace matches byte for byte.
+//   * UE 0 inherits the fleet seed, a zero stagger offset, and (with an
+//     empty mobility mix) the base mobility, and the shared environment is
+//     built by the exact construction sequence run_scenario(Scenario) uses
+//     — so an N=1 fleet with an empty mix is byte-identical to
+//     run_scenario(base).
+//   * Results are independent of worker count and schedule (every UE owns
+//     its streams; shared state is read-only during runs).
+//
+// Memory contract: the fleet never materializes N full TraceLogs. Each
+// UE's log is reduced to a trace::TraceSummary (or handed to a streaming
+// consumer) as soon as that UE finishes, so at most `threads` logs are
+// alive at any moment.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ran/mobility_manager.h"
+#include "sim/scenario.h"
+
+namespace p5g::sim {
+
+struct FleetScenario {
+  // Template every UE derives from; carries the fleet seed. UE 0 runs this
+  // scenario verbatim (modulo name) when the mobility mix is empty.
+  Scenario base;
+  std::size_t n_ues = 1;
+  // UE i starts i * stagger_m metres along the shared route (wrapped to the
+  // route length), spreading the fleet over the corridor instead of
+  // launching every UE from the origin.
+  Meters stagger_m = 0.0;
+  // Round-robin mobility assignment: UE i moves as mobility_mix[i % size].
+  // Empty (the default) gives every UE base.mobility. Note the route shape
+  // itself is always built from base.mobility — mixed-in walkers/drivers
+  // share the base corridor.
+  std::vector<MobilityKind> mobility_mix;
+};
+
+// Seed of UE `ue`'s scenario. UE 0 inherits the fleet seed unchanged;
+// every other UE gets an independent SplitMix64-derived stream. Pure
+// function of (fleet_seed, ue) — no fleet state needed.
+std::uint64_t fleet_ue_seed(std::uint64_t fleet_seed, std::size_t ue);
+
+// The exact Scenario the fleet runs for UE `ue`: derived seed, staggered
+// start, mobility from the mix, name "<base.name>/ue<ue>".
+Scenario fleet_ue_scenario(const FleetScenario& f, std::size_t ue);
+
+// The shared world every UE of a fleet runs over: one route, one deployment
+// along it, one shadow map resolved for all UEs. Built with the same
+// construction sequence (and RNG stream consumption) as
+// run_scenario(Scenario), which is what makes single-UE reproduction and
+// the N=1 byte-identity guarantee hold. Not movable: the deployment's
+// spatial index and the shadow map are position-dependent internals.
+class FleetEnv {
+ public:
+  explicit FleetEnv(const FleetScenario& f);
+  FleetEnv(const FleetEnv&) = delete;
+  FleetEnv& operator=(const FleetEnv&) = delete;
+
+  const geo::Route& route() const { return route_; }
+  const ran::Deployment& deployment() const { return deployment_; }
+  const ran::ShadowMap& shadow() const { return shadow_; }
+
+ private:
+  Rng rng_;  // consumed during construction only (kept for member order)
+  geo::Route route_;
+  Rng dep_rng_;
+  ran::Deployment deployment_;
+  ran::ShadowMap shadow_;
+};
+
+// Runs UE `ue` of the fleet in isolation over `env` and returns its full
+// trace — byte-identical to what the fleet produced for that UE.
+trace::TraceLog run_fleet_ue(const FleetScenario& f, const FleetEnv& env,
+                             std::size_t ue);
+
+// What the fleet keeps per UE: identity + the streaming trace reduction.
+struct UeSummary {
+  std::size_t ue = 0;
+  std::uint64_t seed = 0;
+  MobilityKind mobility = MobilityKind::kFreeway;
+  Meters start_offset_m = 0.0;
+  trace::TraceSummary trace;
+
+  bool operator==(const UeSummary&) const = default;
+};
+
+struct FleetResult {
+  std::vector<UeSummary> ues;  // indexed by UE, always n_ues entries
+};
+
+// Streams every UE's full trace through `consume`, which is called from
+// pool workers (concurrently — it must be thread-safe) in unspecified UE
+// order; at most `threads` logs are alive at once. `threads` = 0 uses one
+// worker per hardware thread.
+void for_each_ue_trace(
+    const FleetScenario& f,
+    const std::function<void(std::size_t ue, const Scenario& s,
+                             const trace::TraceLog& log)>& consume,
+    unsigned threads = 0);
+
+// Runs the whole fleet on the shared thread pool and returns the per-UE
+// summaries in UE order. Deterministic in `f` (any thread count).
+FleetResult run_fleet(const FleetScenario& f, unsigned threads = 0);
+
+}  // namespace p5g::sim

@@ -1,5 +1,7 @@
 #include "sim/scenario.h"
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 
 #include "obs/export.h"
@@ -31,13 +33,18 @@ namespace {
 
 std::unique_ptr<ue::MobilityModel> build_mobility(const Scenario& s,
                                                   const geo::Route& route, Rng rng) {
+  // Stagger offsets wrap so a fleet wider than the route folds back onto it
+  // (loop routes wrap anyway; open routes would otherwise clamp at the end).
+  const Meters start = route.length() > 0.0
+                           ? std::fmod(std::max(0.0, s.start_offset_m), route.length())
+                           : 0.0;
   switch (s.mobility) {
     case MobilityKind::kFreeway:
-      return std::make_unique<ue::ConstantSpeedDriver>(route, s.speed_kmh, rng);
+      return std::make_unique<ue::ConstantSpeedDriver>(route, s.speed_kmh, rng, start);
     case MobilityKind::kCity:
-      return std::make_unique<ue::StopAndGoDriver>(route, s.speed_kmh, rng);
+      return std::make_unique<ue::StopAndGoDriver>(route, s.speed_kmh, rng, start);
     case MobilityKind::kWalkLoop:
-      return std::make_unique<ue::Walker>(route, rng);
+      return std::make_unique<ue::Walker>(route, rng, start);
   }
   return nullptr;
 }
@@ -45,7 +52,8 @@ std::unique_ptr<ue::MobilityModel> build_mobility(const Scenario& s,
 }  // namespace
 
 trace::TraceLog run_scenario(const Scenario& s, const ran::Deployment& deployment,
-                             const geo::Route& route) {
+                             const geo::Route& route,
+                             const ran::ShadowMap* shared_shadow) {
   // p5g.sim.* instrumentation: counters and timers only — no RNG or
   // simulation state is touched, so traces stay byte-identical.
   static obs::Counter& m_scenarios =
@@ -67,7 +75,7 @@ trace::TraceLog run_scenario(const Scenario& s, const ran::Deployment& deploymen
   mm_cfg.lte_band = s.lte_band;
   mm_cfg.mnbh_releases_scg = s.mnbh_releases_scg;
   mm_cfg.faults = s.faults;
-  ran::MobilityManager manager(deployment, mm_cfg, rng.fork(1));
+  ran::MobilityManager manager(deployment, mm_cfg, rng.fork(1), shared_shadow);
 
   auto mobility = build_mobility(s, route, rng.fork(2));
   Rng data_rng = rng.fork(3);

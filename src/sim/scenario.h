@@ -33,6 +33,10 @@ struct Scenario {
   double tick_hz = 20.0;
   tput::TrafficMode traffic_mode = tput::TrafficMode::kNrOnly;
   bool mnbh_releases_scg = true;       // §6.1 coverage mechanism (ablatable)
+  // Arc length along the route at which the UE starts (wrapped to the route
+  // length at run time). 0 — the default, and the historical behaviour —
+  // starts at the route origin; fleets stagger their UEs with this.
+  Meters start_offset_m = 0.0;
   // Failure injection (ran/faults.h). The default all-zero profile keeps
   // the trace bit-identical to a fault-free run of the same seed.
   ran::FaultProfile faults{};
@@ -44,8 +48,12 @@ trace::TraceLog run_scenario(const Scenario& s);
 
 // Variant that reuses an existing deployment (so repeated loops over the
 // same area — the paper's 6x/10x walking loops — see the same towers).
+// `shared_shadow`, when non-null, must be ran::resolve_shadow_fields() of
+// `deployment` (a fleet resolves it once instead of once per UE); traces
+// are byte-identical either way.
 trace::TraceLog run_scenario(const Scenario& s, const ran::Deployment& deployment,
-                             const geo::Route& route);
+                             const geo::Route& route,
+                             const ran::ShadowMap* shared_shadow = nullptr);
 
 // Builds the route a scenario would use (exposed so callers can share it).
 geo::Route build_route(const Scenario& s, Rng& rng);

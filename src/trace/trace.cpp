@@ -211,4 +211,40 @@ std::vector<double> throughput_series(const TraceLog& log) {
   return out;
 }
 
+TraceSummary summarize(const TraceLog& log) {
+  TraceSummary s;
+  s.ticks = log.ticks.size();
+  s.duration = log.duration();
+  s.distance = log.distance();
+  const Seconds dt = log.tick_hz > 0.0 ? 1.0 / log.tick_hz : 0.0;
+  double tput_sum = 0.0;
+  double rtt_sum = 0.0;
+  for (const TickRecord& t : log.ticks) {
+    tput_sum += t.throughput_mbps;
+    rtt_sum += t.rtt_ms;
+    if (t.lte_halted) s.lte_halted_s += dt;
+    if (t.nr_halted) s.nr_halted_s += dt;
+    // A leg only interrupts the data plane if it exists: the NR leg when
+    // attached, the LTE leg always (it is the anchor / only leg otherwise).
+    if (t.lte_halted || (t.nr_attached && t.nr_halted)) s.any_halted_s += dt;
+    s.reports += static_cast<int>(t.reports.size());
+  }
+  if (s.ticks > 0) {
+    tput_sum /= static_cast<double>(s.ticks);
+    rtt_sum /= static_cast<double>(s.ticks);
+  }
+  s.mean_throughput_mbps = tput_sum;
+  s.mean_rtt_ms = rtt_sum;
+  s.handovers = static_cast<int>(log.handovers.size());
+  for (const ran::HandoverRecord& h : log.handovers) {
+    switch (h.outcome) {
+      case ran::HoOutcome::kSuccess: ++s.ho_success; break;
+      case ran::HoOutcome::kPrepFailure: ++s.ho_prep_failure; break;
+      case ran::HoOutcome::kExecFailure: ++s.ho_exec_failure; break;
+      case ran::HoOutcome::kRlfReestablish: ++s.ho_rlf_reestablish; break;
+    }
+  }
+  return s;
+}
+
 }  // namespace p5g::trace

@@ -80,6 +80,39 @@ struct TraceLog {
   }
 };
 
+// Compact per-trace aggregate: everything the fleet layer keeps per UE so
+// that N-UE runs never hold N full TraceLogs at once. Mechanical tallies
+// only — population statistics over many summaries live in
+// analysis::fleet_stats.
+struct TraceSummary {
+  std::size_t ticks = 0;
+  Seconds duration = 0.0;              // last tick time - first tick time
+  Meters distance = 0.0;               // route arc length covered
+  double mean_throughput_mbps = 0.0;
+  double mean_rtt_ms = 0.0;
+  // Data-plane interruption totals (tick-quantized: halted ticks x dt).
+  Seconds lte_halted_s = 0.0;
+  Seconds nr_halted_s = 0.0;
+  Seconds any_halted_s = 0.0;          // either leg down
+  int reports = 0;                     // measurement reports raised
+  // Completed HO procedures by outcome (success + failures = handovers).
+  int handovers = 0;
+  int ho_success = 0;
+  int ho_prep_failure = 0;
+  int ho_exec_failure = 0;
+  int ho_rlf_reestablish = 0;
+
+  // HOs per km of route covered; 0 when the trace covers no distance.
+  double ho_per_km() const {
+    return distance > 0.0 ? handovers / (distance / 1000.0) : 0.0;
+  }
+
+  bool operator==(const TraceSummary&) const = default;
+};
+
+// Reduces a full log to its summary (streaming callers drop the log after).
+TraceSummary summarize(const TraceLog& log);
+
 // CSV persistence (one row per tick; observed-cell list flattened to the
 // strongest 4 neighbors per RAT; HOs in a separate file `<path>.ho.csv`).
 void write_csv(const TraceLog& log, const std::string& path);

@@ -5,9 +5,9 @@
 namespace p5g::ue {
 
 ConstantSpeedDriver::ConstantSpeedDriver(const geo::Route& route, double speed_kmh,
-                                         Rng rng)
+                                         Rng rng, Meters start)
     : route_(route), target_mps_(kmh_to_mps(speed_kmh)), speed_mps_(target_mps_),
-      rng_(rng) {}
+      s_(start), rng_(rng) {}
 
 UePosition ConstantSpeedDriver::advance(Seconds dt) {
   // Mean-reverting speed perturbation (traffic flow ripple).
@@ -21,8 +21,9 @@ UePosition ConstantSpeedDriver::current() const {
   return {route_.position_at(s_), s_, speed_mps_};
 }
 
-StopAndGoDriver::StopAndGoDriver(const geo::Route& route, double cruise_kmh, Rng rng)
-    : route_(route), cruise_mps_(kmh_to_mps(cruise_kmh)), rng_(rng) {
+StopAndGoDriver::StopAndGoDriver(const geo::Route& route, double cruise_kmh, Rng rng,
+                                 Meters start)
+    : route_(route), cruise_mps_(kmh_to_mps(cruise_kmh)), s_(start), rng_(rng) {
   phase_remaining_ = rng_.uniform(20.0, 60.0);
   speed_mps_ = cruise_mps_;
 }
@@ -46,7 +47,8 @@ UePosition StopAndGoDriver::current() const {
   return {route_.position_at(s_), s_, speed_mps_};
 }
 
-Walker::Walker(const geo::Route& route, Rng rng) : route_(route), rng_(rng) {}
+Walker::Walker(const geo::Route& route, Rng rng, Meters start)
+    : route_(route), s_(start), rng_(rng) {}
 
 UePosition Walker::advance(Seconds dt) {
   speed_mps_ += 0.5 * (1.4 - speed_mps_) * dt + rng_.normal(0.0, 0.1) * dt;

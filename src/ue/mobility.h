@@ -28,9 +28,12 @@ class MobilityModel {
 };
 
 // Near-constant speed with small Gaussian perturbation (freeway driving).
+// `start` places the UE at that arc length along the route at t=0 (fleet
+// scenarios stagger their UEs this way); 0 preserves historical behaviour.
 class ConstantSpeedDriver : public MobilityModel {
  public:
-  ConstantSpeedDriver(const geo::Route& route, double speed_kmh, Rng rng);
+  ConstantSpeedDriver(const geo::Route& route, double speed_kmh, Rng rng,
+                      Meters start = 0.0);
   UePosition advance(Seconds dt) override;
   UePosition current() const override;
 
@@ -45,7 +48,8 @@ class ConstantSpeedDriver : public MobilityModel {
 // City driving: alternates cruise segments and stops (lights/congestion).
 class StopAndGoDriver : public MobilityModel {
  public:
-  StopAndGoDriver(const geo::Route& route, double cruise_kmh, Rng rng);
+  StopAndGoDriver(const geo::Route& route, double cruise_kmh, Rng rng,
+                  Meters start = 0.0);
   UePosition advance(Seconds dt) override;
   UePosition current() const override;
 
@@ -62,7 +66,7 @@ class StopAndGoDriver : public MobilityModel {
 // Pedestrian walking at ~1.4 m/s with mild variation.
 class Walker : public MobilityModel {
  public:
-  Walker(const geo::Route& route, Rng rng);
+  Walker(const geo::Route& route, Rng rng, Meters start = 0.0);
   UePosition advance(Seconds dt) override;
   UePosition current() const override;
 

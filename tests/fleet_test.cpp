@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/fleet_stats.h"
+#include "obs/export.h"
+#include "sim/fleet.h"
+
+namespace p5g {
+namespace {
+
+std::string csv_bytes(const trace::TraceLog& log, const std::string& tag) {
+  const std::string path = "/tmp/p5g_fleet_" + tag + ".csv";
+  trace::write_csv(log, path);
+  auto slurp = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+  };
+  const std::string bytes = slurp(path) + "\n---ho---\n" + slurp(path + ".ho.csv");
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".ho.csv");
+  return bytes;
+}
+
+sim::FleetScenario small_fleet(std::size_t n) {
+  sim::FleetScenario f;
+  f.base.name = "fleet";
+  f.base.arch = ran::Arch::kNsa;
+  f.base.nr_band = radio::Band::kNrLow;
+  f.base.mobility = sim::MobilityKind::kFreeway;
+  f.base.duration = 45.0;
+  f.base.seed = 42;
+  f.n_ues = n;
+  f.stagger_m = 120.0;
+  return f;
+}
+
+TEST(FleetSeed, UeZeroInheritsFleetSeed) {
+  EXPECT_EQ(sim::fleet_ue_seed(42, 0), 42u);
+  EXPECT_EQ(sim::fleet_ue_seed(0xDEADBEEF, 0), 0xDEADBEEFu);
+}
+
+TEST(FleetSeed, StreamsAreDistinct) {
+  std::set<std::uint64_t> seeds;
+  for (std::size_t ue = 0; ue < 1000; ++ue) seeds.insert(sim::fleet_ue_seed(42, ue));
+  EXPECT_EQ(seeds.size(), 1000u);
+  // And independent of each other across fleet seeds.
+  EXPECT_NE(sim::fleet_ue_seed(42, 1), sim::fleet_ue_seed(43, 1));
+}
+
+TEST(FleetScenario, DerivedScenarioCarriesStaggerAndMix) {
+  sim::FleetScenario f = small_fleet(6);
+  f.mobility_mix = {sim::MobilityKind::kCity, sim::MobilityKind::kWalkLoop};
+  const sim::Scenario u0 = sim::fleet_ue_scenario(f, 0);
+  const sim::Scenario u3 = sim::fleet_ue_scenario(f, 3);
+  EXPECT_EQ(u0.name, "fleet/ue0");
+  EXPECT_EQ(u0.seed, f.base.seed);
+  EXPECT_DOUBLE_EQ(u0.start_offset_m, 0.0);
+  EXPECT_EQ(u0.mobility, sim::MobilityKind::kCity);  // mix[0 % 2]
+  EXPECT_EQ(u3.name, "fleet/ue3");
+  EXPECT_DOUBLE_EQ(u3.start_offset_m, 360.0);
+  EXPECT_EQ(u3.mobility, sim::MobilityKind::kWalkLoop);  // mix[3 % 2]
+}
+
+// The acceptance-criteria guarantee: an N=1 fleet (empty mix) is
+// byte-identical to run_scenario(base) — same trace CSV, same HO CSV.
+TEST(Fleet, SingleUeFleetByteIdenticalToRunScenario) {
+  sim::FleetScenario f = small_fleet(1);
+  const sim::FleetEnv env(f);
+  const trace::TraceLog fleet_log = sim::run_fleet_ue(f, env, 0);
+  const trace::TraceLog solo_log = sim::run_scenario(f.base);
+  EXPECT_EQ(csv_bytes(fleet_log, "n1"), csv_bytes(solo_log, "solo"));
+}
+
+TEST(Fleet, SameSeedTwiceGivesIdenticalSummaries) {
+  const sim::FleetScenario f = small_fleet(6);
+  const sim::FleetResult a = sim::run_fleet(f, 4);
+  const sim::FleetResult b = sim::run_fleet(f, 4);
+  ASSERT_EQ(a.ues.size(), 6u);
+  EXPECT_EQ(a.ues, b.ues);
+}
+
+TEST(Fleet, ThreadCountDoesNotChangeSummaries) {
+  const sim::FleetScenario f = small_fleet(5);
+  const sim::FleetResult serial = sim::run_fleet(f, 1);
+  const sim::FleetResult pooled = sim::run_fleet(f, 4);
+  EXPECT_EQ(serial.ues, pooled.ues);
+}
+
+// Any single UE can be re-run in isolation and reproduce the trace the
+// fleet streamed for it, byte for byte.
+TEST(Fleet, SingleUeReproducibleInIsolation) {
+  const sim::FleetScenario f = small_fleet(4);
+  std::mutex mu;
+  std::string streamed;
+  sim::for_each_ue_trace(
+      f,
+      [&](std::size_t ue, const sim::Scenario&, const trace::TraceLog& log) {
+        if (ue != 2) return;
+        const std::lock_guard<std::mutex> lock(mu);
+        streamed = csv_bytes(log, "stream");
+      },
+      2);
+  ASSERT_FALSE(streamed.empty());
+  const sim::FleetEnv env(f);
+  EXPECT_EQ(streamed, csv_bytes(sim::run_fleet_ue(f, env, 2), "iso"));
+}
+
+TEST(Fleet, StaggerShiftsStartingPosition) {
+  sim::FleetScenario f = small_fleet(3);
+  const sim::FleetEnv env(f);
+  const trace::TraceLog u0 = sim::run_fleet_ue(f, env, 0);
+  const trace::TraceLog u2 = sim::run_fleet_ue(f, env, 2);
+  ASSERT_FALSE(u0.ticks.empty());
+  ASSERT_FALSE(u2.ticks.empty());
+  // UE 2 starts 240 m downstream of UE 0 on the shared route.
+  EXPECT_NEAR(u2.ticks.front().route_position - u0.ticks.front().route_position,
+              240.0, 1.0);
+}
+
+// Sharing the resolved shadow map must not perturb a trace: fields are pure
+// functions of cell identity, owned or shared.
+TEST(Fleet, SharedShadowMapPreservesTraceBytes) {
+  sim::FleetScenario f = small_fleet(1);
+  const sim::FleetEnv env(f);
+  const trace::TraceLog shared =
+      sim::run_scenario(f.base, env.deployment(), env.route(), &env.shadow());
+  const trace::TraceLog owned =
+      sim::run_scenario(f.base, env.deployment(), env.route());
+  EXPECT_EQ(csv_bytes(shared, "shr"), csv_bytes(owned, "own"));
+}
+
+TEST(TraceSummary, SummarizeMatchesLog) {
+  const sim::FleetScenario f = small_fleet(1);
+  const trace::TraceLog log = sim::run_scenario(f.base);
+  const trace::TraceSummary s = trace::summarize(log);
+  EXPECT_EQ(s.ticks, log.ticks.size());
+  EXPECT_DOUBLE_EQ(s.duration, log.duration());
+  EXPECT_DOUBLE_EQ(s.distance, log.distance());
+  EXPECT_EQ(s.handovers, static_cast<int>(log.handovers.size()));
+  EXPECT_EQ(s.ho_success + s.ho_prep_failure + s.ho_exec_failure +
+                s.ho_rlf_reestablish,
+            s.handovers);
+  EXPECT_GT(s.mean_throughput_mbps, 0.0);
+  EXPECT_GT(s.ho_per_km(), 0.0);
+}
+
+TEST(FleetStats, SampleStatsBasics) {
+  EXPECT_EQ(analysis::sample_stats({}).n, 0u);
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  const analysis::SampleStats s = analysis::sample_stats(xs);
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(FleetStats, PopulationAggregatesConsistent) {
+  const sim::FleetScenario f = small_fleet(5);
+  const analysis::FleetStats fs = analysis::fleet_stats(f, 2);
+  EXPECT_EQ(fs.ues, 5u);
+  ASSERT_EQ(fs.per_ue.size(), 5u);
+  EXPECT_EQ(fs.ho_per_km.n, 5u);
+  EXPECT_EQ(fs.mean_tput_mbps.n, 5u);
+  int ho_sum = 0;
+  for (const sim::UeSummary& u : fs.per_ue) ho_sum += u.trace.handovers;
+  EXPECT_EQ(fs.outcomes.total(), ho_sum);
+  int by_type_sum = 0;
+  for (const auto& [type, n] : fs.by_type) by_type_sum += n;
+  EXPECT_EQ(by_type_sum, ho_sum);
+  // Per-UE slots carry fleet identity in UE order.
+  for (std::size_t ue = 0; ue < fs.per_ue.size(); ++ue) {
+    EXPECT_EQ(fs.per_ue[ue].ue, ue);
+    EXPECT_EQ(fs.per_ue[ue].seed, sim::fleet_ue_seed(f.base.seed, ue));
+  }
+}
+
+TEST(FleetStats, DeterministicAcrossThreadCounts) {
+  const sim::FleetScenario f = small_fleet(4);
+  const analysis::FleetStats a = analysis::fleet_stats(f, 1);
+  const analysis::FleetStats b = analysis::fleet_stats(f, 4);
+  EXPECT_EQ(a.per_ue, b.per_ue);
+  EXPECT_DOUBLE_EQ(a.nr_coverage_m.mean, b.nr_coverage_m.mean);
+  EXPECT_EQ(a.outcomes.total(), b.outcomes.total());
+}
+
+TEST(ObsExport, JsonValueRoundTripAndSplice) {
+  const std::string original =
+      "{\"alpha\": {\"x\": 1.5, \"ok\": true}, \"list\": [1, 2, 3],"
+      " \"s\": \"hi\\n\", \"z\": null}";
+  std::optional<obs::JsonValue> v = obs::parse_json(original);
+  ASSERT_TRUE(v.has_value());
+  // Serialize, re-parse, and splice a new section — bench_fleet's append path.
+  obs::JsonValue extra;
+  extra.type = obs::JsonValue::Type::kNumber;
+  extra.number = 7.0;
+  v->object["fleet"] = extra;
+  const std::string text = obs::to_json(*v);
+  const std::optional<obs::JsonValue> back = obs::parse_json(text);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->get("fleet")->number, 7.0);
+  EXPECT_EQ(back->get("alpha")->get("x")->number, 1.5);
+  EXPECT_TRUE(back->get("alpha")->get("ok")->boolean);
+  EXPECT_EQ(back->get("list")->array.size(), 3u);
+  EXPECT_EQ(back->get("s")->string, "hi\n");
+  EXPECT_EQ(back->get("z")->type, obs::JsonValue::Type::kNull);
+  // Idempotent: serializing the reparsed tree gives the same bytes.
+  EXPECT_EQ(obs::to_json(*back), text);
+}
+
+}  // namespace
+}  // namespace p5g

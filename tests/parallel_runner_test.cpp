@@ -129,5 +129,27 @@ TEST(RunScenarios, EmptySweepReturnsEmpty) {
   EXPECT_TRUE(sim::run_scenarios(std::vector<sim::Scenario>{}).empty());
 }
 
+// A one-worker pool must degrade to the serial loop, not deadlock or skip.
+TEST(RunScenarios, SingleWorkerMatchesSerial) {
+  const std::vector<sim::Scenario> sweep = sweep_scenarios();
+  const std::vector<trace::TraceLog> one = sim::run_scenarios(sweep, 1);
+  ASSERT_EQ(one.size(), sweep.size());
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_EQ(csv_bytes(one[i], "w1"), csv_bytes(sim::run_scenario(sweep[i]), "ws"))
+        << "scenario " << i;
+  }
+}
+
+// More workers than scenarios: excess workers idle, nothing runs twice.
+TEST(RunScenarios, MoreThreadsThanScenarios) {
+  const std::vector<sim::Scenario> sweep = sweep_scenarios();
+  const std::vector<trace::TraceLog> wide = sim::run_scenarios(sweep, 32);
+  ASSERT_EQ(wide.size(), sweep.size());
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_EQ(wide[i].ticks.size(), sim::run_scenario(sweep[i]).ticks.size())
+        << "scenario " << i;
+  }
+}
+
 }  // namespace
 }  // namespace p5g
