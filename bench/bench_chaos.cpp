@@ -1,0 +1,252 @@
+// Chaos harness: drives a UE fleet under deterministic fault injection
+// (common/chaos.h) and checks the resilience contracts end to end:
+//   1. Survival — injected task faults quarantine UEs, never the process.
+//   2. Deterministic quarantine — the same chaos seed faults the same UE
+//      set, with the same causes, across repeated runs AND worker counts.
+//   3. Survivor byte-identity — every un-faulted UE's full trace CSV is
+//      byte-identical (CRC-compared) to the fault-free run's.
+//   4. Watchdog — stalled tasks are flagged, and flagged tasks still finish.
+//   5. Durable I/O under fault — transient injected write failures are
+//      retried to success; permanent ones fail without corrupting the
+//      existing file.
+//   6. (--checkpoint) checkpoint/resume round-trip under the same fleet.
+// Exits nonzero on any violation — this is the bench the CI chaos leg runs.
+//
+// Usage: bench_chaos [--quick] [--seed S] [--checkpoint <path> [--resume]]
+//                    [--metrics-out <path>]
+//   --quick       smaller fleet and shorter drives (CI-friendly)
+//   --seed        chaos profile seed (default 42)
+//   --checkpoint  also exercise run_fleet checkpointing to <path>
+//   --resume      resume from <path> instead of starting fresh
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/chaos.h"
+#include "common/io.h"
+#include "common/thread_pool.h"
+#include "obs/export.h"
+#include "sim/checkpoint.h"
+#include "sim/fleet.h"
+
+using namespace p5g;
+
+namespace {
+
+int g_failures = 0;
+
+void expect(bool ok, const char* what) {
+  std::printf("  %-58s %s\n", what, ok ? "ok" : "FAIL");
+  if (!ok) ++g_failures;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+sim::FleetScenario make_fleet(bool quick, std::uint64_t seed) {
+  sim::FleetScenario f;
+  f.base = bench::city_nsa(radio::Band::kNrMmWave, quick ? 30.0 : 90.0, seed);
+  f.base.name = "chaos_city";
+  f.n_ues = quick ? 16 : 48;
+  f.stagger_m = 150.0;
+  f.mobility_mix = {sim::MobilityKind::kCity, sim::MobilityKind::kWalkLoop};
+  return f;
+}
+
+// One fleet pass reduced to per-survivor trace CRCs (full tick + HO CSV
+// bytes) — small enough to compare across runs, strong enough to prove
+// byte-identity.
+struct HashedRun {
+  std::map<std::size_t, std::uint32_t> crc;  // surviving UE -> trace CRC
+  std::vector<sim::RunError> errors;
+};
+
+HashedRun run_hashed(const sim::FleetScenario& f, const std::string& tag,
+                     unsigned threads) {
+  HashedRun out;
+  std::mutex mu;
+  out.errors = sim::for_each_ue_trace(
+      f,
+      [&](std::size_t ue, const sim::Scenario&, const trace::TraceLog& log) {
+        const std::string path =
+            "/tmp/p5g_chaos_" + tag + "_" + std::to_string(ue) + ".csv";
+        if (!trace::write_csv(log, path)) return;  // missing crc -> mismatch
+        std::uint32_t c = io::crc32(slurp(path));
+        c = io::crc32(slurp(path + ".ho.csv"), c);
+        const std::lock_guard<std::mutex> lock(mu);
+        out.crc[ue] = c;
+      },
+      threads);
+  return out;
+}
+
+bool survivors_match(const HashedRun& chaotic, const HashedRun& clean) {
+  for (const sim::RunError& e : chaotic.errors) {
+    if (chaotic.crc.count(e.index)) return false;  // quarantined AND produced?
+  }
+  for (const auto& [ue, c] : chaotic.crc) {
+    const auto it = clean.crc.find(ue);
+    if (it == clean.crc.end() || it->second != c) return false;
+  }
+  return true;
+}
+
+void run_watchdog_section() {
+  std::printf("\n  watchdog:\n");
+  ThreadPool pool(2);
+  pool.enable_watchdog(5.0);
+  std::atomic<int> finished{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([&finished] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      ++finished;
+    });
+  }
+  const std::vector<TaskError> errs = pool.wait_idle();
+  const std::vector<Watchdog::Flag> flags = pool.take_watchdog_flags();
+  expect(errs.empty(), "stalled tasks are not errors");
+  expect(finished.load() == 4, "flagged tasks still run to completion");
+  expect(flags.size() == 4, "every task past the deadline was flagged");
+}
+
+void run_io_section(std::uint64_t seed) {
+  std::printf("\n  durable I/O under injected faults:\n");
+  const std::string path = "/tmp/p5g_chaos_io.txt";
+  std::remove(path.c_str());
+
+  const io::IoStats before = io::io_stats();
+  {
+    chaos::ChaosProfile p;
+    p.seed = seed;
+    p.io_fault_rate = 1.0;   // every path chosen...
+    p.io_fault_attempts = 2; // ...fails twice, then the retry succeeds
+    const chaos::ScopedChaos scoped(p);
+    const io::IoResult r = io::atomic_write_file(path, "durable");
+    expect(r.ok, "transient injected failures are retried to success");
+  }
+  expect(slurp(path) == "durable", "retried write landed the full content");
+  const io::IoStats mid = io::io_stats();
+  expect(mid.retries > before.retries, "retries were counted");
+  expect(mid.chaos_injected > before.chaos_injected, "injections were counted");
+
+  {
+    chaos::ChaosProfile p;
+    p.seed = seed;
+    p.io_fault_rate = 1.0;
+    p.io_fault_attempts = 99;  // outlasts every retry budget: permanent
+    const chaos::ScopedChaos scoped(p);
+    const io::IoResult r = io::atomic_write_file(path, "clobbered");
+    expect(!r.ok, "permanent failure is surfaced to the caller");
+    expect(!r.error.empty(), "failure carries a cause");
+  }
+  expect(slurp(path) == "durable", "failed write left the old file intact");
+}
+
+void run_checkpoint_section(const sim::FleetScenario& f, const std::string& path,
+                            bool resume) {
+  std::printf("\n  checkpoint/resume (%s):\n", path.c_str());
+  sim::FleetCheckpointOptions opts;
+  opts.path = path;
+  opts.every_k = 4;
+  opts.resume = resume;
+  const sim::FleetResult ckpt_run = sim::run_fleet(f, opts, 0);
+  const sim::FleetResult plain = sim::run_fleet(f, 0);
+  expect(ckpt_run.ues == plain.ues,
+        resume ? "resumed run is identical to an uninterrupted one"
+               : "checkpointed run is identical to a plain one");
+  std::string why;
+  const auto loaded = sim::load_checkpoint(path, &why);
+  expect(loaded.has_value(), "final checkpoint loads back cleanly");
+  if (loaded) {
+    expect(loaded->done.size() == f.n_ues - ckpt_run.errors.size(),
+          "final checkpoint holds exactly the completed UEs");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false, resume = false;
+  std::uint64_t seed = 42;
+  std::string ckpt_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--resume") == 0) resume = true;
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    }
+    if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
+      ckpt_path = argv[++i];
+    }
+  }
+
+  bench::print_header(quick ? "chaos harness (--quick)" : "chaos harness");
+  const sim::FleetScenario f = make_fleet(quick, 42);
+  std::printf("  fleet: %zu UEs, chaos seed %llu\n\n", f.n_ues,
+              static_cast<unsigned long long>(seed));
+
+  // Fault-free reference first: per-UE trace CRCs and a clean error report.
+  const HashedRun clean = run_hashed(f, "clean", 0);
+  expect(clean.errors.empty(), "fault-free fleet has no quarantined UEs");
+  expect(clean.crc.size() == f.n_ues, "fault-free fleet produced every trace");
+
+  chaos::ChaosProfile p;
+  p.seed = seed;
+  p.task_fault_rate = 0.25;  // ~1 in 4 UE tasks throws InjectedFault
+  p.stall_rate = 0.2;        // ~1 in 5 stalls (still completes)
+  p.stall_ms = 10.0;
+
+  std::printf("\n  chaotic fleet (task faults + stalls):\n");
+  std::vector<sim::RunError> first_errors;
+  {
+    const chaos::ScopedChaos scoped(p);
+    const HashedRun a = run_hashed(f, "a", 0);
+    const HashedRun b = run_hashed(f, "b", 0);  // repeat, same schedule domain
+    const HashedRun c = run_hashed(f, "c", 2);  // different worker count
+    first_errors = a.errors;
+    expect(!a.errors.empty(), "chaos at 25% actually quarantined something");
+    expect(a.errors.size() < f.n_ues, "the fleet survived (not all UEs faulted)");
+    expect(a.errors == b.errors, "quarantine set is repeat-deterministic");
+    expect(a.errors == c.errors, "quarantine set is schedule-independent");
+    expect(survivors_match(a, clean), "survivors byte-identical to fault-free run");
+    expect(survivors_match(c, clean), "survivors byte-identical across schedules");
+  }
+
+  // Chaos off again: the same fleet must reproduce the clean run exactly.
+  const HashedRun after = run_hashed(f, "after", 0);
+  expect(after.errors.empty() && after.crc == clean.crc,
+        "chaos leaves no residue once cleared");
+
+  run_watchdog_section();
+  run_io_section(seed);
+  if (!ckpt_path.empty()) run_checkpoint_section(f, ckpt_path, resume);
+
+  const chaos::ChaosStats cs = chaos::chaos_stats();
+  std::printf("\n  tallies: %llu task faults, %llu stalls, %llu quarantined\n",
+              static_cast<unsigned long long>(cs.task_faults),
+              static_cast<unsigned long long>(cs.stalls),
+              static_cast<unsigned long long>(first_errors.size()));
+
+  obs::export_from_args(argc, argv, "bench_chaos", seed);
+  if (g_failures > 0) {
+    std::printf("\n  FAIL: %d resilience contract violation(s)\n", g_failures);
+    return 1;
+  }
+  std::printf("\n  all resilience contracts hold\n");
+  return 0;
+}

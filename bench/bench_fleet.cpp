@@ -24,6 +24,8 @@
 
 #include "analysis/fleet_stats.h"
 #include "bench_util.h"
+#include "common/io.h"
+#include "common/thread_pool.h"
 #include "obs/export.h"
 #include "sim/fleet.h"
 
@@ -110,15 +112,24 @@ SizeResult bench_size(std::size_t n, Seconds duration) {
   return r;
 }
 
+// What the pooled arm actually ran on — hardware_concurrency is a hint, the
+// pool is the fact (containers and cgroups routinely cap below the hint).
+unsigned actual_pool_size() {
+  const ThreadPool probe(0);
+  return probe.size();
+}
+
 // Splice the fleet section into an existing BENCH_perf.json (written by
 // bench_perf) without disturbing its other sections; a missing or
 // unparsable file degrades to a fresh {"fleet": ...} object.
-void append_json(const std::string& path, bool quick,
+void append_json(const std::string& path, bool quick, unsigned pool_size,
                  const std::vector<SizeResult>& sizes) {
   obs::JsonWriter w;
   w.begin_object();
   w.field("quick", quick);
   w.field("hardware_threads", std::max(1u, std::thread::hardware_concurrency()));
+  w.field("pool_threads", pool_size);
+  w.field("speedup_comparison_skipped", pool_size <= 1);
   w.begin_array("sizes");
   for (const SizeResult& r : sizes) {
     w.begin_object();
@@ -153,12 +164,10 @@ void append_json(const std::string& path, bool quick,
   }
   root.object["fleet"] = *fleet;
 
-  std::ofstream out(path);
-  if (!out) {
-    std::printf("  cannot write %s\n", path.c_str());
+  if (const io::IoResult r = io::atomic_write_file(path, obs::to_json(root)); !r) {
+    std::printf("  cannot write %s: %s\n", path.c_str(), r.error.c_str());
     return;
   }
-  out << obs::to_json(root);
   std::printf("\n  appended fleet section to %s\n", path.c_str());
 }
 
@@ -177,8 +186,15 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> sizes = {1, 8, 64};
   if (!quick) sizes.push_back(256);
 
-  std::printf("  %u hardware thread(s); %.0f s drives\n",
-              std::max(1u, std::thread::hardware_concurrency()), duration);
+  const unsigned pool_size = actual_pool_size();
+  std::printf("  %u hardware thread(s), pool of %u; %.0f s drives\n",
+              std::max(1u, std::thread::hardware_concurrency()), pool_size,
+              duration);
+  if (pool_size <= 1) {
+    std::printf(
+        "  WARNING: only 1 worker available — pooled == serial here, "
+        "skipping the speedup comparison\n");
+  }
   std::printf("  %6s %12s %12s %12s %10s %8s\n", "UEs", "naive(s)", "serial(s)",
               "pooled(s)", "speedup", "match");
 
@@ -188,9 +204,15 @@ int main(int argc, char** argv) {
     const SizeResult r = bench_size(n, duration);
     results.push_back(r);
     all_match = all_match && r.summaries_match;
-    std::printf("  %6zu %12.3f %12.3f %12.3f %9.2fx %8s\n", r.n, r.naive_s,
-                r.serial_s, r.pooled_s, r.speedup_vs_naive,
-                r.summaries_match ? "yes" : "NO");
+    if (pool_size <= 1) {
+      std::printf("  %6zu %12.3f %12.3f %12.3f %10s %8s\n", r.n, r.naive_s,
+                  r.serial_s, r.pooled_s, "n/a",
+                  r.summaries_match ? "yes" : "NO");
+    } else {
+      std::printf("  %6zu %12.3f %12.3f %12.3f %9.2fx %8s\n", r.n, r.naive_s,
+                  r.serial_s, r.pooled_s, r.speedup_vs_naive,
+                  r.summaries_match ? "yes" : "NO");
+    }
   }
 
   // Cross-UE population statistics for the largest fleet — the distributions
@@ -212,7 +234,7 @@ int main(int argc, char** argv) {
               fs.outcomes.success, fs.outcomes.prep_failure,
               fs.outcomes.exec_failure, fs.outcomes.rlf_reestablish);
 
-  append_json(out_path, quick, results);
+  append_json(out_path, quick, pool_size, results);
   obs::export_from_args(argc, argv, "bench_fleet", 42);
 
   if (!all_match) {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/io.h"
 #include "obs/export.h"
 #include "sim/runner.h"
 
@@ -216,14 +217,10 @@ void write_json(const std::string& path, bool quick, const QueryBench& q,
   w.end_object();
   w.end_object();
 
-  FILE* f = std::fopen(path.c_str(), "w");
-  if (!f) {
-    std::printf("  cannot write %s\n", path.c_str());
+  if (const io::IoResult r = io::atomic_write_file(path, w.str()); !r) {
+    std::printf("  cannot write %s: %s\n", path.c_str(), r.error.c_str());
     return;
   }
-  const std::string json = w.str();
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fclose(f);
   std::printf("\n  wrote %s\n", path.c_str());
 }
 

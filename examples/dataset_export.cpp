@@ -28,7 +28,11 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < ds.segments.size(); ++i) {
       const std::string path = out_dir + "/" + ds.carrier.name + "-" +
                                ds.segments[i].label + "-" + std::to_string(i) + ".csv";
-      trace::write_csv(ds.segments[i].log, path);
+      if (const io::IoResult r = trace::write_csv(ds.segments[i].log, path); !r) {
+        std::fprintf(stderr, "FAILED to write %s: %s\n", path.c_str(),
+                     r.error.c_str());
+        return 1;
+      }
       ++files;
     }
     const analysis::DatasetSummary s = analysis::summarize_dataset(ds);

@@ -31,7 +31,7 @@ FleetStats fleet_stats(const sim::FleetScenario& f, unsigned threads) {
   std::mutex pooled_mu;
   std::vector<double> dwells;
 
-  sim::for_each_ue_trace(
+  out.errors = sim::for_each_ue_trace(
       f,
       [&](std::size_t ue, const sim::Scenario& s, const trace::TraceLog& log) {
         sim::UeSummary& u = out.per_ue[ue];
@@ -55,6 +55,18 @@ FleetStats fleet_stats(const sim::FleetScenario& f, unsigned threads) {
       },
       threads);
 
+  // Quarantined UEs: keep identity in per_ue, exclude from distributions.
+  std::vector<char> quarantined(f.n_ues, 0);
+  for (const sim::RunError& e : out.errors) {
+    quarantined[e.index] = 1;
+    const sim::Scenario s = sim::fleet_ue_scenario(f, e.index);
+    sim::UeSummary& u = out.per_ue[e.index];
+    u.ue = e.index;
+    u.seed = s.seed;
+    u.mobility = s.mobility;
+    u.start_offset_m = s.start_offset_m;
+  }
+
   std::vector<double> ho_per_km, ho_count, failure_rate, interruption,
       mean_tput;
   ho_per_km.reserve(f.n_ues);
@@ -63,6 +75,7 @@ FleetStats fleet_stats(const sim::FleetScenario& f, unsigned threads) {
   interruption.reserve(f.n_ues);
   mean_tput.reserve(f.n_ues);
   for (const sim::UeSummary& u : out.per_ue) {
+    if (quarantined[u.ue]) continue;
     ho_per_km.push_back(u.trace.ho_per_km());
     ho_count.push_back(static_cast<double>(u.trace.handovers));
     const int total = u.trace.handovers;

@@ -44,6 +44,13 @@ struct FleetStats {
 
   // The per-UE summaries the distributions were computed from (UE order).
   std::vector<sim::UeSummary> per_ue;
+
+  // Quarantined UEs (ascending by UE). Failed UEs keep their identity in
+  // `per_ue` (seed/mobility/offset, zero trace) but are EXCLUDED from every
+  // distribution above — a crashed UE must not read as "zero handovers".
+  std::vector<sim::RunError> errors;
+
+  bool ok() const { return errors.empty(); }
 };
 
 // Runs the fleet (streaming, `threads` workers; 0 = hardware concurrency)

@@ -1,0 +1,145 @@
+#include "common/chaos.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace p5g::chaos {
+
+namespace {
+
+// Installed profile, guarded by a mutex for install/clear and mirrored into
+// an atomic flag so the hot-path hooks can bail without locking when no
+// chaos is active (the overwhelmingly common case).
+std::mutex g_mu;
+ChaosProfile g_profile;
+std::atomic<bool> g_active{false};
+
+struct AtomicChaosStats {
+  std::atomic<std::uint64_t> task_faults{0};
+  std::atomic<std::uint64_t> stalls{0};
+};
+
+AtomicChaosStats& stats() noexcept {
+  static AtomicChaosStats s;
+  return s;
+}
+
+// SplitMix64 finalizer: the same mixer common/rng.h uses for stream
+// splitting. Duplicated here (three lines) so this library stays below
+// p5g_common in the DAG.
+std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash_path(std::string_view path) noexcept {
+  // FNV-1a 64-bit: stable across runs and platforms (unlike std::hash).
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : path) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+// Uniform [0,1) from a key under the installed seed and a per-decision-kind
+// salt, so the task-fault, stall, and io-fault populations are independent.
+double draw(std::uint64_t seed, std::uint64_t salt, std::uint64_t key) noexcept {
+  const std::uint64_t bits = mix64(seed ^ salt ^ mix64(key));
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+constexpr std::uint64_t kTaskSalt = 0x7A5C0FA17ULL;
+constexpr std::uint64_t kStallSalt = 0x57A11ED00ULL;
+constexpr std::uint64_t kIoSalt = 0x10FA171EULL;
+
+}  // namespace
+
+void install(const ChaosProfile& p) {
+  const std::lock_guard<std::mutex> lock(g_mu);
+  g_profile = p;
+  g_active.store(true, std::memory_order_release);
+}
+
+void clear() {
+  const std::lock_guard<std::mutex> lock(g_mu);
+  g_profile = ChaosProfile{};
+  g_active.store(false, std::memory_order_release);
+}
+
+bool active() noexcept { return g_active.load(std::memory_order_acquire); }
+
+ChaosProfile profile() noexcept {
+  if (!active()) return ChaosProfile{};
+  const std::lock_guard<std::mutex> lock(g_mu);
+  return g_profile;
+}
+
+ScopedChaos::ScopedChaos(const ChaosProfile& p)
+    : had_previous_(active()), previous_(profile()) {
+  install(p);
+}
+
+ScopedChaos::~ScopedChaos() {
+  if (had_previous_) {
+    install(previous_);
+  } else {
+    clear();
+  }
+}
+
+bool should_fault_task(std::uint64_t key) noexcept {
+  if (!active()) return false;
+  const ChaosProfile p = profile();
+  return p.task_fault_rate > 0.0 &&
+         draw(p.seed, kTaskSalt, key) < p.task_fault_rate;
+}
+
+bool should_stall_task(std::uint64_t key) noexcept {
+  if (!active()) return false;
+  const ChaosProfile p = profile();
+  return p.stall_rate > 0.0 && draw(p.seed, kStallSalt, key) < p.stall_rate;
+}
+
+bool should_fault_io(std::string_view path, int attempt) noexcept {
+  if (!active()) return false;
+  const ChaosProfile p = profile();
+  if (p.io_fault_rate <= 0.0 || attempt >= p.io_fault_attempts) return false;
+  return draw(p.seed, kIoSalt, hash_path(path)) < p.io_fault_rate;
+}
+
+void maybe_fault_task(std::uint64_t key) {
+  if (!should_fault_task(key)) return;
+  stats().task_faults.fetch_add(1, std::memory_order_relaxed);
+  throw InjectedFault("chaos: injected task fault (key=" + std::to_string(key) +
+                      ")");
+}
+
+void maybe_stall_task(std::uint64_t key) {
+  if (!should_stall_task(key)) return;
+  stats().stalls.fetch_add(1, std::memory_order_relaxed);
+  const double ms = profile().stall_ms;
+  if (ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  }
+}
+
+ChaosStats chaos_stats() noexcept {
+  const AtomicChaosStats& s = stats();
+  ChaosStats out;
+  out.task_faults = s.task_faults.load(std::memory_order_relaxed);
+  out.stalls = s.stalls.load(std::memory_order_relaxed);
+  return out;
+}
+
+void reset_chaos_stats() noexcept {
+  AtomicChaosStats& s = stats();
+  s.task_faults.store(0, std::memory_order_relaxed);
+  s.stalls.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace p5g::chaos

@@ -1,0 +1,96 @@
+// Deterministic fault injection for resilience testing.
+//
+// A ChaosProfile describes a *seeded* population of faults: which tasks
+// throw, which file writes fail transiently, which tasks stall past the
+// watchdog deadline. Every decision is a pure function of
+// (profile.seed, stable key) — task index, file path — never of wall-clock
+// time, draw order, or thread schedule. That is what lets bench_chaos
+// assert that quarantine accounting is identical across repeated runs and
+// across worker counts: the same seed always faults the same task set.
+//
+// The profile is installed process-wide (install()/clear(), or the RAII
+// ScopedChaos) and consulted by the injection points:
+//   * sim sweep / fleet task entry  -> maybe_fault_task / maybe_stall_task
+//   * io::atomic_write_file attempt -> should_fault_io
+// With no profile installed (the default), every hook is a cheap
+// early-return and the simulator behaves exactly as before — the zero-fault
+// golden trace stays byte-identical.
+//
+// Standard-library-only (sits below p5g_obs); tallies are exposed through
+// chaos_stats() and mirrored into p5g.resilience.* by obs::make_manifest.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace p5g::chaos {
+
+struct ChaosProfile {
+  std::uint64_t seed = 0;
+
+  // Probability that a given task key throws InjectedFault at task entry.
+  double task_fault_rate = 0.0;
+
+  // Probability that a given file path is chosen for transient write
+  // failures; a chosen path fails its first `io_fault_attempts` write
+  // attempts. Set io_fault_attempts >= RetryPolicy::max_attempts to make
+  // the failure permanent (exhausts the retry budget).
+  double io_fault_rate = 0.0;
+  int io_fault_attempts = 1;
+
+  // Probability that a given task key stalls (sleeps) for stall_ms at task
+  // entry — the stuck-task fault the watchdog exists to flag.
+  double stall_rate = 0.0;
+  double stall_ms = 0.0;
+};
+
+// Thrown by maybe_fault_task for tasks the profile selects.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Process-wide profile management. install/clear are not meant to race
+// active simulations; flip them between runs (tests and bench_chaos do).
+void install(const ChaosProfile& profile);
+void clear();
+bool active() noexcept;
+ChaosProfile profile() noexcept;  // zero profile when inactive
+
+// RAII: install on construction, restore the previous state on destruction.
+class ScopedChaos {
+ public:
+  explicit ScopedChaos(const ChaosProfile& p);
+  ~ScopedChaos();
+  ScopedChaos(const ScopedChaos&) = delete;
+  ScopedChaos& operator=(const ScopedChaos&) = delete;
+
+ private:
+  bool had_previous_;
+  ChaosProfile previous_;
+};
+
+// Pure decision functions: deterministic in (installed seed, key), false
+// when no profile is installed.
+bool should_fault_task(std::uint64_t key) noexcept;
+bool should_stall_task(std::uint64_t key) noexcept;
+bool should_fault_io(std::string_view path, int attempt) noexcept;
+
+// Injection points. maybe_fault_task throws InjectedFault (after counting)
+// when the key is selected; maybe_stall_task blocks for profile().stall_ms.
+void maybe_fault_task(std::uint64_t key);
+void maybe_stall_task(std::uint64_t key);
+
+// Monotonic tallies of injected faults (mirrored to p5g.resilience.* by
+// obs::make_manifest). Injected I/O failures are counted by the layer that
+// hits them: io::io_stats().chaos_injected.
+struct ChaosStats {
+  std::uint64_t task_faults = 0;
+  std::uint64_t stalls = 0;
+};
+ChaosStats chaos_stats() noexcept;
+void reset_chaos_stats() noexcept;  // test helper
+
+}  // namespace p5g::chaos

@@ -33,12 +33,12 @@ std::vector<std::string> split_line(const std::string& line) {
 }  // namespace
 
 Writer::Writer(const std::string& path, const std::vector<std::string>& header)
-    : out_(path), columns_(header.size()) {
+    : path_(path), columns_(header.size()) {
   for (std::size_t i = 0; i < header.size(); ++i) {
-    if (i) out_ << ',';
-    out_ << header[i];
+    if (i) buf_ += ',';
+    buf_ += header[i];
   }
-  out_ << '\n';
+  buf_ += '\n';
 }
 
 void Writer::write_row(const std::vector<std::string>& cells) {
@@ -52,10 +52,18 @@ void Writer::write_row(const std::vector<std::string>& cells) {
   }
   const std::size_t n = std::min(cells.size(), columns_);
   for (std::size_t i = 0; i < columns_; ++i) {
-    if (i) out_ << ',';
-    if (i < n) out_ << cells[i];
+    if (i) buf_ += ',';
+    if (i < n) buf_ += cells[i];
   }
-  out_ << '\n';
+  buf_ += '\n';
+}
+
+io::IoResult Writer::close() {
+  if (!closed_) {
+    closed_ = true;
+    result_ = io::atomic_write_file(path_, buf_);
+  }
+  return result_;
 }
 
 int Table::column(std::string_view name) const {

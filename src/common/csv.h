@@ -9,26 +9,40 @@
 #include <string_view>
 #include <vector>
 
+#include "common/io.h"
+
 namespace p5g::csv {
 
 class Writer {
  public:
-  // Opens `path` for writing and emits the header row.
+  // Buffers rows for `path`; nothing touches the filesystem until close()
+  // (or destruction), which lands the whole file in one durable
+  // io::atomic_write_file — a reader never sees a header-only or torn CSV,
+  // and a full disk / bad path is reported instead of silently truncating.
   Writer(const std::string& path, const std::vector<std::string>& header);
+  ~Writer() { static_cast<void>(close()); }
 
   // Appends one row. A row narrower than the header is padded with empty
   // cells, a wider one truncated; either case is counted instead of thrown,
   // so a malformed record cannot abort a trace flush mid-file.
   void write_row(const std::vector<std::string>& cells);
 
-  bool ok() const { return static_cast<bool>(out_); }
+  // Flushes the buffered file atomically. Idempotent: the first call does
+  // the write, later calls (including the destructor's) return its result.
+  io::IoResult close();
+
+  // False once a close() has failed.
+  bool ok() const { return result_.ok; }
   // Rows whose width did not match the header (padded/truncated).
   std::size_t width_mismatches() const { return width_mismatches_; }
 
  private:
-  std::ofstream out_;
+  std::string path_;
+  std::string buf_;
   std::size_t columns_;
   std::size_t width_mismatches_ = 0;
+  bool closed_ = false;
+  io::IoResult result_{};
 };
 
 struct Table {

@@ -1,0 +1,152 @@
+#include "common/io.h"
+
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "common/chaos.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define P5G_HAVE_FSYNC 1
+#else
+#define P5G_HAVE_FSYNC 0
+#endif
+
+namespace p5g::io {
+
+namespace {
+
+struct AtomicIoStats {
+  std::atomic<std::uint64_t> writes{0};
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> failures{0};
+  std::atomic<std::uint64_t> chaos_injected{0};
+};
+
+AtomicIoStats& stats() noexcept {
+  static AtomicIoStats s;
+  return s;
+}
+
+std::string errno_text(const char* op) {
+  std::string out(op);
+  out += ": ";
+  out += std::strerror(errno);
+  return out;
+}
+
+// One write attempt: tmp file, full content, flush through the OS, rename
+// over the destination. Returns success() or the failure cause.
+IoResult write_once(const std::string& path, const std::string& tmp,
+                    std::string_view content) {
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return IoResult::failure(errno_text("fopen"));
+  if (!content.empty() &&
+      std::fwrite(content.data(), 1, content.size(), f) != content.size()) {
+    const IoResult r = IoResult::failure(errno_text("fwrite"));
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return r;
+  }
+  if (std::fflush(f) != 0) {
+    const IoResult r = IoResult::failure(errno_text("fflush"));
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return r;
+  }
+#if P5G_HAVE_FSYNC
+  if (fsync(fileno(f)) != 0) {
+    const IoResult r = IoResult::failure(errno_text("fsync"));
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return r;
+  }
+#endif
+  if (std::fclose(f) != 0) {
+    std::remove(tmp.c_str());
+    return IoResult::failure(errno_text("fclose"));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const IoResult r = IoResult::failure(errno_text("rename"));
+    std::remove(tmp.c_str());
+    return r;
+  }
+  return IoResult::success();
+}
+
+}  // namespace
+
+IoResult atomic_write_file(const std::string& path, std::string_view content,
+                           const RetryPolicy& retry) {
+  const std::string tmp = path + ".tmp";
+  const int attempts = retry.max_attempts < 1 ? 1 : retry.max_attempts;
+  IoResult last = IoResult::failure("no attempt made");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      stats().retries.fetch_add(1, std::memory_order_relaxed);
+      long backoff = static_cast<long>(retry.initial_backoff_ms)
+                     << (attempt - 1);
+      if (backoff > retry.max_backoff_ms) backoff = retry.max_backoff_ms;
+      if (backoff > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      }
+    }
+    if (chaos::should_fault_io(path, attempt)) {
+      stats().chaos_injected.fetch_add(1, std::memory_order_relaxed);
+      last = IoResult::failure("chaos: injected I/O write failure");
+      continue;
+    }
+    last = write_once(path, tmp, content);
+    if (last.ok) {
+      stats().writes.fetch_add(1, std::memory_order_relaxed);
+      return last;
+    }
+  }
+  stats().failures.fetch_add(1, std::memory_order_relaxed);
+  return last;
+}
+
+IoStats io_stats() noexcept {
+  const AtomicIoStats& s = stats();
+  IoStats out;
+  out.writes = s.writes.load(std::memory_order_relaxed);
+  out.retries = s.retries.load(std::memory_order_relaxed);
+  out.failures = s.failures.load(std::memory_order_relaxed);
+  out.chaos_injected = s.chaos_injected.load(std::memory_order_relaxed);
+  return out;
+}
+
+void reset_io_stats() noexcept {
+  AtomicIoStats& s = stats();
+  s.writes.store(0, std::memory_order_relaxed);
+  s.retries.store(0, std::memory_order_relaxed);
+  s.failures.store(0, std::memory_order_relaxed);
+  s.chaos_injected.store(0, std::memory_order_relaxed);
+}
+
+std::uint32_t crc32(std::string_view bytes, std::uint32_t seed) noexcept {
+  // Table for the reflected IEEE polynomial, built once.
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const char ch : bytes) {
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace p5g::io

@@ -1,0 +1,72 @@
+// Durable file I/O for everything the simulator persists (traces, metrics
+// reports, BENCH_perf.json, fleet checkpoints).
+//
+// The core primitive is atomic_write_file(): write the full content to
+// `<path>.tmp`, flush it through the OS (fflush + fsync), then rename() it
+// over the destination. A reader therefore always sees either the complete
+// old file or the complete new file — never a torn write from a process
+// that died mid-flush. Transient failures (including injected chaos faults,
+// see common/chaos.h) are retried with capped exponential backoff before
+// the error is surfaced to the caller.
+//
+// This layer is standard-library-only (plus POSIX fsync where available) so
+// it sits BELOW p5g_obs in the dependency DAG and the obs exporters can use
+// it. It therefore cannot write to the obs metrics registry; instead it
+// keeps its own process-wide atomic tallies (io::io_stats()), which
+// obs::make_manifest mirrors into the `p5g.resilience.io_*` gauges and into
+// manifest warnings.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace p5g::io {
+
+// Outcome of a fallible I/O operation. Empty `error` on success; on failure
+// `error` carries the last attempt's cause (errno text or injected-fault
+// marker). Convertible to bool so call sites read naturally:
+//   if (!trace::write_csv(log, path)) { ... }
+struct [[nodiscard]] IoResult {
+  bool ok = true;
+  std::string error;
+
+  explicit operator bool() const { return ok; }
+
+  static IoResult success() { return {}; }
+  static IoResult failure(std::string why) { return {false, std::move(why)}; }
+};
+
+// Retry schedule for transient write failures: attempt k (0-based) sleeps
+// initial_backoff_ms << (k - 1) before retrying, capped at max_backoff_ms.
+// The defaults keep worst-case added latency ~100 ms.
+struct RetryPolicy {
+  int max_attempts = 4;
+  int initial_backoff_ms = 1;
+  int max_backoff_ms = 50;
+};
+
+// Writes `content` to `path` atomically (tmp + flush + fsync + rename) with
+// retry on transient failures. On failure the destination file is left
+// untouched (old content, or still absent).
+IoResult atomic_write_file(const std::string& path, std::string_view content,
+                           const RetryPolicy& retry = {});
+
+// Process-wide tallies of what the durable-I/O layer did, mirrored into the
+// obs registry (p5g.resilience.io_*) by obs::make_manifest. Monotonic.
+struct IoStats {
+  std::uint64_t writes = 0;          // successful atomic writes
+  std::uint64_t retries = 0;         // attempts repeated after a transient failure
+  std::uint64_t failures = 0;        // writes abandoned after exhausting retries
+  std::uint64_t chaos_injected = 0;  // failures injected by the chaos layer
+};
+IoStats io_stats() noexcept;
+void reset_io_stats() noexcept;  // test helper
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `bytes`,
+// optionally continuing from a previous value. Used to seal the fleet
+// checkpoint format against torn or bit-rotted files.
+std::uint32_t crc32(std::string_view bytes, std::uint32_t seed = 0) noexcept;
+
+}  // namespace p5g::io

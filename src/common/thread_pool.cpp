@@ -11,6 +11,7 @@ namespace p5g {
 ThreadPool::ThreadPool(unsigned threads)
     : jobs_submitted_(&obs::registry().counter("p5g.pool.jobs_submitted")),
       jobs_completed_(&obs::registry().counter("p5g.pool.jobs_completed")),
+      jobs_failed_(&obs::registry().counter("p5g.resilience.pool_jobs_failed")),
       busy_ms_total_(&obs::registry().counter("p5g.pool.busy_ms_total")),
       queue_depth_(&obs::registry().gauge("p5g.pool.queue_depth")),
       active_workers_(&obs::registry().gauge("p5g.pool.active_workers")),
@@ -21,7 +22,7 @@ ThreadPool::ThreadPool(unsigned threads)
   workers_.reserve(threads);
   pool_threads_->set(static_cast<double>(threads));
   for (unsigned i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -38,22 +39,42 @@ void ThreadPool::submit(std::function<void()> job) {
   P5G_REQUIRE(job != nullptr, "null job submitted to pool");
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back({std::move(job), obs::enabled() ? obs::ObsClock::now()
-                                                     : obs::ObsClock::time_point{}});
+    queue_.push_back({std::move(job), next_job_id_++,
+                      obs::enabled() ? obs::ObsClock::now()
+                                     : obs::ObsClock::time_point{}});
     queue_depth_->set(static_cast<double>(queue_.size()));
   }
   jobs_submitted_->add(1);
   work_cv_.notify_one();
 }
 
-void ThreadPool::wait_idle() {
+std::vector<TaskError> ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  next_job_id_ = 0;  // numbering restarts with the next epoch
+  std::vector<TaskError> out;
+  out.swap(errors_);
+  return out;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::enable_watchdog(double deadline_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  P5G_REQUIRE(queue_.empty() && active_ == 0,
+              "enable_watchdog must be called while the pool is idle");
+  watchdog_ =
+      std::make_unique<Watchdog>(deadline_ms, workers_.size());
+}
+
+std::vector<Watchdog::Flag> ThreadPool::take_watchdog_flags() {
+  // watchdog_ is only (re)set while idle; reading the pointer here races
+  // nothing once runs are in flight.
+  return watchdog_ ? watchdog_->take_flags() : std::vector<Watchdog::Flag>{};
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
   for (;;) {
     Job job;
+    Watchdog* dog = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -63,6 +84,7 @@ void ThreadPool::worker_loop() {
       queue_depth_->set(static_cast<double>(queue_.size()));
       ++active_;
       active_workers_->set(static_cast<double>(active_));
+      dog = watchdog_.get();
     }
     obs::ObsClock::time_point start{};
     if (obs::enabled()) {
@@ -72,7 +94,21 @@ void ThreadPool::worker_loop() {
             std::chrono::duration<double, std::milli>(start - job.enqueued).count());
       }
     }
-    job.fn();
+    if (dog) dog->task_started(worker_index, job.id);
+    // The worker boundary: an exception here must cost one job, not the
+    // process. Captured into the epoch's error collector for wait_idle().
+    try {
+      job.fn();
+    } catch (const std::exception& e) {
+      jobs_failed_->add(1);
+      std::lock_guard<std::mutex> lock(mu_);
+      errors_.push_back({job.id, e.what()});
+    } catch (...) {
+      jobs_failed_->add(1);
+      std::lock_guard<std::mutex> lock(mu_);
+      errors_.push_back({job.id, "unknown exception"});
+    }
+    if (dog) dog->task_finished(worker_index);
     if (obs::enabled() && start != obs::ObsClock::time_point{}) {
       busy_ms_total_->add(static_cast<std::uint64_t>(obs::ms_since(start)));
     }

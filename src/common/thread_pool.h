@@ -1,22 +1,42 @@
 // A small fixed-size worker pool for embarrassingly parallel jobs (the
-// multi-scenario sweeps in sim::run_scenarios and the benches). Jobs are
-// plain std::function<void()>; the pool makes no ordering promises, so
-// callers own determinism by giving each job its own output slot and its
-// own RNG stream (every sim::Scenario already carries a seed).
+// multi-scenario sweeps in sim::run_scenarios, the fleet layer, and the
+// benches). Jobs are plain std::function<void()>; the pool makes no
+// ordering promises, so callers own determinism by giving each job its own
+// output slot and its own RNG stream (every sim::Scenario already carries a
+// seed).
 //
-// The pool reports into the global obs registry (p5g.pool.*): queue-depth
+// Failure isolation: jobs MAY throw. An exception escaping a job is caught
+// at the worker boundary (it never crosses into the worker thread and can
+// never std::terminate the process), recorded as a TaskError carrying the
+// job's submit sequence number, and surfaced from the next wait_idle()
+// call. One throwing job therefore costs exactly that job; every other
+// queued job still runs. Callers that need richer quarantine records (seed,
+// scenario name) catch inside the job — see sim::run_scenarios_isolated —
+// and the pool-level capture remains the backstop.
+//
+// An optional watchdog (enable_watchdog) flags jobs that run longer than a
+// deadline — observational only, for wedged-run diagnosis; flagged jobs
+// keep running.
+//
+// The pool reports into the global obs registry: p5g.pool.* (queue-depth
 // and active-worker gauges, submit/complete counters, a queue-wait
-// histogram, and cumulative busy time for utilization accounting.
+// histogram, cumulative busy time) and p5g.resilience.* (captured job
+// failures, watchdog flags).
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "common/watchdog.h"
 
 namespace p5g::obs {
 class Counter;
@@ -25,6 +45,13 @@ class Histogram;
 }  // namespace p5g::obs
 
 namespace p5g {
+
+// One captured job failure: which submit (0-based sequence number since the
+// last wait_idle) threw, and what it said.
+struct TaskError {
+  std::uint64_t job = 0;
+  std::string what;
+};
 
 class ThreadPool {
  public:
@@ -37,21 +64,29 @@ class ThreadPool {
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
-  // Enqueue a job. Jobs must not throw (exceptions would cross thread
-  // boundaries); wrap fallible work and report through the captured state.
+  // Enqueue a job. Jobs may throw: exceptions are captured at the worker
+  // boundary into the error collector and surfaced from wait_idle().
   void submit(std::function<void()> job);
 
-  // Block until the queue is empty and every worker is idle. The pool is
+  // Block until the queue is empty and every worker is idle, then return
+  // the errors captured since the previous wait_idle() (empty on a clean
+  // epoch) — job numbering restarts with the next submit. The pool is
   // reusable after wait_idle() returns.
-  void wait_idle();
+  [[nodiscard]] std::vector<TaskError> wait_idle();
+
+  // Start flagging jobs that run longer than `deadline_ms` (see
+  // common/watchdog.h). Call while idle; flags drain via take_watchdog_flags.
+  void enable_watchdog(double deadline_ms);
+  std::vector<Watchdog::Flag> take_watchdog_flags();
 
  private:
   struct Job {
     std::function<void()> fn;
+    std::uint64_t id = 0;  // submit sequence number within the epoch
     std::chrono::steady_clock::time_point enqueued{};
   };
 
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
   std::deque<Job> queue_;
@@ -59,11 +94,15 @@ class ThreadPool {
   std::condition_variable work_cv_;   // signals workers: job or shutdown
   std::condition_variable idle_cv_;   // signals wait_idle(): all drained
   std::size_t active_ = 0;            // jobs currently executing
+  std::uint64_t next_job_id_ = 0;     // resets every epoch (wait_idle)
   bool stop_ = false;
+  std::vector<TaskError> errors_;     // guarded by mu_
+  std::unique_ptr<Watchdog> watchdog_;  // set once while idle, then read-only
 
-  // Global-registry metrics, resolved once at construction (p5g.pool.*).
+  // Global-registry metrics, resolved once at construction.
   obs::Counter* jobs_submitted_;
   obs::Counter* jobs_completed_;
+  obs::Counter* jobs_failed_;         // p5g.resilience.pool_jobs_failed
   obs::Counter* busy_ms_total_;
   obs::Gauge* queue_depth_;
   obs::Gauge* active_workers_;

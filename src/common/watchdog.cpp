@@ -1,0 +1,77 @@
+#include "common/watchdog.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace p5g {
+
+Watchdog::Watchdog(double deadline_ms, std::size_t slots)
+    : deadline_ms_(deadline_ms),
+      slots_(std::max<std::size_t>(slots, 1)),
+      flags_total_(&obs::registry().counter("p5g.resilience.watchdog_flags")) {
+  P5G_REQUIRE(deadline_ms > 0.0, "watchdog deadline must be positive");
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+Watchdog::~Watchdog() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  monitor_.join();
+}
+
+void Watchdog::task_started(std::size_t slot, std::uint64_t task_id) noexcept {
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  s.start_ns.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       Clock::now().time_since_epoch())
+                       .count(),
+                   std::memory_order_relaxed);
+  // Publish the id last: the monitor keys on it.
+  s.task_id.store(task_id, std::memory_order_release);
+}
+
+void Watchdog::task_finished(std::size_t slot) noexcept {
+  if (slot >= slots_.size()) return;
+  slots_[slot].task_id.store(kIdle, std::memory_order_release);
+}
+
+std::vector<Watchdog::Flag> Watchdog::take_flags() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Flag> out;
+  out.swap(flags_);
+  return out;
+}
+
+void Watchdog::monitor_loop() {
+  // Poll ~4x per deadline so a stuck task is flagged within ~1.25 deadlines.
+  const auto period = std::chrono::duration<double, std::milli>(
+      std::max(deadline_ms_ / 4.0, 1.0));
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cv_.wait_for(lock, period, [this] { return stop_; })) return;
+    const std::int64_t now_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch())
+            .count();
+    for (Slot& s : slots_) {
+      const std::uint64_t id = s.task_id.load(std::memory_order_acquire);
+      if (id == kIdle) continue;
+      if (s.flagged_task.load(std::memory_order_relaxed) == id) continue;
+      const double elapsed_ms =
+          static_cast<double>(now_ns -
+                              s.start_ns.load(std::memory_order_relaxed)) /
+          1e6;
+      if (elapsed_ms <= deadline_ms_) continue;
+      s.flagged_task.store(id, std::memory_order_relaxed);
+      flags_.push_back({id, elapsed_ms});
+      flags_total_->add(1);
+    }
+  }
+}
+
+}  // namespace p5g

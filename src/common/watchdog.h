@@ -1,0 +1,78 @@
+// Stuck-task watchdog for the thread pool.
+//
+// Workers report task start/finish into fixed per-worker slots; a single
+// monitor thread polls the slots and flags any task that has been running
+// longer than the configured deadline. Flagging is observational only — the
+// task keeps running (cancelling arbitrary C++ work is not safe); the flag
+// surfaces through the p5g.resilience.watchdog_flags counter, the
+// take_flags() report, and ultimately the run manifest, so a wedged fleet
+// run is diagnosable instead of silently hanging.
+//
+// This file deliberately reads std::chrono::steady_clock: elapsed-time
+// measurement of real threads is the watchdog's whole job. It is the
+// sanctioned wall-clock exception in src/common — see the allowance table
+// in tools/p5g_lint.py; simulation code must still derive all timing from
+// simulated Seconds.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace p5g::obs {
+class Counter;
+}  // namespace p5g::obs
+
+namespace p5g {
+
+class Watchdog {
+ public:
+  struct Flag {
+    std::uint64_t task_id = 0;   // pool-assigned submit sequence number
+    double elapsed_ms = 0.0;     // observed runtime when first flagged
+  };
+
+  // `slots` is the number of workers that will report (one slot each).
+  // The monitor polls roughly 4x per deadline.
+  Watchdog(double deadline_ms, std::size_t slots);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  double deadline_ms() const noexcept { return deadline_ms_; }
+
+  // Called by worker `slot` around each task. Wait-free slot writes.
+  void task_started(std::size_t slot, std::uint64_t task_id) noexcept;
+  void task_finished(std::size_t slot) noexcept;
+
+  // Drains the flags raised since the last call (unspecified order).
+  std::vector<Flag> take_flags();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> task_id{kIdle};
+    std::atomic<std::int64_t> start_ns{0};
+    std::atomic<std::uint64_t> flagged_task{kIdle};  // last task already flagged
+  };
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+
+  void monitor_loop();
+
+  const double deadline_ms_;
+  std::vector<Slot> slots_;
+  std::mutex mu_;                 // guards flags_ and stop_ for the cv
+  std::condition_variable cv_;
+  std::vector<Flag> flags_;
+  bool stop_ = false;
+  obs::Counter* flags_total_;     // p5g.resilience.watchdog_flags
+  std::thread monitor_;
+};
+
+}  // namespace p5g

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
 namespace p5g::obs {
 
@@ -442,9 +443,8 @@ std::string to_json(const MetricsSnapshot& s, const RunManifest* manifest,
   return w.str();
 }
 
-void write_csv(const MetricsSnapshot& s, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return;
+io::IoResult write_csv(const MetricsSnapshot& s, const std::string& path) {
+  std::ostringstream out;
   out << "metric,kind,field,value\n";
   for (const auto& [name, v] : s.counters) {
     out << name << ",counter,value," << v << '\n';
@@ -463,6 +463,7 @@ void write_csv(const MetricsSnapshot& s, const std::string& path) {
           << h.buckets[i] << '\n';
     }
   }
+  return io::atomic_write_file(path, out.str());
 }
 
 std::optional<ParsedMetrics> parse_metrics_json(std::string_view text) {
@@ -503,13 +504,18 @@ std::optional<ParsedMetrics> parse_metrics_json(std::string_view text) {
 
 bool write_report(const std::string& path, const MetricsSnapshot& s,
                   const RunManifest& manifest) {
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
+  const io::IoResult json_res = io::atomic_write_file(path, to_json(s, &manifest));
+  if (!json_res) {
+    std::fprintf(stderr, "obs: cannot write %s: %s\n", path.c_str(),
+                 json_res.error.c_str());
     return false;
   }
-  out << to_json(s, &manifest);
-  write_csv(s, path + ".csv");
+  const io::IoResult csv_res = write_csv(s, path + ".csv");
+  if (!csv_res) {
+    std::fprintf(stderr, "obs: cannot write %s.csv: %s\n", path.c_str(),
+                 csv_res.error.c_str());
+    return false;
+  }
   return true;
 }
 

@@ -20,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/io.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 
@@ -83,8 +84,9 @@ std::string to_json(const MetricsSnapshot& s, const RunManifest* manifest = null
                     bool counters_only = false);
 
 // Flat CSV: metric,kind,field,value (one row per scalar; histograms expand
-// to count/sum/min/max plus one `le_<bound>` row per bucket).
-void write_csv(const MetricsSnapshot& s, const std::string& path);
+// to count/sum/min/max plus one `le_<bound>` row per bucket). Durable
+// atomic write (tmp + fsync + rename, retried).
+io::IoResult write_csv(const MetricsSnapshot& s, const std::string& path);
 
 // Snapshot re-read from an exported JSON report (manifest ignored).
 struct ParsedMetrics {
@@ -104,7 +106,9 @@ std::optional<ParsedMetrics> parse_metrics_json(std::string_view text);
 bool export_from_args(int argc, char** argv, std::string_view run_name,
                       std::uint64_t seed = 0);
 
-// Non-CLI variant for callers that assembled their own manifest.
+// Non-CLI variant for callers that assembled their own manifest. Both files
+// (JSON + CSV twin) go through the durable atomic writer; false (with the
+// cause on stderr) when either write ultimately fails.
 bool write_report(const std::string& path, const MetricsSnapshot& s,
                   const RunManifest& manifest);
 

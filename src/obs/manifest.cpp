@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/chaos.h"
+#include "common/io.h"
 #include "obs/metrics.h"
 
 #ifndef P5G_GIT_DESCRIBE
@@ -36,6 +38,43 @@ RunManifest make_manifest(std::string run, std::uint64_t seed) {
     os << "csv: " << write_ragged << " ragged row(s) padded/truncated on write";
     m.warnings.push_back(os.str());
   }
+
+  // Mirror the below-obs resilience layers (common/io, common/chaos keep
+  // their own std::atomic tallies — see the DAG note in common/io.h) into
+  // p5g.resilience.* gauges so every exported report carries them.
+  const io::IoStats io = io::io_stats();
+  const chaos::ChaosStats ch = chaos::chaos_stats();
+  registry().gauge("p5g.resilience.io_writes").set(static_cast<double>(io.writes));
+  registry().gauge("p5g.resilience.io_retries").set(static_cast<double>(io.retries));
+  registry().gauge("p5g.resilience.io_failures").set(static_cast<double>(io.failures));
+  registry()
+      .gauge("p5g.resilience.io_chaos_injected")
+      .set(static_cast<double>(io.chaos_injected));
+  registry()
+      .gauge("p5g.resilience.chaos_task_faults")
+      .set(static_cast<double>(ch.task_faults));
+  registry().gauge("p5g.resilience.chaos_stalls").set(static_cast<double>(ch.stalls));
+
+  // Anything that lost work or data is a manifest warning: a report whose
+  // run quarantined tasks or dropped writes must say so up front.
+  auto warn_count = [&m](std::uint64_t n, const char* what) {
+    if (n == 0) return;
+    std::ostringstream os;
+    os << "resilience: " << n << ' ' << what;
+    m.warnings.push_back(os.str());
+  };
+  warn_count(registry().counter("p5g.resilience.pool_jobs_failed").value(),
+             "pool job(s) threw and were captured");
+  warn_count(registry().counter("p5g.resilience.scenarios_quarantined").value(),
+             "scenario task(s) quarantined");
+  warn_count(registry().counter("p5g.resilience.ues_quarantined").value(),
+             "fleet UE task(s) quarantined");
+  warn_count(registry().counter("p5g.resilience.watchdog_flags").value(),
+             "task(s) flagged by the watchdog as stuck");
+  warn_count(registry().counter("p5g.resilience.checkpoint_rejected").value(),
+             "checkpoint load(s) rejected (corrupt or mismatched)");
+  warn_count(io.retries, "file write attempt(s) retried");
+  warn_count(io.failures, "file write(s) failed after exhausting retries");
   return m;
 }
 

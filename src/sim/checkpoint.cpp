@@ -1,0 +1,213 @@
+#include "sim/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace p5g::sim {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x43473550u;  // 'P5GC' little-endian
+constexpr std::uint32_t kVersion = 1;
+
+// ------------------------------------------------------------- encoding --
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_i32(std::string& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+// Doubles travel as their IEEE-754 bit pattern: the round trip is exact,
+// which is what makes a resumed run byte-identical to an uninterrupted one.
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(out, bits);
+}
+
+// ------------------------------------------------------------- decoding --
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool u32(std::uint32_t& v) {
+    if (bytes_.size() - pos_ < 4) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(bytes_[pos_ + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool u64(std::uint64_t& v) {
+    if (bytes_.size() - pos_ < 8) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(bytes_[pos_ + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  bool i32(int& v) {
+    std::uint32_t u = 0;
+    if (!u32(u)) return false;
+    v = static_cast<std::int32_t>(u);
+    return true;
+  }
+
+  bool f64(double& v) {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    std::memcpy(&v, &bits, sizeof v);
+    return true;
+  }
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<FleetCheckpoint> reject(std::string* why, const char* reason) {
+  if (why) *why = reason;
+  static obs::Counter& m_rejected =
+      obs::registry().counter("p5g.resilience.checkpoint_rejected");
+  m_rejected.add(1);
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string encode_checkpoint(const FleetCheckpoint& c) {
+  std::string out;
+  out.reserve(28 + c.done.size() * 124);
+  put_u32(out, kMagic);
+  put_u32(out, kVersion);
+  put_u64(out, c.fleet_seed);
+  put_u64(out, c.n_ues);
+  put_u64(out, static_cast<std::uint64_t>(c.done.size()));
+  for (const UeSummary& u : c.done) {
+    put_u64(out, static_cast<std::uint64_t>(u.ue));
+    put_u64(out, u.seed);
+    put_u32(out, static_cast<std::uint32_t>(u.mobility));
+    put_f64(out, u.start_offset_m);
+    const trace::TraceSummary& t = u.trace;
+    put_u64(out, static_cast<std::uint64_t>(t.ticks));
+    put_f64(out, t.duration);
+    put_f64(out, t.distance);
+    put_f64(out, t.mean_throughput_mbps);
+    put_f64(out, t.mean_rtt_ms);
+    put_f64(out, t.lte_halted_s);
+    put_f64(out, t.nr_halted_s);
+    put_f64(out, t.any_halted_s);
+    put_i32(out, t.reports);
+    put_i32(out, t.handovers);
+    put_i32(out, t.ho_success);
+    put_i32(out, t.ho_prep_failure);
+    put_i32(out, t.ho_exec_failure);
+    put_i32(out, t.ho_rlf_reestablish);
+  }
+  put_u32(out, io::crc32(out));
+  return out;
+}
+
+std::optional<FleetCheckpoint> decode_checkpoint(std::string_view bytes,
+                                                 std::string* why) {
+  if (bytes.size() < 4) return reject(why, "checkpoint truncated (no seal)");
+  const std::string_view body = bytes.substr(0, bytes.size() - 4);
+  Reader tail(bytes.substr(bytes.size() - 4));
+  std::uint32_t stored_crc = 0;
+  static_cast<void>(tail.u32(stored_crc));
+  if (io::crc32(body) != stored_crc) {
+    return reject(why, "checkpoint CRC mismatch (torn or corrupted file)");
+  }
+
+  Reader r(body);
+  std::uint32_t magic = 0, version = 0;
+  if (!r.u32(magic) || magic != kMagic) {
+    return reject(why, "checkpoint magic mismatch (not a fleet checkpoint)");
+  }
+  if (!r.u32(version) || version != kVersion) {
+    return reject(why, "checkpoint version unsupported");
+  }
+  FleetCheckpoint c;
+  std::uint64_t count = 0;
+  if (!r.u64(c.fleet_seed) || !r.u64(c.n_ues) || !r.u64(count)) {
+    return reject(why, "checkpoint header truncated");
+  }
+  if (count > c.n_ues) {
+    return reject(why, "checkpoint claims more completed UEs than the fleet has");
+  }
+  c.done.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    UeSummary u;
+    std::uint64_t ue = 0, ticks = 0;
+    std::uint32_t mobility = 0;
+    trace::TraceSummary& t = u.trace;
+    const bool ok = r.u64(ue) && r.u64(u.seed) && r.u32(mobility) &&
+                    r.f64(u.start_offset_m) && r.u64(ticks) &&
+                    r.f64(t.duration) && r.f64(t.distance) &&
+                    r.f64(t.mean_throughput_mbps) && r.f64(t.mean_rtt_ms) &&
+                    r.f64(t.lte_halted_s) && r.f64(t.nr_halted_s) &&
+                    r.f64(t.any_halted_s) && r.i32(t.reports) &&
+                    r.i32(t.handovers) && r.i32(t.ho_success) &&
+                    r.i32(t.ho_prep_failure) && r.i32(t.ho_exec_failure) &&
+                    r.i32(t.ho_rlf_reestablish);
+    if (!ok) return reject(why, "checkpoint entry truncated");
+    u.ue = static_cast<std::size_t>(ue);
+    u.mobility = static_cast<MobilityKind>(mobility);
+    t.ticks = static_cast<std::size_t>(ticks);
+    if (u.ue >= c.n_ues) return reject(why, "checkpoint entry UE out of range");
+    if (!c.done.empty() && c.done.back().ue >= u.ue) {
+      return reject(why, "checkpoint entries out of order");
+    }
+    c.done.push_back(std::move(u));
+  }
+  if (r.remaining() != 0) return reject(why, "checkpoint has trailing bytes");
+  return c;
+}
+
+io::IoResult save_checkpoint(const std::string& path, const FleetCheckpoint& c) {
+  const io::IoResult r = io::atomic_write_file(path, encode_checkpoint(c));
+  if (r.ok) {
+    static obs::Counter& m_saves =
+        obs::registry().counter("p5g.resilience.checkpoint_saves");
+    m_saves.add(1);
+  }
+  return r;
+}
+
+std::optional<FleetCheckpoint> load_checkpoint(const std::string& path,
+                                               std::string* why) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (why) *why = "checkpoint file missing or unreadable";
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return decode_checkpoint(buf.str(), why);
+}
+
+}  // namespace p5g::sim

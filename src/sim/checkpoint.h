@@ -1,0 +1,63 @@
+// Fleet checkpoint/resume.
+//
+// A FleetCheckpoint is the durable record of a partially completed fleet
+// run: the fleet's identity (seed, size) plus every finished UE's
+// UeSummary. Because fleet_ue_seed makes each UE independently replayable,
+// a resumed run simply skips the checkpointed UEs and re-runs the rest —
+// and the stitched result is byte-identical to an uninterrupted run
+// (doubles round-trip through the file as raw bit patterns).
+//
+// On-disk format (version 1, little-endian, sealed with CRC-32):
+//
+//   u32 magic      'P5GC' (0x43473550)
+//   u32 version    1
+//   u64 fleet_seed
+//   u64 n_ues
+//   u64 count                      -- completed entries that follow
+//   count x entry:
+//     u64 ue, u64 seed, u32 mobility, f64 start_offset_m
+//     u64 ticks, f64 duration, f64 distance,
+//     f64 mean_throughput_mbps, f64 mean_rtt_ms,
+//     f64 lte_halted_s, f64 nr_halted_s, f64 any_halted_s,
+//     i32 reports, i32 handovers, i32 ho_success,
+//     i32 ho_prep_failure, i32 ho_exec_failure, i32 ho_rlf_reestablish
+//   u32 crc32 over every preceding byte
+//
+// Files are written via io::atomic_write_file (tmp + fsync + rename), so a
+// kill mid-checkpoint leaves the previous checkpoint intact. Loading
+// rejects — with a reason — anything truncated, version-skewed, CRC-bad,
+// or belonging to a different fleet; the caller then restarts cleanly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/io.h"
+#include "sim/fleet.h"
+
+namespace p5g::sim {
+
+struct FleetCheckpoint {
+  std::uint64_t fleet_seed = 0;
+  std::uint64_t n_ues = 0;
+  std::vector<UeSummary> done;  // completed UEs, ascending ue order
+
+  bool operator==(const FleetCheckpoint&) const = default;
+};
+
+// In-memory binary round trip (exposed for tests and tooling).
+std::string encode_checkpoint(const FleetCheckpoint& c);
+// nullopt on any corruption; `why`, when non-null, receives the reason.
+std::optional<FleetCheckpoint> decode_checkpoint(std::string_view bytes,
+                                                 std::string* why = nullptr);
+
+// Durable file persistence (atomic write with retry).
+io::IoResult save_checkpoint(const std::string& path, const FleetCheckpoint& c);
+// nullopt when the file is missing or invalid (`why` explains which).
+std::optional<FleetCheckpoint> load_checkpoint(const std::string& path,
+                                               std::string* why = nullptr);
+
+}  // namespace p5g::sim

@@ -1,24 +1,37 @@
 #include "sim/fleet.h"
 
 #include <algorithm>
+#include <mutex>
+#include <numeric>
 #include <string>
 #include <thread>
 
+#include "common/chaos.h"
 #include "common/thread_pool.h"
 #include "obs/timer.h"
+#include "sim/checkpoint.h"
 
 namespace p5g::sim {
 
 namespace {
 
-// p5g.fleet.* instrumentation, resolved once. Counters and gauges only —
-// no RNG or simulation state, so fleet traces stay byte-identical.
+// p5g.fleet.* / p5g.resilience.* instrumentation, resolved once. Counters
+// and gauges only — no RNG or simulation state, so fleet traces stay
+// byte-identical.
 struct FleetMetrics {
   obs::Counter& runs = obs::registry().counter("p5g.fleet.runs");
   obs::Counter& ues = obs::registry().counter("p5g.fleet.ues");
   obs::Gauge& in_flight = obs::registry().gauge("p5g.fleet.ues_in_flight");
   obs::Histogram& ue_ms = obs::registry().histogram("p5g.fleet.ue_ms");
   obs::Histogram& ue_tick_ms = obs::registry().histogram("p5g.fleet.ue_tick_ms");
+  obs::Counter& quarantined =
+      obs::registry().counter("p5g.resilience.ues_quarantined");
+  obs::Counter& ckpt_resumes =
+      obs::registry().counter("p5g.resilience.checkpoint_resumes");
+  obs::Counter& ckpt_mismatch =
+      obs::registry().counter("p5g.resilience.checkpoint_mismatch");
+  obs::Gauge& ckpt_skipped =
+      obs::registry().gauge("p5g.resilience.checkpoint_ues_skipped");
 };
 
 FleetMetrics& fleet_metrics() {
@@ -62,18 +75,17 @@ trace::TraceLog run_fleet_ue(const FleetScenario& f, const FleetEnv& env,
                       &env.shadow());
 }
 
-void for_each_ue_trace(
-    const FleetScenario& f,
+std::vector<RunError> for_each_ue_trace_subset(
+    const FleetScenario& f, std::span<const std::size_t> ues,
     const std::function<void(std::size_t ue, const Scenario& s,
                              const trace::TraceLog& log)>& consume,
     unsigned threads) {
   FleetMetrics& m = fleet_metrics();
   m.runs.add(1);
-  m.ues.add(f.n_ues);
+  m.ues.add(ues.size());
 
   const FleetEnv env(f);
   auto run_one = [&](std::size_t ue) {
-    m.in_flight.add(1.0);
     const obs::ObsClock::time_point start =
         obs::enabled() ? obs::ObsClock::now() : obs::ObsClock::time_point{};
     const Scenario s = fleet_ue_scenario(f, ue);
@@ -86,40 +98,152 @@ void for_each_ue_trace(
         m.ue_tick_ms.record(wall_ms / static_cast<double>(log.ticks.size()));
       }
     }
-    m.in_flight.add(-1.0);
     consume(ue, s, log);  // log dies here: streaming reduce, no N-log peak
+  };
+
+  // The UE task boundary: chaos injection sits here (never inside the
+  // simulation, so surviving UEs' RNG streams are untouched) and any
+  // exception quarantines exactly this UE.
+  std::vector<RunError> errors;
+  std::mutex err_mu;
+  auto guarded = [&](std::size_t ue) {
+    m.in_flight.add(1.0);
+    try {
+      chaos::maybe_stall_task(ue);
+      chaos::maybe_fault_task(ue);
+      run_one(ue);
+    } catch (const std::exception& e) {
+      m.quarantined.add(1);
+      const std::lock_guard<std::mutex> lock(err_mu);
+      errors.push_back({ue, fleet_ue_seed(f.base.seed, ue),
+                        f.base.name + "/ue" + std::to_string(ue), e.what()});
+    } catch (...) {
+      m.quarantined.add(1);
+      const std::lock_guard<std::mutex> lock(err_mu);
+      errors.push_back({ue, fleet_ue_seed(f.base.seed, ue),
+                        f.base.name + "/ue" + std::to_string(ue),
+                        "unknown exception"});
+    }
+    m.in_flight.add(-1.0);
   };
 
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   threads = static_cast<unsigned>(
-      std::min<std::size_t>(threads, std::max<std::size_t>(f.n_ues, 1)));
-  if (threads <= 1 || f.n_ues <= 1) {
-    for (std::size_t ue = 0; ue < f.n_ues; ++ue) run_one(ue);
-    return;
+      std::min<std::size_t>(threads, std::max<std::size_t>(ues.size(), 1)));
+  if (threads <= 1 || ues.size() <= 1) {
+    for (const std::size_t ue : ues) guarded(ue);
+  } else {
+    ThreadPool pool(threads);
+    for (const std::size_t ue : ues) {
+      pool.submit([ue, &guarded] { guarded(ue); });
+    }
+    static_cast<void>(pool.wait_idle());  // guarded() captured everything
   }
-  ThreadPool pool(threads);
-  for (std::size_t ue = 0; ue < f.n_ues; ++ue) {
-    pool.submit([ue, &run_one] { run_one(ue); });
-  }
-  pool.wait_idle();
+  // Completion order is schedule-dependent; the quarantine report is not.
+  std::sort(errors.begin(), errors.end(),
+            [](const RunError& a, const RunError& b) { return a.index < b.index; });
+  return errors;
+}
+
+std::vector<RunError> for_each_ue_trace(
+    const FleetScenario& f,
+    const std::function<void(std::size_t ue, const Scenario& s,
+                             const trace::TraceLog& log)>& consume,
+    unsigned threads) {
+  std::vector<std::size_t> all(f.n_ues);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  return for_each_ue_trace_subset(f, all, consume, threads);
 }
 
 FleetResult run_fleet(const FleetScenario& f, unsigned threads) {
+  return run_fleet(f, FleetCheckpointOptions{}, threads);
+}
+
+FleetResult run_fleet(const FleetScenario& f, const FleetCheckpointOptions& ckpt,
+                      unsigned threads) {
+  FleetMetrics& m = fleet_metrics();
   FleetResult out;
   out.ues.resize(f.n_ues);
-  // Each worker writes its own pre-sized slot — no lock, deterministic
-  // result regardless of completion order.
-  for_each_ue_trace(
-      f,
-      [&out](std::size_t ue, const Scenario& s, const trace::TraceLog& log) {
-        UeSummary& u = out.ues[ue];
+  std::vector<char> done(f.n_ues, 0);
+
+  // Resume: adopt a valid checkpoint of the SAME fleet; anything else —
+  // corrupt, version-skewed, or a different (seed, n_ues) — is rejected and
+  // the run restarts from scratch.
+  if (ckpt.resume && !ckpt.path.empty()) {
+    std::string why;
+    if (std::optional<FleetCheckpoint> loaded =
+            load_checkpoint(ckpt.path, &why)) {
+      if (loaded->fleet_seed == f.base.seed && loaded->n_ues == f.n_ues) {
+        for (UeSummary& u : loaded->done) {
+          done[u.ue] = 1;
+          out.ues[u.ue] = std::move(u);
+        }
+        m.ckpt_resumes.add(1);
+        m.ckpt_skipped.set(static_cast<double>(loaded->done.size()));
+      } else {
+        m.ckpt_mismatch.add(1);
+      }
+    }
+  }
+
+  std::vector<std::size_t> pending;
+  pending.reserve(f.n_ues);
+  for (std::size_t ue = 0; ue < f.n_ues; ++ue) {
+    if (!done[ue]) pending.push_back(ue);
+  }
+
+  // Periodic checkpointing. `ckpt_mu` serializes the done-bitmap updates
+  // and the snapshot encode; the UeSummary slot write happens before the
+  // bitmap flip, so a snapshot only ever reads fully written entries.
+  std::mutex ckpt_mu;
+  std::size_t since_save = 0;
+  auto snapshot_locked = [&] {
+    FleetCheckpoint c;
+    c.fleet_seed = f.base.seed;
+    c.n_ues = f.n_ues;
+    for (std::size_t ue = 0; ue < f.n_ues; ++ue) {
+      if (done[ue]) c.done.push_back(out.ues[ue]);
+    }
+    // A failed periodic save must not kill the fleet — the counters and the
+    // final save (whose failure IS surfaced) cover it.
+    static_cast<void>(save_checkpoint(ckpt.path, c));
+  };
+
+  out.errors = for_each_ue_trace_subset(
+      f, pending,
+      [&](std::size_t ue, const Scenario& s, const trace::TraceLog& log) {
+        UeSummary u;
         u.ue = ue;
         u.seed = s.seed;
         u.mobility = s.mobility;
         u.start_offset_m = s.start_offset_m;
         u.trace = trace::summarize(log);
+        const std::lock_guard<std::mutex> lock(ckpt_mu);
+        out.ues[ue] = std::move(u);
+        done[ue] = 1;
+        if (!ckpt.path.empty() && ckpt.every_k > 0 &&
+            ++since_save >= ckpt.every_k) {
+          since_save = 0;
+          snapshot_locked();
+        }
       },
       threads);
+
+  // Quarantined UEs keep their identity in the result (trace stays zero) so
+  // downstream consumers can line reports up by UE.
+  for (const RunError& e : out.errors) {
+    UeSummary& u = out.ues[e.index];
+    const Scenario s = fleet_ue_scenario(f, e.index);
+    u.ue = e.index;
+    u.seed = s.seed;
+    u.mobility = s.mobility;
+    u.start_offset_m = s.start_offset_m;
+  }
+
+  if (!ckpt.path.empty()) {
+    const std::lock_guard<std::mutex> lock(ckpt_mu);
+    snapshot_locked();
+  }
   return out;
 }
 

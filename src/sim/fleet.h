@@ -24,9 +24,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "ran/mobility_manager.h"
+#include "sim/runner.h"
 #include "sim/scenario.h"
 
 namespace p5g::sim {
@@ -98,20 +101,60 @@ struct UeSummary {
 
 struct FleetResult {
   std::vector<UeSummary> ues;  // indexed by UE, always n_ues entries
+  // Quarantined UEs (one entry per UE whose task threw), ascending by UE.
+  // Their `ues` slots carry identity (ue/seed/mobility/offset) but a
+  // default-zero trace. RunError::seed replays the failure in isolation via
+  // run_fleet_ue.
+  std::vector<RunError> errors;
+
+  bool ok() const { return errors.empty(); }
+};
+
+// Checkpoint/resume policy for run_fleet. With a non-empty `path` the run
+// persists a sim::FleetCheckpoint (see sim/checkpoint.h) of every completed
+// UE — after each `every_k` completions and once at the end — through the
+// durable atomic writer, so a killed run loses at most `every_k` UEs of
+// work. With `resume` set, a valid checkpoint for the SAME fleet
+// (seed + n_ues) skips its UEs; an invalid, corrupt, or mismatched
+// checkpoint is rejected (with a manifest-visible counter) and the run
+// restarts from scratch. Resumed output is byte-identical to an
+// uninterrupted run.
+struct FleetCheckpointOptions {
+  std::string path;          // empty = no checkpointing
+  std::size_t every_k = 0;   // 0 = only the final checkpoint
+  bool resume = false;
 };
 
 // Streams every UE's full trace through `consume`, which is called from
 // pool workers (concurrently — it must be thread-safe) in unspecified UE
 // order; at most `threads` logs are alive at once. `threads` = 0 uses one
-// worker per hardware thread.
-void for_each_ue_trace(
+// worker per hardware thread. A UE task that throws is quarantined: its
+// RunError is in the returned report (ascending by UE) and `consume` is
+// simply never called for it — the rest of the fleet still runs.
+std::vector<RunError> for_each_ue_trace(
     const FleetScenario& f,
     const std::function<void(std::size_t ue, const Scenario& s,
                              const trace::TraceLog& log)>& consume,
     unsigned threads = 0);
 
+// Subset variant: runs only the listed UEs (the resume path re-runs just
+// the UEs a checkpoint is missing; tests replay single UEs).
+std::vector<RunError> for_each_ue_trace_subset(
+    const FleetScenario& f, std::span<const std::size_t> ues,
+    const std::function<void(std::size_t ue, const Scenario& s,
+                             const trace::TraceLog& log)>& consume,
+    unsigned threads = 0);
+
 // Runs the whole fleet on the shared thread pool and returns the per-UE
-// summaries in UE order. Deterministic in `f` (any thread count).
+// summaries in UE order. Deterministic in `f` (any thread count); UE tasks
+// that fail are quarantined into FleetResult::errors instead of killing the
+// run.
 FleetResult run_fleet(const FleetScenario& f, unsigned threads = 0);
+
+// Checkpointing/resuming variant (see FleetCheckpointOptions). The final
+// checkpoint excludes quarantined UEs, so a later --resume retries exactly
+// the failed and unfinished ones.
+FleetResult run_fleet(const FleetScenario& f, const FleetCheckpointOptions& ckpt,
+                      unsigned threads = 0);
 
 }  // namespace p5g::sim

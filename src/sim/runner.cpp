@@ -1,8 +1,11 @@
 #include "sim/runner.h"
 
 #include <algorithm>
+#include <mutex>
+#include <stdexcept>
 #include <thread>
 
+#include "common/chaos.h"
 #include "common/thread_pool.h"
 #include "obs/timer.h"
 
@@ -10,51 +13,108 @@ namespace p5g::sim {
 
 namespace {
 
-// Dispatches scenarios[i] -> out[i] over a pool. `run_one` must be safe to
-// call concurrently for distinct indices.
+// Dispatches scenarios[i] -> out.logs[i] over a pool, quarantining any task
+// that throws. `run_one` must be safe to call concurrently for distinct
+// indices.
 template <typename RunOne>
-std::vector<trace::TraceLog> sweep(std::span<const Scenario> scenarios,
-                                   unsigned threads, RunOne run_one) {
+SweepResult sweep(std::span<const Scenario> scenarios, unsigned threads,
+                  RunOne run_one) {
   static obs::Counter& m_sweeps = obs::registry().counter("p5g.sim.sweeps");
   static obs::Counter& m_sweep_scenarios =
       obs::registry().counter("p5g.sim.sweep_scenarios");
+  static obs::Counter& m_quarantined =
+      obs::registry().counter("p5g.resilience.scenarios_quarantined");
   static obs::Histogram& m_sweep_ms =
       obs::registry().histogram("p5g.sim.sweep_ms");
   const obs::ObsTimer sweep_timer(m_sweep_ms);
   m_sweeps.add(1);
   m_sweep_scenarios.add(scenarios.size());
 
-  std::vector<trace::TraceLog> out(scenarios.size());
+  SweepResult res;
+  res.logs.resize(scenarios.size());
+  std::mutex err_mu;
+  // The task boundary: chaos injection points sit here (outside the
+  // simulation, so an un-faulted scenario's RNG streams are untouched) and
+  // any exception is quarantined with enough identity to replay the failure
+  // in isolation.
+  auto guarded = [&](std::size_t i) {
+    try {
+      chaos::maybe_stall_task(i);
+      chaos::maybe_fault_task(i);
+      res.logs[i] = run_one(i);
+    } catch (const std::exception& e) {
+      m_quarantined.add(1);
+      const std::lock_guard<std::mutex> lock(err_mu);
+      res.errors.push_back({i, scenarios[i].seed, scenarios[i].name, e.what()});
+    } catch (...) {
+      m_quarantined.add(1);
+      const std::lock_guard<std::mutex> lock(err_mu);
+      res.errors.push_back(
+          {i, scenarios[i].seed, scenarios[i].name, "unknown exception"});
+    }
+  };
+
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   const std::size_t want = std::max<std::size_t>(scenarios.size(), 1);
   if (want < threads) threads = static_cast<unsigned>(want);
   if (threads <= 1 || scenarios.size() <= 1) {
-    for (std::size_t i = 0; i < scenarios.size(); ++i) out[i] = run_one(i);
-    return out;
+    for (std::size_t i = 0; i < scenarios.size(); ++i) guarded(i);
+  } else {
+    ThreadPool pool(threads);
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      pool.submit([i, &guarded] { guarded(i); });
+    }
+    // guarded() already captured everything; the pool-level collector is
+    // the backstop for exceptions outside it (none on this path).
+    static_cast<void>(pool.wait_idle());
   }
-  ThreadPool pool(threads);
-  for (std::size_t i = 0; i < scenarios.size(); ++i) {
-    pool.submit([i, &out, &run_one] { out[i] = run_one(i); });
-  }
-  pool.wait_idle();
-  return out;
+  // Completion order is schedule-dependent; the report is not.
+  std::sort(res.errors.begin(), res.errors.end(),
+            [](const RunError& a, const RunError& b) { return a.index < b.index; });
+  return res;
+}
+
+[[noreturn]] void throw_first(const SweepResult& res) {
+  const RunError& e = res.errors.front();
+  throw std::runtime_error("run_scenarios: scenario " + std::to_string(e.index) +
+                           " ('" + e.name + "', seed " + std::to_string(e.seed) +
+                           ") failed: " + e.cause +
+                           (res.errors.size() > 1
+                                ? " (+" + std::to_string(res.errors.size() - 1) +
+                                      " more)"
+                                : ""));
 }
 
 }  // namespace
 
-std::vector<trace::TraceLog> run_scenarios(std::span<const Scenario> scenarios,
-                                           unsigned threads) {
+SweepResult run_scenarios_isolated(std::span<const Scenario> scenarios,
+                                   unsigned threads) {
   return sweep(scenarios, threads,
                [&](std::size_t i) { return run_scenario(scenarios[i]); });
+}
+
+SweepResult run_scenarios_isolated(std::span<const Scenario> scenarios,
+                                   const ran::Deployment& deployment,
+                                   const geo::Route& route, unsigned threads) {
+  return sweep(scenarios, threads, [&](std::size_t i) {
+    return run_scenario(scenarios[i], deployment, route);
+  });
+}
+
+std::vector<trace::TraceLog> run_scenarios(std::span<const Scenario> scenarios,
+                                           unsigned threads) {
+  SweepResult res = run_scenarios_isolated(scenarios, threads);
+  if (!res.ok()) throw_first(res);
+  return std::move(res.logs);
 }
 
 std::vector<trace::TraceLog> run_scenarios(std::span<const Scenario> scenarios,
                                            const ran::Deployment& deployment,
                                            const geo::Route& route,
                                            unsigned threads) {
-  return sweep(scenarios, threads, [&](std::size_t i) {
-    return run_scenario(scenarios[i], deployment, route);
-  });
+  SweepResult res = run_scenarios_isolated(scenarios, deployment, route, threads);
+  if (!res.ok()) throw_first(res);
+  return std::move(res.logs);
 }
 
 }  // namespace p5g::sim

@@ -1,26 +1,68 @@
-// Parallel scenario sweeps.
+// Parallel scenario sweeps with failure isolation.
 //
 // Every Scenario owns its seed and every run_scenario() call builds (or is
 // handed) immutable shared state, so independent scenarios can run on a
 // thread pool with results that are byte-identical to a serial loop — the
 // i-th output is always run_scenario(scenarios[i]), whatever the schedule.
+//
+// Failure isolation: a scenario task that throws (a contract trip, a chaos
+// injection, bad input) is quarantined — its slot stays a default TraceLog,
+// a RunError records its index/seed/cause — and every other scenario still
+// runs to completion. run_scenarios_isolated surfaces the quarantine
+// report; the legacy run_scenarios wrappers throw if anything was
+// quarantined (after finishing the rest), preserving their all-or-nothing
+// contract.
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "sim/scenario.h"
 
 namespace p5g::sim {
 
+// One quarantined task: which element of the sweep (or which UE of a
+// fleet) failed, the seed to replay it in isolation, and why.
+struct RunError {
+  std::size_t index = 0;       // scenario index / UE number
+  std::uint64_t seed = 0;      // scenario seed — replays the failure alone
+  std::string name;            // scenario name
+  std::string cause;           // exception text
+
+  bool operator==(const RunError&) const = default;
+};
+
+struct SweepResult {
+  // logs[i] corresponds to scenarios[i]; quarantined slots hold a default
+  // (empty) TraceLog and appear in `errors`.
+  std::vector<trace::TraceLog> logs;
+  std::vector<RunError> errors;  // sorted by index
+
+  bool ok() const { return errors.empty(); }
+};
+
 // Runs each scenario concurrently on `threads` workers (0 = one per
-// hardware thread) and returns the logs in input order. Equivalent to
-// calling run_scenario(s) for each element serially.
-std::vector<trace::TraceLog> run_scenarios(std::span<const Scenario> scenarios,
-                                           unsigned threads = 0);
+// hardware thread), quarantining failures. Successful slots are
+// byte-identical to a serial run_scenario(s) loop, whatever the schedule
+// and whichever other slots failed.
+SweepResult run_scenarios_isolated(std::span<const Scenario> scenarios,
+                                   unsigned threads = 0);
 
 // Variant that reuses one deployment/route across all scenarios (the
 // paper's repeated walking loops). Deployment and Route are only read.
+SweepResult run_scenarios_isolated(std::span<const Scenario> scenarios,
+                                   const ran::Deployment& deployment,
+                                   const geo::Route& route,
+                                   unsigned threads = 0);
+
+// All-or-nothing wrappers: equivalent to calling run_scenario(s) for each
+// element serially; if any scenario was quarantined they throw
+// std::runtime_error naming the first failure (the rest of the sweep still
+// ran — one bad scenario no longer kills the process mid-sweep).
+std::vector<trace::TraceLog> run_scenarios(std::span<const Scenario> scenarios,
+                                           unsigned threads = 0);
 std::vector<trace::TraceLog> run_scenarios(std::span<const Scenario> scenarios,
                                            const ran::Deployment& deployment,
                                            const geo::Route& route,

@@ -107,7 +107,7 @@ int to_i(const std::string& s) {
 
 }  // namespace
 
-void write_csv(const TraceLog& log, const std::string& path) {
+io::IoResult write_csv(const TraceLog& log, const std::string& path) {
   csv::Writer w(path, {"time", "route_pos", "x", "y", "speed", "lte_pci", "lte_rsrp",
                        "lte_rsrq", "lte_sinr", "nr_pci", "nr_rsrp", "nr_rsrq",
                        "nr_sinr", "nr_attached", "lte_halted", "nr_halted",
@@ -144,6 +144,12 @@ void write_csv(const TraceLog& log, const std::string& path) {
                   csv::cell(h.rach_attempts), csv::format(h.backoff_ms, 2),
                   csv::format(h.reestablish_ms, 2)});
   }
+
+  // Surface the first failure; still attempt both files so a transient
+  // error on the tick CSV doesn't silently drop the HO CSV too.
+  const io::IoResult tick_res = w.close();
+  const io::IoResult ho_res = hw.close();
+  return tick_res.ok ? ho_res : tick_res;
 }
 
 TraceLog read_csv(const std::string& path) {

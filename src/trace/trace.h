@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/io.h"
 #include "common/units.h"
 #include "obs/manifest.h"
 #include "radio/band.h"
@@ -115,7 +116,10 @@ TraceSummary summarize(const TraceLog& log);
 
 // CSV persistence (one row per tick; observed-cell list flattened to the
 // strongest 4 neighbors per RAT; HOs in a separate file `<path>.ho.csv`).
-void write_csv(const TraceLog& log, const std::string& path);
+// Both files go through the durable atomic writer (tmp + fsync + rename,
+// retried); the result reports the FIRST failure — callers must check it,
+// a dropped trace is data loss.
+io::IoResult write_csv(const TraceLog& log, const std::string& path);
 TraceLog read_csv(const std::string& path);
 
 // Extract per-band throughput series around each HO for phase analysis.

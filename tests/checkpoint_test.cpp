@@ -1,0 +1,304 @@
+// Fleet checkpoint format and resume semantics: exact round-trips, rejection
+// of every corruption class (truncation, bit flips, wrong magic/version,
+// inconsistent entries), and the headline contract — a killed-and-resumed
+// fleet run is byte-identical to an uninterrupted one.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/chaos.h"
+#include "common/io.h"
+#include "obs/metrics.h"
+#include "sim/checkpoint.h"
+#include "sim/fleet.h"
+
+namespace p5g {
+namespace {
+
+sim::FleetScenario small_fleet(std::uint64_t seed = 42, std::size_t n = 6) {
+  sim::FleetScenario f;
+  f.base.name = "ckpt_fleet";
+  f.base.carrier = ran::profile_opx();
+  f.base.arch = ran::Arch::kNsa;
+  f.base.nr_band = radio::Band::kNrLow;
+  f.base.mobility = sim::MobilityKind::kFreeway;
+  f.base.speed_kmh = 110.0;
+  f.base.duration = 10.0;
+  f.base.seed = seed;
+  f.n_ues = n;
+  f.stagger_m = 100.0;
+  return f;
+}
+
+sim::FleetCheckpoint sample_checkpoint() {
+  sim::FleetCheckpoint c;
+  c.fleet_seed = 0xDEADBEEFCAFEF00DULL;
+  c.n_ues = 5;
+  for (std::size_t ue : {0u, 2u, 4u}) {
+    sim::UeSummary u;
+    u.ue = ue;
+    u.seed = sim::fleet_ue_seed(c.fleet_seed, ue);
+    u.mobility = sim::MobilityKind::kCity;
+    u.start_offset_m = 150.0 * static_cast<double>(ue);
+    u.trace.ticks = 200 * (ue + 1);
+    u.trace.duration = 9.95;
+    u.trace.distance = 305.5551234567 + static_cast<double>(ue);
+    u.trace.mean_throughput_mbps = 87.125;
+    u.trace.mean_rtt_ms = 43.0625;
+    u.trace.lte_halted_s = 0.05;
+    u.trace.nr_halted_s = -0.0;  // signed-zero bit pattern must round-trip
+    u.trace.any_halted_s = 0.05;
+    u.trace.reports = 7;
+    u.trace.handovers = 3;
+    u.trace.ho_success = 2;
+    u.trace.ho_prep_failure = 1;
+    u.trace.ho_exec_failure = 0;
+    u.trace.ho_rlf_reestablish = 0;
+    c.done.push_back(u);
+  }
+  return c;
+}
+
+// Re-seal a tampered body with a fresh CRC so decode exercises the checks
+// BEHIND the seal (magic, version, entry consistency).
+std::string reseal(std::string body_and_old_crc) {
+  body_and_old_crc.resize(body_and_old_crc.size() - 4);
+  const std::uint32_t crc = io::crc32(body_and_old_crc);
+  for (int i = 0; i < 4; ++i) {
+    body_and_old_crc.push_back(static_cast<char>((crc >> (8 * i)) & 0xFFu));
+  }
+  return body_and_old_crc;
+}
+
+TEST(Checkpoint, EncodeDecodeRoundTripIsExact) {
+  const sim::FleetCheckpoint c = sample_checkpoint();
+  const std::string bytes = encode_checkpoint(c);
+  std::string why;
+  const auto back = sim::decode_checkpoint(bytes, &why);
+  ASSERT_TRUE(back.has_value()) << why;
+  EXPECT_EQ(*back, c);
+}
+
+TEST(Checkpoint, SaveLoadRoundTripsThroughDisk) {
+  const std::string path = "/tmp/p5g_ckpt_roundtrip.bin";
+  const sim::FleetCheckpoint c = sample_checkpoint();
+  ASSERT_TRUE(sim::save_checkpoint(path, c).ok);
+  std::string why;
+  const auto back = sim::load_checkpoint(path, &why);
+  ASSERT_TRUE(back.has_value()) << why;
+  EXPECT_EQ(*back, c);
+}
+
+TEST(Checkpoint, EveryTruncationIsRejected) {
+  const std::string bytes = encode_checkpoint(sample_checkpoint());
+  for (std::size_t len = 0; len < bytes.size(); len += 7) {
+    std::string why;
+    EXPECT_FALSE(sim::decode_checkpoint(bytes.substr(0, len), &why).has_value())
+        << "prefix of " << len << " bytes decoded";
+    EXPECT_FALSE(why.empty());
+  }
+}
+
+TEST(Checkpoint, AnySingleBitFlipIsRejected) {
+  const std::string bytes = encode_checkpoint(sample_checkpoint());
+  for (std::size_t pos = 0; pos < bytes.size(); pos += 13) {
+    std::string corrupt = bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x01);
+    std::string why;
+    EXPECT_FALSE(sim::decode_checkpoint(corrupt, &why).has_value())
+        << "bit flip at " << pos << " decoded";
+  }
+}
+
+TEST(Checkpoint, WrongMagicAndVersionAreRejectedBehindTheSeal) {
+  const std::string bytes = encode_checkpoint(sample_checkpoint());
+
+  std::string wrong_magic = bytes;
+  wrong_magic[0] = 'X';
+  std::string why;
+  EXPECT_FALSE(sim::decode_checkpoint(reseal(wrong_magic), &why).has_value());
+  EXPECT_NE(why.find("magic"), std::string::npos) << why;
+
+  std::string wrong_version = bytes;
+  wrong_version[4] = 2;
+  EXPECT_FALSE(sim::decode_checkpoint(reseal(wrong_version), &why).has_value());
+  EXPECT_NE(why.find("version"), std::string::npos) << why;
+}
+
+TEST(Checkpoint, InconsistentEntriesAreRejected) {
+  std::string why;
+
+  sim::FleetCheckpoint out_of_range = sample_checkpoint();
+  out_of_range.done.back().ue = 99;  // >= n_ues
+  EXPECT_FALSE(
+      sim::decode_checkpoint(encode_checkpoint(out_of_range), &why).has_value());
+  EXPECT_NE(why.find("out of range"), std::string::npos) << why;
+
+  sim::FleetCheckpoint unordered = sample_checkpoint();
+  std::swap(unordered.done[0], unordered.done[1]);
+  EXPECT_FALSE(
+      sim::decode_checkpoint(encode_checkpoint(unordered), &why).has_value());
+  EXPECT_NE(why.find("order"), std::string::npos) << why;
+
+  sim::FleetCheckpoint overfull = sample_checkpoint();
+  overfull.n_ues = 2;  // claims fewer UEs than completed entries
+  EXPECT_FALSE(
+      sim::decode_checkpoint(encode_checkpoint(overfull), &why).has_value());
+
+  std::string trailing = encode_checkpoint(sample_checkpoint());
+  trailing.insert(trailing.size() - 4, "\0", 1);  // extra body byte, resealed
+  EXPECT_FALSE(sim::decode_checkpoint(reseal(trailing), &why).has_value());
+}
+
+TEST(Checkpoint, RejectionIsCounted) {
+  const std::uint64_t before =
+      obs::registry().counter("p5g.resilience.checkpoint_rejected").value();
+  std::string why;
+  EXPECT_FALSE(sim::decode_checkpoint("garbage", &why).has_value());
+  EXPECT_GT(obs::registry().counter("p5g.resilience.checkpoint_rejected").value(),
+            before);
+}
+
+TEST(Checkpoint, MissingFileIsReportedDistinctly) {
+  std::string why;
+  EXPECT_FALSE(sim::load_checkpoint("/tmp/p5g_no_such_ckpt.bin", &why).has_value());
+  EXPECT_NE(why.find("missing"), std::string::npos) << why;
+}
+
+// ------------------------------------------------------ resume semantics --
+
+TEST(CheckpointResume, KilledRunResumesByteIdentical) {
+  const sim::FleetScenario f = small_fleet();
+  const std::string path = "/tmp/p5g_ckpt_resume.bin";
+  std::remove(path.c_str());
+
+  // The uninterrupted reference.
+  const sim::FleetResult full = sim::run_fleet(f, 0);
+  ASSERT_TRUE(full.ok());
+
+  // Simulate a run killed after 3 of 6 UEs: persist exactly what the
+  // periodic checkpointing would have written at that point.
+  sim::FleetCheckpoint partial;
+  partial.fleet_seed = f.base.seed;
+  partial.n_ues = f.n_ues;
+  partial.done.assign(full.ues.begin(), full.ues.begin() + 3);
+  ASSERT_TRUE(sim::save_checkpoint(path, partial).ok);
+
+  // Resume must re-run only UEs 3..5 and stitch an identical result.
+  const std::uint64_t ue_runs_before =
+      obs::registry().counter("p5g.fleet.ues").value();
+  sim::FleetCheckpointOptions opts;
+  opts.path = path;
+  opts.resume = true;
+  const sim::FleetResult resumed = sim::run_fleet(f, opts, 0);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(resumed.ues, full.ues) << "resumed result diverged";
+  EXPECT_EQ(obs::registry().counter("p5g.fleet.ues").value() - ue_runs_before,
+            f.n_ues - 3u)
+      << "checkpointed UEs were re-run instead of skipped";
+
+  // The final checkpoint now covers the whole fleet.
+  const auto final_ckpt = sim::load_checkpoint(path);
+  ASSERT_TRUE(final_ckpt.has_value());
+  EXPECT_EQ(final_ckpt->done.size(), f.n_ues);
+}
+
+TEST(CheckpointResume, MismatchedCheckpointTriggersCleanRestart) {
+  const sim::FleetScenario f = small_fleet();
+  const std::string path = "/tmp/p5g_ckpt_mismatch.bin";
+
+  // A checkpoint from a DIFFERENT fleet (other seed): must be ignored.
+  sim::FleetCheckpoint alien;
+  alien.fleet_seed = f.base.seed + 1;
+  alien.n_ues = f.n_ues;
+  ASSERT_TRUE(sim::save_checkpoint(path, alien).ok);
+
+  sim::FleetCheckpointOptions opts;
+  opts.path = path;
+  opts.resume = true;
+  const sim::FleetResult resumed = sim::run_fleet(f, opts, 0);
+  const sim::FleetResult full = sim::run_fleet(f, 0);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(resumed.ues, full.ues) << "clean restart after mismatch diverged";
+}
+
+TEST(CheckpointResume, CorruptCheckpointTriggersCleanRestart) {
+  const sim::FleetScenario f = small_fleet();
+  const std::string path = "/tmp/p5g_ckpt_corrupt.bin";
+  ASSERT_TRUE(io::atomic_write_file(path, "definitely not a checkpoint").ok);
+
+  sim::FleetCheckpointOptions opts;
+  opts.path = path;
+  opts.resume = true;
+  const sim::FleetResult resumed = sim::run_fleet(f, opts, 0);
+  const sim::FleetResult full = sim::run_fleet(f, 0);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(resumed.ues, full.ues);
+}
+
+TEST(CheckpointResume, PeriodicSavesProduceIdenticalFinalResult) {
+  const sim::FleetScenario f = small_fleet();
+  const std::string path = "/tmp/p5g_ckpt_periodic.bin";
+  std::remove(path.c_str());
+
+  sim::FleetCheckpointOptions opts;
+  opts.path = path;
+  opts.every_k = 2;
+  const sim::FleetResult ckpt_run = sim::run_fleet(f, opts, 0);
+  const sim::FleetResult plain = sim::run_fleet(f, 0);
+  EXPECT_EQ(ckpt_run.ues, plain.ues);
+  const auto final_ckpt = sim::load_checkpoint(path);
+  ASSERT_TRUE(final_ckpt.has_value());
+  EXPECT_EQ(final_ckpt->done.size(), f.n_ues);
+}
+
+TEST(CheckpointResume, FinalCheckpointExcludesQuarantinedUes) {
+  const sim::FleetScenario f = small_fleet();
+  const std::string path = "/tmp/p5g_ckpt_quarantine.bin";
+  std::remove(path.c_str());
+
+  // Find a chaos seed that faults some (not all) UEs, deterministically.
+  std::uint64_t chaos_seed = 0;
+  for (std::uint64_t cs = 1; cs < 10000 && chaos_seed == 0; ++cs) {
+    chaos::ChaosProfile probe;
+    probe.seed = cs;
+    probe.task_fault_rate = 0.3;
+    const chaos::ScopedChaos scoped(probe);
+    std::size_t hits = 0;
+    for (std::size_t ue = 0; ue < f.n_ues; ++ue) {
+      if (chaos::should_fault_task(ue)) ++hits;
+    }
+    if (hits >= 1 && hits < f.n_ues) chaos_seed = cs;
+  }
+  ASSERT_NE(chaos_seed, 0u);
+
+  sim::FleetCheckpointOptions opts;
+  opts.path = path;
+  std::size_t quarantined = 0;
+  {
+    chaos::ChaosProfile p;
+    p.seed = chaos_seed;
+    p.task_fault_rate = 0.3;
+    const chaos::ScopedChaos scoped(p);
+    const sim::FleetResult r = sim::run_fleet(f, opts, 0);
+    quarantined = r.errors.size();
+    ASSERT_GT(quarantined, 0u);
+  }
+  const auto ckpt = sim::load_checkpoint(path);
+  ASSERT_TRUE(ckpt.has_value());
+  EXPECT_EQ(ckpt->done.size(), f.n_ues - quarantined)
+      << "failed UEs must stay out of the checkpoint so --resume retries them";
+
+  // And a resume with chaos off retries exactly the quarantined UEs,
+  // completing the fleet.
+  opts.resume = true;
+  const sim::FleetResult healed = sim::run_fleet(f, opts, 0);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(healed.ues, sim::run_fleet(f, 0).ues);
+}
+
+}  // namespace
+}  // namespace p5g

@@ -319,7 +319,7 @@ TEST(FaultsRegression, ZeroFaultDefaultReproducesSeedTrace) {
   const std::string golden = std::string(P5G_GOLDEN_DIR) + "/zero_fault_seed42.csv";
   const std::string fresh = "/tmp/p5g_zero_fault_regen.csv";
   const trace::TraceLog log = sim::run_scenario(golden_scenario());
-  trace::write_csv(log, fresh);
+  ASSERT_TRUE(trace::write_csv(log, fresh).ok);
 
   // Tick CSV: byte-identical.
   const std::string golden_ticks = slurp(golden);
@@ -382,7 +382,7 @@ TEST(FaultsRegression, FaultyScenarioEmitsAllFourOutcomes) {
 
   // Outcomes survive a CSV round trip.
   const std::string path = "/tmp/p5g_faulty_roundtrip.csv";
-  trace::write_csv(log, path);
+  ASSERT_TRUE(trace::write_csv(log, path).ok);
   const trace::TraceLog back = trace::read_csv(path);
   ASSERT_EQ(back.handovers.size(), log.handovers.size());
   for (std::size_t i = 0; i < log.handovers.size(); ++i) {

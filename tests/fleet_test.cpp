@@ -18,7 +18,7 @@ namespace {
 
 std::string csv_bytes(const trace::TraceLog& log, const std::string& tag) {
   const std::string path = "/tmp/p5g_fleet_" + tag + ".csv";
-  trace::write_csv(log, path);
+  EXPECT_TRUE(trace::write_csv(log, path).ok);
   auto slurp = [](const std::string& p) {
     std::ifstream in(p, std::ios::binary);
     std::ostringstream os;

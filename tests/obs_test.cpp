@@ -308,7 +308,7 @@ TEST(ObsThreadPool, QueueAndActiveGaugesTrackLoad) {
       release = true;
     }
     cv.notify_all();
-    pool.wait_idle();
+    EXPECT_TRUE(pool.wait_idle().empty());
   }
   EXPECT_EQ(registry().counter("p5g.pool.jobs_submitted").value(), 4u);
   EXPECT_EQ(registry().counter("p5g.pool.jobs_completed").value(), 4u);

@@ -19,16 +19,16 @@ TEST(ThreadPool, RunsEveryJobAndIsReusable) {
   EXPECT_EQ(pool.size(), 4u);
   std::atomic<int> count{0};
   for (int i = 0; i < 100; ++i) pool.submit([&count] { ++count; });
-  pool.wait_idle();
+  EXPECT_TRUE(pool.wait_idle().empty());
   EXPECT_EQ(count.load(), 100);
   for (int i = 0; i < 50; ++i) pool.submit([&count] { ++count; });
-  pool.wait_idle();
+  EXPECT_TRUE(pool.wait_idle().empty());
   EXPECT_EQ(count.load(), 150);
 }
 
 TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
   ThreadPool pool(2);
-  pool.wait_idle();  // must not deadlock
+  EXPECT_TRUE(pool.wait_idle().empty());  // must not deadlock
 }
 
 TEST(ThreadPool, DefaultSizeUsesHardwareConcurrency) {
@@ -38,7 +38,7 @@ TEST(ThreadPool, DefaultSizeUsesHardwareConcurrency) {
 
 std::string csv_bytes(const trace::TraceLog& log, const std::string& tag) {
   const std::string path = "/tmp/p5g_runner_" + tag + ".csv";
-  trace::write_csv(log, path);
+  EXPECT_TRUE(trace::write_csv(log, path).ok);
   auto slurp = [](const std::string& p) {
     std::ifstream in(p, std::ios::binary);
     std::ostringstream os;

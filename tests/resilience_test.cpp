@@ -1,0 +1,408 @@
+// Failure isolation, chaos determinism, durable I/O, and the watchdog — the
+// resilience layer's contracts, unit by unit, plus the partial-failure
+// behaviour of run_scenarios_isolated / run_fleet and the zero-rate chaos
+// golden regression.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/fleet_stats.h"
+#include "common/chaos.h"
+#include "common/csv.h"
+#include "common/io.h"
+#include "common/thread_pool.h"
+#include "obs/manifest.h"
+#include "sim/fleet.h"
+#include "sim/runner.h"
+#include "trace/trace.h"
+
+namespace p5g {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+sim::Scenario tiny_scenario(std::uint64_t seed, Seconds duration = 10.0) {
+  sim::Scenario s;
+  s.name = "resil_" + std::to_string(seed);
+  s.carrier = ran::profile_opx();
+  s.arch = ran::Arch::kNsa;
+  s.nr_band = radio::Band::kNrLow;
+  s.mobility = sim::MobilityKind::kFreeway;
+  s.speed_kmh = 110.0;
+  s.duration = duration;
+  s.seed = seed;
+  return s;
+}
+
+// A chaos seed whose task-fault draw hits SOME of the keys [0, n) but not
+// all — deterministic, so every run of the test agrees with itself.
+std::uint64_t partial_fault_seed(std::size_t n, double rate) {
+  for (std::uint64_t cs = 1; cs < 10000; ++cs) {
+    chaos::ChaosProfile p;
+    p.seed = cs;
+    p.task_fault_rate = rate;
+    const chaos::ScopedChaos scoped(p);
+    std::size_t hits = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (chaos::should_fault_task(k)) ++hits;
+    }
+    if (hits >= 1 && hits < n) return cs;
+  }
+  ADD_FAILURE() << "no partial-fault chaos seed found";
+  return 0;
+}
+
+// ------------------------------------------------- thread pool isolation --
+
+// The old contract was "jobs must not throw" (std::terminate otherwise).
+// This death test proves the new contract: a throwing job exits the worker
+// boundary captured, and the process lives to exit(0).
+TEST(ThreadPoolDeathTest, ThrowingJobDoesNotTerminateProcess) {
+  // The parent process has spawned threads (earlier tests); fork+exec style
+  // keeps the death test sound there and under the sanitizers.
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_EXIT(
+      {
+        ThreadPool pool(2);
+        for (int i = 0; i < 8; ++i) {
+          pool.submit([] { throw std::runtime_error("boom"); });
+        }
+        static_cast<void>(pool.wait_idle());
+        std::exit(0);
+      },
+      testing::ExitedWithCode(0), "");
+}
+
+TEST(ThreadPoolResilience, WaitIdleSurfacesCapturedErrorsPerEpoch) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ++ran; });
+  pool.submit([] { throw std::runtime_error("job one failed"); });
+  pool.submit([] { throw 42; });  // non-std::exception payload
+  pool.submit([&ran] { ++ran; });
+
+  std::vector<TaskError> errors = pool.wait_idle();
+  EXPECT_EQ(ran.load(), 2) << "healthy jobs must still run";
+  ASSERT_EQ(errors.size(), 2u);
+  std::sort(errors.begin(), errors.end(),
+            [](const TaskError& a, const TaskError& b) { return a.job < b.job; });
+  EXPECT_EQ(errors[0].job, 1u);
+  EXPECT_EQ(errors[0].what, "job one failed");
+  EXPECT_EQ(errors[1].job, 2u);
+  EXPECT_EQ(errors[1].what, "unknown exception");
+
+  // Next epoch starts clean and renumbers from 0.
+  pool.submit([] { throw std::runtime_error("epoch two"); });
+  errors = pool.wait_idle();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].job, 0u);
+  EXPECT_EQ(errors[0].what, "epoch two");
+}
+
+// ------------------------------------------------------------- watchdog --
+
+TEST(WatchdogTest, FlagsTasksPastDeadlineAndOnlyThose) {
+  ThreadPool pool(2);
+  pool.enable_watchdog(5.0);
+
+  std::atomic<int> finished{0};
+  for (int i = 0; i < 3; ++i) {
+    pool.submit([&finished] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(40));
+      ++finished;
+    });
+  }
+  EXPECT_TRUE(pool.wait_idle().empty()) << "a stall is not an error";
+  EXPECT_EQ(finished.load(), 3) << "flagged tasks run to completion";
+  const std::vector<Watchdog::Flag> flags = pool.take_watchdog_flags();
+  EXPECT_EQ(flags.size(), 3u);
+  for (const Watchdog::Flag& f : flags) {
+    EXPECT_GE(f.elapsed_ms, 5.0);
+    EXPECT_LT(f.task_id, 3u);
+  }
+
+  // Fast tasks stay unflagged; the flag buffer was drained above.
+  for (int i = 0; i < 3; ++i) pool.submit([] {});
+  EXPECT_TRUE(pool.wait_idle().empty());
+  EXPECT_TRUE(pool.take_watchdog_flags().empty());
+}
+
+// ---------------------------------------------------- chaos determinism --
+
+TEST(ChaosTest, DecisionsArePureFunctionsOfSeedAndKey) {
+  chaos::ChaosProfile p;
+  p.seed = 7;
+  p.task_fault_rate = 0.5;
+  p.io_fault_rate = 0.5;
+
+  std::vector<bool> first;
+  {
+    const chaos::ScopedChaos scoped(p);
+    for (std::uint64_t k = 0; k < 64; ++k) first.push_back(chaos::should_fault_task(k));
+    // Same seed, second pass: identical decisions (no draw-order state).
+    for (std::uint64_t k = 0; k < 64; ++k) {
+      EXPECT_EQ(chaos::should_fault_task(k), first[k]) << "key " << k;
+    }
+    EXPECT_EQ(chaos::should_fault_io("/tmp/a.csv", 0),
+              chaos::should_fault_io("/tmp/a.csv", 0));
+  }
+  // A different seed picks a different set (with 64 keys at 50%, a clash of
+  // every decision is ~2^-64).
+  p.seed = 8;
+  {
+    const chaos::ScopedChaos scoped(p);
+    std::vector<bool> second;
+    for (std::uint64_t k = 0; k < 64; ++k) second.push_back(chaos::should_fault_task(k));
+    EXPECT_NE(first, second);
+  }
+  // No profile installed: every hook is a no.
+  EXPECT_FALSE(chaos::active());
+  EXPECT_FALSE(chaos::should_fault_task(0));
+  EXPECT_FALSE(chaos::should_fault_io("/tmp/a.csv", 0));
+}
+
+TEST(ChaosTest, ScopedChaosRestoresPreviousProfile) {
+  chaos::ChaosProfile outer;
+  outer.seed = 1;
+  outer.task_fault_rate = 1.0;
+  const chaos::ScopedChaos a(outer);
+  EXPECT_TRUE(chaos::should_fault_task(3));
+  {
+    chaos::ChaosProfile inner;
+    inner.seed = 2;  // all rates zero
+    const chaos::ScopedChaos b(inner);
+    EXPECT_FALSE(chaos::should_fault_task(3));
+  }
+  EXPECT_TRUE(chaos::should_fault_task(3)) << "outer profile restored";
+}
+
+// ------------------------------------------------------------ durable io --
+
+TEST(IoAtomicWrite, WritesAndOverwritesAtomically) {
+  const std::string path = "/tmp/p5g_io_test.txt";
+  ASSERT_TRUE(io::atomic_write_file(path, "first").ok);
+  EXPECT_EQ(slurp(path), "first");
+  ASSERT_TRUE(io::atomic_write_file(path, "second, longer content").ok);
+  EXPECT_EQ(slurp(path), "second, longer content");
+}
+
+TEST(IoAtomicWrite, SurfacesPermanentFailureWithCause) {
+  const io::IoResult r =
+      io::atomic_write_file("/tmp/p5g_no_such_dir_xyz/f.txt", "x");
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(IoAtomicWrite, InjectedTransientFaultsAreRetriedToSuccess) {
+  const std::string path = "/tmp/p5g_io_chaos.txt";
+  std::remove(path.c_str());
+  const io::IoStats before = io::io_stats();
+  chaos::ChaosProfile p;
+  p.seed = 5;
+  p.io_fault_rate = 1.0;
+  p.io_fault_attempts = 2;  // fewer than RetryPolicy::max_attempts
+  const chaos::ScopedChaos scoped(p);
+  ASSERT_TRUE(io::atomic_write_file(path, "survived").ok);
+  EXPECT_EQ(slurp(path), "survived");
+  const io::IoStats after = io::io_stats();
+  EXPECT_GE(after.retries, before.retries + 2);
+  EXPECT_GE(after.chaos_injected, before.chaos_injected + 2);
+}
+
+TEST(IoAtomicWrite, InjectedPermanentFaultLeavesOldFileIntact) {
+  const std::string path = "/tmp/p5g_io_chaos_perm.txt";
+  ASSERT_TRUE(io::atomic_write_file(path, "precious").ok);
+  const io::IoStats before = io::io_stats();
+  chaos::ChaosProfile p;
+  p.seed = 5;
+  p.io_fault_rate = 1.0;
+  p.io_fault_attempts = 99;  // outlasts the whole retry budget
+  const chaos::ScopedChaos scoped(p);
+  const io::IoResult r = io::atomic_write_file(path, "clobber");
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(slurp(path), "precious");
+  EXPECT_GT(io::io_stats().failures, before.failures);
+}
+
+TEST(CsvWriterResilience, CloseReportsFailureOnce) {
+  csv::Writer w("/tmp/p5g_no_such_dir_xyz/x.csv", {"a", "b"});
+  w.write_row({"1", "2"});
+  const io::IoResult first = w.close();
+  EXPECT_FALSE(first.ok);
+  EXPECT_FALSE(w.ok());
+  const io::IoResult again = w.close();  // idempotent, same stored result
+  EXPECT_FALSE(again.ok);
+  EXPECT_EQ(again.error, first.error);
+}
+
+TEST(CsvWriterResilience, CloseSucceedsAndIsIdempotent) {
+  const std::string path = "/tmp/p5g_csv_close.csv";
+  csv::Writer w(path, {"a"});
+  w.write_row({"1"});
+  EXPECT_TRUE(w.close().ok);
+  EXPECT_TRUE(w.close().ok);
+  EXPECT_TRUE(w.ok());
+  EXPECT_EQ(slurp(path), "a\n1\n");
+}
+
+// ------------------------------------------- sweep partial failure -------
+
+TEST(RunnerResilience, PartialFailureQuarantinesOnlyFaultedScenarios) {
+  std::vector<sim::Scenario> scenarios;
+  for (std::uint64_t i = 0; i < 6; ++i) scenarios.push_back(tiny_scenario(i + 1));
+
+  std::vector<trace::TraceSummary> reference;
+  for (const sim::Scenario& s : scenarios) {
+    reference.push_back(trace::summarize(sim::run_scenario(s)));
+  }
+
+  chaos::ChaosProfile p;
+  p.seed = partial_fault_seed(scenarios.size(), 0.3);
+  p.task_fault_rate = 0.3;
+  const chaos::ScopedChaos scoped(p);
+
+  const sim::SweepResult res = sim::run_scenarios_isolated(scenarios, 3);
+  ASSERT_FALSE(res.ok());
+  ASSERT_LT(res.errors.size(), scenarios.size());
+  for (std::size_t i = 1; i < res.errors.size(); ++i) {
+    EXPECT_LT(res.errors[i - 1].index, res.errors[i].index) << "sorted by index";
+  }
+  std::vector<char> failed(scenarios.size(), 0);
+  for (const sim::RunError& e : res.errors) {
+    failed[e.index] = 1;
+    EXPECT_EQ(e.seed, scenarios[e.index].seed);
+    EXPECT_EQ(e.name, scenarios[e.index].name);
+    EXPECT_NE(e.cause.find("njected"), std::string::npos) << e.cause;
+    EXPECT_TRUE(res.logs[e.index].ticks.empty()) << "quarantined slot stays empty";
+  }
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    if (failed[i]) continue;
+    EXPECT_EQ(trace::summarize(res.logs[i]), reference[i])
+        << "survivor " << i << " diverged";
+  }
+
+  // A surviving slot is byte-identical to its serial run, not just
+  // summary-equal.
+  std::size_t survivor = 0;
+  while (survivor < scenarios.size() && failed[survivor]) ++survivor;
+  ASSERT_LT(survivor, scenarios.size());
+  ASSERT_TRUE(trace::write_csv(res.logs[survivor], "/tmp/p5g_resil_sweep.csv").ok);
+  ASSERT_TRUE(trace::write_csv(sim::run_scenario(scenarios[survivor]),
+                               "/tmp/p5g_resil_serial.csv")
+                  .ok);
+  EXPECT_EQ(slurp("/tmp/p5g_resil_sweep.csv"), slurp("/tmp/p5g_resil_serial.csv"));
+
+  // The legacy all-or-nothing wrapper now reports instead of terminating.
+  EXPECT_THROW(static_cast<void>(sim::run_scenarios(scenarios, 3)),
+               std::runtime_error);
+}
+
+// ------------------------------------------- fleet partial failure -------
+
+TEST(FleetResilience, QuarantinedUesKeepIdentityAndSurvivorsMatch) {
+  sim::FleetScenario f;
+  f.base = tiny_scenario(42);
+  f.base.name = "resil_fleet";
+  f.n_ues = 8;
+  f.stagger_m = 100.0;
+
+  const sim::FleetResult clean = sim::run_fleet(f, 0);
+  ASSERT_TRUE(clean.ok());
+
+  chaos::ChaosProfile p;
+  p.seed = partial_fault_seed(f.n_ues, 0.3);
+  p.task_fault_rate = 0.3;
+  const chaos::ScopedChaos scoped(p);
+
+  const sim::FleetResult chaotic = sim::run_fleet(f, 0);
+  ASSERT_FALSE(chaotic.ok());
+  ASSERT_LT(chaotic.errors.size(), f.n_ues);
+  std::vector<char> failed(f.n_ues, 0);
+  for (const sim::RunError& e : chaotic.errors) {
+    failed[e.index] = 1;
+    const sim::UeSummary& u = chaotic.ues[e.index];
+    EXPECT_EQ(u.ue, e.index);
+    EXPECT_EQ(u.seed, sim::fleet_ue_seed(f.base.seed, e.index));
+    EXPECT_EQ(e.seed, u.seed);
+    EXPECT_EQ(u.trace, trace::TraceSummary{}) << "no trace for a quarantined UE";
+  }
+  for (std::size_t ue = 0; ue < f.n_ues; ++ue) {
+    if (failed[ue]) continue;
+    EXPECT_EQ(chaotic.ues[ue], clean.ues[ue]) << "survivor " << ue;
+  }
+
+  // fleet_stats carries the same quarantine report and excludes failed UEs
+  // from the distributions instead of counting them as zeros.
+  const analysis::FleetStats fs = analysis::fleet_stats(f, 0);
+  EXPECT_EQ(fs.errors, chaotic.errors);
+  EXPECT_EQ(fs.ho_count.n, f.n_ues - chaotic.errors.size());
+  EXPECT_EQ(fs.mean_tput_mbps.n, f.n_ues - chaotic.errors.size());
+}
+
+// ------------------------------------------------- manifest surfacing ----
+
+TEST(ManifestResilience, QuarantineAndIoTalliesBecomeWarnings) {
+  {
+    ThreadPool pool(1);
+    pool.submit([] { throw std::runtime_error("manifest probe"); });
+    EXPECT_EQ(pool.wait_idle().size(), 1u);
+  }
+  const obs::RunManifest m = obs::make_manifest("resilience_test", 1);
+  bool saw_resilience = false;
+  for (const std::string& w : m.warnings) {
+    if (w.find("resilience:") != std::string::npos) saw_resilience = true;
+  }
+  EXPECT_TRUE(saw_resilience) << "captured pool failure must surface in manifest";
+}
+
+// ------------------------------------------------- golden regression -----
+
+// With a chaos profile INSTALLED but all rates zero, the simulator must
+// still reproduce the pre-resilience golden trace byte for byte — the
+// injection points cost nothing when they decide "no".
+TEST(ChaosRegression, ZeroRateProfileKeepsGoldenTraceByteIdentical) {
+  sim::Scenario s;
+  s.name = "golden_zero_fault";
+  s.carrier = ran::profile_opx();
+  s.arch = ran::Arch::kNsa;
+  s.nr_band = radio::Band::kNrLow;
+  s.mobility = sim::MobilityKind::kFreeway;
+  s.speed_kmh = 110.0;
+  s.duration = 90.0;
+  s.seed = 42;
+
+  chaos::ChaosProfile p;
+  p.seed = 42;  // active profile, zero rates: every hook decides "no"
+  const chaos::ScopedChaos scoped(p);
+
+  const std::string golden =
+      std::string(P5G_GOLDEN_DIR) + "/zero_fault_seed42.csv";
+  const std::string fresh = "/tmp/p5g_chaos_zero_regen.csv";
+  const std::vector<sim::Scenario> one{s};
+  const sim::SweepResult res = sim::run_scenarios_isolated(one, 2);
+  ASSERT_TRUE(res.ok());
+  ASSERT_TRUE(trace::write_csv(res.logs[0], fresh).ok);
+
+  const std::string golden_ticks = slurp(golden);
+  ASSERT_FALSE(golden_ticks.empty()) << "golden trace missing: " << golden;
+  EXPECT_EQ(slurp(fresh), golden_ticks);
+}
+
+}  // namespace
+}  // namespace p5g

@@ -110,7 +110,7 @@ TEST(TraceCsv, RoundTripPreservesKeyFields) {
   s.duration = 60.0;
   const trace::TraceLog log = sim::run_scenario(s);
   const std::string path = "/tmp/p5g_trace_test.csv";
-  trace::write_csv(log, path);
+  ASSERT_TRUE(trace::write_csv(log, path).ok);
   const trace::TraceLog back = trace::read_csv(path);
 
   ASSERT_EQ(back.ticks.size(), log.ticks.size());
