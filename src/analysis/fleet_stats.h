@@ -1,8 +1,11 @@
 // Population statistics over a UE fleet (the cross-UE versions of
 // ho_stats/coverage): distributions of per-UE HO rate, outcome mix,
 // coverage, and data-plane interruption over one shared deployment. The
-// underlying runs stream through sim::for_each_ue_trace, so memory stays
-// O(UEs) summaries + pooled dwell samples, never N full TraceLogs.
+// underlying runs stream through sim::for_each_ue_trace (the cohort
+// lockstep engine), so memory stays O(UEs) summaries + pooled dwell
+// samples plus at most threads x cohort_ues in-flight TraceLogs — the
+// dwell extraction needs per-tick data, so this layer cannot use
+// run_fleet's log-free summary mode.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,34 @@
+// Batched (structure-of-arrays) radio kernels.
+//
+// The per-tick measurement pipeline gathers every candidate cell of a band
+// into contiguous SoA buffers (distance, shadowing, fading, directional
+// loss) and composes RRS triples in one pass. The kernels here are the
+// batch counterparts of the scalar functions in radio/propagation.h and are
+// BIT-IDENTICAL to them by construction: per-element expressions use the
+// same operand association and the same libm calls as the scalar path, and
+// nothing RNG-bearing lives in a batch loop (fading is drawn sequentially
+// by the caller, preserving the scalar draw order).
+//
+// Determinism rules for this file (enforced by tools/p5g_lint.py):
+// no std::fma / __builtin_fma and no fast-math or FP_CONTRACT pragmas —
+// contraction would change the committed golden-trace bytes.
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.h"
+#include "radio/band.h"
+#include "radio/propagation.h"
+
+namespace p5g::radio {
+
+// make_rrs() over `n` co-band samples laid out as parallel arrays. `out`
+// must hold `n` elements. Band constants (profile, path-loss params) are
+// hoisted out of the loop; the per-element math matches make_rrs() double
+// for double (radio_batch_test proves exact equality).
+void make_rrs_batch(Band band, Db interference_margin_db, std::size_t n,
+                    const Meters* distance, const Db* shadowing_db,
+                    const Db* fading_db, const Db* directional_loss_db,
+                    Rrs* out);
+
+}  // namespace p5g::radio

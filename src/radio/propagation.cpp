@@ -1,19 +1,35 @@
 #include "radio/propagation.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "common/check.h"
 
 namespace p5g::radio {
 
+const PathLossParams& path_loss_params(Band band) {
+  // Same expressions the scalar formula evaluated per call, computed once
+  // per band: identical doubles, one log10 left on the per-sample path.
+  static const std::array<PathLossParams, 5> table = [] {
+    std::array<PathLossParams, 5> t{};
+    for (Band b : {Band::kLteLow, Band::kLteMid, Band::kNrLow, Band::kNrMid,
+                   Band::kNrMmWave}) {
+      const BandProfile& p = band_profile(b);
+      t[static_cast<std::size_t>(b)] = {
+          20.0 * std::log10(10.0) + 20.0 * std::log10(p.carrier_mhz) - 27.55,
+          10.0 * p.path_loss_exponent};
+    }
+    return t;
+  }();
+  return table[static_cast<std::size_t>(band)];
+}
+
 Db path_loss_db(Band band, Meters distance) {
-  const BandProfile& p = band_profile(band);
-  const Meters d = std::max(distance, 1.0);
   // Free-space loss at the 10 m reference distance, then log-distance.
-  const double fspl_10m =
-      20.0 * std::log10(10.0) + 20.0 * std::log10(p.carrier_mhz) - 27.55;
-  return fspl_10m + 10.0 * p.path_loss_exponent * std::log10(d / 10.0);
+  const PathLossParams& pl = path_loss_params(band);
+  const Meters d = std::max(distance, 1.0);
+  return pl.fspl_10m + pl.coef * std::log10(d / 10.0);
 }
 
 ShadowingProcess::ShadowingProcess(Band band, Rng rng)
@@ -45,20 +61,39 @@ double ShadowingField::grid_value(long ix, long iy) const {
   return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
 }
 
-Db ShadowingField::at(double x, double y) const {
+ShadowingField::GridWeights ShadowingField::weights_at(double x, double y) const {
+  GridWeights w;
   const double gx = x / grid_m_, gy = y / grid_m_;
-  const long ix = static_cast<long>(std::floor(gx));
-  const long iy = static_cast<long>(std::floor(gy));
-  const double fx = gx - static_cast<double>(ix);
-  const double fy = gy - static_cast<double>(iy);
-  const double w00 = (1 - fx) * (1 - fy), w10 = fx * (1 - fy);
-  const double w01 = (1 - fx) * fy, w11 = fx * fy;
-  const double v = grid_value(ix, iy) * w00 + grid_value(ix + 1, iy) * w10 +
-                   grid_value(ix, iy + 1) * w01 + grid_value(ix + 1, iy + 1) * w11;
+  w.ix = static_cast<long>(std::floor(gx));
+  w.iy = static_cast<long>(std::floor(gy));
+  const double fx = gx - static_cast<double>(w.ix);
+  const double fy = gy - static_cast<double>(w.iy);
+  w.w00 = (1 - fx) * (1 - fy);
+  w.w10 = fx * (1 - fy);
+  w.w01 = (1 - fx) * fy;
+  w.w11 = fx * fy;
   // Normalize by the blend's own standard deviation so the field keeps
   // exactly sigma everywhere (bilinear blending otherwise shrinks it).
-  const double norm = std::sqrt(w00 * w00 + w10 * w10 + w01 * w01 + w11 * w11);
-  return sigma_db_ * v / norm;
+  w.norm = std::sqrt(w.w00 * w.w00 + w.w10 * w.w10 + w.w01 * w.w01 + w.w11 * w.w11);
+  return w;
+}
+
+Db ShadowingField::at_cached(const GridWeights& w, Corners& c) const {
+  if (c.ix != w.ix || c.iy != w.iy) {
+    c.ix = w.ix;
+    c.iy = w.iy;
+    c.g00 = grid_value(w.ix, w.iy);
+    c.g10 = grid_value(w.ix + 1, w.iy);
+    c.g01 = grid_value(w.ix, w.iy + 1);
+    c.g11 = grid_value(w.ix + 1, w.iy + 1);
+  }
+  const double v = c.g00 * w.w00 + c.g10 * w.w10 + c.g01 * w.w01 + c.g11 * w.w11;
+  return sigma_db_ * v / w.norm;
+}
+
+Db ShadowingField::at(double x, double y) const {
+  Corners c;
+  return at_cached(weights_at(x, y), c);
 }
 
 Db fast_fading_db(Band band, Rng& rng) {

@@ -4,6 +4,8 @@
 // route are correlated the way real drive-test RSRP is.
 #pragma once
 
+#include <limits>
+
 #include "common/rng.h"
 #include "common/units.h"
 #include "radio/band.h"
@@ -12,6 +14,17 @@ namespace p5g::radio {
 
 // Deterministic mean path loss at distance d for a band.
 Db path_loss_db(Band band, Meters distance);
+
+// Precomputed constants of the log-distance model, hoisted so batch loops
+// (and path_loss_db itself) evaluate one log10 per sample instead of three.
+// Built with the exact expressions the original scalar formula used, so
+//   fspl_10m + coef * log10(max(d, 1) / 10) == path_loss_db(band, d)
+// bit for bit.
+struct PathLossParams {
+  double fspl_10m = 0.0;  // free-space loss at the 10 m reference distance
+  double coef = 0.0;      // 10 * path-loss exponent
+};
+const PathLossParams& path_loss_params(Band band);
 
 // First-order Gauss-Markov shadowing along a trajectory.
 class ShadowingProcess {
@@ -40,7 +53,35 @@ class ShadowingField {
  public:
   ShadowingField(Band band, std::uint64_t cell_seed);
 
-  // Shadowing in dB at a position (deterministic).
+  // Bilinear blend of a position on the band's shadowing grid: corner cell,
+  // the four weights, and the blend's renormalization factor. A pure
+  // function of (position, band grid spacing) — every field of the same
+  // band shares identical weights, so a batch over co-band cells computes
+  // them once per tick instead of once per cell.
+  struct GridWeights {
+    long ix = 0, iy = 0;  // lower-left grid corner
+    double w00 = 0.0, w10 = 0.0, w01 = 0.0, w11 = 0.0;
+    double norm = 1.0;
+  };
+
+  // Cached corner Gaussians of ONE field at the last grid cell queried.
+  // at_cached() re-hashes the four corners only when the query crosses into
+  // another grid cell, which at drive speeds happens once per many ticks —
+  // the cache turns the dominant grid_value() cost into a rare refresh.
+  struct Corners {
+    long ix = std::numeric_limits<long>::min();  // "never filled"
+    long iy = std::numeric_limits<long>::min();
+    double g00 = 0.0, g10 = 0.0, g01 = 0.0, g11 = 0.0;
+  };
+
+  GridWeights weights_at(double x, double y) const;
+
+  // Shadowing in dB at the weighted position, refreshing `c` if it belongs
+  // to another grid cell. Bit-identical to at() by construction: at() is
+  // implemented as at_cached() over a fresh cache.
+  Db at_cached(const GridWeights& w, Corners& c) const;
+
+  // Shadowing in dB at a position (deterministic). Scalar reference path.
   Db at(double x, double y) const;
 
  private:

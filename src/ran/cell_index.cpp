@@ -50,14 +50,26 @@ void CellIndex::build() {
     g.min_y = min_y;
     g.nx = 1 + static_cast<int>((max_x - min_x) / g.bucket_m);
     g.ny = 1 + static_cast<int>((max_y - min_y) / g.bucket_m);
-    g.buckets.assign(static_cast<std::size_t>(g.nx) * static_cast<std::size_t>(g.ny), {});
-    for (const Entry& e : g.staged) {
+    // Stable counting sort of the id-ordered staged entries into the CSR
+    // layout: within every bucket the id order survives, which is what the
+    // (dist, id) query contract relies on for exact-distance ties.
+    const std::size_t nb =
+        static_cast<std::size_t>(g.nx) * static_cast<std::size_t>(g.ny);
+    auto bucket_of = [&g](const Entry& e) {
       const int bx = std::clamp(
           static_cast<int>((e.pos.x - g.min_x) / g.bucket_m), 0, g.nx - 1);
       const int by = std::clamp(
           static_cast<int>((e.pos.y - g.min_y) / g.bucket_m), 0, g.ny - 1);
-      g.buckets[static_cast<std::size_t>(by) * g.nx + bx].push_back(e);
-    }
+      return static_cast<std::size_t>(by) * static_cast<std::size_t>(g.nx) +
+             static_cast<std::size_t>(bx);
+    };
+    g.bucket_start.assign(nb + 1, 0);
+    for (const Entry& e : g.staged) ++g.bucket_start[bucket_of(e) + 1];
+    for (std::size_t b = 1; b <= nb; ++b) g.bucket_start[b] += g.bucket_start[b - 1];
+    g.entries.resize(g.staged.size());
+    std::vector<std::uint32_t> cursor(g.bucket_start.begin(),
+                                      g.bucket_start.end() - 1);
+    for (const Entry& e : g.staged) g.entries[cursor[bucket_of(e)]++] = e;
   }
 }
 
@@ -77,13 +89,17 @@ void CellIndex::query_radius(geo::Point p, radio::Band band, Meters radius,
   const int y1 = std::clamp(
       static_cast<int>(std::floor((p.y + radius - g.min_y) / g.bucket_m)), 0, g.ny - 1);
   for (int by = y0; by <= y1; ++by) {
-    for (int bx = x0; bx <= x1; ++bx) {
-      for (const Entry& e : g.buckets[static_cast<std::size_t>(by) * g.nx + bx]) {
-        // Same expression (and argument order) as the historical linear
-        // scan, so the filtered set is bit-identical.
-        const Meters d = geo::distance(e.pos, p);
-        if (d <= radius) out.push_back({e.id, d});
-      }
+    // The row's [x0, x1] bucket span is contiguous in the CSR layout, so
+    // the whole row is one linear pass over packed entries.
+    const std::size_t row = static_cast<std::size_t>(by) * static_cast<std::size_t>(g.nx);
+    const std::uint32_t lo = g.bucket_start[row + static_cast<std::size_t>(x0)];
+    const std::uint32_t hi = g.bucket_start[row + static_cast<std::size_t>(x1) + 1];
+    for (std::uint32_t k = lo; k < hi; ++k) {
+      const Entry& e = g.entries[k];
+      // Same expression (and argument order) as the historical linear
+      // scan, so the filtered set is bit-identical.
+      const Meters d = geo::distance(e.pos, p);
+      if (d <= radius) out.push_back({e.id, d});
     }
   }
   std::sort(out.begin(), out.end(), [](const IndexHit& a, const IndexHit& b) {
@@ -112,7 +128,10 @@ std::optional<IndexHit> CellIndex::nearest(geo::Point p, radio::Band band) const
   std::optional<IndexHit> best;
   auto consider = [&](int bx, int by) {
     if (bx < 0 || bx >= g.nx || by < 0 || by >= g.ny) return;
-    for (const Entry& e : g.buckets[static_cast<std::size_t>(by) * g.nx + bx]) {
+    const std::size_t b = static_cast<std::size_t>(by) * static_cast<std::size_t>(g.nx) +
+                          static_cast<std::size_t>(bx);
+    for (std::uint32_t k = g.bucket_start[b]; k < g.bucket_start[b + 1]; ++k) {
+      const Entry& e = g.entries[k];
       const Meters d = geo::distance(e.pos, p);
       if (!best || d < best->dist || (d == best->dist && e.id < best->id)) {
         best = IndexHit{e.id, d};

@@ -12,6 +12,7 @@
 // stay byte-identical to the pre-index simulator.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -62,7 +63,12 @@ class CellIndex {
     double min_y = 0.0;
     int nx = 0;  // bucket counts; 0 until build() or when the band is empty
     int ny = 0;
-    std::vector<std::vector<Entry>> buckets;  // nx * ny, row-major
+    // CSR layout: entries grouped by bucket (row-major, id-ordered within a
+    // bucket), bucket b spanning entries[bucket_start[b] ..
+    // bucket_start[b+1]). A query row's bucket span is one contiguous
+    // entry range — no per-bucket pointer chasing on the hot path.
+    std::vector<Entry> entries;
+    std::vector<std::uint32_t> bucket_start;  // nx * ny + 1 offsets
   };
 
   const Grid& grid(radio::Band band) const;

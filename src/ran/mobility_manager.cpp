@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "radio/batch.h"
 
 namespace p5g::ran {
 
@@ -71,6 +72,13 @@ MobilityManager::MobilityManager(const Deployment& deployment, Config config, Rn
   metrics_.rlf_triggers = &reg.counter("p5g.ran.rlf.triggers");
   metrics_.observe_ms = &reg.histogram("p5g.ran.observe_ms");
   metrics_.decide_ms = &reg.histogram("p5g.ran.decide_ms");
+  static constexpr double kBatchBounds[] = {0.0, 2.0, 4.0, 8.0, 16.0,
+                                            32.0, 64.0, 128.0};
+  metrics_.batch_size = &reg.histogram("p5g.radio.batch_size", kBatchBounds);
+
+  shadow_corners_.resize(deployment_.cells().size());
+  tower_angle_.resize(deployment_.towers().size(), 0.0);
+  tower_angle_epoch_.resize(deployment_.towers().size(), 0);
 }
 
 std::vector<EventConfig> MobilityManager::active_event_configs() const {
@@ -89,34 +97,104 @@ void MobilityManager::observe(Seconds /*t*/, geo::Point pos, Meters moved,
                               : config_.nr_interference_db;
   (void)moved;
   deployment_.cells_near(pos, band, radius, near_buf_);
-  out.reserve(out.size() + near_buf_.size());
-  for (const CellHit& hit : near_buf_) {
-    const Cell* c = hit.cell;
-    // The shadowing field is seeded by the cell identity only, so the same
-    // location shadows the same way on every loop of a route.
-    const Db shadow = (*shadow_)[static_cast<std::size_t>(c->id)].at(pos.x, pos.y);
-    const Db fading = radio::fast_fading_db(band, rng_);
-    // Directional cells attenuate off-boresight (angle from the TOWER).
-    Db dir_loss = 0.0;
-    if (c->directional) {
-      const geo::Point tower = deployment_.tower(c->tower_id).position;
-      const double ue_angle = std::atan2(pos.y - tower.y, pos.x - tower.x);
-      double diff = std::abs(ue_angle - c->azimuth_rad);
-      while (diff > 3.14159265358979) diff = std::abs(diff - 2.0 * 3.14159265358979);
-      const radio::BeamPattern beam = radio::beam_pattern(band);
-      dir_loss = radio::sector_attenuation_db(diff, beam.beamwidth_rad,
-                                              beam.max_attenuation_db);
+  const std::size_t n = near_buf_.size();
+  if (batch_sampler_.next()) {
+    metrics_.batch_size->record(static_cast<double>(n));
+  }
+  out.reserve(out.size() + n);
+
+  if (config_.scalar_observe) {
+    // Scalar reference pipeline (one cell at a time), kept verbatim so the
+    // batched path below can be byte-compared against it.
+    for (const CellHit& hit : near_buf_) {
+      const Cell* c = hit.cell;
+      // The shadowing field is seeded by the cell identity only, so the same
+      // location shadows the same way on every loop of a route.
+      const Db shadow = (*shadow_)[static_cast<std::size_t>(c->id)].at(pos.x, pos.y);
+      const Db fading = radio::fast_fading_db(band, rng_);
+      // Directional cells attenuate off-boresight (angle from the TOWER).
+      Db dir_loss = 0.0;
+      if (c->directional) {
+        const geo::Point tower = deployment_.tower(c->tower_id).position;
+        const double ue_angle = std::atan2(pos.y - tower.y, pos.x - tower.x);
+        double diff = std::abs(ue_angle - c->azimuth_rad);
+        while (diff > 3.14159265358979) diff = std::abs(diff - 2.0 * 3.14159265358979);
+        const radio::BeamPattern beam = radio::beam_pattern(band);
+        dir_loss = radio::sector_attenuation_db(diff, beam.beamwidth_rad,
+                                                beam.max_attenuation_db);
+      }
+      // hit.dist is geo::distance(c->position, pos) cached by the index.
+      out.push_back(
+          {c, radio::make_rrs(band, hit.dist, shadow, fading, interference, dir_loss)});
     }
-    // hit.dist is geo::distance(c->position, pos) cached by the index.
-    out.push_back(
-        {c, radio::make_rrs(band, hit.dist, shadow, fading, interference, dir_loss)});
+    return;
+  }
+
+  // Batched SoA pipeline. Each pass below touches one contiguous array, and
+  // the per-element math matches the scalar path double for double:
+  //   * shadowing keeps the exact blend association (at_cached == at), and
+  //     every co-band field shares one GridWeights computation;
+  //   * fading is the ONLY RNG consumer, drawn sequentially in hit order so
+  //     the stream position matches the scalar path draw for draw;
+  //   * make_rrs_batch preserves make_rrs's operand order.
+  if (n == 0) return;
+  batch_.dist.resize(n);
+  batch_.shadow.resize(n);
+  batch_.fading.resize(n);
+  batch_.dir_loss.resize(n);
+  batch_.rrs.resize(n);
+
+  // All hits are cells of `band`, so they share one grid geometry; the
+  // per-cell corner caches re-hash only on grid-cell crossings.
+  const radio::ShadowingField::GridWeights weights =
+      (*shadow_)[static_cast<std::size_t>(near_buf_[0].cell->id)].weights_at(pos.x,
+                                                                             pos.y);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<std::size_t>(near_buf_[i].cell->id);
+    batch_.shadow[i] = (*shadow_)[id].at_cached(weights, shadow_corners_[id]);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    batch_.fading[i] = radio::fast_fading_db(band, rng_);
+  }
+
+  const radio::BeamPattern beam = radio::beam_pattern(band);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Cell* c = near_buf_[i].cell;
+    if (!c->directional) {
+      batch_.dir_loss[i] = 0.0;
+      continue;
+    }
+    const auto tw = static_cast<std::size_t>(c->tower_id);
+    if (tower_angle_epoch_[tw] != angle_epoch_) {
+      const geo::Point tower = deployment_.tower(c->tower_id).position;
+      tower_angle_[tw] = std::atan2(pos.y - tower.y, pos.x - tower.x);
+      tower_angle_epoch_[tw] = angle_epoch_;
+    }
+    double diff = std::abs(tower_angle_[tw] - c->azimuth_rad);
+    while (diff > 3.14159265358979) diff = std::abs(diff - 2.0 * 3.14159265358979);
+    batch_.dir_loss[i] = radio::sector_attenuation_db(diff, beam.beamwidth_rad,
+                                                      beam.max_attenuation_db);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) batch_.dist[i] = near_buf_[i].dist;
+  radio::make_rrs_batch(band, interference, n, batch_.dist.data(),
+                        batch_.shadow.data(), batch_.fading.data(),
+                        batch_.dir_loss.data(), batch_.rrs.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({near_buf_[i].cell, batch_.rrs[i]});
   }
 }
 
 const CellObservation* MobilityManager::find_obs(
     const std::vector<CellObservation>& obs, int cell_id) const {
-  for (const CellObservation& o : obs) {
-    if (o.cell->id == cell_id) return &o;
+  // The tick's observation list is band-segmented (LTE first, then NR; see
+  // tick()), so the scan covers only the segment the cell's band lives in.
+  const bool lte = deployment_.cell(cell_id).band == config_.lte_band;
+  const std::size_t begin = lte ? 0 : lte_obs_end_;
+  const std::size_t end = lte ? lte_obs_end_ : obs.size();
+  for (std::size_t i = begin; i < end; ++i) {
+    if (obs[i].cell->id == cell_id) return &obs[i];
   }
   return nullptr;
 }
@@ -124,8 +202,14 @@ const CellObservation* MobilityManager::find_obs(
 const CellObservation* MobilityManager::best_of_band(
     const std::vector<CellObservation>& obs, radio::Band band, int same_tower,
     int exclude_tower, int exclude_cell) const {
+  // Band segmentation (see find_obs) narrows the scan; the per-element band
+  // check stays as a correctness guard for bands outside both segments.
+  const bool lte = band == config_.lte_band;
+  const std::size_t begin = lte ? 0 : lte_obs_end_;
+  const std::size_t end = lte ? lte_obs_end_ : obs.size();
   const CellObservation* best = nullptr;
-  for (const CellObservation& o : obs) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const CellObservation& o = obs[i];
     if (o.cell->band != band) continue;
     if (o.cell->id == exclude_cell) continue;
     if (same_tower >= 0 && o.cell->tower_id != same_tower) continue;
@@ -162,6 +246,47 @@ void MobilityManager::ensure_attached(const std::vector<CellObservation>& obs) {
 void MobilityManager::run_event_monitors(Seconds t,
                                          const std::vector<CellObservation>& obs,
                                          TickResult& out) {
+  // Per-tick neighbor digest: serving ids are fixed for the whole monitor
+  // pass (nothing below mutates state_), and every monitor's neighbor
+  // lookup is one of five best_of_band patterns over those ids — so one
+  // scan per band segment here replaces one scan per monitor. Selection
+  // semantics (iteration order, strict-> tie-break, exclusions) match
+  // best_of_band exactly.
+  const CellObservation* serving_lte =
+      state_.lte_cell_id >= 0 ? find_obs(obs, state_.lte_cell_id) : nullptr;
+  const CellObservation* serving_nr =
+      state_.nr_cell_id >= 0 ? find_obs(obs, state_.nr_cell_id) : nullptr;
+  const int nr_tower = serving_nr ? serving_nr->cell->tower_id : -1;
+
+  const CellObservation* best_lte_excl = nullptr;  // LTE, minus serving cell
+  for (std::size_t i = 0; i < lte_obs_end_; ++i) {
+    const CellObservation& o = obs[i];
+    if (o.cell->band != config_.lte_band) continue;
+    if (o.cell->id == state_.lte_cell_id) continue;
+    if (!best_lte_excl || o.rrs.rsrp > best_lte_excl->rrs.rsrp) best_lte_excl = &o;
+  }
+  const CellObservation* best_nr_any = nullptr;          // B1 from the LTE leg
+  const CellObservation* best_nr_excl = nullptr;         // minus serving cell
+  const CellObservation* best_nr_same_tower = nullptr;   // SCGM candidates
+  const CellObservation* best_nr_other_tower = nullptr;  // NR-B1 candidates
+  for (std::size_t i = lte_obs_end_; i < obs.size(); ++i) {
+    const CellObservation& o = obs[i];
+    if (o.cell->band != config_.nr_band) continue;
+    if (!best_nr_any || o.rrs.rsrp > best_nr_any->rrs.rsrp) best_nr_any = &o;
+    if (o.cell->id == state_.nr_cell_id) continue;
+    if (!best_nr_excl || o.rrs.rsrp > best_nr_excl->rrs.rsrp) best_nr_excl = &o;
+    if (nr_tower < 0) continue;
+    if (o.cell->tower_id == nr_tower) {
+      if (!best_nr_same_tower || o.rrs.rsrp > best_nr_same_tower->rrs.rsrp) {
+        best_nr_same_tower = &o;
+      }
+    } else {
+      if (!best_nr_other_tower || o.rrs.rsrp > best_nr_other_tower->rrs.rsrp) {
+        best_nr_other_tower = &o;
+      }
+    }
+  }
+
   for (EventMonitor& mon : monitors_) {
     const EventConfig& c = mon.config();
 
@@ -177,17 +302,17 @@ void MobilityManager::run_event_monitors(Seconds t,
     int serving_pci = -1;
     if (c.scope == MeasScope::kServingLte) {
       if (state_.lte_cell_id < 0) continue;
-      const CellObservation* s = find_obs(obs, state_.lte_cell_id);
+      const CellObservation* s = serving_lte;
       if (!s) continue;
       snap.serving_rsrp = s->rrs.rsrp;
       snap.serving_valid = true;
       serving_pci = s->cell->pci;
       const CellObservation* n = nullptr;
       if (c.neighbor_rat == radio::Rat::kLte) {
-        n = best_of_band(obs, config_.lte_band, -1, -1, state_.lte_cell_id);
+        n = best_lte_excl;
       } else {
         // B1: any NR cell is a candidate for SCG Addition.
-        n = best_of_band(obs, config_.nr_band, -1, -1, -1);
+        n = best_nr_any;
       }
       if (n) {
         snap.best_neighbor_rsrp = n->rrs.rsrp;
@@ -197,21 +322,20 @@ void MobilityManager::run_event_monitors(Seconds t,
       }
     } else {  // kServingNr
       if (state_.nr_cell_id < 0) continue;
-      const CellObservation* s = find_obs(obs, state_.nr_cell_id);
+      const CellObservation* s = serving_nr;
       if (!s) continue;
       snap.serving_rsrp = s->rrs.rsrp;
       snap.serving_valid = true;
       serving_pci = s->cell->pci;
-      const int serving_tower = s->cell->tower_id;
       const CellObservation* n = nullptr;
       if (c.type == EventType::kA3 && config_.arch == Arch::kNsa) {
         // NSA NR-A3: sector/beam switch candidates on the SAME gNB (SCGM).
-        n = best_of_band(obs, config_.nr_band, serving_tower, -1, state_.nr_cell_id);
+        n = best_nr_same_tower;
       } else if (c.type == EventType::kB1) {
         // NR-B1: candidate on a DIFFERENT gNB (pairs with NR-A2 -> SCGC).
-        n = best_of_band(obs, config_.nr_band, -1, serving_tower, state_.nr_cell_id);
+        n = best_nr_other_tower;
       } else {
-        n = best_of_band(obs, config_.nr_band, -1, -1, state_.nr_cell_id);
+        n = best_nr_excl;
       }
       if (n) {
         snap.best_neighbor_rsrp = n->rrs.rsrp;
@@ -635,13 +759,27 @@ void MobilityManager::reset_monitors(MeasScope scope) {
 
 TickResult MobilityManager::tick(Seconds t, geo::Point pos, Meters moved,
                                  Meters route_position) {
-  const bool sample_phases = phase_sampler_.next();
   TickResult out;
+  tick(t, pos, moved, route_position, out);
+  return out;
+}
+
+void MobilityManager::tick(Seconds t, geo::Point pos, Meters moved,
+                           Meters route_position, TickResult& out) {
+  out.observations.clear();
+  out.reports.clear();
+  out.started.clear();
+  out.commands.clear();
+  out.completed.clear();
+  const bool sample_phases = phase_sampler_.next();
+  ++angle_epoch_;  // invalidates the per-tower UE-angle memo
   out.observations.reserve(obs_high_water_);
   {
     const p5g::obs::ObsTimer timer(*metrics_.observe_ms, sample_phases);
-    // Observe all layers relevant to the architecture.
+    // Observe all layers relevant to the architecture: LTE first, then NR,
+    // which is the band segmentation find_obs/best_of_band rely on.
     if (config_.arch != Arch::kSa) observe(t, pos, moved, config_.lte_band, out.observations);
+    lte_obs_end_ = out.observations.size();
     if (config_.arch != Arch::kLteOnly) observe(t, pos, moved, config_.nr_band, out.observations);
   }
   obs_high_water_ = std::max(obs_high_water_, out.observations.size());
@@ -669,7 +807,6 @@ TickResult MobilityManager::tick(Seconds t, geo::Point pos, Meters moved,
       case HoOutcome::kRlfReestablish: metrics_.ho_rlf_reest->add(1); break;
     }
   }
-  return out;
 }
 
 }  // namespace p5g::ran

@@ -82,6 +82,12 @@ class MobilityManager {
     // Failure injection. The default all-zero profile draws no fault
     // randomness and reproduces the fault-free trace bit-for-bit.
     FaultProfile faults{};
+    // Use the scalar per-cell reference pipeline in observe() instead of
+    // the batched SoA one. Both produce byte-identical traces (the batch
+    // kernels preserve expression association and RNG draw order); the
+    // scalar path is kept as the test/bench reference, mirroring
+    // cells_near_linear.
+    bool scalar_observe = false;
   };
 
   // `shared_shadow`, when non-null, must cover every cell of `deployment`
@@ -94,6 +100,12 @@ class MobilityManager {
   // since the previous tick. `route_position` is arc length along the
   // route (recorded into HandoverRecords for frequency analysis).
   TickResult tick(Seconds t, geo::Point pos, Meters moved, Meters route_position);
+
+  // Buffer-reusing variant: clears `out`'s vectors (keeping capacity) and
+  // fills them in place, so a steady-state caller does zero per-tick
+  // allocation. The value semantics match tick() exactly.
+  void tick(Seconds t, geo::Point pos, Meters moved, Meters route_position,
+            TickResult& out);
 
   const UeRadioState& state() const { return state_; }
   const Deployment& deployment() const { return deployment_; }
@@ -195,6 +207,31 @@ class MobilityManager {
   // High-water mark of the per-tick observation list; the next tick's
   // buffer is reserved to it up front.
   std::size_t obs_high_water_ = 0;
+  // SoA batch scratch for the vectorized observe() path: one contiguous
+  // array per quantity, resized (never reallocated past the high-water
+  // mark) each tick. Persistent members so steady-state ticks allocate
+  // nothing.
+  struct ObserveBatch {
+    std::vector<Meters> dist;
+    std::vector<Db> shadow;
+    std::vector<Db> fading;
+    std::vector<Db> dir_loss;
+    std::vector<radio::Rrs> rrs;
+  };
+  ObserveBatch batch_;
+  // Per-cell shadow-grid corner caches (dense cell id), refreshed lazily by
+  // ShadowingField::at_cached when the UE crosses a grid cell.
+  std::vector<radio::ShadowingField::Corners> shadow_corners_;
+  // Per-tower UE-angle memo: all sectors of a tower share
+  // atan2(ue - tower), so directional loss computes it once per tower per
+  // tick. Epoch-tagged; the epoch bumps at the start of every tick.
+  std::vector<double> tower_angle_;
+  std::vector<std::uint64_t> tower_angle_epoch_;
+  std::uint64_t angle_epoch_ = 0;
+  // Index into the current tick's observation list where the NR entries
+  // start (LTE observations come first; see tick()). Lets find_obs /
+  // best_of_band scan only the matching band's segment.
+  std::size_t lte_obs_end_ = 0;
   // p5g.ran.* metrics, resolved once at construction; written from tick()
   // and the fault paths. Pure observation — never feeds back into decisions.
   struct Metrics {
@@ -208,11 +245,15 @@ class MobilityManager {
     p5g::obs::Counter* rlf_triggers = nullptr;
     p5g::obs::Histogram* observe_ms = nullptr;
     p5g::obs::Histogram* decide_ms = nullptr;
+    p5g::obs::Histogram* batch_size = nullptr;
   };
   Metrics metrics_;
   // Phase timers read the clock on 1 tick in 16 (deterministic modular
   // sampling): thousands of samples per scenario at ~1/16 the clock cost.
   p5g::obs::SampleEvery phase_sampler_{4};
+  // p5g.radio.batch_size samples 1 observe in 16 (deterministic stride):
+  // evidence the SoA buffers are exercised, at negligible hot-path cost.
+  p5g::obs::SampleEvery batch_sampler_{4};
   std::optional<PendingHo> pending_;
   int target_cell_ = -1;  // dense cell id of the pending HO's target
   // Recent reports in the current decision phase (cleared on HO start).

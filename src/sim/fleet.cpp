@@ -1,6 +1,7 @@
 #include "sim/fleet.h"
 
 #include <algorithm>
+#include <memory>
 #include <mutex>
 #include <numeric>
 #include <string>
@@ -8,22 +9,34 @@
 
 #include "common/chaos.h"
 #include "common/thread_pool.h"
+#include "obs/export.h"
 #include "obs/timer.h"
 #include "sim/checkpoint.h"
+#include "sim/stepper.h"
 
 namespace p5g::sim {
 
 namespace {
 
+// Tuned lockstep width: wide enough to amortize pool scheduling and keep
+// the shared deployment's index/shadow working set hot across UEs, small
+// enough that a cohort of full TraceLogs (streaming mode) stays modest and
+// fleets of a few dozen UEs still spread over every worker.
+constexpr std::size_t kDefaultCohortUes = 8;
+
 // p5g.fleet.* / p5g.resilience.* instrumentation, resolved once. Counters
 // and gauges only — no RNG or simulation state, so fleet traces stay
-// byte-identical.
+// byte-identical. `scenarios`/`sim_ticks` are the same registry counters
+// sim::run_scenario bumps; the cohort engine steps UEs without going
+// through run_scenario, so it maintains them itself.
 struct FleetMetrics {
   obs::Counter& runs = obs::registry().counter("p5g.fleet.runs");
   obs::Counter& ues = obs::registry().counter("p5g.fleet.ues");
   obs::Gauge& in_flight = obs::registry().gauge("p5g.fleet.ues_in_flight");
   obs::Histogram& ue_ms = obs::registry().histogram("p5g.fleet.ue_ms");
   obs::Histogram& ue_tick_ms = obs::registry().histogram("p5g.fleet.ue_tick_ms");
+  obs::Counter& scenarios = obs::registry().counter("p5g.sim.scenarios");
+  obs::Counter& sim_ticks = obs::registry().counter("p5g.sim.ticks");
   obs::Counter& quarantined =
       obs::registry().counter("p5g.resilience.ues_quarantined");
   obs::Counter& ckpt_resumes =
@@ -39,7 +52,198 @@ FleetMetrics& fleet_metrics() {
   return m;
 }
 
+// One UE inside a cohort task: its identity, stepper, and whichever
+// reduction the mode keeps (full log or streaming summary).
+struct CohortSlot {
+  std::size_t ue = 0;
+  Scenario s;
+  std::unique_ptr<ScenarioStepper> stepper;  // null once failed
+  std::unique_ptr<trace::TraceLog> log;      // log mode only
+  std::unique_ptr<trace::SummaryAccumulator> acc;  // summary mode only
+  bool failed = false;
+};
+
+// The cohort lockstep engine behind both fleet entry points. Each pool
+// task owns `cohort_ues` consecutive UEs of `ues` and advances them
+// tick-major: UE a's tick t runs right before UE b's tick t, so the
+// deployment's cell index and shadow fields are revisited while hot
+// instead of once per whole-UE pass. Per-UE RNG streams make the
+// interleaving invisible: any schedule, thread count, or cohort width
+// produces byte-identical per-UE output.
+//
+// Log mode (`materialize_logs`) builds each UE's TraceLog exactly as
+// run_scenario does and hands it to `consume_log` when the cohort
+// finishes; summary mode never materializes ticks at all — every UE steps
+// into one reused scratch record folded straight into its
+// SummaryAccumulator, and `consume_summary` gets the result.
+//
+// Failure isolation: the chaos hooks fire per UE (keyed by UE index, as
+// the old one-task-per-UE engine did), and any throw — setup, a tick, or
+// the consumer — quarantines exactly that UE while its cohort-mates keep
+// stepping.
+std::vector<RunError> run_cohorts(
+    const FleetScenario& f, std::span<const std::size_t> ues, unsigned threads,
+    bool materialize_logs,
+    const std::function<void(std::size_t ue, const Scenario& s,
+                             const trace::TraceLog& log)>& consume_log,
+    const std::function<void(std::size_t ue, const Scenario& s,
+                             const trace::TraceSummary& summary)>& consume_summary) {
+  FleetMetrics& m = fleet_metrics();
+  m.runs.add(1);
+  m.ues.add(ues.size());
+
+  const FleetEnv env(f);
+  const std::size_t cohort = fleet_cohort_ues(f);
+
+  std::vector<RunError> errors;
+  std::mutex err_mu;
+  auto quarantine = [&](CohortSlot& slot, const char* what) {
+    slot.failed = true;
+    slot.stepper.reset();
+    slot.log.reset();
+    slot.acc.reset();
+    m.quarantined.add(1);
+    const std::lock_guard<std::mutex> lock(err_mu);
+    errors.push_back({slot.ue, fleet_ue_seed(f.base.seed, slot.ue),
+                      f.base.name + "/ue" + std::to_string(slot.ue), what});
+  };
+
+  auto run_cohort = [&](std::size_t begin, std::size_t end) {
+    const std::size_t n = end - begin;
+    m.in_flight.add(static_cast<double>(n));
+    const obs::ObsClock::time_point start =
+        obs::enabled() ? obs::ObsClock::now() : obs::ObsClock::time_point{};
+
+    std::vector<CohortSlot> slots(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      CohortSlot& slot = slots[k];
+      slot.ue = ues[begin + k];
+      slot.s = fleet_ue_scenario(f, slot.ue);
+      try {
+        // The UE boundary: chaos injection sits here (never inside the
+        // simulation, so surviving UEs' RNG streams are untouched).
+        chaos::maybe_stall_task(slot.ue);
+        chaos::maybe_fault_task(slot.ue);
+        slot.stepper = std::make_unique<ScenarioStepper>(
+            slot.s, env.deployment(), env.route(), &env.shadow());
+        if (materialize_logs) {
+          slot.log = std::make_unique<trace::TraceLog>();
+          slot.log->name = slot.s.name;
+          slot.log->arch = slot.s.arch;
+          slot.log->nr_band = slot.s.nr_band;
+          slot.log->lte_band = slot.s.lte_band;
+          slot.log->tick_hz = slot.s.tick_hz;
+          slot.log->ticks.reserve(slot.stepper->total_ticks());
+        } else {
+          slot.acc =
+              std::make_unique<trace::SummaryAccumulator>(slot.s.tick_hz);
+        }
+      } catch (const std::exception& e) {
+        quarantine(slot, e.what());
+      } catch (...) {
+        quarantine(slot, "unknown exception");
+      }
+    }
+
+    // Tick-major lockstep over the surviving slots.
+    trace::TickRecord scratch;  // summary mode: ONE record for the cohort
+    bool any = true;
+    while (any) {
+      any = false;
+      for (CohortSlot& slot : slots) {
+        if (slot.failed || slot.stepper->done()) continue;
+        try {
+          if (materialize_logs) {
+            trace::TickRecord& rec = slot.log->ticks.emplace_back();
+            try {
+              slot.stepper->step(rec);
+            } catch (...) {
+              slot.log->ticks.pop_back();  // no half-written tick in the log
+              throw;
+            }
+            for (const ran::HandoverRecord& h : rec.ho_completed) {
+              slot.log->handovers.push_back(h);
+            }
+          } else {
+            slot.stepper->step(scratch);
+            slot.acc->add(scratch);
+          }
+        } catch (const std::exception& e) {
+          quarantine(slot, e.what());
+          continue;
+        } catch (...) {
+          quarantine(slot, "unknown exception");
+          continue;
+        }
+        if (!slot.stepper->done()) any = true;
+      }
+    }
+
+    // Cohort wall time amortized per surviving UE — lockstep interleaves
+    // the UEs, so individual wall times are not separable.
+    const double wall_ms = obs::enabled() ? obs::ms_since(start) : 0.0;
+    std::size_t live = 0;
+    for (const CohortSlot& slot : slots) live += slot.failed ? 0 : 1;
+    for (CohortSlot& slot : slots) {
+      if (slot.failed) continue;
+      const std::size_t ticks = slot.stepper->ticks_done();
+      m.scenarios.add(1);
+      m.sim_ticks.add(ticks);
+      if (obs::enabled() && live > 0) {
+        const double per_ue = wall_ms / static_cast<double>(live);
+        m.ue_ms.record(per_ue);
+        if (ticks > 0) m.ue_tick_ms.record(per_ue / static_cast<double>(ticks));
+      }
+      try {
+        if (materialize_logs) {
+          slot.log->manifest = obs::make_manifest(slot.s.name, slot.s.seed);
+          slot.log->manifest.ticks = ticks;
+          if (obs::enabled() && live > 0) {
+            slot.log->manifest.wall_seconds =
+                wall_ms / static_cast<double>(live) / 1e3;
+          }
+          consume_log(slot.ue, slot.s, *slot.log);
+          slot.log.reset();  // streaming reduce: the log dies with the cohort
+        } else {
+          consume_summary(slot.ue, slot.s, slot.acc->finish());
+        }
+      } catch (const std::exception& e) {
+        quarantine(slot, e.what());
+      } catch (...) {
+        quarantine(slot, "unknown exception");
+      }
+    }
+    m.in_flight.add(-static_cast<double>(n));
+  };
+
+  const std::size_t n_cohorts = ues.empty() ? 0 : (ues.size() + cohort - 1) / cohort;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, std::max<std::size_t>(n_cohorts, 1)));
+  if (threads <= 1 || n_cohorts <= 1) {
+    for (std::size_t c = 0; c < n_cohorts; ++c) {
+      run_cohort(c * cohort, std::min(ues.size(), (c + 1) * cohort));
+    }
+  } else {
+    ThreadPool pool(threads);
+    for (std::size_t c = 0; c < n_cohorts; ++c) {
+      const std::size_t begin = c * cohort;
+      const std::size_t end = std::min(ues.size(), begin + cohort);
+      pool.submit([begin, end, &run_cohort] { run_cohort(begin, end); });
+    }
+    static_cast<void>(pool.wait_idle());  // run_cohort captured everything
+  }
+  // Completion order is schedule-dependent; the quarantine report is not.
+  std::sort(errors.begin(), errors.end(),
+            [](const RunError& a, const RunError& b) { return a.index < b.index; });
+  return errors;
+}
+
 }  // namespace
+
+std::size_t fleet_cohort_ues(const FleetScenario& f) {
+  return f.cohort_ues == 0 ? kDefaultCohortUes : f.cohort_ues;
+}
 
 std::uint64_t fleet_ue_seed(std::uint64_t fleet_seed, std::size_t ue) {
   if (ue == 0) return fleet_seed;  // N=1 fleet == run_scenario(base)
@@ -80,69 +284,7 @@ std::vector<RunError> for_each_ue_trace_subset(
     const std::function<void(std::size_t ue, const Scenario& s,
                              const trace::TraceLog& log)>& consume,
     unsigned threads) {
-  FleetMetrics& m = fleet_metrics();
-  m.runs.add(1);
-  m.ues.add(ues.size());
-
-  const FleetEnv env(f);
-  auto run_one = [&](std::size_t ue) {
-    const obs::ObsClock::time_point start =
-        obs::enabled() ? obs::ObsClock::now() : obs::ObsClock::time_point{};
-    const Scenario s = fleet_ue_scenario(f, ue);
-    const trace::TraceLog log =
-        run_scenario(s, env.deployment(), env.route(), &env.shadow());
-    if (obs::enabled()) {
-      const double wall_ms = obs::ms_since(start);
-      m.ue_ms.record(wall_ms);
-      if (!log.ticks.empty()) {
-        m.ue_tick_ms.record(wall_ms / static_cast<double>(log.ticks.size()));
-      }
-    }
-    consume(ue, s, log);  // log dies here: streaming reduce, no N-log peak
-  };
-
-  // The UE task boundary: chaos injection sits here (never inside the
-  // simulation, so surviving UEs' RNG streams are untouched) and any
-  // exception quarantines exactly this UE.
-  std::vector<RunError> errors;
-  std::mutex err_mu;
-  auto guarded = [&](std::size_t ue) {
-    m.in_flight.add(1.0);
-    try {
-      chaos::maybe_stall_task(ue);
-      chaos::maybe_fault_task(ue);
-      run_one(ue);
-    } catch (const std::exception& e) {
-      m.quarantined.add(1);
-      const std::lock_guard<std::mutex> lock(err_mu);
-      errors.push_back({ue, fleet_ue_seed(f.base.seed, ue),
-                        f.base.name + "/ue" + std::to_string(ue), e.what()});
-    } catch (...) {
-      m.quarantined.add(1);
-      const std::lock_guard<std::mutex> lock(err_mu);
-      errors.push_back({ue, fleet_ue_seed(f.base.seed, ue),
-                        f.base.name + "/ue" + std::to_string(ue),
-                        "unknown exception"});
-    }
-    m.in_flight.add(-1.0);
-  };
-
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-  threads = static_cast<unsigned>(
-      std::min<std::size_t>(threads, std::max<std::size_t>(ues.size(), 1)));
-  if (threads <= 1 || ues.size() <= 1) {
-    for (const std::size_t ue : ues) guarded(ue);
-  } else {
-    ThreadPool pool(threads);
-    for (const std::size_t ue : ues) {
-      pool.submit([ue, &guarded] { guarded(ue); });
-    }
-    static_cast<void>(pool.wait_idle());  // guarded() captured everything
-  }
-  // Completion order is schedule-dependent; the quarantine report is not.
-  std::sort(errors.begin(), errors.end(),
-            [](const RunError& a, const RunError& b) { return a.index < b.index; });
-  return errors;
+  return run_cohorts(f, ues, threads, /*materialize_logs=*/true, consume, {});
 }
 
 std::vector<RunError> for_each_ue_trace(
@@ -209,15 +351,17 @@ FleetResult run_fleet(const FleetScenario& f, const FleetCheckpointOptions& ckpt
     static_cast<void>(save_checkpoint(ckpt.path, c));
   };
 
-  out.errors = for_each_ue_trace_subset(
-      f, pending,
-      [&](std::size_t ue, const Scenario& s, const trace::TraceLog& log) {
+  // Summary mode: ticks fold straight into per-UE SummaryAccumulators —
+  // no TraceLog exists anywhere in a run_fleet call.
+  out.errors = run_cohorts(
+      f, pending, threads, /*materialize_logs=*/false, {},
+      [&](std::size_t ue, const Scenario& s, const trace::TraceSummary& sum) {
         UeSummary u;
         u.ue = ue;
         u.seed = s.seed;
         u.mobility = s.mobility;
         u.start_offset_m = s.start_offset_m;
-        u.trace = trace::summarize(log);
+        u.trace = sum;
         const std::lock_guard<std::mutex> lock(ckpt_mu);
         out.ues[ue] = std::move(u);
         done[ue] = 1;
@@ -226,8 +370,7 @@ FleetResult run_fleet(const FleetScenario& f, const FleetCheckpointOptions& ckpt
           since_save = 0;
           snapshot_locked();
         }
-      },
-      threads);
+      });
 
   // Quarantined UEs keep their identity in the result (trace stays zero) so
   // downstream consumers can line reports up by UE.

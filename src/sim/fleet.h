@@ -15,10 +15,12 @@
 //   * Results are independent of worker count and schedule (every UE owns
 //     its streams; shared state is read-only during runs).
 //
-// Memory contract: the fleet never materializes N full TraceLogs. Each
-// UE's log is reduced to a trace::TraceSummary (or handed to a streaming
-// consumer) as soon as that UE finishes, so at most `threads` logs are
-// alive at any moment.
+// Memory contract: the fleet never materializes N full TraceLogs.
+// run_fleet folds every tick straight into a trace::SummaryAccumulator —
+// no UE's tick vector ever exists. The streaming for_each_ue_trace path
+// materializes at most `threads` x cohort_ues logs at any moment (one
+// cohort per pool task), handing each to the consumer as the cohort
+// finishes.
 #pragma once
 
 #include <cstddef>
@@ -48,7 +50,18 @@ struct FleetScenario {
   // itself is always built from base.mobility — mixed-in walkers/drivers
   // share the base corridor.
   std::vector<MobilityKind> mobility_mix;
+  // UEs stepped in lockstep by one pool task (a "cohort"). The task steps
+  // its UEs tick-major over the shared deployment so the cell index and
+  // shadow fields stay cache-hot across UEs, and pool scheduling overhead
+  // amortizes over the cohort instead of recurring per UE. 0 (the default)
+  // resolves to the tuned width — see fleet_cohort_ues(); 1 reproduces the
+  // old one-task-per-UE granularity. Results are identical for any value.
+  std::size_t cohort_ues = 0;
 };
+
+// The cohort width a fleet actually runs with (resolves the 0 = auto
+// default). bench_fleet records it beside its timings.
+std::size_t fleet_cohort_ues(const FleetScenario& f);
 
 // Seed of UE `ue`'s scenario. UE 0 inherits the fleet seed unchanged;
 // every other UE gets an independent SplitMix64-derived stream. Pure

@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <memory>
 
 #include "obs/export.h"
 #include "obs/timer.h"
-#include "ue/mobility.h"
+#include "sim/stepper.h"
 
 namespace p5g::sim {
 
@@ -29,28 +28,6 @@ geo::Route build_route(const Scenario& s, Rng& rng) {
   return geo::Route({{0, 0}, {1000, 0}});
 }
 
-namespace {
-
-std::unique_ptr<ue::MobilityModel> build_mobility(const Scenario& s,
-                                                  const geo::Route& route, Rng rng) {
-  // Stagger offsets wrap so a fleet wider than the route folds back onto it
-  // (loop routes wrap anyway; open routes would otherwise clamp at the end).
-  const Meters start = route.length() > 0.0
-                           ? std::fmod(std::max(0.0, s.start_offset_m), route.length())
-                           : 0.0;
-  switch (s.mobility) {
-    case MobilityKind::kFreeway:
-      return std::make_unique<ue::ConstantSpeedDriver>(route, s.speed_kmh, rng, start);
-    case MobilityKind::kCity:
-      return std::make_unique<ue::StopAndGoDriver>(route, s.speed_kmh, rng, start);
-    case MobilityKind::kWalkLoop:
-      return std::make_unique<ue::Walker>(route, rng, start);
-  }
-  return nullptr;
-}
-
-}  // namespace
-
 trace::TraceLog run_scenario(const Scenario& s, const ran::Deployment& deployment,
                              const geo::Route& route,
                              const ran::ShadowMap* shared_shadow) {
@@ -59,8 +36,6 @@ trace::TraceLog run_scenario(const Scenario& s, const ran::Deployment& deploymen
   static obs::Counter& m_scenarios =
       obs::registry().counter("p5g.sim.scenarios");
   static obs::Counter& m_ticks = obs::registry().counter("p5g.sim.ticks");
-  static obs::Histogram& m_tick_ms =
-      obs::registry().histogram("p5g.sim.tick_ms");
   static obs::Histogram& m_scenario_ms =
       obs::registry().histogram("p5g.sim.scenario_ms");
   const obs::ObsTimer scenario_timer(m_scenario_ms);
@@ -68,17 +43,7 @@ trace::TraceLog run_scenario(const Scenario& s, const ran::Deployment& deploymen
       obs::enabled() ? obs::ObsClock::now() : obs::ObsClock::time_point{};
   m_scenarios.add(1);
 
-  Rng rng(s.seed ^ 0xD1CEu);
-  ran::MobilityManager::Config mm_cfg;
-  mm_cfg.arch = s.arch;
-  mm_cfg.nr_band = s.nr_band;
-  mm_cfg.lte_band = s.lte_band;
-  mm_cfg.mnbh_releases_scg = s.mnbh_releases_scg;
-  mm_cfg.faults = s.faults;
-  ran::MobilityManager manager(deployment, mm_cfg, rng.fork(1), shared_shadow);
-
-  auto mobility = build_mobility(s, route, rng.fork(2));
-  Rng data_rng = rng.fork(3);
+  ScenarioStepper stepper(s, deployment, route, shared_shadow);
 
   trace::TraceLog log;
   log.name = s.name;
@@ -87,90 +52,12 @@ trace::TraceLog run_scenario(const Scenario& s, const ran::Deployment& deploymen
   log.lte_band = s.lte_band;
   log.tick_hz = s.tick_hz;
 
-  const Seconds dt = 1.0 / s.tick_hz;
-  // Tick latency is sampled 1-in-4 (deterministic stride): hundreds of
-  // samples per minute of sim time at a quarter of the clock cost.
-  obs::SampleEvery tick_sampler(2);
-  Meters prev_s = mobility->current().route_position;
-  const auto total_ticks = static_cast<std::size_t>(s.duration * s.tick_hz);
+  const std::size_t total_ticks = stepper.total_ticks();
   log.ticks.reserve(total_ticks);
-
-  // Bulk-TCP recovery: after a data-plane interruption the flow rebuilds
-  // its window; throughput ramps back over ~1.5 s instead of stepping.
-  constexpr Seconds kTcpRecovery = 1.5;
-  Seconds halted_until = -1.0;  // end of the last interruption
-  bool was_halted = false;
-
-  for (std::size_t i = 0; i < total_ticks; ++i) {
-    const Seconds t = static_cast<double>(i) * dt;
-    const ue::UePosition pos = mobility->advance(dt);
-    const Meters moved = pos.route_position - prev_s;
-    prev_s = pos.route_position;
-
-    ran::TickResult res = [&] {
-      const obs::ObsTimer tick_timer(m_tick_ms, tick_sampler.next());
-      return manager.tick(t, pos.point, moved, pos.route_position);
-    }();
-    const ran::UeRadioState& st = manager.state();
-
-    trace::TickRecord rec;
-    rec.time = t;
-    rec.route_position = pos.route_position;
-    rec.position = pos.point;
-    rec.speed_mps = pos.speed_mps;
-    rec.lte_halted = st.lte_data_halted;
-    rec.nr_halted = st.nr_data_halted;
-    rec.nr_attached = st.nr_attached();
-
-    tput::DataPlaneInput dp;
-    dp.mode = s.traffic_mode;
-    rec.observed.reserve(res.observations.size());
-    for (const ran::CellObservation& o : res.observations) {
-      trace::ObservedCell oc;
-      oc.pci = o.cell->pci;
-      oc.cell_id = o.cell->id;
-      oc.tower_id = o.cell->tower_id;
-      oc.band = o.cell->band;
-      oc.rrs = o.rrs;
-      rec.observed.push_back(oc);
-      if (o.cell->id == st.lte_cell_id) {
-        rec.lte_pci = o.cell->pci;
-        rec.lte_rrs = o.rrs;
-        dp.lte = {true, st.lte_data_halted, o.cell->band, o.rrs.sinr};
-      }
-      if (o.cell->id == st.nr_cell_id) {
-        rec.nr_pci = o.cell->pci;
-        rec.nr_rrs = o.rrs;
-        dp.nr = {true, st.nr_data_halted, o.cell->band, o.rrs.sinr};
-      }
-    }
-
-    rec.throughput_mbps = tput::downlink_throughput(dp, data_rng);
-    // TCP window recovery after interruptions of the active leg.
-    const bool halted_now =
-        (dp.nr.attached && dp.nr.halted) || (!dp.nr.attached && dp.lte.halted) ||
-        (s.traffic_mode == tput::TrafficMode::kDual && dp.lte.halted);
-    if (halted_now) {
-      was_halted = true;
-    } else if (was_halted) {
-      was_halted = false;
-      halted_until = t;
-    }
-    if (!halted_now && halted_until >= 0.0 && t - halted_until < kTcpRecovery) {
-      const double ramp = 0.15 + 0.85 * (t - halted_until) / kTcpRecovery;
-      rec.throughput_mbps *= ramp;
-    }
-    rec.rtt_ms =
-        tput::rtt_sample(dp, manager.executing_ho(), manager.reestablishing(), data_rng);
-    rec.reports = res.reports;
-    rec.ho_started = res.started;
-    // The UE receives the HO command (RRCReconfiguration) at the END of the
-    // preparation stage; prep-failed procedures never emit one.
-    rec.ho_commands = res.commands;
-    rec.ho_completed = res.completed;
-    for (const ran::HandoverRecord& h : res.completed) log.handovers.push_back(h);
-
-    log.ticks.push_back(std::move(rec));
+  while (!stepper.done()) {
+    trace::TickRecord& rec = log.ticks.emplace_back();
+    stepper.step(rec);
+    for (const ran::HandoverRecord& h : rec.ho_completed) log.handovers.push_back(h);
   }
   m_ticks.add(total_ticks);
 

@@ -40,6 +40,10 @@ struct Scenario {
   // Failure injection (ran/faults.h). The default all-zero profile keeps
   // the trace bit-identical to a fault-free run of the same seed.
   ran::FaultProfile faults{};
+  // Forces the scalar (pre-batching) observe loop in the MobilityManager.
+  // The batched SoA pipeline is byte-identical, so this exists only for
+  // A/B benchmarking and the identity tests that prove that claim.
+  bool scalar_radio_path = false;
   std::uint64_t seed = 1;
 };
 

@@ -1,0 +1,143 @@
+#include "sim/stepper.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "tput/throughput.h"
+
+namespace p5g::sim {
+
+namespace {
+
+ran::MobilityManager::Config make_mm_config(const Scenario& s) {
+  ran::MobilityManager::Config mm_cfg;
+  mm_cfg.arch = s.arch;
+  mm_cfg.nr_band = s.nr_band;
+  mm_cfg.lte_band = s.lte_band;
+  mm_cfg.mnbh_releases_scg = s.mnbh_releases_scg;
+  mm_cfg.faults = s.faults;
+  mm_cfg.scalar_observe = s.scalar_radio_path;
+  return mm_cfg;
+}
+
+std::unique_ptr<ue::MobilityModel> build_mobility(const Scenario& s,
+                                                  const geo::Route& route, Rng rng) {
+  // Stagger offsets wrap so a fleet wider than the route folds back onto it
+  // (loop routes wrap anyway; open routes would otherwise clamp at the end).
+  const Meters start = route.length() > 0.0
+                           ? std::fmod(std::max(0.0, s.start_offset_m), route.length())
+                           : 0.0;
+  switch (s.mobility) {
+    case MobilityKind::kFreeway:
+      return std::make_unique<ue::ConstantSpeedDriver>(route, s.speed_kmh, rng, start);
+    case MobilityKind::kCity:
+      return std::make_unique<ue::StopAndGoDriver>(route, s.speed_kmh, rng, start);
+    case MobilityKind::kWalkLoop:
+      return std::make_unique<ue::Walker>(route, rng, start);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+ScenarioStepper::ScenarioStepper(const Scenario& s, const ran::Deployment& deployment,
+                                 const geo::Route& route,
+                                 const ran::ShadowMap* shared_shadow)
+    // Every stream is an independent fork of Rng(seed ^ 0xD1CE); fork() is
+    // const, so three separate forks reproduce run_scenario's historical
+    // stream assignment exactly.
+    : s_(s),
+      manager_(deployment, make_mm_config(s), Rng(s.seed ^ 0xD1CEu).fork(1),
+               shared_shadow),
+      mobility_(build_mobility(s, route, Rng(s.seed ^ 0xD1CEu).fork(2))),
+      data_rng_(Rng(s.seed ^ 0xD1CEu).fork(3)),
+      dt_(1.0 / s.tick_hz),
+      total_ticks_(static_cast<std::size_t>(s.duration * s.tick_hz)),
+      prev_s_(mobility_->current().route_position) {}
+
+void ScenarioStepper::step(trace::TickRecord& rec) {
+  P5G_REQUIRE(!done(), "stepping past the scenario's last tick");
+  static obs::Histogram& m_tick_ms = obs::registry().histogram("p5g.sim.tick_ms");
+
+  // Reset the record for reuse: everything else below is assigned
+  // unconditionally.
+  rec.observed.clear();
+  rec.lte_pci = -1;
+  rec.lte_rrs = {};
+  rec.nr_pci = -1;
+  rec.nr_rrs = {};
+
+  const Seconds t = static_cast<double>(tick_) * dt_;
+  const ue::UePosition pos = mobility_->advance(dt_);
+  const Meters moved = pos.route_position - prev_s_;
+  prev_s_ = pos.route_position;
+
+  {
+    const obs::ObsTimer tick_timer(m_tick_ms, tick_sampler_.next());
+    manager_.tick(t, pos.point, moved, pos.route_position, res_);
+  }
+  const ran::UeRadioState& st = manager_.state();
+
+  rec.time = t;
+  rec.route_position = pos.route_position;
+  rec.position = pos.point;
+  rec.speed_mps = pos.speed_mps;
+  rec.lte_halted = st.lte_data_halted;
+  rec.nr_halted = st.nr_data_halted;
+  rec.nr_attached = st.nr_attached();
+
+  tput::DataPlaneInput dp;
+  dp.mode = s_.traffic_mode;
+  rec.observed.reserve(res_.observations.size());
+  for (const ran::CellObservation& o : res_.observations) {
+    trace::ObservedCell oc;
+    oc.pci = o.cell->pci;
+    oc.cell_id = o.cell->id;
+    oc.tower_id = o.cell->tower_id;
+    oc.band = o.cell->band;
+    oc.rrs = o.rrs;
+    rec.observed.push_back(oc);
+    if (o.cell->id == st.lte_cell_id) {
+      rec.lte_pci = o.cell->pci;
+      rec.lte_rrs = o.rrs;
+      dp.lte = {true, st.lte_data_halted, o.cell->band, o.rrs.sinr};
+    }
+    if (o.cell->id == st.nr_cell_id) {
+      rec.nr_pci = o.cell->pci;
+      rec.nr_rrs = o.rrs;
+      dp.nr = {true, st.nr_data_halted, o.cell->band, o.rrs.sinr};
+    }
+  }
+
+  rec.throughput_mbps = tput::downlink_throughput(dp, data_rng_);
+  // Bulk-TCP recovery: after a data-plane interruption the flow rebuilds
+  // its window; throughput ramps back over ~1.5 s instead of stepping.
+  constexpr Seconds kTcpRecovery = 1.5;
+  const bool halted_now =
+      (dp.nr.attached && dp.nr.halted) || (!dp.nr.attached && dp.lte.halted) ||
+      (s_.traffic_mode == tput::TrafficMode::kDual && dp.lte.halted);
+  if (halted_now) {
+    was_halted_ = true;
+  } else if (was_halted_) {
+    was_halted_ = false;
+    halted_until_ = t;
+  }
+  if (!halted_now && halted_until_ >= 0.0 && t - halted_until_ < kTcpRecovery) {
+    const double ramp = 0.15 + 0.85 * (t - halted_until_) / kTcpRecovery;
+    rec.throughput_mbps *= ramp;
+  }
+  rec.rtt_ms = tput::rtt_sample(dp, manager_.executing_ho(),
+                                manager_.reestablishing(), data_rng_);
+  rec.reports = res_.reports;
+  rec.ho_started = res_.started;
+  // The UE receives the HO command (RRCReconfiguration) at the END of the
+  // preparation stage; prep-failed procedures never emit one.
+  rec.ho_commands = res_.commands;
+  rec.ho_completed = res_.completed;
+
+  ++tick_;
+}
+
+}  // namespace p5g::sim

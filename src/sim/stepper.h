@@ -1,0 +1,61 @@
+// ScenarioStepper — the per-tick body of run_scenario, extracted into a
+// resumable one-UE engine so the single-scenario runner and the fleet's
+// cohort scheduler share ONE implementation. Byte identity between a fleet
+// UE and run_scenario of the same Scenario holds by construction: both
+// drive this class with the same construction sequence and tick loop.
+//
+// RNG contract (must match the historical run_scenario exactly): the
+// stepper derives every stream from Rng(s.seed ^ 0xD1CE) — fork(1) for the
+// MobilityManager, fork(2) for the mobility model, fork(3) for the data
+// plane. fork() is const, so taking the three forks independently
+// reproduces the original sequence.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "obs/timer.h"
+#include "ran/deployment.h"
+#include "ran/mobility_manager.h"
+#include "sim/scenario.h"
+#include "trace/trace.h"
+#include "ue/mobility.h"
+
+namespace p5g::sim {
+
+class ScenarioStepper {
+ public:
+  // `deployment`, `route` and (when non-null) `shared_shadow` must outlive
+  // the stepper; they are the shared world a fleet builds once.
+  ScenarioStepper(const Scenario& s, const ran::Deployment& deployment,
+                  const geo::Route& route, const ran::ShadowMap* shared_shadow);
+
+  std::size_t total_ticks() const { return total_ticks_; }
+  std::size_t ticks_done() const { return tick_; }
+  bool done() const { return tick_ >= total_ticks_; }
+
+  // Advances one tick and writes its record into `rec`. `rec` is reset
+  // first (vectors cleared, scalars re-initialized) so a caller-owned
+  // scratch record can be reused across calls without reallocating.
+  void step(trace::TickRecord& rec);
+
+ private:
+  Scenario s_;
+  ran::MobilityManager manager_;
+  std::unique_ptr<ue::MobilityModel> mobility_;
+  Rng data_rng_;
+  Seconds dt_;
+  std::size_t total_ticks_;
+  std::size_t tick_ = 0;
+  Meters prev_s_;
+  // Bulk-TCP recovery state (see step()): end of the last interruption.
+  Seconds halted_until_ = -1.0;
+  bool was_halted_ = false;
+  // Manager output, reused across ticks (zero steady-state allocation).
+  ran::TickResult res_;
+  // Tick latency sampled 1-in-4 (deterministic stride), as run_scenario
+  // always did.
+  obs::SampleEvery tick_sampler_{2};
+};
+
+}  // namespace p5g::sim

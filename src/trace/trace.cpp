@@ -253,4 +253,52 @@ TraceSummary summarize(const TraceLog& log) {
   return s;
 }
 
+void SummaryAccumulator::add(const TickRecord& t) {
+  if (ticks_ == 0) {
+    first_time_ = t.time;
+    first_pos_ = t.route_position;
+  }
+  last_time_ = t.time;
+  last_pos_ = t.route_position;
+  ++ticks_;
+
+  // Same per-tick operations, in the same order, as summarize()'s loop —
+  // each accumulator sees an identical addition sequence, so the result is
+  // bit-identical.
+  tput_sum_ += t.throughput_mbps;
+  rtt_sum_ += t.rtt_ms;
+  if (t.lte_halted) s_.lte_halted_s += dt_;
+  if (t.nr_halted) s_.nr_halted_s += dt_;
+  if (t.lte_halted || (t.nr_attached && t.nr_halted)) s_.any_halted_s += dt_;
+  s_.reports += static_cast<int>(t.reports.size());
+
+  // summarize() tallies outcomes from log.handovers, which is exactly the
+  // per-tick ho_completed lists concatenated in tick order.
+  s_.handovers += static_cast<int>(t.ho_completed.size());
+  for (const ran::HandoverRecord& h : t.ho_completed) {
+    switch (h.outcome) {
+      case ran::HoOutcome::kSuccess: ++s_.ho_success; break;
+      case ran::HoOutcome::kPrepFailure: ++s_.ho_prep_failure; break;
+      case ran::HoOutcome::kExecFailure: ++s_.ho_exec_failure; break;
+      case ran::HoOutcome::kRlfReestablish: ++s_.ho_rlf_reestablish; break;
+    }
+  }
+}
+
+TraceSummary SummaryAccumulator::finish() const {
+  TraceSummary s = s_;
+  s.ticks = ticks_;
+  s.duration = ticks_ > 0 ? last_time_ - first_time_ : 0.0;
+  s.distance = ticks_ > 0 ? last_pos_ - first_pos_ : 0.0;
+  double tput = tput_sum_;
+  double rtt = rtt_sum_;
+  if (ticks_ > 0) {
+    tput /= static_cast<double>(ticks_);
+    rtt /= static_cast<double>(ticks_);
+  }
+  s.mean_throughput_mbps = tput;
+  s.mean_rtt_ms = rtt;
+  return s;
+}
+
 }  // namespace p5g::trace

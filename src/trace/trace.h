@@ -114,6 +114,34 @@ struct TraceSummary {
 // Reduces a full log to its summary (streaming callers drop the log after).
 TraceSummary summarize(const TraceLog& log);
 
+// Streaming equivalent of summarize(): fold ticks in one at a time and never
+// hold a TraceLog at all. The fleet's summary mode steps each UE into ONE
+// reused scratch TickRecord and feeds it here, so an N-UE run materializes
+// zero tick vectors. Contract: add() in tick order produces a TraceSummary
+// bit-identical to summarize() of the log those ticks would have formed —
+// every accumulator below applies the same operations in the same order.
+class SummaryAccumulator {
+ public:
+  explicit SummaryAccumulator(double tick_hz)
+      : dt_(tick_hz > 0.0 ? 1.0 / tick_hz : 0.0) {}
+
+  void add(const TickRecord& t);
+
+  // The summary of everything add()ed so far. Idempotent; callable mid-run.
+  TraceSummary finish() const;
+
+ private:
+  Seconds dt_;
+  TraceSummary s_;  // halted/report/HO tallies accumulate in place
+  double tput_sum_ = 0.0;
+  double rtt_sum_ = 0.0;
+  Seconds first_time_ = 0.0;
+  Seconds last_time_ = 0.0;
+  Meters first_pos_ = 0.0;
+  Meters last_pos_ = 0.0;
+  std::size_t ticks_ = 0;
+};
+
 // CSV persistence (one row per tick; observed-cell list flattened to the
 // strongest 4 neighbors per RAT; HOs in a separate file `<path>.ho.csv`).
 // Both files go through the durable atomic writer (tmp + fsync + rename,

@@ -23,6 +23,12 @@ Rules:
   tick-io       stdout/stderr writes (iostream, printf family) — the tick
                 path is run under the parallel runner; console writes are
                 nondeterministically interleaved and hide in timing noise.
+  fp-contract   explicit fused multiply-add (std::fma / __builtin_fma*) and
+                the FP_CONTRACT/fast-math pragmas — the golden traces pin
+                the exact double rounding of every expression; an FMA
+                contracts a*b+c into one differently-rounded operation, and
+                fast-math licenses reassociation. Batch/SIMD refactors in
+                src/radio must keep plain mul+add (see radio/batch.h).
   trace-schema  the CSV headers written by src/trace/trace.cpp must match
                 tests/golden/: the tick header exactly, and the golden
                 .ho.csv header must be a byte-prefix of the writer's (fault
@@ -88,6 +94,14 @@ RULES = {
         r"\bstd\s*::\s*(?:cout|cerr|clog)\b"
         r"|\b(?:printf|puts|putchar)\s*\("
         r"|\bfprintf\s*\(\s*(?:stdout|stderr)\b"
+    ),
+    "fp-contract": re.compile(
+        r"\bstd\s*::\s*fmaf?\b"
+        r"|\b__builtin_fmaf?\b"
+        r"|\bfmaf?\s*\("
+        r"|#\s*pragma\s+STDC\s+FP_CONTRACT"
+        r"|\bfp_contract\b"
+        r"|\bfast-?math\b|\bffast-math\b"
     ),
 }
 
