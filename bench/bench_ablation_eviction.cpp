@@ -5,6 +5,7 @@
 #include "analysis/prediction.h"
 #include "bench_util.h"
 #include "obs/export.h"
+#include "trace/event_trace.h"
 
 using namespace p5g;
 
@@ -34,5 +35,6 @@ int main(int argc, char** argv) {
                 static_cast<double>(r.patterns_evicted) / hours);
   }
   p5g::obs::export_from_args(argc, argv, "bench_ablation_eviction");
+  p5g::trace::export_trace_from_args(argc, argv, "bench_ablation_eviction");
   return 0;
 }

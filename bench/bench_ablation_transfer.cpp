@@ -7,6 +7,7 @@
 #include "core/pattern_store.h"
 #include "core/trace_adapter.h"
 #include "obs/export.h"
+#include "trace/event_trace.h"
 
 using namespace p5g;
 
@@ -57,5 +58,6 @@ int main(int argc, char** argv) {
   std::printf("\n  a transferred model should recover most of the bootstrap benefit\n"
               "  (Fig 15) without hand-curated frequent patterns.\n");
   p5g::obs::export_from_args(argc, argv, "bench_ablation_transfer");
+  p5g::trace::export_trace_from_args(argc, argv, "bench_ablation_transfer");
   return 0;
 }

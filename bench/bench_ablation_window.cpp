@@ -4,6 +4,7 @@
 #include "analysis/prediction.h"
 #include "bench_util.h"
 #include "obs/export.h"
+#include "trace/event_trace.h"
 
 using namespace p5g;
 
@@ -32,5 +33,6 @@ int main(int argc, char** argv) {
     }
   }
   p5g::obs::export_from_args(argc, argv, "bench_ablation_window");
+  p5g::trace::export_trace_from_args(argc, argv, "bench_ablation_window");
   return 0;
 }

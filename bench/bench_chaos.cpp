@@ -37,6 +37,7 @@
 #include "common/io.h"
 #include "common/thread_pool.h"
 #include "obs/export.h"
+#include "trace/event_trace.h"
 #include "sim/checkpoint.h"
 #include "sim/fleet.h"
 
@@ -243,6 +244,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(first_errors.size()));
 
   obs::export_from_args(argc, argv, "bench_chaos", seed);
+  trace::export_trace_from_args(argc, argv, "bench_chaos", seed);
   if (g_failures > 0) {
     std::printf("\n  FAIL: %d resilience contract violation(s)\n", g_failures);
     return 1;

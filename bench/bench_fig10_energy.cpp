@@ -9,6 +9,7 @@
 #include "bench_util.h"
 #include "energy/power_model.h"
 #include "obs/export.h"
+#include "trace/event_trace.h"
 
 using namespace p5g;
 
@@ -84,5 +85,6 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
   p5g::obs::export_from_args(argc, argv, "bench_fig10_energy");
+  p5g::trace::export_trace_from_args(argc, argv, "bench_fig10_energy");
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "bench_util.h"
 #include "common/stats.h"
 #include "obs/export.h"
+#include "trace/event_trace.h"
 
 using namespace p5g;
 
@@ -71,5 +72,6 @@ int main(int argc, char** argv) {
                 ideal_low / actual_low);
   }
   p5g::obs::export_from_args(argc, argv, "bench_fig11_coverage");
+  p5g::trace::export_trace_from_args(argc, argv, "bench_fig11_coverage");
   return 0;
 }

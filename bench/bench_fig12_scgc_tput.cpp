@@ -8,6 +8,7 @@
 #include "bench_util.h"
 #include "common/stats.h"
 #include "obs/export.h"
+#include "trace/event_trace.h"
 
 using namespace p5g;
 
@@ -46,5 +47,6 @@ int main(int argc, char** argv) {
                 100.0 * (post - pre) / pre);
   }
   p5g::obs::export_from_args(argc, argv, "bench_fig12_scgc_tput");
+  p5g::trace::export_trace_from_args(argc, argv, "bench_fig12_scgc_tput");
   return 0;
 }

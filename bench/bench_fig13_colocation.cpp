@@ -8,6 +8,7 @@
 #include "common/stats.h"
 #include "geo/geometry.h"
 #include "obs/export.h"
+#include "trace/event_trace.h"
 
 using namespace p5g;
 
@@ -66,5 +67,6 @@ int main(int argc, char** argv) {
   std::printf("  co-located towers: %d; hull-overlap heuristic agrees on %d\n", checked,
               agreed);
   p5g::obs::export_from_args(argc, argv, "bench_fig13_colocation");
+  p5g::trace::export_trace_from_args(argc, argv, "bench_fig13_colocation");
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "apps/vod_session.h"
 #include "bench_util.h"
 #include "obs/export.h"
+#include "trace/event_trace.h"
 
 using namespace p5g;
 
@@ -117,5 +118,6 @@ int main(int argc, char** argv) {
                 100.0 * (mae_base_ho - mae_pr_ho) / mae_base_ho);
   }
   p5g::obs::export_from_args(argc, argv, "bench_fig14_vod");
+  p5g::trace::export_trace_from_args(argc, argv, "bench_fig14_vod");
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "apps/vod_session.h"
 #include "bench_util.h"
 #include "obs/export.h"
+#include "trace/event_trace.h"
 
 using namespace p5g;
 
@@ -75,5 +76,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\n  paper: -PR quality +15.1-36.2%% with stall reduced 0.24-3.67%%.\n");
   p5g::obs::export_from_args(argc, argv, "bench_fig14_volumetric");
+  p5g::trace::export_trace_from_args(argc, argv, "bench_fig14_volumetric");
   return 0;
 }

@@ -7,6 +7,7 @@
 #include "analysis/prediction.h"
 #include "bench_util.h"
 #include "obs/export.h"
+#include "trace/event_trace.h"
 
 using namespace p5g;
 
@@ -38,5 +39,6 @@ int main(int argc, char** argv) {
               first_above(r_cold.f1_over_time, 0.7), first_above(r_boot.f1_over_time, 0.7));
   std::printf("  paper: bootstrap reaches ~0.8 within ~1.5 min; cold start needs 11-14 min.\n");
   p5g::obs::export_from_args(argc, argv, "bench_fig15_bootstrap");
+  p5g::trace::export_trace_from_args(argc, argv, "bench_fig15_bootstrap");
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "common/stats.h"
 #include "core/prognos.h"
 #include "obs/export.h"
+#include "trace/event_trace.h"
 
 using namespace p5g;
 
@@ -59,5 +60,6 @@ int main(int argc, char** argv) {
                 it == defaults.end() ? 1.0 : it->second);
   }
   p5g::obs::export_from_args(argc, argv, "bench_fig16_ho_tput");
+  p5g::trace::export_trace_from_args(argc, argv, "bench_fig16_ho_tput");
   return 0;
 }

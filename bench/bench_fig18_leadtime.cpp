@@ -9,6 +9,7 @@
 #include "bench_util.h"
 #include "common/stats.h"
 #include "obs/export.h"
+#include "trace/event_trace.h"
 
 using namespace p5g;
 
@@ -55,5 +56,6 @@ int main(int argc, char** argv) {
                 1000.0 * (stats::mean(on.lead_times_s) - stats::mean(off.lead_times_s)));
   }
   p5g::obs::export_from_args(argc, argv, "bench_fig18_leadtime");
+  p5g::trace::export_trace_from_args(argc, argv, "bench_fig18_leadtime");
   return 0;
 }

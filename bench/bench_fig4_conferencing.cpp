@@ -7,6 +7,7 @@
 #include "bench_util.h"
 #include "common/stats.h"
 #include "obs/export.h"
+#include "trace/event_trace.h"
 
 using namespace p5g;
 
@@ -42,5 +43,6 @@ int main(int argc, char** argv) {
                 stats::mean(lss.in_ho) / std::max(0.01, stats::mean(lss.outside)));
   }
   p5g::obs::export_from_args(argc, argv, "bench_fig4_conferencing");
+  p5g::trace::export_trace_from_args(argc, argv, "bench_fig4_conferencing");
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "bench_util.h"
 #include "common/stats.h"
 #include "obs/export.h"
+#include "trace/event_trace.h"
 
 using namespace p5g;
 
@@ -62,5 +63,6 @@ int main(int argc, char** argv) {
                     std::max(0.01, stats::mean(scgm_drp.in_ho)));
   }
   p5g::obs::export_from_args(argc, argv, "bench_fig5_gaming");
+  p5g::trace::export_trace_from_args(argc, argv, "bench_fig5_gaming");
   return 0;
 }

@@ -7,6 +7,7 @@
 #include "bench_util.h"
 #include "common/stats.h"
 #include "obs/export.h"
+#include "trace/event_trace.h"
 
 using namespace p5g;
 
@@ -52,5 +53,6 @@ int main(int argc, char** argv) {
   run_band(radio::Band::kNrLow, "NSA low-band", -31.0, 41.0);
   run_band(radio::Band::kNrMmWave, "NSA mmWave", -58.0, 107.0);
   p5g::obs::export_from_args(argc, argv, "bench_fig6_volumetric");
+  p5g::trace::export_trace_from_args(argc, argv, "bench_fig6_volumetric");
   return 0;
 }

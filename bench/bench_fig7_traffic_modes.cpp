@@ -9,6 +9,7 @@
 #include "bench_util.h"
 #include "common/stats.h"
 #include "obs/export.h"
+#include "trace/event_trace.h"
 
 using namespace p5g;
 
@@ -77,5 +78,6 @@ int main(int argc, char** argv) {
   std::printf("\n  paper: dual-mode median changes 1-4%% during NR HOs; 5G-only\n"
               "  inflates 37-58%%; 5G-only has the lower no-HO RTT.\n");
   p5g::obs::export_from_args(argc, argv, "bench_fig7_traffic_modes");
+  p5g::trace::export_trace_from_args(argc, argv, "bench_fig7_traffic_modes");
   return 0;
 }

@@ -5,6 +5,7 @@
 #include "analysis/ho_stats.h"
 #include "bench_util.h"
 #include "obs/export.h"
+#include "trace/event_trace.h"
 
 using namespace p5g;
 
@@ -44,5 +45,6 @@ int main(int argc, char** argv) {
                 (nsa_t1_acc / nsa_t1_n) / lte_t1);
   }
   p5g::obs::export_from_args(argc, argv, "bench_fig8_preparation");
+  p5g::trace::export_trace_from_args(argc, argv, "bench_fig8_preparation");
   return 0;
 }

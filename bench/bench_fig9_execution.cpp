@@ -5,6 +5,7 @@
 #include "analysis/ho_stats.h"
 #include "bench_util.h"
 #include "obs/export.h"
+#include "trace/event_trace.h"
 
 using namespace p5g;
 
@@ -79,5 +80,6 @@ int main(int argc, char** argv) {
                 mmw_scgm_t2 / low_scgm_t2);
   }
   p5g::obs::export_from_args(argc, argv, "bench_fig9_execution");
+  p5g::trace::export_trace_from_args(argc, argv, "bench_fig9_execution");
   return 0;
 }

@@ -27,6 +27,7 @@
 #include "common/io.h"
 #include "common/thread_pool.h"
 #include "obs/export.h"
+#include "trace/event_trace.h"
 #include "obs/metrics.h"
 #include "sim/fleet.h"
 
@@ -265,6 +266,7 @@ int main(int argc, char** argv) {
 
   append_json(out_path, quick, pool_size, cohort_ues, results);
   obs::export_from_args(argc, argv, "bench_fleet", 42);
+  trace::export_trace_from_args(argc, argv, "bench_fleet", 42);
 
   if (!all_match) {
     std::printf("  FAIL: fleet arms disagree — determinism contract broken\n");

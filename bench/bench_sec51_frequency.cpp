@@ -7,6 +7,7 @@
 #include "analysis/ho_stats.h"
 #include "bench_util.h"
 #include "obs/export.h"
+#include "trace/event_trace.h"
 
 using namespace p5g;
 
@@ -77,5 +78,6 @@ int main(int argc, char** argv) {
                 mmw_phy / low_phy);
   }
   p5g::obs::export_from_args(argc, argv, "bench_sec51_frequency");
+  p5g::trace::export_trace_from_args(argc, argv, "bench_sec51_frequency");
   return 0;
 }

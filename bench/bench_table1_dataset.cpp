@@ -8,6 +8,7 @@
 #include "analysis/datasets.h"
 #include "bench_util.h"
 #include "obs/export.h"
+#include "trace/event_trace.h"
 
 using namespace p5g;
 
@@ -50,5 +51,6 @@ int main(int argc, char** argv) {
   std::printf("\n  paper (full scale): 7001/9500/7491 LTE HOs; 4611/11107/6880 NSA\n"
               "  procedures; 465 SA HOs (OpY); 3030/5535/3544 unique cells.\n");
   p5g::obs::export_from_args(argc, argv, "bench_table1_dataset");
+  p5g::trace::export_trace_from_args(argc, argv, "bench_table1_dataset");
   return 0;
 }

@@ -13,6 +13,7 @@
 #include "analysis/prediction.h"
 #include "bench_util.h"
 #include "obs/export.h"
+#include "trace/event_trace.h"
 
 using namespace p5g;
 
@@ -50,5 +51,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\n  paper: Prognos 0.92-0.94 F1; GBC 0.40-0.48; LSTM 0.24-0.28.\n");
   p5g::obs::export_from_args(argc, argv, "bench_table3_prediction");
+  p5g::trace::export_trace_from_args(argc, argv, "bench_table3_prediction");
   return 0;
 }

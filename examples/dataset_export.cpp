@@ -12,6 +12,7 @@
 #include "analysis/datasets.h"
 #include "trace/trace.h"
 #include "obs/export.h"
+#include "trace/event_trace.h"
 
 using namespace p5g;
 
@@ -53,5 +54,6 @@ int main(int argc, char** argv) {
   std::printf("read-back check: %s -> %zu ticks, %zu handovers\n", probe.c_str(),
               back.ticks.size(), back.handovers.size());
   p5g::obs::export_from_args(argc, argv, "dataset_export");
+  p5g::trace::export_trace_from_args(argc, argv, "dataset_export");
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "apps/vod_session.h"
 #include "sim/scenario.h"
 #include "obs/export.h"
+#include "trace/event_trace.h"
 
 using namespace p5g;
 
@@ -67,5 +68,6 @@ int main(int argc, char** argv) {
                 100.0 * (base_stall - pr_stall) / base_stall);
   }
   p5g::obs::export_from_args(argc, argv, "ho_aware_streaming");
+  p5g::trace::export_trace_from_args(argc, argv, "ho_aware_streaming");
   return 0;
 }

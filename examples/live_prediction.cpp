@@ -9,6 +9,7 @@
 #include "core/trace_adapter.h"
 #include "sim/scenario.h"
 #include "obs/export.h"
+#include "trace/event_trace.h"
 
 using namespace p5g;
 
@@ -62,5 +63,6 @@ int main(int argc, char** argv) {
               log.handovers.size(), log.duration(),
               prognos.learner().patterns_learned_total());
   p5g::obs::export_from_args(argc, argv, "live_prediction");
+  p5g::trace::export_trace_from_args(argc, argv, "live_prediction");
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "energy/power_model.h"
 #include "sim/scenario.h"
 #include "obs/export.h"
+#include "trace/event_trace.h"
 
 using namespace p5g;
 
@@ -61,5 +62,6 @@ int main(int argc, char** argv) {
                 stats::median(result.lead_times_s) * 1000.0);
   }
   p5g::obs::export_from_args(argc, argv, "quickstart");
+  p5g::trace::export_trace_from_args(argc, argv, "quickstart");
   return 0;
 }

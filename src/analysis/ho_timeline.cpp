@@ -1,0 +1,194 @@
+#include "analysis/ho_timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+namespace p5g::analysis {
+
+namespace {
+
+// Rebuild the record from one flow's events. The complete instant is
+// authoritative for everything it carries; phase spans contribute the
+// fields only they know (PCIs, phase boundaries, backoff, re-establishment).
+ran::HandoverRecord reconstruct(HoTimeline& t) {
+  ran::HandoverRecord rec;
+  const obs::Event* rlf_trigger = nullptr;
+  for (const obs::Event& e : t.events) {
+    switch (e.category) {
+      case obs::EventCategory::kHoPrep: {
+        t.has_prep = true;
+        rec.decision_time = e.t0;
+        rec.exec_start = e.t1;
+        rec.src_pci = e.i0;
+        rec.dst_pci = e.i1;
+        rec.route_position = e.a1;
+        break;
+      }
+      case obs::EventCategory::kHoExec: {
+        t.has_exec = true;
+        rec.backoff_ms = e.a1;
+        break;
+      }
+      case obs::EventCategory::kRlf: {
+        if (e.kind == obs::EventKind::kInstant) {
+          t.has_rlf_trigger = true;
+          rlf_trigger = &e;
+        } else {
+          t.has_reestablish = true;
+          rec.reestablish_ms = e.a0;
+        }
+        break;
+      }
+      case obs::EventCategory::kHoComplete: {
+        const ran::HoCode code = ran::unpack_ho_code(e.i2);
+        rec.type = code.type;
+        rec.outcome = code.outcome;
+        rec.src_band = code.src_band;
+        rec.dst_band = code.dst_band;
+        rec.complete_time = e.t0;
+        rec.timing.t1_ms = e.a0;
+        rec.timing.t2_ms = e.a1;
+        rec.colocated = e.i0 != 0;
+        rec.rach_attempts = e.i1;
+        break;
+      }
+      default:
+        break;  // rach.retry etc. duplicate fields already carried above
+    }
+  }
+  // RLF-monitor procedures have no preparation stage: the trigger instant
+  // sits exactly at decision_time == exec_start (the rlf SPAN's start is a
+  // derived subtraction, so prefer the instant — it is the emitted t).
+  if (!t.has_prep && rlf_trigger != nullptr) {
+    rec.decision_time = rlf_trigger->t0;
+    rec.exec_start = rlf_trigger->t0;
+    rec.src_pci = rlf_trigger->i0;
+    rec.dst_pci = rlf_trigger->i1;
+    rec.route_position = rlf_trigger->a1;
+    rec.reestablish_ms = rlf_trigger->a0;
+  }
+  return rec;
+}
+
+bool is_ho_event(const obs::Event& e) {
+  switch (e.category) {
+    case obs::EventCategory::kHoPrep:
+    case obs::EventCategory::kHoExec:
+    case obs::EventCategory::kHoComplete:
+    case obs::EventCategory::kRlf:
+    case obs::EventCategory::kRachRetry:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<HoTimeline> ho_timelines(std::span<const obs::Event> events) {
+  // flow 0 is "no HO in flight" (tick/pool/checkpoint events); HO flows
+  // start at 1.
+  std::map<std::pair<std::uint32_t, std::uint64_t>, HoTimeline> flows;
+  for (const obs::Event& e : events) {
+    if (e.flow == 0 || !is_ho_event(e)) continue;
+    HoTimeline& t = flows[{e.ue, e.flow}];
+    t.ue = e.ue;
+    t.flow = e.flow;
+    t.events.push_back(e);
+  }
+  std::vector<HoTimeline> out;
+  out.reserve(flows.size());
+  for (auto& [key, t] : flows) {
+    const bool completed =
+        std::any_of(t.events.begin(), t.events.end(), [](const obs::Event& e) {
+          return e.category == obs::EventCategory::kHoComplete;
+        });
+    if (!completed) continue;  // still pending at capture time
+    std::stable_sort(t.events.begin(), t.events.end(),
+                     [](const obs::Event& a, const obs::Event& b) {
+                       return a.t0 < b.t0;
+                     });
+    t.record = reconstruct(t);
+    out.push_back(std::move(t));
+  }
+  // std::map iteration already yields (ue, flow) order; keep it explicit.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const HoTimeline& a, const HoTimeline& b) {
+                     return a.ue != b.ue ? a.ue < b.ue : a.flow < b.flow;
+                   });
+  return out;
+}
+
+std::vector<ran::HandoverRecord> timeline_records(
+    const std::vector<HoTimeline>& timelines) {
+  std::vector<ran::HandoverRecord> out;
+  out.reserve(timelines.size());
+  for (const HoTimeline& t : timelines) out.push_back(t.record);
+  return out;
+}
+
+PhaseDurations phase_durations(const std::vector<HoTimeline>& timelines) {
+  PhaseDurations d;
+  d.t1_ms.reserve(timelines.size());
+  d.t2_ms.reserve(timelines.size());
+  d.total_ms.reserve(timelines.size());
+  for (const HoTimeline& t : timelines) {
+    d.t1_ms.push_back(t.record.timing.t1_ms);
+    d.t2_ms.push_back(t.record.timing.t2_ms);
+    d.total_ms.push_back(t.record.timing.total_ms());
+    if (t.record.outcome == ran::HoOutcome::kRlfReestablish) {
+      d.reestablish_ms.push_back(t.record.reestablish_ms);
+    }
+  }
+  return d;
+}
+
+std::string describe_timeline(const HoTimeline& t) {
+  const ran::HandoverRecord& r = t.record;
+  std::string out;
+  char line[200];
+  const auto emit = [&out, &line] { out += line; };
+
+  std::snprintf(line, sizeof line,
+                "ue %u flow %llu  %.*s  %.*s  src_pci %d dst_pci %d%s\n",
+                t.ue, static_cast<unsigned long long>(t.flow),
+                static_cast<int>(ran::ho_name(r.type).size()),
+                ran::ho_name(r.type).data(),
+                static_cast<int>(ran::ho_outcome_name(r.outcome).size()),
+                ran::ho_outcome_name(r.outcome).data(), r.src_pci, r.dst_pci,
+                r.colocated ? "  (colocated)" : "");
+  emit();
+  if (t.has_prep) {
+    std::snprintf(line, sizeof line,
+                  "  prep         %10.4f .. %10.4f s   T1 %8.3f ms\n",
+                  r.decision_time, r.exec_start, r.timing.t1_ms);
+    emit();
+  }
+  if (t.has_rlf_trigger) {
+    std::snprintf(line, sizeof line,
+                  "  rlf trigger  %10.4f s (T310 expiry)\n", r.decision_time);
+    emit();
+  }
+  if (t.has_exec) {
+    std::snprintf(line, sizeof line,
+                  "  exec         %10.4f s              T2 %8.3f ms  "
+                  "(rach x%d, backoff %.3f ms)\n",
+                  r.exec_start, r.timing.t2_ms, r.rach_attempts, r.backoff_ms);
+    emit();
+  }
+  if (t.has_reestablish) {
+    std::snprintf(line, sizeof line,
+                  "  reestablish  ends %10.4f s         %8.3f ms\n",
+                  r.complete_time, r.reestablish_ms);
+    emit();
+  }
+  std::snprintf(line, sizeof line,
+                "  complete     %10.4f s              total %8.3f ms\n",
+                r.complete_time, r.timing.total_ms());
+  emit();
+  return out;
+}
+
+}  // namespace p5g::analysis

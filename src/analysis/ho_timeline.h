@@ -1,0 +1,73 @@
+// Per-handover timeline reconstruction from the flight recorder (obs/events).
+//
+// The MobilityManager emits every HO as a (ue, flow)-correlated family of
+// events: a ho.prep span, a ho.exec span (plus rach.retry when the fault
+// layer retried), an rlf trigger instant + rlf span for re-establishments,
+// and one ho.complete instant that seals the procedure. ho_timelines()
+// groups a captured event stream back into those families and rebuilds a
+// ran::HandoverRecord per completed procedure.
+//
+// The reconstruction is EXACT for every field analysis::ho_stats consumes:
+// the events carry the record's authoritative millisecond durations
+// verbatim (no seconds<->ms round trip), so duration_by_type /
+// colocation_split / retry_stats / outcome tallies over timeline_records()
+// equal the same functions over the trace log's handover list bit-for-bit.
+// (SignalingCounts are the one field not carried; they stay default.)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/events.h"
+#include "ran/handover.h"
+
+namespace p5g::analysis {
+
+// One completed HO procedure, as seen by the flight recorder.
+struct HoTimeline {
+  std::uint32_t ue = 0;
+  std::uint64_t flow = 0;
+  ran::HandoverRecord record;  // reconstructed (signaling left default)
+
+  // Which phases the recorder retained. A ring that evicted history (see
+  // EventTrace::dropped) can leave a complete instant whose earlier spans
+  // are gone; the record is still correct — phase spans only add the
+  // src/dst PCIs and exact phase boundaries already encoded elsewhere.
+  bool has_prep = false;
+  bool has_exec = false;
+  bool has_reestablish = false;
+  bool has_rlf_trigger = false;
+
+  // The flow's events in time order (spans at their start time).
+  std::vector<obs::Event> events;
+};
+
+// Groups `events` by (ue, flow) and reconstructs one HoTimeline per flow
+// that contains a ho.complete instant (procedures still pending at capture
+// time have no completion and are skipped). Output is sorted by (ue, flow);
+// flow ids increment per start and at most one HO is in flight per UE, so
+// this is per-UE completion order — the trace log's handover order.
+std::vector<HoTimeline> ho_timelines(std::span<const obs::Event> events);
+
+// The reconstructed records, in ho_timelines() order — feed these straight
+// into the analysis::ho_stats functions.
+std::vector<ran::HandoverRecord> timeline_records(
+    const std::vector<HoTimeline>& timelines);
+
+// Phase-duration samples pooled across timelines (milliseconds).
+// reestablish_ms only collects RLF outcomes.
+struct PhaseDurations {
+  std::vector<double> t1_ms;
+  std::vector<double> t2_ms;
+  std::vector<double> total_ms;
+  std::vector<double> reestablish_ms;
+};
+PhaseDurations phase_durations(const std::vector<HoTimeline>& timelines);
+
+// Human-readable dump of one procedure (the `p5g_trace ho` view): one line
+// per phase with sim-time bounds and the authoritative durations.
+std::string describe_timeline(const HoTimeline& t);
+
+}  // namespace p5g::analysis

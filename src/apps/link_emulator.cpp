@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/events.h"
+
 namespace p5g::apps {
 
 LinkEmulator::LinkEmulator(std::vector<double> mbps, Seconds dt)
@@ -58,14 +60,52 @@ Mbps LinkEmulator::average_rate(Seconds start, Seconds window) const {
 }
 
 Seconds LinkEmulator::outage_seconds(Seconds start, Seconds window, Mbps floor) const {
-  if (mbps_.empty() || window <= 0.0) return 0.0;
-  const auto lo = static_cast<long>(std::max(start, 0.0) / dt_);
-  const auto hi = static_cast<long>(std::max(start + window, 0.0) / dt_);
   Seconds outage = 0.0;
-  for (long i = lo; i < hi && i < static_cast<long>(mbps_.size()); ++i) {
-    if (mbps_[static_cast<std::size_t>(i)] <= floor) outage += dt_;
+  for (const OutageSpan& s : outage_spans(start, window, floor)) {
+    // Accumulate dt per bin (not bins * dt): bit-for-bit the sum the
+    // pre-span implementation produced, so callers' figures don't move.
+    for (std::size_t k = 0; k < s.bins; ++k) outage += dt_;
   }
   return outage;
+}
+
+std::vector<LinkEmulator::OutageSpan> LinkEmulator::outage_spans(
+    Seconds start, Seconds window, Mbps floor) const {
+  std::vector<OutageSpan> out;
+  if (mbps_.empty() || window <= 0.0) return out;
+  const auto lo = static_cast<long>(std::max(start, 0.0) / dt_);
+  const auto hi = static_cast<long>(std::max(start + window, 0.0) / dt_);
+  for (long i = lo; i < hi && i < static_cast<long>(mbps_.size()); ++i) {
+    if (mbps_[static_cast<std::size_t>(i)] > floor) continue;
+    const Seconds bin_start = static_cast<double>(i) * dt_;
+    const Seconds bin_end = static_cast<double>(i + 1) * dt_;
+    if (!out.empty() && out.back().end == bin_start) {
+      out.back().end = bin_end;
+      ++out.back().bins;
+    } else {
+      out.push_back({bin_start, bin_end, 1});
+    }
+  }
+  return out;
+}
+
+void LinkEmulator::emit_outage_events(std::uint32_t ue, Seconds start,
+                                      Seconds window, Mbps floor) const {
+  if (!obs::events_enabled()) return;
+  const std::uint32_t outer = obs::trace_ue();
+  obs::set_trace_ue(ue);
+  for (const OutageSpan& s : outage_spans(start, window, floor)) {
+    obs::Event e;
+    e.kind = obs::EventKind::kSpan;
+    e.category = obs::EventCategory::kAppOutage;
+    e.t0 = s.start;
+    e.t1 = s.end;
+    e.a0 = floor;
+    e.a1 = s.end - s.start;
+    e.i0 = static_cast<std::int32_t>(s.bins);
+    obs::event_log().emit(e);
+  }
+  obs::set_trace_ue(outer);
 }
 
 std::vector<LinkEmulator> sliding_windows(const trace::TraceLog& log, Seconds window_s,

@@ -3,6 +3,8 @@
 // megabits take starting at time t".
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/units.h"
@@ -30,6 +32,23 @@ class LinkEmulator {
   // `floor` — the outage an application actually experiences. Failed HO
   // executions and RRC re-establishments show up as longer outages here.
   Seconds outage_seconds(Seconds start, Seconds window, Mbps floor = 0.1) const;
+
+  // The same bins, coalesced into maximal contiguous interruption spans —
+  // the structure behind the scalar above (outage_seconds sums exactly
+  // these spans' bins). `bins` is the number of dt-slots in the span.
+  struct OutageSpan {
+    Seconds start = 0.0;
+    Seconds end = 0.0;
+    std::size_t bins = 0;
+  };
+  std::vector<OutageSpan> outage_spans(Seconds start, Seconds window,
+                                       Mbps floor = 0.1) const;
+
+  // Flight-recorder hook: emits one app.outage span per interruption onto
+  // UE `ue`'s sim timeline, so an exported trace shows the application-
+  // visible outage directly under the HO phase spans that caused it.
+  void emit_outage_events(std::uint32_t ue, Seconds start, Seconds window,
+                          Mbps floor = 0.1) const;
 
  private:
   std::vector<double> mbps_;

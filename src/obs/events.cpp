@@ -1,0 +1,218 @@
+#include "obs/events.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace p5g::obs {
+
+namespace {
+
+std::atomic<bool> g_events_enabled{true};
+thread_local std::uint32_t t_trace_ue = 0;
+
+}  // namespace
+
+bool events_enabled() noexcept {
+  return g_events_enabled.load(std::memory_order_relaxed);
+}
+
+void set_events_enabled(bool on) noexcept {
+  g_events_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::string_view category_name(EventCategory c) noexcept {
+  switch (c) {
+    case EventCategory::kTick: return "tick";
+    case EventCategory::kMmObserve: return "mm.observe";
+    case EventCategory::kMmDecide: return "mm.decide";
+    case EventCategory::kHoPrep: return "ho.prep";
+    case EventCategory::kHoExec: return "ho.exec";
+    case EventCategory::kHoComplete: return "ho.complete";
+    case EventCategory::kRlf: return "rlf";
+    case EventCategory::kRachRetry: return "rach.retry";
+    case EventCategory::kPoolTask: return "pool.task";
+    case EventCategory::kCheckpoint: return "checkpoint";
+    case EventCategory::kAppOutage: return "app.outage";
+  }
+  return "unknown";
+}
+
+bool category_from_name(std::string_view name, EventCategory& out) noexcept {
+  for (std::size_t i = 0; i < kEventCategories; ++i) {
+    const auto c = static_cast<EventCategory>(i);
+    if (category_name(c) == name) {
+      out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace detail {
+
+// One thread's ring. Single producer (the leasing thread); the registry
+// mutex serializes lease handoff, snapshot() and clear(). `n` is the total
+// ever emitted into this ring: slot k of event number k is ring[k % size],
+// so retained = min(n, size) and dropped = n - retained.
+struct EventBuffer {
+  explicit EventBuffer(std::size_t cap) : ring(cap) {}
+  std::vector<Event> ring;
+  std::atomic<std::uint64_t> n{0};
+  std::atomic<bool> leased{true};
+};
+
+}  // namespace detail
+
+namespace {
+
+// Releases the thread's ring lease on thread exit so a later thread (e.g.
+// the next bench's pool worker) reuses the ring instead of growing the
+// registry without bound.
+struct BufferLease {
+  detail::EventBuffer* buffer = nullptr;
+  std::uint64_t epoch = ~0ull;
+  ~BufferLease() {
+    if (buffer) buffer->leased.store(false, std::memory_order_release);
+  }
+};
+
+thread_local BufferLease t_lease;
+
+}  // namespace
+
+EventLog::EventLog() = default;
+EventLog::~EventLog() = default;
+
+detail::EventBuffer& EventLog::local() {
+  const std::uint64_t epoch = lease_epoch_.load(std::memory_order_acquire);
+  if (t_lease.buffer != nullptr && t_lease.epoch == epoch) {
+    return *t_lease.buffer;
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (t_lease.buffer != nullptr) {
+    t_lease.buffer->leased.store(false, std::memory_order_release);
+    t_lease.buffer = nullptr;
+  }
+  for (const std::unique_ptr<detail::EventBuffer>& b : buffers_) {
+    if (!b->leased.load(std::memory_order_acquire) &&
+        b->ring.size() == capacity_) {
+      b->leased.store(true, std::memory_order_release);
+      t_lease.buffer = b.get();
+      break;
+    }
+  }
+  if (t_lease.buffer == nullptr) {
+    buffers_.push_back(std::make_unique<detail::EventBuffer>(capacity_));
+    t_lease.buffer = buffers_.back().get();
+  }
+  t_lease.epoch = epoch;
+  return *t_lease.buffer;
+}
+
+void EventLog::emit(const Event& e) {
+  if (!events_enabled()) return;
+  detail::EventBuffer& b = local();
+  const std::uint64_t k = b.n.load(std::memory_order_relaxed);
+  Event& slot = b.ring[static_cast<std::size_t>(k % b.ring.size())];
+  slot = e;
+  slot.ue = t_trace_ue;
+  // Release so a post-quiesce snapshot that acquires `n` sees the payload.
+  b.n.store(k + 1, std::memory_order_release);
+}
+
+std::uint64_t EventLog::emitted() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const std::unique_ptr<detail::EventBuffer>& b : buffers_) {
+    total += b->n.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+std::uint64_t EventLog::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const std::unique_ptr<detail::EventBuffer>& b : buffers_) {
+    const std::uint64_t n = b->n.load(std::memory_order_acquire);
+    const std::uint64_t cap = b->ring.size();
+    total += n > cap ? n - cap : 0;
+  }
+  return total;
+}
+
+void EventLog::set_capacity(std::size_t events) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max<std::size_t>(events, 1);
+  lease_epoch_.fetch_add(1, std::memory_order_release);
+}
+
+std::size_t EventLog::capacity() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+std::vector<Event> EventLog::snapshot() const {
+  std::vector<Event> out;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const std::unique_ptr<detail::EventBuffer>& b : buffers_) {
+      const std::uint64_t n = b->n.load(std::memory_order_acquire);
+      const std::uint64_t cap = b->ring.size();
+      const std::uint64_t kept = std::min(n, cap);
+      for (std::uint64_t k = n - kept; k < n; ++k) {
+        out.push_back(b->ring[static_cast<std::size_t>(k % cap)]);
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+    if (a.t0 != b.t0) return a.t0 < b.t0;
+    if (a.ue != b.ue) return a.ue < b.ue;
+    if (a.flow != b.flow) return a.flow < b.flow;
+    return static_cast<int>(a.category) < static_cast<int>(b.category);
+  });
+  return out;
+}
+
+void EventLog::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<detail::EventBuffer>& b : buffers_) {
+    b->n.store(0, std::memory_order_release);
+  }
+}
+
+EventLog& event_log() {
+  // Leaked like obs::registry(): producer threads may outlive static
+  // destruction order, and rings of exited threads must stay readable.
+  static EventLog* log = new EventLog();
+  return *log;
+}
+
+std::uint64_t next_flow_id() noexcept {
+  static std::atomic<std::uint64_t> seq{0};
+  return seq.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void set_trace_ue(std::uint32_t ue) noexcept { t_trace_ue = ue; }
+
+std::uint32_t trace_ue() noexcept { return t_trace_ue; }
+
+double wall_track_now() noexcept {
+  using WallClock = std::chrono::steady_clock;
+  static const WallClock::time_point epoch = WallClock::now();
+  return std::chrono::duration<double>(WallClock::now() - epoch).count();
+}
+
+EventSpan::EventSpan(EventCategory category, Event proto, bool active)
+    : proto_(proto), active_(active && events_enabled()) {
+  proto_.category = category;
+  proto_.kind = EventKind::kWallSpan;
+  if (active_) proto_.t0 = wall_track_now();
+}
+
+EventSpan::~EventSpan() {
+  if (!active_) return;
+  proto_.t1 = wall_track_now();
+  event_log().emit(proto_);
+}
+
+}  // namespace p5g::obs

@@ -1,0 +1,193 @@
+// HO flight recorder: a process-wide log of fixed-size binary span/instant
+// events on per-thread overwrite-oldest ring buffers. This is the event-level
+// complement to the metrics registry — metrics answer "how many / how long on
+// average", the flight recorder answers "show me THIS handover's timeline"
+// (the paper's vivisection view: trigger -> preparation -> execution ->
+// completion/failure, Figs. 8-9).
+//
+// Design constraints (see DESIGN.md "Flight recorder"):
+//   * Hot-path emits are lock-free: each thread writes its own ring (single
+//     producer), registration and capacity changes take a mutex exactly once
+//     per thread. A full ring overwrites its oldest entries — emit never
+//     blocks and never allocates in steady state; the overwritten count is
+//     reported as dropped().
+//   * Instrumentation must never perturb simulation behaviour — sim-track
+//     events carry simulated Seconds handed in by the caller, touch no RNG
+//     stream, no clock, and no simulation state, so the zero-fault golden
+//     trace stays byte-identical with the recorder enabled or disabled.
+//   * Dual timeline: kSpan/kInstant events live on the simulated-time axis
+//     (the primary axis for HO vivisection); kWallSpan/kWallInstant events
+//     live on a wall-clock track (engine profiling: pool tasks, observe /
+//     decide phases, checkpoints) whose epoch is the first wall sample.
+//   * The recorder has its own kill switch (set_events_enabled), independent
+//     of the metrics layer's obs::set_enabled, so bench_perf can A/B each
+//     layer's overhead separately.
+//
+// Like the rest of src/obs this header depends on nothing but the C++
+// standard library, so every layer (ran, sim, trace, apps, benches) can emit.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace p5g::obs {
+
+// Kill switch for the flight recorder alone. Relaxed load on every emit;
+// flipping it mid-run is safe (events just stop/resume).
+bool events_enabled() noexcept;
+void set_events_enabled(bool on) noexcept;
+
+// What one event records. The set mirrors the instrumented layers: the
+// MobilityManager's HO phase machine (ho.*, rlf, rach.retry), the fault
+// layer's retry/re-establishment chains, the tick loop, the fleet engine,
+// and the application layer's outage extraction.
+enum class EventCategory : std::uint8_t {
+  kTick = 0,      // one simulation tick (sampled; see ScenarioStepper)
+  kMmObserve,     // MobilityManager observe phase (wall track, sampled)
+  kMmDecide,      // MobilityManager monitors+decide phase (wall track, sampled)
+  kHoPrep,        // T1 preparation span [decision_time, exec_start]
+  kHoExec,        // T2 execution span [exec_start, exec end]
+  kHoComplete,    // procedure finished (instant at complete_time)
+  kRlf,           // RLF trigger (instant) / RRC re-establishment (span)
+  kRachRetry,     // RACH retry chain inside T2 (attempts > 1)
+  kPoolTask,      // fleet cohort task (wall track)
+  kCheckpoint,    // fleet checkpoint snapshot (wall track)
+  kAppOutage,     // application-visible outage span (LinkEmulator)
+};
+inline constexpr std::size_t kEventCategories = 11;
+
+// "tick", "ho.prep", ... — stable names used by the Perfetto exporter, the
+// p5g_trace CLI and tools/check_trace.py.
+std::string_view category_name(EventCategory c) noexcept;
+// Inverse of category_name; false when `name` is not a known category.
+bool category_from_name(std::string_view name, EventCategory& out) noexcept;
+
+enum class EventKind : std::uint8_t {
+  kSpan = 0,      // [t0, t1] in simulated seconds
+  kInstant,       // point event, t0 == t1, simulated seconds
+  kWallSpan,      // [t0, t1] in wall seconds since the wall-track epoch
+  kWallInstant,   // point event on the wall track
+};
+
+// One fixed-size binary event. Payload fields (a0/a1/i0..i2) are
+// category-specific; DESIGN.md "Flight recorder" tables the full schema.
+// Doubles are carried verbatim (and serialized as IEEE-754 bit patterns), so
+// authoritative millisecond values written by the MobilityManager reach
+// analysis::ho_timeline without any s<->ms round-trip re-derivation — that is
+// what makes the reconstructed phase stats agree with analysis::ho_stats
+// EXACTLY, not approximately.
+struct Event {
+  double t0 = 0.0;             // span start / instant time
+  double t1 = 0.0;             // span end (== t0 for instants)
+  double a0 = 0.0;             // payload (e.g. authoritative phase ms)
+  double a1 = 0.0;             // payload (e.g. route position, backoff ms)
+  std::uint64_t flow = 0;      // correlation id: per-UE HO sequence number
+  std::int32_t i0 = 0;         // payload (e.g. src PCI, RACH attempts)
+  std::int32_t i1 = 0;         // payload (e.g. dst PCI)
+  std::uint32_t ue = 0;        // emitting UE (thread-local trace context)
+  std::uint16_t i2 = 0;        // payload (e.g. packed ran::pack_ho_code)
+  EventCategory category = EventCategory::kTick;
+  EventKind kind = EventKind::kInstant;
+  std::uint32_t reserved = 0;  // pads the struct to 64 bytes
+};
+static_assert(sizeof(Event) == 64, "one cache line per event");
+
+namespace detail {
+struct EventBuffer;  // per-thread ring, defined in events.cpp
+}
+
+// The flight recorder. One process-wide instance (event_log()); every
+// thread that emits gets (or re-leases, after a producer thread exits) a
+// private ring buffer, registered under the mutex once.
+class EventLog {
+ public:
+  // Per-thread ring capacity in events (64 B each). 32768 events comfortably
+  // hold a full 30-minute drive: sampled tick spans plus every HO event.
+  static constexpr std::size_t kDefaultCapacity = 32768;
+
+  EventLog();
+  ~EventLog();
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  // Appends to the calling thread's ring (overwriting the oldest entry when
+  // full). `e.ue` is overwritten with the thread's trace context
+  // (set_trace_ue). No-op while the recorder is disabled.
+  void emit(const Event& e);
+
+  // Totals across every ring, including rings of exited threads. Exact after
+  // producers quiesce (join/wait_idle), approximate while they race — the
+  // same contract as Counter::value().
+  std::uint64_t emitted() const;
+  std::uint64_t dropped() const;  // emitted minus retained (overwritten)
+
+  // Ring capacity for buffers leased after the call (existing per-thread
+  // rings migrate on their next emit). Test hook for forcing overflow.
+  void set_capacity(std::size_t events);
+  std::size_t capacity() const;
+
+  // Merged copy of every ring, sorted by (t0, ue, flow, category). Call
+  // after producers quiesce, like MetricsRegistry::snapshot.
+  std::vector<Event> snapshot() const;
+
+  // Forgets all retained events and zeroes emitted/dropped (leases and
+  // capacities survive). Test helper; not meant to race live producers.
+  void clear();
+
+ private:
+  detail::EventBuffer& local();
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<detail::EventBuffer>> buffers_;
+  std::size_t capacity_ = kDefaultCapacity;
+  // Bumped by set_capacity()/clear(); producers re-lease when it moves.
+  std::atomic<std::uint64_t> lease_epoch_{0};
+};
+
+// The process-wide flight recorder every instrumented subsystem emits to.
+EventLog& event_log();
+
+// Hands out HO-procedure correlation ids (flow 0 means "no flow"; the first
+// id is 1). The counter is process-wide, not per-manager: benches and serial
+// sweeps run many single-UE scenarios in one process, all attributed to the
+// same UE, and per-manager sequences would collide under the (ue, flow)
+// correlation key and merge unrelated procedures into one timeline. A UE
+// runs one HO at a time, so per-UE flow order still equals procedure order.
+std::uint64_t next_flow_id() noexcept;
+
+// Thread-local UE attribution for emitted events. The fleet cohort engine
+// sets this before stepping each UE slot so manager/stepper events carry the
+// right UE even though cohorts interleave UEs on one thread; single-scenario
+// runs leave the default 0.
+void set_trace_ue(std::uint32_t ue) noexcept;
+std::uint32_t trace_ue() noexcept;
+
+// Wall seconds since the process's wall-track epoch (the first call). Only
+// durations and relative order are meaningful. This is the time base of
+// kWallSpan/kWallInstant events.
+double wall_track_now() noexcept;
+
+// RAII wall-clock span: samples the wall track on construction and emits a
+// kWallSpan of `category` on destruction. `proto` supplies the payload
+// fields (a0/a1/flow/i0/i1/i2); t0/t1/kind are filled in by the span.
+// Neither wall read happens when inactive or the recorder is disabled.
+class EventSpan {
+ public:
+  explicit EventSpan(EventCategory category, Event proto = {},
+                     bool active = true);
+  ~EventSpan();
+
+  EventSpan(const EventSpan&) = delete;
+  EventSpan& operator=(const EventSpan&) = delete;
+
+ private:
+  Event proto_;
+  bool active_;
+};
+
+}  // namespace p5g::obs

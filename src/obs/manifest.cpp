@@ -1,6 +1,7 @@
 #include "obs/manifest.h"
 
 #include <sstream>
+#include <string_view>
 
 #include "common/chaos.h"
 #include "common/io.h"
@@ -21,6 +22,18 @@ RunManifest make_manifest(std::string run, std::uint64_t seed) {
   m.seed = seed;
   m.git_describe = P5G_GIT_DESCRIBE;
   m.build_type = P5G_BUILD_TYPE;
+
+  // A "-dirty" describe means the binary was configured from uncommitted
+  // sources: the provenance line cannot reproduce this run. Say so in every
+  // report instead of recording the dirty build silently.
+  constexpr std::string_view kDirty = "-dirty";
+  if (m.git_describe.size() >= kDirty.size() &&
+      m.git_describe.compare(m.git_describe.size() - kDirty.size(),
+                             kDirty.size(), kDirty) == 0) {
+    m.warnings.push_back(
+        "build: configured from a dirty working tree (git describe '" +
+        m.git_describe + "'); this run is not reproducible from the commit");
+  }
 
   // Surface the CSV ragged-row tolerance counters (common/csv pads or
   // truncates mismatched rows instead of throwing; the counts land here).

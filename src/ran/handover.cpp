@@ -27,6 +27,24 @@ std::string_view ho_outcome_name(HoOutcome o) {
   return "?";
 }
 
+std::uint16_t pack_ho_code(HoType type, HoOutcome outcome, radio::Band src_band,
+                           radio::Band dst_band) {
+  return static_cast<std::uint16_t>(
+      (static_cast<unsigned>(type) & 0x7u) |
+      ((static_cast<unsigned>(outcome) & 0x3u) << 3) |
+      ((static_cast<unsigned>(src_band) & 0xFu) << 5) |
+      ((static_cast<unsigned>(dst_band) & 0xFu) << 9));
+}
+
+HoCode unpack_ho_code(std::uint16_t code) {
+  HoCode c;
+  c.type = static_cast<HoType>(code & 0x7u);
+  c.outcome = static_cast<HoOutcome>((code >> 3) & 0x3u);
+  c.src_band = static_cast<radio::Band>((code >> 5) & 0xFu);
+  c.dst_band = static_cast<radio::Band>((code >> 9) & 0xFu);
+  return c;
+}
+
 bool ho_is_5g_procedure(HoType t) {
   switch (t) {
     case HoType::kScga:

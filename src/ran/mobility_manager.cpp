@@ -4,9 +4,91 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/events.h"
 #include "radio/batch.h"
 
 namespace p5g::ran {
+
+namespace {
+
+// ------------------------------------------------- flight-recorder emits --
+// One helper per HO event shape. All sim-track events: times are simulated
+// Seconds already computed by the phase machine, payloads are the record's
+// authoritative millisecond values carried verbatim (obs::Event holds
+// doubles bit-exact), so analysis::ho_timeline reconstructs HandoverRecords
+// whose ho_stats agree EXACTLY with the ones in the trace log. Emission
+// reads no clock and no RNG — the golden traces are identical with the
+// recorder on or off.
+
+void emit_prep_span(const HandoverRecord& rec, std::uint64_t flow) {
+  p5g::obs::Event e;
+  e.kind = p5g::obs::EventKind::kSpan;
+  e.category = p5g::obs::EventCategory::kHoPrep;
+  e.t0 = rec.decision_time;
+  e.t1 = rec.exec_start;
+  e.a0 = rec.timing.t1_ms;  // authoritative T1 duration
+  e.a1 = rec.route_position;
+  e.flow = flow;
+  e.i0 = rec.src_pci;
+  e.i1 = rec.dst_pci;
+  e.i2 = pack_ho_code(rec.type, rec.outcome, rec.src_band, rec.dst_band);
+  p5g::obs::event_log().emit(e);
+}
+
+void emit_exec_span(const HandoverRecord& rec, Seconds exec_end,
+                    std::uint64_t flow) {
+  p5g::obs::Event e;
+  e.kind = p5g::obs::EventKind::kSpan;
+  e.category = p5g::obs::EventCategory::kHoExec;
+  e.t0 = rec.exec_start;
+  e.t1 = exec_end;
+  e.a0 = rec.timing.t2_ms;  // authoritative T2 (includes retries + backoff)
+  e.a1 = rec.backoff_ms;
+  e.flow = flow;
+  e.i0 = rec.rach_attempts;
+  e.i1 = rec.dst_pci;
+  e.i2 = pack_ho_code(rec.type, rec.outcome, rec.src_band, rec.dst_band);
+  p5g::obs::event_log().emit(e);
+  if (rec.rach_attempts > 1) {
+    // The fault layer's retry chain: attempts and total backoff inside T2.
+    e.category = p5g::obs::EventCategory::kRachRetry;
+    e.a0 = rec.backoff_ms;
+    e.a1 = 0.0;
+    p5g::obs::event_log().emit(e);
+  }
+}
+
+void emit_reestablish_span(const HandoverRecord& rec, std::uint64_t flow) {
+  p5g::obs::Event e;
+  e.kind = p5g::obs::EventKind::kSpan;
+  e.category = p5g::obs::EventCategory::kRlf;
+  e.t0 = rec.complete_time - ms_to_s(rec.reestablish_ms);
+  e.t1 = rec.complete_time;
+  e.a0 = rec.reestablish_ms;  // authoritative re-establishment duration
+  e.a1 = rec.route_position;
+  e.flow = flow;
+  e.i0 = rec.src_pci;
+  e.i1 = rec.dst_pci;
+  e.i2 = pack_ho_code(rec.type, rec.outcome, rec.src_band, rec.dst_band);
+  p5g::obs::event_log().emit(e);
+}
+
+void emit_complete(const HandoverRecord& rec, std::uint64_t flow) {
+  p5g::obs::Event e;
+  e.kind = p5g::obs::EventKind::kInstant;
+  e.category = p5g::obs::EventCategory::kHoComplete;
+  e.t0 = rec.complete_time;
+  e.t1 = rec.complete_time;
+  e.a0 = rec.timing.t1_ms;  // authoritative phase durations: a prep-failed
+  e.a1 = rec.timing.t2_ms;  // record keeps its sampled (never-run) T2
+  e.flow = flow;
+  e.i0 = rec.colocated ? 1 : 0;
+  e.i1 = rec.rach_attempts;
+  e.i2 = pack_ho_code(rec.type, rec.outcome, rec.src_band, rec.dst_band);
+  p5g::obs::event_log().emit(e);
+}
+
+}  // namespace
 
 ShadowMap resolve_shadow_fields(const Deployment& deployment) {
   ShadowMap fields;
@@ -551,6 +633,7 @@ void MobilityManager::start_ho(HoType type, Seconds t, Meters route_position,
   // Stash target cell ids via pci lookup on completion; keep ids here.
   target_cell_ = dst_cell;
   pending_ = p;
+  pending_flow_ = p5g::obs::next_flow_id();
   phase_reports_.clear();
   out.started.push_back(rec);
 }
@@ -602,6 +685,10 @@ void MobilityManager::progress_pending(Seconds t, TickResult& out) {
       case Phase::kPrep: {
         if (pending_->record.outcome == HoOutcome::kPrepFailure) {
           const HandoverRecord rec = pending_->record;
+          if (p5g::obs::events_enabled()) {
+            emit_prep_span(rec, pending_flow_);
+            emit_complete(rec, pending_flow_);
+          }
           pending_.reset();
           apply_failed(rec);
           out.completed.push_back(rec);
@@ -610,6 +697,9 @@ void MobilityManager::progress_pending(Seconds t, TickResult& out) {
         // T1 done: the UE receives the RRCReconfiguration and execution
         // (with its data-plane interruption) begins.
         P5G_ASSERT(phase_transition_legal(pending_->phase, Phase::kExec));
+        if (p5g::obs::events_enabled()) {
+          emit_prep_span(pending_->record, pending_flow_);
+        }
         pending_->phase = Phase::kExec;
         pending_->phase_end =
             pending_->record.exec_start + ms_to_s(pending_->record.timing.t2_ms);
@@ -624,6 +714,11 @@ void MobilityManager::progress_pending(Seconds t, TickResult& out) {
           // All RACH attempts burned: re-establish with both legs down.
           P5G_ASSERT(
               phase_transition_legal(pending_->phase, Phase::kReestablish));
+          if (p5g::obs::events_enabled()) {
+            // T2 ends here (phase_end is exec_start + t2); re-establishment
+            // runs from there to complete_time.
+            emit_exec_span(pending_->record, pending_->phase_end, pending_flow_);
+          }
           pending_->phase = Phase::kReestablish;
           pending_->phase_end = pending_->record.complete_time;
           state_.lte_data_halted = true;
@@ -631,6 +726,10 @@ void MobilityManager::progress_pending(Seconds t, TickResult& out) {
           break;
         }
         const HandoverRecord rec = pending_->record;
+        if (p5g::obs::events_enabled()) {
+          emit_exec_span(rec, rec.complete_time, pending_flow_);
+          emit_complete(rec, pending_flow_);
+        }
         pending_.reset();
         state_.lte_data_halted = false;
         state_.nr_data_halted = false;
@@ -644,6 +743,10 @@ void MobilityManager::progress_pending(Seconds t, TickResult& out) {
       }
       case Phase::kReestablish: {
         const HandoverRecord rec = pending_->record;
+        if (p5g::obs::events_enabled()) {
+          emit_reestablish_span(rec, pending_flow_);
+          emit_complete(rec, pending_flow_);
+        }
         pending_.reset();
         state_.lte_data_halted = false;
         state_.nr_data_halted = false;
@@ -745,6 +848,23 @@ void MobilityManager::start_reestablishment(Seconds t, Meters route_position,
   p.phase_end = rec.complete_time;
   target_cell_ = -1;
   pending_ = p;
+  pending_flow_ = p5g::obs::next_flow_id();
+  if (p5g::obs::events_enabled()) {
+    // The T310 expiry itself, as an instant; the re-establishment span and
+    // completion follow from progress_pending when the procedure finishes.
+    p5g::obs::Event e;
+    e.kind = p5g::obs::EventKind::kInstant;
+    e.category = p5g::obs::EventCategory::kRlf;
+    e.t0 = t;
+    e.t1 = t;
+    e.a0 = rec.reestablish_ms;
+    e.a1 = route_position;
+    e.flow = pending_flow_;
+    e.i0 = rec.src_pci;
+    e.i1 = rec.dst_pci;
+    e.i2 = pack_ho_code(rec.type, rec.outcome, rec.src_band, rec.dst_band);
+    p5g::obs::event_log().emit(e);
+  }
   phase_reports_.clear();
   state_.lte_data_halted = true;
   state_.nr_data_halted = true;
@@ -776,6 +896,10 @@ void MobilityManager::tick(Seconds t, geo::Point pos, Meters moved,
   out.observations.reserve(obs_high_water_);
   {
     const p5g::obs::ObsTimer timer(*metrics_.observe_ms, sample_phases);
+    // Wall-track twin of the histogram sample: same stride, so the flight
+    // recorder's engine profile costs nothing on unsampled ticks.
+    const p5g::obs::EventSpan span(p5g::obs::EventCategory::kMmObserve,
+                                   {.a0 = t}, sample_phases);
     // Observe all layers relevant to the architecture: LTE first, then NR,
     // which is the band segmentation find_obs/best_of_band rely on.
     if (config_.arch != Arch::kSa) observe(t, pos, moved, config_.lte_band, out.observations);
@@ -792,6 +916,8 @@ void MobilityManager::tick(Seconds t, geo::Point pos, Meters moved,
   const bool executing = pending_ && pending_->phase != Phase::kPrep;
   if (!executing) {
     const p5g::obs::ObsTimer timer(*metrics_.decide_ms, sample_phases);
+    const p5g::obs::EventSpan span(p5g::obs::EventCategory::kMmDecide,
+                                   {.a0 = t}, sample_phases);
     run_event_monitors(t, out.observations, out);
     decide(t, route_position, out.observations, out);
   }

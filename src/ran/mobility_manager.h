@@ -248,13 +248,19 @@ class MobilityManager {
     p5g::obs::Histogram* batch_size = nullptr;
   };
   Metrics metrics_;
-  // Phase timers read the clock on 1 tick in 16 (deterministic modular
-  // sampling): thousands of samples per scenario at ~1/16 the clock cost.
-  p5g::obs::SampleEvery phase_sampler_{4};
-  // p5g.radio.batch_size samples 1 observe in 16 (deterministic stride):
+  // Phase timers read the clock on 1 tick in 64 (deterministic modular
+  // sampling): hundreds of samples per scenario at ~1/64 the clock cost.
+  // Widened from 1-in-16 when the batched radio pipeline made ticks cheap
+  // enough that the clock reads dominated the obs overhead budget.
+  p5g::obs::SampleEvery phase_sampler_{6};
+  // p5g.radio.batch_size samples 1 observe in 64 (deterministic stride):
   // evidence the SoA buffers are exercised, at negligible hot-path cost.
-  p5g::obs::SampleEvery batch_sampler_{4};
+  p5g::obs::SampleEvery batch_sampler_{6};
   std::optional<PendingHo> pending_;
+  // Flight-recorder correlation id (obs::next_flow_id, process-wide):
+  // every event of the in-flight procedure carries pending_flow_, so
+  // (ue, flow) uniquely names one HO even across scenarios in one process.
+  std::uint64_t pending_flow_ = 0;
   int target_cell_ = -1;  // dense cell id of the pending HO's target
   // Recent reports in the current decision phase (cleared on HO start).
   std::vector<MeasurementReport> phase_reports_;

@@ -9,6 +9,7 @@
 
 #include "common/chaos.h"
 #include "common/thread_pool.h"
+#include "obs/events.h"
 #include "obs/export.h"
 #include "obs/timer.h"
 #include "sim/checkpoint.h"
@@ -111,6 +112,12 @@ std::vector<RunError> run_cohorts(
   auto run_cohort = [&](std::size_t begin, std::size_t end) {
     const std::size_t n = end - begin;
     m.in_flight.add(static_cast<double>(n));
+    // Wall-track span covering the whole cohort task: the fleet engine's
+    // unit of pool scheduling, so a Perfetto view shows worker occupancy.
+    const obs::EventSpan cohort_span(
+        obs::EventCategory::kPoolTask,
+        {.i0 = static_cast<std::int32_t>(ues[begin]),
+         .i1 = static_cast<std::int32_t>(n)});
     const obs::ObsClock::time_point start =
         obs::enabled() ? obs::ObsClock::now() : obs::ObsClock::time_point{};
 
@@ -147,11 +154,16 @@ std::vector<RunError> run_cohorts(
 
     // Tick-major lockstep over the surviving slots.
     trace::TickRecord scratch;  // summary mode: ONE record for the cohort
+    const std::uint32_t outer_ue = obs::trace_ue();
     bool any = true;
     while (any) {
       any = false;
       for (CohortSlot& slot : slots) {
         if (slot.failed || slot.stepper->done()) continue;
+        // Attribute this slot's flight-recorder events (tick spans, HO
+        // phases) to its UE: cohorts interleave UEs on one thread, so the
+        // thread-local context moves with the lockstep cursor.
+        obs::set_trace_ue(static_cast<std::uint32_t>(slot.ue));
         try {
           if (materialize_logs) {
             trace::TickRecord& rec = slot.log->ticks.emplace_back();
@@ -178,6 +190,7 @@ std::vector<RunError> run_cohorts(
         if (!slot.stepper->done()) any = true;
       }
     }
+    obs::set_trace_ue(outer_ue);  // restore the thread's previous context
 
     // Cohort wall time amortized per surviving UE — lockstep interleaves
     // the UEs, so individual wall times are not separable.
@@ -349,6 +362,17 @@ FleetResult run_fleet(const FleetScenario& f, const FleetCheckpointOptions& ckpt
     // A failed periodic save must not kill the fleet — the counters and the
     // final save (whose failure IS surfaced) cover it.
     static_cast<void>(save_checkpoint(ckpt.path, c));
+    if (obs::events_enabled()) {
+      // Wall-track instant: when the snapshot landed and how much of the
+      // fleet it covered.
+      obs::Event e;
+      e.kind = obs::EventKind::kWallInstant;
+      e.category = obs::EventCategory::kCheckpoint;
+      e.t0 = e.t1 = obs::wall_track_now();
+      e.i0 = static_cast<std::int32_t>(c.done.size());
+      e.i1 = static_cast<std::int32_t>(f.n_ues);
+      obs::event_log().emit(e);
+    }
   };
 
   // Summary mode: ticks fold straight into per-UE SummaryAccumulators —

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "tput/throughput.h"
 
@@ -130,6 +131,30 @@ void ScenarioStepper::step(trace::TickRecord& rec) {
   }
   rec.rtt_ms = tput::rtt_sample(dp, manager_.executing_ho(),
                                 manager_.reestablishing(), data_rng_);
+  // Flight-recorder tick span: sampled at a deterministic stride, plus
+  // every tick that carries HO activity. Pure observation of values already
+  // computed — no RNG, no clock, no simulation state.
+  const bool tick_sampled = tick_event_sampler_.next();
+  if (obs::events_enabled()) {
+    const bool ho_activity = !res_.started.empty() || !res_.commands.empty() ||
+                             !res_.completed.empty();
+    if (tick_sampled || ho_activity) {
+      obs::Event e;
+      e.kind = obs::EventKind::kSpan;
+      e.category = obs::EventCategory::kTick;
+      e.t0 = t;
+      e.t1 = t + dt_;
+      e.a0 = rec.throughput_mbps;
+      e.a1 = rec.rtt_ms;
+      e.i0 = rec.lte_pci;
+      e.i1 = rec.nr_pci;
+      e.i2 = static_cast<std::uint16_t>((rec.lte_halted ? 1u : 0u) |
+                                        (rec.nr_halted ? 2u : 0u) |
+                                        (rec.nr_attached ? 4u : 0u));
+      obs::event_log().emit(e);
+    }
+  }
+
   rec.reports = res_.reports;
   rec.ho_started = res_.started;
   // The UE receives the HO command (RRCReconfiguration) at the END of the

@@ -53,9 +53,15 @@ class ScenarioStepper {
   bool was_halted_ = false;
   // Manager output, reused across ticks (zero steady-state allocation).
   ran::TickResult res_;
-  // Tick latency sampled 1-in-4 (deterministic stride), as run_scenario
-  // always did.
-  obs::SampleEvery tick_sampler_{2};
+  // Tick latency sampled 1-in-16 (deterministic stride). Widened from
+  // 1-in-4 when the batched radio pipeline made a tick cheap enough that
+  // the two clock reads dominated the obs overhead budget.
+  obs::SampleEvery tick_sampler_{4};
+  // Flight-recorder tick spans sampled 1-in-64: enough to see the serving
+  // cells and throughput move under a Perfetto timeline without flooding
+  // the ring (a 30-min drive is 36k ticks). HO activity always emits —
+  // the vivisection ticks are never sampled away.
+  obs::SampleEvery tick_event_sampler_{6};
 };
 
 }  // namespace p5g::sim

@@ -1,0 +1,396 @@
+#include "trace/event_trace.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "obs/export.h"
+#include "ran/handover.h"
+
+namespace p5g::trace {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x54473550u;  // 'P5GT' little-endian
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kEventBytes = 56;  // encoded size of one obs::Event
+
+// ------------------------------------------------------------- encoding --
+// Same conventions as sim/checkpoint.cpp: explicit little-endian bytes,
+// doubles as IEEE-754 bit patterns (exact round trip — the authoritative
+// millisecond payloads must survive the spill bit-for-bit).
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(out, bits);
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool u32(std::uint32_t& v) {
+    if (bytes_.size() - pos_ < 4) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(
+               bytes_[pos_ + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool u64(std::uint64_t& v) {
+    if (bytes_.size() - pos_ < 8) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(
+               bytes_[pos_ + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  bool f64(double& v) {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    std::memcpy(&v, &bits, sizeof v);
+    return true;
+  }
+
+  bool bytes(std::string& out, std::size_t n) {
+    if (bytes_.size() - pos_ < n) return false;
+    out.assign(bytes_.substr(pos_, n));
+    pos_ += n;
+    return true;
+  }
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<EventTrace> reject(std::string* why, const char* reason) {
+  if (why) *why = reason;
+  return std::nullopt;
+}
+
+bool is_ho_category(obs::EventCategory c) {
+  switch (c) {
+    case obs::EventCategory::kHoPrep:
+    case obs::EventCategory::kHoExec:
+    case obs::EventCategory::kHoComplete:
+    case obs::EventCategory::kRlf:
+    case obs::EventCategory::kRachRetry:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_wall_kind(obs::EventKind k) {
+  return k == obs::EventKind::kWallSpan || k == obs::EventKind::kWallInstant;
+}
+
+// Display name: category, plus the HO procedure for HO-correlated events
+// ("ho.exec SCGC") so Perfetto rows read like the paper's taxonomy.
+std::string event_name(const obs::Event& e) {
+  std::string name(obs::category_name(e.category));
+  if (is_ho_category(e.category)) {
+    const ran::HoCode code = ran::unpack_ho_code(e.i2);
+    name += ' ';
+    name += ran::ho_name(code.type);
+  }
+  return name;
+}
+
+// Category-specific args object; field names mirror DESIGN.md's schema
+// table so the Perfetto UI and the binary spill stay in one vocabulary.
+void write_args(obs::JsonWriter& w, const obs::Event& e) {
+  w.begin_object("args");
+  if (e.flow != 0) w.field("flow", e.flow);
+  switch (e.category) {
+    case obs::EventCategory::kTick:
+      w.field("throughput_mbps", e.a0);
+      w.field("rtt_ms", e.a1);
+      w.field("lte_pci", e.i0);
+      w.field("nr_pci", e.i1);
+      break;
+    case obs::EventCategory::kMmObserve:
+    case obs::EventCategory::kMmDecide:
+      w.field("sim_time_s", e.a0);
+      break;
+    case obs::EventCategory::kHoPrep: {
+      const ran::HoCode code = ran::unpack_ho_code(e.i2);
+      w.field("t1_ms", e.a0);
+      w.field("route_position_m", e.a1);
+      w.field("src_pci", e.i0);
+      w.field("dst_pci", e.i1);
+      w.field("outcome", ran::ho_outcome_name(code.outcome));
+      break;
+    }
+    case obs::EventCategory::kHoExec: {
+      const ran::HoCode code = ran::unpack_ho_code(e.i2);
+      w.field("t2_ms", e.a0);
+      w.field("backoff_ms", e.a1);
+      w.field("rach_attempts", e.i0);
+      w.field("dst_pci", e.i1);
+      w.field("outcome", ran::ho_outcome_name(code.outcome));
+      break;
+    }
+    case obs::EventCategory::kHoComplete: {
+      const ran::HoCode code = ran::unpack_ho_code(e.i2);
+      w.field("t1_ms", e.a0);
+      w.field("t2_ms", e.a1);
+      w.field("colocated", e.i0 != 0);
+      w.field("rach_attempts", e.i1);
+      w.field("outcome", ran::ho_outcome_name(code.outcome));
+      break;
+    }
+    case obs::EventCategory::kRlf:
+      w.field("reestablish_ms", e.a0);
+      w.field("route_position_m", e.a1);
+      w.field("src_pci", e.i0);
+      break;
+    case obs::EventCategory::kRachRetry:
+      w.field("backoff_ms", e.a0);
+      w.field("rach_attempts", e.i0);
+      break;
+    case obs::EventCategory::kPoolTask:
+      w.field("first_ue", e.i0);
+      w.field("cohort_ues", e.i1);
+      break;
+    case obs::EventCategory::kCheckpoint:
+      w.field("ues_done", e.i0);
+      w.field("fleet_ues", e.i1);
+      break;
+    case obs::EventCategory::kAppOutage:
+      w.field("floor_mbps", e.a0);
+      break;
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+EventTrace capture_event_trace(std::string run, std::uint64_t seed) {
+  EventTrace t;
+  t.run = std::move(run);
+  t.seed = seed;
+  t.emitted = obs::event_log().emitted();
+  t.dropped = obs::event_log().dropped();
+  t.events = obs::event_log().snapshot();
+  return t;
+}
+
+std::string encode_event_trace(const EventTrace& t) {
+  std::string out;
+  out.reserve(48 + t.run.size() + t.events.size() * kEventBytes);
+  put_u32(out, kMagic);
+  put_u32(out, kVersion);
+  put_u32(out, static_cast<std::uint32_t>(t.run.size()));
+  out.append(t.run);
+  put_u64(out, t.seed);
+  put_u64(out, t.emitted);
+  put_u64(out, t.dropped);
+  put_u64(out, static_cast<std::uint64_t>(t.events.size()));
+  for (const obs::Event& e : t.events) {
+    put_f64(out, e.t0);
+    put_f64(out, e.t1);
+    put_f64(out, e.a0);
+    put_f64(out, e.a1);
+    put_u64(out, e.flow);
+    put_u32(out, static_cast<std::uint32_t>(e.i0));
+    put_u32(out, static_cast<std::uint32_t>(e.i1));
+    put_u32(out, e.ue);
+    put_u32(out, static_cast<std::uint32_t>(e.i2) |
+                     (static_cast<std::uint32_t>(e.category) << 16) |
+                     (static_cast<std::uint32_t>(e.kind) << 24));
+  }
+  put_u32(out, io::crc32(out));
+  return out;
+}
+
+std::optional<EventTrace> decode_event_trace(std::string_view bytes,
+                                             std::string* why) {
+  if (bytes.size() < 4) return reject(why, "event trace truncated (no seal)");
+  const std::string_view body = bytes.substr(0, bytes.size() - 4);
+  Reader tail(bytes.substr(bytes.size() - 4));
+  std::uint32_t stored_crc = 0;
+  static_cast<void>(tail.u32(stored_crc));
+  if (io::crc32(body) != stored_crc) {
+    return reject(why, "event trace CRC mismatch (torn or corrupted file)");
+  }
+
+  Reader r(body);
+  std::uint32_t magic = 0, version = 0, name_len = 0;
+  if (!r.u32(magic) || magic != kMagic) {
+    return reject(why, "event trace magic mismatch (not a flight recording)");
+  }
+  if (!r.u32(version) || version != kVersion) {
+    return reject(why, "event trace version unsupported");
+  }
+  EventTrace t;
+  std::uint64_t count = 0;
+  if (!r.u32(name_len) || !r.bytes(t.run, name_len) || !r.u64(t.seed) ||
+      !r.u64(t.emitted) || !r.u64(t.dropped) || !r.u64(count)) {
+    return reject(why, "event trace header truncated");
+  }
+  if (r.remaining() != count * kEventBytes) {
+    return reject(why, "event trace body size disagrees with event count");
+  }
+  t.events.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    obs::Event e;
+    std::uint32_t u0 = 0, u1 = 0, packed = 0;
+    const bool ok = r.f64(e.t0) && r.f64(e.t1) && r.f64(e.a0) && r.f64(e.a1) &&
+                    r.u64(e.flow) && r.u32(u0) && r.u32(u1) && r.u32(e.ue) &&
+                    r.u32(packed);
+    if (!ok) return reject(why, "event trace entry truncated");
+    e.i0 = static_cast<std::int32_t>(u0);
+    e.i1 = static_cast<std::int32_t>(u1);
+    e.i2 = static_cast<std::uint16_t>(packed & 0xFFFFu);
+    const std::uint32_t cat = (packed >> 16) & 0xFFu;
+    const std::uint32_t kind = (packed >> 24) & 0xFFu;
+    if (cat >= obs::kEventCategories) {
+      return reject(why, "event trace entry has an unknown category");
+    }
+    if (kind > static_cast<std::uint32_t>(obs::EventKind::kWallInstant)) {
+      return reject(why, "event trace entry has an unknown kind");
+    }
+    e.category = static_cast<obs::EventCategory>(cat);
+    e.kind = static_cast<obs::EventKind>(kind);
+    t.events.push_back(e);
+  }
+  return t;
+}
+
+io::IoResult save_event_trace(const std::string& path, const EventTrace& t) {
+  return io::atomic_write_file(path, encode_event_trace(t));
+}
+
+std::optional<EventTrace> load_event_trace(const std::string& path,
+                                           std::string* why) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (why) *why = "event trace file missing or unreadable";
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return decode_event_trace(buf.str(), why);
+}
+
+EventTrace filter_events(const EventTrace& t, const EventFilter& f) {
+  EventTrace out;
+  out.run = t.run;
+  out.seed = t.seed;
+  out.emitted = t.emitted;
+  out.dropped = t.dropped;
+  for (const obs::Event& e : t.events) {
+    if (f.ue && e.ue != *f.ue) continue;
+    if (f.category && e.category != *f.category) continue;
+    if (f.pci && e.i0 != *f.pci && e.i1 != *f.pci) continue;
+    out.events.push_back(e);
+  }
+  return out;
+}
+
+std::string to_perfetto_json(const EventTrace& t) {
+  constexpr double kUsPerSecond = 1e6;
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.begin_array("traceEvents");
+
+  // Track metadata: pid 1 is the simulated timeline (one row per UE), pid 2
+  // the engine's wall clock. Perfetto renders these as named processes.
+  const auto meta = [&](unsigned pid, std::uint64_t tid, const char* what,
+                        const std::string& name) {
+    w.begin_object();
+    w.field("ph", "M");
+    w.field("pid", pid);
+    w.field("tid", tid);
+    w.field("name", what);
+    w.begin_object("args");
+    w.field("name", name);
+    w.end_object();
+    w.end_object();
+  };
+  meta(1, 0, "process_name", "sim " + t.run + " (simulated time)");
+  meta(2, 0, "process_name", "engine wall clock");
+  std::set<std::uint32_t> ues;
+  for (const obs::Event& e : t.events) {
+    if (!is_wall_kind(e.kind)) ues.insert(e.ue);
+  }
+  for (const std::uint32_t ue : ues) {
+    meta(1, ue, "thread_name", "ue " + std::to_string(ue));
+  }
+
+  for (const obs::Event& e : t.events) {
+    const bool wall = is_wall_kind(e.kind);
+    const bool instant = e.kind == obs::EventKind::kInstant ||
+                         e.kind == obs::EventKind::kWallInstant;
+    w.begin_object();
+    w.field("name", event_name(e));
+    w.field("cat", obs::category_name(e.category));
+    w.field("ph", instant ? "i" : "X");
+    w.field("pid", wall ? 2u : 1u);
+    w.field("tid", static_cast<std::uint64_t>(e.ue));
+    w.field("ts", e.t0 * kUsPerSecond);
+    if (instant) {
+      w.field("s", "t");
+    } else {
+      w.field("dur", (e.t1 - e.t0) * kUsPerSecond);
+    }
+    write_args(w, e);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool export_trace_from_args(int argc, char** argv, std::string_view run,
+                            std::uint64_t seed) {
+  std::string path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--trace-out") path = argv[i + 1];
+  }
+  if (path.empty()) return false;
+  const EventTrace t = capture_event_trace(std::string(run), seed);
+  bool ok = true;
+  if (const io::IoResult r = save_event_trace(path, t); !r) {
+    std::fprintf(stderr, "p5g: cannot write %s: %s\n", path.c_str(),
+                 r.error.c_str());
+    ok = false;
+  }
+  if (const io::IoResult r =
+          io::atomic_write_file(path + ".json", to_perfetto_json(t));
+      !r) {
+    std::fprintf(stderr, "p5g: cannot write %s.json: %s\n", path.c_str(),
+                 r.error.c_str());
+    ok = false;
+  }
+  return ok;
+}
+
+}  // namespace p5g::trace

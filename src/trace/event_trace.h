@@ -1,0 +1,79 @@
+// Flight-recorder sinks: capture the obs::EventLog rings into an EventTrace
+// and persist it two ways —
+//   * a compact binary spill ('P5GT', versioned, CRC-32-sealed, written via
+//     io::atomic_write_file — the same framing conventions as the fleet
+//     checkpoint format in sim/checkpoint.h), and
+//   * Chrome trace-event / Perfetto JSON ({"traceEvents": [...]}), loadable
+//     in ui.perfetto.dev or about://tracing: the sim timeline renders as
+//     pid 1 (one row per UE, microseconds = simulated microseconds) and the
+//     engine wall-clock track as pid 2.
+// Plus the `--trace-out` CLI hook every bench/example calls next to
+// obs::export_from_args, and the filters behind `p5g_trace filter`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/io.h"
+#include "obs/events.h"
+
+namespace p5g::trace {
+
+// A captured flight recording. `events` is time-sorted (EventLog::snapshot
+// order); emitted/dropped are the recorder's totals at capture time, so a
+// consumer can tell how much history the rings evicted.
+struct EventTrace {
+  std::string run;
+  std::uint64_t seed = 0;
+  std::uint64_t emitted = 0;
+  std::uint64_t dropped = 0;
+  std::vector<obs::Event> events;
+};
+
+// Snapshots the process-wide recorder. Call after producers quiesce.
+EventTrace capture_event_trace(std::string run, std::uint64_t seed);
+
+// ------------------------------------------------------- binary spill --
+// Layout (little-endian, doubles as IEEE-754 bit patterns):
+//   u32 magic 'P5GT' | u32 version | u32 run-name length | name bytes |
+//   u64 seed | u64 emitted | u64 dropped | u64 count | count * 56-byte
+//   events | u32 CRC-32 of everything before it.
+// decode returns nullopt (with the reason in *why) on any truncation, CRC
+// mismatch, version skew, or out-of-range category/kind.
+std::string encode_event_trace(const EventTrace& t);
+std::optional<EventTrace> decode_event_trace(std::string_view bytes,
+                                             std::string* why = nullptr);
+
+// Durable wrappers: encode/decode through tmp+fsync+rename.
+io::IoResult save_event_trace(const std::string& path, const EventTrace& t);
+std::optional<EventTrace> load_event_trace(const std::string& path,
+                                           std::string* why = nullptr);
+
+// ----------------------------------------------------------- filtering --
+// All set fields must match for an event to survive. `pci` matches events
+// whose i0 or i1 carries that PCI (tick serving cells, HO src/dst).
+struct EventFilter {
+  std::optional<std::uint32_t> ue;
+  std::optional<std::int32_t> pci;
+  std::optional<obs::EventCategory> category;
+};
+EventTrace filter_events(const EventTrace& t, const EventFilter& f);
+
+// ------------------------------------------------------ Perfetto JSON --
+// Chrome trace-event format. Spans become "X" (complete) events, instants
+// "i"; sim-track events land on pid 1 with tid = UE, wall-track events on
+// pid 2. ts/dur are microseconds (simulated for pid 1, wall for pid 2).
+std::string to_perfetto_json(const EventTrace& t);
+
+// -------------------------------------------------------- CLI plumbing --
+// Scans argv for `--trace-out <path>`; when present, captures the recorder
+// and writes the binary spill to <path> plus the Perfetto JSON twin to
+// <path>.json. Returns true when a trace was written. Sits next to
+// obs::export_from_args at the end of every bench/example main().
+bool export_trace_from_args(int argc, char** argv, std::string_view run,
+                            std::uint64_t seed = 0);
+
+}  // namespace p5g::trace

@@ -1,0 +1,429 @@
+// Flight-recorder tests: ring accounting (single- and multi-threaded),
+// the kill switch, golden-trace neutrality (recorder on/off must not move a
+// simulated byte), the binary spill codec, the Perfetto exporter, and the
+// tentpole acceptance criterion — analysis::ho_timeline reconstructions
+// agree with analysis::ho_stats EXACTLY over a multi-seed faulted corpus.
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/ho_stats.h"
+#include "analysis/ho_timeline.h"
+#include "obs/events.h"
+#include "obs/export.h"
+#include "ran/deployment.h"
+#include "sim/scenario.h"
+#include "trace/event_trace.h"
+
+using namespace p5g;
+
+namespace {
+
+// Every test resets the recorder to a known state: events enabled, default
+// capacity, empty rings. (ctest runs each test in its own process, but the
+// bare ./p5g_tests binary runs them all in one.)
+void reset_recorder() {
+  obs::set_events_enabled(true);
+  obs::event_log().set_capacity(obs::EventLog::kDefaultCapacity);
+  obs::event_log().clear();
+  obs::set_trace_ue(0);
+}
+
+obs::Event instant_at(double t, std::int32_t tag) {
+  obs::Event e;
+  e.kind = obs::EventKind::kInstant;
+  e.category = obs::EventCategory::kTick;
+  e.t0 = t;
+  e.t1 = t;
+  e.i0 = tag;
+  return e;
+}
+
+// ------------------------------------------------------ ring accounting --
+
+TEST(EventLogRing, OverflowAccountingIsExact) {
+  reset_recorder();
+  obs::event_log().set_capacity(64);
+
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    obs::event_log().emit(instant_at(static_cast<double>(i), i));
+  }
+  EXPECT_EQ(obs::event_log().emitted(), static_cast<std::uint64_t>(n));
+  EXPECT_EQ(obs::event_log().dropped(), static_cast<std::uint64_t>(n - 64));
+
+  // The retained window is exactly the newest 64 events, in order.
+  const std::vector<obs::Event> kept = obs::event_log().snapshot();
+  ASSERT_EQ(kept.size(), 64u);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(kept[static_cast<std::size_t>(i)].i0, n - 64 + i);
+  }
+  reset_recorder();
+}
+
+TEST(EventLogRing, MultiThreadHammerAccountsEveryEvent) {
+  reset_recorder();
+  constexpr std::size_t kCap = 1024;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 5000;
+  obs::event_log().set_capacity(kCap);
+
+  // Ring leases release at thread EXIT, so on a small box a worker that
+  // finishes early could die and donate its ring to the next worker,
+  // collapsing the per-thread accounting. Hold every worker alive until ALL
+  // have finished emitting — then each of the four holds a DISTINCT ring for
+  // the whole hammer and the retained/dropped split is exactly predictable.
+  std::atomic<int> done{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([w, &done] {
+      obs::set_trace_ue(static_cast<std::uint32_t>(w + 1));
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        obs::event_log().emit(
+            instant_at(static_cast<double>(i), static_cast<std::int32_t>(i)));
+      }
+      done.fetch_add(1);
+      while (done.load(std::memory_order_acquire) != kThreads) {
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  EXPECT_EQ(obs::event_log().emitted(), kThreads * kPerThread);
+  EXPECT_EQ(obs::event_log().dropped(), kThreads * (kPerThread - kCap));
+
+  // Each UE retains exactly its newest kCap events.
+  const std::vector<obs::Event> kept = obs::event_log().snapshot();
+  ASSERT_EQ(kept.size(), kThreads * kCap);
+  std::map<std::uint32_t, std::vector<std::int32_t>> by_ue;
+  for (const obs::Event& e : kept) by_ue[e.ue].push_back(e.i0);
+  ASSERT_EQ(by_ue.size(), static_cast<std::size_t>(kThreads));
+  for (auto& [ue, tags] : by_ue) {
+    ASSERT_EQ(tags.size(), kCap) << "ue " << ue;
+    std::sort(tags.begin(), tags.end());
+    for (std::size_t i = 0; i < kCap; ++i) {
+      EXPECT_EQ(tags[i],
+                static_cast<std::int32_t>(kPerThread - kCap + i));
+    }
+  }
+  reset_recorder();
+}
+
+TEST(EventLogRing, KillSwitchStopsEmission) {
+  reset_recorder();
+  obs::event_log().emit(instant_at(1.0, 1));
+  EXPECT_EQ(obs::event_log().emitted(), 1u);
+
+  obs::set_events_enabled(false);
+  obs::event_log().emit(instant_at(2.0, 2));
+  EXPECT_EQ(obs::event_log().emitted(), 1u);
+
+  obs::set_events_enabled(true);
+  obs::event_log().emit(instant_at(3.0, 3));
+  EXPECT_EQ(obs::event_log().emitted(), 2u);
+  reset_recorder();
+}
+
+// --------------------------------------------------- golden neutrality --
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+sim::Scenario golden_scenario() {
+  sim::Scenario s;
+  s.name = "golden_zero_fault";
+  s.carrier = ran::profile_opx();
+  s.arch = ran::Arch::kNsa;
+  s.nr_band = radio::Band::kNrLow;
+  s.mobility = sim::MobilityKind::kFreeway;
+  s.speed_kmh = 110.0;
+  s.duration = 90.0;
+  s.seed = 42;
+  return s;
+}
+
+// The recorder's core invariant: tracing is pure observation. The golden
+// tick CSV must come out byte-identical whether the recorder is on or off.
+TEST(EventLogGolden, RecorderOnOffLeavesGoldenTraceByteIdentical) {
+  const std::string golden =
+      std::string(P5G_GOLDEN_DIR) + "/zero_fault_seed42.csv";
+  const std::string golden_ticks = slurp(golden);
+  ASSERT_FALSE(golden_ticks.empty()) << "golden trace missing: " << golden;
+
+  reset_recorder();
+  const std::string on_path = "/tmp/p5g_event_golden_on.csv";
+  ASSERT_TRUE(trace::write_csv(sim::run_scenario(golden_scenario()), on_path).ok);
+  EXPECT_GT(obs::event_log().emitted(), 0u) << "recorder saw no events while on";
+  EXPECT_EQ(slurp(on_path), golden_ticks) << "recorder ON changed the trace";
+
+  obs::set_events_enabled(false);
+  const std::uint64_t before = obs::event_log().emitted();
+  const std::string off_path = "/tmp/p5g_event_golden_off.csv";
+  ASSERT_TRUE(
+      trace::write_csv(sim::run_scenario(golden_scenario()), off_path).ok);
+  EXPECT_EQ(obs::event_log().emitted(), before) << "kill switch leaked events";
+  EXPECT_EQ(slurp(off_path), golden_ticks) << "recorder OFF changed the trace";
+
+  std::filesystem::remove(on_path);
+  std::filesystem::remove(on_path + ".ho.csv");
+  std::filesystem::remove(off_path);
+  std::filesystem::remove(off_path + ".ho.csv");
+  reset_recorder();
+}
+
+// ------------------------------------------------------- binary codec --
+
+trace::EventTrace sample_trace() {
+  trace::EventTrace t;
+  t.run = "codec_test";
+  t.seed = 99;
+  t.emitted = 3;
+  t.dropped = 1;
+  obs::Event span;
+  span.kind = obs::EventKind::kSpan;
+  span.category = obs::EventCategory::kHoPrep;
+  span.t0 = 1.25;
+  span.t1 = 1.3125;
+  span.a0 = 62.5;
+  span.a1 = 1234.5;
+  span.flow = 7;
+  span.i0 = 101;
+  span.i1 = -1;
+  span.ue = 3;
+  span.i2 = 0x1234;
+  t.events.push_back(span);
+  obs::Event wall;
+  wall.kind = obs::EventKind::kWallInstant;
+  wall.category = obs::EventCategory::kCheckpoint;
+  wall.t0 = 0.001;
+  wall.t1 = 0.001;
+  wall.i0 = 12;
+  wall.i1 = 64;
+  t.events.push_back(wall);
+  return t;
+}
+
+TEST(EventTraceCodec, BinaryRoundTripIsExact) {
+  const trace::EventTrace t = sample_trace();
+  const std::string bytes = trace::encode_event_trace(t);
+  std::string why;
+  const auto back = trace::decode_event_trace(bytes, &why);
+  ASSERT_TRUE(back.has_value()) << why;
+  EXPECT_EQ(back->run, t.run);
+  EXPECT_EQ(back->seed, t.seed);
+  EXPECT_EQ(back->emitted, t.emitted);
+  EXPECT_EQ(back->dropped, t.dropped);
+  ASSERT_EQ(back->events.size(), t.events.size());
+  for (std::size_t i = 0; i < t.events.size(); ++i) {
+    // Bitwise equality — the doubles must survive verbatim.
+    EXPECT_EQ(std::memcmp(&back->events[i], &t.events[i], sizeof(obs::Event)),
+              0)
+        << "event " << i << " did not round-trip bit-for-bit";
+  }
+}
+
+TEST(EventTraceCodec, SaveLoadRoundTripsThroughDisk) {
+  const std::string path = "/tmp/p5g_event_codec.bin";
+  const trace::EventTrace t = sample_trace();
+  ASSERT_TRUE(trace::save_event_trace(path, t).ok);
+  std::string why;
+  const auto back = trace::load_event_trace(path, &why);
+  ASSERT_TRUE(back.has_value()) << why;
+  EXPECT_EQ(back->events.size(), t.events.size());
+  std::filesystem::remove(path);
+}
+
+TEST(EventTraceCodec, RejectsTruncationAndCorruption) {
+  const std::string bytes = trace::encode_event_trace(sample_trace());
+  std::string why;
+
+  // Any truncation point must be rejected (CRC or framing).
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{3}, std::size_t{10}, bytes.size() - 5,
+        bytes.size() - 1}) {
+    EXPECT_FALSE(trace::decode_event_trace(bytes.substr(0, keep), &why))
+        << "accepted a " << keep << "-byte prefix";
+  }
+
+  // A single flipped bit anywhere must fail the CRC seal.
+  for (const std::size_t pos : {std::size_t{0}, std::size_t{9},
+                                bytes.size() / 2, bytes.size() - 1}) {
+    std::string bad = bytes;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x40);
+    EXPECT_FALSE(trace::decode_event_trace(bad, &why))
+        << "accepted a bit flip at " << pos;
+  }
+
+  // Trailing garbage changes the CRC input — also rejected.
+  EXPECT_FALSE(trace::decode_event_trace(bytes + "x", &why));
+
+  // A corrupted category byte must be rejected even when the CRC is
+  // re-sealed (decoder-side range check, not just the checksum).
+  trace::EventTrace evil = sample_trace();
+  evil.events[0].category = static_cast<obs::EventCategory>(250);
+  EXPECT_FALSE(trace::decode_event_trace(trace::encode_event_trace(evil), &why));
+  EXPECT_NE(why.find("category"), std::string::npos);
+}
+
+// ---------------------------------------------------- Perfetto export --
+
+TEST(PerfettoExport, JsonParsesAndCarriesBothTimelines) {
+  const std::string json = trace::to_perfetto_json(sample_trace());
+  const auto parsed = obs::parse_json(json);
+  ASSERT_TRUE(parsed.has_value()) << "exporter produced unparseable JSON";
+
+  const obs::JsonValue* events = parsed->get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->type, obs::JsonValue::Type::kArray);
+
+  bool saw_span = false, saw_instant = false, saw_wall_pid = false;
+  for (const obs::JsonValue& e : events->array) {
+    const obs::JsonValue* ph = e.get("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "M") continue;  // track metadata
+    EXPECT_NE(e.get("name"), nullptr);
+    EXPECT_NE(e.get("pid"), nullptr);
+    EXPECT_NE(e.get("tid"), nullptr);
+    EXPECT_NE(e.get("ts"), nullptr);
+    if (ph->string == "X") {
+      saw_span = true;
+      EXPECT_NE(e.get("dur"), nullptr);
+    }
+    if (ph->string == "i") saw_instant = true;
+    if (e.get("pid")->number == 2.0) saw_wall_pid = true;
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_instant);
+  EXPECT_TRUE(saw_wall_pid);
+
+  // The sim span lands on pid 1 with tid == its UE and sim-µs timestamps.
+  bool found_prep = false;
+  for (const obs::JsonValue& e : events->array) {
+    const obs::JsonValue* name = e.get("name");
+    if (name == nullptr || name->string.rfind("ho.prep", 0) != 0) continue;
+    found_prep = true;
+    EXPECT_EQ(e.get("pid")->number, 1.0);
+    EXPECT_EQ(e.get("tid")->number, 3.0);
+    EXPECT_EQ(e.get("ts")->number, 1.25e6);
+    EXPECT_EQ(e.get("dur")->number, 62500.0);
+  }
+  EXPECT_TRUE(found_prep);
+}
+
+// --------------------------------------- timeline == ho_stats, exactly --
+
+sim::Scenario faulty_scenario(std::uint64_t seed) {
+  sim::Scenario s;
+  s.name = "timeline_corpus";
+  s.arch = ran::Arch::kNsa;
+  s.nr_band = radio::Band::kNrLow;
+  s.mobility = sim::MobilityKind::kFreeway;
+  s.speed_kmh = 110.0;
+  s.duration = 420.0;
+  s.seed = seed;
+  s.faults.prep_failure.fill(0.12);
+  s.faults.exec_failure.fill(0.45);
+  s.faults.rlf_enabled = true;
+  s.faults.rlf_qout_dbm = -78.0;
+  s.faults.rlf_t310 = 0.6;
+  return s;
+}
+
+// The tentpole acceptance criterion: phase stats reconstructed from the
+// event stream agree EXACTLY (==, not near) with the ones computed from the
+// trace log, across a 5-seed faulted corpus covering all four outcomes.
+TEST(HoTimelineReconstruction, MatchesHoStatsExactlyAcrossSeeds) {
+  int total_hos = 0;
+  analysis::OutcomeCounts corpus_outcomes;
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    reset_recorder();
+    const trace::TraceLog log = sim::run_scenario(faulty_scenario(seed));
+    ASSERT_EQ(obs::event_log().dropped(), 0u)
+        << "ring evicted history; grow capacity for this corpus";
+
+    const std::vector<analysis::HoTimeline> tls =
+        analysis::ho_timelines(obs::event_log().snapshot());
+    const std::vector<ran::HandoverRecord> rebuilt =
+        analysis::timeline_records(tls);
+    ASSERT_EQ(rebuilt.size(), log.handovers.size()) << "seed " << seed;
+
+    for (std::size_t i = 0; i < rebuilt.size(); ++i) {
+      const ran::HandoverRecord& a = log.handovers[i];
+      const ran::HandoverRecord& b = rebuilt[i];
+      ASSERT_EQ(a.type, b.type) << "seed " << seed << " ho " << i;
+      ASSERT_EQ(a.outcome, b.outcome) << "seed " << seed << " ho " << i;
+      // Exact double equality is intentional everywhere below: the events
+      // carry these values verbatim, so any != is a recorder bug.
+      ASSERT_EQ(a.decision_time, b.decision_time) << "seed " << seed << " ho " << i;
+      ASSERT_EQ(a.exec_start, b.exec_start) << "seed " << seed << " ho " << i;
+      ASSERT_EQ(a.complete_time, b.complete_time) << "seed " << seed << " ho " << i;
+      ASSERT_EQ(a.timing.t1_ms, b.timing.t1_ms) << "seed " << seed << " ho " << i;
+      ASSERT_EQ(a.timing.t2_ms, b.timing.t2_ms) << "seed " << seed << " ho " << i;
+      ASSERT_EQ(a.src_pci, b.src_pci) << "seed " << seed << " ho " << i;
+      ASSERT_EQ(a.dst_pci, b.dst_pci) << "seed " << seed << " ho " << i;
+      ASSERT_EQ(a.src_band, b.src_band) << "seed " << seed << " ho " << i;
+      ASSERT_EQ(a.dst_band, b.dst_band) << "seed " << seed << " ho " << i;
+      ASSERT_EQ(a.colocated, b.colocated) << "seed " << seed << " ho " << i;
+      ASSERT_EQ(a.route_position, b.route_position) << "seed " << seed << " ho " << i;
+      ASSERT_EQ(a.rach_attempts, b.rach_attempts) << "seed " << seed << " ho " << i;
+      ASSERT_EQ(a.backoff_ms, b.backoff_ms) << "seed " << seed << " ho " << i;
+      ASSERT_EQ(a.reestablish_ms, b.reestablish_ms) << "seed " << seed << " ho " << i;
+    }
+
+    // Aggregates too — same inputs must mean same outputs, but this guards
+    // the plumbing (grouping, ordering, outcome filters) end to end.
+    const auto log_durations = analysis::duration_by_type(log.handovers);
+    const auto tl_durations = analysis::duration_by_type(rebuilt);
+    ASSERT_EQ(log_durations.size(), tl_durations.size());
+    for (const auto& [type, d] : log_durations) {
+      const auto it = tl_durations.find(type);
+      ASSERT_NE(it, tl_durations.end());
+      EXPECT_EQ(d.t1_ms, it->second.t1_ms);
+      EXPECT_EQ(d.t2_ms, it->second.t2_ms);
+      EXPECT_EQ(d.total_ms, it->second.total_ms);
+    }
+    const analysis::RetryStats lr = analysis::retry_stats(log.handovers);
+    const analysis::RetryStats tr = analysis::retry_stats(rebuilt);
+    EXPECT_EQ(lr.mean_rach_attempts, tr.mean_rach_attempts);
+    EXPECT_EQ(lr.max_rach_attempts, tr.max_rach_attempts);
+    EXPECT_EQ(lr.total_backoff_ms, tr.total_backoff_ms);
+    EXPECT_EQ(lr.mean_backoff_ms, tr.mean_backoff_ms);
+    EXPECT_EQ(lr.total_reestablish_ms, tr.total_reestablish_ms);
+    EXPECT_EQ(lr.reestablishments, tr.reestablishments);
+
+    const analysis::OutcomeCounts oc = analysis::count_outcomes(log.handovers);
+    const analysis::OutcomeCounts tc = analysis::count_outcomes(rebuilt);
+    EXPECT_EQ(oc.success, tc.success);
+    EXPECT_EQ(oc.prep_failure, tc.prep_failure);
+    EXPECT_EQ(oc.exec_failure, tc.exec_failure);
+    EXPECT_EQ(oc.rlf_reestablish, tc.rlf_reestablish);
+    corpus_outcomes.success += oc.success;
+    corpus_outcomes.prep_failure += oc.prep_failure;
+    corpus_outcomes.exec_failure += oc.exec_failure;
+    corpus_outcomes.rlf_reestablish += oc.rlf_reestablish;
+    total_hos += static_cast<int>(log.handovers.size());
+  }
+  // The corpus must actually exercise every reconstruction path.
+  EXPECT_GT(total_hos, 50);
+  EXPECT_GT(corpus_outcomes.success, 0);
+  EXPECT_GT(corpus_outcomes.prep_failure, 0);
+  EXPECT_GT(corpus_outcomes.exec_failure, 0);
+  EXPECT_GT(corpus_outcomes.rlf_reestablish, 0);
+  reset_recorder();
+}
+
+}  // namespace

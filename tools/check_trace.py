@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Validate a flight-recorder Perfetto JSON export (CI gate).
+
+Usage: check_trace.py <trace.json> [--require-ho]
+
+Checks that the file parses as Chrome trace-event JSON and that every event
+carries the schema the exporters promise (see DESIGN.md "Flight recorder"):
+
+  * top level: object with a "traceEvents" array (displayTimeUnit optional)
+  * metadata ("M") events name the two processes: pid 1 = sim timeline,
+    pid 2 = engine wall clock
+  * every non-metadata event: name, cat (a known category), ph "X" or "i",
+    integer pid (1 or 2) and tid, numeric ts; "X" also needs numeric
+    dur >= 0; "i" needs scope "s"
+  * at least one sim-track (pid 1) event exists
+
+--require-ho additionally demands a complete handover family (ho.prep,
+ho.exec and ho.complete events) — used by the CI perf job, whose corridor
+always hands over.
+
+Exit code 0 on success, 1 on any violation (all violations are listed).
+"""
+
+import json
+import sys
+
+KNOWN_CATEGORIES = {
+    "tick", "mm.observe", "mm.decide", "ho.prep", "ho.exec", "ho.complete",
+    "rlf", "rach.retry", "pool.task", "checkpoint", "app.outage",
+}
+
+SIM_PID = 1
+WALL_PID = 2
+
+
+def fail(errors):
+    for e in errors:
+        print(f"check_trace: {e}", file=sys.stderr)
+    print(f"check_trace: FAIL ({len(errors)} violation(s))", file=sys.stderr)
+    return 1
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path = argv[1]
+    require_ho = len(argv) == 3 and argv[2] == "--require-ho"
+
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail([f"{path}: cannot parse: {e}"])
+
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return fail([f"{path}: no traceEvents array at the top level"])
+
+    events = doc["traceEvents"]
+    process_names = {}
+    categories = set()
+    sim_events = 0
+
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(e, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = e.get("ph")
+        if ph == "M":
+            if e.get("name") == "process_name":
+                name = (e.get("args") or {}).get("name")
+                if isinstance(name, str):
+                    process_names[e.get("pid")] = name
+            continue
+        if ph not in ("X", "i"):
+            errors.append(f"{where}: unexpected ph {ph!r}")
+            continue
+        if not isinstance(e.get("name"), str) or not e["name"]:
+            errors.append(f"{where}: missing name")
+        cat = e.get("cat")
+        if cat not in KNOWN_CATEGORIES:
+            errors.append(f"{where}: unknown cat {cat!r}")
+        else:
+            categories.add(cat)
+        pid = e.get("pid")
+        if pid not in (SIM_PID, WALL_PID):
+            errors.append(f"{where}: pid must be {SIM_PID} or {WALL_PID}, got {pid!r}")
+        elif pid == SIM_PID:
+            sim_events += 1
+        if not isinstance(e.get("tid"), int):
+            errors.append(f"{where}: missing integer tid")
+        if not isinstance(e.get("ts"), (int, float)):
+            errors.append(f"{where}: missing numeric ts")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: X event needs numeric dur >= 0, got {dur!r}")
+        if ph == "i" and e.get("s") != "t":
+            errors.append(f"{where}: instant needs scope s == 't'")
+
+    if SIM_PID not in process_names:
+        errors.append(f"no process_name metadata for sim timeline (pid {SIM_PID})")
+    if WALL_PID not in process_names:
+        errors.append(f"no process_name metadata for wall track (pid {WALL_PID})")
+    if sim_events == 0:
+        errors.append("no sim-track events at all")
+
+    if require_ho:
+        for needed in ("ho.prep", "ho.exec", "ho.complete"):
+            if needed not in categories:
+                errors.append(f"--require-ho: no {needed} events in the trace")
+
+    if errors:
+        return fail(errors)
+    print(f"check_trace: OK — {len(events)} entries, {sim_events} sim events, "
+          f"categories: {', '.join(sorted(categories))}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

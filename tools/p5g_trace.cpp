@@ -1,0 +1,185 @@
+// p5g_trace — flight-recorder spill inspector.
+//
+//   p5g_trace summarize <trace.bin>                  per-category counts
+//   p5g_trace convert   <trace.bin> <out.json>       Perfetto JSON export
+//   p5g_trace filter    <trace.bin> <out.bin>        subset by --ue/--pci/
+//                       [--ue N] [--pci N] [--category name]
+//   p5g_trace list      <trace.bin> [--ue N]         one line per HO flow
+//   p5g_trace ho        <trace.bin> --flow N [--ue N]  one HO's timeline
+//
+// Input files are the binary spills written by `--trace-out` (any bench or
+// example); `convert` produces the same JSON the twin <path>.json already
+// carries, after any amount of filtering.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "analysis/ho_timeline.h"
+#include "common/io.h"
+#include "obs/events.h"
+#include "trace/event_trace.h"
+
+using namespace p5g;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: p5g_trace <summarize|convert|filter|list|ho> <trace.bin> ...\n"
+      "  summarize <in>                       category/UE/drop accounting\n"
+      "  convert   <in> <out.json>            export Perfetto JSON\n"
+      "  filter    <in> <out.bin> [--ue N] [--pci N] [--category NAME]\n"
+      "  list      <in> [--ue N]              one line per handover\n"
+      "  ho        <in> --flow N [--ue N]     dump one handover's timeline\n");
+  return 2;
+}
+
+std::optional<trace::EventTrace> load(const char* path) {
+  std::string why;
+  std::optional<trace::EventTrace> t = trace::load_event_trace(path, &why);
+  if (!t) std::fprintf(stderr, "p5g_trace: %s: %s\n", path, why.c_str());
+  return t;
+}
+
+// Common flag scanning for the filtering subcommands. Returns false (after
+// printing the cause) on an unknown flag or malformed value.
+bool parse_filter(int argc, char** argv, int first, trace::EventFilter& f,
+                  std::optional<std::uint64_t>* flow) {
+  for (int i = first; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (a == "--ue" && has_value) {
+      f.ue = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (a == "--pci" && has_value) {
+      f.pci = static_cast<std::int32_t>(std::strtol(argv[++i], nullptr, 10));
+    } else if (a == "--category" && has_value) {
+      obs::EventCategory c{};
+      if (!obs::category_from_name(argv[++i], c)) {
+        std::fprintf(stderr, "p5g_trace: unknown category '%s'\n", argv[i]);
+        return false;
+      }
+      f.category = c;
+    } else if (a == "--flow" && has_value && flow != nullptr) {
+      *flow = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "p5g_trace: unexpected argument '%s'\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+int cmd_summarize(const trace::EventTrace& t) {
+  std::printf("run %s seed %llu\n", t.run.c_str(),
+              static_cast<unsigned long long>(t.seed));
+  std::printf("events retained %zu, emitted %llu, dropped %llu%s\n",
+              t.events.size(), static_cast<unsigned long long>(t.emitted),
+              static_cast<unsigned long long>(t.dropped),
+              t.dropped != 0 ? "  (ring overwrote history)" : "");
+  std::map<obs::EventCategory, std::size_t> by_cat;
+  std::map<std::uint32_t, std::size_t> by_ue;
+  for (const obs::Event& e : t.events) {
+    ++by_cat[e.category];
+    ++by_ue[e.ue];
+  }
+  for (const auto& [cat, n] : by_cat) {
+    std::printf("  %-12s %8zu\n", std::string(obs::category_name(cat)).c_str(),
+                n);
+  }
+  const std::vector<analysis::HoTimeline> hos = analysis::ho_timelines(t.events);
+  std::printf("UEs: %zu, completed handovers: %zu\n", by_ue.size(), hos.size());
+  return 0;
+}
+
+int cmd_convert(const trace::EventTrace& t, const char* out) {
+  if (const io::IoResult r =
+          io::atomic_write_file(out, trace::to_perfetto_json(t));
+      !r) {
+    std::fprintf(stderr, "p5g_trace: cannot write %s: %s\n", out,
+                 r.error.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu events)\n", out, t.events.size());
+  return 0;
+}
+
+int cmd_filter(const trace::EventTrace& t, const trace::EventFilter& f,
+               const char* out) {
+  const trace::EventTrace kept = trace::filter_events(t, f);
+  if (const io::IoResult r = trace::save_event_trace(out, kept); !r) {
+    std::fprintf(stderr, "p5g_trace: cannot write %s: %s\n", out,
+                 r.error.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu of %zu events)\n", out, kept.events.size(),
+              t.events.size());
+  return 0;
+}
+
+int cmd_list(const trace::EventTrace& t, const trace::EventFilter& f) {
+  std::size_t n = 0;
+  for (const analysis::HoTimeline& h : analysis::ho_timelines(t.events)) {
+    if (f.ue && h.ue != *f.ue) continue;
+    const ran::HandoverRecord& r = h.record;
+    std::printf(
+        "ue %4u flow %6llu  t %9.3f s  %-4s %-15s  pci %d -> %d  %7.2f ms\n",
+        h.ue, static_cast<unsigned long long>(h.flow), r.complete_time,
+        std::string(ran::ho_name(r.type)).c_str(),
+        std::string(ran::ho_outcome_name(r.outcome)).c_str(), r.src_pci,
+        r.dst_pci, r.timing.total_ms());
+    ++n;
+  }
+  std::printf("%zu handovers\n", n);
+  return 0;
+}
+
+int cmd_ho(const trace::EventTrace& t, const trace::EventFilter& f,
+           std::uint64_t flow) {
+  for (const analysis::HoTimeline& h : analysis::ho_timelines(t.events)) {
+    if (h.flow != flow) continue;
+    if (f.ue && h.ue != *f.ue) continue;
+    std::fputs(analysis::describe_timeline(h).c_str(), stdout);
+    return 0;
+  }
+  std::fprintf(stderr, "p5g_trace: no completed handover with flow %llu%s\n",
+               static_cast<unsigned long long>(flow),
+               f.ue ? " for that UE" : "");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string_view cmd = argv[1];
+  const std::optional<trace::EventTrace> t = load(argv[2]);
+  if (!t) return 1;
+
+  if (cmd == "summarize" && argc == 3) return cmd_summarize(*t);
+  if (cmd == "convert" && argc == 4) return cmd_convert(*t, argv[3]);
+  if (cmd == "filter" && argc >= 4) {
+    trace::EventFilter f;
+    if (!parse_filter(argc, argv, 4, f, nullptr)) return 2;
+    return cmd_filter(*t, f, argv[3]);
+  }
+  if (cmd == "list") {
+    trace::EventFilter f;
+    if (!parse_filter(argc, argv, 3, f, nullptr)) return 2;
+    return cmd_list(*t, f);
+  }
+  if (cmd == "ho") {
+    trace::EventFilter f;
+    std::optional<std::uint64_t> flow;
+    if (!parse_filter(argc, argv, 3, f, &flow)) return 2;
+    if (!flow) {
+      std::fprintf(stderr, "p5g_trace: ho requires --flow N (see `list`)\n");
+      return 2;
+    }
+    return cmd_ho(*t, f, *flow);
+  }
+  return usage();
+}
