@@ -11,13 +11,13 @@ using namespace p5g;
 
 int main(int argc, char** argv) {
   bench::print_header("Ablation: decision-learner pattern eviction");
-  const std::vector<trace::TraceLog> traces = analysis::make_d2(4, 900.0, 31);
+  const std::vector<trace::TraceLog> traces = analysis::make_d2(4, Seconds{900.0}, 31);
   std::vector<int> truth;
   for (const trace::TraceLog& t : traces) {
     const std::vector<int> g = analysis::ground_truth(t);
     truth.insert(truth.end(), g.begin(), g.end());
   }
-  const auto tolerance = static_cast<std::size_t>(1.5 * traces.front().tick_hz);
+  const auto tolerance = static_cast<std::size_t>(1.5 * traces.front().tick_hz.v);
 
   for (bool eviction : {true, false}) {
     analysis::PrognosRunOptions opts;
@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
     opts.config.learner.freshness_threshold = 30;
     const analysis::PrognosRunResult r = analysis::run_prognos(traces, opts);
     const ml::EventScores s = ml::score_events(truth, r.predicted, tolerance);
-    const double hours = r.duration / 3600.0;
+    const double hours = r.duration.v / 3600.0;
     std::printf("\n[eviction %s]\n", eviction ? "ON" : "OFF");
     std::printf("  F1 %.3f  precision %.3f  recall %.3f\n", s.scores.f1,
                 s.scores.precision, s.scores.recall);

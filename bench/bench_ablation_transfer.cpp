@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   bench::print_header("Ablation: pattern transfer between cities");
 
   // City A: learn patterns by simply running Prognos over its traces.
-  const std::vector<trace::TraceLog> city_a = analysis::make_d1(2, 900.0, 61);
+  const std::vector<trace::TraceLog> city_a = analysis::make_d1(2, Seconds{900.0}, 61);
   core::Prognos teacher(configs_for(city_a.front()), core::Prognos::Config{});
   for (const trace::TraceLog& log : city_a) {
     for (const trace::TickRecord& tick : log.ticks) teacher.tick(core::from_tick(tick));
@@ -38,9 +38,9 @@ int main(int argc, char** argv) {
 
   // City B (different deployment seed, same carrier strategy): evaluate the
   // first 10 minutes — where startup effects live — cold vs transferred.
-  const std::vector<trace::TraceLog> city_b = analysis::make_d2(1, 600.0, 62);
+  const std::vector<trace::TraceLog> city_b = analysis::make_d2(1, Seconds{600.0}, 62);
   std::vector<int> truth = analysis::ground_truth(city_b.front());
-  const auto tolerance = static_cast<std::size_t>(1.5 * city_b.front().tick_hz);
+  const auto tolerance = static_cast<std::size_t>(1.5 * city_b.front().tick_hz.v);
 
   for (bool transfer : {false, true}) {
     core::Prognos student(configs_for(city_b.front()), core::Prognos::Config{});

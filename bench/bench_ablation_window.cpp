@@ -10,13 +10,13 @@ using namespace p5g;
 
 int main(int argc, char** argv) {
   bench::print_header("Ablation: report-predictor window sweep");
-  const std::vector<trace::TraceLog> traces = analysis::make_d2(3, 900.0, 33);
+  const std::vector<trace::TraceLog> traces = analysis::make_d2(3, Seconds{900.0}, 33);
   std::vector<int> truth;
   for (const trace::TraceLog& t : traces) {
     const std::vector<int> g = analysis::ground_truth(t);
     truth.insert(truth.end(), g.begin(), g.end());
   }
-  const auto tolerance = static_cast<std::size_t>(1.5 * traces.front().tick_hz);
+  const auto tolerance = static_cast<std::size_t>(1.5 * traces.front().tick_hz.v);
 
   std::printf("  %-10s %-10s %8s %10s %8s\n", "history", "predict", "F1", "precision",
               "recall");
@@ -24,8 +24,8 @@ int main(int argc, char** argv) {
     for (double predict : {0.5, 1.0, 2.0}) {
       analysis::PrognosRunOptions opts;
       opts.bootstrap = true;
-      opts.config.report.history_window = history;
-      opts.config.report.prediction_window = predict;
+      opts.config.report.history_window = Seconds{history};
+      opts.config.report.prediction_window = Seconds{predict};
       const analysis::PrognosRunResult r = analysis::run_prognos(traces, opts);
       const ml::EventScores s = ml::score_events(truth, r.predicted, tolerance);
       std::printf("  %-10.1f %-10.1f %8.3f %10.3f %8.3f\n", history, predict,

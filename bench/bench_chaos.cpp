@@ -61,10 +61,10 @@ std::string slurp(const std::string& path) {
 
 sim::FleetScenario make_fleet(bool quick, std::uint64_t seed) {
   sim::FleetScenario f;
-  f.base = bench::city_nsa(radio::Band::kNrMmWave, quick ? 30.0 : 90.0, seed);
+  f.base = bench::city_nsa(radio::Band::kNrMmWave, Seconds{quick ? 30.0 : 90.0}, seed);
   f.base.name = "chaos_city";
   f.n_ues = quick ? 16 : 48;
-  f.stagger_m = 150.0;
+  f.stagger_m = Meters{150.0};
   f.mobility_mix = {sim::MobilityKind::kCity, sim::MobilityKind::kWalkLoop};
   return f;
 }
@@ -110,7 +110,7 @@ bool survivors_match(const HashedRun& chaotic, const HashedRun& clean) {
 void run_watchdog_section() {
   std::printf("\n  watchdog:\n");
   ThreadPool pool(2);
-  pool.enable_watchdog(5.0);
+  pool.enable_watchdog(5.0_ms);
   std::atomic<int> finished{0};
   for (int i = 0; i < 4; ++i) {
     pool.submit([&finished] {
@@ -210,7 +210,7 @@ int main(int argc, char** argv) {
   p.seed = seed;
   p.task_fault_rate = 0.25;  // ~1 in 4 UE tasks throws InjectedFault
   p.stall_rate = 0.2;        // ~1 in 5 stalls (still completes)
-  p.stall_ms = 10.0;
+  p.stall_ms = 10.0_ms;
 
   std::printf("\n  chaotic fleet (task faults + stalls):\n");
   std::vector<sim::RunError> first_errors;

@@ -15,7 +15,7 @@ using namespace p5g;
 
 int main(int argc, char** argv) {
   bench::print_header("Fig 10: HO power and per-distance energy");
-  constexpr Seconds kDuration = 1800.0;
+  constexpr Seconds kDuration{1800.0};
 
   sim::Scenario lte = bench::freeway_nsa(radio::Band::kNrLow, kDuration, 201);
   lte.arch = ran::Arch::kLteOnly;

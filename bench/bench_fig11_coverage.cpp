@@ -15,7 +15,7 @@ using namespace p5g;
 
 int main(int argc, char** argv) {
   bench::print_header("Fig 11 / Sec 6.1: effective coverage (same-PCI dwell)");
-  constexpr Seconds kDuration = 2400.0;
+  constexpr Seconds kDuration{2400.0};
 
   sim::Scenario low = bench::freeway_nsa(radio::Band::kNrLow, kDuration, 111);
   sim::Scenario mid = bench::freeway_nsa(radio::Band::kNrMid, kDuration, 112);
@@ -61,10 +61,10 @@ int main(int argc, char** argv) {
   double actual_low = 0.0, ideal_low = 0.0;
   for (const Row& r : rows) {
     const analysis::CoverageStats cs = analysis::coverage_stats(r.dwells);
-    std::printf("  %-30s %10d %12.0f %12.0f\n", r.label, cs.segments, cs.mean_m,
+    std::printf("  %-30s %10d %12.0f %12.0f\n", r.label, cs.segments, cs.mean_m.v,
                 r.paper_km * 1000.0);
-    if (std::string(r.label) == "NSA low-band (actual)") actual_low = cs.mean_m;
-    if (std::string(r.label) == "NSA low-band (w/o NSA, ideal)") ideal_low = cs.mean_m;
+    if (std::string(r.label) == "NSA low-band (actual)") actual_low = cs.mean_m.v;
+    if (std::string(r.label) == "NSA low-band (w/o NSA, ideal)") ideal_low = cs.mean_m.v;
   }
   if (actual_low > 0.0) {
     std::printf("\n  low-band effective-coverage reduction under NSA: %.2fx "

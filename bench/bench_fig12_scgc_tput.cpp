@@ -14,7 +14,7 @@ using namespace p5g;
 
 int main(int argc, char** argv) {
   bench::print_header("Fig 12: SCGC pre/exec/post throughput (mmWave walk)");
-  sim::Scenario walk = bench::walk_nsa(radio::Band::kNrMmWave, 2100.0, 121);
+  sim::Scenario walk = bench::walk_nsa(radio::Band::kNrMmWave, Seconds{2100.0}, 121);
   walk.traffic_mode = tput::TrafficMode::kNrOnly;
 
   // Several walking loops to accumulate SCGC samples.

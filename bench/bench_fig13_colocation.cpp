@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
        {ran::profile_opx(), ran::profile_opy(), ran::profile_opz()}) {
     std::vector<ran::HandoverRecord> hos;
     for (int run = 0; run < 3; ++run) {
-      sim::Scenario s = bench::freeway_nsa(radio::Band::kNrLow, 1500.0,
+      sim::Scenario s = bench::freeway_nsa(radio::Band::kNrLow, Seconds{1500.0},
                                            131 + 17 * static_cast<std::uint64_t>(run));
       s.carrier = carrier;
       const trace::TraceLog log = sim::run_scenario(s);
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   // The paper's co-location detection heuristic: overlapping 4G/5G PCI
   // convex hulls. Demonstrate it on one deployment.
   bench::print_header("co-location heuristic: 4G/5G convex-hull overlap");
-  sim::Scenario s = bench::freeway_nsa(radio::Band::kNrLow, 600.0, 139);
+  sim::Scenario s = bench::freeway_nsa(radio::Band::kNrLow, Seconds{600.0}, 139);
   Rng rng(s.seed);
   geo::Route route = sim::build_route(s, rng);
   Rng dep_rng = rng.fork(7);
@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
       for (int k = 0; k < 8; ++k) {
         const double a = 0.785398 * k;
         const Meters r = radio::band_profile(c.band).nominal_radius_m;
-        pts.push_back(c.position + geo::Point{r * std::cos(a), r * std::sin(a)});
+        pts.push_back(c.position + geo::Point{r.v * std::cos(a), r.v * std::sin(a)});
       }
     }
     if (lte_pts.size() < 3 || nr_pts.size() < 3) continue;

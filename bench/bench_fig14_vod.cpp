@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   std::vector<trace::TraceLog> logs;
   for (int i = 0; i < 3; ++i) {
     sim::Scenario s = bench::city_nsa(i % 2 ? radio::Band::kNrLow : radio::Band::kNrMmWave,
-                                      1200.0, 141 + 7 * static_cast<std::uint64_t>(i));
+                                      Seconds{1200.0}, 141 + 7 * static_cast<std::uint64_t>(i));
     s.speed_kmh = 45.0;
     s.traffic_mode = tput::TrafficMode::kDual;
     logs.push_back(sim::run_scenario(s));
@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
         apps::HoSignal gt = apps::ground_truth_signal(log, scores);
         core::Prognos::Config pcfg;
         apps::HoSignal pr = apps::prognos_signal(log, pcfg);
-        for (Seconds start : apps::window_starts(log, 240.0, 120.0, 400.0, 2.0)) {
+        for (Seconds start : apps::window_starts(log, Seconds{240.0}, Seconds{120.0}, 400.0, 2.0)) {
           auto abr = algo.make();
           const apps::HoSignal* sig = variant == 0 ? nullptr : (variant == 1 ? &gt : &pr);
           // Base still gets the GT signal object for error bucketing only.

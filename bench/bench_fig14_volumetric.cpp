@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   std::vector<trace::TraceLog> logs;
   for (int i = 0; i < 3; ++i) {
     sim::Scenario s = bench::city_nsa(i % 2 ? radio::Band::kNrLow : radio::Band::kNrMmWave,
-                                      900.0, 241 + 11 * static_cast<std::uint64_t>(i));
+                                      Seconds{900.0}, 241 + 11 * static_cast<std::uint64_t>(i));
     logs.push_back(sim::run_scenario(s));  // SCG bearer: HOs hit hard
   }
 
@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
         const apps::HoSignal* sig = variant == 0 ? nullptr : (variant == 1 ? &gt : &pr);
         // Windows where the density decision is non-trivial (avg bandwidth
         // within reach of the 43-170 Mbps point-cloud ladder).
-        for (Seconds start : apps::window_starts(log, 180.0, 90.0, 280.0, 2.0)) {
+        for (Seconds start : apps::window_starts(log, Seconds{180.0}, Seconds{90.0}, 280.0, 2.0)) {
           auto abr = algo.make();
           const apps::VolumetricResult r =
               apps::run_volumetric(*abr, video, link, sig, start);

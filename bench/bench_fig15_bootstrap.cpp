@@ -13,7 +13,7 @@ using namespace p5g;
 
 int main(int argc, char** argv) {
   bench::print_header("Fig 15: F1 over time, bootstrap vs cold start (D1-style trace)");
-  const std::vector<trace::TraceLog> traces = analysis::make_d1(2, 1200.0, 15);
+  const std::vector<trace::TraceLog> traces = analysis::make_d1(2, Seconds{1200.0}, 15);
 
   analysis::PrognosRunOptions cold;
   analysis::PrognosRunOptions boot;

@@ -16,7 +16,7 @@ using namespace p5g;
 
 int main(int argc, char** argv) {
   bench::print_header("Fig 16: per-procedure phase throughput, mmWave NSA");
-  sim::Scenario walk = bench::walk_nsa(radio::Band::kNrMmWave, 2100.0, 161);
+  sim::Scenario walk = bench::walk_nsa(radio::Band::kNrMmWave, Seconds{2100.0}, 161);
 
   std::vector<sim::Scenario> sweeps;
   for (int loop = 0; loop < 4; ++loop) {

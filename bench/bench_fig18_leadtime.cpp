@@ -15,13 +15,13 @@ using namespace p5g;
 
 int main(int argc, char** argv) {
   bench::print_header("Fig 18: prediction lead time, w/ vs w/o report predictor");
-  const std::vector<trace::TraceLog> traces = analysis::make_d2(3, 900.0, 18);
+  const std::vector<trace::TraceLog> traces = analysis::make_d2(3, Seconds{900.0}, 18);
   std::vector<int> truth;
   for (const trace::TraceLog& t : traces) {
     const std::vector<int> g = analysis::ground_truth(t);
     truth.insert(truth.end(), g.begin(), g.end());
   }
-  const auto tolerance = static_cast<std::size_t>(1.5 * traces.front().tick_hz);
+  const auto tolerance = static_cast<std::size_t>(1.5 * traces.front().tick_hz.v);
 
   analysis::PrognosRunOptions with_rp;
   analysis::PrognosRunOptions without_rp;

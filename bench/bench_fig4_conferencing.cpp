@@ -13,7 +13,7 @@ using namespace p5g;
 
 int main(int argc, char** argv) {
   bench::print_header("Fig 4: video conferencing during HOs (NSA low-band city drive)");
-  sim::Scenario s = bench::city_nsa(radio::Band::kNrLow, 840.0, 41);  // 14 minutes
+  sim::Scenario s = bench::city_nsa(radio::Band::kNrLow, Seconds{840.0}, 41);  // 14 minutes
   const trace::TraceLog log = sim::run_scenario(s);
 
   Rng rng(0x414141);
@@ -21,14 +21,14 @@ int main(int argc, char** argv) {
   latency.reserve(log.ticks.size());
   for (const trace::TickRecord& t : log.ticks) {
     const apps::ConferencingSample c = apps::conferencing_sample(t, rng);
-    latency.push_back(c.video_latency_ms);
+    latency.push_back(c.video_latency_ms.v);
     loss.push_back(c.packet_loss_pct);
   }
 
-  const apps::HoWindowSplit lat = apps::split_by_ho_window(log, latency, 0.5);
-  const apps::HoWindowSplit lss = apps::split_by_ho_window(log, loss, 0.5);
+  const apps::HoWindowSplit lat = apps::split_by_ho_window(log, latency, Seconds{0.5});
+  const apps::HoWindowSplit lss = apps::split_by_ho_window(log, loss, Seconds{0.5});
   std::printf("  %zu HOs in a %.0f-minute drive\n", log.handovers.size(),
-              log.duration() / 60.0);
+              log.duration().v / 60.0);
   bench::print_dist_row("latency w/o HO (ms)", lat.outside);
   bench::print_dist_row("latency w/  HO (ms)", lat.in_ho);
   bench::print_dist_row("loss w/o HO (%)", lss.outside);

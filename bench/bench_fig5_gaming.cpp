@@ -14,21 +14,21 @@ using namespace p5g;
 
 int main(int argc, char** argv) {
   bench::print_header("Fig 5: cloud gaming during HOs (NSA drive)");
-  sim::Scenario s = bench::city_nsa(radio::Band::kNrMmWave, 960.0, 51);
+  sim::Scenario s = bench::city_nsa(radio::Band::kNrMmWave, Seconds{960.0}, 51);
   const trace::TraceLog log = sim::run_scenario(s);
 
   Rng rng(0x515151);
   std::vector<double> net_latency, other_latency, drops;
   for (const trace::TickRecord& t : log.ticks) {
     const apps::GamingSample g = apps::gaming_sample(t, rng);
-    net_latency.push_back(g.network_latency_ms);
-    other_latency.push_back(g.other_latency_ms);
+    net_latency.push_back(g.network_latency_ms.v);
+    other_latency.push_back(g.other_latency_ms.v);
     drops.push_back(g.dropped_frames_pct);
   }
 
-  const apps::HoWindowSplit lat = apps::split_by_ho_window(log, net_latency, 0.5);
-  const apps::HoWindowSplit oth = apps::split_by_ho_window(log, other_latency, 0.5);
-  const apps::HoWindowSplit drp = apps::split_by_ho_window(log, drops, 0.5);
+  const apps::HoWindowSplit lat = apps::split_by_ho_window(log, net_latency, Seconds{0.5});
+  const apps::HoWindowSplit oth = apps::split_by_ho_window(log, other_latency, Seconds{0.5});
+  const apps::HoWindowSplit drp = apps::split_by_ho_window(log, drops, Seconds{0.5});
   bench::print_dist_row("net latency w/o HO (ms)", lat.outside);
   bench::print_dist_row("net latency w/  HO (ms)", lat.in_ho);
   bench::print_dist_row("other latency w/ HO (ms)", oth.in_ho);
@@ -43,13 +43,13 @@ int main(int argc, char** argv) {
 
   // SCGM vs MNBH contrast.
   const apps::HoWindowSplit scgm_lat =
-      apps::split_by_ho_window(log, net_latency, 1.0, {ran::HoType::kScgm});
+      apps::split_by_ho_window(log, net_latency, Seconds{1.0}, {ran::HoType::kScgm});
   const apps::HoWindowSplit mnbh_lat =
-      apps::split_by_ho_window(log, net_latency, 1.0, {ran::HoType::kMnbh});
+      apps::split_by_ho_window(log, net_latency, Seconds{1.0}, {ran::HoType::kMnbh});
   const apps::HoWindowSplit scgm_drp =
-      apps::split_by_ho_window(log, drops, 1.0, {ran::HoType::kScgm});
+      apps::split_by_ho_window(log, drops, Seconds{1.0}, {ran::HoType::kScgm});
   const apps::HoWindowSplit mnbh_drp =
-      apps::split_by_ho_window(log, drops, 1.0, {ran::HoType::kMnbh});
+      apps::split_by_ho_window(log, drops, Seconds{1.0}, {ran::HoType::kMnbh});
   std::printf("\n[SCGM vs MNBH]\n");
   bench::print_dist_row("SCGM net latency (ms)", scgm_lat.in_ho);
   bench::print_dist_row("MNBH net latency (ms)", mnbh_lat.in_ho);

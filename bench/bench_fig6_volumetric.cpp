@@ -15,7 +15,7 @@ namespace {
 
 void run_band(radio::Band band, const char* label, double paper_bitrate_drop,
               double paper_latency_rise) {
-  sim::Scenario s = bench::city_nsa(band, 1200.0, 61);
+  sim::Scenario s = bench::city_nsa(band, Seconds{1200.0}, 61);
   const trace::TraceLog log = sim::run_scenario(s);
 
   // Achievable volumetric bitrate tracks the link; latency tracks RTT.
@@ -24,10 +24,10 @@ void run_band(radio::Band band, const char* label, double paper_bitrate_drop,
     bitrate.push_back(std::min(t.throughput_mbps * 0.8, 170.0));  // top encoding
     // Frame delivery latency: RTT plus queueing when the link cannot keep
     // up with the top encoding rate.
-    latency.push_back(t.rtt_ms + 0.3 * std::max(0.0, 170.0 - t.throughput_mbps * 0.8));
+    latency.push_back(t.rtt_ms.v + 0.3 * std::max(0.0, 170.0 - t.throughput_mbps * 0.8));
   }
-  const apps::HoWindowSplit br = apps::split_by_ho_window(log, bitrate, 0.15);
-  const apps::HoWindowSplit lat = apps::split_by_ho_window(log, latency, 0.15);
+  const apps::HoWindowSplit br = apps::split_by_ho_window(log, bitrate, Seconds{0.15});
+  const apps::HoWindowSplit lat = apps::split_by_ho_window(log, latency, Seconds{0.15});
 
   std::printf("\n[%s]  (%zu HOs)\n", label, log.handovers.size());
   bench::print_dist_row("bitrate w/o HO (Mbps)", br.outside);

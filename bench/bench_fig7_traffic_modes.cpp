@@ -26,8 +26,8 @@ RttBuckets collect(const trace::TraceLog& log) {
   std::vector<int> ho_type(log.ticks.size(), -1);
   const Seconds t0 = log.ticks.front().time;
   for (const ran::HandoverRecord& h : log.handovers) {
-    const long lo = static_cast<long>((h.exec_start - t0) * log.tick_hz);
-    const long hi = static_cast<long>((h.complete_time - t0) * log.tick_hz);
+    const long lo = static_cast<long>((h.exec_start - t0).v * log.tick_hz.v);
+    const long hi = static_cast<long>((h.complete_time - t0).v * log.tick_hz.v);
     for (long i = std::max(0L, lo); i <= hi && i < static_cast<long>(ho_type.size());
          ++i) {
       ho_type[static_cast<std::size_t>(i)] = static_cast<int>(h.type);
@@ -35,9 +35,9 @@ RttBuckets collect(const trace::TraceLog& log) {
   }
   for (std::size_t i = 0; i < log.ticks.size(); ++i) {
     if (ho_type[i] < 0) {
-      b.no_ho.push_back(log.ticks[i].rtt_ms);
+      b.no_ho.push_back(log.ticks[i].rtt_ms.v);
     } else {
-      b.by_type[static_cast<ran::HoType>(ho_type[i])].push_back(log.ticks[i].rtt_ms);
+      b.by_type[static_cast<ran::HoType>(ho_type[i])].push_back(log.ticks[i].rtt_ms.v);
     }
   }
   return b;
@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
     std::vector<double> no_ho;
     std::map<ran::HoType, std::vector<double>> by_type;
     for (int run = 0; run < 3; ++run) {
-      sim::Scenario s = bench::city_nsa(radio::Band::kNrLow, 1200.0,
+      sim::Scenario s = bench::city_nsa(radio::Band::kNrLow, Seconds{1200.0},
                                         71 + 13 * static_cast<std::uint64_t>(run));
       s.traffic_mode = mode;
       const trace::TraceLog log = sim::run_scenario(s);

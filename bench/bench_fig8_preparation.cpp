@@ -11,7 +11,7 @@ using namespace p5g;
 
 int main(int argc, char** argv) {
   bench::print_header("Fig 8: T1 (preparation) by deployment, OpY-style carrier");
-  constexpr Seconds kDuration = 1800.0;
+  constexpr Seconds kDuration{1800.0};
 
   sim::Scenario lte = bench::freeway_nsa(radio::Band::kNrLow, kDuration, 81);
   lte.carrier = ran::profile_opy();

@@ -11,7 +11,7 @@ using namespace p5g;
 
 int main(int argc, char** argv) {
   bench::print_header("Fig 9: T2 (execution) across technologies and bands");
-  constexpr Seconds kDuration = 1800.0;
+  constexpr Seconds kDuration{1800.0};
 
   sim::Scenario lte = bench::freeway_nsa(radio::Band::kNrLow, kDuration, 91);
   lte.carrier = ran::profile_opy();

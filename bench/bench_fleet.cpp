@@ -48,7 +48,7 @@ sim::FleetScenario make_fleet(std::size_t n, Seconds duration) {
   f.base = bench::city_nsa(radio::Band::kNrMmWave, duration, 42);
   f.base.name = "fleet_city";
   f.n_ues = n;
-  f.stagger_m = 150.0;
+  f.stagger_m = Meters{150.0};
   f.mobility_mix = {sim::MobilityKind::kCity, sim::MobilityKind::kCity,
                     sim::MobilityKind::kWalkLoop};
   return f;
@@ -209,7 +209,7 @@ int main(int argc, char** argv) {
   }
 
   bench::print_header(quick ? "fleet scaling (--quick)" : "fleet scaling");
-  const Seconds duration = quick ? 60.0 : 300.0;
+  const Seconds duration{quick ? 60.0 : 300.0};
   std::vector<std::size_t> sizes = {1, 8, 64};
   if (!quick) sizes.push_back(256);
 
@@ -218,7 +218,7 @@ int main(int argc, char** argv) {
   std::printf("  %u hardware thread(s), pool of %u; %.0f s drives; "
               "cohorts of %zu UEs; best of 3 runs per arm\n",
               std::max(1u, std::thread::hardware_concurrency()), pool_size,
-              duration, cohort_ues);
+              duration.v, cohort_ues);
   if (pool_size <= 1) {
     std::printf(
         "  WARNING: only 1 worker available — pooled == serial here, "

@@ -21,7 +21,7 @@ const trace::TraceLog& sample_trace() {
     s.arch = ran::Arch::kNsa;
     s.nr_band = radio::Band::kNrMmWave;
     s.mobility = sim::MobilityKind::kWalkLoop;
-    s.duration = 300.0;
+    s.duration = 300.0_s;
     s.seed = 99;
     return sim::run_scenario(s);
   }();
@@ -78,7 +78,7 @@ void BM_SimTick(benchmark::State& state) {
   // Full mobility-manager tick cost in a low-band deployment.
   sim::Scenario s;
   s.carrier = ran::profile_opx();
-  s.duration = 1.0;
+  s.duration = 1.0_s;
   s.seed = 5;
   Rng rng(s.seed);
   geo::Route route = sim::build_route(s, rng);
@@ -86,12 +86,12 @@ void BM_SimTick(benchmark::State& state) {
   ran::Deployment dep(s.carrier, route, dep_rng);
   ran::MobilityManager::Config cfg;
   ran::MobilityManager manager(dep, cfg, rng.fork(1));
-  double t = 0.0;
-  Meters pos = 0.0;
+  Seconds t{0.0};
+  Meters pos{0.0};
   for (auto _ : state) {
-    t += 0.05;
-    pos += 1.5;
-    benchmark::DoNotOptimize(manager.tick(t, route.position_at(pos), 1.5, pos));
+    t += 0.05_s;
+    pos += 1.5_m;
+    benchmark::DoNotOptimize(manager.tick(t, route.position_at(pos), 1.5_m, pos));
   }
 }
 BENCHMARK(BM_SimTick);

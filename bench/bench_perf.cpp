@@ -64,7 +64,7 @@ QueryBench bench_cells_near(int probes) {
   // A four-hour city corridor: ~130 km of mmWave micro sites, the densest
   // grid the paper's carriers deploy. Only the probe count shrinks in
   // --quick mode; the deployment itself stays production-sized.
-  sim::Scenario dense = bench::city_nsa(radio::Band::kNrMmWave, 14400.0, 7);
+  sim::Scenario dense = bench::city_nsa(radio::Band::kNrMmWave, Seconds{14400.0}, 7);
   Rng rng(dense.seed);
   const geo::Route route = sim::build_route(dense, rng);
   Rng dep_rng = rng.fork(7);
@@ -74,7 +74,7 @@ QueryBench bench_cells_near(int probes) {
   const Meters radius = radio::band_profile(band).nominal_radius_m * 2.6;
   const Meters route_len = route.length();
   auto probe_point = [&](int i) {
-    return route.position_at(std::fmod(static_cast<double>(i) * 137.7, route_len));
+    return route.position_at(Meters{std::fmod(static_cast<double>(i) * 137.7, route_len.v)});
   };
 
   QueryBench out;
@@ -400,26 +400,26 @@ int main(int argc, char** argv) {
   std::printf("    grid index   %12.0f queries/s\n", q.index_qps);
   std::printf("    speedup      %12.2fx\n", q.speedup);
 
-  const TickBench tk = bench_tick_best(quick ? 120.0 : 900.0, 3);
+  const TickBench tk = bench_tick_best(Seconds{quick ? 120.0 : 900.0}, 3);
   std::printf("  full-scenario stepping (city mmWave, best of 3):\n");
   std::printf("    %zu ticks in %.2f s = %.0f ticks/s (%.2fx the committed seed)\n",
               tk.ticks, tk.wall_s, tk.ticks_per_sec,
               tk.ticks_per_sec / kSeedTicksPerSec);
 
-  const RadioBatchBench rb = bench_radio_batch(quick ? 60.0 : 300.0);
+  const RadioBatchBench rb = bench_radio_batch(Seconds{quick ? 60.0 : 300.0});
   std::printf("  radio pipeline A/B (byte-identical output):\n");
   std::printf("    scalar AoS   %12.0f ticks/s\n", rb.scalar_ticks_per_sec);
   std::printf("    batched SoA  %12.0f ticks/s\n", rb.batched_ticks_per_sec);
   std::printf("    speedup      %12.2fx\n", rb.speedup);
 
-  const OverheadBench ov = bench_obs_overhead(quick ? 900.0 : 1800.0, 9);
+  const OverheadBench ov = bench_obs_overhead(Seconds{quick ? 900.0 : 1800.0}, 9);
   std::printf("  observability overhead (tick loop, %d ABBA reps):\n", ov.reps);
   std::printf("    metrics on   %12.0f ticks/s\n", ov.on_ticks_per_sec);
   std::printf("    metrics off  %12.0f ticks/s\n", ov.off_ticks_per_sec);
   std::printf("    overhead     %12.2f %% floor (gated), %.2f %% median\n",
               ov.overhead_pct, ov.overhead_median_pct);
 
-  const OverheadBench tov = bench_trace_overhead(quick ? 900.0 : 1800.0, 9);
+  const OverheadBench tov = bench_trace_overhead(Seconds{quick ? 900.0 : 1800.0}, 9);
   std::printf("  flight-recorder overhead (tick loop, %d ABBA reps):\n",
               tov.reps);
   std::printf("    events on    %12.0f ticks/s\n", tov.on_ticks_per_sec);
@@ -427,7 +427,7 @@ int main(int argc, char** argv) {
   std::printf("    overhead     %12.2f %% floor (gated), %.2f %% median\n",
               tov.overhead_pct, tov.overhead_median_pct);
 
-  const SweepBench sw = bench_sweep(8, quick ? 60.0 : 300.0);
+  const SweepBench sw = bench_sweep(8, Seconds{quick ? 60.0 : 300.0});
   std::printf("  %d-scenario sweep on %u hardware thread(s), pool of %u:\n",
               sw.scenarios, sw.threads, sw.pool_threads);
   std::printf("    serial    %8.2f s\n", sw.serial_s);

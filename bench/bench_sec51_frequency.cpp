@@ -23,7 +23,7 @@ struct Row {
 
 int main(int argc, char** argv) {
   bench::print_header("Sec 5.1: HO frequency by RAT / architecture / band");
-  constexpr Seconds kDuration = 1500.0;
+  constexpr Seconds kDuration{1500.0};
 
   sim::Scenario lte = bench::freeway_nsa(radio::Band::kNrLow, kDuration, 101);
   lte.arch = ran::Arch::kLteOnly;

@@ -21,13 +21,13 @@ namespace {
 
 void run_dataset(const char* name, const std::vector<trace::TraceLog>& traces) {
   std::size_t hos = 0;
-  Seconds minutes = 0.0;
+  Seconds minutes{0.0};
   for (const trace::TraceLog& t : traces) {
     hos += t.handovers.size();
     minutes += t.duration() / 60.0;
   }
   std::printf("\n[%s]  %zu traces, %.0f minutes, %zu HOs\n", name, traces.size(),
-              minutes, hos);
+              minutes.v, hos);
   std::printf("  %-12s %8s %10s %8s %9s\n", "method", "F1", "precision", "recall",
               "accuracy");
   for (const analysis::MethodResult& r : analysis::evaluate_predictors(traces)) {
@@ -43,11 +43,11 @@ int main(int argc, char** argv) {
   const bool full = argc > 1 && std::strcmp(argv[1], "full") == 0;
   bench::print_header("Table 3: HO prediction on D1 / D2");
   if (full) {
-    run_dataset("D1", analysis::make_d1(7, 2100.0));
-    run_dataset("D2", analysis::make_d2(10, 1500.0));
+    run_dataset("D1", analysis::make_d1(7, Seconds{2100.0}));
+    run_dataset("D2", analysis::make_d2(10, Seconds{1500.0}));
   } else {
-    run_dataset("D1", analysis::make_d1(4, 1050.0));
-    run_dataset("D2", analysis::make_d2(5, 900.0));
+    run_dataset("D1", analysis::make_d1(4, Seconds{1050.0}));
+    run_dataset("D2", analysis::make_d2(5, Seconds{900.0}));
   }
   std::printf("\n  paper: Prognos 0.92-0.94 F1; GBC 0.40-0.48; LSTM 0.24-0.28.\n");
   p5g::obs::export_from_args(argc, argv, "bench_table3_prediction");

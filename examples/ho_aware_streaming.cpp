@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   drive.nr_band = radio::Band::kNrLow;
   drive.mobility = sim::MobilityKind::kCity;
   drive.speed_kmh = 45.0;
-  drive.duration = 1200.0;
+  drive.duration = Seconds{1200.0};
   drive.traffic_mode = tput::TrafficMode::kDual;  // LTE leg keeps the floor up
   drive.seed = 2024;
   const trace::TraceLog log = sim::run_scenario(drive);
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   // 3. Stream the 16K video over every qualifying 240-second window.
   const apps::LinkEmulator link = apps::LinkEmulator::from_trace(log);
   const apps::VideoProfile video = apps::panoramic_16k_profile();
-  const auto windows = apps::window_starts(log, 240.0, 120.0, 400.0, 2.0);
+  const auto windows = apps::window_starts(log, Seconds{240.0}, Seconds{120.0}, 400.0, 2.0);
   std::printf("streaming %zu windows of 240 s each\n\n", windows.size());
 
   struct Arm {

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   drive.nr_band = radio::Band::kNrLow;
   drive.mobility = sim::MobilityKind::kFreeway;
   drive.speed_kmh = 110.0;
-  drive.duration = 300.0;
+  drive.duration = Seconds{300.0};
   drive.seed = 77;
   const trace::TraceLog log = sim::run_scenario(drive);
 
@@ -42,25 +42,25 @@ int main(int argc, char** argv) {
     // Print prediction onsets (not every tick they persist).
     if (p.ho != last_prediction) {
       if (p.ho) {
-        std::printf("%7.2fs  PREDICT %s within ~1 s (ho_score %.2f%s)\n", tick.time,
+        std::printf("%7.2fs  PREDICT %s within ~1 s (ho_score %.2f%s)\n", tick.time.v,
                     ran::ho_name(*p.ho).data(), p.ho_score,
                     p.from_predicted_reports ? ", from forecasted MRs" : "");
       }
       last_prediction = p.ho;
     }
     for (const ran::MeasurementReport& r : tick.reports) {
-      std::printf("%7.2fs    MR %s on %s leg\n", tick.time,
+      std::printf("%7.2fs    MR %s on %s leg\n", tick.time.v,
                   ran::event_name(r.event).data(),
                   r.scope == ran::MeasScope::kServingNr ? "NR" : "LTE");
     }
     for (const ran::HandoverRecord& h : tick.ho_started) {
-      std::printf("%7.2fs  >> HO %s (T1 %.0f ms, T2 %.0f ms)\n", tick.time,
-                  ran::ho_name(h.type).data(), h.timing.t1_ms, h.timing.t2_ms);
+      std::printf("%7.2fs  >> HO %s (T1 %.0f ms, T2 %.0f ms)\n", tick.time.v,
+                  ran::ho_name(h.type).data(), h.timing.t1_ms.v, h.timing.t2_ms.v);
     }
   }
 
   std::printf("\n%zu handovers in %.0f s; patterns learned online: %ld\n",
-              log.handovers.size(), log.duration(),
+              log.handovers.size(), log.duration().v,
               prognos.learner().patterns_learned_total());
   p5g::obs::export_from_args(argc, argv, "live_prediction");
   p5g::trace::export_trace_from_args(argc, argv, "live_prediction");

@@ -24,14 +24,14 @@ int main(int argc, char** argv) {
   scenario.nr_band = radio::Band::kNrLow;
   scenario.mobility = sim::MobilityKind::kFreeway;
   scenario.speed_kmh = 110.0;
-  scenario.duration = 900.0;  // 15 minutes
+  scenario.duration = Seconds{900.0};  // 15 minutes
   scenario.seed = 42;
 
   // 2. Run it.
   const trace::TraceLog log = sim::run_scenario(scenario);
   std::printf("drive: %.1f km in %.1f min, %zu ticks @ %.0f Hz\n",
-              m_to_km(log.distance()), log.duration() / 60.0, log.ticks.size(),
-              log.tick_hz);
+              m_to_km(log.distance()), log.duration().v / 60.0, log.ticks.size(),
+              log.tick_hz.v);
 
   // 3. Handover statistics.
   std::printf("\nhandovers (%zu total, one every %.2f km):\n", log.handovers.size(),
@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   const analysis::PrognosRunResult result = analysis::run_prognos({log}, opts);
   const std::vector<int> truth = analysis::ground_truth(log);
   const ml::EventScores scores = ml::score_events(
-      truth, result.predicted, static_cast<std::size_t>(1.5 * log.tick_hz));
+      truth, result.predicted, static_cast<std::size_t>(1.5 * log.tick_hz.v));
   std::printf("\nPrognos: F1 %.3f  precision %.3f  recall %.3f  (%zu/%zu HOs matched)\n",
               scores.scores.f1, scores.scores.precision, scores.scores.recall,
               scores.matched, scores.true_events);

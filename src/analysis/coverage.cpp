@@ -5,25 +5,25 @@
 namespace p5g::analysis {
 namespace {
 
-constexpr Meters kMinSegment = 20.0;  // discard micro-segments (noise)
+constexpr Meters kMinSegment{20.0};  // discard micro-segments (noise)
 
 }  // namespace
 
 std::vector<double> nr_dwell_distances(const trace::TraceLog& log, DwellMode mode) {
   std::vector<double> out;
   int cur_pci = -1;
-  Meters start = 0.0, last = 0.0;
+  Meters start{0.0}, last{0.0};
   bool open = false;
 
-  auto close = [&]() {
-    if (open && last - start >= kMinSegment) out.push_back(last - start);
+  auto close_segment = [&]() {
+    if (open && last - start >= kMinSegment) out.push_back((last - start).v);
     open = false;
   };
 
   for (const trace::TickRecord& t : log.ticks) {
     if (!t.nr_attached) {
       if (mode == DwellMode::kActual) {
-        close();
+        close_segment();
         cur_pci = -1;
       }
       // kIdealSamePci: keep the segment open across the gap; it survives
@@ -38,7 +38,7 @@ std::vector<double> nr_dwell_distances(const trace::TraceLog& log, DwellMode mod
       continue;
     }
     if (t.nr_pci != cur_pci) {
-      close();
+      close_segment();
       cur_pci = t.nr_pci;
       start = t.route_position;
       last = t.route_position;
@@ -47,26 +47,26 @@ std::vector<double> nr_dwell_distances(const trace::TraceLog& log, DwellMode mod
       last = t.route_position;
     }
   }
-  close();
+  close_segment();
   return out;
 }
 
 std::vector<double> lte_dwell_distances(const trace::TraceLog& log) {
   std::vector<double> out;
   int cur_pci = -1;
-  Meters start = 0.0, last = 0.0;
+  Meters start{0.0}, last{0.0};
   bool open = false;
   for (const trace::TickRecord& t : log.ticks) {
     if (t.lte_pci < 0) continue;
     if (!open || t.lte_pci != cur_pci) {
-      if (open && last - start >= kMinSegment) out.push_back(last - start);
+      if (open && last - start >= kMinSegment) out.push_back((last - start).v);
       cur_pci = t.lte_pci;
       start = t.route_position;
       open = true;
     }
     last = t.route_position;
   }
-  if (open && last - start >= kMinSegment) out.push_back(last - start);
+  if (open && last - start >= kMinSegment) out.push_back((last - start).v);
   return out;
 }
 
@@ -74,8 +74,8 @@ CoverageStats coverage_stats(const std::vector<double>& dwells) {
   CoverageStats s;
   s.segments = static_cast<int>(dwells.size());
   if (dwells.empty()) return s;
-  s.mean_m = stats::mean(dwells);
-  s.median_m = stats::median(dwells);
+  s.mean_m = Meters{stats::mean(dwells)};
+  s.median_m = Meters{stats::median(dwells)};
   return s;
 }
 

@@ -25,8 +25,8 @@ std::vector<double> nr_dwell_distances(const trace::TraceLog& log, DwellMode mod
 std::vector<double> lte_dwell_distances(const trace::TraceLog& log);
 
 struct CoverageStats {
-  double mean_m = 0.0;
-  double median_m = 0.0;
+  Meters mean_m{0.0};
+  Meters median_m{0.0};
   int segments = 0;
 };
 CoverageStats coverage_stats(const std::vector<double>& dwells);

@@ -94,7 +94,7 @@ std::vector<CarrierDataset> make_cross_country(double scale, std::uint64_t seed)
       s.nr_band = sp.nr_band;
       s.mobility = sp.mobility;
       s.speed_kmh = sp.speed_kmh;
-      s.duration = sp.minutes * 60.0 * scale;
+      s.duration = Seconds{sp.minutes * 60.0 * scale};
       s.seed = carrier_seed + 31u * static_cast<std::uint64_t>(i + 1);
       all_scenarios.push_back(std::move(s));
       all_labels.push_back(sp.label);
@@ -152,7 +152,7 @@ DatasetSummary summarize_dataset(const CarrierDataset& dataset) {
   for (std::size_t i = 0; i < dataset.segments.size(); ++i) {
     const DriveSegment& seg = dataset.segments[i];
     const trace::TraceLog& log = seg.log;
-    const double minutes = log.duration() / 60.0;
+    const double minutes = log.duration().v / 60.0;
     const Kilometers km = m_to_km(log.distance());
 
     if (seg.label == std::string("city")) s.city_km += km;
@@ -174,7 +174,8 @@ DatasetSummary summarize_dataset(const CarrierDataset& dataset) {
         case radio::Band::kNrLow: s.low_band_minutes += minutes; break;
         case radio::Band::kNrMid: s.mid_band_minutes += minutes; break;
         case radio::Band::kNrMmWave: s.mmwave_minutes += minutes; break;
-        default: break;
+        case radio::Band::kLteLow:
+        case radio::Band::kLteMid: break;  // LTE anchor: no NR dwell
       }
     }
 

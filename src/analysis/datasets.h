@@ -15,9 +15,9 @@ namespace p5g::analysis {
 
 // Walking-loop corpora for the prediction evaluation (§7.3). All loops of a
 // dataset traverse the same deployment (the paper walks the same loop).
-std::vector<trace::TraceLog> make_d1(int loops = 7, Seconds loop_duration = 2100.0,
+std::vector<trace::TraceLog> make_d1(int loops = 7, Seconds loop_duration = 2100.0_s,
                                      std::uint64_t seed = 11);
-std::vector<trace::TraceLog> make_d2(int loops = 10, Seconds loop_duration = 1500.0,
+std::vector<trace::TraceLog> make_d2(int loops = 10, Seconds loop_duration = 1500.0_s,
                                      std::uint64_t seed = 22);
 
 // One segment of the cross-country corpus.

@@ -82,7 +82,7 @@ FleetStats fleet_stats(const sim::FleetScenario& f, unsigned threads) {
     const int failed =
         u.trace.ho_prep_failure + u.trace.ho_exec_failure + u.trace.ho_rlf_reestablish;
     failure_rate.push_back(total > 0 ? static_cast<double>(failed) / total : 0.0);
-    interruption.push_back(u.trace.any_halted_s);
+    interruption.push_back(u.trace.any_halted_s.v);
     mean_tput.push_back(u.trace.mean_throughput_mbps);
   }
   out.ho_per_km = sample_stats(ho_per_km);

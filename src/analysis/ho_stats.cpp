@@ -52,9 +52,9 @@ std::map<ran::HoType, DurationStats> duration_by_type(
   std::map<ran::HoType, DurationStats> out;
   for (const ran::HandoverRecord& h : hos) {
     DurationStats& d = out[h.type];
-    d.t1_ms.push_back(h.timing.t1_ms);
-    d.t2_ms.push_back(h.timing.t2_ms);
-    d.total_ms.push_back(h.timing.total_ms());
+    d.t1_ms.push_back(h.timing.t1_ms.v);
+    d.t2_ms.push_back(h.timing.t2_ms.v);
+    d.total_ms.push_back(h.timing.total_ms().v);
   }
   return out;
 }
@@ -67,7 +67,7 @@ ColocationSplit colocation_split(const std::vector<ran::HandoverRecord>& hos) {
       continue;
     }
     ++nsa;
-    (h.colocated ? s.colocated_ms : s.non_colocated_ms).push_back(h.timing.total_ms());
+    (h.colocated ? s.colocated_ms : s.non_colocated_ms).push_back(h.timing.total_ms().v);
   }
   if (nsa > 0) {
     s.colocated_fraction = static_cast<double>(s.colocated_ms.size()) / nsa;
@@ -128,7 +128,7 @@ RetryStats retry_stats(const std::vector<ran::HandoverRecord>& hos) {
     }
   }
   if (executed > 0) s.mean_rach_attempts = static_cast<double>(attempts) / executed;
-  if (retried > 0) s.mean_backoff_ms = s.total_backoff_ms / retried;
+  if (retried > 0) s.mean_backoff_ms = s.total_backoff_ms / static_cast<double>(retried);
   return s;
 }
 

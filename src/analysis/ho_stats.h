@@ -76,9 +76,9 @@ std::map<radio::Band, OutcomeCounts> outcomes_by_band(
 struct RetryStats {
   double mean_rach_attempts = 0.0;  // over procedures that reached execution
   int max_rach_attempts = 0;
-  double total_backoff_ms = 0.0;
-  double mean_backoff_ms = 0.0;       // over retried procedures (attempts > 1)
-  double total_reestablish_ms = 0.0;  // summed re-establishment outage
+  Milliseconds total_backoff_ms{0.0};
+  Milliseconds mean_backoff_ms{0.0};       // over retried procedures (attempts > 1)
+  Milliseconds total_reestablish_ms{0.0};  // summed re-establishment outage
   int reestablishments = 0;
 };
 RetryStats retry_stats(const std::vector<ran::HandoverRecord>& hos);

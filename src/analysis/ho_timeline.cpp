@@ -19,16 +19,16 @@ ran::HandoverRecord reconstruct(HoTimeline& t) {
     switch (e.category) {
       case obs::EventCategory::kHoPrep: {
         t.has_prep = true;
-        rec.decision_time = e.t0;
-        rec.exec_start = e.t1;
+        rec.decision_time = Seconds{e.t0};
+        rec.exec_start = Seconds{e.t1};
         rec.src_pci = e.i0;
         rec.dst_pci = e.i1;
-        rec.route_position = e.a1;
+        rec.route_position = Meters{e.a1};
         break;
       }
       case obs::EventCategory::kHoExec: {
         t.has_exec = true;
-        rec.backoff_ms = e.a1;
+        rec.backoff_ms = Millis{e.a1};
         break;
       }
       case obs::EventCategory::kRlf: {
@@ -37,7 +37,7 @@ ran::HandoverRecord reconstruct(HoTimeline& t) {
           rlf_trigger = &e;
         } else {
           t.has_reestablish = true;
-          rec.reestablish_ms = e.a0;
+          rec.reestablish_ms = Millis{e.a0};
         }
         break;
       }
@@ -47,14 +47,20 @@ ran::HandoverRecord reconstruct(HoTimeline& t) {
         rec.outcome = code.outcome;
         rec.src_band = code.src_band;
         rec.dst_band = code.dst_band;
-        rec.complete_time = e.t0;
-        rec.timing.t1_ms = e.a0;
-        rec.timing.t2_ms = e.a1;
+        rec.complete_time = Seconds{e.t0};
+        rec.timing.t1_ms = Millis{e.a0};
+        rec.timing.t2_ms = Millis{e.a1};
         rec.colocated = e.i0 != 0;
         rec.rach_attempts = e.i1;
         break;
       }
-      default:
+      case obs::EventCategory::kRachRetry:
+      case obs::EventCategory::kTick:
+      case obs::EventCategory::kMmObserve:
+      case obs::EventCategory::kMmDecide:
+      case obs::EventCategory::kPoolTask:
+      case obs::EventCategory::kCheckpoint:
+      case obs::EventCategory::kAppOutage:
         break;  // rach.retry etc. duplicate fields already carried above
     }
   }
@@ -62,12 +68,12 @@ ran::HandoverRecord reconstruct(HoTimeline& t) {
   // sits exactly at decision_time == exec_start (the rlf SPAN's start is a
   // derived subtraction, so prefer the instant — it is the emitted t).
   if (!t.has_prep && rlf_trigger != nullptr) {
-    rec.decision_time = rlf_trigger->t0;
-    rec.exec_start = rlf_trigger->t0;
+    rec.decision_time = Seconds{rlf_trigger->t0};
+    rec.exec_start = Seconds{rlf_trigger->t0};
     rec.src_pci = rlf_trigger->i0;
     rec.dst_pci = rlf_trigger->i1;
-    rec.route_position = rlf_trigger->a1;
-    rec.reestablish_ms = rlf_trigger->a0;
+    rec.route_position = Meters{rlf_trigger->a1};
+    rec.reestablish_ms = Millis{rlf_trigger->a0};
   }
   return rec;
 }
@@ -80,9 +86,15 @@ bool is_ho_event(const obs::Event& e) {
     case obs::EventCategory::kRlf:
     case obs::EventCategory::kRachRetry:
       return true;
-    default:
+    case obs::EventCategory::kTick:
+    case obs::EventCategory::kMmObserve:
+    case obs::EventCategory::kMmDecide:
+    case obs::EventCategory::kPoolTask:
+    case obs::EventCategory::kCheckpoint:
+    case obs::EventCategory::kAppOutage:
       return false;
   }
+  return false;  // unreachable: all enumerators handled above
 }
 
 }  // namespace
@@ -135,11 +147,11 @@ PhaseDurations phase_durations(const std::vector<HoTimeline>& timelines) {
   d.t2_ms.reserve(timelines.size());
   d.total_ms.reserve(timelines.size());
   for (const HoTimeline& t : timelines) {
-    d.t1_ms.push_back(t.record.timing.t1_ms);
-    d.t2_ms.push_back(t.record.timing.t2_ms);
-    d.total_ms.push_back(t.record.timing.total_ms());
+    d.t1_ms.push_back(t.record.timing.t1_ms.v);
+    d.t2_ms.push_back(t.record.timing.t2_ms.v);
+    d.total_ms.push_back(t.record.timing.total_ms().v);
     if (t.record.outcome == ran::HoOutcome::kRlfReestablish) {
-      d.reestablish_ms.push_back(t.record.reestablish_ms);
+      d.reestablish_ms.push_back(t.record.reestablish_ms.v);
     }
   }
   return d;
@@ -163,30 +175,30 @@ std::string describe_timeline(const HoTimeline& t) {
   if (t.has_prep) {
     std::snprintf(line, sizeof line,
                   "  prep         %10.4f .. %10.4f s   T1 %8.3f ms\n",
-                  r.decision_time, r.exec_start, r.timing.t1_ms);
+                  r.decision_time.v, r.exec_start.v, r.timing.t1_ms.v);
     emit();
   }
   if (t.has_rlf_trigger) {
     std::snprintf(line, sizeof line,
-                  "  rlf trigger  %10.4f s (T310 expiry)\n", r.decision_time);
+                  "  rlf trigger  %10.4f s (T310 expiry)\n", r.decision_time.v);
     emit();
   }
   if (t.has_exec) {
     std::snprintf(line, sizeof line,
                   "  exec         %10.4f s              T2 %8.3f ms  "
                   "(rach x%d, backoff %.3f ms)\n",
-                  r.exec_start, r.timing.t2_ms, r.rach_attempts, r.backoff_ms);
+                  r.exec_start.v, r.timing.t2_ms.v, r.rach_attempts, r.backoff_ms.v);
     emit();
   }
   if (t.has_reestablish) {
     std::snprintf(line, sizeof line,
                   "  reestablish  ends %10.4f s         %8.3f ms\n",
-                  r.complete_time, r.reestablish_ms);
+                  r.complete_time.v, r.reestablish_ms.v);
     emit();
   }
   std::snprintf(line, sizeof line,
                 "  complete     %10.4f s              total %8.3f ms\n",
-                r.complete_time, r.timing.total_ms());
+                r.complete_time.v, r.timing.total_ms().v);
   emit();
   return out;
 }

@@ -10,10 +10,10 @@ namespace {
 // Mean throughput over [t_lo, t_hi) in the trace (ticks are uniform).
 double window_mean(const trace::TraceLog& log, Seconds t_lo, Seconds t_hi) {
   if (log.ticks.empty() || t_hi <= t_lo) return 0.0;
-  const double hz = log.tick_hz;
+  const double hz = log.tick_hz.v;
   const Seconds t0 = log.ticks.front().time;
   auto idx_of = [&](Seconds t) {
-    const long i = static_cast<long>((t - t0) * hz);
+    const long i = static_cast<long>((t - t0).v * hz);
     return std::clamp(i, 0L, static_cast<long>(log.ticks.size()) - 1);
   };
   const long lo = idx_of(t_lo), hi = idx_of(t_hi);
@@ -41,8 +41,8 @@ std::map<ran::HoType, double> calibrate_ho_scores(const trace::TraceLog& log) {
   std::map<ran::HoType, double> out;
   std::map<ran::HoType, std::vector<double>> ratios;
   for (const ran::HandoverRecord& h : log.handovers) {
-    const double pre = window_mean(log, h.decision_time - 1.0, h.decision_time);
-    const double post = window_mean(log, h.complete_time, h.complete_time + 1.0);
+    const double pre = window_mean(log, h.decision_time - 1.0_s, h.decision_time);
+    const double post = window_mean(log, h.complete_time, h.complete_time + 1.0_s);
     if (pre > 1.0) ratios[h.type].push_back(post / pre);
   }
   for (auto& [type, rs] : ratios) {

@@ -18,7 +18,7 @@ struct PhaseThroughput {
 
 // Per-HO-type phase throughput distributions over a trace.
 std::map<ran::HoType, PhaseThroughput> phase_throughput(const trace::TraceLog& log,
-                                                        Seconds window = 1.0);
+                                                        Seconds window = 1.0_s);
 
 // Median post/pre ratio per HO type — the empirical ho_score table.
 std::map<ran::HoType, double> calibrate_ho_scores(const trace::TraceLog& log);

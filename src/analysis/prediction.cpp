@@ -18,10 +18,10 @@ std::vector<int> ground_truth(const trace::TraceLog& log, Seconds horizon) {
   std::vector<int> labels(log.ticks.size(), 0);
   if (log.ticks.empty()) return labels;
   const Seconds t0 = log.ticks.front().time;
-  const double hz = log.tick_hz;
+  const double hz = log.tick_hz.v;
   for (const ran::HandoverRecord& h : log.handovers) {
-    const long hi = static_cast<long>((h.decision_time - t0) * hz);
-    const long lo = hi - static_cast<long>(horizon * hz);
+    const long hi = static_cast<long>((h.decision_time - t0).v * hz);
+    const long lo = hi - static_cast<long>(horizon.v * hz);
     for (long i = std::max(lo, 0L); i < std::min(hi, static_cast<long>(labels.size()));
          ++i) {
       if (labels[static_cast<std::size_t>(i)] == 0) {
@@ -67,7 +67,7 @@ PrognosRunResult run_prognos(const std::vector<trace::TraceLog>& traces,
   if (options.bootstrap) prognos.bootstrap_with_frequent_patterns();
 
   std::vector<int> truth_all;
-  Seconds offset = 0.0;
+  Seconds offset{0.0};
   std::vector<std::pair<Seconds, bool>> minute_marks;  // (global time, _)
 
   for (const trace::TraceLog& log : traces) {
@@ -82,24 +82,24 @@ PrognosRunResult run_prognos(const std::vector<trace::TraceLog>& traces,
     }
 
     // Lead times: earliest correct prediction before each HO decision.
-    const double hz = log.tick_hz;
+    const double hz = log.tick_hz.v;
     const std::size_t base = out.predicted.size() - log.ticks.size();
     const Seconds t0 = log.ticks.front().time;
     for (const ran::HandoverRecord& h : log.handovers) {
-      const long dec = static_cast<long>((h.decision_time - t0) * hz);
+      const long dec = static_cast<long>((h.decision_time - t0).v * hz);
       const long lo = std::max(0L, dec - static_cast<long>(2.0 * hz));
       for (long i = lo; i <= dec && i < static_cast<long>(log.ticks.size()); ++i) {
         if (out.predicted[base + static_cast<std::size_t>(i)] == ho_class(h.type)) {
-          out.lead_times_s.push_back(h.decision_time - log.ticks[static_cast<std::size_t>(i)].time);
+          out.lead_times_s.push_back((h.decision_time - log.ticks[static_cast<std::size_t>(i)].time).v);
           break;
         }
       }
     }
-    offset += log.ticks.back().time + 1.0 / log.tick_hz;
+    offset += log.ticks.back().time + Seconds{1.0 / log.tick_hz.v};
   }
 
   // Rolling event-F1 per minute over a trailing 5-minute window.
-  const double hz = traces.front().tick_hz;
+  const double hz = traces.front().tick_hz.v;
   const auto win = static_cast<std::size_t>(5.0 * 60.0 * hz);
   const auto step = static_cast<std::size_t>(60.0 * hz);
   for (std::size_t end = step; end <= truth_all.size(); end += step) {
@@ -117,7 +117,7 @@ PrognosRunResult run_prognos(const std::vector<trace::TraceLog>& traces,
 }
 
 std::vector<double> gbc_features(const trace::TickRecord& tick) {
-  double best_lte_nbr = -140.0, best_nr_nbr = -140.0;
+  Dbm best_lte_nbr{-140.0}, best_nr_nbr{-140.0};
   int nr_neighbors = 0;
   for (const trace::ObservedCell& o : tick.observed) {
     const bool is_nr = radio::band_rat(o.band) == radio::Rat::kNr;
@@ -128,18 +128,18 @@ std::vector<double> gbc_features(const trace::TickRecord& tick) {
       best_lte_nbr = o.rrs.rsrp;
     }
   }
-  const double nr_rsrp = tick.nr_attached ? tick.nr_rrs.rsrp : -140.0;
+  const Dbm nr_rsrp = tick.nr_attached ? tick.nr_rrs.rsrp : -140.0_dbm;
   return {
-      tick.lte_rrs.rsrp,
-      tick.lte_rrs.rsrq,
-      tick.lte_rrs.sinr,
-      nr_rsrp,
-      tick.nr_attached ? tick.nr_rrs.sinr : -20.0,
+      tick.lte_rrs.rsrp.v,
+      tick.lte_rrs.rsrq.v,
+      tick.lte_rrs.sinr.v,
+      nr_rsrp.v,
+      tick.nr_attached ? tick.nr_rrs.sinr.v : -20.0,
       tick.nr_attached ? 1.0 : 0.0,
-      best_lte_nbr,
-      best_nr_nbr,
-      best_lte_nbr - tick.lte_rrs.rsrp,
-      best_nr_nbr - nr_rsrp,
+      best_lte_nbr.v,
+      best_nr_nbr.v,
+      (best_lte_nbr - tick.lte_rrs.rsrp).v,
+      (best_nr_nbr - nr_rsrp).v,
       tick.speed_mps,
       static_cast<double>(nr_neighbors),
   };
@@ -205,8 +205,8 @@ std::vector<int> run_lstm(const std::vector<trace::TraceLog>& traces, double tra
   auto features = [](const trace::TickRecord& t) {
     // Location-centric features (Ozturk et al. use mobility/position).
     return std::vector<double>{t.position.x / 1000.0, t.position.y / 1000.0,
-                               t.speed_mps / 10.0, (t.lte_rrs.rsrp + 100.0) / 20.0,
-                               ((t.nr_attached ? t.nr_rrs.rsrp : -140.0) + 100.0) / 20.0};
+                               t.speed_mps / 10.0, (t.lte_rrs.rsrp.v + 100.0) / 20.0,
+                               ((t.nr_attached ? t.nr_rrs.rsrp.v : -140.0) + 100.0) / 20.0};
   };
 
   std::vector<ml::Sequence> seqs;
@@ -268,7 +268,7 @@ std::vector<MethodResult> evaluate_predictors(const std::vector<trace::TraceLog>
   // Tolerance: a predicted event counts when its onset is within 1.5x the
   // horizon of the true onset (predictions are made up to `horizon` early).
   const auto tolerance =
-      static_cast<std::size_t>(1.5 * traces.front().tick_hz * horizon);
+      static_cast<std::size_t>(1.5 * traces.front().tick_hz.v * horizon.v);
   auto test_slice = [&](const std::vector<int>& v) {
     return std::span<const int>(v).subspan(test_begin);
   };

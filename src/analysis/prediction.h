@@ -27,12 +27,12 @@ int ho_class(ran::HoType t);
 ran::HoType class_ho(int cls);
 
 // Per-tick ground-truth labels for one trace.
-std::vector<int> ground_truth(const trace::TraceLog& log, Seconds horizon = 1.0);
+std::vector<int> ground_truth(const trace::TraceLog& log, Seconds horizon = 1.0_s);
 
 struct PrognosRunOptions {
   core::Prognos::Config config{};
   bool bootstrap = false;
-  Seconds horizon = 1.0;
+  Seconds horizon{1.0};
 };
 
 struct PrognosRunResult {
@@ -41,7 +41,7 @@ struct PrognosRunResult {
   std::vector<double> f1_over_time;     // rolling event-F1 per minute
   long patterns_learned = 0;
   long patterns_evicted = 0;
-  Seconds duration = 0.0;
+  Seconds duration{0.0};
 };
 // Runs Prognos over traces sequentially (continuous incremental learning).
 // Results are concatenated in trace order.
@@ -51,9 +51,9 @@ PrognosRunResult run_prognos(const std::vector<trace::TraceLog>& traces,
 // Offline baselines. Both are trained on the first `train_frac` of traces
 // and emit predictions for ALL ticks (callers slice out the test portion).
 std::vector<int> run_gbc(const std::vector<trace::TraceLog>& traces,
-                         double train_frac, Seconds horizon = 1.0);
+                         double train_frac, Seconds horizon = 1.0_s);
 std::vector<int> run_lstm(const std::vector<trace::TraceLog>& traces,
-                          double train_frac, Seconds horizon = 1.0);
+                          double train_frac, Seconds horizon = 1.0_s);
 
 // Feature extraction shared with tests.
 std::vector<double> gbc_features(const trace::TickRecord& tick);
@@ -67,6 +67,6 @@ struct MethodResult {
 // the ticks belonging to the last (1 - train_frac) traces.
 std::vector<MethodResult> evaluate_predictors(const std::vector<trace::TraceLog>& traces,
                                               double train_frac = 0.6,
-                                              Seconds horizon = 1.0);
+                                              Seconds horizon = 1.0_s);
 
 }  // namespace p5g::analysis

@@ -9,9 +9,9 @@ VideoProfile panoramic_16k_profile() {
   VideoProfile v;
   // 720p, 1080p, 2K, 4K, 8K, 16K panoramic encodings.
   v.bitrates_mbps = {6.0, 12.0, 24.0, 48.0, 110.0, 240.0};
-  v.chunk_duration = 2.0;
+  v.chunk_duration = 2.0_s;
   v.chunks = 60;  // 120 s total
-  v.buffer_capacity = 30.0;
+  v.buffer_capacity = 30.0_s;
   return v;
 }
 
@@ -65,11 +65,11 @@ double MpcAbr::plan(const AbrState& state, const VideoProfile& video, int level,
                     int depth, Seconds buffer, int prev_level, Mbps tput) const {
   const double bitrate = video.bitrates_mbps[static_cast<std::size_t>(level)];
   const Seconds download = bitrate * video.chunk_duration / std::max(tput, 0.01);
-  const Seconds stall = std::max(0.0, download - buffer);
-  Seconds new_buffer = std::max(0.0, buffer - download) + video.chunk_duration;
+  const Seconds stall = std::max(0.0_s, download - buffer);
+  Seconds new_buffer = std::max(0.0_s, buffer - download) + video.chunk_duration;
   new_buffer = std::min(new_buffer, video.buffer_capacity);
 
-  double value = quality_utility(video, level) - kRebufferPenalty * stall -
+  double value = quality_utility(video, level) - kRebufferPenalty * stall.v -
                  kSmoothPenalty * std::abs(quality_utility(video, level) -
                                            quality_utility(video, prev_level));
   if (depth + 1 < horizon_ && state.next_chunk + depth + 1 < video.chunks) {

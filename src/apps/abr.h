@@ -16,9 +16,9 @@ namespace p5g::apps {
 
 struct VideoProfile {
   std::vector<double> bitrates_mbps;  // one per quality level, ascending
-  Seconds chunk_duration = 2.0;
+  Seconds chunk_duration{2.0};
   int chunks = 60;
-  Seconds buffer_capacity = 30.0;
+  Seconds buffer_capacity{30.0};
 };
 
 // The paper's 16K panoramic VoD: 6 levels (720p..16K), 60 chunks, 120 s.
@@ -41,7 +41,7 @@ class ThroughputEstimator {
 };
 
 struct AbrState {
-  Seconds buffer_level = 0.0;
+  Seconds buffer_level{0.0};
   int prev_level = 0;
   int next_chunk = 0;
   Mbps predicted_tput = 0.0;  // already ho_score-corrected

@@ -27,8 +27,8 @@ std::vector<char> near_flags(const trace::TraceLog& log, Seconds lookahead) {
   if (log.ticks.empty()) return flags;
   const Seconds t0 = log.ticks.front().time;
   for (const ran::HandoverRecord& h : log.handovers) {
-    const long hi = static_cast<long>((h.complete_time - t0) * log.tick_hz);
-    const long lo = static_cast<long>((h.decision_time - lookahead - t0) * log.tick_hz);
+    const long hi = static_cast<long>((h.complete_time - t0).v * log.tick_hz.v);
+    const long lo = static_cast<long>((h.decision_time - lookahead - t0).v * log.tick_hz.v);
     for (long i = std::max(0L, lo); i <= hi && i < static_cast<long>(flags.size()); ++i) {
       flags[static_cast<std::size_t>(i)] = 1;
     }
@@ -42,7 +42,7 @@ HoSignal ground_truth_signal(const trace::TraceLog& log,
                              const std::map<ran::HoType, double>& scores,
                              Seconds lookahead) {
   HoSignal s;
-  s.dt = 1.0 / log.tick_hz;
+  s.dt = Seconds{1.0 / log.tick_hz.v};
   s.score.assign(log.ticks.size(), 1.0);
   s.ho_near = near_flags(log, lookahead);
   if (log.ticks.empty()) return s;
@@ -53,8 +53,8 @@ HoSignal ground_truth_signal(const trace::TraceLog& log,
     // actually up would overshoot the throughput prediction and stall.
     const double score =
         std::clamp(it == scores.end() ? 1.0 : it->second, 0.1, 2.5);
-    const long hi = static_cast<long>((h.complete_time - t0) * log.tick_hz);
-    const long lo = static_cast<long>((h.decision_time - lookahead - t0) * log.tick_hz);
+    const long hi = static_cast<long>((h.complete_time - t0).v * log.tick_hz.v);
+    const long lo = static_cast<long>((h.decision_time - lookahead - t0).v * log.tick_hz.v);
     for (long i = std::max(0L, lo); i <= hi && i < static_cast<long>(s.score.size());
          ++i) {
       s.score[static_cast<std::size_t>(i)] = score;
@@ -66,7 +66,7 @@ HoSignal ground_truth_signal(const trace::TraceLog& log,
 HoSignal prognos_signal(const trace::TraceLog& log, const core::Prognos::Config& config,
                         bool bootstrap, Seconds lookahead) {
   HoSignal s;
-  s.dt = 1.0 / log.tick_hz;
+  s.dt = Seconds{1.0 / log.tick_hz.v};
   s.score.assign(log.ticks.size(), 1.0);
   s.ho_near = near_flags(log, lookahead);
 

@@ -15,7 +15,7 @@ namespace p5g::apps {
 struct HoSignal {
   std::vector<double> score;  // per tick; 1.0 = no HO expected
   std::vector<char> ho_near;  // ground truth: HO decision within lookahead
-  Seconds dt = 0.05;
+  Seconds dt{0.05};
 
   double score_at(Seconds t) const;
   bool near_at(Seconds t) const;
@@ -25,11 +25,11 @@ struct HoSignal {
 // the `lookahead` seconds before each HO decision.
 HoSignal ground_truth_signal(const trace::TraceLog& log,
                              const std::map<ran::HoType, double>& scores,
-                             Seconds lookahead = 1.0);
+                             Seconds lookahead = 1.0_s);
 
 // Prognos signal: run the predictor over the trace and take its ho_score
 // output. ho_near flags still come from ground truth.
 HoSignal prognos_signal(const trace::TraceLog& log, const core::Prognos::Config& config,
-                        bool bootstrap = true, Seconds lookahead = 1.0);
+                        bool bootstrap = true, Seconds lookahead = 1.0_s);
 
 }  // namespace p5g::apps

@@ -11,7 +11,7 @@ LinkEmulator::LinkEmulator(std::vector<double> mbps, Seconds dt)
     : mbps_(std::move(mbps)), dt_(dt) {}
 
 LinkEmulator LinkEmulator::from_trace(const trace::TraceLog& log) {
-  return LinkEmulator(trace::throughput_series(log), 1.0 / log.tick_hz);
+  return LinkEmulator(trace::throughput_series(log), Seconds{1.0 / log.tick_hz.v});
 }
 
 Seconds LinkEmulator::duration() const {
@@ -26,31 +26,31 @@ Mbps LinkEmulator::rate_at(Seconds t) const {
 }
 
 Seconds LinkEmulator::transfer_time(Seconds start, double megabits) const {
-  if (mbps_.empty()) return 1e9;
+  if (mbps_.empty()) return Seconds{1e9};
   double remaining = megabits;
-  Seconds t = std::max(start, 0.0);
+  Seconds t = std::max(start, 0.0_s);
   auto idx = static_cast<std::size_t>(t / dt_);
   // Partial first slot.
   while (idx < mbps_.size() && remaining > 0.0) {
     const Seconds slot_end = static_cast<double>(idx + 1) * dt_;
     const Seconds avail = slot_end - t;
-    const double can_move = std::max(mbps_[idx], 0.01) * avail;
+    const double can_move = std::max(mbps_[idx], 0.01) * avail.v;
     if (can_move >= remaining) {
-      return (t + remaining / std::max(mbps_[idx], 0.01)) - start;
+      return (t + Seconds{remaining / std::max(mbps_[idx], 0.01)}) - start;
     }
     remaining -= can_move;
     t = slot_end;
     ++idx;
   }
   // Ran off the end: extrapolate with the mean of the last second.
-  const Mbps tail = average_rate(duration() - 1.0, 1.0);
-  return (t - start) + remaining / std::max(tail, 0.01);
+  const Mbps tail = average_rate(duration() - 1.0_s, 1.0_s);
+  return (t - start) + Seconds{remaining / std::max(tail, 0.01)};
 }
 
 Mbps LinkEmulator::average_rate(Seconds start, Seconds window) const {
-  if (mbps_.empty() || window <= 0.0) return 0.0;
-  const auto lo = static_cast<long>(std::max(start, 0.0) / dt_);
-  const auto hi = static_cast<long>(std::max(start + window, 0.0) / dt_);
+  if (mbps_.empty() || window <= 0.0_s) return 0.0;
+  const auto lo = static_cast<long>(std::max(start, 0.0_s) / dt_);
+  const auto hi = static_cast<long>(std::max(start + window, 0.0_s) / dt_);
   double acc = 0.0;
   long n = 0;
   for (long i = lo; i <= hi && i < static_cast<long>(mbps_.size()); ++i, ++n) {
@@ -60,7 +60,7 @@ Mbps LinkEmulator::average_rate(Seconds start, Seconds window) const {
 }
 
 Seconds LinkEmulator::outage_seconds(Seconds start, Seconds window, Mbps floor) const {
-  Seconds outage = 0.0;
+  Seconds outage{0.0};
   for (const OutageSpan& s : outage_spans(start, window, floor)) {
     // Accumulate dt per bin (not bins * dt): bit-for-bit the sum the
     // pre-span implementation produced, so callers' figures don't move.
@@ -72,9 +72,9 @@ Seconds LinkEmulator::outage_seconds(Seconds start, Seconds window, Mbps floor) 
 std::vector<LinkEmulator::OutageSpan> LinkEmulator::outage_spans(
     Seconds start, Seconds window, Mbps floor) const {
   std::vector<OutageSpan> out;
-  if (mbps_.empty() || window <= 0.0) return out;
-  const auto lo = static_cast<long>(std::max(start, 0.0) / dt_);
-  const auto hi = static_cast<long>(std::max(start + window, 0.0) / dt_);
+  if (mbps_.empty() || window <= 0.0_s) return out;
+  const auto lo = static_cast<long>(std::max(start, 0.0_s) / dt_);
+  const auto hi = static_cast<long>(std::max(start + window, 0.0_s) / dt_);
   for (long i = lo; i < hi && i < static_cast<long>(mbps_.size()); ++i) {
     if (mbps_[static_cast<std::size_t>(i)] > floor) continue;
     const Seconds bin_start = static_cast<double>(i) * dt_;
@@ -98,10 +98,10 @@ void LinkEmulator::emit_outage_events(std::uint32_t ue, Seconds start,
     obs::Event e;
     e.kind = obs::EventKind::kSpan;
     e.category = obs::EventCategory::kAppOutage;
-    e.t0 = s.start;
-    e.t1 = s.end;
+    e.t0 = s.start.v;
+    e.t1 = s.end.v;
     e.a0 = floor;
-    e.a1 = s.end - s.start;
+    e.a1 = (s.end - s.start).v;
     e.i0 = static_cast<std::int32_t>(s.bins);
     obs::event_log().emit(e);
   }
@@ -113,9 +113,9 @@ std::vector<LinkEmulator> sliding_windows(const trace::TraceLog& log, Seconds wi
                                           Mbps min_floor) {
   std::vector<LinkEmulator> out;
   const std::vector<double> series = trace::throughput_series(log);
-  const double dt = 1.0 / log.tick_hz;
-  const auto win = static_cast<std::size_t>(window_s / dt);
-  const auto stride = static_cast<std::size_t>(stride_s / dt);
+  const double dt = 1.0 / log.tick_hz.v;
+  const auto win = static_cast<std::size_t>(window_s.v / dt);
+  const auto stride = static_cast<std::size_t>(stride_s.v / dt);
   if (win == 0 || stride == 0) return out;
   for (std::size_t begin = 0; begin + win <= series.size(); begin += stride) {
     const auto first = series.begin() + static_cast<long>(begin);
@@ -123,7 +123,7 @@ std::vector<LinkEmulator> sliding_windows(const trace::TraceLog& log, Seconds wi
     const double avg = std::accumulate(first, last, 0.0) / static_cast<double>(win);
     const double mn = *std::min_element(first, last);
     if (avg >= max_avg || mn <= min_floor) continue;
-    out.emplace_back(std::vector<double>(first, last), dt);
+    out.emplace_back(std::vector<double>(first, last), Seconds{dt});
   }
   return out;
 }

@@ -37,8 +37,8 @@ class LinkEmulator {
   // the structure behind the scalar above (outage_seconds sums exactly
   // these spans' bins). `bins` is the number of dt-slots in the span.
   struct OutageSpan {
-    Seconds start = 0.0;
-    Seconds end = 0.0;
+    Seconds start{0.0};
+    Seconds end{0.0};
     std::size_t bins = 0;
   };
   std::vector<OutageSpan> outage_spans(Seconds start, Seconds window,

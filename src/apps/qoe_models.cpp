@@ -18,15 +18,15 @@ ConferencingSample conferencing_sample(const trace::TickRecord& tick, Rng& rng) 
   ConferencingSample s;
   // One-way latency ~ RTT/2 + capture/encode/decode (~55 ms) + jitter
   // buffer adaptation.
-  s.video_latency_ms = tick.rtt_ms / 2.0 + 55.0 + rng.exponential(8.0);
+  s.video_latency_ms = Millis{tick.rtt_ms.v / 2.0 + 55.0 + rng.exponential(8.0)};
   s.packet_loss_pct = std::max(0.0, rng.normal(0.4, 0.25));
   if (data_plane_halted(tick)) {
     // Media queues for the interruption; the jitter buffer overflows.
-    s.video_latency_ms += rng.uniform(400.0, 2000.0);
+    s.video_latency_ms += Millis{rng.uniform(400.0, 2000.0)};
     s.packet_loss_pct += rng.uniform(1.0, 12.0);
-  } else if (tick.rtt_ms > 80.0) {
+  } else if (tick.rtt_ms > 80.0_ms) {
     // Congestion episodes lose a little media too.
-    s.packet_loss_pct += (tick.rtt_ms - 80.0) * 0.05;
+    s.packet_loss_pct += (tick.rtt_ms.v - 80.0) * 0.05;
   }
   // Very low throughput starves the (~1 Mbps) call.
   if (tick.throughput_mbps < 1.0) s.packet_loss_pct += rng.uniform(2.0, 10.0);
@@ -36,19 +36,19 @@ ConferencingSample conferencing_sample(const trace::TickRecord& tick, Rng& rng) 
 
 GamingSample gaming_sample(const trace::TickRecord& tick, Rng& rng) {
   GamingSample s;
-  s.network_latency_ms = tick.rtt_ms / 2.0 + 8.0 + rng.exponential(2.0);
-  s.other_latency_ms = 28.0 + rng.normal(0.0, 2.0);  // encode+decode+render
+  s.network_latency_ms = Millis{tick.rtt_ms.v / 2.0 + 8.0 + rng.exponential(2.0)};
+  s.other_latency_ms = Millis{28.0 + rng.normal(0.0, 2.0)};  // encode+decode+render
   // A 60 FPS stream drops the frames that miss their ~50 ms budget. During
   // an interruption every frame of the halt window is dropped.
   if (tick.lte_halted && tick.nr_halted) {
     // Anchor HO (MNBH): both radios down, the longest interruptions.
     s.dropped_frames_pct = rng.uniform(70.0, 100.0);
-    s.network_latency_ms += rng.uniform(80.0, 350.0);
+    s.network_latency_ms += Millis{rng.uniform(80.0, 350.0)};
   } else if (data_plane_halted(tick)) {
     s.dropped_frames_pct = rng.uniform(30.0, 90.0);
-    s.network_latency_ms += rng.uniform(40.0, 250.0);
+    s.network_latency_ms += Millis{rng.uniform(40.0, 250.0)};
   } else {
-    const double over_budget = std::max(0.0, s.network_latency_ms - 45.0);
+    const double over_budget = std::max(0.0, s.network_latency_ms.v - 45.0);
     s.dropped_frames_pct = std::min(100.0, over_budget * 0.3 + std::max(0.0, rng.normal(0.4, 0.3)));
   }
   // A 4K@60 stream needs ~40 Mbps; a starved link drops frames outright.
@@ -71,8 +71,8 @@ HoWindowSplit split_impl(const trace::TraceLog& log, const std::vector<double>& 
     if (types && std::find(types->begin(), types->end(), h.type) == types->end()) {
       continue;
     }
-    const long lo = static_cast<long>((h.decision_time - window - t0) * log.tick_hz);
-    const long hi = static_cast<long>((h.complete_time + window - t0) * log.tick_hz);
+    const long lo = static_cast<long>((h.decision_time - window - t0).v * log.tick_hz.v);
+    const long hi = static_cast<long>((h.complete_time + window - t0).v * log.tick_hz.v);
     for (long i = std::max(0L, lo);
          i <= hi && i < static_cast<long>(in_window.size()); ++i) {
       in_window[static_cast<std::size_t>(i)] = 1;

@@ -14,7 +14,7 @@
 namespace p5g::apps {
 
 struct ConferencingSample {
-  Milliseconds video_latency_ms = 0.0;
+  Milliseconds video_latency_ms{0.0};
   double packet_loss_pct = 0.0;
 };
 
@@ -24,8 +24,8 @@ struct ConferencingSample {
 ConferencingSample conferencing_sample(const trace::TickRecord& tick, Rng& rng);
 
 struct GamingSample {
-  Milliseconds network_latency_ms = 0.0;
-  Milliseconds other_latency_ms = 0.0;  // encode/decode/render (stable)
+  Milliseconds network_latency_ms{0.0};
+  Milliseconds other_latency_ms{0.0};  // encode/decode/render (stable)
   double dropped_frames_pct = 0.0;      // of a 60 FPS stream
 };
 
@@ -39,7 +39,7 @@ struct HoWindowSplit {
 };
 HoWindowSplit split_by_ho_window(const trace::TraceLog& log,
                                  const std::vector<double>& metric,
-                                 Seconds window = 1.0);
+                                 Seconds window = 1.0_s);
 
 // Restrict the split to HOs of specific types (e.g. SCGM vs MNBH, Fig. 5).
 HoWindowSplit split_by_ho_window(const trace::TraceLog& log,

@@ -12,7 +12,7 @@ VodResult run_vod(AbrAlgorithm& algorithm, const VideoProfile& video,
   VodResult out;
   ThroughputEstimator estimator;
   Seconds now = start_time;
-  Seconds buffer = 0.0;
+  Seconds buffer{0.0};
   int prev_level = 0;
   double bitrate_acc = 0.0;
 
@@ -24,16 +24,16 @@ VodResult run_vod(AbrAlgorithm& algorithm, const VideoProfile& video,
     state.prev_level = prev_level;
     state.next_chunk = chunk;
     Mbps predicted = estimator.predict();
-    if (predicted <= 0.0) predicted = link.average_rate(now, 1.0);  // startup probe
+    if (predicted <= 0.0) predicted = link.average_rate(now, 1.0_s);  // startup probe
     if (signal) predicted *= signal->score_at(now);
     state.predicted_tput = predicted;
     if (mpc) mpc->set_error_bound(estimator.max_recent_error());
 
     const int level = algorithm.choose(state, video);
     const double megabits =
-        video.bitrates_mbps[static_cast<std::size_t>(level)] * video.chunk_duration;
+        video.bitrates_mbps[static_cast<std::size_t>(level)] * video.chunk_duration.v;
     const Seconds download = link.transfer_time(now, megabits);
-    const Mbps actual = megabits / std::max(download, 1e-6);
+    const Mbps actual = megabits / std::max(download.v, 1e-6);
 
     // Prediction-error accounting (against the uncorrected need: how well
     // did the algorithm's throughput input match reality).
@@ -49,9 +49,9 @@ VodResult run_vod(AbrAlgorithm& algorithm, const VideoProfile& video,
     estimator.observe(actual);
     estimator.record_error(predicted, actual);
 
-    const Seconds stall = std::max(0.0, download - buffer);
+    const Seconds stall = std::max(0.0_s, download - buffer);
     out.stall_time += stall;
-    buffer = std::max(0.0, buffer - download) + video.chunk_duration;
+    buffer = std::max(0.0_s, buffer - download) + video.chunk_duration;
     // Respect the buffer cap: wait (without downloading) when full.
     if (buffer > video.buffer_capacity) {
       now += buffer - video.buffer_capacity;
@@ -80,7 +80,7 @@ std::vector<Seconds> window_starts(const trace::TraceLog& log, Seconds window_s,
   // bandwidth traces, so apply avg/min to 1-second bucket means: a 150 ms
   // HO outage inside a second does not disqualify the window.
   const std::vector<double> raw = trace::throughput_series(log);
-  const auto per_s = static_cast<std::size_t>(log.tick_hz);
+  const auto per_s = static_cast<std::size_t>(log.tick_hz.v);
   if (per_s == 0) return out;
   std::vector<double> series;  // 1-second means
   for (std::size_t i = 0; i + per_s <= raw.size(); i += per_s) {
@@ -88,8 +88,8 @@ std::vector<Seconds> window_starts(const trace::TraceLog& log, Seconds window_s,
                                      raw.begin() + static_cast<long>(i + per_s), 0.0) /
                      static_cast<double>(per_s));
   }
-  const auto win = static_cast<std::size_t>(window_s);
-  const auto stride = static_cast<std::size_t>(stride_s);
+  const auto win = static_cast<std::size_t>(window_s.v);
+  const auto stride = static_cast<std::size_t>(stride_s.v);
   if (win == 0 || stride == 0) return out;
   for (std::size_t begin = 0; begin + win <= series.size(); begin += stride) {
     const auto first = series.begin() + static_cast<long>(begin);
@@ -97,7 +97,7 @@ std::vector<Seconds> window_starts(const trace::TraceLog& log, Seconds window_s,
     const double avg = std::accumulate(first, last, 0.0) / static_cast<double>(win);
     const double mn = *std::min_element(first, last);
     if (avg >= max_avg || mn <= min_floor) continue;
-    out.push_back(static_cast<double>(begin));
+    out.push_back(Seconds{static_cast<double>(begin)});
   }
   return out;
 }

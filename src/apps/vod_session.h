@@ -10,7 +10,7 @@ namespace p5g::apps {
 struct VodResult {
   double avg_bitrate_mbps = 0.0;
   double normalized_bitrate = 0.0;  // vs the top level
-  Seconds stall_time = 0.0;
+  Seconds stall_time{0.0};
   double stall_fraction = 0.0;      // stall / video duration
   int quality_switches = 0;
   // Throughput prediction mean-absolute-error split (Fig. 14b).
@@ -25,7 +25,7 @@ struct VodResult {
 // throughput is multiplied by signal->score_at(now) before the decision.
 VodResult run_vod(AbrAlgorithm& algorithm, const VideoProfile& video,
                   const LinkEmulator& link, const HoSignal* signal,
-                  Seconds start_time = 0.0);
+                  Seconds start_time = 0.0_s);
 
 // Window starts (seconds) passing the §7.4 trace filter.
 std::vector<Seconds> window_starts(const trace::TraceLog& log, Seconds window_s,

@@ -24,7 +24,7 @@ VolumetricResult run_volumetric(AbrAlgorithm& algorithm, const VolumetricProfile
   as_video.bitrates_mbps = video.bitrates_mbps;
   as_video.chunk_duration = video.segment_duration;
   as_video.chunks = video.segments;
-  as_video.buffer_capacity = 1.2;  // real-time: shallow buffer
+  as_video.buffer_capacity = 1.2_s;  // real-time: shallow buffer
 
   Seconds now = start_time;
   Seconds buffer = video.startup_buffer;
@@ -38,23 +38,23 @@ VolumetricResult run_volumetric(AbrAlgorithm& algorithm, const VolumetricProfile
     state.prev_level = prev_level;
     state.next_chunk = seg;
     Mbps predicted = estimator.predict();
-    if (predicted <= 0.0) predicted = link.average_rate(now, 0.5);
+    if (predicted <= 0.0) predicted = link.average_rate(now, 0.5_s);
     if (signal) predicted *= signal->score_at(now);
     state.predicted_tput = predicted;
     if (mpc) mpc->set_error_bound(estimator.max_recent_error());
 
     const int level = algorithm.choose(state, as_video);
     const double megabits =
-        video.bitrates_mbps[static_cast<std::size_t>(level)] * video.segment_duration;
+        video.bitrates_mbps[static_cast<std::size_t>(level)] * video.segment_duration.v;
     const Seconds download = link.transfer_time(now, megabits);
-    const Mbps actual = megabits / std::max(download, 1e-6);
+    const Mbps actual = megabits / std::max(download.v, 1e-6);
     estimator.observe(actual);
     estimator.record_error(predicted, actual);
 
     // Real-time pacing: the segment is consumed while the next downloads.
-    const Seconds stall = std::max(0.0, download - buffer);
+    const Seconds stall = std::max(0.0_s, download - buffer);
     out.stall_time += stall;
-    buffer = std::max(0.0, buffer - download) + video.segment_duration;
+    buffer = std::max(0.0_s, buffer - download) + video.segment_duration;
     buffer = std::min(buffer, as_video.buffer_capacity);
     now += download;
 

@@ -11,9 +11,9 @@ namespace p5g::apps {
 
 struct VolumetricProfile {
   std::vector<double> bitrates_mbps = {43.0, 77.0, 110.0, 140.0, 170.0};
-  Seconds segment_duration = 1.0;
+  Seconds segment_duration{1.0};
   int segments = 180;  // 3-minute video
-  Seconds startup_buffer = 0.5;
+  Seconds startup_buffer{0.5};
 };
 
 // ViVo's rate adaptation (visibility-aware optimizations disabled, as in
@@ -27,12 +27,12 @@ class VivoSelector : public AbrAlgorithm {
 struct VolumetricResult {
   double avg_bitrate_mbps = 0.0;
   double avg_quality_level = 0.0;
-  Seconds stall_time = 0.0;
+  Seconds stall_time{0.0};
   double stall_fraction = 0.0;
 };
 
 VolumetricResult run_volumetric(AbrAlgorithm& algorithm, const VolumetricProfile& video,
                                 const LinkEmulator& link, const HoSignal* signal,
-                                Seconds start_time = 0.0);
+                                Seconds start_time = 0.0_s);
 
 }  // namespace p5g::apps

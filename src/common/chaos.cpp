@@ -122,7 +122,7 @@ void maybe_fault_task(std::uint64_t key) {
 void maybe_stall_task(std::uint64_t key) {
   if (!should_stall_task(key)) return;
   stats().stalls.fetch_add(1, std::memory_order_relaxed);
-  const double ms = profile().stall_ms;
+  const double ms = profile().stall_ms.v;
   if (ms > 0.0) {
     std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
   }

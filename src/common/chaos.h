@@ -25,6 +25,8 @@
 #include <string>
 #include <string_view>
 
+#include "common/units.h"
+
 namespace p5g::chaos {
 
 struct ChaosProfile {
@@ -43,7 +45,7 @@ struct ChaosProfile {
   // Probability that a given task key stalls (sleeps) for stall_ms at task
   // entry — the stuck-task fault the watchdog exists to flag.
   double stall_rate = 0.0;
-  double stall_ms = 0.0;
+  Milliseconds stall_ms{0.0};
 };
 
 // Thrown by maybe_fault_task for tasks the profile selects.

@@ -20,6 +20,8 @@ class Writer {
   // io::atomic_write_file — a reader never sees a header-only or torn CSV,
   // and a full disk / bad path is reported instead of silently truncating.
   Writer(const std::string& path, const std::vector<std::string>& header);
+  // The destructor flush cannot surface a failure, but close() stores it
+  // in result_ for anyone who asks. p5g-analyze: allow(ignored-ioresult)
   ~Writer() { static_cast<void>(close()); }
 
   // Appends one row. A row narrower than the header is padded with empty

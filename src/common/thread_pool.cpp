@@ -57,7 +57,7 @@ std::vector<TaskError> ThreadPool::wait_idle() {
   return out;
 }
 
-void ThreadPool::enable_watchdog(double deadline_ms) {
+void ThreadPool::enable_watchdog(Milliseconds deadline_ms) {
   std::lock_guard<std::mutex> lock(mu_);
   P5G_REQUIRE(queue_.empty() && active_ == 0,
               "enable_watchdog must be called while the pool is idle");

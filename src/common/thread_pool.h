@@ -76,7 +76,7 @@ class ThreadPool {
 
   // Start flagging jobs that run longer than `deadline_ms` (see
   // common/watchdog.h). Call while idle; flags drain via take_watchdog_flags.
-  void enable_watchdog(double deadline_ms);
+  void enable_watchdog(Milliseconds deadline_ms);
   std::vector<Watchdog::Flag> take_watchdog_flags();
 
  private:

@@ -1,48 +1,265 @@
-// Units and small value types used across the library.
+// Strong physical-unit types used across the library.
 //
-// All quantities are carried as doubles in canonical units (metres, seconds,
-// dBm, Mbps, watts, mAh). The aliases below document intent at API
-// boundaries; the helper functions perform the only conversions the library
-// needs so call sites never hand-roll unit math.
+// Every unit-bearing quantity that used to be a bare `double` alias is a
+// distinct single-double aggregate, so unit mixing — dBm + dBm, milliseconds
+// where simulated seconds belong, metres into a Hz slot — fails to COMPILE
+// instead of silently corrupting reproduced figures (the classic failure
+// mode of exactly this domain: RSRP in dBm vs RSRQ/SINR in dB, T1/T2
+// durations in ms vs simulated seconds, mW/dBm link-budget conversions).
+//
+// The wrappers are zero-overhead: trivially copyable aggregates whose
+// constexpr operators inline to exactly the double arithmetic the old code
+// wrote, so golden traces stay byte-identical (enforced in tests) and the
+// Release tick rate is unchanged (enforced by bench_perf --check-speedup).
+//
+// Unit algebra — only physically meaningful operations exist:
+//
+//   kind    | types                          | operations
+//   --------+--------------------------------+--------------------------------
+//   level   | Dbm                            | Dbm - Dbm -> Db, Dbm ± Db ->
+//           | (absolute power level)         | Dbm, compare. Dbm + Dbm does
+//           |                                | NOT compile (levels don't add;
+//           |                                | convert to_mw() first).
+//   ratio   | Db                             | full linear algebra: gains and
+//           |                                | offsets compose by addition.
+//   linear  | MilliWatts                     | full linear algebra: powers DO
+//           |                                | add in the linear domain.
+//   extent  | Meters, SimSeconds, Millis,    | full linear algebra within one
+//           | Hertz, MegaHertz               | type; X / X -> double ratio.
+//
+// Cross-unit conversions are explicit named functions (`to_mw`/`to_dbm`,
+// `ms_to_s`/`s_to_ms`/`Millis::from`, `hz_from_mhz`) — never implicit. The
+// raw double is reachable as `.v` (or `.value()`) for I/O boundaries only:
+// printf/CSV emit, FFI, and accumulation into genuinely dimensionless math.
+// tools/p5g_analyze.py flags raw-double parameters with unit-suffixed names
+// in public headers so new APIs keep using these types.
 #pragma once
 
+#include <bit>
 #include <cmath>
 #include <cstdint>
 
 namespace p5g {
 
-using Meters = double;
-using Kilometers = double;
-using Seconds = double;
-using Milliseconds = double;
-using Dbm = double;     // power level relative to 1 mW, in dB
-using Db = double;      // relative power ratio, in dB
-using Mbps = double;    // megabits per second
-using Watts = double;
-using MilliampHours = double;
-using Hertz = double;
-using MegaHertz = double;
-
 constexpr double kMetersPerKilometer = 1000.0;
 constexpr double kSecondsPerHour = 3600.0;
 constexpr double kMillisecondsPerSecond = 1000.0;
+constexpr double kHertzPerMegaHertz = 1.0e6;
 
-constexpr Meters km_to_m(Kilometers km) { return km * kMetersPerKilometer; }
-constexpr Kilometers m_to_km(Meters m) { return m / kMetersPerKilometer; }
-constexpr Seconds ms_to_s(Milliseconds ms) { return ms / kMillisecondsPerSecond; }
-constexpr Milliseconds s_to_ms(Seconds s) { return s * kMillisecondsPerSecond; }
+// Exact bit-pattern equality (IEEE-754 payload compare). This is the
+// sanctioned spelling for DELIBERATE exact floating-point comparison —
+// golden-identity tests, byte-identity contracts between scalar and batched
+// pipelines — now that -Wfloat-equal is part of the strict warning set.
+// Note the semantics differ from `==` exactly where `==` misleads: NaN
+// bit-patterns compare equal to themselves, and +0.0 != -0.0.
+constexpr bool bit_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
 
-// Speed helpers (simulator configuration is naturally in km/h).
+// The comparison operators below use IEEE `==` on purpose: unit wrappers
+// must order and compare exactly like the doubles they replace so that
+// lower_bound/min/max and threshold checks are bit-compatible with the
+// pre-units code.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wfloat-equal"
+
+// Storage + value access + total comparison set shared by every unit type.
+#define P5G_UNIT_COMMON(U)                                                  \
+  double v = 0.0;                                                           \
+  constexpr double value() const { return v; }                              \
+  friend constexpr bool operator==(U a, U b) { return a.v == b.v; }         \
+  friend constexpr bool operator!=(U a, U b) { return a.v != b.v; }         \
+  friend constexpr bool operator<(U a, U b) { return a.v < b.v; }           \
+  friend constexpr bool operator<=(U a, U b) { return a.v <= b.v; }         \
+  friend constexpr bool operator>(U a, U b) { return a.v > b.v; }           \
+  friend constexpr bool operator>=(U a, U b) { return a.v >= b.v; }         \
+  template <class OStream>                                                  \
+  friend OStream& operator<<(OStream& os, U x) {                            \
+    os << x.v;                                                              \
+    return os;                                                              \
+  }
+
+// Full linear algebra for extent/ratio/linear-power types: same-type
+// addition, scalar scaling, and the dimensionless same-type ratio.
+#define P5G_UNIT_LINEAR(U)                                                  \
+  friend constexpr U operator+(U a, U b) { return U{a.v + b.v}; }           \
+  friend constexpr U operator-(U a, U b) { return U{a.v - b.v}; }           \
+  friend constexpr U operator-(U a) { return U{-a.v}; }                     \
+  friend constexpr U operator*(U a, double s) { return U{a.v * s}; }        \
+  friend constexpr U operator*(double s, U a) { return U{s * a.v}; }        \
+  friend constexpr U operator/(U a, double s) { return U{a.v / s}; }        \
+  friend constexpr double operator/(U a, U b) { return a.v / b.v; }         \
+  constexpr U& operator+=(U o) {                                            \
+    v += o.v;                                                               \
+    return *this;                                                           \
+  }                                                                         \
+  constexpr U& operator-=(U o) {                                            \
+    v -= o.v;                                                               \
+    return *this;                                                           \
+  }                                                                         \
+  constexpr U& operator*=(double s) {                                       \
+    v *= s;                                                                 \
+    return *this;                                                           \
+  }                                                                         \
+  constexpr U& operator/=(double s) {                                       \
+    v /= s;                                                                 \
+    return *this;                                                           \
+  }
+
+// Distance / length in metres.
+struct Meters {
+  P5G_UNIT_COMMON(Meters)
+  P5G_UNIT_LINEAR(Meters)
+};
+
+// Simulated time in seconds (the tick clock, trace timestamps, durations
+// derived from them). Distinct from Millis so a T1/T2 handover duration in
+// milliseconds can never be added to a timestamp without an explicit
+// conversion.
+struct SimSeconds {
+  P5G_UNIT_COMMON(SimSeconds)
+  P5G_UNIT_LINEAR(SimSeconds)
+};
+
+// Milliseconds — 3GPP timer language (TTT, T1/T2, RACH backoff, RTT).
+struct Millis {
+  P5G_UNIT_COMMON(Millis)
+  P5G_UNIT_LINEAR(Millis)
+  static constexpr Millis from(SimSeconds s) {
+    return Millis{s.v * kMillisecondsPerSecond};
+  }
+  constexpr SimSeconds to_seconds() const {
+    return SimSeconds{v / kMillisecondsPerSecond};
+  }
+};
+
+// Relative power ratio in dB (gains, offsets, hysteresis, RSRQ, SINR).
+struct Db {
+  P5G_UNIT_COMMON(Db)
+  P5G_UNIT_LINEAR(Db)
+};
+
+// Absolute power level relative to 1 mW, in dB. A *level*, not a ratio:
+// levels differ by a Db and shift by a Db, but never add to each other —
+// summing powers must go through the linear domain (to_mw).
+struct Dbm {
+  P5G_UNIT_COMMON(Dbm)
+  // Negation exists so the ubiquitous `-95.0_dbm` literal spelling works.
+  friend constexpr Dbm operator-(Dbm a) { return Dbm{-a.v}; }
+  friend constexpr Db operator-(Dbm a, Dbm b) { return Db{a.v - b.v}; }
+  friend constexpr Dbm operator+(Dbm a, Db d) { return Dbm{a.v + d.v}; }
+  friend constexpr Dbm operator+(Db d, Dbm a) { return Dbm{d.v + a.v}; }
+  friend constexpr Dbm operator-(Dbm a, Db d) { return Dbm{a.v - d.v}; }
+  constexpr Dbm& operator+=(Db d) {
+    v += d.v;
+    return *this;
+  }
+  constexpr Dbm& operator-=(Db d) {
+    v -= d.v;
+    return *this;
+  }
+};
+
+// Linear power in milliwatts. Powers add here — this is where interference
+// sums and link budgets live between to_mw() and to_dbm().
+struct MilliWatts {
+  P5G_UNIT_COMMON(MilliWatts)
+  P5G_UNIT_LINEAR(MilliWatts)
+};
+
+// Frequencies. Carrier/bandwidth configuration is naturally in MHz; Hertz
+// exists for the places that need the SI base unit.
+struct MegaHertz {
+  P5G_UNIT_COMMON(MegaHertz)
+  P5G_UNIT_LINEAR(MegaHertz)
+};
+struct Hertz {
+  P5G_UNIT_COMMON(Hertz)
+  P5G_UNIT_LINEAR(Hertz)
+  static constexpr Hertz from(MegaHertz m) {
+    return Hertz{m.v * kHertzPerMegaHertz};
+  }
+  constexpr MegaHertz to_mhz() const { return MegaHertz{v / kHertzPerMegaHertz}; }
+};
+
+#pragma GCC diagnostic pop
+#undef P5G_UNIT_COMMON
+#undef P5G_UNIT_LINEAR
+
+// Backwards-compatible names used throughout the tree. `Seconds` is
+// simulated time; wall-clock time never flows through these types (see the
+// wall-clock rule in tools/p5g_analyze.py).
+using Seconds = SimSeconds;
+using Milliseconds = Millis;
+
+// Exact bit-pattern equality for unit wrappers (see bit_equal(double,double)).
+template <class U>
+constexpr bool bit_equal(U a, U b)
+  requires requires { a.v; }
+{
+  return bit_equal(a.v, b.v);
+}
+
+// Dimensionless / not-yet-strongly-typed quantities. These stay documented
+// aliases: they never collide numerically with the strong set above, and
+// promoting them is cheap if a confusable neighbor ever appears.
+using Kilometers = double;
+using Mbps = double;  // megabits per second
+using Watts = double;
+using MilliampHours = double;
+
+// Unit literals: `-95.0_dbm`, `3.0_db`, `80.0_ms`, `1.4_m`, `2.5_km`,
+// `1800.0_s`, `600.0_mhz`. Inline namespace so every p5g::* scope sees them.
+inline namespace unit_literals {
+constexpr Meters operator""_m(long double x) { return Meters{static_cast<double>(x)}; }
+constexpr Meters operator""_m(unsigned long long x) { return Meters{static_cast<double>(x)}; }
+constexpr Meters operator""_km(long double x) {
+  return Meters{static_cast<double>(x) * kMetersPerKilometer};
+}
+constexpr Meters operator""_km(unsigned long long x) {
+  return Meters{static_cast<double>(x) * kMetersPerKilometer};
+}
+constexpr SimSeconds operator""_s(long double x) { return SimSeconds{static_cast<double>(x)}; }
+constexpr SimSeconds operator""_s(unsigned long long x) {
+  return SimSeconds{static_cast<double>(x)};
+}
+constexpr Millis operator""_ms(long double x) { return Millis{static_cast<double>(x)}; }
+constexpr Millis operator""_ms(unsigned long long x) { return Millis{static_cast<double>(x)}; }
+constexpr Dbm operator""_dbm(long double x) { return Dbm{static_cast<double>(x)}; }
+constexpr Dbm operator""_dbm(unsigned long long x) { return Dbm{static_cast<double>(x)}; }
+constexpr Db operator""_db(long double x) { return Db{static_cast<double>(x)}; }
+constexpr Db operator""_db(unsigned long long x) { return Db{static_cast<double>(x)}; }
+constexpr MilliWatts operator""_mw(long double x) { return MilliWatts{static_cast<double>(x)}; }
+constexpr MilliWatts operator""_mw(unsigned long long x) {
+  return MilliWatts{static_cast<double>(x)};
+}
+constexpr Hertz operator""_hz(long double x) { return Hertz{static_cast<double>(x)}; }
+constexpr Hertz operator""_hz(unsigned long long x) { return Hertz{static_cast<double>(x)}; }
+constexpr MegaHertz operator""_mhz(long double x) { return MegaHertz{static_cast<double>(x)}; }
+constexpr MegaHertz operator""_mhz(unsigned long long x) {
+  return MegaHertz{static_cast<double>(x)};
+}
+}  // namespace unit_literals
+
+// --- Explicit cross-unit conversions -------------------------------------
+
+constexpr Meters km_to_m(Kilometers km) { return Meters{km * kMetersPerKilometer}; }
+constexpr Kilometers m_to_km(Meters m) { return m.v / kMetersPerKilometer; }
+constexpr Seconds ms_to_s(Millis ms) { return Seconds{ms.v / kMillisecondsPerSecond}; }
+constexpr Millis s_to_ms(Seconds s) { return Millis{s.v * kMillisecondsPerSecond}; }
+
+// Speed helpers (simulator configuration is naturally in km/h; speeds stay
+// raw double m/s — they multiply into every kind of extent).
 constexpr double kmh_to_mps(double kmh) { return kmh * kMetersPerKilometer / kSecondsPerHour; }
 constexpr double mps_to_kmh(double mps) { return mps * kSecondsPerHour / kMetersPerKilometer; }
 
 // dB <-> linear power ratio conversions.
-inline double db_to_linear(Db db) { return std::pow(10.0, db / 10.0); }
-inline Db linear_to_db(double linear) { return 10.0 * std::log10(linear); }
+inline double db_to_linear(Db db) { return std::pow(10.0, db.v / 10.0); }
+inline Db linear_to_db(double linear) { return Db{10.0 * std::log10(linear)}; }
 
-// dBm <-> milliwatts.
-inline double dbm_to_mw(Dbm dbm) { return std::pow(10.0, dbm / 10.0); }
-inline Dbm mw_to_dbm(double mw) { return 10.0 * std::log10(mw); }
+// dBm <-> milliwatts: the only gate between the level and linear domains.
+inline MilliWatts to_mw(Dbm dbm) { return MilliWatts{std::pow(10.0, dbm.v / 10.0)}; }
+inline Dbm to_dbm(MilliWatts mw) { return Dbm{10.0 * std::log10(mw.v)}; }
 
 // Energy: integrate power over time at a nominal battery voltage.
 // Smartphone batteries are nominally 3.85 V (the paper's S20U uses a

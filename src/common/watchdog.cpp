@@ -7,11 +7,11 @@
 
 namespace p5g {
 
-Watchdog::Watchdog(double deadline_ms, std::size_t slots)
+Watchdog::Watchdog(Milliseconds deadline_ms, std::size_t slots)
     : deadline_ms_(deadline_ms),
       slots_(std::max<std::size_t>(slots, 1)),
       flags_total_(&obs::registry().counter("p5g.resilience.watchdog_flags")) {
-  P5G_REQUIRE(deadline_ms > 0.0, "watchdog deadline must be positive");
+  P5G_REQUIRE(deadline_ms > 0.0_ms, "watchdog deadline must be positive");
   monitor_ = std::thread([this] { monitor_loop(); });
 }
 
@@ -50,7 +50,7 @@ std::vector<Watchdog::Flag> Watchdog::take_flags() {
 void Watchdog::monitor_loop() {
   // Poll ~4x per deadline so a stuck task is flagged within ~1.25 deadlines.
   const auto period = std::chrono::duration<double, std::milli>(
-      std::max(deadline_ms_ / 4.0, 1.0));
+      std::max(deadline_ms_.v / 4.0, 1.0));
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     if (cv_.wait_for(lock, period, [this] { return stop_; })) return;
@@ -66,9 +66,9 @@ void Watchdog::monitor_loop() {
           static_cast<double>(now_ns -
                               s.start_ns.load(std::memory_order_relaxed)) /
           1e6;
-      if (elapsed_ms <= deadline_ms_) continue;
+      if (elapsed_ms <= deadline_ms_.v) continue;
       s.flagged_task.store(id, std::memory_order_relaxed);
-      flags_.push_back({id, elapsed_ms});
+      flags_.push_back({id, Milliseconds{elapsed_ms}});
       flags_total_->add(1);
     }
   }

@@ -23,6 +23,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/units.h"
+
 namespace p5g::obs {
 class Counter;
 }  // namespace p5g::obs
@@ -32,19 +34,19 @@ namespace p5g {
 class Watchdog {
  public:
   struct Flag {
-    std::uint64_t task_id = 0;   // pool-assigned submit sequence number
-    double elapsed_ms = 0.0;     // observed runtime when first flagged
+    std::uint64_t task_id = 0;        // pool-assigned submit sequence number
+    Milliseconds elapsed_ms{0.0};     // observed runtime when first flagged
   };
 
   // `slots` is the number of workers that will report (one slot each).
   // The monitor polls roughly 4x per deadline.
-  Watchdog(double deadline_ms, std::size_t slots);
+  Watchdog(Milliseconds deadline_ms, std::size_t slots);
   ~Watchdog();
 
   Watchdog(const Watchdog&) = delete;
   Watchdog& operator=(const Watchdog&) = delete;
 
-  double deadline_ms() const noexcept { return deadline_ms_; }
+  Milliseconds deadline_ms() const noexcept { return deadline_ms_; }
 
   // Called by worker `slot` around each task. Wait-free slot writes.
   void task_started(std::size_t slot, std::uint64_t task_id) noexcept;
@@ -65,7 +67,7 @@ class Watchdog {
 
   void monitor_loop();
 
-  const double deadline_ms_;
+  const Milliseconds deadline_ms_;
   std::vector<Slot> slots_;
   std::mutex mu_;                 // guards flags_ and stop_ for the cv
   std::condition_variable cv_;

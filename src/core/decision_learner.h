@@ -27,7 +27,7 @@ class DecisionLearner {
     bool eviction_enabled = true;  // ablation knob
     // Reports older than this no longer belong to the open phase (carrier
     // decision logic correlates reports over a bounded window).
-    Seconds phase_memory = 5.0;
+    Seconds phase_memory{5.0};
   };
 
   DecisionLearner();  // default configuration

@@ -64,7 +64,7 @@ ran::HoType Prognos::adjudicate(ran::HoType ho, const std::vector<EventKey>& can
       });
   if (b1_in_phase) return ran::HoType::kScgc;
 
-  double b1_threshold = 0.0;
+  Dbm b1_threshold{0.0};
   bool have_b1 = false;
   for (const ran::EventConfig& c : configs_) {
     if (c.type == ran::EventType::kB1 && c.scope == ran::MeasScope::kServingNr) {
@@ -110,7 +110,7 @@ PrognosPrediction Prognos::tick(const PrognosInput& input) {
   }
   // Expire predictions and drop the ones that materialized as actual MRs.
   std::erase_if(pending_predicted_, [&](const PredictedReport& p) {
-    if (p.expected_time + 0.25 < input.time) return true;
+    if (p.expected_time + 0.25_s < input.time) return true;
     return std::any_of(input.reports.begin(), input.reports.end(),
                        [&](const ran::MeasurementReport& r) {
                          return EventKey{r.event, r.scope} == p.key;
@@ -119,7 +119,7 @@ PrognosPrediction Prognos::tick(const PrognosInput& input) {
   // A HO command closes the phase: clear speculative state too.
   if (!input.ho_commands.empty()) {
     pending_predicted_.clear();
-    held_until_ = -1.0;
+    held_until_ = Seconds{-1.0};
   }
 
   // Stage 3: match the (actual + predicted) sequence against the patterns.
@@ -202,8 +202,8 @@ PrognosPrediction Prognos::tick(const PrognosInput& input) {
   out.ho_score = it == ho_scores_.end() ? 1.0 : it->second;
   out.from_predicted_reports = best_uses_predicted && candidate.size() > actual_len;
   out.lead_time = out.from_predicted_reports
-                      ? std::max(0.0, last_predicted_time - input.time)
-                      : 0.0;
+                      ? std::max(0.0_s, last_predicted_time - input.time)
+                      : 0.0_s;
   held_ = out;
   held_until_ = input.time + config_.prediction_hold;
   return out;

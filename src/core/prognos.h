@@ -45,7 +45,7 @@ class Prognos {
     int confirm_ticks = 6;
     // Once emitted, a prediction is held this long (unless a HO command
     // arrives) so momentary forecast dropouts do not flap the output.
-    Seconds prediction_hold = 1.0;
+    Seconds prediction_hold{1.0};
   };
 
   Prognos(std::vector<ran::EventConfig> event_configs, Config config);
@@ -80,7 +80,7 @@ class Prognos {
   std::map<ran::HoType, double> ho_scores_;
   std::vector<PredictedReport> pending_predicted_;
   PrognosPrediction held_{};
-  Seconds held_until_ = -1.0;
+  Seconds held_until_{-1.0};
   std::optional<ran::HoType> last_match_;
   int consecutive_matches_ = 0;
 };

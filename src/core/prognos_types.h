@@ -17,13 +17,13 @@ namespace p5g::core {
 // and the HO commands it received (type visible from the reconfiguration
 // contents).
 struct PrognosInput {
-  Seconds time = 0.0;
+  Seconds time{0.0};
 
   struct CellObs {
     int pci = -1;
     int tower_id = -1;  // grouping hint (same-gNB detection); -1 if unknown
     radio::Band band{};
-    Dbm rsrp = -140.0;
+    Dbm rsrp{-140.0};
   };
   std::vector<CellObs> observed;
 
@@ -61,7 +61,7 @@ struct PrognosPrediction {
   // Expected throughput-change ratio in (0, inf); 1 = no change (§7.2).
   double ho_score = 1.0;
   // How far ahead of the (predicted) decision instant we are, in seconds.
-  Seconds lead_time = 0.0;
+  Seconds lead_time{0.0};
   // True when the triggering MRs were *predicted* by the report predictor
   // rather than already observed (Fig. 18's lead-time improvement).
   bool from_predicted_reports = false;

@@ -92,21 +92,21 @@ double ReportPredictor::forecast_rsrp(int pci, std::size_t steps) const {
 
 std::vector<PredictedReport> ReportPredictor::update(const PrognosInput& input) {
   const auto history_samples =
-      static_cast<std::size_t>(config_.history_window * config_.tick_hz);
+      static_cast<std::size_t>(config_.history_window.v * config_.tick_hz.v);
 
   // 1. Ingest observations.
   for (const PrognosInput::CellObs& o : input.observed) {
     auto [it, inserted] = cells_.try_emplace(
         o.pci, PerCell{ml::SignalForecaster(history_samples, config_.smooth_radius),
                        o.band, o.tower_id, input.time});
-    it->second.forecaster.add(o.rsrp);
+    it->second.forecaster.add(o.rsrp.v);
     it->second.band = o.band;
     it->second.tower_id = o.tower_id;
     it->second.last_seen = input.time;
   }
   // 2. Forget cells that left the neighborhood.
   std::erase_if(cells_, [&](const auto& kv) {
-    return input.time - kv.second.last_seen > 3.0;
+    return input.time - kv.second.last_seen > 3.0_s;
   });
   // 3. Expire outstanding predictions.
   std::erase_if(outstanding_, [&](const PredictedReport& p) {
@@ -134,8 +134,8 @@ std::vector<PredictedReport> ReportPredictor::update(const PrognosInput& input) 
 
   // 4. Evaluate every configured event on the forecasted trajectories.
   std::vector<PredictedReport> fresh;
-  const double dt = 1.0 / config_.tick_hz;
-  const auto window = static_cast<std::size_t>(config_.prediction_window * config_.tick_hz);
+  const double dt = 1.0 / config_.tick_hz.v;
+  const auto window = static_cast<std::size_t>(config_.prediction_window.v * config_.tick_hz.v);
 
   for (const ran::EventConfig& base_cfg : configs_) {
     ran::EventConfig cfg = base_cfg;
@@ -150,7 +150,7 @@ std::vector<PredictedReport> ReportPredictor::update(const PrognosInput& input) 
     const PerCell* serving = find_cell(serving_pci);
     if (!serving || !serving->forecaster.ready()) continue;
     const double serving_sigma = serving->forecaster.residual_sigma();
-    const double base_hysteresis = cfg.hysteresis;
+    const Db base_hysteresis = cfg.hysteresis;
 
     const EventKey key{cfg.type, cfg.scope};
     const bool already_outstanding =
@@ -162,14 +162,14 @@ std::vector<PredictedReport> ReportPredictor::update(const PrognosInput& input) 
     if (mirror_reported(key)) continue;
 
     const auto ttt_samples = std::max<std::size_t>(
-        1, static_cast<std::size_t>(cfg.ttt_ms / 1000.0 * config_.tick_hz));
+        1, static_cast<std::size_t>(cfg.ttt_ms.v / 1000.0 * config_.tick_hz.v));
 
     // Find the earliest onset where the condition holds for TTT samples.
     std::size_t held = 0;
     std::size_t fire_step = 0;
     for (std::size_t s = 1; s <= window && fire_step == 0; ++s) {
       ran::MeasSnapshot snap;
-      snap.serving_rsrp = serving->forecaster.forecast(s);
+      snap.serving_rsrp = Dbm{serving->forecaster.forecast(s)};
       snap.serving_valid = true;
 
       NeighborForecast nbr;
@@ -183,7 +183,7 @@ std::vector<PredictedReport> ReportPredictor::update(const PrognosInput& input) 
         nbr = best_neighbor(cfg.neighbor_rat, serving_pci, -1, -1, s);
       }
       snap.neighbor_valid = nbr.valid;
-      snap.best_neighbor_rsrp = nbr.rsrp;
+      snap.best_neighbor_rsrp = Dbm{nbr.rsrp};
 
       // Adaptive margin: relative (two-signal) conditions carry the noise
       // of both fits.
@@ -195,7 +195,7 @@ std::vector<PredictedReport> ReportPredictor::update(const PrognosInput& input) 
               ? std::sqrt(serving_sigma * serving_sigma + nbr.sigma * nbr.sigma)
               : serving_sigma;
       cfg.hysteresis = base_hysteresis +
-                       std::clamp(config_.margin_sigma_mult * noise,
+                       std::clamp(Db{config_.margin_sigma_mult * noise},
                                   config_.margin_min_db, config_.margin_max_db);
 
       if (ran::EventMonitor::entering_condition(cfg, snap)) {
@@ -208,7 +208,7 @@ std::vector<PredictedReport> ReportPredictor::update(const PrognosInput& input) 
       PredictedReport p;
       p.key = key;
       p.predicted_at = input.time;
-      p.expected_time = input.time + static_cast<double>(fire_step) * dt;
+      p.expected_time = input.time + Seconds{static_cast<double>(fire_step) * dt};
       fresh.push_back(p);
       outstanding_.push_back(p);
     }

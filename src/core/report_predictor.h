@@ -20,24 +20,24 @@ namespace p5g::core {
 
 struct PredictedReport {
   EventKey key{};
-  Seconds predicted_at = 0.0;   // when the prediction was made
-  Seconds expected_time = 0.0;  // when the MR is expected to be raised
+  Seconds predicted_at{0.0};   // when the prediction was made
+  Seconds expected_time{0.0};  // when the MR is expected to be raised
 };
 
 class ReportPredictor {
  public:
   struct Config {
-    double tick_hz = 20.0;
-    Seconds history_window = 1.0;     // paper's evaluation uses 1 s
-    Seconds prediction_window = 1.0;
+    Hertz tick_hz{20.0};
+    Seconds history_window{1.0};     // paper's evaluation uses 1 s
+    Seconds prediction_window{1.0};
     std::size_t smooth_radius = 4;    // triangular kernel half-width
     // Extra hysteresis applied when evaluating *predicted* trajectories, so
     // marginal forecasts do not generate spurious report predictions. The
     // margin adapts to how noisy the serving signal currently is:
     //   margin = clamp(margin_sigma_mult * residual_sigma, min, max)
     double margin_sigma_mult = 2.4;
-    Db margin_min_db = 1.0;
-    Db margin_max_db = 3.5;
+    Db margin_min_db{1.0};
+    Db margin_max_db{3.5};
     // NSA vs SA changes neighbor-candidate semantics for NR-A3 (same-gNB
     // beams in NSA, any gNB in SA).
     ran::Arch arch = ran::Arch::kNsa;
@@ -62,7 +62,7 @@ class ReportPredictor {
     ml::SignalForecaster forecaster;
     radio::Band band{};
     int tower_id = -1;
-    Seconds last_seen = 0.0;
+    Seconds last_seen{0.0};
   };
 
   // Builds the actual-measurement snapshot a config's monitor would see.

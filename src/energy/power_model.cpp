@@ -20,9 +20,9 @@ double base_power(ran::HoType type, radio::Band band) {
 }
 
 Seconds tail_window(radio::Band band, ran::HoArch arch) {
-  if (arch == ran::HoArch::kLte) return 0.20;
-  if (arch == ran::HoArch::kSa) return 0.25;
-  return band == radio::Band::kNrMmWave ? 0.28 : 0.35;
+  if (arch == ran::HoArch::kLte) return 0.20_s;
+  if (arch == ran::HoArch::kSa) return 0.25_s;
+  return band == radio::Band::kNrMmWave ? 0.28_s : 0.35_s;
 }
 
 }  // namespace
@@ -43,7 +43,7 @@ double ho_energy_joules(const ran::HandoverRecord& rec) {
   const Watts p = ho_power(rec.type, band, rec.signaling);
   const Seconds window =
       ms_to_s(rec.timing.total_ms()) + tail_window(band, ran::ho_arch(rec.type));
-  return p * window;
+  return p * window.v;
 }
 
 MilliampHours ho_energy_mah(const ran::HandoverRecord& rec) {

@@ -5,7 +5,7 @@
 
 namespace p5g::geo {
 
-Meters distance(Point a, Point b) { return std::hypot(a.x - b.x, a.y - b.y); }
+Meters distance(Point a, Point b) { return Meters{std::hypot(a.x - b.x, a.y - b.y)}; }
 
 double cross(Point o, Point a, Point b) {
   return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
@@ -13,7 +13,7 @@ double cross(Point o, Point a, Point b) {
 
 std::vector<Point> convex_hull(std::vector<Point> pts) {
   std::sort(pts.begin(), pts.end(), [](Point a, Point b) {
-    return a.x < b.x || (a.x == b.x && a.y < b.y);
+    return a.x < b.x || (bit_equal(a.x, b.x) && a.y < b.y);
   });
   pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
   const std::size_t n = pts.size();
@@ -92,7 +92,9 @@ std::vector<Point> convex_intersection(std::span<const Point> subject,
 double hull_overlap_ratio(std::span<const Point> a, std::span<const Point> b) {
   const double area_a = std::abs(polygon_area(a));
   const double area_b = std::abs(polygon_area(b));
-  if (area_a == 0.0 || area_b == 0.0) return 0.0;
+  // abs() above maps -0.0 to +0.0, so bit-comparing against +0.0 is the
+  // exact zero test.
+  if (bit_equal(area_a, 0.0) || bit_equal(area_b, 0.0)) return 0.0;
   const auto inter = convex_intersection(a, b);
   const double area_i = std::abs(polygon_area(inter));
   return area_i / std::min(area_a, area_b);

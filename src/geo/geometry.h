@@ -12,14 +12,21 @@
 
 namespace p5g::geo {
 
+// Coordinates are raw doubles on purpose: planar geometry (cross products,
+// areas, interpolation) is dimensionless kernel math. Lengths derived from
+// geometry — distance(), route arc lengths — carry the strong Meters type.
 struct Point {
-  Meters x = 0.0;
-  Meters y = 0.0;
+  double x = 0.0;
+  double y = 0.0;
 
   friend Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
   friend Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
   friend Point operator*(Point a, double s) { return {a.x * s, a.y * s}; }
-  friend bool operator==(Point a, Point b) { return a.x == b.x && a.y == b.y; }
+  // Exact identity: duplicate points come from copied coordinates, so
+  // equal values are bit-equal here.
+  friend bool operator==(Point a, Point b) {
+    return bit_equal(a.x, b.x) && bit_equal(a.y, b.y);
+  }
 };
 
 Meters distance(Point a, Point b);

@@ -7,7 +7,7 @@ namespace p5g::geo {
 
 Route::Route(std::vector<Point> waypoints) : waypoints_(std::move(waypoints)) {
   cumulative_.reserve(waypoints_.size());
-  Meters acc = 0.0;
+  Meters acc{};
   for (std::size_t i = 0; i < waypoints_.size(); ++i) {
     if (i > 0) acc += distance(waypoints_[i - 1], waypoints_[i]);
     cumulative_.push_back(acc);
@@ -17,12 +17,12 @@ Route::Route(std::vector<Point> waypoints) : waypoints_(std::move(waypoints)) {
 
 Point Route::position_at(Meters s) const {
   if (waypoints_.empty()) return {};
-  if (waypoints_.size() == 1 || total_length_ <= 0.0) return waypoints_.front();
+  if (waypoints_.size() == 1 || total_length_ <= 0.0_m) return waypoints_.front();
   if (loops_) {
-    s = std::fmod(s, total_length_);
-    if (s < 0) s += total_length_;
+    s = Meters{std::fmod(s.v, total_length_.v)};
+    if (s < 0.0_m) s += total_length_;
   } else {
-    s = std::clamp(s, 0.0, total_length_);
+    s = std::clamp(s, 0.0_m, total_length_);
   }
   // Binary search for the segment containing arc length s.
   const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), s);
@@ -30,7 +30,7 @@ Point Route::position_at(Meters s) const {
   const auto idx = static_cast<std::size_t>(it - cumulative_.begin());
   const Meters seg_start = cumulative_[idx - 1];
   const Meters seg_len = cumulative_[idx] - seg_start;
-  const double t = seg_len > 0 ? (s - seg_start) / seg_len : 0.0;
+  const double t = seg_len > 0.0_m ? (s - seg_start) / seg_len : 0.0;
   return waypoints_[idx - 1] + (waypoints_[idx] - waypoints_[idx - 1]) * t;
 }
 
@@ -40,11 +40,11 @@ Route make_freeway_route(Meters length, Rng& rng) {
   double heading = 0.0;  // radians; mostly eastbound
   pts.push_back(cur);
   Meters remaining = length;
-  while (remaining > 0) {
-    const Meters seg = std::min(remaining, rng.uniform(800.0, 2500.0));
+  while (remaining > 0.0_m) {
+    const Meters seg = std::min(remaining, Meters{rng.uniform(800.0, 2500.0)});
     heading += rng.normal(0.0, 0.08);                       // gentle drift
     heading = std::clamp(heading, -0.6, 0.6);               // keep direction
-    cur = cur + Point{seg * std::cos(heading), seg * std::sin(heading)};
+    cur = cur + Point{seg.v * std::cos(heading), seg.v * std::sin(heading)};
     pts.push_back(cur);
     remaining -= seg;
   }
@@ -56,13 +56,13 @@ Route make_city_route(Meters approx_length, Meters block, Rng& rng) {
   Point cur{0.0, 0.0};
   int dir = 0;  // 0=E 1=N 2=W 3=S
   pts.push_back(cur);
-  Meters acc = 0.0;
+  Meters acc{};
   while (acc < approx_length) {
     const int blocks = 1 + static_cast<int>(rng.uniform_index(3));
     const Meters seg = block * blocks;
     static constexpr double dx[4] = {1, 0, -1, 0};
     static constexpr double dy[4] = {0, 1, 0, -1};
-    cur = cur + Point{seg * dx[dir], seg * dy[dir]};
+    cur = cur + Point{seg.v * dx[dir], seg.v * dy[dir]};
     pts.push_back(cur);
     acc += seg;
     // Turn left or right, never U-turn; bias to keep progressing east.
@@ -78,7 +78,7 @@ Route make_loop_route(Meters perimeter, Rng& rng) {
   const Meters side = perimeter / 4.0;
   const Meters w = side * rng.uniform(0.8, 1.2);
   const Meters h = perimeter / 2.0 - w;
-  std::vector<Point> pts = {{0, 0}, {w, 0}, {w, h}, {0, h}, {0, 0}};
+  std::vector<Point> pts = {{0, 0}, {w.v, 0}, {w.v, h.v}, {0, h.v}, {0, 0}};
   Route r(std::move(pts));
   r.set_loops(true);
   return r;

@@ -26,7 +26,7 @@ class Route {
  private:
   std::vector<Point> waypoints_;
   std::vector<Meters> cumulative_;  // arc length up to waypoint i
-  Meters total_length_ = 0.0;
+  Meters total_length_{0.0};
   bool loops_ = false;
 };
 

@@ -1,5 +1,7 @@
 #include "ml/linalg.h"
 
+#include "common/units.h"
+
 #include <cmath>
 #include <utility>
 
@@ -23,7 +25,9 @@ bool solve_linear_system(Matrix a, std::vector<double> b, std::vector<double>& x
     // Eliminate below.
     for (std::size_t r = col + 1; r < n; ++r) {
       const double f = a.at(r, col) / a.at(col, col);
-      if (f == 0.0) continue;
+      // Exact zero test (the skip is an optimization and must also catch
+      // -0.0, whose row operation could flip signed zeros in the matrix).
+      if (bit_equal(std::abs(f), 0.0)) continue;
       for (std::size_t c = col; c < n; ++c) a.at(r, c) -= f * a.at(col, c);
       b[r] -= f * b[col];
     }

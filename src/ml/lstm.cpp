@@ -1,5 +1,7 @@
 #include "ml/lstm.h"
 
+#include "common/units.h"
+
 #include <algorithm>
 #include <cmath>
 #include <numeric>
@@ -140,7 +142,7 @@ Sequence StackedLstm::backward_layer(const LayerParams& p, const LayerCache& cac
     const std::vector<double>& h_prev = t > 0 ? cache.h[t - 1] : zeros;
     for (std::size_t j = 0; j < 4 * h; ++j) {
       const double dzj = dz[j];
-      if (dzj == 0.0) continue;
+      if (bit_equal(std::abs(dzj), 0.0)) continue;  // exact ±0 skip
       double* gwrow = gw.data() + j * (d + h);
       const double* wrow = p.w.data() + j * (d + h);
       for (std::size_t k = 0; k < d; ++k) {

@@ -1,5 +1,7 @@
 #include "ml/metrics.h"
 
+#include "common/units.h"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
@@ -44,7 +46,8 @@ double ConfusionMatrix::recall(int cls) const {
 
 double ConfusionMatrix::f1(int cls) const {
   const double p = precision(cls), r = recall(cls);
-  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  // precision/recall are non-negative, so p + r can only be exactly +0.0.
+  return bit_equal(p + r, 0.0) ? 0.0 : 2.0 * p * r / (p + r);
 }
 
 ClassificationScores ConfusionMatrix::macro_over(std::span<const int> classes) const {

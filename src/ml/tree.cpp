@@ -62,7 +62,13 @@ int RegressionTree::build(const std::vector<std::size_t>& idx,
       const std::size_t nl = k + 1;
       const std::size_t nr = sorted.size() - nl;
       if (nl < config.min_leaf || nr < config.min_leaf) continue;
+// Value equality is the split criterion: two samples whose feature values
+// compare equal (regardless of bit pattern, e.g. 0.0 vs -0.0) cannot be
+// separated by any threshold, so the comparison is intentionally exact.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wfloat-equal"
       if (x[sorted[k]][f] == x[sorted[k + 1]][f]) continue;  // cannot split here
+#pragma GCC diagnostic pop
       const double right_sum = total_sum - left_sum;
       const double gain = left_sum * left_sum / static_cast<double>(nl) +
                           right_sum * right_sum / static_cast<double>(nr) - total_sq;

@@ -1,5 +1,7 @@
 #include "obs/events.h"
 
+#include "common/units.h"
+
 #include <algorithm>
 #include <chrono>
 
@@ -165,7 +167,7 @@ std::vector<Event> EventLog::snapshot() const {
     }
   }
   std::stable_sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
-    if (a.t0 != b.t0) return a.t0 < b.t0;
+    if (!bit_equal(a.t0, b.t0)) return a.t0 < b.t0;
     if (a.ue != b.ue) return a.ue < b.ue;
     if (a.flow != b.flow) return a.flow < b.flow;
     return static_cast<int>(a.category) < static_cast<int>(b.category);

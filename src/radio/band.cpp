@@ -7,11 +7,11 @@ namespace p5g::radio {
 
 const BandProfile& band_profile(Band b) {
   // carrier, bw, tx, ple, shadow sigma, shadow corr, noise, peak tput, radius
-  static const BandProfile kLteLowP{700.0, 10.0, 46.0, 3.2, 6.0, 80.0, -101.0, 35.0, 1500.0};
-  static const BandProfile kLteMidP{1900.0, 20.0, 46.0, 3.5, 7.0, 60.0, -98.0, 75.0, 500.0};
-  static const BandProfile kNrLowP{600.0, 15.0, 47.0, 3.1, 6.0, 90.0, -99.5, 220.0, 1000.0};
-  static const BandProfile kNrMidP{2500.0, 80.0, 47.0, 3.6, 7.5, 55.0, -92.0, 900.0, 430.0};
-  static const BandProfile kNrMmWaveP{39000.0, 400.0, 55.0, 4.4, 9.0, 25.0, -85.0, 2800.0, 160.0};
+  static const BandProfile kLteLowP{700.0_mhz, 10.0_mhz, 46.0_dbm, 3.2, 6.0_db, 80.0_m, -101.0_dbm, 35.0, 1500.0_m};
+  static const BandProfile kLteMidP{1900.0_mhz, 20.0_mhz, 46.0_dbm, 3.5, 7.0_db, 60.0_m, -98.0_dbm, 75.0, 500.0_m};
+  static const BandProfile kNrLowP{600.0_mhz, 15.0_mhz, 47.0_dbm, 3.1, 6.0_db, 90.0_m, -99.5_dbm, 220.0, 1000.0_m};
+  static const BandProfile kNrMidP{2500.0_mhz, 80.0_mhz, 47.0_dbm, 3.6, 7.5_db, 55.0_m, -92.0_dbm, 900.0, 430.0_m};
+  static const BandProfile kNrMmWaveP{39000.0_mhz, 400.0_mhz, 55.0_dbm, 4.4, 9.0_db, 25.0_m, -85.0_dbm, 2800.0, 160.0_m};
   switch (b) {
     case Band::kLteLow: return kLteLowP;
     case Band::kLteMid: return kLteMidP;
@@ -25,9 +25,9 @@ const BandProfile& band_profile(Band b) {
 double sinr_to_efficiency(Db sinr_db) {
   // Truncated Shannon: eff = min(1, log2(1+snr) / log2(1+snr_max)).
   // snr_max = 22 dB maps to the top MCS; below -6 dB the link is unusable.
-  if (sinr_db < -6.0) return 0.0;
+  if (sinr_db < -6.0_db) return 0.0;
   const double cap = std::log2(1.0 + db_to_linear(sinr_db));
-  const double top = std::log2(1.0 + db_to_linear(22.0));
+  const double top = std::log2(1.0 + db_to_linear(22.0_db));
   return std::min(1.0, cap / top);
 }
 

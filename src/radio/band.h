@@ -26,9 +26,12 @@ constexpr Rat band_rat(Band b) {
     case Band::kLteLow:
     case Band::kLteMid:
       return Rat::kLte;
-    default:
+    case Band::kNrLow:
+    case Band::kNrMid:
+    case Band::kNrMmWave:
       return Rat::kNr;
   }
+  return Rat::kNr;  // unreachable: all enumerators handled above
 }
 
 constexpr std::string_view band_name(Band b) {

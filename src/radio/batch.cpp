@@ -17,17 +17,17 @@ void make_rrs_batch(Band band, Db interference_margin_db, std::size_t n,
   for (std::size_t i = 0; i < n; ++i) {
     // Same association as make_rrs(): tx - pl + shadow + fading - dir,
     // left to right, with path loss expanded through path_loss_params.
-    const Meters d = std::max(distance[i], 1.0);
-    const Db loss = pl.fspl_10m + pl.coef * std::log10(d / 10.0);
+    const Meters d = std::max(distance[i], 1.0_m);
+    const Db loss{pl.fspl_10m + pl.coef * std::log10(d.v / 10.0)};
     Rrs r;
     r.rsrp = p.tx_power_dbm - loss + shadowing_db[i] + fading_db[i] -
              directional_loss_db[i];
-    r.rsrp = std::max(r.rsrp, -144.0);  // reporting floor
-    r.sinr = std::clamp(r.rsrp - noise, -20.0, 40.0);
-    r.rsrq = std::clamp(-3.0 - (30.0 - r.sinr) * 0.55, -19.5, -3.0);
-    P5G_ENSURE(r.rsrp >= -144.0, "RSRP below the reporting floor");
-    P5G_ENSURE(r.sinr >= -20.0 && r.sinr <= 40.0, "SINR outside reporting range");
-    P5G_ENSURE(r.rsrq >= -19.5 && r.rsrq <= -3.0, "RSRQ outside reporting range");
+    r.rsrp = std::max(r.rsrp, -144.0_dbm);  // reporting floor
+    r.sinr = std::clamp(r.rsrp - noise, -20.0_db, 40.0_db);
+    r.rsrq = std::clamp(-3.0_db - (30.0_db - r.sinr) * 0.55, -19.5_db, -3.0_db);
+    P5G_ENSURE(r.rsrp >= -144.0_dbm, "RSRP below the reporting floor");
+    P5G_ENSURE(r.sinr >= -20.0_db && r.sinr <= 40.0_db, "SINR outside reporting range");
+    P5G_ENSURE(r.rsrq >= -19.5_db && r.rsrq <= -3.0_db, "RSRQ outside reporting range");
     out[i] = r;
   }
 }

@@ -17,7 +17,7 @@ const PathLossParams& path_loss_params(Band band) {
                    Band::kNrMmWave}) {
       const BandProfile& p = band_profile(b);
       t[static_cast<std::size_t>(b)] = {
-          20.0 * std::log10(10.0) + 20.0 * std::log10(p.carrier_mhz) - 27.55,
+          20.0 * std::log10(10.0) + 20.0 * std::log10(p.carrier_mhz.v) - 27.55,
           10.0 * p.path_loss_exponent};
     }
     return t;
@@ -28,21 +28,21 @@ const PathLossParams& path_loss_params(Band band) {
 Db path_loss_db(Band band, Meters distance) {
   // Free-space loss at the 10 m reference distance, then log-distance.
   const PathLossParams& pl = path_loss_params(band);
-  const Meters d = std::max(distance, 1.0);
-  return pl.fspl_10m + pl.coef * std::log10(d / 10.0);
+  const Meters d = std::max(distance, 1.0_m);
+  return Db{pl.fspl_10m + pl.coef * std::log10(d.v / 10.0)};
 }
 
 ShadowingProcess::ShadowingProcess(Band band, Rng rng)
     : sigma_db_(band_profile(band).shadowing_sigma_db),
       corr_m_(band_profile(band).shadowing_corr_m),
       rng_(rng) {
-  value_db_ = rng_.normal(0.0, sigma_db_);
+  value_db_ = Db{rng_.normal(0.0, sigma_db_.v)};
 }
 
 Db ShadowingProcess::step(Meters moved) {
-  const double rho = std::exp(-std::max(moved, 0.0) / corr_m_);
-  value_db_ = rho * value_db_ + std::sqrt(std::max(0.0, 1.0 - rho * rho)) *
-                                    rng_.normal(0.0, sigma_db_);
+  const double rho = std::exp(-std::max(moved, 0.0_m) / corr_m_);
+  value_db_ = Db{rho * value_db_.v + std::sqrt(std::max(0.0, 1.0 - rho * rho)) *
+                                         rng_.normal(0.0, sigma_db_.v)};
   return value_db_;
 }
 
@@ -63,7 +63,7 @@ double ShadowingField::grid_value(long ix, long iy) const {
 
 ShadowingField::GridWeights ShadowingField::weights_at(double x, double y) const {
   GridWeights w;
-  const double gx = x / grid_m_, gy = y / grid_m_;
+  const double gx = x / grid_m_.v, gy = y / grid_m_.v;
   w.ix = static_cast<long>(std::floor(gx));
   w.iy = static_cast<long>(std::floor(gy));
   const double fx = gx - static_cast<double>(w.ix);
@@ -100,30 +100,33 @@ Db fast_fading_db(Band band, Rng& rng) {
   if (band == Band::kNrMmWave) {
     // Beam-tracking residual: usually small, occasionally a deep dip when a
     // beam momentarily misaligns or is blocked.
-    if (rng.bernoulli(0.03)) return -rng.uniform(8.0, 20.0);
-    return rng.normal(0.0, 2.5);
+    if (rng.bernoulli(0.03)) return Db{-rng.uniform(8.0, 20.0)};
+    return Db{rng.normal(0.0, 2.5)};
   }
   // Mild Rician-like ripple for sub-6 GHz macro cells.
-  return rng.normal(0.0, 1.5);
+  return Db{rng.normal(0.0, 1.5)};
 }
 
 Db sector_attenuation_db(double angle_off_boresight_rad, double beamwidth_rad,
                          Db max_attenuation_db) {
   // 3GPP TR 36.814 horizontal pattern: A = min(12 (theta/theta_3dB)^2, A_max).
   const double ratio = angle_off_boresight_rad / beamwidth_rad;
-  return std::min(12.0 * ratio * ratio, max_attenuation_db);
+  return std::min(Db{12.0 * ratio * ratio}, max_attenuation_db);
 }
 
 BeamPattern beam_pattern(Band band) {
   switch (band) {
     case Band::kNrMmWave:
       // Narrow beams; deep nulls off-boresight.
-      return {1.05, 22.0};  // ~60 deg beamwidth
+      return {1.05, Db{22.0}};  // ~60 deg beamwidth
     case Band::kNrMid:
-      return {1.75, 12.0};  // ~100 deg sector
-    default:
-      return {2.1, 10.0};
+      return {1.75, Db{12.0}};  // ~100 deg sector
+    case Band::kLteLow:
+    case Band::kLteMid:
+    case Band::kNrLow:
+      return {2.1, Db{10.0}};  // wide sub-3GHz sectors
   }
+  return {2.1, Db{10.0}};  // unreachable: all enumerators handled above
 }
 
 Rrs make_rrs(Band band, Meters distance, Db shadowing_db, Db fading_db,
@@ -132,18 +135,18 @@ Rrs make_rrs(Band band, Meters distance, Db shadowing_db, Db fading_db,
   Rrs r;
   r.rsrp = p.tx_power_dbm - path_loss_db(band, distance) + shadowing_db + fading_db -
            directional_loss_db;
-  r.rsrp = std::max(r.rsrp, -144.0);  // reporting floor
+  r.rsrp = std::max(r.rsrp, -144.0_dbm);  // reporting floor
   // SINR: signal over (noise + interference margin).
   const Dbm noise = p.noise_floor_dbm + interference_margin_db;
-  r.sinr = std::clamp(r.rsrp - noise, -20.0, 40.0);
+  r.sinr = std::clamp(r.rsrp - noise, -20.0_db, 40.0_db);
   // RSRQ tracks SINR compressed into its narrower reporting range
   // (-19.5 .. -3 dB), the standard N*RSRP/RSSI shape approximated linearly.
-  r.rsrq = std::clamp(-3.0 - (30.0 - r.sinr) * 0.55, -19.5, -3.0);
+  r.rsrq = std::clamp(-3.0_db - (30.0_db - r.sinr) * 0.55, -19.5_db, -3.0_db);
   // Downstream event monitors assume reported values stay inside the 3GPP
   // reporting ranges; the clamps above are the enforcement.
-  P5G_ENSURE(r.rsrp >= -144.0, "RSRP below the reporting floor");
-  P5G_ENSURE(r.sinr >= -20.0 && r.sinr <= 40.0, "SINR outside reporting range");
-  P5G_ENSURE(r.rsrq >= -19.5 && r.rsrq <= -3.0, "RSRQ outside reporting range");
+  P5G_ENSURE(r.rsrp >= -144.0_dbm, "RSRP below the reporting floor");
+  P5G_ENSURE(r.sinr >= -20.0_db && r.sinr <= 40.0_db, "SINR outside reporting range");
+  P5G_ENSURE(r.rsrq >= -19.5_db && r.rsrq <= -3.0_db, "RSRQ outside reporting range");
   return r;
 }
 

@@ -101,9 +101,9 @@ Db fast_fading_db(Band band, Rng& rng);
 
 // Received signal strength triple reported by the UE (the paper's "RRS").
 struct Rrs {
-  Dbm rsrp = -140.0;
-  Db rsrq = -20.0;
-  Db sinr = -10.0;
+  Dbm rsrp{-140.0};
+  Db rsrq{-20.0};
+  Db sinr{-10.0};
 };
 
 // Directional antenna pattern: attenuation (>= 0 dB) at `angle_off_boresight`
@@ -123,6 +123,6 @@ BeamPattern beam_pattern(Band band);
 // `interference_margin_db` models neighbor-cell load (raises the floor);
 // `directional_loss_db` is the antenna-pattern attenuation (0 for omni).
 Rrs make_rrs(Band band, Meters distance, Db shadowing_db, Db fading_db,
-             Db interference_margin_db, Db directional_loss_db = 0.0);
+             Db interference_margin_db, Db directional_loss_db = 0.0_db);
 
 }  // namespace p5g::radio

@@ -48,8 +48,8 @@ void CellIndex::build() {
     g.bucket_m = radio::band_profile(static_cast<radio::Band>(slot)).nominal_radius_m;
     g.min_x = min_x;
     g.min_y = min_y;
-    g.nx = 1 + static_cast<int>((max_x - min_x) / g.bucket_m);
-    g.ny = 1 + static_cast<int>((max_y - min_y) / g.bucket_m);
+    g.nx = 1 + static_cast<int>((max_x - min_x) / g.bucket_m.v);
+    g.ny = 1 + static_cast<int>((max_y - min_y) / g.bucket_m.v);
     // Stable counting sort of the id-ordered staged entries into the CSR
     // layout: within every bucket the id order survives, which is what the
     // (dist, id) query contract relies on for exact-distance ties.
@@ -57,9 +57,9 @@ void CellIndex::build() {
         static_cast<std::size_t>(g.nx) * static_cast<std::size_t>(g.ny);
     auto bucket_of = [&g](const Entry& e) {
       const int bx = std::clamp(
-          static_cast<int>((e.pos.x - g.min_x) / g.bucket_m), 0, g.nx - 1);
+          static_cast<int>((e.pos.x - g.min_x) / g.bucket_m.v), 0, g.nx - 1);
       const int by = std::clamp(
-          static_cast<int>((e.pos.y - g.min_y) / g.bucket_m), 0, g.ny - 1);
+          static_cast<int>((e.pos.y - g.min_y) / g.bucket_m.v), 0, g.ny - 1);
       return static_cast<std::size_t>(by) * static_cast<std::size_t>(g.nx) +
              static_cast<std::size_t>(bx);
     };
@@ -81,13 +81,13 @@ void CellIndex::query_radius(geo::Point p, radio::Band band, Meters radius,
   const Grid& g = grid(band);
   if (g.nx == 0) return;
   const int x0 = std::clamp(
-      static_cast<int>(std::floor((p.x - radius - g.min_x) / g.bucket_m)), 0, g.nx - 1);
+      static_cast<int>(std::floor((p.x - radius.v - g.min_x) / g.bucket_m.v)), 0, g.nx - 1);
   const int x1 = std::clamp(
-      static_cast<int>(std::floor((p.x + radius - g.min_x) / g.bucket_m)), 0, g.nx - 1);
+      static_cast<int>(std::floor((p.x + radius.v - g.min_x) / g.bucket_m.v)), 0, g.nx - 1);
   const int y0 = std::clamp(
-      static_cast<int>(std::floor((p.y - radius - g.min_y) / g.bucket_m)), 0, g.ny - 1);
+      static_cast<int>(std::floor((p.y - radius.v - g.min_y) / g.bucket_m.v)), 0, g.ny - 1);
   const int y1 = std::clamp(
-      static_cast<int>(std::floor((p.y + radius - g.min_y) / g.bucket_m)), 0, g.ny - 1);
+      static_cast<int>(std::floor((p.y + radius.v - g.min_y) / g.bucket_m.v)), 0, g.ny - 1);
   for (int by = y0; by <= y1; ++by) {
     // The row's [x0, x1] bucket span is contiguous in the CSR layout, so
     // the whole row is one linear pass over packed entries.
@@ -122,8 +122,8 @@ std::optional<IndexHit> CellIndex::nearest(geo::Point p, radio::Band band) const
   if (g.nx == 0) return std::nullopt;  // add() after build(); not supported
 
   // Ideal (unclamped) bucket of p; may lie outside the grid when p does.
-  const int cx = static_cast<int>(std::floor((p.x - g.min_x) / g.bucket_m));
-  const int cy = static_cast<int>(std::floor((p.y - g.min_y) / g.bucket_m));
+  const int cx = static_cast<int>(std::floor((p.x - g.min_x) / g.bucket_m.v));
+  const int cy = static_cast<int>(std::floor((p.y - g.min_y) / g.bucket_m.v));
 
   std::optional<IndexHit> best;
   auto consider = [&](int bx, int by) {

@@ -24,7 +24,7 @@ namespace p5g::ran {
 // One query hit: the entry id plus its (cached) distance to the query point.
 struct IndexHit {
   int id = -1;
-  Meters dist = 0.0;
+  Meters dist{0.0};
 };
 
 class CellIndex {
@@ -58,7 +58,7 @@ class CellIndex {
 
   struct Grid {
     std::vector<Entry> staged;  // id-ordered entries, pre-build
-    Meters bucket_m = 1.0;
+    Meters bucket_m{1.0};
     double min_x = 0.0;
     double min_y = 0.0;
     int nx = 0;  // bucket counts; 0 until build() or when the band is empty

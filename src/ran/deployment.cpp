@@ -78,7 +78,7 @@ double sector_azimuth(int k) { return 2.0943951023931953 * k + 0.5; }
 // Direction of sector k's coverage centroid.
 geo::Point sector_offset(int k, Meters magnitude) {
   const double ang = sector_azimuth(k);
-  return {magnitude * std::cos(ang), magnitude * std::sin(ang)};
+  return {magnitude.v * std::cos(ang), magnitude.v * std::sin(ang)};
 }
 
 }  // namespace
@@ -91,13 +91,13 @@ void Deployment::place_band(radio::Band band, const geo::Route& route, Rng& rng)
   const Meters spacing = 2.0 * bp.nominal_radius_m * profile_.density_scale;
   const Meters route_len = route.length();
 
-  for (Meters s = rng.uniform(0.0, spacing * 0.5); s < route_len + spacing;
+  for (Meters s{rng.uniform(0.0, (spacing * 0.5).v)}; s < route_len + spacing;
        s += spacing * rng.uniform(0.85, 1.15)) {
     const geo::Point on_route = route.position_at(s);
     // Lateral offset from the roadway.
     const Meters off = rng.uniform(0.05, 0.35) * bp.nominal_radius_m;
     const double ang = rng.uniform(0.0, 6.283185307179586);
-    geo::Point pos = on_route + geo::Point{off * std::cos(ang), off * std::sin(ang)};
+    geo::Point pos = on_route + geo::Point{off.v * std::cos(ang), off.v * std::sin(ang)};
 
     if (is_nr && rng.bernoulli(profile_.colocation_fraction)) {
       // Co-locate with the nearest ANCHOR-BAND tower (the control-plane

@@ -39,7 +39,7 @@ CarrierProfile profile_opz();
 // index already computed, so hot-path callers never re-run geo::distance.
 struct CellHit {
   const Cell* cell = nullptr;
-  Meters dist = 0.0;
+  Meters dist{0.0};
 };
 
 // A concrete set of towers/cells generated for a route corridor.

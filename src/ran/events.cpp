@@ -18,7 +18,7 @@ std::string_view event_name(EventType t) {
 }
 
 bool EventMonitor::entering_condition(const EventConfig& c, const MeasSnapshot& m) {
-  const double hys = c.hysteresis;
+  const Db hys = c.hysteresis;
   switch (c.type) {
     case EventType::kA1:
       return m.serving_valid && m.serving_rsrp - hys > c.threshold1;
@@ -40,7 +40,7 @@ bool EventMonitor::entering_condition(const EventConfig& c, const MeasSnapshot& 
 }
 
 bool EventMonitor::leaving_condition(const EventConfig& c, const MeasSnapshot& m) {
-  const double hys = c.hysteresis;
+  const Db hys = c.hysteresis;
   switch (c.type) {
     case EventType::kA1:
       return !m.serving_valid || m.serving_rsrp + hys < c.threshold1;
@@ -71,7 +71,7 @@ std::optional<TriggeredEvent> EventMonitor::evaluate(Seconds t, const MeasSnapsh
   }
   if (entering_condition(config_, m)) {
     if (!condition_since_) condition_since_ = t;
-    if ((t - *condition_since_) * kMillisecondsPerSecond >= config_.ttt_ms) {
+    if (Millis::from(t - *condition_since_) >= config_.ttt_ms) {
       reported_ = true;
       TriggeredEvent e;
       e.type = config_.type;
@@ -110,16 +110,16 @@ std::vector<EventConfig> default_lte_event_set(radio::Band nr_band) {
   const Dbm edge = edge_rsrp(radio::Band::kLteMid);
   // A2: serving LTE degrades below cell-edge quality.
   v.push_back({EventType::kA2, MeasScope::kServingLte, radio::Rat::kLte,
-               edge - 4.0, 0.0, 0.0, 1.0, 320.0});
+               edge - 4.0_db, 0.0_dbm, 0.0_db, 1.0_db, 320.0_ms});
   // A3: intra-LTE neighbor offset-better -> LTEH / MNBH.
   v.push_back({EventType::kA3, MeasScope::kServingLte, radio::Rat::kLte,
-               0.0, 0.0, 5.0, 1.5, 560.0});
+               0.0_dbm, 0.0_dbm, 5.0_db, 1.5_db, 560.0_ms});
   // A5: serving bad + neighbor acceptable (inter-frequency fallback).
   v.push_back({EventType::kA5, MeasScope::kServingLte, radio::Rat::kLte,
-               edge - 8.0, edge - 3.0, 0.0, 1.5, 480.0});
+               edge - 8.0_db, edge - 3.0_db, 0.0_db, 1.5_db, 480.0_ms});
   // B1: NR neighbor above threshold -> SCG Addition (NSA only).
   v.push_back({EventType::kB1, MeasScope::kServingLte, radio::Rat::kNr,
-               edge_rsrp(nr_band) - 2.0, 0.0, 0.0, 1.5, 256.0});
+               edge_rsrp(nr_band) - 2.0_db, 0.0_dbm, 0.0_db, 1.5_db, 256.0_ms});
   return v;
 }
 
@@ -130,15 +130,15 @@ std::vector<EventConfig> default_nsa_nr_event_set(radio::Band nr_band) {
   // NR-A2: SCG leg degrades -> candidate for SCGR / SCGC. mmWave reacts
   // earlier (beams die fast once the UE leaves the boresight).
   v.push_back({EventType::kA2, MeasScope::kServingNr, radio::Rat::kNr,
-               mmwave ? nr_edge + 2.0 : nr_edge - 5.0, 0.0, 0.0, 1.0,
-               mmwave ? 200.0 : 256.0});
+               mmwave ? nr_edge + 2.0_db : nr_edge - 5.0_db, 0.0_dbm, 0.0_db, 1.0_db,
+               mmwave ? 200.0_ms : 256.0_ms});
   // NR-A3: a beam/sector of the same gNB becomes offset-better -> SCGM.
   // mmWave beam switching is deliberately aggressive (short TTT).
   v.push_back({EventType::kA3, MeasScope::kServingNr, radio::Rat::kNr,
-               0.0, 0.0, mmwave ? 3.5 : 4.0, 1.5, mmwave ? 260.0 : 400.0});
+               0.0_dbm, 0.0_dbm, mmwave ? 3.5_db : 4.0_db, 1.5_db, mmwave ? 260.0_ms : 400.0_ms});
   // NR-B1: NR neighbor above absolute threshold (used with A2 for SCGC).
   v.push_back({EventType::kB1, MeasScope::kServingNr, radio::Rat::kNr,
-               nr_edge - 3.0, 0.0, 0.0, 1.5, mmwave ? 200.0 : 256.0});
+               nr_edge - 3.0_db, 0.0_dbm, 0.0_db, 1.5_db, mmwave ? 200.0_ms : 256.0_ms});
   return v;
 }
 
@@ -146,12 +146,12 @@ std::vector<EventConfig> default_sa_event_set(radio::Band nr_band) {
   std::vector<EventConfig> v;
   const Dbm nr_edge = edge_rsrp(nr_band);
   v.push_back({EventType::kA2, MeasScope::kServingNr, radio::Rat::kNr,
-               nr_edge - 5.0, 0.0, 0.0, 1.0, 320.0});
+               nr_edge - 5.0_db, 0.0_dbm, 0.0_db, 1.0_db, 320.0_ms});
   // SA MCG HO driven by NR-A3 (any gNB).
   v.push_back({EventType::kA3, MeasScope::kServingNr, radio::Rat::kNr,
-               0.0, 0.0, 3.5, 1.5, 400.0});
+               0.0_dbm, 0.0_dbm, 3.5_db, 1.5_db, 400.0_ms});
   v.push_back({EventType::kA5, MeasScope::kServingNr, radio::Rat::kNr,
-               nr_edge - 8.0, nr_edge - 3.0, 0.0, 1.5, 480.0});
+               nr_edge - 8.0_db, nr_edge - 3.0_db, 0.0_db, 1.5_db, 480.0_ms});
   return v;
 }
 

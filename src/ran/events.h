@@ -40,18 +40,18 @@ struct EventConfig {
   // Which RAT the *neighbor* side of the condition measures (for A3/A4/A5/
   // A6/B1). B1 is inter-RAT by definition (LTE serving, NR neighbor).
   radio::Rat neighbor_rat = radio::Rat::kLte;
-  Dbm threshold1 = -100.0;   // A1/A2/A4/B1 threshold, A5 thr1 (serving)
-  Dbm threshold2 = -105.0;   // A5 thr2 (neighbor)
-  Db offset = 3.0;           // A3/A6 offset
-  Db hysteresis = 1.0;       // applied on enter and leave
-  Milliseconds ttt_ms = 160.0;
+  Dbm threshold1{-100.0};   // A1/A2/A4/B1 threshold, A5 thr1 (serving)
+  Dbm threshold2{-105.0};   // A5 thr2 (neighbor)
+  Db offset{3.0};           // A3/A6 offset
+  Db hysteresis{1.0};       // applied on enter and leave
+  Milliseconds ttt_ms{160.0};
 };
 
 // One serving/neighbor measurement snapshot used to evaluate events.
 struct MeasSnapshot {
-  Dbm serving_rsrp = -140.0;        // RSRP of the leg named by `scope`
+  Dbm serving_rsrp{-140.0};        // RSRP of the leg named by `scope`
   bool serving_valid = false;
-  Dbm best_neighbor_rsrp = -140.0;  // strongest neighbor of `neighbor_rat`
+  Dbm best_neighbor_rsrp{-140.0};  // strongest neighbor of `neighbor_rat`
   int best_neighbor_pci = -1;
   int best_neighbor_cell_id = -1;
   bool neighbor_valid = false;
@@ -60,9 +60,9 @@ struct MeasSnapshot {
 struct TriggeredEvent {
   EventType type{};
   MeasScope scope{};
-  Seconds time = 0.0;
-  Dbm serving_rsrp = -140.0;
-  Dbm neighbor_rsrp = -140.0;
+  Seconds time{0.0};
+  Dbm serving_rsrp{-140.0};
+  Dbm neighbor_rsrp{-140.0};
   int neighbor_pci = -1;
   int neighbor_cell_id = -1;
 };

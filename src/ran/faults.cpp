@@ -61,9 +61,9 @@ bool FaultInjector::prep_fails(HoType t) {
 }
 
 Milliseconds FaultInjector::backoff_ms(int attempt) const {
-  const double raw = profile_.rach_backoff_base_ms *
+  const double raw = profile_.rach_backoff_base_ms.v *
                      std::pow(profile_.rach_backoff_factor, attempt - 1);
-  return std::min(raw, profile_.rach_backoff_cap_ms);
+  return std::min(Millis{raw}, profile_.rach_backoff_cap_ms);
 }
 
 FaultInjector::ExecPlan FaultInjector::plan_execution(HoType t) {
@@ -94,8 +94,8 @@ FaultInjector::ExecPlan FaultInjector::plan_execution(HoType t) {
 
 Milliseconds FaultInjector::reestablish_duration() {
   return std::max(profile_.reestablish_floor_ms,
-                  rng_.normal(profile_.reestablish_mean_ms,
-                              profile_.reestablish_sd_ms));
+                  Millis{rng_.normal(profile_.reestablish_mean_ms.v,
+                                     profile_.reestablish_sd_ms.v)});
 }
 
 bool RlfMonitor::update(Seconds t, Dbm serving_rsrp, bool serving_valid) {

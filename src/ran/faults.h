@@ -56,26 +56,26 @@ struct FaultProfile {
   // backoff(k) = min(base * factor^(k-1), cap) and then spends another
   // attempt duration; at most `rach_max_attempts` attempts are made.
   int rach_max_attempts = 3;
-  Milliseconds rach_attempt_ms = 18.0;
-  Milliseconds rach_backoff_base_ms = 20.0;
+  Milliseconds rach_attempt_ms{18.0};
+  Milliseconds rach_backoff_base_ms{20.0};
   double rach_backoff_factor = 2.0;
-  Milliseconds rach_backoff_cap_ms = 160.0;
+  Milliseconds rach_backoff_cap_ms{160.0};
 
   // Radio link failure: primary serving RSRP below `rlf_qout_dbm` for
   // `rlf_t310` seconds declares RLF.
   bool rlf_enabled = false;
-  Dbm rlf_qout_dbm = -120.0;
-  Seconds rlf_t310 = 1.0;
+  Dbm rlf_qout_dbm{-120.0};
+  Seconds rlf_t310{1.0};
 
   // RRC re-establishment duration (truncated normal), applied after RLF and
   // after MCG execution failures. The whole data plane is down throughout.
-  Milliseconds reestablish_mean_ms = 240.0;
-  Milliseconds reestablish_sd_ms = 60.0;
-  Milliseconds reestablish_floor_ms = 80.0;
+  Milliseconds reestablish_mean_ms{240.0};
+  Milliseconds reestablish_sd_ms{60.0};
+  Milliseconds reestablish_floor_ms{80.0};
 
   // Extra interruption when an SCG procedure exhausts its RACH attempts and
   // the UE falls back to LTE via fast SCG release.
-  Milliseconds scg_failure_fallback_ms = 30.0;
+  Milliseconds scg_failure_fallback_ms{30.0};
 
   // True for the default profile: no fault machinery runs and the simulator
   // reproduces the fault-free trace exactly.
@@ -112,8 +112,8 @@ class FaultInjector {
   // time beyond the first attempt, total backoff, and final success.
   struct ExecPlan {
     int attempts = 1;
-    Milliseconds retry_ms = 0.0;    // extra attempt durations (excl. backoff)
-    Milliseconds backoff_ms = 0.0;  // capped-exponential backoff total
+    Milliseconds retry_ms{0.0};    // extra attempt durations (excl. backoff)
+    Milliseconds backoff_ms{0.0};  // capped-exponential backoff total
     bool success = true;
   };
   ExecPlan plan_execution(HoType t);

@@ -64,8 +64,13 @@ HoArch ho_arch(HoType t) {
   switch (t) {
     case HoType::kLteh: return HoArch::kLte;  // NSA anchor LTEH shares the model
     case HoType::kMcgh: return HoArch::kSa;
-    default: return HoArch::kNsa;
+    case HoType::kMnbh:
+    case HoType::kScga:
+    case HoType::kScgr:
+    case HoType::kScgc:
+    case HoType::kScgm: return HoArch::kNsa;
   }
+  return HoArch::kNsa;  // unreachable: all enumerators handled above
 }
 
 HoInterruption ho_interruption(HoType t) {
@@ -90,7 +95,7 @@ namespace {
 
 // Truncated-normal sampler: mean/sd with a hard floor.
 Milliseconds tnorm(Rng& rng, double mean, double sd, double floor_ms) {
-  return std::max(floor_ms, rng.normal(mean, sd));
+  return std::max(Millis{floor_ms}, Millis{rng.normal(mean, sd)});
 }
 
 }  // namespace

@@ -24,10 +24,10 @@ void emit_prep_span(const HandoverRecord& rec, std::uint64_t flow) {
   p5g::obs::Event e;
   e.kind = p5g::obs::EventKind::kSpan;
   e.category = p5g::obs::EventCategory::kHoPrep;
-  e.t0 = rec.decision_time;
-  e.t1 = rec.exec_start;
-  e.a0 = rec.timing.t1_ms;  // authoritative T1 duration
-  e.a1 = rec.route_position;
+  e.t0 = rec.decision_time.v;
+  e.t1 = rec.exec_start.v;
+  e.a0 = rec.timing.t1_ms.v;  // authoritative T1 duration
+  e.a1 = rec.route_position.v;
   e.flow = flow;
   e.i0 = rec.src_pci;
   e.i1 = rec.dst_pci;
@@ -40,10 +40,10 @@ void emit_exec_span(const HandoverRecord& rec, Seconds exec_end,
   p5g::obs::Event e;
   e.kind = p5g::obs::EventKind::kSpan;
   e.category = p5g::obs::EventCategory::kHoExec;
-  e.t0 = rec.exec_start;
-  e.t1 = exec_end;
-  e.a0 = rec.timing.t2_ms;  // authoritative T2 (includes retries + backoff)
-  e.a1 = rec.backoff_ms;
+  e.t0 = rec.exec_start.v;
+  e.t1 = exec_end.v;
+  e.a0 = rec.timing.t2_ms.v;  // authoritative T2 (includes retries + backoff)
+  e.a1 = rec.backoff_ms.v;
   e.flow = flow;
   e.i0 = rec.rach_attempts;
   e.i1 = rec.dst_pci;
@@ -52,7 +52,7 @@ void emit_exec_span(const HandoverRecord& rec, Seconds exec_end,
   if (rec.rach_attempts > 1) {
     // The fault layer's retry chain: attempts and total backoff inside T2.
     e.category = p5g::obs::EventCategory::kRachRetry;
-    e.a0 = rec.backoff_ms;
+    e.a0 = rec.backoff_ms.v;
     e.a1 = 0.0;
     p5g::obs::event_log().emit(e);
   }
@@ -62,10 +62,10 @@ void emit_reestablish_span(const HandoverRecord& rec, std::uint64_t flow) {
   p5g::obs::Event e;
   e.kind = p5g::obs::EventKind::kSpan;
   e.category = p5g::obs::EventCategory::kRlf;
-  e.t0 = rec.complete_time - ms_to_s(rec.reestablish_ms);
-  e.t1 = rec.complete_time;
-  e.a0 = rec.reestablish_ms;  // authoritative re-establishment duration
-  e.a1 = rec.route_position;
+  e.t0 = (rec.complete_time - ms_to_s(rec.reestablish_ms)).v;
+  e.t1 = rec.complete_time.v;
+  e.a0 = rec.reestablish_ms.v;  // authoritative re-establishment duration
+  e.a1 = rec.route_position.v;
   e.flow = flow;
   e.i0 = rec.src_pci;
   e.i1 = rec.dst_pci;
@@ -77,10 +77,10 @@ void emit_complete(const HandoverRecord& rec, std::uint64_t flow) {
   p5g::obs::Event e;
   e.kind = p5g::obs::EventKind::kInstant;
   e.category = p5g::obs::EventCategory::kHoComplete;
-  e.t0 = rec.complete_time;
-  e.t1 = rec.complete_time;
-  e.a0 = rec.timing.t1_ms;  // authoritative phase durations: a prep-failed
-  e.a1 = rec.timing.t2_ms;  // record keeps its sampled (never-run) T2
+  e.t0 = rec.complete_time.v;
+  e.t1 = rec.complete_time.v;
+  e.a0 = rec.timing.t1_ms.v;  // authoritative phase durations: a prep-failed
+  e.a1 = rec.timing.t2_ms.v;  // record keeps its sampled (never-run) T2
   e.flow = flow;
   e.i0 = rec.colocated ? 1 : 0;
   e.i1 = rec.rach_attempts;
@@ -195,7 +195,7 @@ void MobilityManager::observe(Seconds /*t*/, geo::Point pos, Meters moved,
       const Db shadow = (*shadow_)[static_cast<std::size_t>(c->id)].at(pos.x, pos.y);
       const Db fading = radio::fast_fading_db(band, rng_);
       // Directional cells attenuate off-boresight (angle from the TOWER).
-      Db dir_loss = 0.0;
+      Db dir_loss{0.0};
       if (c->directional) {
         const geo::Point tower = deployment_.tower(c->tower_id).position;
         const double ue_angle = std::atan2(pos.y - tower.y, pos.x - tower.x);
@@ -244,7 +244,7 @@ void MobilityManager::observe(Seconds /*t*/, geo::Point pos, Meters moved,
   for (std::size_t i = 0; i < n; ++i) {
     const Cell* c = near_buf_[i].cell;
     if (!c->directional) {
-      batch_.dir_loss[i] = 0.0;
+      batch_.dir_loss[i] = 0.0_db;
       continue;
     }
     const auto tw = static_cast<std::size_t>(c->tower_id);
@@ -445,7 +445,7 @@ void MobilityManager::run_event_monitors(Seconds t,
   // Bound the phase memory: reports older than 5 s no longer participate in
   // composite decisions.
   std::erase_if(phase_reports_,
-                [t](const MeasurementReport& r) { return t - r.time > 5.0; });
+                [t](const MeasurementReport& r) { return t - r.time > 5.0_s; });
 }
 
 namespace {
@@ -561,7 +561,9 @@ void MobilityManager::decide(Seconds t, Meters route_position,
         }
         break;
 
-      default:
+      case EventType::kA1:
+      case EventType::kA4:
+      case EventType::kA6:
         break;  // A1/A4/A6 carry no decision in the default policy
     }
   }
@@ -574,7 +576,7 @@ Dbm MobilityManager::nr_b1_threshold() const {
       return m.config().threshold1;
     }
   }
-  return -90.0;
+  return -90.0_dbm;
 }
 
 bool MobilityManager::is_colocated_endpoint(int src_cell, int dst_cell) const {
@@ -819,7 +821,7 @@ void MobilityManager::monitor_radio_link(Seconds t, Meters route_position,
   if (primary < 0) return;
   const CellObservation* s = find_obs(obs, primary);
   const bool valid = s != nullptr;
-  if (rlf_.update(t, valid ? s->rrs.rsrp : -200.0, valid)) {
+  if (rlf_.update(t, valid ? s->rrs.rsrp : -200.0_dbm, valid)) {
     start_reestablishment(t, route_position, primary, out);
   }
 }
@@ -832,7 +834,7 @@ void MobilityManager::start_reestablishment(Seconds t, Meters route_position,
   rec.outcome = HoOutcome::kRlfReestablish;
   rec.decision_time = t;
   rec.exec_start = t;  // RLF has no preparation stage
-  rec.timing = {0.0, 0.0};
+  rec.timing = {0.0_ms, 0.0_ms};
   rec.reestablish_ms = injector_.reestablish_duration();
   rec.complete_time = t + ms_to_s(rec.reestablish_ms);
   rec.signaling = {.rrc = 2, .mac = 3, .phy = 4};
@@ -855,10 +857,10 @@ void MobilityManager::start_reestablishment(Seconds t, Meters route_position,
     p5g::obs::Event e;
     e.kind = p5g::obs::EventKind::kInstant;
     e.category = p5g::obs::EventCategory::kRlf;
-    e.t0 = t;
-    e.t1 = t;
-    e.a0 = rec.reestablish_ms;
-    e.a1 = route_position;
+    e.t0 = t.v;
+    e.t1 = t.v;
+    e.a0 = rec.reestablish_ms.v;
+    e.a1 = route_position.v;
     e.flow = pending_flow_;
     e.i0 = rec.src_pci;
     e.i1 = rec.dst_pci;
@@ -899,7 +901,7 @@ void MobilityManager::tick(Seconds t, geo::Point pos, Meters moved,
     // Wall-track twin of the histogram sample: same stride, so the flight
     // recorder's engine profile costs nothing on unsampled ticks.
     const p5g::obs::EventSpan span(p5g::obs::EventCategory::kMmObserve,
-                                   {.a0 = t}, sample_phases);
+                                   {.a0 = t.v}, sample_phases);
     // Observe all layers relevant to the architecture: LTE first, then NR,
     // which is the band segmentation find_obs/best_of_band rely on.
     if (config_.arch != Arch::kSa) observe(t, pos, moved, config_.lte_band, out.observations);
@@ -917,7 +919,7 @@ void MobilityManager::tick(Seconds t, geo::Point pos, Meters moved,
   if (!executing) {
     const p5g::obs::ObsTimer timer(*metrics_.decide_ms, sample_phases);
     const p5g::obs::EventSpan span(p5g::obs::EventCategory::kMmDecide,
-                                   {.a0 = t}, sample_phases);
+                                   {.a0 = t.v}, sample_phases);
     run_event_monitors(t, out.observations, out);
     decide(t, route_position, out.observations, out);
   }

@@ -77,8 +77,8 @@ class MobilityManager {
     // Observation radius as a multiple of the band's nominal cell radius.
     double observe_radius_factor = 2.6;
     // Extra interference margin (raises the noise floor), per leg.
-    Db lte_interference_db = 4.0;
-    Db nr_interference_db = 3.0;
+    Db lte_interference_db{4.0};
+    Db nr_interference_db{3.0};
     // Failure injection. The default all-zero profile draws no fault
     // randomness and reproduces the fault-free trace bit-for-bit.
     FaultProfile faults{};
@@ -148,7 +148,7 @@ class MobilityManager {
   struct PendingHo {
     HandoverRecord record;
     Phase phase = Phase::kPrep;
-    Seconds phase_end = 0.0;
+    Seconds phase_end{0.0};
   };
 
   void observe(Seconds t, geo::Point pos, Meters moved, radio::Band band,

@@ -23,14 +23,14 @@ std::string_view rrc_message_name(RrcMessageType t);
 
 // A measurement report as delivered to the primary cell.
 struct MeasurementReport {
-  Seconds time = 0.0;
+  Seconds time{0.0};
   EventType event{};
   MeasScope scope{};
   int serving_pci = -1;
   int neighbor_pci = -1;
   int neighbor_cell_id = -1;
-  Dbm serving_rsrp = -140.0;
-  Dbm neighbor_rsrp = -140.0;
+  Dbm serving_rsrp{-140.0};
+  Dbm neighbor_rsrp{-140.0};
 };
 
 // Per-layer signaling message counts attributable to one HO (or accumulated

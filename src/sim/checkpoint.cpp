@@ -111,16 +111,16 @@ std::string encode_checkpoint(const FleetCheckpoint& c) {
     put_u64(out, static_cast<std::uint64_t>(u.ue));
     put_u64(out, u.seed);
     put_u32(out, static_cast<std::uint32_t>(u.mobility));
-    put_f64(out, u.start_offset_m);
+    put_f64(out, u.start_offset_m.v);
     const trace::TraceSummary& t = u.trace;
     put_u64(out, static_cast<std::uint64_t>(t.ticks));
-    put_f64(out, t.duration);
-    put_f64(out, t.distance);
+    put_f64(out, t.duration.v);
+    put_f64(out, t.distance.v);
     put_f64(out, t.mean_throughput_mbps);
-    put_f64(out, t.mean_rtt_ms);
-    put_f64(out, t.lte_halted_s);
-    put_f64(out, t.nr_halted_s);
-    put_f64(out, t.any_halted_s);
+    put_f64(out, t.mean_rtt_ms.v);
+    put_f64(out, t.lte_halted_s.v);
+    put_f64(out, t.nr_halted_s.v);
+    put_f64(out, t.any_halted_s.v);
     put_i32(out, t.reports);
     put_i32(out, t.handovers);
     put_i32(out, t.ho_success);
@@ -166,11 +166,11 @@ std::optional<FleetCheckpoint> decode_checkpoint(std::string_view bytes,
     std::uint32_t mobility = 0;
     trace::TraceSummary& t = u.trace;
     const bool ok = r.u64(ue) && r.u64(u.seed) && r.u32(mobility) &&
-                    r.f64(u.start_offset_m) && r.u64(ticks) &&
-                    r.f64(t.duration) && r.f64(t.distance) &&
-                    r.f64(t.mean_throughput_mbps) && r.f64(t.mean_rtt_ms) &&
-                    r.f64(t.lte_halted_s) && r.f64(t.nr_halted_s) &&
-                    r.f64(t.any_halted_s) && r.i32(t.reports) &&
+                    r.f64(u.start_offset_m.v) && r.u64(ticks) &&
+                    r.f64(t.duration.v) && r.f64(t.distance.v) &&
+                    r.f64(t.mean_throughput_mbps) && r.f64(t.mean_rtt_ms.v) &&
+                    r.f64(t.lte_halted_s.v) && r.f64(t.nr_halted_s.v) &&
+                    r.f64(t.any_halted_s.v) && r.i32(t.reports) &&
                     r.i32(t.handovers) && r.i32(t.ho_success) &&
                     r.i32(t.ho_prep_failure) && r.i32(t.ho_exec_failure) &&
                     r.i32(t.ho_rlf_reestablish);

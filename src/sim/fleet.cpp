@@ -361,6 +361,7 @@ FleetResult run_fleet(const FleetScenario& f, const FleetCheckpointOptions& ckpt
     }
     // A failed periodic save must not kill the fleet — the counters and the
     // final save (whose failure IS surfaced) cover it.
+    // p5g-analyze: allow(ignored-ioresult)
     static_cast<void>(save_checkpoint(ckpt.path, c));
     if (obs::events_enabled()) {
       // Wall-track instant: when the snapshot landed and how much of the

@@ -44,7 +44,7 @@ struct FleetScenario {
   // UE i starts i * stagger_m metres along the shared route (wrapped to the
   // route length), spreading the fleet over the corridor instead of
   // launching every UE from the origin.
-  Meters stagger_m = 0.0;
+  Meters stagger_m{0.0};
   // Round-robin mobility assignment: UE i moves as mobility_mix[i % size].
   // Empty (the default) gives every UE base.mobility. Note the route shape
   // itself is always built from base.mobility — mixed-in walkers/drivers
@@ -106,7 +106,7 @@ struct UeSummary {
   std::size_t ue = 0;
   std::uint64_t seed = 0;
   MobilityKind mobility = MobilityKind::kFreeway;
-  Meters start_offset_m = 0.0;
+  Meters start_offset_m{0.0};
   trace::TraceSummary trace;
 
   bool operator==(const UeSummary&) const = default;

@@ -12,16 +12,16 @@ namespace p5g::sim {
 geo::Route build_route(const Scenario& s, Rng& rng) {
   switch (s.mobility) {
     case MobilityKind::kFreeway: {
-      const Meters len = kmh_to_mps(s.speed_kmh) * s.duration * 1.1;
+      const Meters len{kmh_to_mps(s.speed_kmh) * s.duration.v * 1.1};
       return geo::make_freeway_route(len, rng);
     }
     case MobilityKind::kCity: {
-      const Meters len = kmh_to_mps(s.speed_kmh) * s.duration * 0.8;
-      return geo::make_city_route(len, 180.0, rng);
+      const Meters len{kmh_to_mps(s.speed_kmh) * s.duration.v * 0.8};
+      return geo::make_city_route(len, 180.0_m, rng);
     }
     case MobilityKind::kWalkLoop: {
       // Perimeter sized so one loop takes roughly a third of the duration.
-      const Meters perimeter = std::max(800.0, 1.4 * s.duration / 3.0);
+      const Meters perimeter{std::max(800.0, 1.4 * s.duration.v / 3.0)};
       return geo::make_loop_route(perimeter, rng);
     }
   }

@@ -29,14 +29,14 @@ struct Scenario {
   radio::Band lte_band = radio::Band::kLteMid;
   MobilityKind mobility = MobilityKind::kFreeway;
   double speed_kmh = 110.0;            // ignored for kWalkLoop
-  Seconds duration = 1800.0;
-  double tick_hz = 20.0;
+  Seconds duration{1800.0};
+  Hertz tick_hz{20.0};
   tput::TrafficMode traffic_mode = tput::TrafficMode::kNrOnly;
   bool mnbh_releases_scg = true;       // §6.1 coverage mechanism (ablatable)
   // Arc length along the route at which the UE starts (wrapped to the route
   // length at run time). 0 — the default, and the historical behaviour —
   // starts at the route origin; fleets stagger their UEs with this.
-  Meters start_offset_m = 0.0;
+  Meters start_offset_m{0.0};
   // Failure injection (ran/faults.h). The default all-zero profile keeps
   // the trace bit-identical to a fault-free run of the same seed.
   ran::FaultProfile faults{};

@@ -23,13 +23,16 @@ ran::MobilityManager::Config make_mm_config(const Scenario& s) {
   return mm_cfg;
 }
 
+// Sink, not a fork: the caller hands a DEDICATED mobility stream that this
+// factory forwards into the driver's constructor.
 std::unique_ptr<ue::MobilityModel> build_mobility(const Scenario& s,
-                                                  const geo::Route& route, Rng rng) {
+                                                  const geo::Route& route,
+                                                  Rng rng) {  // p5g-analyze: allow(rng-by-value)
   // Stagger offsets wrap so a fleet wider than the route folds back onto it
   // (loop routes wrap anyway; open routes would otherwise clamp at the end).
-  const Meters start = route.length() > 0.0
-                           ? std::fmod(std::max(0.0, s.start_offset_m), route.length())
-                           : 0.0;
+  const Meters start = route.length() > 0.0_m
+                           ? Meters{std::fmod(std::max(0.0, s.start_offset_m.v), route.length().v)}
+                           : 0.0_m;
   switch (s.mobility) {
     case MobilityKind::kFreeway:
       return std::make_unique<ue::ConstantSpeedDriver>(route, s.speed_kmh, rng, start);
@@ -54,8 +57,8 @@ ScenarioStepper::ScenarioStepper(const Scenario& s, const ran::Deployment& deplo
                shared_shadow),
       mobility_(build_mobility(s, route, Rng(s.seed ^ 0xD1CEu).fork(2))),
       data_rng_(Rng(s.seed ^ 0xD1CEu).fork(3)),
-      dt_(1.0 / s.tick_hz),
-      total_ticks_(static_cast<std::size_t>(s.duration * s.tick_hz)),
+      dt_(1.0 / s.tick_hz.v),
+      total_ticks_(static_cast<std::size_t>(s.duration.v * s.tick_hz.v)),
       prev_s_(mobility_->current().route_position) {}
 
 void ScenarioStepper::step(trace::TickRecord& rec) {
@@ -115,7 +118,7 @@ void ScenarioStepper::step(trace::TickRecord& rec) {
   rec.throughput_mbps = tput::downlink_throughput(dp, data_rng_);
   // Bulk-TCP recovery: after a data-plane interruption the flow rebuilds
   // its window; throughput ramps back over ~1.5 s instead of stepping.
-  constexpr Seconds kTcpRecovery = 1.5;
+  constexpr Seconds kTcpRecovery{1.5};
   const bool halted_now =
       (dp.nr.attached && dp.nr.halted) || (!dp.nr.attached && dp.lte.halted) ||
       (s_.traffic_mode == tput::TrafficMode::kDual && dp.lte.halted);
@@ -125,7 +128,7 @@ void ScenarioStepper::step(trace::TickRecord& rec) {
     was_halted_ = false;
     halted_until_ = t;
   }
-  if (!halted_now && halted_until_ >= 0.0 && t - halted_until_ < kTcpRecovery) {
+  if (!halted_now && halted_until_ >= 0.0_s && t - halted_until_ < kTcpRecovery) {
     const double ramp = 0.15 + 0.85 * (t - halted_until_) / kTcpRecovery;
     rec.throughput_mbps *= ramp;
   }
@@ -142,10 +145,10 @@ void ScenarioStepper::step(trace::TickRecord& rec) {
       obs::Event e;
       e.kind = obs::EventKind::kSpan;
       e.category = obs::EventCategory::kTick;
-      e.t0 = t;
-      e.t1 = t + dt_;
+      e.t0 = t.v;
+      e.t1 = (t + dt_).v;
       e.a0 = rec.throughput_mbps;
-      e.a1 = rec.rtt_ms;
+      e.a1 = rec.rtt_ms.v;
       e.i0 = rec.lte_pci;
       e.i1 = rec.nr_pci;
       e.i2 = static_cast<std::uint16_t>((rec.lte_halted ? 1u : 0u) |

@@ -49,7 +49,7 @@ class ScenarioStepper {
   std::size_t tick_ = 0;
   Meters prev_s_;
   // Bulk-TCP recovery state (see step()): end of the last interruption.
-  Seconds halted_until_ = -1.0;
+  Seconds halted_until_{-1.0};
   bool was_halted_ = false;
   // Manager output, reused across ticks (zero steady-state allocation).
   ran::TickResult res_;

@@ -47,21 +47,21 @@ Milliseconds rtt_sample(const DataPlaneInput& in,
   // Base path RTT by bearer topology.
   Milliseconds base;
   if (!in.nr.attached) {
-    base = 42.0;  // LTE only
+    base = 42.0_ms;  // LTE only
   } else if (in.mode == TrafficMode::kNrOnly) {
-    base = 28.0;  // core -> gNB directly
+    base = 28.0_ms;  // core -> gNB directly
   } else {
-    base = 38.0;  // core -> eNB -> gNB detour
+    base = 38.0_ms;  // core -> eNB -> gNB detour
   }
   // Heavy-tailed queueing noise.
-  Milliseconds rtt = base + rng.exponential(4.0) + rng.normal(0.0, 1.5);
+  Milliseconds rtt{base.v + rng.exponential(4.0) + rng.normal(0.0, 1.5)};
 
   if (reestablishing) {
     // RRC re-establishment: every path is down until the new connection is
     // up; packets ride retransmission timers, far past any HO stall.
     rtt *= rng.uniform(2.2, 4.0);
-    if (rng.bernoulli(0.6)) rtt += rng.uniform(150.0, 600.0);
-    return std::max(rtt, 4.0);
+    if (rng.bernoulli(0.6)) rtt += Millis{rng.uniform(150.0, 600.0)};
+    return std::max(rtt, 4.0_ms);
   }
 
   if (active_ho) {
@@ -71,7 +71,7 @@ Milliseconds rtt_sample(const DataPlaneInput& in,
     if (nr_hit && lte_hit) {
       // Anchor HO with SCG handling (MNBH): every path is down.
       rtt *= rng.uniform(1.9, 3.2);
-      if (rng.bernoulli(0.5)) rtt += rng.uniform(80.0, 300.0);
+      if (rng.bernoulli(0.5)) rtt += Millis{rng.uniform(80.0, 300.0)};
     } else if (nr_hit && !in.nr.attached) {
       // SCG Addition: the bearer stays on LTE; only a brief reconfiguration
       // pause is felt.
@@ -87,10 +87,10 @@ Milliseconds rtt_sample(const DataPlaneInput& in,
       // the length of the interruption; median inflation 37-58 %, tail
       // much worse.
       rtt *= rng.uniform(1.37, 1.9);
-      if (rng.bernoulli(0.2)) rtt += rng.uniform(40.0, 160.0);
+      if (rng.bernoulli(0.2)) rtt += Millis{rng.uniform(40.0, 160.0)};
     }
   }
-  return std::max(rtt, 4.0);
+  return std::max(rtt, 4.0_ms);
 }
 
 }  // namespace p5g::tput

@@ -34,7 +34,7 @@ struct LegState {
   bool attached = false;
   bool halted = false;  // inside a T2 that halts this leg
   radio::Band band{};
-  Db sinr_db = -20.0;
+  Db sinr_db{-20.0};
 };
 
 struct DataPlaneInput {

@@ -101,9 +101,15 @@ bool is_ho_category(obs::EventCategory c) {
     case obs::EventCategory::kRlf:
     case obs::EventCategory::kRachRetry:
       return true;
-    default:
+    case obs::EventCategory::kTick:
+    case obs::EventCategory::kMmObserve:
+    case obs::EventCategory::kMmDecide:
+    case obs::EventCategory::kPoolTask:
+    case obs::EventCategory::kCheckpoint:
+    case obs::EventCategory::kAppOutage:
       return false;
   }
+  return false;  // unreachable: all enumerators handled above
 }
 
 bool is_wall_kind(obs::EventKind k) {

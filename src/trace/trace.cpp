@@ -113,15 +113,15 @@ io::IoResult write_csv(const TraceLog& log, const std::string& path) {
                        "nr_sinr", "nr_attached", "lte_halted", "nr_halted",
                        "tput_mbps", "rtt_ms", "reports"});
   for (const TickRecord& t : log.ticks) {
-    w.write_row({csv::format(t.time, 3), csv::format(t.route_position, 1),
+    w.write_row({csv::format(t.time.v, 3), csv::format(t.route_position.v, 1),
                  csv::format(t.position.x, 1), csv::format(t.position.y, 1),
                  csv::format(t.speed_mps, 2), csv::cell(t.lte_pci),
-                 csv::format(t.lte_rrs.rsrp, 1), csv::format(t.lte_rrs.rsrq, 1),
-                 csv::format(t.lte_rrs.sinr, 1), csv::cell(t.nr_pci),
-                 csv::format(t.nr_rrs.rsrp, 1), csv::format(t.nr_rrs.rsrq, 1),
-                 csv::format(t.nr_rrs.sinr, 1), t.nr_attached ? "1" : "0",
+                 csv::format(t.lte_rrs.rsrp.v, 1), csv::format(t.lte_rrs.rsrq.v, 1),
+                 csv::format(t.lte_rrs.sinr.v, 1), csv::cell(t.nr_pci),
+                 csv::format(t.nr_rrs.rsrp.v, 1), csv::format(t.nr_rrs.rsrq.v, 1),
+                 csv::format(t.nr_rrs.sinr.v, 1), t.nr_attached ? "1" : "0",
                  t.lte_halted ? "1" : "0", t.nr_halted ? "1" : "0",
-                 csv::format(t.throughput_mbps, 1), csv::format(t.rtt_ms, 2),
+                 csv::format(t.throughput_mbps, 1), csv::format(t.rtt_ms.v, 2),
                  encode_reports(t.reports)});
   }
 
@@ -133,16 +133,16 @@ io::IoResult write_csv(const TraceLog& log, const std::string& path) {
                   "rrc", "mac", "phy", "route_pos", "outcome", "rach_attempts",
                   "backoff_ms", "reestablish_ms"});
   for (const ran::HandoverRecord& h : log.handovers) {
-    hw.write_row({ho_code(h.type), csv::format(h.decision_time, 3),
-                  csv::format(h.exec_start, 3), csv::format(h.complete_time, 3),
-                  csv::format(h.timing.t1_ms, 2), csv::format(h.timing.t2_ms, 2),
+    hw.write_row({ho_code(h.type), csv::format(h.decision_time.v, 3),
+                  csv::format(h.exec_start.v, 3), csv::format(h.complete_time.v, 3),
+                  csv::format(h.timing.t1_ms.v, 2), csv::format(h.timing.t2_ms.v, 2),
                   csv::cell(h.src_pci), csv::cell(h.dst_pci), band_code(h.src_band),
                   band_code(h.dst_band), h.colocated ? "1" : "0",
                   csv::cell(h.signaling.rrc), csv::cell(h.signaling.mac),
-                  csv::cell(h.signaling.phy), csv::format(h.route_position, 1),
+                  csv::cell(h.signaling.phy), csv::format(h.route_position.v, 1),
                   std::string(ran::ho_outcome_name(h.outcome)),
-                  csv::cell(h.rach_attempts), csv::format(h.backoff_ms, 2),
-                  csv::format(h.reestablish_ms, 2)});
+                  csv::cell(h.rach_attempts), csv::format(h.backoff_ms.v, 2),
+                  csv::format(h.reestablish_ms.v, 2)});
   }
 
   // Surface the first failure; still attempt both files so a transient
@@ -157,19 +157,19 @@ TraceLog read_csv(const std::string& path) {
   const csv::Table t = csv::read_file(path);
   for (const auto& r : t.rows) {
     TickRecord rec;
-    rec.time = to_d(r[0]);
-    rec.route_position = to_d(r[1]);
+    rec.time = Seconds{to_d(r[0])};
+    rec.route_position = Meters{to_d(r[1])};
     rec.position = {to_d(r[2]), to_d(r[3])};
     rec.speed_mps = to_d(r[4]);
     rec.lte_pci = to_i(r[5]);
-    rec.lte_rrs = {to_d(r[6]), to_d(r[7]), to_d(r[8])};
+    rec.lte_rrs = {Dbm{to_d(r[6])}, Db{to_d(r[7])}, Db{to_d(r[8])}};
     rec.nr_pci = to_i(r[9]);
-    rec.nr_rrs = {to_d(r[10]), to_d(r[11]), to_d(r[12])};
+    rec.nr_rrs = {Dbm{to_d(r[10])}, Db{to_d(r[11])}, Db{to_d(r[12])}};
     rec.nr_attached = r[13] == "1";
     rec.lte_halted = r[14] == "1";
     rec.nr_halted = r[15] == "1";
     rec.throughput_mbps = to_d(r[16]);
-    rec.rtt_ms = to_d(r[17]);
+    rec.rtt_ms = Millis{to_d(r[17])};
     if (r.size() > 18) rec.reports = decode_reports(r[18], rec.time);
     log.ticks.push_back(std::move(rec));
   }
@@ -182,17 +182,17 @@ TraceLog read_csv(const std::string& path) {
   for (const auto& r : h.rows) {
     ran::HandoverRecord rec;
     rec.type = parse_ho(r[0]);
-    rec.decision_time = to_d(r[1]);
-    rec.exec_start = to_d(r[2]);
-    rec.complete_time = to_d(r[3]);
-    rec.timing = {to_d(r[4]), to_d(r[5])};
+    rec.decision_time = Seconds{to_d(r[1])};
+    rec.exec_start = Seconds{to_d(r[2])};
+    rec.complete_time = Seconds{to_d(r[3])};
+    rec.timing = {Millis{to_d(r[4])}, Millis{to_d(r[5])}};
     rec.src_pci = to_i(r[6]);
     rec.dst_pci = to_i(r[7]);
     rec.src_band = parse_band(r[8]);
     rec.dst_band = parse_band(r[9]);
     rec.colocated = r[10] == "1";
     rec.signaling = {to_i(r[11]), to_i(r[12]), to_i(r[13])};
-    rec.route_position = to_d(r[14]);
+    rec.route_position = Meters{to_d(r[14])};
     if (c_outcome >= 0 && static_cast<std::size_t>(c_outcome) < r.size()) {
       rec.outcome = parse_outcome(r[c_outcome]);
     }
@@ -200,10 +200,10 @@ TraceLog read_csv(const std::string& path) {
       rec.rach_attempts = to_i(r[c_attempts]);
     }
     if (c_backoff >= 0 && static_cast<std::size_t>(c_backoff) < r.size()) {
-      rec.backoff_ms = to_d(r[c_backoff]);
+      rec.backoff_ms = Millis{to_d(r[c_backoff])};
     }
     if (c_reest >= 0 && static_cast<std::size_t>(c_reest) < r.size()) {
-      rec.reestablish_ms = to_d(r[c_reest]);
+      rec.reestablish_ms = Millis{to_d(r[c_reest])};
     }
     log.handovers.push_back(rec);
   }
@@ -222,12 +222,12 @@ TraceSummary summarize(const TraceLog& log) {
   s.ticks = log.ticks.size();
   s.duration = log.duration();
   s.distance = log.distance();
-  const Seconds dt = log.tick_hz > 0.0 ? 1.0 / log.tick_hz : 0.0;
+  const Seconds dt{log.tick_hz.v > 0.0 ? 1.0 / log.tick_hz.v : 0.0};
   double tput_sum = 0.0;
   double rtt_sum = 0.0;
   for (const TickRecord& t : log.ticks) {
     tput_sum += t.throughput_mbps;
-    rtt_sum += t.rtt_ms;
+    rtt_sum += t.rtt_ms.v;
     if (t.lte_halted) s.lte_halted_s += dt;
     if (t.nr_halted) s.nr_halted_s += dt;
     // A leg only interrupts the data plane if it exists: the NR leg when
@@ -240,7 +240,7 @@ TraceSummary summarize(const TraceLog& log) {
     rtt_sum /= static_cast<double>(s.ticks);
   }
   s.mean_throughput_mbps = tput_sum;
-  s.mean_rtt_ms = rtt_sum;
+  s.mean_rtt_ms = Milliseconds{rtt_sum};
   s.handovers = static_cast<int>(log.handovers.size());
   for (const ran::HandoverRecord& h : log.handovers) {
     switch (h.outcome) {
@@ -266,7 +266,7 @@ void SummaryAccumulator::add(const TickRecord& t) {
   // each accumulator sees an identical addition sequence, so the result is
   // bit-identical.
   tput_sum_ += t.throughput_mbps;
-  rtt_sum_ += t.rtt_ms;
+  rtt_sum_ += t.rtt_ms.v;
   if (t.lte_halted) s_.lte_halted_s += dt_;
   if (t.nr_halted) s_.nr_halted_s += dt_;
   if (t.lte_halted || (t.nr_attached && t.nr_halted)) s_.any_halted_s += dt_;
@@ -288,8 +288,8 @@ void SummaryAccumulator::add(const TickRecord& t) {
 TraceSummary SummaryAccumulator::finish() const {
   TraceSummary s = s_;
   s.ticks = ticks_;
-  s.duration = ticks_ > 0 ? last_time_ - first_time_ : 0.0;
-  s.distance = ticks_ > 0 ? last_pos_ - first_pos_ : 0.0;
+  s.duration = ticks_ > 0 ? last_time_ - first_time_ : 0.0_s;
+  s.distance = ticks_ > 0 ? last_pos_ - first_pos_ : 0.0_m;
   double tput = tput_sum_;
   double rtt = rtt_sum_;
   if (ticks_ > 0) {
@@ -297,7 +297,7 @@ TraceSummary SummaryAccumulator::finish() const {
     rtt /= static_cast<double>(ticks_);
   }
   s.mean_throughput_mbps = tput;
-  s.mean_rtt_ms = rtt;
+  s.mean_rtt_ms = Milliseconds{rtt};
   return s;
 }
 

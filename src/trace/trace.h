@@ -27,8 +27,8 @@ struct ObservedCell {
 };
 
 struct TickRecord {
-  Seconds time = 0.0;
-  Meters route_position = 0.0;
+  Seconds time{0.0};
+  Meters route_position{0.0};
   geo::Point position{};
   double speed_mps = 0.0;
 
@@ -53,7 +53,7 @@ struct TickRecord {
 
   // Data plane.
   Mbps throughput_mbps = 0.0;
-  Milliseconds rtt_ms = 0.0;
+  Milliseconds rtt_ms{0.0};
 };
 
 struct TraceLog {
@@ -62,7 +62,7 @@ struct TraceLog {
   ran::Arch arch = ran::Arch::kNsa;
   radio::Band nr_band = radio::Band::kNrLow;
   radio::Band lte_band = radio::Band::kLteMid;
-  double tick_hz = 20.0;
+  Hertz tick_hz{20.0};
 
   std::vector<TickRecord> ticks;
   std::vector<ran::HandoverRecord> handovers;  // all completed HOs
@@ -73,10 +73,10 @@ struct TraceLog {
   obs::RunManifest manifest;
 
   Seconds duration() const {
-    return ticks.empty() ? 0.0 : ticks.back().time - ticks.front().time;
+    return ticks.empty() ? 0.0_s : ticks.back().time - ticks.front().time;
   }
   Meters distance() const {
-    return ticks.empty() ? 0.0
+    return ticks.empty() ? 0.0_m
                          : ticks.back().route_position - ticks.front().route_position;
   }
 };
@@ -87,14 +87,14 @@ struct TraceLog {
 // analysis::fleet_stats.
 struct TraceSummary {
   std::size_t ticks = 0;
-  Seconds duration = 0.0;              // last tick time - first tick time
-  Meters distance = 0.0;               // route arc length covered
+  Seconds duration{0.0};              // last tick time - first tick time
+  Meters distance{0.0};               // route arc length covered
   double mean_throughput_mbps = 0.0;
-  double mean_rtt_ms = 0.0;
+  Milliseconds mean_rtt_ms{0.0};
   // Data-plane interruption totals (tick-quantized: halted ticks x dt).
-  Seconds lte_halted_s = 0.0;
-  Seconds nr_halted_s = 0.0;
-  Seconds any_halted_s = 0.0;          // either leg down
+  Seconds lte_halted_s{0.0};
+  Seconds nr_halted_s{0.0};
+  Seconds any_halted_s{0.0};          // either leg down
   int reports = 0;                     // measurement reports raised
   // Completed HO procedures by outcome (success + failures = handovers).
   int handovers = 0;
@@ -105,7 +105,7 @@ struct TraceSummary {
 
   // HOs per km of route covered; 0 when the trace covers no distance.
   double ho_per_km() const {
-    return distance > 0.0 ? handovers / (distance / 1000.0) : 0.0;
+    return distance > 0.0_m ? handovers / (distance.v / 1000.0) : 0.0;
   }
 
   bool operator==(const TraceSummary&) const = default;
@@ -122,8 +122,8 @@ TraceSummary summarize(const TraceLog& log);
 // every accumulator below applies the same operations in the same order.
 class SummaryAccumulator {
  public:
-  explicit SummaryAccumulator(double tick_hz)
-      : dt_(tick_hz > 0.0 ? 1.0 / tick_hz : 0.0) {}
+  explicit SummaryAccumulator(Hertz tick_hz)
+      : dt_{tick_hz.v > 0.0 ? 1.0 / tick_hz.v : 0.0} {}
 
   void add(const TickRecord& t);
 
@@ -135,10 +135,10 @@ class SummaryAccumulator {
   TraceSummary s_;  // halted/report/HO tallies accumulate in place
   double tput_sum_ = 0.0;
   double rtt_sum_ = 0.0;
-  Seconds first_time_ = 0.0;
-  Seconds last_time_ = 0.0;
-  Meters first_pos_ = 0.0;
-  Meters last_pos_ = 0.0;
+  Seconds first_time_{0.0};
+  Seconds last_time_{0.0};
+  Meters first_pos_{0.0};
+  Meters last_pos_{0.0};
   std::size_t ticks_ = 0;
 };
 

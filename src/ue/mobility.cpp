@@ -11,9 +11,9 @@ ConstantSpeedDriver::ConstantSpeedDriver(const geo::Route& route, double speed_k
 
 UePosition ConstantSpeedDriver::advance(Seconds dt) {
   // Mean-reverting speed perturbation (traffic flow ripple).
-  speed_mps_ += 0.2 * (target_mps_ - speed_mps_) * dt + rng_.normal(0.0, 0.3) * dt;
+  speed_mps_ += 0.2 * (target_mps_ - speed_mps_) * dt.v + rng_.normal(0.0, 0.3) * dt.v;
   speed_mps_ = std::clamp(speed_mps_, 0.6 * target_mps_, 1.15 * target_mps_);
-  s_ += speed_mps_ * dt;
+  s_ += Meters{speed_mps_ * dt.v};
   return current();
 }
 
@@ -24,22 +24,22 @@ UePosition ConstantSpeedDriver::current() const {
 StopAndGoDriver::StopAndGoDriver(const geo::Route& route, double cruise_kmh, Rng rng,
                                  Meters start)
     : route_(route), cruise_mps_(kmh_to_mps(cruise_kmh)), s_(start), rng_(rng) {
-  phase_remaining_ = rng_.uniform(20.0, 60.0);
+  phase_remaining_ = Seconds{rng_.uniform(20.0, 60.0)};
   speed_mps_ = cruise_mps_;
 }
 
 UePosition StopAndGoDriver::advance(Seconds dt) {
   phase_remaining_ -= dt;
-  if (phase_remaining_ <= 0.0) {
+  if (phase_remaining_ <= 0.0_s) {
     stopped_ = !stopped_;
-    phase_remaining_ = stopped_ ? rng_.uniform(10.0, 45.0)   // red light
-                                : rng_.uniform(25.0, 90.0);  // cruise segment
+    phase_remaining_ = stopped_ ? Seconds{rng_.uniform(10.0, 45.0)}   // red light
+                                : Seconds{rng_.uniform(25.0, 90.0)};  // cruise segment
   }
   const double target = stopped_ ? 0.0 : cruise_mps_ * rng_.uniform(0.7, 1.0);
   // First-order approach to the target speed (accel/brake ~2.5 m/s^2).
-  const double max_delta = 2.5 * dt;
+  const double max_delta = 2.5 * dt.v;
   speed_mps_ += std::clamp(target - speed_mps_, -max_delta, max_delta);
-  s_ += speed_mps_ * dt;
+  s_ += Meters{speed_mps_ * dt.v};
   return current();
 }
 
@@ -51,9 +51,9 @@ Walker::Walker(const geo::Route& route, Rng rng, Meters start)
     : route_(route), s_(start), rng_(rng) {}
 
 UePosition Walker::advance(Seconds dt) {
-  speed_mps_ += 0.5 * (1.4 - speed_mps_) * dt + rng_.normal(0.0, 0.1) * dt;
+  speed_mps_ += 0.5 * (1.4 - speed_mps_) * dt.v + rng_.normal(0.0, 0.1) * dt.v;
   speed_mps_ = std::clamp(speed_mps_, 0.8, 2.0);
-  s_ += speed_mps_ * dt;
+  s_ += Meters{speed_mps_ * dt.v};
   return current();
 }
 

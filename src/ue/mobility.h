@@ -15,7 +15,7 @@ namespace p5g::ue {
 
 struct UePosition {
   geo::Point point{};
-  Meters route_position = 0.0;  // arc length along the route
+  Meters route_position{0.0};  // arc length along the route
   double speed_mps = 0.0;
 };
 
@@ -33,7 +33,7 @@ class MobilityModel {
 class ConstantSpeedDriver : public MobilityModel {
  public:
   ConstantSpeedDriver(const geo::Route& route, double speed_kmh, Rng rng,
-                      Meters start = 0.0);
+                      Meters start = 0.0_m);
   UePosition advance(Seconds dt) override;
   UePosition current() const override;
 
@@ -41,7 +41,7 @@ class ConstantSpeedDriver : public MobilityModel {
   const geo::Route& route_;
   double target_mps_;
   double speed_mps_;
-  Meters s_ = 0.0;
+  Meters s_{0.0};
   Rng rng_;
 };
 
@@ -49,7 +49,7 @@ class ConstantSpeedDriver : public MobilityModel {
 class StopAndGoDriver : public MobilityModel {
  public:
   StopAndGoDriver(const geo::Route& route, double cruise_kmh, Rng rng,
-                  Meters start = 0.0);
+                  Meters start = 0.0_m);
   UePosition advance(Seconds dt) override;
   UePosition current() const override;
 
@@ -57,8 +57,8 @@ class StopAndGoDriver : public MobilityModel {
   const geo::Route& route_;
   double cruise_mps_;
   double speed_mps_ = 0.0;
-  Meters s_ = 0.0;
-  Seconds phase_remaining_ = 0.0;
+  Meters s_{0.0};
+  Seconds phase_remaining_{0.0};
   bool stopped_ = false;
   Rng rng_;
 };
@@ -66,14 +66,14 @@ class StopAndGoDriver : public MobilityModel {
 // Pedestrian walking at ~1.4 m/s with mild variation.
 class Walker : public MobilityModel {
  public:
-  Walker(const geo::Route& route, Rng rng, Meters start = 0.0);
+  Walker(const geo::Route& route, Rng rng, Meters start = 0.0_m);
   UePosition advance(Seconds dt) override;
   UePosition current() const override;
 
  private:
   const geo::Route& route_;
   double speed_mps_ = 1.4;
-  Meters s_ = 0.0;
+  Meters s_{0.0};
   Rng rng_;
 };
 

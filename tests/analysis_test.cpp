@@ -14,12 +14,12 @@ namespace {
 
 trace::TraceLog synthetic_log() {
   trace::TraceLog log;
-  log.tick_hz = 20.0;
+  log.tick_hz = 20.0_hz;
   // 60 s of ticks, route position advancing 1.5 m per tick.
   for (int i = 0; i < 1200; ++i) {
     trace::TickRecord t;
-    t.time = i * 0.05;
-    t.route_position = i * 1.5;
+    t.time = Seconds{i * 0.05};
+    t.route_position = Meters{i * 1.5};
     t.throughput_mbps = 100.0;
     t.nr_attached = true;
     t.nr_pci = i < 600 ? 10 : 20;  // PCI change at 45 m dwell boundary
@@ -28,11 +28,11 @@ trace::TraceLog synthetic_log() {
   }
   ran::HandoverRecord h;
   h.type = ran::HoType::kScgm;
-  h.decision_time = 30.0;
-  h.exec_start = 30.07;
-  h.complete_time = 30.17;
-  h.timing = {70.0, 100.0};
-  h.route_position = 900.0;
+  h.decision_time = Seconds{30.0};
+  h.exec_start = Seconds{30.07};
+  h.complete_time = Seconds{30.17};
+  h.timing = {Millis{70.0}, Millis{100.0}};
+  h.route_position = Meters{900.0};
   log.handovers.push_back(h);
   return log;
 }
@@ -89,15 +89,15 @@ TEST(Coverage, DetachEndsActualButNotIdealDwell) {
 TEST(Coverage, StatsComputeMeanMedian) {
   const CoverageStats s = coverage_stats({100.0, 200.0, 300.0});
   EXPECT_EQ(s.segments, 3);
-  EXPECT_DOUBLE_EQ(s.mean_m, 200.0);
-  EXPECT_DOUBLE_EQ(s.median_m, 200.0);
+  EXPECT_DOUBLE_EQ(s.mean_m.v, 200.0);
+  EXPECT_DOUBLE_EQ(s.median_m.v, 200.0);
 }
 
 TEST(PhaseTput, WindowsLandOnPhases) {
   trace::TraceLog log = synthetic_log();
   // Make the execution window visibly degraded.
   for (auto& t : log.ticks) {
-    if (t.time >= 30.07 && t.time <= 30.17) t.throughput_mbps = 0.0;
+    if (t.time >= Seconds{30.07} && t.time <= Seconds{30.17}) t.throughput_mbps = 0.0;
   }
   const auto phases = phase_throughput(log);
   const PhaseThroughput& pt = phases.at(ran::HoType::kScgm);
@@ -110,7 +110,7 @@ TEST(PhaseTput, WindowsLandOnPhases) {
 TEST(PhaseTput, CalibratedScoresArePostOverPre) {
   trace::TraceLog log = synthetic_log();
   for (auto& t : log.ticks) {
-    if (t.time > 30.17) t.throughput_mbps = 50.0;  // halved after the HO
+    if (t.time > Seconds{30.17}) t.throughput_mbps = 50.0;  // halved after the HO
   }
   const auto scores = calibrate_ho_scores(log);
   EXPECT_NEAR(scores.at(ran::HoType::kScgm), 0.5, 0.05);
@@ -118,7 +118,7 @@ TEST(PhaseTput, CalibratedScoresArePostOverPre) {
 
 TEST(Prediction, GroundTruthMarksHorizonBeforeDecision) {
   const trace::TraceLog log = synthetic_log();
-  const std::vector<int> labels = ground_truth(log, 1.0);
+  const std::vector<int> labels = ground_truth(log, Seconds{1.0});
   ASSERT_EQ(labels.size(), log.ticks.size());
   const int cls = ho_class(ran::HoType::kScgm);
   // Decision at t=30 -> ticks in [29, 30) are labeled.
@@ -142,7 +142,7 @@ TEST(Prediction, GbcFeaturesAreFiniteAndSized) {
 }
 
 TEST(Datasets, D1SharesDeploymentAcrossLoops) {
-  const auto d1 = make_d1(2, 240.0, 99);
+  const auto d1 = make_d1(2, Seconds{240.0}, 99);
   ASSERT_EQ(d1.size(), 2u);
   // The same walking area: observed PCI sets overlap heavily.
   std::set<int> a, b;

@@ -1,0 +1,46 @@
+// Allowance fixture: one seeded violation per rule, each suppressed with a
+// `p5g-analyze: allow(<rule>)` comment. The self-test requires this file to
+// produce ZERO findings — it proves suppression works per line, not just
+// that rules fire.
+// p5g-analyze-expect: clean
+#include <chrono>
+
+namespace p5g::fixture_ok {
+
+struct IoResult {
+  bool ok = true;
+};
+IoResult save_allowed_state(const char* path);
+
+class Rng;
+
+struct OkHeaderish {
+  double floor_dbm = -120.0;  // p5g-analyze: allow(unit-suffix-double)
+};
+
+double ok_sample(Rng rng);  // p5g-analyze: allow(rng-by-value)
+
+// p5g-analyze: allow(float-in-core)
+float ok_ratio = 0.5f;
+
+enum class OkMode { kOne, kTwo, kThree };
+
+int ok_dispatch(OkMode m) {
+  // p5g-analyze: allow(switch-enum)
+  switch (m) {
+    case OkMode::kOne: return 1;
+    default: return 0;
+  }
+}
+
+void ok_flush(const char* path) {
+  save_allowed_state(path);  // p5g-analyze: allow(ignored-ioresult)
+}
+
+double ok_now() {
+  // p5g-analyze: allow(wall-clock)
+  const auto t = std::chrono::steady_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+}  // namespace p5g::fixture_ok

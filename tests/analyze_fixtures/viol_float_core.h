@@ -1,0 +1,15 @@
+// Seeded violation: float in (what the analyzer treats as) sim-core code.
+// The golden traces pin the exact double rounding of every expression; a
+// float narrows silently and -Wconversion does not catch `float x = 0.1f;`.
+// p5g-analyze-expect: float-in-core
+#pragma once
+
+namespace p5g::fixture {
+
+struct BadState {
+  float rsrp = -100.0f;  // narrows the link budget
+};
+
+float bad_accumulate(float acc, double sample);
+
+}  // namespace p5g::fixture

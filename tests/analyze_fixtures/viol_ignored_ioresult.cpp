@@ -1,0 +1,21 @@
+// Seeded violation: io::IoResult-returning calls whose result is dropped —
+// once as a bare statement, once behind static_cast<void>. Both swallow
+// write failures that the caller should surface.
+// p5g-analyze-expect: ignored-ioresult
+
+namespace p5g::fixture {
+
+struct IoResult {
+  bool ok = true;
+};
+
+// The declaration below registers the name with the analyzer's
+// IoResult-returning function table.
+IoResult save_fixture_state(const char* path);
+
+void bad_flush(const char* path) {
+  save_fixture_state(path);  // bare discard
+  static_cast<void>(save_fixture_state(path));  // cast discard
+}
+
+}  // namespace p5g::fixture

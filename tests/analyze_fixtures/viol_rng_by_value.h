@@ -1,0 +1,17 @@
+// Seeded violation: an Rng engine taken by value. The copy forks the
+// deterministic stream — the callee consumes draws that the caller then
+// re-consumes, de-correlating fault injection from the golden traces.
+// p5g-analyze-expect: rng-by-value
+#pragma once
+
+namespace p5g::fixture {
+
+class Rng;  // stands in for p5g::Rng
+
+// By-value engine parameter: silent stream fork.
+double bad_fading_sample(Rng rng);
+
+// Second seeded form: by-value engine in a multi-parameter list.
+double bad_jitter(int band, Rng engine, double scale);
+
+}  // namespace p5g::fixture

@@ -1,0 +1,18 @@
+// Seeded violation: a switch over a project enum that hides missing
+// enumerators behind `default:`. -Wswitch goes quiet the moment a default
+// exists, so only the analyzer can catch kGamma being swallowed.
+// p5g-analyze-expect: switch-enum
+
+namespace p5g::fixture {
+
+enum class FixtureMode { kAlpha, kBeta, kGamma };
+
+int bad_dispatch(FixtureMode m) {
+  switch (m) {
+    case FixtureMode::kAlpha: return 1;
+    case FixtureMode::kBeta: return 2;
+    default: return 0;  // kGamma silently falls here
+  }
+}
+
+}  // namespace p5g::fixture

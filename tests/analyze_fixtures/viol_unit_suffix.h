@@ -1,0 +1,17 @@
+// Seeded violation: a public-header API that promises units in its names
+// but takes bare doubles. The analyzer must flag every one of these.
+// p5g-analyze-expect: unit-suffix-double
+#pragma once
+
+namespace p5g::fixture {
+
+struct BadConfig {
+  double threshold_dbm = -100.0;  // should be Dbm
+  double hysteresis_db = 1.0;     // should be Db
+  double ttt_ms = 160.0;          // should be Millis
+};
+
+// Parameters with unit-suffixed names but raw double types.
+double bad_path_loss(double distance_m, double carrier_hz);
+
+}  // namespace p5g::fixture

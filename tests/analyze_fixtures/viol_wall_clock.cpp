@@ -1,0 +1,16 @@
+// Seeded violation: wall-clock reads outside the documented allowances.
+// Simulated time must derive from Seconds; real time belongs to src/obs.
+// p5g-analyze-expect: wall-clock
+#include <chrono>
+#include <ctime>
+
+namespace p5g::fixture {
+
+double bad_now() {
+  const auto t = std::chrono::steady_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+long bad_epoch() { return static_cast<long>(time(nullptr)); }
+
+}  // namespace p5g::fixture

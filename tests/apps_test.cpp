@@ -15,31 +15,31 @@ namespace {
 
 // ---------------------------------------------------------- link emulator --
 TEST(LinkEmulator, TransferTimeOnConstantLink) {
-  LinkEmulator link(std::vector<double>(100, 50.0), 1.0);  // 50 Mbps, 100 s
-  EXPECT_NEAR(link.transfer_time(0.0, 100.0), 2.0, 1e-9);
-  EXPECT_NEAR(link.transfer_time(10.5, 25.0), 0.5, 1e-9);
+  LinkEmulator link(std::vector<double>(100, 50.0), Seconds{1.0});  // 50 Mbps, 100 s
+  EXPECT_NEAR(link.transfer_time(Seconds{0.0}, 100.0).v, 2.0, 1e-9);
+  EXPECT_NEAR(link.transfer_time(Seconds{10.5}, 25.0).v, 0.5, 1e-9);
 }
 
 TEST(LinkEmulator, TransferSpansRateChange) {
   std::vector<double> rates(10, 10.0);
   rates[1] = 90.0;  // second slot is fast
-  LinkEmulator link(rates, 1.0);
+  LinkEmulator link(rates, Seconds{1.0});
   // 1 s at 10 Mbps (10 Mb) + remaining 40 Mb at 90 Mbps = 1 + 0.444 s.
-  EXPECT_NEAR(link.transfer_time(0.0, 50.0), 1.0 + 40.0 / 90.0, 1e-9);
+  EXPECT_NEAR(link.transfer_time(Seconds{0.0}, 50.0).v, 1.0 + 40.0 / 90.0, 1e-9);
 }
 
 TEST(LinkEmulator, ExtrapolatesPastEnd) {
-  LinkEmulator link(std::vector<double>(10, 20.0), 1.0);
-  const Seconds t = link.transfer_time(9.0, 100.0);
-  EXPECT_GT(t, 4.0);
-  EXPECT_LT(t, 6.0);
+  LinkEmulator link(std::vector<double>(10, 20.0), Seconds{1.0});
+  const Seconds t = link.transfer_time(Seconds{9.0}, 100.0);
+  EXPECT_GT(t, 4.0_s);
+  EXPECT_LT(t, 6.0_s);
 }
 
 TEST(LinkEmulator, AverageRate) {
   std::vector<double> rates{10.0, 20.0, 30.0, 40.0};
-  LinkEmulator link(rates, 1.0);
-  EXPECT_NEAR(link.average_rate(0.0, 3.0), 25.0, 1e-9);
-  EXPECT_DOUBLE_EQ(link.rate_at(2.5), 30.0);
+  LinkEmulator link(rates, Seconds{1.0});
+  EXPECT_NEAR(link.average_rate(Seconds{0.0}, Seconds{3.0}), 25.0, 1e-9);
+  EXPECT_DOUBLE_EQ(link.rate_at(Seconds{2.5}), 30.0);
 }
 
 // -------------------------------------------------------------------- abr --
@@ -78,7 +78,7 @@ TEST(Mpc, AvoidsStallWithEmptyBuffer) {
   MpcAbr mpc(false);
   const VideoProfile v = panoramic_16k_profile();
   AbrState s;
-  s.buffer_level = 0.0;
+  s.buffer_level = Seconds{0.0};
   s.predicted_tput = 30.0;
   // With an empty buffer, picking 24 Mbps at 30 Mbps still stalls a bit;
   // the rebuffer penalty must push the choice well below the RB level.
@@ -89,9 +89,9 @@ TEST(Mpc, UsesBufferToReachHigherQuality) {
   MpcAbr mpc(false);
   const VideoProfile v = panoramic_16k_profile();
   AbrState low, high;
-  low.buffer_level = 0.5;
+  low.buffer_level = Seconds{0.5};
   low.predicted_tput = 120.0;
-  high.buffer_level = 25.0;
+  high.buffer_level = Seconds{25.0};
   high.predicted_tput = 120.0;
   high.prev_level = 4;
   EXPECT_GE(mpc.choose(high, v), mpc.choose(low, v));
@@ -102,7 +102,7 @@ TEST(RobustMpc, MoreConservativeUnderError) {
   robust.set_error_bound(1.0);  // halves the usable estimate
   const VideoProfile v = panoramic_16k_profile();
   AbrState s;
-  s.buffer_level = 6.0;
+  s.buffer_level = Seconds{6.0};
   s.predicted_tput = 100.0;
   EXPECT_LE(robust.choose(s, v), fast.choose(s, v));
 }
@@ -135,24 +135,24 @@ TEST(Vivo, ConservativeAndSmooth) {
 // -------------------------------------------------------------- ho signal --
 TEST(HoSignal, GroundTruthMarksWindows) {
   trace::TraceLog log;
-  log.tick_hz = 20.0;
+  log.tick_hz = 20.0_hz;
   for (int i = 0; i < 400; ++i) {
     trace::TickRecord t;
-    t.time = i * 0.05;
+    t.time = Seconds{i * 0.05};
     log.ticks.push_back(t);
   }
   ran::HandoverRecord h;
   h.type = ran::HoType::kScgr;
-  h.decision_time = 10.0;
-  h.complete_time = 10.2;
+  h.decision_time = Seconds{10.0};
+  h.complete_time = Seconds{10.2};
   log.handovers.push_back(h);
-  const HoSignal sig = ground_truth_signal(log, {{ran::HoType::kScgr, 0.2}}, 1.0);
-  EXPECT_DOUBLE_EQ(sig.score_at(5.0), 1.0);
-  EXPECT_DOUBLE_EQ(sig.score_at(9.5), 0.2);
-  EXPECT_DOUBLE_EQ(sig.score_at(10.1), 0.2);
-  EXPECT_DOUBLE_EQ(sig.score_at(12.0), 1.0);
-  EXPECT_TRUE(sig.near_at(9.0));
-  EXPECT_FALSE(sig.near_at(5.0));
+  const HoSignal sig = ground_truth_signal(log, {{ran::HoType::kScgr, 0.2}}, Seconds{1.0});
+  EXPECT_DOUBLE_EQ(sig.score_at(Seconds{5.0}), 1.0);
+  EXPECT_DOUBLE_EQ(sig.score_at(Seconds{9.5}), 0.2);
+  EXPECT_DOUBLE_EQ(sig.score_at(Seconds{10.1}), 0.2);
+  EXPECT_DOUBLE_EQ(sig.score_at(Seconds{12.0}), 1.0);
+  EXPECT_TRUE(sig.near_at(Seconds{9.0}));
+  EXPECT_FALSE(sig.near_at(Seconds{5.0}));
 }
 
 // ------------------------------------------------------------ vod session --
@@ -160,16 +160,16 @@ TEST(VodSession, CompletesAndAccountsStall) {
   RateBased rb;
   const VideoProfile v = panoramic_16k_profile();
   // Link much slower than the lowest bitrate: guaranteed stalling.
-  LinkEmulator slow(std::vector<double>(2000, 3.0), 1.0);
+  LinkEmulator slow(std::vector<double>(2000, 3.0), 1.0_s);
   const VodResult r = run_vod(rb, v, slow, nullptr);
-  EXPECT_GT(r.stall_time, 10.0);
+  EXPECT_GT(r.stall_time, 10.0_s);
   EXPECT_NEAR(r.avg_bitrate_mbps, 6.0, 1.0);  // pinned to the lowest level
 }
 
 TEST(VodSession, FastLinkReachesTopQualityWithoutStall) {
   RateBased rb;
   const VideoProfile v = panoramic_16k_profile();
-  LinkEmulator fast(std::vector<double>(2000, 2000.0), 1.0);
+  LinkEmulator fast(std::vector<double>(2000, 2000.0), 1.0_s);
   const VodResult r = run_vod(rb, v, fast, nullptr);
   EXPECT_LT(r.stall_fraction, 0.02);
   EXPECT_GT(r.normalized_bitrate, 0.9);
@@ -183,9 +183,9 @@ TEST(VodSession, HoAwareCorrectionReducesStallOnDroppyLink) {
     for (int i = 0; i < 10; ++i) rates.push_back(200.0);
     for (int i = 0; i < 10; ++i) rates.push_back(5.0);
   }
-  LinkEmulator link(rates, 1.0);
+  LinkEmulator link(rates, Seconds{1.0});
   HoSignal sig;
-  sig.dt = 1.0;
+  sig.dt = Seconds{1.0};
   for (int cycle = 0; cycle < 40; ++cycle) {
     for (int i = 0; i < 7; ++i) sig.score.push_back(1.0);
     for (int i = 0; i < 13; ++i) sig.score.push_back(0.05);
@@ -201,17 +201,17 @@ TEST(VodSession, HoAwareCorrectionReducesStallOnDroppyLink) {
 
 TEST(VodSession, WindowStartsRespectFilter) {
   trace::TraceLog log;
-  log.tick_hz = 20.0;
+  log.tick_hz = 20.0_hz;
   for (int i = 0; i < 20 * 600; ++i) {
     trace::TickRecord t;
-    t.time = i * 0.05;
+    t.time = Seconds{i * 0.05};
     // First 300 s: healthy 100 Mbps; then a dead zone.
     t.throughput_mbps = i < 20 * 300 ? 100.0 : 0.5;
     log.ticks.push_back(t);
   }
-  const auto starts = window_starts(log, 120.0, 60.0, 400.0, 2.0);
+  const auto starts = window_starts(log, Seconds{120.0}, Seconds{60.0}, 400.0, 2.0);
   ASSERT_FALSE(starts.empty());
-  for (Seconds s : starts) EXPECT_LT(s, 200.0);  // only the healthy region
+  for (Seconds s : starts) EXPECT_LT(s, 200.0_s);  // only the healthy region
 }
 
 // ------------------------------------------------------------- volumetric --
@@ -219,7 +219,7 @@ TEST(Volumetric, RealTimeStallsOnSlowLink) {
   VivoSelector vivo;
   VolumetricProfile v;
   v.segments = 60;
-  LinkEmulator slow(std::vector<double>(400, 20.0), 1.0);  // below min level
+  LinkEmulator slow(std::vector<double>(400, 20.0), Seconds{1.0});  // below min level
   const VolumetricResult r = run_volumetric(vivo, v, slow, nullptr);
   EXPECT_GT(r.stall_fraction, 0.2);
 }
@@ -228,7 +228,7 @@ TEST(Volumetric, FastLinkReachesTopDensity) {
   VivoSelector vivo;
   VolumetricProfile v;
   v.segments = 60;
-  LinkEmulator fast(std::vector<double>(400, 1500.0), 1.0);
+  LinkEmulator fast(std::vector<double>(400, 1500.0), Seconds{1.0});
   const VolumetricResult r = run_volumetric(vivo, v, fast, nullptr);
   EXPECT_GT(r.avg_quality_level, 3.0);
   EXPECT_LT(r.stall_fraction, 0.05);
@@ -239,7 +239,7 @@ trace::TickRecord qoe_tick(bool halted, double rtt, double tput) {
   trace::TickRecord t;
   t.nr_attached = true;
   t.nr_halted = halted;
-  t.rtt_ms = rtt;
+  t.rtt_ms = Millis{rtt};
   t.throughput_mbps = tput;
   return t;
 }
@@ -250,8 +250,8 @@ TEST(QoeModels, HaltedTickDegradesConferencing) {
   for (int i = 0; i < 2000; ++i) {
     const ConferencingSample ok = conferencing_sample(qoe_tick(false, 30.0, 200.0), rng);
     const ConferencingSample ho = conferencing_sample(qoe_tick(true, 45.0, 0.0), rng);
-    lat_ok += ok.video_latency_ms;
-    lat_ho += ho.video_latency_ms;
+    lat_ok += ok.video_latency_ms.v;
+    lat_ho += ho.video_latency_ms.v;
     loss_ok += ok.packet_loss_pct;
     loss_ho += ho.packet_loss_pct;
   }
@@ -263,33 +263,33 @@ TEST(QoeModels, GamingOtherLatencyStable) {
   Rng rng(2);
   stats::RunningStats ok, ho;
   for (int i = 0; i < 2000; ++i) {
-    ok.add(gaming_sample(qoe_tick(false, 30.0, 200.0), rng).other_latency_ms);
-    ho.add(gaming_sample(qoe_tick(true, 45.0, 0.0), rng).other_latency_ms);
+    ok.add(gaming_sample(qoe_tick(false, 30.0, 200.0), rng).other_latency_ms.v);
+    ho.add(gaming_sample(qoe_tick(true, 45.0, 0.0), rng).other_latency_ms.v);
   }
   EXPECT_NEAR(ok.mean(), ho.mean(), 1.0);  // encode/decode unaffected by HOs
 }
 
 TEST(QoeModels, SplitByHoWindow) {
   trace::TraceLog log;
-  log.tick_hz = 20.0;
+  log.tick_hz = 20.0_hz;
   std::vector<double> metric;
   for (int i = 0; i < 1000; ++i) {
     trace::TickRecord t;
-    t.time = i * 0.05;
+    t.time = Seconds{i * 0.05};
     log.ticks.push_back(t);
     metric.push_back(static_cast<double>(i));
   }
   ran::HandoverRecord h;
   h.type = ran::HoType::kScgm;
-  h.decision_time = 25.0;
-  h.complete_time = 25.2;
+  h.decision_time = Seconds{25.0};
+  h.complete_time = Seconds{25.2};
   log.handovers.push_back(h);
-  const HoWindowSplit split = split_by_ho_window(log, metric, 1.0);
+  const HoWindowSplit split = split_by_ho_window(log, metric, Seconds{1.0});
   EXPECT_GT(split.in_ho.size(), 40u);   // ~2.2 s of ticks
   EXPECT_LT(split.in_ho.size(), 60u);
   EXPECT_EQ(split.in_ho.size() + split.outside.size(), metric.size());
   // Type filter excludes non-matching HOs entirely.
-  const HoWindowSplit none = split_by_ho_window(log, metric, 1.0, {ran::HoType::kMnbh});
+  const HoWindowSplit none = split_by_ho_window(log, metric, Seconds{1.0}, {ran::HoType::kMnbh});
   EXPECT_TRUE(none.in_ho.empty());
 }
 

@@ -109,8 +109,8 @@ TEST(CheckEnforced, FaultInjectorValidatesAtConstruction) {
   bad.rach_max_attempts = 0;
   EXPECT_TRIP(ran::FaultInjector(bad, Rng(7)));
   ran::FaultProfile backwards;
-  backwards.reestablish_floor_ms = 500.0;  // floor above the mean
-  backwards.reestablish_mean_ms = 240.0;
+  backwards.reestablish_floor_ms = 500.0_ms;  // floor above the mean
+  backwards.reestablish_mean_ms = 240.0_ms;
   EXPECT_TRIP(ran::FaultInjector(backwards, Rng(7)));
   EXPECT_NO_THROW(ran::FaultInjector(ran::FaultProfile{}, Rng(7)));
 }

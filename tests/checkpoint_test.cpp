@@ -26,10 +26,10 @@ sim::FleetScenario small_fleet(std::uint64_t seed = 42, std::size_t n = 6) {
   f.base.nr_band = radio::Band::kNrLow;
   f.base.mobility = sim::MobilityKind::kFreeway;
   f.base.speed_kmh = 110.0;
-  f.base.duration = 10.0;
+  f.base.duration = Seconds{10.0};
   f.base.seed = seed;
   f.n_ues = n;
-  f.stagger_m = 100.0;
+  f.stagger_m = Meters{100.0};
   return f;
 }
 
@@ -42,15 +42,15 @@ sim::FleetCheckpoint sample_checkpoint() {
     u.ue = ue;
     u.seed = sim::fleet_ue_seed(c.fleet_seed, ue);
     u.mobility = sim::MobilityKind::kCity;
-    u.start_offset_m = 150.0 * static_cast<double>(ue);
+    u.start_offset_m = Meters{150.0 * static_cast<double>(ue)};
     u.trace.ticks = 200 * (ue + 1);
-    u.trace.duration = 9.95;
-    u.trace.distance = 305.5551234567 + static_cast<double>(ue);
+    u.trace.duration = Seconds{9.95};
+    u.trace.distance = Meters{305.5551234567 + static_cast<double>(ue)};
     u.trace.mean_throughput_mbps = 87.125;
-    u.trace.mean_rtt_ms = 43.0625;
-    u.trace.lte_halted_s = 0.05;
-    u.trace.nr_halted_s = -0.0;  // signed-zero bit pattern must round-trip
-    u.trace.any_halted_s = 0.05;
+    u.trace.mean_rtt_ms = Milliseconds{43.0625};
+    u.trace.lte_halted_s = Seconds{0.05};
+    u.trace.nr_halted_s = Seconds{-0.0};  // signed-zero bit pattern must round-trip
+    u.trace.any_halted_s = Seconds{0.05};
     u.trace.reports = 7;
     u.trace.handovers = 3;
     u.trace.ho_success = 2;

@@ -14,13 +14,13 @@ namespace {
 
 // ---------------------------------------------------------------- units --
 TEST(Units, DistanceConversionsRoundTrip) {
-  EXPECT_DOUBLE_EQ(km_to_m(1.5), 1500.0);
+  EXPECT_DOUBLE_EQ(km_to_m(1.5).v, 1500.0);
   EXPECT_DOUBLE_EQ(m_to_km(km_to_m(3.7)), 3.7);
 }
 
 TEST(Units, TimeConversions) {
-  EXPECT_DOUBLE_EQ(ms_to_s(250.0), 0.25);
-  EXPECT_DOUBLE_EQ(s_to_ms(ms_to_s(167.0)), 167.0);
+  EXPECT_DOUBLE_EQ(ms_to_s(Millis{250.0}).v, 0.25);
+  EXPECT_DOUBLE_EQ(s_to_ms(ms_to_s(Millis{167.0})).v, 167.0);
 }
 
 TEST(Units, SpeedConversions) {
@@ -30,14 +30,14 @@ TEST(Units, SpeedConversions) {
 
 TEST(Units, DbLinearRoundTrip) {
   for (double db : {-20.0, -3.0, 0.0, 3.0, 10.0, 30.0}) {
-    EXPECT_NEAR(linear_to_db(db_to_linear(db)), db, 1e-9);
+    EXPECT_NEAR(linear_to_db(db_to_linear(Db{db})).v, db, 1e-9);
   }
 }
 
 TEST(Units, DbmMilliwatt) {
-  EXPECT_NEAR(dbm_to_mw(0.0), 1.0, 1e-12);
-  EXPECT_NEAR(dbm_to_mw(30.0), 1000.0, 1e-9);
-  EXPECT_NEAR(mw_to_dbm(100.0), 20.0, 1e-9);
+  EXPECT_NEAR(to_mw(Dbm{0.0}).v, 1.0, 1e-12);
+  EXPECT_NEAR(to_mw(Dbm{30.0}).v, 1000.0, 1e-9);
+  EXPECT_NEAR(to_dbm(MilliWatts{100.0}).v, 20.0, 1e-9);
 }
 
 TEST(Units, EnergyConversionRoundTrip) {

@@ -41,10 +41,10 @@ ran::HandoverRecord command(HoType type, Seconds t) {
 TEST(DecisionLearner, LearnsSuffixPatterns) {
   DecisionLearner learner;
   for (int phase = 0; phase < 3; ++phase) {
-    PrognosInput in = tick_at(phase * 10.0);
+    PrognosInput in = tick_at(Seconds{phase * 10.0});
     in.reports = {mr(EventType::kB1, MeasScope::kServingLte, in.time)};
     learner.observe(in);
-    PrognosInput cmd = tick_at(phase * 10.0 + 1.0);
+    PrognosInput cmd = tick_at(Seconds{phase * 10.0 + 1.0});
     cmd.ho_commands = {command(HoType::kScga, cmd.time)};
     EXPECT_TRUE(learner.observe(cmd));
   }
@@ -58,11 +58,11 @@ TEST(DecisionLearner, LearnsSuffixPatterns) {
 
 TEST(DecisionLearner, RegistersAllSuffixLengths) {
   DecisionLearner learner;
-  PrognosInput in = tick_at(0.0);
-  in.reports = {mr(EventType::kA2, MeasScope::kServingNr, 0.0),
-                mr(EventType::kB1, MeasScope::kServingNr, 0.0)};
+  PrognosInput in = tick_at(Seconds{0.0});
+  in.reports = {mr(EventType::kA2, MeasScope::kServingNr, Seconds{0.0}),
+                mr(EventType::kB1, MeasScope::kServingNr, Seconds{0.0})};
   learner.observe(in);
-  PrognosInput cmd = tick_at(1.0);
+  PrognosInput cmd = tick_at(Seconds{1.0});
   cmd.ho_commands = {command(HoType::kScgc, cmd.time)};
   learner.observe(cmd);
   // Suffixes [B1] and [A2, B1].
@@ -71,14 +71,14 @@ TEST(DecisionLearner, RegistersAllSuffixLengths) {
 
 TEST(DecisionLearner, PhaseMemoryExpiresOldReports) {
   DecisionLearner::Config cfg;
-  cfg.phase_memory = 5.0;
+  cfg.phase_memory = Seconds{5.0};
   DecisionLearner learner(cfg);
-  PrognosInput early = tick_at(0.0);
-  early.reports = {mr(EventType::kB1, MeasScope::kServingNr, 0.0)};
+  PrognosInput early = tick_at(Seconds{0.0});
+  early.reports = {mr(EventType::kB1, MeasScope::kServingNr, Seconds{0.0})};
   learner.observe(early);
   // 10 s later the B1 no longer belongs to the open phase.
-  PrognosInput late = tick_at(10.0);
-  late.reports = {mr(EventType::kA2, MeasScope::kServingNr, 10.0)};
+  PrognosInput late = tick_at(Seconds{10.0});
+  late.reports = {mr(EventType::kA2, MeasScope::kServingNr, Seconds{10.0})};
   learner.observe(late);
   EXPECT_EQ(learner.open_phase().size(), 1u);
   EXPECT_EQ(learner.open_phase()[0], key(EventType::kA2, MeasScope::kServingNr));
@@ -89,19 +89,19 @@ TEST(DecisionLearner, EvictsStalePatterns) {
   cfg.freshness_threshold = 5;
   DecisionLearner learner(cfg);
   // One old pattern...
-  PrognosInput in = tick_at(0.0);
-  in.reports = {mr(EventType::kA3, MeasScope::kServingLte, 0.0)};
+  PrognosInput in = tick_at(Seconds{0.0});
+  in.reports = {mr(EventType::kA3, MeasScope::kServingLte, Seconds{0.0})};
   learner.observe(in);
-  PrognosInput cmd = tick_at(0.5);
+  PrognosInput cmd = tick_at(Seconds{0.5});
   cmd.ho_commands = {command(HoType::kLteh, cmd.time)};
   learner.observe(cmd);
   EXPECT_EQ(learner.patterns().size(), 1u);
   // ...then many phases of a different pattern push it past freshness.
   for (int i = 1; i <= 8; ++i) {
-    PrognosInput r = tick_at(i * 2.0);
+    PrognosInput r = tick_at(Seconds{i * 2.0});
     r.reports = {mr(EventType::kA2, MeasScope::kServingNr, r.time)};
     learner.observe(r);
-    PrognosInput c = tick_at(i * 2.0 + 0.5);
+    PrognosInput c = tick_at(Seconds{i * 2.0 + 0.5});
     c.ho_commands = {command(HoType::kScgr, c.time)};
     learner.observe(c);
   }
@@ -117,11 +117,11 @@ TEST(DecisionLearner, EvictionCanBeDisabled) {
   cfg.eviction_enabled = false;
   DecisionLearner learner(cfg);
   for (int i = 0; i < 10; ++i) {
-    PrognosInput r = tick_at(i * 2.0);
+    PrognosInput r = tick_at(Seconds{i * 2.0});
     r.reports = {mr(i == 0 ? EventType::kA3 : EventType::kA2,
                     i == 0 ? MeasScope::kServingLte : MeasScope::kServingNr, r.time)};
     learner.observe(r);
-    PrognosInput c = tick_at(i * 2.0 + 0.5);
+    PrognosInput c = tick_at(Seconds{i * 2.0 + 0.5});
     c.ho_commands = {command(i == 0 ? HoType::kLteh : HoType::kScgr, c.time)};
     learner.observe(c);
   }
@@ -146,9 +146,9 @@ std::vector<ran::EventConfig> a2_only_config() {
   c.type = EventType::kA2;
   c.scope = MeasScope::kServingNr;
   c.neighbor_rat = radio::Rat::kNr;
-  c.threshold1 = -100.0;
-  c.hysteresis = 1.0;
-  c.ttt_ms = 150.0;
+  c.threshold1 = Dbm{-100.0};
+  c.hysteresis = Db{1.0};
+  c.ttt_ms = Millis{150.0};
   return {c};
 }
 
@@ -157,19 +157,19 @@ PrognosInput nr_obs_tick(Seconds t, double rsrp) {
   in.time = t;
   in.lte_serving_pci = 1;
   in.nr_serving_pci = 2;
-  in.observed.push_back({2, 0, radio::Band::kNrLow, rsrp});
+  in.observed.push_back({2, 0, radio::Band::kNrLow, Dbm{rsrp}});
   return in;
 }
 
 TEST(ReportPredictor, PredictsA2OnDecayingSignal) {
   ReportPredictor::Config cfg;
-  cfg.margin_min_db = 0.5;
+  cfg.margin_min_db = Db{0.5};
   ReportPredictor rp(a2_only_config(), cfg);
   bool predicted = false;
   // Steep decay: -95 dBm falling 8 dB/s toward the -100 threshold.
   for (int i = 0; i < 40 && !predicted; ++i) {
-    const Seconds t = i * 0.05;
-    const auto fresh = rp.update(nr_obs_tick(t, -93.0 - 8.0 * t));
+    const Seconds t{i * 0.05};
+    const auto fresh = rp.update(nr_obs_tick(t, -93.0 - 8.0 * t.v));
     for (const PredictedReport& p : fresh) {
       if (p.key == key(EventType::kA2, MeasScope::kServingNr)) {
         predicted = true;
@@ -183,20 +183,20 @@ TEST(ReportPredictor, PredictsA2OnDecayingSignal) {
 TEST(ReportPredictor, SilentOnStrongStableSignal) {
   ReportPredictor rp(a2_only_config(), {});
   for (int i = 0; i < 60; ++i) {
-    const auto fresh = rp.update(nr_obs_tick(i * 0.05, -80.0));
+    const auto fresh = rp.update(nr_obs_tick(Seconds{i * 0.05}, -80.0));
     EXPECT_TRUE(fresh.empty());
   }
 }
 
 TEST(ReportPredictor, LatchedMirrorBlocksRePrediction) {
   ReportPredictor::Config cfg;
-  cfg.margin_min_db = 0.5;
+  cfg.margin_min_db = Db{0.5};
   ReportPredictor rp(a2_only_config(), cfg);
   int predictions = 0;
   // Signal already below threshold: the real monitor latches quickly; the
   // predictor must not spam predictions while latched.
   for (int i = 0; i < 200; ++i) {
-    predictions += static_cast<int>(rp.update(nr_obs_tick(i * 0.05, -110.0)).size());
+    predictions += static_cast<int>(rp.update(nr_obs_tick(Seconds{i * 0.05}, -110.0)).size());
   }
   EXPECT_LE(predictions, 1);
   EXPECT_TRUE(rp.mirror_reported(key(EventType::kA2, MeasScope::kServingNr)));
@@ -205,7 +205,7 @@ TEST(ReportPredictor, LatchedMirrorBlocksRePrediction) {
 TEST(ReportPredictor, ForecastTracksTrend) {
   ReportPredictor rp(a2_only_config(), {});
   for (int i = 0; i < 20; ++i) {
-    rp.update(nr_obs_tick(i * 0.05, -90.0 - 0.25 * i));
+    rp.update(nr_obs_tick(Seconds{i * 0.05}, -90.0 - 0.25 * i));
   }
   // Last sample about -94.75, slope -5 dB/s.
   EXPECT_LT(rp.forecast_rsrp(2, 20), -94.0);
@@ -228,8 +228,8 @@ TEST(Prognos, PredictsFromActualReportsAgainstLearnedPattern) {
   Prognos prognos = make_prognos();
   // An actual NR-A2 report arrives with no HO yet: the [A2]->SCGR pattern
   // (bootstrapped) should produce a prediction.
-  PrognosInput in = tick_at(1.0);
-  in.reports = {mr(EventType::kA2, MeasScope::kServingNr, 1.0)};
+  PrognosInput in = tick_at(Seconds{1.0});
+  in.reports = {mr(EventType::kA2, MeasScope::kServingNr, Seconds{1.0})};
   const PrognosPrediction p = prognos.tick(in);
   ASSERT_TRUE(p.ho.has_value());
   EXPECT_EQ(*p.ho, HoType::kScgr);
@@ -238,11 +238,11 @@ TEST(Prognos, PredictsFromActualReportsAgainstLearnedPattern) {
 
 TEST(Prognos, AdjudicatesScgcWhenCandidateVisible) {
   Prognos prognos = make_prognos();
-  PrognosInput in = tick_at(1.0);
-  in.reports = {mr(EventType::kA2, MeasScope::kServingNr, 1.0)};
+  PrognosInput in = tick_at(Seconds{1.0});
+  in.reports = {mr(EventType::kA2, MeasScope::kServingNr, Seconds{1.0})};
   // A strong different-gNB NR neighbor is visible.
-  in.observed.push_back({2, 0, radio::Band::kNrLow, -62.0});   // serving
-  in.observed.push_back({9, 1, radio::Band::kNrLow, -50.0});   // candidate
+  in.observed.push_back({2, 0, radio::Band::kNrLow, Dbm{-62.0}});   // serving
+  in.observed.push_back({9, 1, radio::Band::kNrLow, Dbm{-50.0}});   // candidate
   const PrognosPrediction p = prognos.tick(in);
   ASSERT_TRUE(p.ho.has_value());
   EXPECT_EQ(*p.ho, HoType::kScgc);
@@ -250,17 +250,17 @@ TEST(Prognos, AdjudicatesScgcWhenCandidateVisible) {
 
 TEST(Prognos, SanityCheckBlocksScgaWhenAttached) {
   Prognos prognos = make_prognos();
-  PrognosInput in = tick_at(1.0);  // NR attached (pci 2)
-  in.reports = {mr(EventType::kB1, MeasScope::kServingLte, 1.0)};
+  PrognosInput in = tick_at(Seconds{1.0});  // NR attached (pci 2)
+  in.reports = {mr(EventType::kB1, MeasScope::kServingLte, Seconds{1.0})};
   const PrognosPrediction p = prognos.tick(in);
   EXPECT_FALSE(p.ho.has_value() && *p.ho == HoType::kScga);
 }
 
 TEST(Prognos, PredictsScgaWhenDetached) {
   Prognos prognos = make_prognos();
-  PrognosInput in = tick_at(1.0);
+  PrognosInput in = tick_at(Seconds{1.0});
   in.nr_serving_pci = -1;  // detached
-  in.reports = {mr(EventType::kB1, MeasScope::kServingLte, 1.0)};
+  in.reports = {mr(EventType::kB1, MeasScope::kServingLte, Seconds{1.0})};
   const PrognosPrediction p = prognos.tick(in);
   ASSERT_TRUE(p.ho.has_value());
   EXPECT_EQ(*p.ho, HoType::kScga);
@@ -269,18 +269,18 @@ TEST(Prognos, PredictsScgaWhenDetached) {
 
 TEST(Prognos, NoHoMeansScoreOne) {
   Prognos prognos = make_prognos();
-  const PrognosPrediction p = prognos.tick(tick_at(1.0));
+  const PrognosPrediction p = prognos.tick(tick_at(Seconds{1.0}));
   EXPECT_FALSE(p.ho.has_value());
   EXPECT_DOUBLE_EQ(p.ho_score, 1.0);
 }
 
 TEST(Prognos, HoCommandClearsPrediction) {
   Prognos prognos = make_prognos();
-  PrognosInput in = tick_at(1.0);
-  in.reports = {mr(EventType::kA2, MeasScope::kServingNr, 1.0)};
+  PrognosInput in = tick_at(Seconds{1.0});
+  in.reports = {mr(EventType::kA2, MeasScope::kServingNr, Seconds{1.0})};
   ASSERT_TRUE(prognos.tick(in).ho.has_value());
-  PrognosInput cmd = tick_at(1.05);
-  cmd.ho_commands = {command(HoType::kScgr, 1.05)};
+  PrognosInput cmd = tick_at(Seconds{1.05});
+  cmd.ho_commands = {command(HoType::kScgr, Seconds{1.05})};
   cmd.nr_serving_pci = -1;
   const PrognosPrediction after = prognos.tick(cmd);
   EXPECT_FALSE(after.ho.has_value());
@@ -288,13 +288,13 @@ TEST(Prognos, HoCommandClearsPrediction) {
 
 TEST(Prognos, PredictionHeldAcrossBriefDropouts) {
   Prognos prognos = make_prognos();
-  PrognosInput in = tick_at(1.0);
-  in.reports = {mr(EventType::kA2, MeasScope::kServingNr, 1.0)};
+  PrognosInput in = tick_at(Seconds{1.0});
+  in.reports = {mr(EventType::kA2, MeasScope::kServingNr, Seconds{1.0})};
   ASSERT_TRUE(prognos.tick(in).ho.has_value());
   // Next tick carries no reports; within the hold window the prediction
   // persists. Note the A2 stays in the open phase anyway, so use a fresh
   // pattern-less state: the hold path is exercised by the empty candidate.
-  const PrognosPrediction p = prognos.tick(tick_at(1.1));
+  const PrognosPrediction p = prognos.tick(tick_at(Seconds{1.1}));
   EXPECT_TRUE(p.ho.has_value());
 }
 
@@ -302,15 +302,15 @@ TEST(Prognos, MinSupportGatesColdPatterns) {
   Prognos prognos = make_prognos(false);  // no bootstrap
   // One observation of [A2]->SCGR is below min_support: no prediction yet.
   for (int round = 0; round < 2; ++round) {
-    PrognosInput r = tick_at(10.0 * round);
+    PrognosInput r = tick_at(Seconds{10.0 * round});
     r.reports = {mr(EventType::kA2, MeasScope::kServingNr, r.time)};
     prognos.tick(r);
-    PrognosInput c = tick_at(10.0 * round + 0.5);
+    PrognosInput c = tick_at(Seconds{10.0 * round + 0.5});
     c.ho_commands = {command(HoType::kScgr, c.time)};
     prognos.tick(c);
   }
-  PrognosInput probe = tick_at(100.0);
-  probe.reports = {mr(EventType::kA2, MeasScope::kServingNr, 100.0)};
+  PrognosInput probe = tick_at(Seconds{100.0});
+  probe.reports = {mr(EventType::kA2, MeasScope::kServingNr, Seconds{100.0})};
   EXPECT_FALSE(prognos.tick(probe).ho.has_value());
 }
 

@@ -18,6 +18,8 @@
 #include "analysis/ho_stats.h"
 #include "analysis/ho_timeline.h"
 #include "obs/events.h"
+
+#include "common/units.h"
 #include "obs/export.h"
 #include "ran/deployment.h"
 #include "sim/scenario.h"
@@ -151,7 +153,7 @@ sim::Scenario golden_scenario() {
   s.nr_band = radio::Band::kNrLow;
   s.mobility = sim::MobilityKind::kFreeway;
   s.speed_kmh = 110.0;
-  s.duration = 90.0;
+  s.duration = Seconds{90.0};
   s.seed = 42;
   return s;
 }
@@ -304,7 +306,7 @@ TEST(PerfettoExport, JsonParsesAndCarriesBothTimelines) {
       EXPECT_NE(e.get("dur"), nullptr);
     }
     if (ph->string == "i") saw_instant = true;
-    if (e.get("pid")->number == 2.0) saw_wall_pid = true;
+    if (p5g::bit_equal(e.get("pid")->number, 2.0)) saw_wall_pid = true;
   }
   EXPECT_TRUE(saw_span);
   EXPECT_TRUE(saw_instant);
@@ -333,13 +335,13 @@ sim::Scenario faulty_scenario(std::uint64_t seed) {
   s.nr_band = radio::Band::kNrLow;
   s.mobility = sim::MobilityKind::kFreeway;
   s.speed_kmh = 110.0;
-  s.duration = 420.0;
+  s.duration = Seconds{420.0};
   s.seed = seed;
   s.faults.prep_failure.fill(0.12);
   s.faults.exec_failure.fill(0.45);
   s.faults.rlf_enabled = true;
-  s.faults.rlf_qout_dbm = -78.0;
-  s.faults.rlf_t310 = 0.6;
+  s.faults.rlf_qout_dbm = Dbm{-78.0};
+  s.faults.rlf_t310 = Seconds{0.6};
   return s;
 }
 

@@ -49,11 +49,11 @@ TEST(FaultProfile, AnyKnobMakesItNonZero) {
 TEST(FaultInjector, BackoffGrowsExponentiallyAndCaps) {
   FaultProfile f;  // base 20 ms, factor 2, cap 160 ms
   FaultInjector inj(f, Rng(1));
-  EXPECT_DOUBLE_EQ(inj.backoff_ms(1), 20.0);
-  EXPECT_DOUBLE_EQ(inj.backoff_ms(2), 40.0);
-  EXPECT_DOUBLE_EQ(inj.backoff_ms(3), 80.0);
-  EXPECT_DOUBLE_EQ(inj.backoff_ms(4), 160.0);
-  EXPECT_DOUBLE_EQ(inj.backoff_ms(5), 160.0);  // capped
+  EXPECT_DOUBLE_EQ(inj.backoff_ms(1).v, 20.0);
+  EXPECT_DOUBLE_EQ(inj.backoff_ms(2).v, 40.0);
+  EXPECT_DOUBLE_EQ(inj.backoff_ms(3).v, 80.0);
+  EXPECT_DOUBLE_EQ(inj.backoff_ms(4).v, 160.0);
+  EXPECT_DOUBLE_EQ(inj.backoff_ms(5).v, 160.0);  // capped
 }
 
 TEST(FaultInjector, ZeroExecProbGivesSingleCleanAttempt) {
@@ -61,8 +61,8 @@ TEST(FaultInjector, ZeroExecProbGivesSingleCleanAttempt) {
   const auto plan = inj.plan_execution(HoType::kScga);
   EXPECT_TRUE(plan.success);
   EXPECT_EQ(plan.attempts, 1);
-  EXPECT_DOUBLE_EQ(plan.retry_ms, 0.0);
-  EXPECT_DOUBLE_EQ(plan.backoff_ms, 0.0);
+  EXPECT_DOUBLE_EQ(plan.retry_ms.v, 0.0);
+  EXPECT_DOUBLE_EQ(plan.backoff_ms.v, 0.0);
 }
 
 TEST(FaultInjector, CertainExecFailureExhaustsAttempts) {
@@ -74,8 +74,8 @@ TEST(FaultInjector, CertainExecFailureExhaustsAttempts) {
   EXPECT_EQ(plan.attempts, f.rach_max_attempts);
   // Retries beyond the first attempt: (max - 1) extra attempt durations and
   // backoff(1) + backoff(2) of waiting.
-  EXPECT_DOUBLE_EQ(plan.retry_ms, 2.0 * f.rach_attempt_ms);
-  EXPECT_DOUBLE_EQ(plan.backoff_ms, 20.0 + 40.0);
+  EXPECT_DOUBLE_EQ(plan.retry_ms.v, 2.0 * f.rach_attempt_ms.v);
+  EXPECT_DOUBLE_EQ(plan.backoff_ms.v, 20.0 + 40.0);
 }
 
 TEST(FaultInjector, ScgrIsExemptFromExecFailure) {
@@ -113,8 +113,8 @@ TEST(FaultInjector, RetryFrequencyMatchesPerAttemptProbability) {
 
 TEST(FaultInjector, ReestablishDurationRespectsFloor) {
   FaultProfile f;
-  f.reestablish_mean_ms = 100.0;
-  f.reestablish_sd_ms = 200.0;  // wide: would often sample negative
+  f.reestablish_mean_ms = Millis{100.0};
+  f.reestablish_sd_ms = Millis{200.0};  // wide: would often sample negative
   f.rlf_enabled = true;
   FaultInjector inj(f, Rng(7));
   for (int i = 0; i < 1000; ++i) {
@@ -132,34 +132,34 @@ FaultProfile rlf_profile(Dbm qout, Seconds t310) {
 }
 
 TEST(RlfMonitor, TriggersExactlyWhenT310Expires) {
-  RlfMonitor mon(rlf_profile(-100.0, 1.0));
-  EXPECT_FALSE(mon.update(0.0, -110.0, true));  // arms the timer
-  EXPECT_FALSE(mon.update(0.5, -110.0, true));
-  EXPECT_TRUE(mon.update(1.0, -110.0, true));   // T310 expiry
+  RlfMonitor mon(rlf_profile(Dbm{-100.0}, Seconds{1.0}));
+  EXPECT_FALSE(mon.update(Seconds{0.0}, Dbm{-110.0}, true));  // arms the timer
+  EXPECT_FALSE(mon.update(Seconds{0.5}, Dbm{-110.0}, true));
+  EXPECT_TRUE(mon.update(Seconds{1.0}, Dbm{-110.0}, true));   // T310 expiry
   // Timer consumed: stays quiet until a fresh window elapses.
-  EXPECT_FALSE(mon.update(1.05, -110.0, true));
+  EXPECT_FALSE(mon.update(Seconds{1.05}, Dbm{-110.0}, true));
 }
 
 TEST(RlfMonitor, GoodSampleResetsTimer) {
-  RlfMonitor mon(rlf_profile(-100.0, 1.0));
-  EXPECT_FALSE(mon.update(0.0, -110.0, true));
-  EXPECT_FALSE(mon.update(0.9, -90.0, true));   // recovery above Qout
-  EXPECT_FALSE(mon.update(1.2, -110.0, true));  // re-arms here
-  EXPECT_FALSE(mon.update(2.1, -110.0, true));
-  EXPECT_TRUE(mon.update(2.2, -110.0, true));
+  RlfMonitor mon(rlf_profile(Dbm{-100.0}, Seconds{1.0}));
+  EXPECT_FALSE(mon.update(Seconds{0.0}, Dbm{-110.0}, true));
+  EXPECT_FALSE(mon.update(Seconds{0.9}, Dbm{-90.0}, true));   // recovery above Qout
+  EXPECT_FALSE(mon.update(Seconds{1.2}, Dbm{-110.0}, true));  // re-arms here
+  EXPECT_FALSE(mon.update(Seconds{2.1}, Dbm{-110.0}, true));
+  EXPECT_TRUE(mon.update(Seconds{2.2}, Dbm{-110.0}, true));
 }
 
 TEST(RlfMonitor, MissingServingCellCountsAsBelowQout) {
-  RlfMonitor mon(rlf_profile(-100.0, 0.5));
-  EXPECT_FALSE(mon.update(0.0, 0.0, false));
-  EXPECT_TRUE(mon.update(0.5, 0.0, false));
+  RlfMonitor mon(rlf_profile(Dbm{-100.0}, Seconds{0.5}));
+  EXPECT_FALSE(mon.update(Seconds{0.0}, Dbm{0.0}, false));
+  EXPECT_TRUE(mon.update(Seconds{0.5}, Dbm{0.0}, false));
 }
 
 TEST(RlfMonitor, DisabledNeverTriggers) {
   RlfMonitor mon(FaultProfile{});
   EXPECT_FALSE(mon.enabled());
   for (int i = 0; i < 100; ++i) {
-    EXPECT_FALSE(mon.update(static_cast<double>(i), -140.0, false));
+    EXPECT_FALSE(mon.update(Seconds{static_cast<double>(i)}, Dbm{-140.0}, false));
   }
 }
 
@@ -175,7 +175,7 @@ struct FaultDriveResult {
 FaultDriveResult drive_with_faults(const FaultProfile& faults, Meters length,
                                    std::uint64_t seed) {
   Rng rng(seed);
-  geo::Route route({{0.0, 0.0}, {length, 0.0}});
+  geo::Route route({{0.0, 0.0}, {length.v, 0.0}});
   Rng dep_rng = rng.fork(7);
   Deployment dep(profile_opx(), route, dep_rng);
 
@@ -188,10 +188,10 @@ FaultDriveResult drive_with_faults(const FaultProfile& faults, Meters length,
   FaultDriveResult out;
   const double dt = 0.05;
   const double speed_mps = 30.0;
-  Meters pos = 0.0;
-  for (Seconds t = 0.0; pos < length; t += dt) {
-    pos += speed_mps * dt;
-    const TickResult r = mgr.tick(t, route.position_at(pos), speed_mps * dt, pos);
+  Meters pos{0.0};
+  for (Seconds t{0.0}; pos < length; t += Seconds{dt}) {
+    pos += Meters{speed_mps * dt};
+    const TickResult r = mgr.tick(t, route.position_at(pos), Meters{speed_mps * dt}, pos);
     for (const auto& h : r.completed) out.handovers.push_back(h);
     for (const auto& h : r.commands) out.commands.push_back(h);
     ++out.ticks;
@@ -204,12 +204,12 @@ FaultDriveResult drive_with_faults(const FaultProfile& faults, Meters length,
 TEST(MobilityManagerFaults, CertainPrepFailureAbortsEveryHandover) {
   FaultProfile f;
   f.prep_failure.fill(1.0);
-  const FaultDriveResult r = drive_with_faults(f, 20000.0, 21);
+  const FaultDriveResult r = drive_with_faults(f, Meters{20000.0}, 21);
   ASSERT_GT(r.handovers.size(), 5u);
   for (const HandoverRecord& h : r.handovers) {
     EXPECT_EQ(h.outcome, HoOutcome::kPrepFailure);
     EXPECT_EQ(h.rach_attempts, 0);  // the UE never got to RACH
-    EXPECT_DOUBLE_EQ(h.reestablish_ms, 0.0);
+    EXPECT_DOUBLE_EQ(h.reestablish_ms.v, 0.0);
   }
   // No command is ever delivered, so the SCG can never be added and the
   // serving LTE cell never changes hands.
@@ -221,7 +221,7 @@ TEST(MobilityManagerFaults, CertainPrepFailureAbortsEveryHandover) {
 TEST(MobilityManagerFaults, CertainExecFailureSplitsScgAndMcgPaths) {
   FaultProfile f;
   f.exec_failure.fill(1.0);
-  const FaultDriveResult r = drive_with_faults(f, 20000.0, 22);
+  const FaultDriveResult r = drive_with_faults(f, Meters{20000.0}, 22);
   ASSERT_GT(r.handovers.size(), 5u);
   int scg_failures = 0, mcg_reestablishments = 0;
   for (const HandoverRecord& h : r.handovers) {
@@ -234,8 +234,8 @@ TEST(MobilityManagerFaults, CertainExecFailureSplitsScgAndMcgPaths) {
       case HoType::kScgc:
         EXPECT_EQ(h.outcome, HoOutcome::kExecFailure);
         EXPECT_EQ(h.rach_attempts, f.rach_max_attempts);
-        EXPECT_DOUBLE_EQ(h.backoff_ms, 60.0);  // backoff(1) + backoff(2)
-        EXPECT_DOUBLE_EQ(h.reestablish_ms, 0.0);  // fast SCG release instead
+        EXPECT_DOUBLE_EQ(h.backoff_ms.v, 60.0);  // backoff(1) + backoff(2)
+        EXPECT_DOUBLE_EQ(h.reestablish_ms.v, 0.0);  // fast SCG release instead
         ++scg_failures;
         break;
       default:  // MCG procedures (LTEH / MNBH) enter re-establishment
@@ -255,31 +255,31 @@ TEST(MobilityManagerFaults, RetriedExecutionExtendsT2) {
   // carry their retry and backoff time inside T2.
   FaultProfile f;
   f.exec_failure.fill(0.4);
-  const FaultDriveResult r = drive_with_faults(f, 30000.0, 23);
+  const FaultDriveResult r = drive_with_faults(f, Meters{30000.0}, 23);
   bool saw_retried_success = false;
   for (const HandoverRecord& h : r.handovers) {
     if (h.outcome != HoOutcome::kSuccess || h.rach_attempts <= 1) continue;
     saw_retried_success = true;
     // T2 must cover at least the extra attempts plus their backoff.
     const double extra =
-        (h.rach_attempts - 1) * f.rach_attempt_ms + h.backoff_ms;
-    EXPECT_GE(h.timing.t2_ms, extra);
-    EXPECT_GT(h.backoff_ms, 0.0);
+        (h.rach_attempts - 1) * f.rach_attempt_ms.v + h.backoff_ms.v;
+    EXPECT_GE(h.timing.t2_ms.v, extra);
+    EXPECT_GT(h.backoff_ms.v, 0.0);
   }
   EXPECT_TRUE(saw_retried_success);
 }
 
 TEST(MobilityManagerFaults, FaultyRunsAreDeterministic) {
   FaultProfile f = FaultProfile::uniform(0.2, 0.4, true);
-  f.rlf_qout_dbm = -80.0;
-  const FaultDriveResult a = drive_with_faults(f, 15000.0, 24);
-  const FaultDriveResult b = drive_with_faults(f, 15000.0, 24);
+  f.rlf_qout_dbm = Dbm{-80.0};
+  const FaultDriveResult a = drive_with_faults(f, Meters{15000.0}, 24);
+  const FaultDriveResult b = drive_with_faults(f, Meters{15000.0}, 24);
   ASSERT_EQ(a.handovers.size(), b.handovers.size());
   for (std::size_t i = 0; i < a.handovers.size(); ++i) {
     EXPECT_EQ(a.handovers[i].type, b.handovers[i].type);
     EXPECT_EQ(a.handovers[i].outcome, b.handovers[i].outcome);
     EXPECT_EQ(a.handovers[i].rach_attempts, b.handovers[i].rach_attempts);
-    EXPECT_DOUBLE_EQ(a.handovers[i].complete_time, b.handovers[i].complete_time);
+    EXPECT_DOUBLE_EQ(a.handovers[i].complete_time.v, b.handovers[i].complete_time.v);
   }
 }
 
@@ -292,7 +292,7 @@ sim::Scenario golden_scenario() {
   s.nr_band = radio::Band::kNrLow;
   s.mobility = sim::MobilityKind::kFreeway;
   s.speed_kmh = 110.0;
-  s.duration = 90.0;
+  s.duration = Seconds{90.0};
   s.seed = 42;
   return s;
 }
@@ -348,13 +348,13 @@ sim::Scenario faulty_scenario() {
   s.nr_band = radio::Band::kNrLow;
   s.mobility = sim::MobilityKind::kFreeway;
   s.speed_kmh = 110.0;
-  s.duration = 600.0;
+  s.duration = Seconds{600.0};
   s.seed = 7;
   s.faults.prep_failure.fill(0.12);
   s.faults.exec_failure.fill(0.45);
   s.faults.rlf_enabled = true;
-  s.faults.rlf_qout_dbm = -78.0;
-  s.faults.rlf_t310 = 0.6;
+  s.faults.rlf_qout_dbm = Dbm{-78.0};
+  s.faults.rlf_t310 = Seconds{0.6};
   return s;
 }
 
@@ -377,7 +377,7 @@ TEST(FaultsRegression, FaultyScenarioEmitsAllFourOutcomes) {
 
   const analysis::RetryStats rs = analysis::retry_stats(log.handovers);
   EXPECT_GT(rs.mean_rach_attempts, 1.0);
-  EXPECT_GT(rs.total_backoff_ms, 0.0);
+  EXPECT_GT(rs.total_backoff_ms, 0.0_ms);
   EXPECT_GT(rs.reestablishments, 0);
 
   // Outcomes survive a CSV round trip.
@@ -410,8 +410,8 @@ TEST(FaultsRegression, ReestablishmentHaltsBothLegs) {
       ++checked;
     }
     // The link emulator reports the window as an outage.
-    if (h.reestablish_ms >= 200.0) {
-      EXPECT_GT(link.outage_seconds(start, ms_to_s(h.reestablish_ms)), 0.0);
+    if (h.reestablish_ms >= 200.0_ms) {
+      EXPECT_GT(link.outage_seconds(start, ms_to_s(h.reestablish_ms)).v, 0.0);
     }
   }
   EXPECT_GT(checked, 0) << "no re-establishment windows overlapped ticks";

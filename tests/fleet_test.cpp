@@ -37,10 +37,10 @@ sim::FleetScenario small_fleet(std::size_t n) {
   f.base.arch = ran::Arch::kNsa;
   f.base.nr_band = radio::Band::kNrLow;
   f.base.mobility = sim::MobilityKind::kFreeway;
-  f.base.duration = 45.0;
+  f.base.duration = Seconds{45.0};
   f.base.seed = 42;
   f.n_ues = n;
-  f.stagger_m = 120.0;
+  f.stagger_m = Meters{120.0};
   return f;
 }
 
@@ -64,10 +64,10 @@ TEST(FleetScenario, DerivedScenarioCarriesStaggerAndMix) {
   const sim::Scenario u3 = sim::fleet_ue_scenario(f, 3);
   EXPECT_EQ(u0.name, "fleet/ue0");
   EXPECT_EQ(u0.seed, f.base.seed);
-  EXPECT_DOUBLE_EQ(u0.start_offset_m, 0.0);
+  EXPECT_DOUBLE_EQ(u0.start_offset_m.v, 0.0);
   EXPECT_EQ(u0.mobility, sim::MobilityKind::kCity);  // mix[0 % 2]
   EXPECT_EQ(u3.name, "fleet/ue3");
-  EXPECT_DOUBLE_EQ(u3.start_offset_m, 360.0);
+  EXPECT_DOUBLE_EQ(u3.start_offset_m.v, 360.0);
   EXPECT_EQ(u3.mobility, sim::MobilityKind::kWalkLoop);  // mix[3 % 2]
 }
 
@@ -123,7 +123,7 @@ TEST(Fleet, StaggerShiftsStartingPosition) {
   ASSERT_FALSE(u0.ticks.empty());
   ASSERT_FALSE(u2.ticks.empty());
   // UE 2 starts 240 m downstream of UE 0 on the shared route.
-  EXPECT_NEAR(u2.ticks.front().route_position - u0.ticks.front().route_position,
+  EXPECT_NEAR((u2.ticks.front().route_position - u0.ticks.front().route_position).v,
               240.0, 1.0);
 }
 
@@ -144,8 +144,8 @@ TEST(TraceSummary, SummarizeMatchesLog) {
   const trace::TraceLog log = sim::run_scenario(f.base);
   const trace::TraceSummary s = trace::summarize(log);
   EXPECT_EQ(s.ticks, log.ticks.size());
-  EXPECT_DOUBLE_EQ(s.duration, log.duration());
-  EXPECT_DOUBLE_EQ(s.distance, log.distance());
+  EXPECT_DOUBLE_EQ(s.duration.v, log.duration().v);
+  EXPECT_DOUBLE_EQ(s.distance.v, log.distance().v);
   EXPECT_EQ(s.handovers, static_cast<int>(log.handovers.size()));
   EXPECT_EQ(s.ho_success + s.ho_prep_failure + s.ho_exec_failure +
                 s.ho_rlf_reestablish,

@@ -8,8 +8,8 @@ namespace p5g::geo {
 namespace {
 
 TEST(Geometry, Distance) {
-  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
-  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}).v, 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}).v, 0.0);
 }
 
 TEST(Geometry, CrossSign) {
@@ -90,26 +90,26 @@ TEST(HullOverlap, PartialRatio) {
 // ---------------------------------------------------------------- route --
 TEST(Route, ArcLengthAndInterpolation) {
   Route r({{0, 0}, {100, 0}, {100, 50}});
-  EXPECT_DOUBLE_EQ(r.length(), 150.0);
-  const Point mid = r.position_at(100.0);
+  EXPECT_DOUBLE_EQ(r.length().v, 150.0);
+  const Point mid = r.position_at(Meters{100.0});
   EXPECT_NEAR(mid.x, 100.0, 1e-9);
   EXPECT_NEAR(mid.y, 0.0, 1e-9);
-  const Point p = r.position_at(125.0);
+  const Point p = r.position_at(Meters{125.0});
   EXPECT_NEAR(p.x, 100.0, 1e-9);
   EXPECT_NEAR(p.y, 25.0, 1e-9);
 }
 
 TEST(Route, ClampsWhenNotLooping) {
   Route r({{0, 0}, {10, 0}});
-  EXPECT_NEAR(r.position_at(-5.0).x, 0.0, 1e-9);
-  EXPECT_NEAR(r.position_at(99.0).x, 10.0, 1e-9);
+  EXPECT_NEAR(r.position_at(Meters{-5.0}).x, 0.0, 1e-9);
+  EXPECT_NEAR(r.position_at(Meters{99.0}).x, 10.0, 1e-9);
 }
 
 TEST(Route, WrapsWhenLooping) {
   Route r({{0, 0}, {10, 0}, {10, 10}, {0, 10}, {0, 0}});
   r.set_loops(true);
-  const Point a = r.position_at(5.0);
-  const Point b = r.position_at(45.0);  // perimeter 40
+  const Point a = r.position_at(Meters{5.0});
+  const Point b = r.position_at(Meters{45.0});  // perimeter 40
   EXPECT_NEAR(a.x, b.x, 1e-9);
   EXPECT_NEAR(a.y, b.y, 1e-9);
 }
@@ -118,14 +118,14 @@ class RouteGeneratorTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(RouteGeneratorTest, FreewayLengthApproximatelyRequested) {
   Rng rng(GetParam());
-  const Route r = make_freeway_route(20000.0, rng);
-  EXPECT_GE(r.length(), 20000.0);
-  EXPECT_LE(r.length(), 23000.0);
+  const Route r = make_freeway_route(Meters{20000.0}, rng);
+  EXPECT_GE(r.length().v, 20000.0);
+  EXPECT_LE(r.length().v, 23000.0);
 }
 
 TEST_P(RouteGeneratorTest, CityRouteIsAxisAligned) {
   Rng rng(GetParam());
-  const Route r = make_city_route(5000.0, 180.0, rng);
+  const Route r = make_city_route(Meters{5000.0}, Meters{180.0}, rng);
   const auto& wps = r.waypoints();
   ASSERT_GE(wps.size(), 2u);
   for (std::size_t i = 1; i < wps.size(); ++i) {
@@ -137,12 +137,12 @@ TEST_P(RouteGeneratorTest, CityRouteIsAxisAligned) {
 
 TEST_P(RouteGeneratorTest, LoopRouteClosesAndLoops) {
   Rng rng(GetParam());
-  const Route r = make_loop_route(2000.0, rng);
+  const Route r = make_loop_route(Meters{2000.0}, rng);
   EXPECT_TRUE(r.loops());
   const auto& wps = r.waypoints();
   EXPECT_NEAR(wps.front().x, wps.back().x, 1e-9);
   EXPECT_NEAR(wps.front().y, wps.back().y, 1e-9);
-  EXPECT_NEAR(r.length(), 2000.0, 450.0);
+  EXPECT_NEAR(r.length().v, 2000.0, 450.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RouteGeneratorTest, ::testing::Values(1u, 7u, 42u, 99u));

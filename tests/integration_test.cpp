@@ -14,7 +14,7 @@ namespace p5g {
 namespace {
 
 sim::Scenario base_scenario(ran::Arch arch, radio::Band band, std::uint64_t seed,
-                            Seconds duration = 600.0) {
+                            Seconds duration = Seconds{600.0}) {
   sim::Scenario s;
   s.carrier = arch == ran::Arch::kSa ? ran::profile_opy() : ran::profile_opx();
   s.arch = arch;
@@ -28,8 +28,8 @@ sim::Scenario base_scenario(ran::Arch arch, radio::Band band, std::uint64_t seed
 
 TEST(Integration, NsaHandoversMoreFrequentThanLte) {
   const trace::TraceLog nsa =
-      sim::run_scenario(base_scenario(ran::Arch::kNsa, radio::Band::kNrLow, 501, 900.0));
-  sim::Scenario lte_s = base_scenario(ran::Arch::kLteOnly, radio::Band::kNrLow, 501, 900.0);
+      sim::run_scenario(base_scenario(ran::Arch::kNsa, radio::Band::kNrLow, 501, Seconds{900.0}));
+  sim::Scenario lte_s = base_scenario(ran::Arch::kLteOnly, radio::Band::kNrLow, 501, Seconds{900.0});
   const trace::TraceLog lte = sim::run_scenario(lte_s);
   ASSERT_GT(nsa.handovers.size(), 0u);
   ASSERT_GT(lte.handovers.size(), 0u);
@@ -38,30 +38,30 @@ TEST(Integration, NsaHandoversMoreFrequentThanLte) {
 
 TEST(Integration, SaHandoversLessFrequentThanNsa) {
   const trace::TraceLog nsa =
-      sim::run_scenario(base_scenario(ran::Arch::kNsa, radio::Band::kNrLow, 502, 900.0));
+      sim::run_scenario(base_scenario(ran::Arch::kNsa, radio::Band::kNrLow, 502, Seconds{900.0}));
   const trace::TraceLog sa =
-      sim::run_scenario(base_scenario(ran::Arch::kSa, radio::Band::kNrLow, 502, 900.0));
+      sim::run_scenario(base_scenario(ran::Arch::kSa, radio::Band::kNrLow, 502, Seconds{900.0}));
   ASSERT_GT(sa.handovers.size(), 0u);
   EXPECT_GT(analysis::km_per_handover(sa), analysis::km_per_handover(nsa));
 }
 
 TEST(Integration, NsaDurationsExceedLte) {
   const trace::TraceLog nsa =
-      sim::run_scenario(base_scenario(ran::Arch::kNsa, radio::Band::kNrLow, 503, 900.0));
+      sim::run_scenario(base_scenario(ran::Arch::kNsa, radio::Band::kNrLow, 503, Seconds{900.0}));
   const trace::TraceLog lte =
-      sim::run_scenario(base_scenario(ran::Arch::kLteOnly, radio::Band::kNrLow, 503, 900.0));
+      sim::run_scenario(base_scenario(ran::Arch::kLteOnly, radio::Band::kNrLow, 503, Seconds{900.0}));
   std::vector<double> nsa_ms, lte_ms;
   for (const auto& h : nsa.handovers) {
-    if (ran::ho_is_5g_procedure(h.type)) nsa_ms.push_back(h.timing.total_ms());
+    if (ran::ho_is_5g_procedure(h.type)) nsa_ms.push_back(h.timing.total_ms().v);
   }
-  for (const auto& h : lte.handovers) lte_ms.push_back(h.timing.total_ms());
+  for (const auto& h : lte.handovers) lte_ms.push_back(h.timing.total_ms().v);
   ASSERT_FALSE(nsa_ms.empty());
   ASSERT_FALSE(lte_ms.empty());
   EXPECT_GT(stats::mean(nsa_ms), 1.5 * stats::mean(lte_ms));
 }
 
 TEST(Integration, EffectiveCoverageShrinksUnderNsa) {
-  sim::Scenario with = base_scenario(ran::Arch::kNsa, radio::Band::kNrLow, 504, 1200.0);
+  sim::Scenario with = base_scenario(ran::Arch::kNsa, radio::Band::kNrLow, 504, Seconds{1200.0});
   sim::Scenario without = with;
   without.mnbh_releases_scg = false;
   const auto actual = analysis::nr_dwell_distances(sim::run_scenario(with),
@@ -74,8 +74,8 @@ TEST(Integration, EffectiveCoverageShrinksUnderNsa) {
 }
 
 TEST(Integration, MmWaveCoverageSmallerThanLowBand) {
-  sim::Scenario low = base_scenario(ran::Arch::kNsa, radio::Band::kNrLow, 505, 900.0);
-  sim::Scenario mmw = base_scenario(ran::Arch::kNsa, radio::Band::kNrMmWave, 505, 900.0);
+  sim::Scenario low = base_scenario(ran::Arch::kNsa, radio::Band::kNrLow, 505, Seconds{900.0});
+  sim::Scenario mmw = base_scenario(ran::Arch::kNsa, radio::Band::kNrMmWave, 505, Seconds{900.0});
   mmw.mobility = sim::MobilityKind::kCity;
   mmw.speed_kmh = 40.0;
   const auto low_d = analysis::nr_dwell_distances(sim::run_scenario(low),
@@ -88,7 +88,7 @@ TEST(Integration, MmWaveCoverageSmallerThanLowBand) {
 }
 
 TEST(Integration, DualModeKeepsThroughputDuringNrHo) {
-  sim::Scenario dual = base_scenario(ran::Arch::kNsa, radio::Band::kNrLow, 506, 900.0);
+  sim::Scenario dual = base_scenario(ran::Arch::kNsa, radio::Band::kNrLow, 506, Seconds{900.0});
   dual.traffic_mode = tput::TrafficMode::kDual;
   const trace::TraceLog log = sim::run_scenario(dual);
   int nr_halted_with_tput = 0, nr_halted = 0;
@@ -103,7 +103,7 @@ TEST(Integration, DualModeKeepsThroughputDuringNrHo) {
 }
 
 TEST(Integration, PrognosBeatsChanceOnFreshTrace) {
-  sim::Scenario s = base_scenario(ran::Arch::kNsa, radio::Band::kNrLow, 507, 900.0);
+  sim::Scenario s = base_scenario(ran::Arch::kNsa, radio::Band::kNrLow, 507, Seconds{900.0});
   const trace::TraceLog log = sim::run_scenario(s);
   analysis::PrognosRunOptions opts;
   opts.bootstrap = true;
@@ -115,15 +115,15 @@ TEST(Integration, PrognosBeatsChanceOnFreshTrace) {
 }
 
 TEST(Integration, PrognosSignalTracksGroundTruthDirection) {
-  sim::Scenario s = base_scenario(ran::Arch::kNsa, radio::Band::kNrLow, 508, 600.0);
+  sim::Scenario s = base_scenario(ran::Arch::kNsa, radio::Band::kNrLow, 508, Seconds{600.0});
   const trace::TraceLog log = sim::run_scenario(s);
   core::Prognos::Config cfg;
   const apps::HoSignal pr = apps::prognos_signal(log, cfg);
   // The Prognos score must deviate from 1.0 around at least half the HOs.
   int covered = 0;
   for (const ran::HandoverRecord& h : log.handovers) {
-    for (Seconds t = h.decision_time - 1.5; t <= h.decision_time; t += 0.05) {
-      if (pr.score_at(t) != 1.0) {
+    for (Seconds t = h.decision_time - Seconds{1.5}; t <= h.decision_time; t += Seconds{0.05}) {
+      if (!p5g::bit_equal(pr.score_at(t), 1.0)) {
         ++covered;
         break;
       }
@@ -134,7 +134,7 @@ TEST(Integration, PrognosSignalTracksGroundTruthDirection) {
 }
 
 TEST(Integration, ColocationShortensNsaHandovers) {
-  sim::Scenario s = base_scenario(ran::Arch::kNsa, radio::Band::kNrLow, 509, 1500.0);
+  sim::Scenario s = base_scenario(ran::Arch::kNsa, radio::Band::kNrLow, 509, Seconds{1500.0});
   s.carrier = ran::profile_opy();  // 36 % co-location
   const trace::TraceLog log = sim::run_scenario(s);
   const analysis::ColocationSplit split = analysis::colocation_split(log.handovers);

@@ -1,0 +1,30 @@
+// Allowance fixture: one seeded violation per code rule, each suppressed
+// with a `p5g-lint: allow(<rule>)` comment. The self-test requires ZERO
+// findings here — it proves per-line suppression works.
+// p5g-lint-expect: clean
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <random>
+
+namespace p5g::lint_fixture_ok {
+
+double ok_now() {
+  const auto t = std::chrono::steady_clock::now();  // p5g-lint: allow(wall-clock)
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+double ok_draw() {
+  std::mt19937_64 engine{12345};  // p5g-lint: allow(std-random)
+  return static_cast<double>(engine());
+}
+
+void ok_log(double rsrp) {
+  printf("rsrp=%f\n", rsrp);  // p5g-lint: allow(tick-io)
+}
+
+double ok_madd(double a, double b, double c) {
+  return std::fma(a, b, c);  // p5g-lint: allow(fp-contract)
+}
+
+}  // namespace p5g::lint_fixture_ok

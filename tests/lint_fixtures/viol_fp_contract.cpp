@@ -1,0 +1,10 @@
+// Seeded violation: explicit FMA contracts a*b+c into one differently-
+// rounded operation, breaking golden byte-identity.
+// p5g-lint-expect: fp-contract
+#include <cmath>
+
+namespace p5g::lint_fixture {
+
+double bad_madd(double a, double b, double c) { return std::fma(a, b, c); }
+
+}  // namespace p5g::lint_fixture

@@ -1,0 +1,13 @@
+// Seeded violation: std:: random machinery instead of the seeded p5g::Rng
+// streams. A global engine breaks per-stream reproducibility.
+// p5g-lint-expect: std-random
+#include <random>
+
+namespace p5g::lint_fixture {
+
+double bad_draw() {
+  std::mt19937_64 engine{std::random_device{}()};
+  return static_cast<double>(engine());
+}
+
+}  // namespace p5g::lint_fixture

@@ -1,0 +1,14 @@
+// Seeded violation: console writes from tick-path code. Worker threads
+// interleave these nondeterministically under the parallel runner.
+// p5g-lint-expect: tick-io
+#include <cstdio>
+#include <iostream>
+
+namespace p5g::lint_fixture {
+
+void bad_log(double rsrp) {
+  std::cout << rsrp << "\n";
+  printf("rsrp=%f\n", rsrp);
+}
+
+}  // namespace p5g::lint_fixture

@@ -1,0 +1,16 @@
+// Seeded violation: wall-clock reads in tick-path code. Simulated timing
+// must derive from Seconds, never from a real clock.
+// p5g-lint-expect: wall-clock
+#include <chrono>
+#include <ctime>
+
+namespace p5g::lint_fixture {
+
+double bad_now() {
+  const auto t = std::chrono::steady_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+long bad_epoch() { return static_cast<long>(time(nullptr)); }
+
+}  // namespace p5g::lint_fixture

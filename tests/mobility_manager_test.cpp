@@ -22,7 +22,7 @@ struct DriveResult {
 DriveResult drive(Arch arch, radio::Band nr_band, Meters length, double speed_mps,
                   std::uint64_t seed, bool mnbh_releases = true) {
   Rng rng(seed);
-  geo::Route route({{0.0, 0.0}, {length, 0.0}});
+  geo::Route route({{0.0, 0.0}, {length.v, 0.0}});
   CarrierProfile carrier = arch == Arch::kSa ? profile_opy() : profile_opx();
   if (nr_band == radio::Band::kNrMid) carrier = profile_opy();
   Rng dep_rng = rng.fork(7);
@@ -36,10 +36,10 @@ DriveResult drive(Arch arch, radio::Band nr_band, Meters length, double speed_mp
 
   DriveResult out;
   const double dt = 0.05;
-  Meters pos = 0.0;
-  for (Seconds t = 0.0; pos < length; t += dt) {
-    pos += speed_mps * dt;
-    const TickResult r = mgr.tick(t, route.position_at(pos), speed_mps * dt, pos);
+  Meters pos{0.0};
+  for (Seconds t{0.0}; pos < length; t += Seconds{dt}) {
+    pos += Meters{speed_mps * dt};
+    const TickResult r = mgr.tick(t, route.position_at(pos), Meters{speed_mps * dt}, pos);
     for (const auto& h : r.completed) out.handovers.push_back(h);
     for (const auto& m : r.reports) out.reports.push_back(m);
     ++out.ticks;
@@ -50,45 +50,45 @@ DriveResult drive(Arch arch, radio::Band nr_band, Meters length, double speed_mp
 }
 
 TEST(MobilityManager, NsaDriveProducesHandovers) {
-  const DriveResult r = drive(Arch::kNsa, radio::Band::kNrLow, 20000.0, 30.0, 1);
+  const DriveResult r = drive(Arch::kNsa, radio::Band::kNrLow, Meters{20000.0}, 30.0, 1);
   EXPECT_GT(r.handovers.size(), 10u);
   EXPECT_GT(r.reports.size(), r.handovers.size() / 2);
 }
 
 TEST(MobilityManager, StaysAttachedAlmostAlways) {
-  const DriveResult r = drive(Arch::kNsa, radio::Band::kNrLow, 20000.0, 30.0, 2);
+  const DriveResult r = drive(Arch::kNsa, radio::Band::kNrLow, Meters{20000.0}, 30.0, 2);
   EXPECT_GT(r.ticks_attached_lte, r.ticks * 95 / 100);
   EXPECT_GT(r.ticks_attached_nr, r.ticks / 2);
 }
 
 TEST(MobilityManager, HandoverTimesAreOrdered) {
-  const DriveResult r = drive(Arch::kNsa, radio::Band::kNrLow, 15000.0, 30.0, 3);
-  Seconds prev_complete = -1.0;
+  const DriveResult r = drive(Arch::kNsa, radio::Band::kNrLow, Meters{15000.0}, 30.0, 3);
+  Seconds prev_complete{-1.0};
   for (const HandoverRecord& h : r.handovers) {
     EXPECT_LT(h.decision_time, h.exec_start);
     EXPECT_LT(h.exec_start, h.complete_time);
-    EXPECT_NEAR(h.exec_start - h.decision_time, ms_to_s(h.timing.t1_ms), 1e-6);
-    EXPECT_NEAR(h.complete_time - h.exec_start, ms_to_s(h.timing.t2_ms), 1e-6);
+    EXPECT_NEAR((h.exec_start - h.decision_time).v, ms_to_s(h.timing.t1_ms).v, 1e-6);
+    EXPECT_NEAR((h.complete_time - h.exec_start).v, ms_to_s(h.timing.t2_ms).v, 1e-6);
     // One procedure at a time.
-    EXPECT_GE(h.decision_time, prev_complete - 1e-9);
+    EXPECT_GE(h.decision_time.v, prev_complete.v - 1e-9);
     prev_complete = h.complete_time;
   }
 }
 
 TEST(MobilityManager, LteOnlyArchProducesOnlyLteh) {
-  const DriveResult r = drive(Arch::kLteOnly, radio::Band::kNrLow, 20000.0, 30.0, 4);
+  const DriveResult r = drive(Arch::kLteOnly, radio::Band::kNrLow, Meters{20000.0}, 30.0, 4);
   ASSERT_GT(r.handovers.size(), 3u);
   for (const HandoverRecord& h : r.handovers) EXPECT_EQ(h.type, HoType::kLteh);
 }
 
 TEST(MobilityManager, SaArchProducesOnlyMcgh) {
-  const DriveResult r = drive(Arch::kSa, radio::Band::kNrLow, 30000.0, 30.0, 5);
+  const DriveResult r = drive(Arch::kSa, radio::Band::kNrLow, Meters{30000.0}, 30.0, 5);
   ASSERT_GT(r.handovers.size(), 3u);
   for (const HandoverRecord& h : r.handovers) EXPECT_EQ(h.type, HoType::kMcgh);
 }
 
 TEST(MobilityManager, NsaProducesMixOfProcedures) {
-  const DriveResult r = drive(Arch::kNsa, radio::Band::kNrLow, 40000.0, 30.0, 6);
+  const DriveResult r = drive(Arch::kNsa, radio::Band::kNrLow, Meters{40000.0}, 30.0, 6);
   std::map<HoType, int> counts;
   for (const HandoverRecord& h : r.handovers) ++counts[h.type];
   // Anchor changes and SCG additions must both occur.
@@ -101,7 +101,7 @@ TEST(MobilityManager, NsaProducesMixOfProcedures) {
 TEST(MobilityManager, ScgaOnlyWhenDetached) {
   // Replay the HO sequence and track SCG attachment: SCGA must only start
   // from a detached SCG, SCGM/SCGC/SCGR from an attached one.
-  const DriveResult r = drive(Arch::kNsa, radio::Band::kNrLow, 40000.0, 30.0, 7);
+  const DriveResult r = drive(Arch::kNsa, radio::Band::kNrLow, Meters{40000.0}, 30.0, 7);
   bool attached = false;
   for (const HandoverRecord& h : r.handovers) {
     switch (h.type) {
@@ -128,8 +128,8 @@ TEST(MobilityManager, ScgaOnlyWhenDetached) {
 }
 
 TEST(MobilityManager, MnbhKeepsScgWhenConfigured) {
-  const DriveResult rel = drive(Arch::kNsa, radio::Band::kNrLow, 30000.0, 30.0, 8, true);
-  const DriveResult keep = drive(Arch::kNsa, radio::Band::kNrLow, 30000.0, 30.0, 8, false);
+  const DriveResult rel = drive(Arch::kNsa, radio::Band::kNrLow, Meters{30000.0}, 30.0, 8, true);
+  const DriveResult keep = drive(Arch::kNsa, radio::Band::kNrLow, Meters{30000.0}, 30.0, 8, false);
   auto count = [](const DriveResult& r, HoType t) {
     int n = 0;
     for (const auto& h : r.handovers) {
@@ -142,7 +142,7 @@ TEST(MobilityManager, MnbhKeepsScgWhenConfigured) {
 }
 
 TEST(MobilityManager, ScgmStaysWithinGnb) {
-  const DriveResult r = drive(Arch::kNsa, radio::Band::kNrMid, 30000.0, 30.0, 9);
+  const DriveResult r = drive(Arch::kNsa, radio::Band::kNrMid, Meters{30000.0}, 30.0, 9);
   int scgm = 0;
   for (const HandoverRecord& h : r.handovers) {
     if (h.type != HoType::kScgm) continue;
@@ -154,7 +154,7 @@ TEST(MobilityManager, ScgmStaysWithinGnb) {
 }
 
 TEST(MobilityManager, ScgcChangesGnb) {
-  const DriveResult r = drive(Arch::kNsa, radio::Band::kNrMmWave, 8000.0, 12.0, 10);
+  const DriveResult r = drive(Arch::kNsa, radio::Band::kNrMmWave, Meters{8000.0}, 12.0, 10);
   for (const HandoverRecord& h : r.handovers) {
     if (h.type != HoType::kScgc) continue;
     EXPECT_NE(h.src_pci, h.dst_pci);
@@ -162,14 +162,14 @@ TEST(MobilityManager, ScgcChangesGnb) {
 }
 
 TEST(MobilityManager, ReportsPrecedeDecisions) {
-  const DriveResult r = drive(Arch::kNsa, radio::Band::kNrLow, 20000.0, 30.0, 11);
+  const DriveResult r = drive(Arch::kNsa, radio::Band::kNrLow, Meters{20000.0}, 30.0, 11);
   ASSERT_FALSE(r.handovers.empty());
   ASSERT_FALSE(r.reports.empty());
   // Every HO decision must have at least one report in the preceding 5 s.
   for (const HandoverRecord& h : r.handovers) {
     bool found = false;
     for (const MeasurementReport& m : r.reports) {
-      if (m.time <= h.decision_time && h.decision_time - m.time <= 5.0) found = true;
+      if (m.time <= h.decision_time && h.decision_time - m.time <= 5.0_s) found = true;
     }
     EXPECT_TRUE(found) << "HO at " << h.decision_time << " without recent MR";
   }
@@ -202,12 +202,12 @@ TEST(MobilityManager, ActiveEventConfigsMatchArch) {
 }
 
 TEST(MobilityManager, DeterministicForSameSeed) {
-  const DriveResult a = drive(Arch::kNsa, radio::Band::kNrLow, 10000.0, 30.0, 13);
-  const DriveResult b = drive(Arch::kNsa, radio::Band::kNrLow, 10000.0, 30.0, 13);
+  const DriveResult a = drive(Arch::kNsa, radio::Band::kNrLow, Meters{10000.0}, 30.0, 13);
+  const DriveResult b = drive(Arch::kNsa, radio::Band::kNrLow, Meters{10000.0}, 30.0, 13);
   ASSERT_EQ(a.handovers.size(), b.handovers.size());
   for (std::size_t i = 0; i < a.handovers.size(); ++i) {
     EXPECT_EQ(a.handovers[i].type, b.handovers[i].type);
-    EXPECT_DOUBLE_EQ(a.handovers[i].decision_time, b.handovers[i].decision_time);
+    EXPECT_DOUBLE_EQ(a.handovers[i].decision_time.v, b.handovers[i].decision_time.v);
   }
 }
 

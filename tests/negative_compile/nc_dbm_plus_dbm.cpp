@@ -1,0 +1,14 @@
+// MUST NOT COMPILE: absolute power levels do not add. Summing two dBm
+// readings is the canonical unit bug this library exists to prevent —
+// combine powers in the linear domain (to_mw) instead.
+#include "common/units.h"
+
+namespace p5g {
+
+constexpr Dbm bad_sum() {
+  constexpr Dbm serving{-95.0};
+  constexpr Dbm neighbor{-97.0};
+  return serving + neighbor;  // no operator+(Dbm, Dbm): must fail
+}
+
+}  // namespace p5g

@@ -1,0 +1,15 @@
+// MUST NOT COMPILE: a millisecond duration passed where simulated seconds
+// are expected. Before the unit types, this off-by-1000x slipped through
+// as a plain double and corrupted handover timelines silently.
+#include "common/units.h"
+
+namespace p5g {
+
+inline SimSeconds advance(SimSeconds now, SimSeconds dt) { return now + dt; }
+
+inline SimSeconds bad_advance() {
+  constexpr Millis t304{200.0};
+  return advance(SimSeconds{10.0}, t304);  // Millis is not SimSeconds: must fail
+}
+
+}  // namespace p5g

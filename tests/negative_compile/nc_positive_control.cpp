@@ -1,0 +1,25 @@
+// Positive control for the negative-compile suite: the unit algebra that IS
+// physically meaningful must compile. If this file breaks, the negative
+// tests below prove nothing (a failing compiler invocation would "pass").
+#include "common/units.h"
+
+namespace p5g {
+
+constexpr Db margin() {
+  constexpr Dbm rsrp{-95.0};
+  constexpr Dbm threshold{-110.0};
+  constexpr Db hysteresis{3.0};
+  constexpr Dbm biased = rsrp + hysteresis;   // level + ratio -> level
+  return biased - threshold;                  // level - level -> ratio
+}
+static_assert(margin().v > 0.0);
+
+constexpr SimSeconds later() {
+  using namespace unit_literals;
+  constexpr SimSeconds t0{1.5};
+  constexpr Millis t1_ms = 80.0_ms;
+  return t0 + ms_to_s(t1_ms);                 // explicit ms -> s conversion
+}
+static_assert(later().v > 1.5);
+
+}  // namespace p5g

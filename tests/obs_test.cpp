@@ -342,7 +342,7 @@ sim::Scenario golden_scenario() {
   s.nr_band = radio::Band::kNrLow;
   s.mobility = sim::MobilityKind::kFreeway;
   s.speed_kmh = 110.0;
-  s.duration = 90.0;
+  s.duration = Seconds{90.0};
   s.seed = 42;
   return s;
 }

@@ -59,7 +59,7 @@ std::vector<sim::Scenario> sweep_scenarios() {
     s.arch = ran::Arch::kNsa;
     s.nr_band = radio::Band::kNrLow;
     s.mobility = sim::MobilityKind::kFreeway;
-    s.duration = 45.0;
+    s.duration = Seconds{45.0};
     s.seed = seed;
     out.push_back(std::move(s));
   }
@@ -103,7 +103,7 @@ TEST(RunScenarios, SharedDeploymentOverloadMatchesSerial) {
   base.arch = ran::Arch::kNsa;
   base.nr_band = radio::Band::kNrMmWave;
   base.mobility = sim::MobilityKind::kWalkLoop;
-  base.duration = 60.0;
+  base.duration = Seconds{60.0};
   base.seed = 21;
 
   Rng rng(base.seed);

@@ -40,12 +40,12 @@ TEST(RadioBatch, MakeRrsBatchBitIdenticalToScalar) {
     std::vector<Meters> dist(kN);
     std::vector<Db> shadow(kN), fading(kN), dir(kN);
     for (std::size_t i = 0; i < kN; ++i) {
-      dist[i] = rng.uniform(0.5, 4000.0);  // below the 1 m floor included
-      shadow[i] = rng.normal(0.0, 6.0);
-      fading[i] = rng.normal(0.0, 3.0);
-      dir[i] = rng.uniform(0.0, 25.0);
+      dist[i] = Meters{rng.uniform(0.5, 4000.0)};  // below the 1 m floor included
+      shadow[i] = Db{rng.normal(0.0, 6.0)};
+      fading[i] = Db{rng.normal(0.0, 3.0)};
+      dir[i] = Db{rng.uniform(0.0, 25.0)};
     }
-    const Db interference = rng.uniform(0.0, 6.0);
+    const Db interference{rng.uniform(0.0, 6.0)};
 
     std::vector<radio::Rrs> batched(kN);
     radio::make_rrs_batch(band, interference, kN, dist.data(), shadow.data(),
@@ -102,7 +102,7 @@ sim::Scenario batch_scenario(std::uint64_t seed) {
   s.nr_band = radio::Band::kNrMmWave;  // densest observation lists
   s.mobility = sim::MobilityKind::kCity;
   s.speed_kmh = 40.0;
-  s.duration = 30.0;
+  s.duration = Seconds{30.0};
   s.seed = seed;
   return s;
 }
@@ -128,7 +128,7 @@ TEST(RadioBatch, ScenarioBytesIdenticalWithFaults) {
     batched.faults.prep_failure.fill(0.15);
     batched.faults.exec_failure.fill(0.2);
     batched.faults.rlf_enabled = true;
-    batched.faults.rlf_qout_dbm = -115.0;
+    batched.faults.rlf_qout_dbm = Dbm{-115.0};
     sim::Scenario scalar = batched;
     scalar.scalar_radio_path = true;
     const std::string b = csv_bytes(sim::run_scenario(batched), "fb");

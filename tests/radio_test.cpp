@@ -45,12 +45,12 @@ TEST(Band, ProfilesAreOrderedByPhysics) {
 }
 
 TEST(SinrEfficiency, BoundsAndMonotonicity) {
-  EXPECT_DOUBLE_EQ(sinr_to_efficiency(-10.0), 0.0);
-  EXPECT_DOUBLE_EQ(sinr_to_efficiency(22.0), 1.0);
-  EXPECT_DOUBLE_EQ(sinr_to_efficiency(35.0), 1.0);
+  EXPECT_DOUBLE_EQ(sinr_to_efficiency(Db{-10.0}), 0.0);
+  EXPECT_DOUBLE_EQ(sinr_to_efficiency(Db{22.0}), 1.0);
+  EXPECT_DOUBLE_EQ(sinr_to_efficiency(Db{35.0}), 1.0);
   double prev = -1.0;
   for (double s = -6.0; s <= 22.0; s += 0.5) {
-    const double e = sinr_to_efficiency(s);
+    const double e = sinr_to_efficiency(Db{s});
     EXPECT_GE(e, prev);
     EXPECT_GE(e, 0.0);
     EXPECT_LE(e, 1.0);
@@ -63,35 +63,35 @@ class PathLossTest : public ::testing::TestWithParam<Band> {};
 TEST_P(PathLossTest, MonotoneInDistance) {
   double prev = 0.0;
   for (double d = 10.0; d <= 5000.0; d *= 1.5) {
-    const double pl = path_loss_db(GetParam(), d);
+    const double pl = path_loss_db(GetParam(), Meters{d}).v;
     EXPECT_GT(pl, prev);
     prev = pl;
   }
 }
 
 TEST_P(PathLossTest, ClampsTinyDistances) {
-  EXPECT_DOUBLE_EQ(path_loss_db(GetParam(), 0.0), path_loss_db(GetParam(), 1.0));
+  EXPECT_DOUBLE_EQ(path_loss_db(GetParam(), Meters{0.0}).v, path_loss_db(GetParam(), Meters{1.0}).v);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBands, PathLossTest, ::testing::ValuesIn(kAllBands));
 
 TEST(PathLoss, HigherFrequencyLosesMore) {
   for (double d : {50.0, 200.0, 1000.0}) {
-    EXPECT_GT(path_loss_db(Band::kNrMmWave, d), path_loss_db(Band::kNrMid, d));
-    EXPECT_GT(path_loss_db(Band::kNrMid, d), path_loss_db(Band::kNrLow, d));
+    EXPECT_GT(path_loss_db(Band::kNrMmWave, Meters{d}), path_loss_db(Band::kNrMid, Meters{d}));
+    EXPECT_GT(path_loss_db(Band::kNrMid, Meters{d}), path_loss_db(Band::kNrLow, Meters{d}));
   }
 }
 
 TEST(ShadowingField, DeterministicPerSeed) {
   ShadowingField a(Band::kNrLow, 42), b(Band::kNrLow, 42), c(Band::kNrLow, 43);
-  EXPECT_DOUBLE_EQ(a.at(123.0, 456.0), b.at(123.0, 456.0));
-  EXPECT_NE(a.at(123.0, 456.0), c.at(123.0, 456.0));
+  EXPECT_DOUBLE_EQ(a.at(123.0, 456.0).v, b.at(123.0, 456.0).v);
+  EXPECT_NE(a.at(123.0, 456.0).v, c.at(123.0, 456.0).v);
 }
 
 TEST(ShadowingField, SpatiallyCorrelated) {
   ShadowingField f(Band::kNrLow, 7);  // corr distance 90 m
-  const double v0 = f.at(1000.0, 1000.0);
-  const double v_near = f.at(1005.0, 1000.0);
+  const double v0 = f.at(1000.0, 1000.0).v;
+  const double v_near = f.at(1005.0, 1000.0).v;
   EXPECT_LT(std::abs(v0 - v_near), 3.0);  // 5 m apart: nearly identical
 }
 
@@ -100,7 +100,7 @@ TEST(ShadowingField, StdDevRoughlyMatchesSigma) {
   double acc = 0.0, acc2 = 0.0;
   const int n = 4000;
   for (int i = 0; i < n; ++i) {
-    const double v = f.at(i * 97.0, i * 53.0);  // far apart => independent
+    const double v = f.at(i * 97.0, i * 53.0).v;  // far apart => independent
     acc += v;
     acc2 += v * v;
   }
@@ -111,15 +111,15 @@ TEST(ShadowingField, StdDevRoughlyMatchesSigma) {
 }
 
 TEST(SectorAttenuation, ZeroOnBoresightCappedOff) {
-  EXPECT_DOUBLE_EQ(sector_attenuation_db(0.0, 1.0, 20.0), 0.0);
-  EXPECT_DOUBLE_EQ(sector_attenuation_db(3.14, 1.0, 20.0), 20.0);  // capped
-  EXPECT_NEAR(sector_attenuation_db(1.0, 1.0, 20.0), 12.0, 1e-9);  // 3dB point def
+  EXPECT_DOUBLE_EQ(sector_attenuation_db(0.0, 1.0, Db{20.0}).v, 0.0);
+  EXPECT_DOUBLE_EQ(sector_attenuation_db(3.14, 1.0, Db{20.0}).v, 20.0);  // capped
+  EXPECT_NEAR(sector_attenuation_db(1.0, 1.0, Db{20.0}).v, 12.0, 1e-9);  // 3dB point def
 }
 
 TEST(SectorAttenuation, MonotoneInAngle) {
   double prev = -1.0;
   for (double a = 0.0; a < 2.0; a += 0.1) {
-    const double att = sector_attenuation_db(a, 1.05, 22.0);
+    const double att = sector_attenuation_db(a, 1.05, Db{22.0}).v;
     EXPECT_GE(att, prev);
     prev = att;
   }
@@ -133,8 +133,8 @@ TEST(BeamPattern, MmWaveIsNarrowest) {
 }
 
 TEST(MakeRrs, StrongerWhenCloser) {
-  const Rrs near = make_rrs(Band::kNrLow, 100.0, 0.0, 0.0, 3.0);
-  const Rrs far = make_rrs(Band::kNrLow, 2000.0, 0.0, 0.0, 3.0);
+  const Rrs near = make_rrs(Band::kNrLow, Meters{100.0}, Db{0.0}, Db{0.0}, Db{3.0});
+  const Rrs far = make_rrs(Band::kNrLow, Meters{2000.0}, Db{0.0}, Db{0.0}, Db{3.0});
   EXPECT_GT(near.rsrp, far.rsrp);
   EXPECT_GT(near.sinr, far.sinr);
   EXPECT_GE(near.rsrq, far.rsrq);
@@ -142,25 +142,25 @@ TEST(MakeRrs, StrongerWhenCloser) {
 
 TEST(MakeRrs, ReportingRangesRespected) {
   for (double d : {10.0, 100.0, 1000.0, 50000.0}) {
-    const Rrs r = make_rrs(Band::kNrMmWave, d, -10.0, -10.0, 3.0);
-    EXPECT_GE(r.rsrp, -144.0);
-    EXPECT_GE(r.rsrq, -19.5);
-    EXPECT_LE(r.rsrq, -3.0);
-    EXPECT_GE(r.sinr, -20.0);
-    EXPECT_LE(r.sinr, 40.0);
+    const Rrs r = make_rrs(Band::kNrMmWave, Meters{d}, Db{-10.0}, Db{-10.0}, Db{3.0});
+    EXPECT_GE(r.rsrp, Dbm{-144.0});
+    EXPECT_GE(r.rsrq, Db{-19.5});
+    EXPECT_LE(r.rsrq, Db{-3.0});
+    EXPECT_GE(r.sinr, Db{-20.0});
+    EXPECT_LE(r.sinr, Db{40.0});
   }
 }
 
 TEST(MakeRrs, DirectionalLossReducesRsrp) {
-  const Rrs on = make_rrs(Band::kNrMmWave, 100.0, 0.0, 0.0, 3.0, 0.0);
-  const Rrs off = make_rrs(Band::kNrMmWave, 100.0, 0.0, 0.0, 3.0, 15.0);
-  EXPECT_NEAR(on.rsrp - off.rsrp, 15.0, 1e-9);
+  const Rrs on = make_rrs(Band::kNrMmWave, Meters{100.0}, Db{0.0}, Db{0.0}, Db{3.0}, Db{0.0});
+  const Rrs off = make_rrs(Band::kNrMmWave, Meters{100.0}, Db{0.0}, Db{0.0}, Db{3.0}, Db{15.0});
+  EXPECT_NEAR((on.rsrp - off.rsrp).v, 15.0, 1e-9);
 }
 
 TEST(FastFading, SubSixIsMild) {
   Rng rng(3);
   stats::RunningStats rs;
-  for (int i = 0; i < 20000; ++i) rs.add(fast_fading_db(Band::kNrLow, rng));
+  for (int i = 0; i < 20000; ++i) rs.add(fast_fading_db(Band::kNrLow, rng).v);
   EXPECT_NEAR(rs.mean(), 0.0, 0.1);
   EXPECT_LT(rs.stddev(), 2.5);
 }
@@ -169,7 +169,7 @@ TEST(FastFading, MmWaveHasDeepDips) {
   Rng rng(5);
   double min_seen = 0.0;
   for (int i = 0; i < 20000; ++i) {
-    min_seen = std::min(min_seen, fast_fading_db(Band::kNrMmWave, rng));
+    min_seen = std::min(min_seen, fast_fading_db(Band::kNrMmWave, rng).v);
   }
   EXPECT_LT(min_seen, -8.0);  // occasional beam blockage dips
 }

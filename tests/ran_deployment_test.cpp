@@ -10,7 +10,7 @@ namespace p5g::ran {
 namespace {
 
 geo::Route straight_route(Meters length) {
-  return geo::Route({{0.0, 0.0}, {length, 0.0}});
+  return geo::Route({{0.0, 0.0}, {length.v, 0.0}});
 }
 
 class DeploymentTest : public ::testing::TestWithParam<std::uint64_t> {
@@ -19,14 +19,14 @@ class DeploymentTest : public ::testing::TestWithParam<std::uint64_t> {
 };
 
 TEST_P(DeploymentTest, PlacesAllCarrierBands) {
-  Deployment d(profile_opx(), straight_route(20000.0), rng_);
+  Deployment d(profile_opx(), straight_route(Meters{20000.0}), rng_);
   EXPECT_FALSE(d.cells_on_band(radio::Band::kLteMid).empty());
   EXPECT_FALSE(d.cells_on_band(radio::Band::kNrLow).empty());
   EXPECT_FALSE(d.cells_on_band(radio::Band::kNrMmWave).empty());
 }
 
 TEST_P(DeploymentTest, TowerSpacingTracksBandRadius) {
-  Deployment d(profile_opx(), straight_route(30000.0), rng_);
+  Deployment d(profile_opx(), straight_route(Meters{30000.0}), rng_);
   // Low-band towers are much sparser than mmWave towers.
   std::set<int> low_towers, mmw_towers;
   for (const Cell* c : d.cells_on_band(radio::Band::kNrLow)) low_towers.insert(c->tower_id);
@@ -35,7 +35,7 @@ TEST_P(DeploymentTest, TowerSpacingTracksBandRadius) {
 }
 
 TEST_P(DeploymentTest, MmWaveTowersHaveThreeBeams) {
-  Deployment d(profile_opx(), straight_route(5000.0), rng_);
+  Deployment d(profile_opx(), straight_route(Meters{5000.0}), rng_);
   std::map<int, int> beams_per_tower;
   for (const Cell* c : d.cells_on_band(radio::Band::kNrMmWave)) {
     ++beams_per_tower[c->tower_id];
@@ -47,7 +47,7 @@ TEST_P(DeploymentTest, MmWaveTowersHaveThreeBeams) {
 TEST_P(DeploymentTest, ColocatedTowersSharePci) {
   CarrierProfile p = profile_opy();
   p.colocation_fraction = 1.0;  // force co-location wherever possible
-  Deployment d(p, straight_route(30000.0), rng_);
+  Deployment d(p, straight_route(Meters{30000.0}), rng_);
   int checked = 0;
   for (const Tower& t : d.towers()) {
     if (!t.colocated) continue;
@@ -70,7 +70,7 @@ TEST_P(DeploymentTest, ColocatedTowersSharePci) {
 TEST_P(DeploymentTest, NonColocatedCellsHaveUniquePcisPerBandPair) {
   CarrierProfile p = profile_opx();
   p.colocation_fraction = 0.0;
-  Deployment d(p, straight_route(20000.0), rng_);
+  Deployment d(p, straight_route(Meters{20000.0}), rng_);
   std::set<int> pcis;
   for (const Cell& c : d.cells()) {
     EXPECT_TRUE(pcis.insert(c.pci).second) << "duplicate pci " << c.pci;
@@ -78,22 +78,22 @@ TEST_P(DeploymentTest, NonColocatedCellsHaveUniquePcisPerBandPair) {
 }
 
 TEST_P(DeploymentTest, CellsNearReturnsSortedByDistance) {
-  Deployment d(profile_opx(), straight_route(20000.0), rng_);
+  Deployment d(profile_opx(), straight_route(Meters{20000.0}), rng_);
   const geo::Point probe{10000.0, 0.0};
-  const auto near = d.cells_near(probe, radio::Band::kNrLow, 5000.0);
+  const auto near = d.cells_near(probe, radio::Band::kNrLow, Meters{5000.0});
   ASSERT_GE(near.size(), 2u);
   for (std::size_t i = 1; i < near.size(); ++i) {
     EXPECT_LE(geo::distance(near[i - 1]->position, probe),
               geo::distance(near[i]->position, probe));
   }
   for (const Cell* c : near) {
-    EXPECT_LE(geo::distance(c->position, probe), 5000.0);
+    EXPECT_LE(geo::distance(c->position, probe), Meters{5000.0});
     EXPECT_EQ(c->band, radio::Band::kNrLow);
   }
 }
 
 TEST_P(DeploymentTest, DirectionalFlagsMatchSectorCount) {
-  Deployment d(profile_opy(), straight_route(10000.0), rng_);
+  Deployment d(profile_opy(), straight_route(Meters{10000.0}), rng_);
   for (const Cell& c : d.cells()) {
     if (c.band == radio::Band::kNrMid || c.band == radio::Band::kNrMmWave) {
       EXPECT_TRUE(c.directional);
@@ -126,7 +126,7 @@ TEST(CarrierProfiles, MatchPaperArchetypes) {
 TEST(ColocationFraction, RoughlyMatchesProfile) {
   CarrierProfile p = profile_opy();  // 36 %
   Rng rng(5);
-  Deployment d(p, straight_route(100000.0), rng);
+  Deployment d(p, straight_route(Meters{100000.0}), rng);
   int nr_towers = 0, colocated = 0;
   for (const Tower& t : d.towers()) {
     if (!t.has_gnb) continue;

@@ -11,19 +11,19 @@ EventConfig make_config(EventType type, double thr1 = -100.0, double thr2 = -105
   c.type = type;
   c.scope = MeasScope::kServingLte;
   c.neighbor_rat = radio::Rat::kLte;
-  c.threshold1 = thr1;
-  c.threshold2 = thr2;
-  c.offset = offset;
-  c.hysteresis = hys;
-  c.ttt_ms = ttt;
+  c.threshold1 = Dbm{thr1};
+  c.threshold2 = Dbm{thr2};
+  c.offset = Db{offset};
+  c.hysteresis = Db{hys};
+  c.ttt_ms = Millis{ttt};
   return c;
 }
 
 MeasSnapshot snapshot(double serving, double neighbor) {
   MeasSnapshot m;
-  m.serving_rsrp = serving;
+  m.serving_rsrp = Dbm{serving};
   m.serving_valid = true;
-  m.best_neighbor_rsrp = neighbor;
+  m.best_neighbor_rsrp = Dbm{neighbor};
   m.best_neighbor_pci = 7;
   m.best_neighbor_cell_id = 3;
   m.neighbor_valid = true;
@@ -74,56 +74,56 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(EventMonitor, RequiresTimeToTrigger) {
   EventMonitor mon(make_config(EventType::kA2, -100.0, 0, 0, 1.0, 200.0));
   // Condition true but TTT (200 ms) not yet elapsed.
-  EXPECT_FALSE(mon.evaluate(0.00, snapshot(-110.0, -140.0)).has_value());
-  EXPECT_FALSE(mon.evaluate(0.10, snapshot(-110.0, -140.0)).has_value());
-  const auto fired = mon.evaluate(0.25, snapshot(-110.0, -140.0));
+  EXPECT_FALSE(mon.evaluate(Seconds{0.00}, snapshot(-110.0, -140.0)).has_value());
+  EXPECT_FALSE(mon.evaluate(Seconds{0.10}, snapshot(-110.0, -140.0)).has_value());
+  const auto fired = mon.evaluate(Seconds{0.25}, snapshot(-110.0, -140.0));
   ASSERT_TRUE(fired.has_value());
   EXPECT_EQ(fired->type, EventType::kA2);
-  EXPECT_DOUBLE_EQ(fired->serving_rsrp, -110.0);
+  EXPECT_DOUBLE_EQ(fired->serving_rsrp.v, -110.0);
 }
 
 TEST(EventMonitor, InterruptedConditionRestartsTtt) {
   EventMonitor mon(make_config(EventType::kA2, -100.0, 0, 0, 1.0, 200.0));
-  EXPECT_FALSE(mon.evaluate(0.00, snapshot(-110.0, -140.0)).has_value());
-  EXPECT_FALSE(mon.evaluate(0.10, snapshot(-95.0, -140.0)).has_value());  // recovers
-  EXPECT_FALSE(mon.evaluate(0.20, snapshot(-110.0, -140.0)).has_value());
-  EXPECT_FALSE(mon.evaluate(0.30, snapshot(-110.0, -140.0)).has_value());
-  EXPECT_TRUE(mon.evaluate(0.45, snapshot(-110.0, -140.0)).has_value());
+  EXPECT_FALSE(mon.evaluate(Seconds{0.00}, snapshot(-110.0, -140.0)).has_value());
+  EXPECT_FALSE(mon.evaluate(Seconds{0.10}, snapshot(-95.0, -140.0)).has_value());  // recovers
+  EXPECT_FALSE(mon.evaluate(Seconds{0.20}, snapshot(-110.0, -140.0)).has_value());
+  EXPECT_FALSE(mon.evaluate(Seconds{0.30}, snapshot(-110.0, -140.0)).has_value());
+  EXPECT_TRUE(mon.evaluate(Seconds{0.45}, snapshot(-110.0, -140.0)).has_value());
 }
 
 TEST(EventMonitor, LatchesUntilLeavingCondition) {
   EventMonitor mon(make_config(EventType::kA2, -100.0, 0, 0, 1.0, 100.0));
-  mon.evaluate(0.0, snapshot(-110.0, -140.0));
-  ASSERT_TRUE(mon.evaluate(0.2, snapshot(-110.0, -140.0)).has_value());
+  mon.evaluate(Seconds{0.0}, snapshot(-110.0, -140.0));
+  ASSERT_TRUE(mon.evaluate(Seconds{0.2}, snapshot(-110.0, -140.0)).has_value());
   EXPECT_TRUE(mon.reported());
   // Still bad: no re-report.
-  EXPECT_FALSE(mon.evaluate(0.4, snapshot(-110.0, -140.0)).has_value());
+  EXPECT_FALSE(mon.evaluate(Seconds{0.4}, snapshot(-110.0, -140.0)).has_value());
   EXPECT_TRUE(mon.reported());
   // Recovers beyond hysteresis: unlatches...
-  EXPECT_FALSE(mon.evaluate(0.6, snapshot(-95.0, -140.0)).has_value());
+  EXPECT_FALSE(mon.evaluate(Seconds{0.6}, snapshot(-95.0, -140.0)).has_value());
   EXPECT_FALSE(mon.reported());
   // ...and can fire again.
-  mon.evaluate(0.8, snapshot(-110.0, -140.0));
-  EXPECT_TRUE(mon.evaluate(1.0, snapshot(-110.0, -140.0)).has_value());
+  mon.evaluate(Seconds{0.8}, snapshot(-110.0, -140.0));
+  EXPECT_TRUE(mon.evaluate(Seconds{1.0}, snapshot(-110.0, -140.0)).has_value());
 }
 
 TEST(EventMonitor, ResetClearsState) {
   EventMonitor mon(make_config(EventType::kA2, -100.0, 0, 0, 1.0, 100.0));
-  mon.evaluate(0.0, snapshot(-110.0, -140.0));
-  mon.evaluate(0.2, snapshot(-110.0, -140.0));
+  mon.evaluate(Seconds{0.0}, snapshot(-110.0, -140.0));
+  mon.evaluate(Seconds{0.2}, snapshot(-110.0, -140.0));
   EXPECT_TRUE(mon.reported());
   mon.reset();
   EXPECT_FALSE(mon.reported());
   // Fires again after TTT from scratch.
-  EXPECT_FALSE(mon.evaluate(0.3, snapshot(-110.0, -140.0)).has_value());
-  EXPECT_TRUE(mon.evaluate(0.45, snapshot(-110.0, -140.0)).has_value());
+  EXPECT_FALSE(mon.evaluate(Seconds{0.3}, snapshot(-110.0, -140.0)).has_value());
+  EXPECT_TRUE(mon.evaluate(Seconds{0.45}, snapshot(-110.0, -140.0)).has_value());
 }
 
 TEST(EventMonitor, InvalidServingBlocksServingEvents) {
   EventMonitor mon(make_config(EventType::kA2, -100.0, 0, 0, 1.0, 0.0));
   MeasSnapshot m;
   m.serving_valid = false;
-  EXPECT_FALSE(mon.evaluate(0.1, m).has_value());
+  EXPECT_FALSE(mon.evaluate(Seconds{0.1}, m).has_value());
 }
 
 TEST(DefaultEventSets, LteSetHasExpectedEvents) {

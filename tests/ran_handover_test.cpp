@@ -54,7 +54,7 @@ std::vector<double> sample_totals(HoType t, radio::Band band, bool colocated, in
   Rng rng(77);
   std::vector<double> out;
   for (int i = 0; i < n; ++i) {
-    out.push_back(sample_ho_timing(t, band, colocated, rng).total_ms());
+    out.push_back(sample_ho_timing(t, band, colocated, rng).total_ms().v);
   }
   return out;
 }
@@ -75,8 +75,8 @@ TEST(Timing, T1FractionOfNsaDuration) {
   double t1 = 0.0, total = 0.0;
   for (int i = 0; i < 4000; ++i) {
     const HoTiming h = sample_ho_timing(HoType::kScgm, radio::Band::kNrLow, true, rng);
-    t1 += h.t1_ms;
-    total += h.total_ms();
+    t1 += h.t1_ms.v;
+    total += h.total_ms().v;
   }
   EXPECT_NEAR(t1 / total, 0.41, 0.05);
 }
@@ -86,8 +86,8 @@ TEST(Timing, MmWaveT2Larger) {
   Rng rng(79);
   double low = 0.0, mmw = 0.0;
   for (int i = 0; i < 4000; ++i) {
-    low += sample_ho_timing(HoType::kScgm, radio::Band::kNrLow, true, rng).t2_ms;
-    mmw += sample_ho_timing(HoType::kScgm, radio::Band::kNrMmWave, true, rng).t2_ms;
+    low += sample_ho_timing(HoType::kScgm, radio::Band::kNrLow, true, rng).t2_ms.v;
+    mmw += sample_ho_timing(HoType::kScgm, radio::Band::kNrMmWave, true, rng).t2_ms.v;
   }
   EXPECT_NEAR(mmw / low, 1.43, 0.08);
 }
@@ -112,8 +112,8 @@ TEST(Timing, SaPreparationHasHighVariance) {
   Rng rng(80);
   stats::RunningStats sa, lte;
   for (int i = 0; i < 4000; ++i) {
-    sa.add(sample_ho_timing(HoType::kMcgh, radio::Band::kNrLow, false, rng).t1_ms);
-    lte.add(sample_ho_timing(HoType::kLteh, radio::Band::kLteMid, false, rng).t1_ms);
+    sa.add(sample_ho_timing(HoType::kMcgh, radio::Band::kNrLow, false, rng).t1_ms.v);
+    lte.add(sample_ho_timing(HoType::kLteh, radio::Band::kLteMid, false, rng).t1_ms.v);
   }
   EXPECT_GT(sa.stddev(), 2.0 * lte.stddev());
 }
@@ -123,8 +123,8 @@ TEST(Timing, AllPositive) {
   for (HoType t : kAllTypes) {
     for (int i = 0; i < 200; ++i) {
       const HoTiming h = sample_ho_timing(t, radio::Band::kNrMmWave, false, rng);
-      EXPECT_GT(h.t1_ms, 0.0);
-      EXPECT_GT(h.t2_ms, 0.0);
+      EXPECT_GT(h.t1_ms, 0.0_ms);
+      EXPECT_GT(h.t2_ms, 0.0_ms);
     }
   }
 }

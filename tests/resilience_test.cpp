@@ -37,7 +37,7 @@ std::string slurp(const std::string& path) {
   return os.str();
 }
 
-sim::Scenario tiny_scenario(std::uint64_t seed, Seconds duration = 10.0) {
+sim::Scenario tiny_scenario(std::uint64_t seed, Seconds duration = Seconds{10.0}) {
   sim::Scenario s;
   s.name = "resil_" + std::to_string(seed);
   s.carrier = ran::profile_opx();
@@ -119,7 +119,7 @@ TEST(ThreadPoolResilience, WaitIdleSurfacesCapturedErrorsPerEpoch) {
 
 TEST(WatchdogTest, FlagsTasksPastDeadlineAndOnlyThose) {
   ThreadPool pool(2);
-  pool.enable_watchdog(5.0);
+  pool.enable_watchdog(5.0_ms);
 
   std::atomic<int> finished{0};
   for (int i = 0; i < 3; ++i) {
@@ -133,7 +133,7 @@ TEST(WatchdogTest, FlagsTasksPastDeadlineAndOnlyThose) {
   const std::vector<Watchdog::Flag> flags = pool.take_watchdog_flags();
   EXPECT_EQ(flags.size(), 3u);
   for (const Watchdog::Flag& f : flags) {
-    EXPECT_GE(f.elapsed_ms, 5.0);
+    EXPECT_GE(f.elapsed_ms, 5.0_ms);
     EXPECT_LT(f.task_id, 3u);
   }
 
@@ -320,7 +320,7 @@ TEST(FleetResilience, QuarantinedUesKeepIdentityAndSurvivorsMatch) {
   f.base = tiny_scenario(42);
   f.base.name = "resil_fleet";
   f.n_ues = 8;
-  f.stagger_m = 100.0;
+  f.stagger_m = Meters{100.0};
 
   const sim::FleetResult clean = sim::run_fleet(f, 0);
   ASSERT_TRUE(clean.ok());
@@ -384,7 +384,7 @@ TEST(ChaosRegression, ZeroRateProfileKeepsGoldenTraceByteIdentical) {
   s.nr_band = radio::Band::kNrLow;
   s.mobility = sim::MobilityKind::kFreeway;
   s.speed_kmh = 110.0;
-  s.duration = 90.0;
+  s.duration = Seconds{90.0};
   s.seed = 42;
 
   chaos::ChaosProfile p;

@@ -18,7 +18,7 @@ sim::Scenario small_scenario(std::uint64_t seed = 1) {
   s.nr_band = radio::Band::kNrLow;
   s.mobility = sim::MobilityKind::kFreeway;
   s.speed_kmh = 110.0;
-  s.duration = 120.0;
+  s.duration = Seconds{120.0};
   s.seed = seed;
   return s;
 }
@@ -26,13 +26,13 @@ sim::Scenario small_scenario(std::uint64_t seed = 1) {
 TEST(Scenario, ProducesExpectedTickCount) {
   const trace::TraceLog log = sim::run_scenario(small_scenario());
   EXPECT_EQ(log.ticks.size(), static_cast<std::size_t>(120.0 * 20.0));
-  EXPECT_NEAR(log.duration(), 120.0, 1.0);
+  EXPECT_NEAR(log.duration().v, 120.0, 1.0);
 }
 
 TEST(Scenario, TicksAreUniformlySpaced) {
   const trace::TraceLog log = sim::run_scenario(small_scenario(2));
   for (std::size_t i = 1; i < log.ticks.size(); ++i) {
-    EXPECT_NEAR(log.ticks[i].time - log.ticks[i - 1].time, 0.05, 1e-9);
+    EXPECT_NEAR((log.ticks[i].time - log.ticks[i - 1].time).v, 0.05, 1e-9);
     EXPECT_GE(log.ticks[i].route_position, log.ticks[i - 1].route_position);
   }
 }
@@ -61,7 +61,7 @@ TEST(Scenario, DifferentSeedsDiffer) {
 
 TEST(Scenario, HandoversRecordedInTicksAndLog) {
   sim::Scenario s = small_scenario(6);
-  s.duration = 600.0;
+  s.duration = Seconds{600.0};
   const trace::TraceLog log = sim::run_scenario(s);
   ASSERT_GT(log.handovers.size(), 3u);
   std::size_t in_ticks = 0;
@@ -71,7 +71,7 @@ TEST(Scenario, HandoversRecordedInTicksAndLog) {
 
 TEST(Scenario, ThroughputZeroWhileNrOnlyHalted) {
   sim::Scenario s = small_scenario(7);
-  s.duration = 600.0;
+  s.duration = Seconds{600.0};
   s.traffic_mode = tput::TrafficMode::kNrOnly;
   const trace::TraceLog log = sim::run_scenario(s);
   int halted_ticks = 0;
@@ -86,7 +86,7 @@ TEST(Scenario, ThroughputZeroWhileNrOnlyHalted) {
 
 TEST(Scenario, TcpRecoveryRampsAfterInterruption) {
   sim::Scenario s = small_scenario(8);
-  s.duration = 600.0;
+  s.duration = Seconds{600.0};
   const trace::TraceLog log = sim::run_scenario(s);
   // Find an interruption end and check the next tick is attenuated
   // relative to ~1.5 s later.
@@ -107,7 +107,7 @@ TEST(Scenario, TcpRecoveryRampsAfterInterruption) {
 
 TEST(TraceCsv, RoundTripPreservesKeyFields) {
   sim::Scenario s = small_scenario(9);
-  s.duration = 60.0;
+  s.duration = Seconds{60.0};
   const trace::TraceLog log = sim::run_scenario(s);
   const std::string path = "/tmp/p5g_trace_test.csv";
   ASSERT_TRUE(trace::write_csv(log, path).ok);
@@ -116,17 +116,17 @@ TEST(TraceCsv, RoundTripPreservesKeyFields) {
   ASSERT_EQ(back.ticks.size(), log.ticks.size());
   ASSERT_EQ(back.handovers.size(), log.handovers.size());
   for (std::size_t i = 0; i < log.ticks.size(); i += 111) {
-    EXPECT_NEAR(back.ticks[i].time, log.ticks[i].time, 1e-3);
+    EXPECT_NEAR(back.ticks[i].time.v, log.ticks[i].time.v, 1e-3);
     EXPECT_EQ(back.ticks[i].lte_pci, log.ticks[i].lte_pci);
     EXPECT_EQ(back.ticks[i].nr_pci, log.ticks[i].nr_pci);
     EXPECT_EQ(back.ticks[i].nr_attached, log.ticks[i].nr_attached);
-    EXPECT_NEAR(back.ticks[i].lte_rrs.rsrp, log.ticks[i].lte_rrs.rsrp, 0.06);
+    EXPECT_NEAR(back.ticks[i].lte_rrs.rsrp.v, log.ticks[i].lte_rrs.rsrp.v, 0.06);
     EXPECT_NEAR(back.ticks[i].throughput_mbps, log.ticks[i].throughput_mbps, 0.06);
     EXPECT_EQ(back.ticks[i].reports.size(), log.ticks[i].reports.size());
   }
   for (std::size_t i = 0; i < log.handovers.size(); ++i) {
     EXPECT_EQ(back.handovers[i].type, log.handovers[i].type);
-    EXPECT_NEAR(back.handovers[i].decision_time, log.handovers[i].decision_time, 1e-3);
+    EXPECT_NEAR(back.handovers[i].decision_time.v, log.handovers[i].decision_time.v, 1e-3);
     EXPECT_EQ(back.handovers[i].src_pci, log.handovers[i].src_pci);
     EXPECT_EQ(back.handovers[i].colocated, log.handovers[i].colocated);
     EXPECT_EQ(back.handovers[i].signaling.rrc, log.handovers[i].signaling.rrc);
@@ -156,14 +156,14 @@ TEST(TraceCsv, ReadCsvToleratesMalformedAndOutOfRangeCells) {
   const trace::TraceLog log = trace::read_csv(path);
   ASSERT_EQ(log.ticks.size(), 1u);
   const trace::TickRecord& r = log.ticks[0];
-  EXPECT_TRUE(std::isinf(r.time) && r.time > 0.0);
-  EXPECT_TRUE(std::isinf(r.route_position) && r.route_position < 0.0);
+  EXPECT_TRUE(std::isinf(r.time.v) && r.time > 0.0_s);
+  EXPECT_TRUE(std::isinf(r.route_position.v) && r.route_position < 0.0_m);
   EXPECT_EQ(r.position.x, 0.0);  // no parsable digits
   EXPECT_EQ(r.position.y, 0.0);  // empty cell
   EXPECT_DOUBLE_EQ(r.speed_mps, 12.5);
   EXPECT_EQ(r.lte_pci, std::numeric_limits<int>::max());
   EXPECT_EQ(r.nr_pci, std::numeric_limits<int>::min());
-  EXPECT_EQ(r.nr_rrs.rsrp, 0.0);
+  EXPECT_EQ(r.nr_rrs.rsrp, 0.0_dbm);
   EXPECT_TRUE(r.nr_attached);
   EXPECT_TRUE(log.handovers.empty());
   std::filesystem::remove(path);
@@ -172,7 +172,7 @@ TEST(TraceCsv, ReadCsvToleratesMalformedAndOutOfRangeCells) {
 
 TEST(TraceLog, DistanceAndThroughputSeries) {
   const trace::TraceLog log = sim::run_scenario(small_scenario(10));
-  EXPECT_GT(log.distance(), 1000.0);
+  EXPECT_GT(log.distance(), 1000.0_m);
   const std::vector<double> series = trace::throughput_series(log);
   EXPECT_EQ(series.size(), log.ticks.size());
 }
@@ -185,7 +185,7 @@ TEST(Scenario, WalkLoopRevisitsSameCells) {
   s.carrier.density_scale = 0.5;
   s.nr_band = radio::Band::kNrMmWave;
   s.mobility = sim::MobilityKind::kWalkLoop;
-  s.duration = 900.0;
+  s.duration = Seconds{900.0};
   s.seed = 11;
   const trace::TraceLog log = sim::run_scenario(s);
   std::set<int> first_half, second_half;

@@ -15,9 +15,9 @@ TEST(Mobility, ConstantSpeedMakesSteadyProgress) {
   geo::Route route({{0, 0}, {100000, 0}});
   ue::ConstantSpeedDriver drv(route, 110.0, Rng(1));
   ue::UePosition last{};
-  for (int i = 0; i < 1000; ++i) last = drv.advance(0.05);
+  for (int i = 0; i < 1000; ++i) last = drv.advance(Seconds{0.05});
   // 50 s at ~110 km/h: ~1530 m, within the perturbation envelope.
-  EXPECT_NEAR(last.route_position, 1530.0, 300.0);
+  EXPECT_NEAR(last.route_position.v, 1530.0, 300.0);
 }
 
 TEST(Mobility, PositionsAreMonotone) {
@@ -32,10 +32,10 @@ TEST(Mobility, PositionsAreMonotone) {
                       return std::make_unique<ue::Walker>(r, Rng(4));
                     }}) {
     auto m = make(route);
-    Meters prev = 0.0;
+    Meters prev{0.0};
     for (int i = 0; i < 2000; ++i) {
-      const ue::UePosition p = m->advance(0.05);
-      EXPECT_GE(p.route_position, prev - 1e-9);
+      const ue::UePosition p = m->advance(Seconds{0.05});
+      EXPECT_GE(p.route_position, prev - Meters{1e-9});
       EXPECT_GE(p.speed_mps, 0.0);
       prev = p.route_position;
     }
@@ -47,7 +47,7 @@ TEST(Mobility, StopAndGoActuallyStops) {
   ue::StopAndGoDriver drv(route, 40.0, Rng(5));
   int stopped_ticks = 0, moving_ticks = 0;
   for (int i = 0; i < 20 * 300; ++i) {  // 5 minutes
-    const ue::UePosition p = drv.advance(0.05);
+    const ue::UePosition p = drv.advance(Seconds{0.05});
     if (p.speed_mps < 0.5) ++stopped_ticks;
     if (p.speed_mps > 5.0) ++moving_ticks;
   }
@@ -59,7 +59,7 @@ TEST(Mobility, WalkerSpeedIsPedestrian) {
   geo::Route route({{0, 0}, {10000, 0}});
   ue::Walker w(route, Rng(6));
   for (int i = 0; i < 4000; ++i) {
-    const ue::UePosition p = w.advance(0.05);
+    const ue::UePosition p = w.advance(Seconds{0.05});
     EXPECT_GE(p.speed_mps, 0.7);
     EXPECT_LE(p.speed_mps, 2.1);
   }
@@ -132,25 +132,25 @@ TEST(Energy, EquivalentDataVolumesMatchPaperRatios) {
 TEST(Tput, LinkCapacityMonotoneInSinr) {
   double prev = -1.0;
   for (double sinr = -10.0; sinr <= 30.0; sinr += 1.0) {
-    const double c = tput::link_capacity(radio::Band::kNrLow, sinr);
+    const double c = tput::link_capacity(radio::Band::kNrLow, Db{sinr});
     EXPECT_GE(c, prev);
     prev = c;
   }
-  EXPECT_DOUBLE_EQ(tput::link_capacity(radio::Band::kNrLow, -15.0), 0.0);
+  EXPECT_DOUBLE_EQ(tput::link_capacity(radio::Band::kNrLow, Db{-15.0}), 0.0);
 }
 
 TEST(Tput, MmWavePeakDominates) {
-  EXPECT_GT(tput::link_capacity(radio::Band::kNrMmWave, 22.0),
-            tput::link_capacity(radio::Band::kNrMid, 22.0));
-  EXPECT_GT(tput::link_capacity(radio::Band::kNrMid, 22.0),
-            tput::link_capacity(radio::Band::kNrLow, 22.0));
+  EXPECT_GT(tput::link_capacity(radio::Band::kNrMmWave, Db{22.0}),
+            tput::link_capacity(radio::Band::kNrMid, Db{22.0}));
+  EXPECT_GT(tput::link_capacity(radio::Band::kNrMid, Db{22.0}),
+            tput::link_capacity(radio::Band::kNrLow, Db{22.0}));
 }
 
 tput::DataPlaneInput both_up(tput::TrafficMode mode) {
   tput::DataPlaneInput in;
   in.mode = mode;
-  in.lte = {true, false, radio::Band::kLteMid, 20.0};
-  in.nr = {true, false, radio::Band::kNrLow, 20.0};
+  in.lte = {true, false, radio::Band::kLteMid, Db{20.0}};
+  in.nr = {true, false, radio::Band::kNrLow, Db{20.0}};
   return in;
 }
 
@@ -158,7 +158,7 @@ TEST(Tput, NrOnlyModeUsesNrCapacity) {
   Rng rng(1);
   stats::RunningStats rs;
   for (int i = 0; i < 2000; ++i) rs.add(tput::downlink_throughput(both_up(tput::TrafficMode::kNrOnly), rng));
-  const double nr_cap = tput::link_capacity(radio::Band::kNrLow, 20.0);
+  const double nr_cap = tput::link_capacity(radio::Band::kNrLow, Db{20.0});
   EXPECT_NEAR(rs.mean(), nr_cap * 0.91, nr_cap * 0.05);
 }
 
@@ -195,8 +195,8 @@ TEST(Rtt, NrOnlyBaseBelowDualBase) {
   Rng rng(5);
   stats::RunningStats dual, nr_only;
   for (int i = 0; i < 4000; ++i) {
-    dual.add(tput::rtt_sample(both_up(tput::TrafficMode::kDual), std::nullopt, rng));
-    nr_only.add(tput::rtt_sample(both_up(tput::TrafficMode::kNrOnly), std::nullopt, rng));
+    dual.add(tput::rtt_sample(both_up(tput::TrafficMode::kDual), std::nullopt, rng).v);
+    nr_only.add(tput::rtt_sample(both_up(tput::TrafficMode::kNrOnly), std::nullopt, rng).v);
   }
   EXPECT_LT(nr_only.mean(), dual.mean());
 }
@@ -205,9 +205,9 @@ TEST(Rtt, DualModeAbsorbsNrHandovers) {
   Rng rng(6);
   stats::RunningStats base, during;
   for (int i = 0; i < 4000; ++i) {
-    base.add(tput::rtt_sample(both_up(tput::TrafficMode::kDual), std::nullopt, rng));
+    base.add(tput::rtt_sample(both_up(tput::TrafficMode::kDual), std::nullopt, rng).v);
     during.add(tput::rtt_sample(both_up(tput::TrafficMode::kDual),
-                                ran::HoType::kScgm, rng));
+                                ran::HoType::kScgm, rng).v);
   }
   // 1-4 % median change in the paper; allow a few percent here.
   EXPECT_LT(during.mean() / base.mean(), 1.10);
@@ -217,9 +217,9 @@ TEST(Rtt, NrOnlyModeSuffersDuringNrHandovers) {
   Rng rng(7);
   stats::RunningStats base, during;
   for (int i = 0; i < 4000; ++i) {
-    base.add(tput::rtt_sample(both_up(tput::TrafficMode::kNrOnly), std::nullopt, rng));
+    base.add(tput::rtt_sample(both_up(tput::TrafficMode::kNrOnly), std::nullopt, rng).v);
     during.add(tput::rtt_sample(both_up(tput::TrafficMode::kNrOnly),
-                                ran::HoType::kScgm, rng));
+                                ran::HoType::kScgm, rng).v);
   }
   EXPECT_GT(during.mean() / base.mean(), 1.3);
 }
@@ -228,8 +228,8 @@ TEST(Rtt, MnbhWorstCase) {
   Rng rng(8);
   stats::RunningStats scgm, mnbh;
   for (int i = 0; i < 4000; ++i) {
-    scgm.add(tput::rtt_sample(both_up(tput::TrafficMode::kNrOnly), ran::HoType::kScgm, rng));
-    mnbh.add(tput::rtt_sample(both_up(tput::TrafficMode::kNrOnly), ran::HoType::kMnbh, rng));
+    scgm.add(tput::rtt_sample(both_up(tput::TrafficMode::kNrOnly), ran::HoType::kScgm, rng).v);
+    mnbh.add(tput::rtt_sample(both_up(tput::TrafficMode::kNrOnly), ran::HoType::kMnbh, rng).v);
   }
   EXPECT_GT(mnbh.mean(), scgm.mean());
 }

@@ -1,0 +1,840 @@
+#!/usr/bin/env python3
+"""AST-grade project analyzer for the p5g simulator.
+
+p5g_lint.py (PR 4) is a token matcher: it can reject `steady_clock` in a
+tick-path file, but it cannot see *declarations* — that a parameter is a raw
+`double` whose name promises a unit, that an `Rng` is taken by value (which
+silently forks the deterministic stream), or that a `switch` over a project
+enum hides missing enumerators behind a `default:`. Those are AST facts.
+This tool checks them.
+
+Backends
+--------
+  clang     `clang -Xclang -ast-dump=json -fsyntax-only` over each entry of
+            the build tree's compile_commands.json (always exported; see the
+            top-level CMakeLists). Declaration rules read the JSON AST;
+            comment-anchored rules (allowances live in comments, which the
+            AST does not carry) run on the token stream of the same files.
+  fallback  a built-in lexer (comment/string stripper + paren/brace tracker)
+            that extracts the same facts from source text. Used when clang
+            is not installed — notably the gcc-only CI leg and dev boxes.
+  auto      clang if available, else fallback (the default). Both backends
+            must produce the same verdict on the fixture suite; the
+            self-test enforces that for whichever backend is active.
+
+AST dumps are cached in --cache-dir keyed on the SHA-256 of the file's
+*content* (plus the compile flags and the clang version), so an unchanged
+file never re-parses — in CI the cache directory is restored across runs,
+which keeps the analyzer job near-constant time.
+
+Rules
+-----
+  unit-suffix-double   a `double` declaration (parameter or field) in a
+                       public header whose name carries a unit suffix
+                       (_dbm, _db, _mw, _hz, _mhz, _ms, _s, _m, _km). The
+                       name promises a unit; the type must deliver it —
+                       except `_per_<unit>` names, which promise a RATE
+                       (1/unit), for which no strong type exists yet —
+                       use Dbm/Db/MilliWatts/Hertz/MegaHertz/Millis/
+                       Seconds/Meters from common/units.h.
+  rng-by-value         a function parameter of type `Rng` taken by value.
+                       Copying an engine forks the stream: the callee
+                       consumes draws the caller then re-consumes, which
+                       de-correlates fault injection from the golden
+                       traces. Take `Rng&`. Constructors are exempt: they
+                       take OWNERSHIP of a dedicated stream by value (the
+                       sink idiom — `ShadowingProcess(Band, Rng)` stores
+                       the engine, it does not sample a caller's). The
+                       project convention makes the distinction decidable:
+                       types are CamelCase, sampling functions snake_case.
+  float-in-core        any `float` in sim-core code (src/sim, src/ran,
+                       src/radio, src/core, src/common). The golden traces
+                       pin double rounding; a float narrows silently
+                       (and -Wconversion does not catch a plain
+                       `float x = 0.1f;` that later widens).
+  ignored-ioresult     a call to an `io::IoResult`-returning function whose
+                       result is discarded — as a bare statement or behind
+                       `(void)` / `static_cast<void>`. [[nodiscard]] stops
+                       the bare form at compile time only when warnings are
+                       on; the cast forms it never stops.
+  switch-enum          a `switch` over a project enum that has a `default:`
+                       label but does not mention every enumerator. The
+                       default swallows enumerators added later, which is
+                       precisely the case -Wswitch cannot warn about
+                       (it goes quiet as soon as a default exists).
+  wall-clock           chrono clocks / time() / gettimeofday outside the
+                       documented allowances (src/obs is the sanctioned
+                       observability consumer; the watchdog and thread pool
+                       measure real elapsed time by design). Same intent as
+                       the p5g_lint rule but scoped over all of src/.
+
+Suppression: `p5g-analyze: allow(<rule>)` in a comment on the offending
+line (or the line above, for multi-line declarations). Whole-file and
+whole-directory allowances live in FILE_ALLOWANCES / DIR_ALLOWANCES below
+and must document why the construct is that code's job.
+
+Usage
+-----
+  p5g_analyze.py                      analyze src/ (auto backend)
+  p5g_analyze.py --backend fallback   force the built-in lexer
+  p5g_analyze.py --compdb build       point at compile_commands.json
+  p5g_analyze.py --cache-dir .cache/p5g-analyze
+  p5g_analyze.py --self-test          run the fixture suite (tests/
+                                      analyze_fixtures) and exit 0 only if
+                                      every seeded violation is flagged and
+                                      every allowance suppresses.
+
+Exit status: 0 clean, 1 findings (or self-test failure), 2 usage/internal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import re
+import shlex
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+CORE_DIRS = ("src/sim", "src/ran", "src/radio", "src/core", "src/common")
+UNIT_SUFFIXES = ("dbm", "db", "mw", "hz", "mhz", "ms", "s", "m", "km")
+
+# Whole-directory allowances: the observability layer is the sanctioned
+# consumer of real clocks (wall-track timelines measure actual elapsed
+# time; obs/timer.h is the stopwatch). Nothing in src/obs feeds simulated
+# time.
+DIR_ALLOWANCES: dict[str, set[str]] = {
+    "src/obs": {"wall-clock"},
+}
+# Whole-file allowances — keep in lockstep with tools/p5g_lint.py, which
+# documents each entry.
+FILE_ALLOWANCES: dict[str, set[str]] = {
+    "src/common/watchdog.h": {"wall-clock"},
+    "src/common/watchdog.cpp": {"wall-clock"},
+    "src/common/thread_pool.h": {"wall-clock"},
+    "src/common/thread_pool.cpp": {"wall-clock"},
+}
+
+ALLOW_RE = re.compile(r"p5g-analyze:\s*allow\(([a-z-]+)\)")
+
+WALL_CLOCK_RE = re.compile(
+    r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"
+    r"|\bgettimeofday\s*\("
+    r"|\bclock\s*\(\s*\)"
+    r"|\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
+)
+
+# IoResult factory helpers are construction, not I/O — a discarded
+# `IoResult::success()` is dead code, not a swallowed failure.
+IORESULT_NAME_SKIP = {"success", "failure"}
+
+FIXTURE_DIR = "tests/analyze_fixtures"
+
+
+def is_core(rel: str) -> bool:
+    return any(rel.startswith(d + "/") for d in CORE_DIRS) or rel.startswith(
+        FIXTURE_DIR + "/"
+    )
+
+
+def is_public_header(rel: str) -> bool:
+    return rel.endswith(".h") and (
+        rel.startswith("src/") or rel.startswith(FIXTURE_DIR + "/")
+    )
+
+
+ALL_RULES = (
+    "unit-suffix-double",
+    "rng-by-value",
+    "float-in-core",
+    "ignored-ioresult",
+    "switch-enum",
+    "wall-clock",
+)
+
+
+# --------------------------------------------------------------------------
+# Lexing helpers (shared by both backends — allowances and switch bodies are
+# comment/token facts even when clang provides the declarations).
+# --------------------------------------------------------------------------
+
+
+def strip_code(text: str) -> str:
+    """Blank comments and string/char literals, preserving newlines."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state, i = "line_comment", i + 2
+                out.append("  ")
+                continue
+            if c == "/" and nxt == "*":
+                state, i = "block_comment", i + 2
+                out.append("  ")
+                continue
+            if c == '"':
+                state, i = "string", i + 1
+                out.append(" ")
+                continue
+            if c == "'":
+                state, i = "char", i + 1
+                out.append(" ")
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+            out.append("\n" if c == "\n" else " ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state, i = "code", i + 2
+                out.append("  ")
+                continue
+            out.append("\n" if c == "\n" else " ")
+        else:  # string | char
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+class SourceFile:
+    """A file plus its stripped view and per-line allowance sets."""
+
+    def __init__(self, path: Path, root: Path):
+        self.path = path
+        self.rel = path.relative_to(root).as_posix()
+        self.raw = path.read_text(encoding="utf-8")
+        self.code = strip_code(self.raw)
+        self.raw_lines = self.raw.splitlines()
+        self._allow: dict[int, set[str]] = {}
+        for lineno, line in enumerate(self.raw_lines, start=1):
+            rules = set(ALLOW_RE.findall(line))
+            if rules:
+                self._allow[lineno] = rules
+
+    def allowed(self, lineno: int, rule: str) -> bool:
+        # Same line, or the line above (multi-line declarations put the
+        # comment on its own line).
+        for ln in (lineno, lineno - 1):
+            if rule in self._allow.get(ln, set()):
+                return True
+        return False
+
+
+class Finding:
+    def __init__(self, rel: str, lineno: int, rule: str, message: str):
+        self.rel, self.lineno, self.rule, self.message = rel, lineno, rule, message
+
+    def __str__(self) -> str:
+        return f"{self.rel}:{self.lineno}: {self.rule}: {self.message}"
+
+
+# --------------------------------------------------------------------------
+# Project fact tables (enums, IoResult functions) — extracted from headers;
+# both backends consume these.
+# --------------------------------------------------------------------------
+
+
+ENUM_RE = re.compile(r"\benum\s+class\s+(\w+)[^{;]*\{", re.DOTALL)
+ENUMERATOR_RE = re.compile(r"(?:^|,)\s*(k\w+|\w+)\s*(?:=[^,]*)?", re.DOTALL)
+IORESULT_FN_RE = re.compile(r"\bIoResult\s+(?:\w+::)*(\w+)\s*\(")
+
+
+def collect_project_enums(files: list[SourceFile]) -> dict[str, set[str]]:
+    enums: dict[str, set[str]] = {}
+    for sf in files:
+        for m in ENUM_RE.finditer(sf.code):
+            body_start = m.end()
+            depth, j = 1, body_start
+            while j < len(sf.code) and depth:
+                if sf.code[j] == "{":
+                    depth += 1
+                elif sf.code[j] == "}":
+                    depth -= 1
+                j += 1
+            body = sf.code[body_start : j - 1]
+            members = {
+                e.group(1)
+                for e in ENUMERATOR_RE.finditer(body)
+                if e.group(1)
+            }
+            if members:
+                enums[m.group(1)] = members
+    return enums
+
+
+def collect_ioresult_functions(files: list[SourceFile]) -> set[str]:
+    names: set[str] = set()
+    for sf in files:
+        for m in IORESULT_FN_RE.finditer(sf.code):
+            if m.group(1) not in IORESULT_NAME_SKIP:
+                names.add(m.group(1))
+    return names
+
+
+# --------------------------------------------------------------------------
+# Fallback (lexical) rule implementations.
+# --------------------------------------------------------------------------
+
+
+UNIT_DOUBLE_RE = re.compile(
+    r"\bdouble\s+(\w+?_(?:" + "|".join(UNIT_SUFFIXES) + r"))\b\s*(?!\()"
+)
+
+
+def unit_suffix_name(name: str) -> bool:
+    """True when `name` promises a unit (ends in a unit suffix and is not a
+    `_per_<unit>` rate, which no strong type covers)."""
+    if not ("_" in name and name.rsplit("_", 1)[1] in UNIT_SUFFIXES):
+        return False
+    return not name.rsplit("_", 2)[-2:][0] == "per"
+RNG_BY_VALUE_RE = re.compile(r"[(,]\s*(?:p5g\s*::\s*)?Rng\s+(\w+)\s*(?=[,)=])")
+FLOAT_RE = re.compile(r"\bfloat\b")
+
+
+def rule_unit_suffix(sf: SourceFile) -> list[Finding]:
+    out = []
+    for m in UNIT_DOUBLE_RE.finditer(sf.code):
+        if not unit_suffix_name(m.group(1)):
+            continue
+        ln = line_of(sf.code, m.start())
+        if sf.allowed(ln, "unit-suffix-double"):
+            continue
+        out.append(
+            Finding(
+                sf.rel,
+                ln,
+                "unit-suffix-double",
+                f"raw double '{m.group(1)}' is named with a unit suffix — "
+                f"use the strong type from common/units.h",
+            )
+        )
+    return out
+
+
+def enclosing_callable(code: str, pos: int) -> str:
+    """Name of the callable whose parameter list encloses `pos` (the word
+    before the unmatched '(' scanning backwards)."""
+    depth = 0
+    i = pos - 1
+    while i >= 0:
+        c = code[i]
+        if c == ")":
+            depth += 1
+        elif c == "(":
+            if depth == 0:
+                m = re.search(r"([A-Za-z_]\w*)\s*$", code[:i])
+                return m.group(1) if m else ""
+            depth -= 1
+        elif c in ";{}" and depth == 0:
+            return ""
+        i -= 1
+    return ""
+
+
+def rule_rng_by_value(sf: SourceFile) -> list[Finding]:
+    out = []
+    for m in RNG_BY_VALUE_RE.finditer(sf.code):
+        # Constructors (CamelCase per project convention) take ownership of
+        # a dedicated stream by value — the sink idiom, not a fork.
+        owner = enclosing_callable(sf.code, m.start(1))
+        if owner[:1].isupper():
+            continue
+        ln = line_of(sf.code, m.start(1))
+        if sf.allowed(ln, "rng-by-value"):
+            continue
+        out.append(
+            Finding(
+                sf.rel,
+                ln,
+                "rng-by-value",
+                f"parameter '{m.group(1)}' copies the Rng engine — a value "
+                f"copy forks the deterministic stream; take Rng&",
+            )
+        )
+    return out
+
+
+def rule_float_in_core(sf: SourceFile) -> list[Finding]:
+    out = []
+    for m in FLOAT_RE.finditer(sf.code):
+        ln = line_of(sf.code, m.start())
+        if sf.allowed(ln, "float-in-core"):
+            continue
+        out.append(
+            Finding(
+                sf.rel,
+                ln,
+                "float-in-core",
+                "float in sim-core code — golden traces pin double "
+                "rounding; use double (or a units.h type)",
+            )
+        )
+    return out
+
+
+STMT_KEYWORDS = ("if", "for", "while", "switch", "return", "case", "else", "do")
+
+
+def split_statements(code: str) -> list[tuple[int, str]]:
+    """(offset, text) of each `;`-terminated statement, ignoring `;` inside
+    parentheses (for-loops, if-with-initializer)."""
+    out = []
+    depth = 0
+    start = 0
+    for i, c in enumerate(code):
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth = max(0, depth - 1)
+        elif c in "{}" and depth == 0:
+            start = i + 1
+        elif c == ";" and depth == 0:
+            out.append((start, code[start:i]))
+            start = i + 1
+    return out
+
+
+def rule_ignored_ioresult(sf: SourceFile, fns: set[str]) -> list[Finding]:
+    if not fns:
+        return []
+    names = "|".join(sorted(re.escape(f) for f in fns))
+    bare = re.compile(
+        r"^(?:\w+\s*(?:\.|->|::)\s*)*(" + names + r")\s*\("
+    )
+    cast = re.compile(
+        r"^(?:\(\s*void\s*\)|static_cast\s*<\s*void\s*>\s*\()\s*"
+        r"(?:\w+\s*(?:\.|->|::)\s*)*(" + names + r")\s*\("
+    )
+    out = []
+    for off, stmt in split_statements(sf.code):
+        text = stmt.strip()
+        if not text or text.split("(")[0].strip() in STMT_KEYWORDS:
+            continue
+        first_word = re.match(r"\w+", text)
+        if first_word and first_word.group(0) in STMT_KEYWORDS:
+            continue
+        m = cast.match(text) or bare.match(text)
+        if not m:
+            continue
+        ln = line_of(sf.code, off + len(stmt) - len(stmt.lstrip()))
+        if sf.allowed(ln, "ignored-ioresult"):
+            continue
+        out.append(
+            Finding(
+                sf.rel,
+                ln,
+                "ignored-ioresult",
+                f"result of '{m.group(1)}' (io::IoResult) is discarded — "
+                f"handle the failure or annotate why it is safe to drop",
+            )
+        )
+    return out
+
+
+SWITCH_RE = re.compile(r"\bswitch\s*\(")
+CASE_RE = re.compile(r"\bcase\s+(?:\w+\s*::\s*)*(\w+)\s*::\s*(\w+)")
+DEFAULT_RE = re.compile(r"\bdefault\s*:")
+
+
+def rule_switch_enum(sf: SourceFile, enums: dict[str, set[str]]) -> list[Finding]:
+    out = []
+    for m in SWITCH_RE.finditer(sf.code):
+        # Find the switch body: first '{' after the closing paren.
+        depth, j = 1, m.end()
+        while j < len(sf.code) and depth:
+            if sf.code[j] == "(":
+                depth += 1
+            elif sf.code[j] == ")":
+                depth -= 1
+            j += 1
+        body_open = sf.code.find("{", j)
+        if body_open < 0:
+            continue
+        depth, k = 1, body_open + 1
+        while k < len(sf.code) and depth:
+            if sf.code[k] == "{":
+                depth += 1
+            elif sf.code[k] == "}":
+                depth -= 1
+            k += 1
+        body = sf.code[body_open:k]
+        cases = CASE_RE.findall(body)
+        if not cases:
+            continue
+        enum_name = cases[0][0]
+        if enum_name not in enums:
+            continue
+        if not DEFAULT_RE.search(body):
+            continue  # no default: -Wswitch already polices missing cases
+        used = {c[1] for c in cases if c[0] == enum_name}
+        missing = sorted(enums[enum_name] - used)
+        if not missing:
+            continue
+        ln = line_of(sf.code, m.start())
+        if sf.allowed(ln, "switch-enum"):
+            continue
+        out.append(
+            Finding(
+                sf.rel,
+                ln,
+                "switch-enum",
+                f"switch over {enum_name} hides "
+                f"{{{', '.join(missing)}}} behind 'default:' — enumerate "
+                f"every value (the default swallows enumerators added "
+                f"later, and -Wswitch goes quiet once a default exists)",
+            )
+        )
+    return out
+
+
+def rule_wall_clock(sf: SourceFile) -> list[Finding]:
+    out = []
+    for m in WALL_CLOCK_RE.finditer(sf.code):
+        ln = line_of(sf.code, m.start())
+        if sf.allowed(ln, "wall-clock"):
+            continue
+        out.append(
+            Finding(
+                sf.rel,
+                ln,
+                "wall-clock",
+                f"wall-clock construct '{m.group(0).strip()}' outside the "
+                f"documented allowances — simulated time comes from "
+                f"Seconds, real time belongs to src/obs",
+            )
+        )
+    return out
+
+
+# --------------------------------------------------------------------------
+# clang JSON-AST backend. Declaration rules read the dump; the dump is
+# cached by content hash so unchanged files are free.
+# --------------------------------------------------------------------------
+
+
+def find_clang() -> str | None:
+    for name in ("clang++", "clang", "clang++-18", "clang++-17", "clang++-16"):
+        try:
+            subprocess.run(
+                [name, "--version"], capture_output=True, check=True, text=True
+            )
+            return name
+        except (OSError, subprocess.CalledProcessError):
+            continue
+    return None
+
+
+def load_compdb(compdb_dir: Path) -> dict[str, list[str]]:
+    """path -> compile args (without -o / -c)."""
+    db_path = compdb_dir / "compile_commands.json"
+    if not db_path.is_file():
+        return {}
+    entries = json.loads(db_path.read_text(encoding="utf-8"))
+    out: dict[str, list[str]] = {}
+    for e in entries:
+        args = e.get("arguments") or shlex.split(e.get("command", ""))
+        cleaned, skip = [], False
+        for a in args[1:]:
+            if skip:
+                skip = False
+                continue
+            if a in ("-o", "-c"):
+                skip = a == "-o"
+                continue
+            cleaned.append(a)
+        src = str((Path(e["directory"]) / e["file"]).resolve())
+        out[src] = cleaned
+    return out
+
+
+def ast_dump(
+    clang: str, path: Path, args: list[str], cache_dir: Path
+) -> dict | None:
+    content = path.read_bytes()
+    key = hashlib.sha256(
+        content + "\0".join([clang] + args).encode()
+    ).hexdigest()
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    cached = cache_dir / f"{key}.json"
+    if cached.is_file():
+        try:
+            return json.loads(cached.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            cached.unlink()
+    cmd = [clang, "-fsyntax-only", "-Xclang", "-ast-dump=json", *args, str(path)]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0 or not proc.stdout:
+        return None
+    try:
+        tree = json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+    cached.write_text(proc.stdout, encoding="utf-8")
+    return tree
+
+
+def walk_ast(node: dict, path_str: str, state: dict, findings: list, sf_map):
+    """Single pass over the JSON AST collecting declaration facts."""
+    if not isinstance(node, dict):
+        return
+    loc = node.get("loc", {})
+    file_ = loc.get("file") or state.get("file")
+    if loc.get("file"):
+        state = dict(state, file=loc["file"])
+    line = loc.get("line") or state.get("line")
+    if loc.get("line"):
+        state = dict(state, line=loc["line"])
+    kind = node.get("kind")
+    qual = (node.get("type") or {}).get("qualType", "")
+
+    sf = sf_map.get(str(Path(file_).resolve())) if file_ else None
+    if sf is not None and line:
+        if kind == "ParmVarDecl" and not state.get("in_ctor"):
+            name = node.get("name", "")
+            base = qual.replace("const", "").strip()
+            if base in ("p5g::Rng", "Rng") and not sf.allowed(line, "rng-by-value"):
+                findings.append(
+                    Finding(
+                        sf.rel,
+                        line,
+                        "rng-by-value",
+                        f"parameter '{name}' copies the Rng engine — a value "
+                        f"copy forks the deterministic stream; take Rng&",
+                    )
+                )
+        if kind in ("ParmVarDecl", "FieldDecl") and qual == "double":
+            name = node.get("name", "")
+            if (
+                name
+                and unit_suffix_name(name)
+                and is_public_header(sf.rel)
+                and not sf.allowed(line, "unit-suffix-double")
+            ):
+                findings.append(
+                    Finding(
+                        sf.rel,
+                        line,
+                        "unit-suffix-double",
+                        f"raw double '{name}' is named with a unit suffix — "
+                        f"use the strong type from common/units.h",
+                    )
+                )
+        if (
+            kind in ("VarDecl", "ParmVarDecl", "FieldDecl")
+            and qual.split()[0:1] == ["float"]
+            and is_core(sf.rel)
+            and not sf.allowed(line, "float-in-core")
+        ):
+            findings.append(
+                Finding(
+                    sf.rel,
+                    line,
+                    "float-in-core",
+                    "float in sim-core code — golden traces pin double "
+                    "rounding; use double (or a units.h type)",
+                )
+            )
+    if kind == "CXXConstructorDecl":
+        state = dict(state, in_ctor=True)
+    elif kind in ("FunctionDecl", "CXXMethodDecl"):
+        state = dict(state, in_ctor=False)
+    for child in node.get("inner", []) or []:
+        walk_ast(child, path_str, state, findings, sf_map)
+
+
+# --------------------------------------------------------------------------
+# Driver.
+# --------------------------------------------------------------------------
+
+
+def gather_files(root: Path, dirs: list[str]) -> list[SourceFile]:
+    files = []
+    for d in dirs:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for p in sorted(base.rglob("*")):
+            if p.suffix in (".h", ".cpp", ".cc", ".hpp"):
+                files.append(SourceFile(p, root))
+    return files
+
+
+def dir_file_allowed(rel: str, rule: str) -> bool:
+    for d, rules in DIR_ALLOWANCES.items():
+        if rel.startswith(d + "/") and rule in rules:
+            return True
+    return rule in FILE_ALLOWANCES.get(rel, set())
+
+
+def analyze(
+    files: list[SourceFile],
+    backend: str,
+    compdb: dict[str, list[str]],
+    cache_dir: Path,
+    clang: str | None,
+) -> list[Finding]:
+    enums = collect_project_enums(files)
+    io_fns = collect_ioresult_functions(files)
+    findings: list[Finding] = []
+
+    decl_rules_done = False
+    if backend == "clang" and clang:
+        sf_map = {str(sf.path.resolve()): sf for sf in files}
+        dumped = 0
+        for sf in files:
+            if sf.path.suffix != ".cpp":
+                continue  # headers are covered through the TUs that include them
+            args = compdb.get(str(sf.path.resolve()))
+            if args is None:
+                continue
+            tree = ast_dump(clang, sf.path, args, cache_dir)
+            if tree is None:
+                continue
+            dumped += 1
+            walk_ast(tree, str(sf.path), {}, findings, sf_map)
+        if dumped:
+            decl_rules_done = True
+            # Files outside every TU (headers, pure fixtures) still need
+            # the declaration rules — fall through lexically for whatever
+            # the AST pass never saw.
+            for sf in files:
+                if sf.path.suffix == ".cpp" and str(sf.path.resolve()) in compdb:
+                    continue
+                findings += rule_rng_by_value(sf)
+                if is_public_header(sf.rel):
+                    findings += rule_unit_suffix(sf)
+                if is_core(sf.rel):
+                    findings += rule_float_in_core(sf)
+
+    if not decl_rules_done:
+        for sf in files:
+            findings += rule_rng_by_value(sf)
+            if is_public_header(sf.rel):
+                findings += rule_unit_suffix(sf)
+            if is_core(sf.rel):
+                findings += rule_float_in_core(sf)
+
+    # Comment/token rules run lexically under both backends.
+    for sf in files:
+        findings += rule_ignored_ioresult(sf, io_fns)
+        findings += rule_switch_enum(sf, enums)
+        findings += rule_wall_clock(sf)
+
+    findings = [
+        f for f in findings if not dir_file_allowed(f.rel, f.rule)
+    ]
+    # De-duplicate (clang + lexical overlap on fixture headers).
+    uniq = {}
+    for f in findings:
+        uniq[(f.rel, f.lineno, f.rule)] = f
+    return sorted(uniq.values(), key=lambda f: (f.rel, f.lineno, f.rule))
+
+
+def run_self_test(backend: str, compdb, cache_dir, clang) -> int:
+    """Every fixture file declares its expectations in comments:
+    `// p5g-analyze-expect: <rule>` — the analyzer must flag that rule in
+    this file; a fixture with `p5g-analyze-expect: clean` must produce no
+    findings at all (it seeds violations covered by allow() comments)."""
+    fixture_dir = REPO / "tests/analyze_fixtures"
+    if not fixture_dir.is_dir():
+        print(f"p5g_analyze: missing fixture dir {fixture_dir}", file=sys.stderr)
+        return 2
+    files = gather_files(REPO, ["tests/analyze_fixtures", "src/common"])
+    fixture_files = [f for f in files if f.rel.startswith(FIXTURE_DIR + "/")]
+    findings = analyze(files, backend, compdb, cache_dir, clang)
+    by_file: dict[str, set[str]] = {}
+    for f in findings:
+        by_file.setdefault(f.rel, set()).add(f.rule)
+
+    expect_re = re.compile(r"p5g-analyze-expect:\s*([a-z-]+)")
+    failures = []
+    covered_rules: set[str] = set()
+    for sf in fixture_files:
+        expects = expect_re.findall(sf.raw)
+        got = by_file.get(sf.rel, set())
+        for exp in expects:
+            if exp == "clean":
+                if got:
+                    failures.append(
+                        f"{sf.rel}: expected clean (allowances) but got {sorted(got)}"
+                    )
+            else:
+                covered_rules.add(exp)
+                if exp not in got:
+                    failures.append(f"{sf.rel}: rule '{exp}' was NOT flagged")
+    missing_rules = set(ALL_RULES) - covered_rules
+    if missing_rules:
+        failures.append(
+            f"fixture suite does not cover rules: {sorted(missing_rules)}"
+        )
+    if failures:
+        print(f"p5g_analyze self-test: FAIL ({backend} backend)")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(
+        f"p5g_analyze self-test: OK — {len(fixture_files)} fixtures, all "
+        f"{len(ALL_RULES)} rules flagged and allowances suppressed "
+        f"({backend} backend)"
+    )
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--backend", choices=("auto", "clang", "fallback"), default="auto")
+    ap.add_argument("--compdb", default="build", help="dir holding compile_commands.json")
+    ap.add_argument("--cache-dir", default=".cache/p5g-analyze")
+    ap.add_argument("--self-test", action="store_true")
+    ap.add_argument("paths", nargs="*", help="extra dirs to scan (default: src)")
+    opts = ap.parse_args()
+
+    clang = find_clang() if opts.backend in ("auto", "clang") else None
+    backend = "clang" if clang else "fallback"
+    if opts.backend == "clang" and not clang:
+        print("p5g_analyze: --backend clang but no clang found", file=sys.stderr)
+        return 2
+    compdb = load_compdb(REPO / opts.compdb) if backend == "clang" else {}
+    cache_dir = REPO / opts.cache_dir
+
+    if opts.self_test:
+        return run_self_test(backend, compdb, cache_dir, clang)
+
+    scan = opts.paths or ["src"]
+    files = gather_files(REPO, scan)
+    if not files:
+        print(f"p5g_analyze: nothing to scan under {scan}", file=sys.stderr)
+        return 2
+    findings = analyze(files, backend, compdb, cache_dir, clang)
+    if findings:
+        print(f"p5g_analyze: {len(findings)} finding(s) in {len(files)} files "
+              f"({backend} backend):")
+        for f in findings:
+            print(f"  {f}")
+        return 1
+    print(f"p5g_analyze: OK ({len(files)} files, {backend} backend)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,13 @@ them only for infrastructure whose *job* is the forbidden construct (the
 watchdog cannot measure elapsed real time without a real clock), never for
 tick-path simulation code.
 
+Self-test: `p5g_lint.py --self-test` lints tests/lint_fixtures/ instead of
+the real tree. Each fixture declares its contract in a comment —
+`p5g-lint-expect: <rule>` (the file must produce >= 1 finding of that rule)
+or `p5g-lint-expect: clean` (zero findings; proves allow() suppression
+works). The self-test fails unless every code rule is covered by a fixture,
+so a regex edit that silently kills a rule breaks CI, not just the rule.
+
 Exit status: 0 clean, 1 findings, 2 usage/internal error.
 """
 
@@ -76,7 +83,10 @@ TRACE_WRITER = REPO / "src/trace/trace.cpp"
 GOLDEN_TICK = REPO / "tests/golden/zero_fault_seed42.csv"
 GOLDEN_HO = REPO / "tests/golden/zero_fault_seed42.csv.ho.csv"
 
+FIXTURE_DIR = "tests/lint_fixtures"
+
 ALLOW_RE = re.compile(r"p5g-lint:\s*allow\(([a-z-]+)\)")
+EXPECT_RE = re.compile(r"p5g-lint-expect:\s*([a-z-]+)")
 
 RULES = {
     "wall-clock": re.compile(
@@ -245,7 +255,61 @@ def check_trace_schema() -> list[str]:
     return findings
 
 
+def run_self_test() -> int:
+    """Lint the seeded-violation fixtures and check each file's declared
+    expectation. Every code rule must be exercised by at least one fixture."""
+    root = REPO / FIXTURE_DIR
+    if not root.is_dir():
+        print(f"p5g_lint: missing fixture dir {FIXTURE_DIR}", file=sys.stderr)
+        return 2
+    failures: list[str] = []
+    rules_flagged: set[str] = set()
+    n_fixtures = 0
+    for path in sorted(root.rglob("*")):
+        if path.suffix not in (".h", ".cpp", ".cc", ".hpp"):
+            continue
+        n_fixtures += 1
+        rel = path.relative_to(REPO).as_posix()
+        expects = EXPECT_RE.findall(path.read_text(encoding="utf-8"))
+        if not expects:
+            failures.append(f"{rel}: no p5g-lint-expect marker")
+            continue
+        findings = lint_file(path)
+        fired = {f.split(": ")[1] for f in findings}
+        rules_flagged |= fired
+        for exp in expects:
+            if exp == "clean":
+                if findings:
+                    failures.append(
+                        f"{rel}: expected clean but got {len(findings)} "
+                        f"finding(s): {findings[0]}"
+                    )
+            elif exp not in fired:
+                failures.append(
+                    f"{rel}: expected rule '{exp}' to fire, it did not "
+                    f"(fired: {sorted(fired) or 'none'})"
+                )
+    missing = set(RULES) - rules_flagged
+    if missing:
+        failures.append(
+            f"rules with no firing fixture: {sorted(missing)} — every code "
+            f"rule needs a seeded violation in {FIXTURE_DIR}"
+        )
+    if failures:
+        print(f"p5g_lint self-test: FAIL ({len(failures)} problem(s)):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(
+        f"p5g_lint self-test: OK — {n_fixtures} fixtures, all "
+        f"{len(RULES)} code rules flagged and allowances suppressed"
+    )
+    return 0
+
+
 def main() -> int:
+    if "--self-test" in sys.argv[1:]:
+        return run_self_test()
     findings: list[str] = []
     scanned = 0
     for d in SCAN_DIRS:

@@ -127,10 +127,10 @@ int cmd_list(const trace::EventTrace& t, const trace::EventFilter& f) {
     const ran::HandoverRecord& r = h.record;
     std::printf(
         "ue %4u flow %6llu  t %9.3f s  %-4s %-15s  pci %d -> %d  %7.2f ms\n",
-        h.ue, static_cast<unsigned long long>(h.flow), r.complete_time,
+        h.ue, static_cast<unsigned long long>(h.flow), r.complete_time.v,
         std::string(ran::ho_name(r.type)).c_str(),
         std::string(ran::ho_outcome_name(r.outcome)).c_str(), r.src_pci,
-        r.dst_pci, r.timing.total_ms());
+        r.dst_pci, r.timing.total_ms().v);
     ++n;
   }
   std::printf("%zu handovers\n", n);
