@@ -1,0 +1,321 @@
+// HO configuration-space sweep: one scenario, a 3x3x3 grid of static
+// HoConfig points (A3 offset x hysteresis x TTT) plus the adaptive
+// TTT/hysteresis policy, all run through sim::run_scenarios in parallel.
+// For every point it reports the three axes a carrier trades off when it
+// picks a configuration (§7.1 of the paper; "Handover Configurations in
+// Operational 5G Networks" in PAPERS.md measures the deployed diversity):
+//   * HO rate          — completed procedures per route km (cost)
+//   * ping-pong rate   — share of HOs that bounce A -> B -> A within 2 s (cost)
+//   * interruption     — total data-plane halt time (cost)
+//   * mean throughput  — what the churn buys: staying on the best cell (benefit)
+// The Pareto front over those axes is spliced into BENCH_perf.json under
+// "ho_sweep" (other sections preserved) and the full grid lands in a CSV.
+// The adaptive arm runs on the most aggressive grid corner as its base: the
+// controller's job is to keep that corner's reactivity while feeding back
+// ping-pongs into hysteresis/TTT, so the bench checks it strictly dominates
+// at least one static point (no worse HO rate, strictly fewer ping-pongs).
+//
+// Usage: bench_ho_sweep [--quick] [--out <path>] [--csv <path>]
+//                       [--check-dominance] [--metrics-out <path>]
+//                       [--trace-out <path>]
+//   --quick            shorter drive (CI-friendly); the grid stays 27+1
+//   --check-dominance  exit nonzero unless the adaptive arm dominates at
+//                      least one static grid point
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/ho_stats.h"
+#include "bench_util.h"
+#include "common/io.h"
+#include "obs/export.h"
+#include "ran/ho_config.h"
+#include "ran/ho_policy.h"
+#include "sim/runner.h"
+#include "trace/event_trace.h"
+
+using namespace p5g;
+
+namespace {
+
+struct GridPoint {
+  std::string name;
+  Db a3_offset{0.0};
+  Db hysteresis{0.0};
+  Milliseconds ttt{0.0};
+  bool adaptive = false;
+};
+
+struct PointResult {
+  GridPoint point;
+  double ho_per_km = 0.0;
+  int handovers = 0;
+  analysis::PingPongStats ping_pongs;
+  Seconds interruption_s{0.0};
+  double mean_tput_mbps = 0.0;
+  bool pareto = false;
+};
+
+ran::HoConfig make_config(const GridPoint& p) {
+  ran::HoConfig c;
+  c.a3_offset = p.a3_offset;
+  c.hysteresis = p.hysteresis;
+  c.ttt = p.ttt;
+  return c;
+}
+
+sim::Scenario make_scenario(const GridPoint& p, Seconds duration) {
+  // City stop-and-go on mmWave: micro cells a few hundred meters apart,
+  // so aggressive configurations actually ping-pong AND there is a real
+  // throughput price for lazy ones (hanging onto a dying beam) — low-band
+  // runs degenerate to "fewest HOs wins" on every axis at once.
+  sim::Scenario s = bench::city_nsa(radio::Band::kNrMmWave, duration, 42);
+  s.name = p.name;
+  ran::HoConfigMap map;
+  map.set_global(make_config(p));
+  s.ho_config = map;
+  if (p.adaptive) {
+    s.ho_policy = ran::HoPolicyKind::kAdaptive;
+    s.adaptive_ho = ran::AdaptiveHoParams{};
+  }
+  return s;
+}
+
+PointResult measure(const GridPoint& p, const trace::TraceLog& log) {
+  PointResult r;
+  r.point = p;
+  r.handovers = static_cast<int>(log.handovers.size());
+  const double km = log.distance().v / 1000.0;
+  r.ho_per_km = km > 0.0 ? static_cast<double>(r.handovers) / km : 0.0;
+  r.ping_pongs = analysis::ping_pong_stats(log.handovers);
+  const trace::TraceSummary sum = trace::summarize(log);
+  r.interruption_s = sum.any_halted_s;
+  r.mean_tput_mbps = sum.mean_throughput_mbps;
+  return r;
+}
+
+// a dominates b: no worse on every axis (costs down, throughput up),
+// strictly better on at least one. Without the throughput axis the three
+// costs are so correlated that the most conservative corner dominates the
+// whole grid; the benefit axis is what buys the aggressive corner its seat
+// on the front.
+bool dominates(const PointResult& a, const PointResult& b) {
+  const bool no_worse = a.ho_per_km <= b.ho_per_km &&
+                        a.ping_pongs.rate() <= b.ping_pongs.rate() &&
+                        a.interruption_s <= b.interruption_s &&
+                        a.mean_tput_mbps >= b.mean_tput_mbps;
+  const bool better = a.ho_per_km < b.ho_per_km ||
+                      a.ping_pongs.rate() < b.ping_pongs.rate() ||
+                      a.interruption_s < b.interruption_s ||
+                      a.mean_tput_mbps > b.mean_tput_mbps;
+  return no_worse && better;
+}
+
+// The acceptance comparison for the adaptive arm: at an equal-or-lower HO
+// rate, strictly fewer ping-pongs.
+bool dominates_on_ping_pong(const PointResult& adaptive,
+                            const PointResult& s) {
+  return adaptive.ho_per_km <= s.ho_per_km &&
+         adaptive.ping_pongs.rate() < s.ping_pongs.rate();
+}
+
+void mark_pareto(std::vector<PointResult>& grid) {
+  for (PointResult& a : grid) {
+    a.pareto = std::none_of(grid.begin(), grid.end(), [&](const PointResult& b) {
+      return &a != &b && dominates(b, a);
+    });
+  }
+}
+
+void write_csv(const std::string& path, const std::vector<PointResult>& all) {
+  std::string csv =
+      "name,a3_offset_db,hysteresis_db,ttt_ms,adaptive,handovers,ho_per_km,"
+      "ping_pongs,ping_pong_eligible,ping_pong_rate,interruption_s,"
+      "mean_tput_mbps,pareto\n";
+  char line[256];
+  for (const PointResult& r : all) {
+    std::snprintf(line, sizeof(line),
+                  "%s,%.1f,%.1f,%.0f,%d,%d,%.4f,%d,%d,%.4f,%.3f,%.3f,%d\n",
+                  r.point.name.c_str(), r.point.a3_offset.v,
+                  r.point.hysteresis.v, r.point.ttt.v, r.point.adaptive ? 1 : 0,
+                  r.handovers, r.ho_per_km, r.ping_pongs.ping_pongs,
+                  r.ping_pongs.eligible, r.ping_pongs.rate(),
+                  r.interruption_s.v, r.mean_tput_mbps, r.pareto ? 1 : 0);
+    csv += line;
+  }
+  if (const io::IoResult res = io::atomic_write_file(path, csv); !res) {
+    std::printf("  cannot write %s: %s\n", path.c_str(), res.error.c_str());
+    return;
+  }
+  std::printf("  full grid written to %s\n", path.c_str());
+}
+
+void write_point(obs::JsonWriter& w, const PointResult& r,
+                 std::string_view key = {}) {
+  w.begin_object(key);
+  w.field("name", r.point.name);
+  w.field("a3_offset_db", r.point.a3_offset.v);
+  w.field("hysteresis_db", r.point.hysteresis.v);
+  w.field("ttt_ms", r.point.ttt.v);
+  w.field("adaptive", r.point.adaptive);
+  w.field("handovers", r.handovers);
+  w.field("ho_per_km", r.ho_per_km);
+  w.field("ping_pongs", r.ping_pongs.ping_pongs);
+  w.field("ping_pong_rate", r.ping_pongs.rate());
+  w.field("interruption_s", r.interruption_s.v);
+  w.field("mean_tput_mbps", r.mean_tput_mbps);
+  w.field("pareto", r.pareto);
+  w.end_object();
+}
+
+// Splice the ho_sweep section into an existing BENCH_perf.json without
+// disturbing its other sections (same degrade-to-fresh policy as
+// bench_fleet's append_json).
+void append_json(const std::string& path, bool quick, Seconds duration,
+                 const std::vector<PointResult>& grid,
+                 const PointResult& adaptive,
+                 const std::vector<std::string>& dominated) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("quick", quick);
+  w.field("scenario", "city_nsa_mmwave");
+  w.field("duration_s", duration.v);
+  w.field("grid_points", static_cast<std::uint64_t>(grid.size()));
+  w.begin_array("grid");
+  for (const PointResult& r : grid) write_point(w, r);
+  w.end_array();
+  w.begin_array("pareto_front");
+  for (const PointResult& r : grid) {
+    if (r.pareto) w.element(r.point.name);
+  }
+  w.end_array();
+  write_point(w, adaptive, "adaptive");
+  w.begin_array("adaptive_dominates");
+  for (const std::string& n : dominated) w.element(n);
+  w.end_array();
+  w.field("adaptive_dominates_any", !dominated.empty());
+  w.end_object();
+
+  const std::optional<obs::JsonValue> sweep = obs::parse_json(w.str());
+  if (!sweep) {
+    std::printf("  internal error: ho_sweep section did not round-trip\n");
+    return;
+  }
+  obs::JsonValue root;
+  root.type = obs::JsonValue::Type::kObject;
+  if (std::ifstream in(path); in) {
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (std::optional<obs::JsonValue> existing = obs::parse_json(buf.str());
+        existing && existing->type == obs::JsonValue::Type::kObject) {
+      root = std::move(*existing);
+    } else {
+      std::printf("  %s exists but is not a JSON object; rewriting\n",
+                  path.c_str());
+    }
+  }
+  root.object["ho_sweep"] = *sweep;
+  if (const io::IoResult r = io::atomic_write_file(path, obs::to_json(root));
+      !r) {
+    std::printf("  cannot write %s: %s\n", path.c_str(), r.error.c_str());
+    return;
+  }
+  std::printf("  appended ho_sweep section to %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool check_dominance = false;
+  std::string out_path = "BENCH_perf.json";
+  std::string csv_path = "ho_sweep_grid.csv";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--check-dominance") == 0) check_dominance = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) csv_path = argv[++i];
+  }
+
+  bench::print_header(quick ? "HO configuration sweep (--quick)"
+                            : "HO configuration sweep");
+  const Seconds duration{quick ? 300.0 : 1200.0};
+
+  // 3x3x3 grid from the ping-pong-prone aggressive corner
+  // (0.5 dB / 0 dB / 40 ms) to a conservative operator point
+  // (3 dB / 1.5 dB / 480 ms) — the knob ranges carriers actually deploy.
+  const Db offsets[] = {0.5_db, 1.5_db, 3.0_db};
+  const Db hystereses[] = {0.0_db, 0.5_db, 1.5_db};
+  const Milliseconds ttts[] = {40.0_ms, 160.0_ms, 480.0_ms};
+
+  std::vector<GridPoint> points;
+  for (const Db a3 : offsets) {
+    for (const Db hys : hystereses) {
+      for (const Milliseconds ttt : ttts) {
+        char name[64];
+        std::snprintf(name, sizeof(name), "a3_%.1f_hys_%.1f_ttt_%.0f", a3.v,
+                      hys.v, ttt.v);
+        points.push_back({name, a3, hys, ttt, false});
+      }
+    }
+  }
+  // Adaptive arm: the aggressive corner as base, controller on top.
+  points.push_back({"adaptive", 0.5_db, 0.0_db, 40.0_ms, true});
+
+  std::vector<sim::Scenario> scenarios;
+  scenarios.reserve(points.size());
+  for (const GridPoint& p : points) scenarios.push_back(make_scenario(p, duration));
+
+  std::printf("  %zu static grid points + adaptive arm, %.0f s city drives, "
+              "parallel sweep\n",
+              points.size() - 1, duration.v);
+  const std::vector<trace::TraceLog> logs = sim::run_scenarios(scenarios);
+
+  std::vector<PointResult> grid;
+  grid.reserve(points.size() - 1);
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    grid.push_back(measure(points[i], logs[i]));
+  }
+  PointResult adaptive = measure(points.back(), logs.back());
+  mark_pareto(grid);
+
+  std::printf("  %-24s %9s %8s %9s %9s %9s %7s\n", "config", "HO/km", "HOs",
+              "pp-rate", "halt(s)", "Mbps", "pareto");
+  for (const PointResult& r : grid) {
+    std::printf("  %-24s %9.2f %8d %9.3f %9.2f %9.1f %7s\n",
+                r.point.name.c_str(), r.ho_per_km, r.handovers,
+                r.ping_pongs.rate(), r.interruption_s.v, r.mean_tput_mbps,
+                r.pareto ? "yes" : "");
+  }
+  std::printf("  %-24s %9.2f %8d %9.3f %9.2f %9.1f %7s\n", "adaptive",
+              adaptive.ho_per_km, adaptive.handovers,
+              adaptive.ping_pongs.rate(), adaptive.interruption_s.v,
+              adaptive.mean_tput_mbps, "-");
+
+  std::vector<std::string> dominated;
+  for (const PointResult& r : grid) {
+    if (dominates_on_ping_pong(adaptive, r)) dominated.push_back(r.point.name);
+  }
+  std::printf("\n  adaptive dominates %zu/%zu static configs on ping-pong "
+              "rate at equal-or-lower HO rate\n",
+              dominated.size(), grid.size());
+
+  write_csv(csv_path, [&] {
+    std::vector<PointResult> all = grid;
+    all.push_back(adaptive);
+    return all;
+  }());
+  append_json(out_path, quick, duration, grid, adaptive, dominated);
+  obs::export_from_args(argc, argv, "bench_ho_sweep", 42);
+  trace::export_trace_from_args(argc, argv, "bench_ho_sweep", 42);
+
+  if (check_dominance && dominated.empty()) {
+    std::printf("  FAIL: adaptive policy dominates no static grid point\n");
+    return 1;
+  }
+  return 0;
+}

@@ -30,6 +30,8 @@ FleetStats fleet_stats(const sim::FleetScenario& f, unsigned threads) {
   // so the result stays deterministic for any schedule.
   std::mutex pooled_mu;
   std::vector<double> dwells;
+  // Per-UE slots (written lock-free by UE index, like per_ue itself).
+  std::vector<double> pp_rate_by_ue(f.n_ues, 0.0);
 
   out.errors = sim::for_each_ue_trace(
       f,
@@ -44,6 +46,10 @@ FleetStats fleet_stats(const sim::FleetScenario& f, unsigned threads) {
         std::vector<double> d = nr_dwell_distances(log, DwellMode::kActual);
         const OutcomeCounts oc = count_outcomes(log.handovers);
         const std::map<ran::HoType, int> bt = count_by_type(log.handovers);
+        // Ping-pong chains are per-UE by construction (each UE has its own
+        // tracker state), so the stats pool as plain sums.
+        const PingPongStats pp = ping_pong_stats(log.handovers);
+        pp_rate_by_ue[ue] = pp.rate();
 
         const std::lock_guard<std::mutex> lock(pooled_mu);
         dwells.insert(dwells.end(), d.begin(), d.end());
@@ -51,6 +57,8 @@ FleetStats fleet_stats(const sim::FleetScenario& f, unsigned threads) {
         out.outcomes.prep_failure += oc.prep_failure;
         out.outcomes.exec_failure += oc.exec_failure;
         out.outcomes.rlf_reestablish += oc.rlf_reestablish;
+        out.ping_pongs.eligible += pp.eligible;
+        out.ping_pongs.ping_pongs += pp.ping_pongs;
         for (const auto& [type, n] : bt) out.by_type[type] += n;
       },
       threads);
@@ -68,14 +76,16 @@ FleetStats fleet_stats(const sim::FleetScenario& f, unsigned threads) {
   }
 
   std::vector<double> ho_per_km, ho_count, failure_rate, interruption,
-      mean_tput;
+      mean_tput, pp_rate;
   ho_per_km.reserve(f.n_ues);
   ho_count.reserve(f.n_ues);
   failure_rate.reserve(f.n_ues);
   interruption.reserve(f.n_ues);
   mean_tput.reserve(f.n_ues);
+  pp_rate.reserve(f.n_ues);
   for (const sim::UeSummary& u : out.per_ue) {
     if (quarantined[u.ue]) continue;
+    pp_rate.push_back(pp_rate_by_ue[u.ue]);
     ho_per_km.push_back(u.trace.ho_per_km());
     ho_count.push_back(static_cast<double>(u.trace.handovers));
     const int total = u.trace.handovers;
@@ -90,6 +100,7 @@ FleetStats fleet_stats(const sim::FleetScenario& f, unsigned threads) {
   out.failure_rate = sample_stats(failure_rate);
   out.interruption_s = sample_stats(interruption);
   out.mean_tput_mbps = sample_stats(mean_tput);
+  out.ping_pong_rate = sample_stats(pp_rate);
   out.nr_coverage_m = sample_stats(dwells);
   return out;
 }

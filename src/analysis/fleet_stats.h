@@ -39,10 +39,12 @@ struct FleetStats {
   SampleStats failure_rate;       // per-UE share of non-success outcomes
   SampleStats interruption_s;     // per-UE total data-plane interruption
   SampleStats mean_tput_mbps;     // per-UE mean downlink throughput
+  SampleStats ping_pong_rate;     // per-UE ping_pong_stats().rate()
 
   // Pooled over every UE's trace.
   SampleStats nr_coverage_m;      // same-PCI NR dwell distances (kActual)
   OutcomeCounts outcomes;         // HO outcome mix across the population
+  PingPongStats ping_pongs;       // pooled ping-pong counts (per-UE chains)
   std::map<ran::HoType, int> by_type;
 
   // The per-UE summaries the distributions were computed from (UE order).

@@ -47,6 +47,16 @@ Kilometers km_per_handover(const trace::TraceLog& log,
   return m_to_km(log.distance()) / static_cast<double>(n);
 }
 
+PingPongStats ping_pong_stats(const std::vector<ran::HandoverRecord>& hos,
+                              Seconds window) {
+  ran::PingPongTracker tracker(window);
+  for (const ran::HandoverRecord& h : hos) tracker.on_handover(h);
+  PingPongStats s;
+  s.eligible = tracker.handovers();
+  s.ping_pongs = tracker.ping_pongs();
+  return s;
+}
+
 std::map<ran::HoType, DurationStats> duration_by_type(
     const std::vector<ran::HandoverRecord>& hos) {
   std::map<ran::HoType, DurationStats> out;

@@ -7,6 +7,7 @@
 
 #include "common/units.h"
 #include "ran/handover.h"
+#include "ran/ping_pong.h"
 #include "trace/trace.h"
 
 namespace p5g::analysis {
@@ -82,6 +83,24 @@ struct RetryStats {
   int reestablishments = 0;
 };
 RetryStats retry_stats(const std::vector<ran::HandoverRecord>& hos);
+
+// Ping-pong accounting: successful handover chains A -> B -> A whose
+// return leg completes within `window` of the outbound one (the
+// ran/ping_pong.h definition, applied offline to a completed record set).
+struct PingPongStats {
+  int eligible = 0;    // successful, cell-landing procedures considered
+  int ping_pongs = 0;  // return-to-source pairs closed within the window
+
+  // Share of eligible HOs that closed a ping-pong pair; 0 when empty.
+  double rate() const {
+    return eligible == 0 ? 0.0
+                         : static_cast<double>(ping_pongs) / eligible;
+  }
+};
+
+// Records must be in completion order (trace logs already are).
+PingPongStats ping_pong_stats(const std::vector<ran::HandoverRecord>& hos,
+                              Seconds window = ran::kDefaultPingPongWindow);
 
 // Signaling message totals per km, per layer (§5.1's overhead comparison).
 struct SignalingRates {

@@ -45,6 +45,11 @@ struct EventConfig {
   Db offset{3.0};           // A3/A6 offset
   Db hysteresis{1.0};       // applied on enter and leave
   Milliseconds ttt_ms{160.0};
+
+  // Exact comparison (units compare IEEE-exactly): the MobilityManager
+  // rebuilds its monitors only when a policy's resolved set differs from
+  // the installed one, so "equal" must mean "same RRC measConfig".
+  bool operator==(const EventConfig&) const = default;
 };
 
 // One serving/neighbor measurement snapshot used to evaluate events.

@@ -1,0 +1,97 @@
+#include "ran/ho_config.h"
+
+#include <algorithm>
+
+namespace p5g::ran {
+
+bool HoConfig::empty() const {
+  const bool any_enable =
+      std::any_of(enabled.begin(), enabled.end(),
+                  [](const std::optional<bool>& e) { return e.has_value(); });
+  return !a3_offset && !a5_threshold1 && !a5_threshold2 && !hysteresis &&
+         !ttt && !any_enable;
+}
+
+HoConfig overlay(HoConfig base, const HoConfig& over) {
+  if (over.a3_offset) base.a3_offset = over.a3_offset;
+  if (over.a5_threshold1) base.a5_threshold1 = over.a5_threshold1;
+  if (over.a5_threshold2) base.a5_threshold2 = over.a5_threshold2;
+  if (over.hysteresis) base.hysteresis = over.hysteresis;
+  if (over.ttt) base.ttt = over.ttt;
+  for (std::size_t i = 0; i < kEventTypeCount; ++i) {
+    if (over.enabled[i]) base.enabled[i] = over.enabled[i];
+  }
+  return base;
+}
+
+std::vector<EventConfig> apply_ho_config(std::vector<EventConfig> set,
+                                         const HoConfig& cfg) {
+  std::erase_if(set, [&cfg](const EventConfig& e) {
+    const std::optional<bool>& on = cfg.enabled[event_index(e.type)];
+    return on.has_value() && !*on;
+  });
+  for (EventConfig& e : set) {
+    if (cfg.a3_offset && (e.type == EventType::kA3 || e.type == EventType::kA6)) {
+      e.offset = *cfg.a3_offset;
+    }
+    if (e.type == EventType::kA5) {
+      if (cfg.a5_threshold1) e.threshold1 = *cfg.a5_threshold1;
+      if (cfg.a5_threshold2) e.threshold2 = *cfg.a5_threshold2;
+    }
+    if (cfg.hysteresis) e.hysteresis = *cfg.hysteresis;
+    if (cfg.ttt) e.ttt_ms = *cfg.ttt;
+  }
+  return set;
+}
+
+HoConfig HoConfigMap::resolve(radio::Band band, int cell_id) const {
+  HoConfig out = global_;
+  if (const auto b = band_.find(band); b != band_.end()) {
+    out = overlay(out, b->second);
+  }
+  if (cell_id >= 0) {
+    if (const auto c = cell_.find(cell_id); c != cell_.end()) {
+      out = overlay(out, c->second);
+    }
+  }
+  return out;
+}
+
+bool HoConfigMap::empty() const {
+  if (!global_.empty()) return false;
+  const auto layer_empty = [](const auto& m) {
+    return std::all_of(m.begin(), m.end(),
+                       [](const auto& kv) { return kv.second.empty(); });
+  };
+  return layer_empty(band_) && layer_empty(cell_);
+}
+
+std::vector<EventConfig> arch_default_event_set(Arch arch, radio::Band nr_band) {
+  std::vector<EventConfig> configs;
+  switch (arch) {
+    case Arch::kLteOnly: {
+      for (const EventConfig& c : default_lte_event_set(nr_band)) {
+        if (c.type != EventType::kB1) configs.push_back(c);  // no NR layer
+      }
+      break;
+    }
+    case Arch::kNsa: {
+      for (const EventConfig& c : default_lte_event_set(nr_band)) {
+        configs.push_back(c);
+      }
+      for (const EventConfig& c : default_nsa_nr_event_set(nr_band)) {
+        configs.push_back(c);
+      }
+      break;
+    }
+    case Arch::kSa: {
+      for (const EventConfig& c : default_sa_event_set(nr_band)) {
+        configs.push_back(c);
+      }
+      break;
+    }
+  }
+  return configs;
+}
+
+}  // namespace p5g::ran

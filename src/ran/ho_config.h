@@ -1,0 +1,93 @@
+// The HO configuration space (§7.1 of the paper; "Handover Configurations
+// in Operational 5G Networks" in PAPERS.md measures its real-world shape).
+//
+// Carriers do not deploy one global A3/A5/TTT tuple: event thresholds vary
+// per cell and per band and evolve over time. HoConfig models one *layer*
+// of that space as a set of optional overrides; HoConfigMap stacks layers
+// (global -> band -> cell) and resolves the effective override set for a
+// serving cell. An empty map resolves to "no overrides", which reproduces
+// the carrier-default event sets — and therefore the golden traces —
+// byte-identically (gated by tests/ho_policy_test.cpp).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/units.h"
+#include "radio/band.h"
+#include "ran/deployment.h"
+#include "ran/events.h"
+
+namespace p5g::ran {
+
+// Number of EventType enumerators (kA1..kB1); sized for per-event tables.
+inline constexpr std::size_t kEventTypeCount = 7;
+
+constexpr std::size_t event_index(EventType t) {
+  return static_cast<std::size_t>(t);
+}
+
+// One layer of HO-parameter overrides. Every field is optional: an unset
+// field inherits from the layer below (and ultimately from the carrier
+// default event set in ran/events.h).
+struct HoConfig {
+  std::optional<Db> a3_offset;        // A3/A6 neighbor-better-by offset
+  std::optional<Dbm> a5_threshold1;   // A5 serving-below threshold
+  std::optional<Dbm> a5_threshold2;   // A5 neighbor-above threshold
+  std::optional<Db> hysteresis;       // applied to every configured event
+  std::optional<Milliseconds> ttt;    // time-to-trigger for every event
+  // Per-event-type enable. Unset inherits; a resolved `false` removes the
+  // event from the UE's measurement configuration entirely.
+  std::array<std::optional<bool>, kEventTypeCount> enabled{};
+
+  bool operator==(const HoConfig&) const = default;
+
+  // True when no field is set (the identity overlay).
+  bool empty() const;
+
+  void set_enabled(EventType t, bool on) { enabled[event_index(t)] = on; }
+};
+
+// `over` stacked on top of `base`: fields set in `over` win, unset fields
+// fall through to `base`.
+HoConfig overlay(HoConfig base, const HoConfig& over);
+
+// Applies a fully-resolved override layer to a carrier-default event set:
+// knobs rewrite the matching fields of matching events, disabled events are
+// dropped. The empty config returns `set` unchanged.
+std::vector<EventConfig> apply_ho_config(std::vector<EventConfig> set,
+                                         const HoConfig& cfg);
+
+// Layered per-cell/per-band HO configuration: global -> band -> cell, most
+// specific layer wins field by field. Cells and bands without an entry fall
+// through to the global layer; an entirely empty map is the carrier
+// default.
+class HoConfigMap {
+ public:
+  void set_global(const HoConfig& c) { global_ = c; }
+  void set_band(radio::Band b, const HoConfig& c) { band_[b] = c; }
+  void set_cell(int cell_id, const HoConfig& c) { cell_[cell_id] = c; }
+
+  // Effective override layer for a serving cell of `band`. `cell_id` < 0
+  // (not attached) resolves the global + band layers only.
+  HoConfig resolve(radio::Band band, int cell_id) const;
+
+  bool empty() const;
+  bool operator==(const HoConfigMap&) const = default;
+
+ private:
+  HoConfig global_;
+  std::map<radio::Band, HoConfig> band_;
+  std::map<int, HoConfig> cell_;
+};
+
+// The carrier-default event set for an architecture (the constructor-time
+// switch the MobilityManager historically inlined): LTE-only filters B1
+// (no NR layer to add), NSA concatenates the LTE and NR sets, SA uses the
+// NR-primary set.
+std::vector<EventConfig> arch_default_event_set(Arch arch, radio::Band nr_band);
+
+}  // namespace p5g::ran

@@ -1,0 +1,111 @@
+#include "ran/ho_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p5g::ran {
+
+std::vector<EventConfig> resolved_event_set(const HoConfigMap& map,
+                                            const HoPolicyContext& ctx) {
+  std::vector<EventConfig> set = arch_default_event_set(ctx.arch, ctx.nr_band);
+  if (map.empty()) return set;  // carrier defaults, bit for bit
+  const HoConfig lte = map.resolve(ctx.lte_band, ctx.lte_cell_id);
+  const HoConfig nr = map.resolve(ctx.nr_band, ctx.nr_cell_id);
+  // Events are configured by the serving cell of their scope; the default
+  // sets list LTE-scope events first, so splitting and re-concatenating
+  // preserves the original order exactly.
+  std::vector<EventConfig> lte_set;
+  std::vector<EventConfig> nr_set;
+  for (const EventConfig& e : set) {
+    (e.scope == MeasScope::kServingLte ? lte_set : nr_set).push_back(e);
+  }
+  lte_set = apply_ho_config(std::move(lte_set), lte);
+  nr_set = apply_ho_config(std::move(nr_set), nr);
+  lte_set.insert(lte_set.end(), nr_set.begin(), nr_set.end());
+  return lte_set;
+}
+
+std::vector<EventConfig> AdaptiveTttHysteresisPolicy::event_set(
+    const HoPolicyContext& ctx) {
+  std::vector<EventConfig> set = resolved_event_set(base_, ctx);
+  const double scale =
+      params_.speed_ttt_scale[static_cast<std::size_t>(speed_tier_)] *
+      (1.0 + static_cast<double>(pp_level_) * params_.ttt_stretch);
+  const Db extra = params_.hysteresis_step * static_cast<double>(pp_level_);
+  for (EventConfig& e : set) {
+    e.ttt_ms = e.ttt_ms * scale;
+    e.hysteresis += extra;
+  }
+  applied_tier_ = speed_tier_;
+  applied_level_ = pp_level_;
+  return set;
+}
+
+void AdaptiveTttHysteresisPolicy::note_transition(Seconds t) {
+  trajectory_.push_back({t, speed_tier_, pp_level_});
+}
+
+void AdaptiveTttHysteresisPolicy::on_tick(Seconds t, Meters moved) {
+  const int old_tier = speed_tier_;
+  const int old_level = pp_level_;
+
+  if (have_last_tick_) {
+    const double dt = (t - last_tick_).v;
+    if (dt > 0.0) {
+      // |moved| guards loop-route wrap (route_position snaps back to 0);
+      // the 100 m/s cap discards the wrap tick itself.
+      const double inst = std::abs(moved.v) / dt;
+      if (inst <= 100.0) {
+        ema_speed_mps_ += params_.speed_ema_alpha * (inst - ema_speed_mps_);
+      }
+    }
+  }
+  last_tick_ = t;
+  have_last_tick_ = true;
+
+  // Quantize the EMA into tiers with a 10% downward deadband so the tier —
+  // and with it the installed event set — does not flap at a boundary.
+  const auto bound = [this](int tier) {
+    return tier >= 2 ? params_.fast_speed_mps : params_.medium_speed_mps;
+  };
+  while (speed_tier_ < 2 && ema_speed_mps_ >= bound(speed_tier_ + 1)) {
+    ++speed_tier_;
+  }
+  while (speed_tier_ > 0 && ema_speed_mps_ < bound(speed_tier_) * 0.9) {
+    --speed_tier_;
+  }
+
+  // Ping-pong pressure decays as entries age out of the memory window.
+  std::erase_if(recent_ping_pongs_,
+                [&](Seconds s) { return t - s > params_.memory; });
+  pp_level_ = std::min(static_cast<int>(recent_ping_pongs_.size()),
+                       params_.max_level);
+
+  if (speed_tier_ != old_tier || pp_level_ != old_level) note_transition(t);
+}
+
+void AdaptiveTttHysteresisPolicy::on_handover(Seconds t,
+                                              const HandoverRecord& rec,
+                                              bool ping_pong) {
+  (void)rec;
+  if (!ping_pong) return;
+  recent_ping_pongs_.push_back(t);
+  const int old_level = pp_level_;
+  pp_level_ = std::min(static_cast<int>(recent_ping_pongs_.size()),
+                       params_.max_level);
+  if (pp_level_ != old_level) note_transition(t);
+}
+
+std::unique_ptr<HoPolicy> make_ho_policy(HoPolicyKind kind,
+                                         const HoConfigMap& map,
+                                         const AdaptiveHoParams& params) {
+  switch (kind) {
+    case HoPolicyKind::kStatic:
+      return std::make_unique<StaticHoPolicy>(map);
+    case HoPolicyKind::kAdaptive:
+      return std::make_unique<AdaptiveTttHysteresisPolicy>(map, params);
+  }
+  return std::make_unique<StaticHoPolicy>(map);
+}
+
+}  // namespace p5g::ran

@@ -1,0 +1,166 @@
+// Pluggable HO policies: who decides the measurement-event configuration
+// the network installs on the UE.
+//
+// The MobilityManager owns one HoPolicy and asks it for the event set
+// whenever the serving context changes (or the policy reports itself
+// dirty); monitors are rebuilt only when the returned set actually differs
+// from the installed one, so a policy that always resolves the carrier
+// defaults — StaticHoPolicy over an empty HoConfigMap — never perturbs the
+// golden traces.
+//
+// Two implementations ship:
+//   * StaticHoPolicy          — a fixed HoConfigMap (per-cell/per-band
+//                               layers, ran/ho_config.h).
+//   * AdaptiveTttHysteresisPolicy — the PAPERS.md adaptive-TTT design:
+//                               scales TTT with UE speed and escalates
+//                               hysteresis/TTT under ping-pong feedback.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/units.h"
+#include "ran/handover.h"
+#include "ran/ho_config.h"
+#include "ran/ping_pong.h"
+
+namespace p5g::ran {
+
+// Serving context a policy resolves against (cell ids < 0 = not attached).
+struct HoPolicyContext {
+  Arch arch = Arch::kNsa;
+  radio::Band nr_band = radio::Band::kNrLow;
+  radio::Band lte_band = radio::Band::kLteMid;
+  int lte_cell_id = -1;
+  int nr_cell_id = -1;
+};
+
+class HoPolicy {
+ public:
+  virtual ~HoPolicy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // The measurement-event configuration for the given serving context.
+  // Deterministic in (context, feedback history) — policies never draw RNG
+  // or read clocks.
+  virtual std::vector<EventConfig> event_set(const HoPolicyContext& ctx) = 0;
+
+  // Feedback hooks, called by the MobilityManager every tick / on every
+  // completed procedure. No-ops for static policies.
+  virtual void on_tick(Seconds t, Meters moved) { (void)t; (void)moved; }
+  virtual void on_handover(Seconds t, const HandoverRecord& rec,
+                           bool ping_pong) {
+    (void)t; (void)rec; (void)ping_pong;
+  }
+
+  // True when feedback changed what event_set() would return since the
+  // last call; the manager re-resolves on the next tick.
+  virtual bool dirty() const { return false; }
+};
+
+// Resolves `map` against the context and applies the per-scope layers to
+// the carrier-default event set (LTE-scope events take the LTE serving
+// cell's layer, NR-scope events the NR serving cell's). Shared by both
+// shipped policies; exposed for tests and sweep harnesses.
+std::vector<EventConfig> resolved_event_set(const HoConfigMap& map,
+                                            const HoPolicyContext& ctx);
+
+// Fixed per-cell/per-band configuration; never dirty. The empty map is the
+// byte-identity policy (carrier defaults everywhere).
+class StaticHoPolicy final : public HoPolicy {
+ public:
+  explicit StaticHoPolicy(HoConfigMap map) : map_(std::move(map)) {}
+
+  std::string_view name() const override { return "static"; }
+  std::vector<EventConfig> event_set(const HoPolicyContext& ctx) override {
+    return resolved_event_set(map_, ctx);
+  }
+
+ private:
+  HoConfigMap map_;
+};
+
+// Controller knobs for AdaptiveTttHysteresisPolicy. Defaults follow the
+// PAPERS.md smart-handover design: three speed tiers shortening TTT, and a
+// ping-pong pressure level stretching TTT back out and widening hysteresis.
+struct AdaptiveHoParams {
+  Seconds ping_pong_window = kDefaultPingPongWindow;
+  // Speed-tier boundaries on the per-tick EMA speed (m/s): tier 0 below
+  // `medium`, tier 2 above `fast`. ~8 m/s separates walking from driving,
+  // ~25 m/s city driving from freeway.
+  double medium_speed_mps = 8.0;
+  double fast_speed_mps = 25.0;
+  // EMA weight of the newest speed sample (per tick).
+  double speed_ema_alpha = 0.05;
+  // TTT scale per speed tier: fast movers trigger sooner or they overshoot
+  // the target before TTT elapses.
+  std::array<double, 3> speed_ttt_scale{1.0, 0.75, 0.5};
+  // Ping-pong escalation: pressure level = recent ping-pongs within
+  // `memory`, capped at `max_level`. Each level adds `hysteresis_step` and
+  // stretches TTT by `ttt_stretch` (multiplicative: 1 + level * stretch).
+  Seconds memory{30.0};
+  int max_level = 4;
+  Db hysteresis_step{0.5};
+  double ttt_stretch = 0.25;
+
+  bool operator==(const AdaptiveHoParams&) const = default;
+};
+
+// Speed- and ping-pong-driven TTT/hysteresis controller on top of a static
+// base map. The control state is quantized (speed tier x pressure level),
+// so the event set only changes — and monitors only rebuild — on discrete
+// level transitions. Deterministic: state is a pure function of the tick
+// and handover feedback.
+class AdaptiveTttHysteresisPolicy final : public HoPolicy {
+ public:
+  AdaptiveTttHysteresisPolicy(HoConfigMap base, AdaptiveHoParams params)
+      : base_(std::move(base)), params_(params) {}
+
+  std::string_view name() const override { return "adaptive_ttt_hys"; }
+  std::vector<EventConfig> event_set(const HoPolicyContext& ctx) override;
+  void on_tick(Seconds t, Meters moved) override;
+  void on_handover(Seconds t, const HandoverRecord& rec,
+                   bool ping_pong) override;
+  bool dirty() const override {
+    return speed_tier_ != applied_tier_ || pp_level_ != applied_level_;
+  }
+
+  // One entry per control-state change; the adaptive determinism test
+  // compares whole trajectories across same-seed runs.
+  struct Transition {
+    Seconds time{0.0};
+    int speed_tier = 0;
+    int pp_level = 0;
+    bool operator==(const Transition&) const = default;
+  };
+  const std::vector<Transition>& trajectory() const { return trajectory_; }
+  int speed_tier() const { return speed_tier_; }
+  int pp_level() const { return pp_level_; }
+
+ private:
+  void note_transition(Seconds t);
+
+  HoConfigMap base_;
+  AdaptiveHoParams params_;
+  double ema_speed_mps_ = 0.0;
+  bool have_last_tick_ = false;
+  Seconds last_tick_{0.0};
+  std::vector<Seconds> recent_ping_pongs_;
+  int speed_tier_ = 0;
+  int pp_level_ = 0;
+  int applied_tier_ = 0;
+  int applied_level_ = 0;
+  std::vector<Transition> trajectory_;
+};
+
+// Policy selection as carried by configs (MobilityManager::Config,
+// sim::Scenario). kStatic + an empty map is the golden-trace default.
+enum class HoPolicyKind { kStatic, kAdaptive };
+
+std::unique_ptr<HoPolicy> make_ho_policy(HoPolicyKind kind,
+                                         const HoConfigMap& map,
+                                         const AdaptiveHoParams& params);
+
+}  // namespace p5g::ran

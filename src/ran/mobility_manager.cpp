@@ -111,26 +111,15 @@ MobilityManager::MobilityManager(const Deployment& deployment, Config config, Rn
       // The fault stream is forked (not consumed) from the main stream:
       // fault draws can never shift the fault-free simulation.
       injector_(config.faults, rng.fork(0xFA177FULL)),
-      rlf_(config.faults) {
+      rlf_(config.faults),
+      policy_(make_ho_policy(config.ho_policy, config.ho_config,
+                             config.adaptive_ho)),
+      ping_pong_(config.adaptive_ho.ping_pong_window) {
   state_.arch = config_.arch;
-  std::vector<EventConfig> configs;
-  switch (config_.arch) {
-    case Arch::kLteOnly: {
-      for (const EventConfig& c : default_lte_event_set(config_.nr_band)) {
-        if (c.type != EventType::kB1) configs.push_back(c);  // no NR layer
-      }
-      break;
-    }
-    case Arch::kNsa: {
-      for (const EventConfig& c : default_lte_event_set(config_.nr_band)) configs.push_back(c);
-      for (const EventConfig& c : default_nsa_nr_event_set(config_.nr_band)) configs.push_back(c);
-      break;
-    }
-    case Arch::kSa: {
-      for (const EventConfig& c : default_sa_event_set(config_.nr_band)) configs.push_back(c);
-      break;
-    }
-  }
+  // Initial measConfig, resolved against the not-yet-attached context
+  // (cfg_*_cell_ == -1 matches, so the first refresh is a no-op under any
+  // static map).
+  const std::vector<EventConfig> configs = policy_->event_set(policy_context());
   monitors_.reserve(configs.size());
   for (const EventConfig& c : configs) monitors_.emplace_back(c);
 
@@ -151,6 +140,7 @@ MobilityManager::MobilityManager(const Deployment& deployment, Config config, Rn
   metrics_.ho_prep_fail = &reg.counter("p5g.ran.ho.prep_failure");
   metrics_.ho_exec_fail = &reg.counter("p5g.ran.ho.exec_failure");
   metrics_.ho_rlf_reest = &reg.counter("p5g.ran.ho.rlf_reestablish");
+  metrics_.ho_ping_pong = &reg.counter("p5g.ran.ho.ping_pong");
   metrics_.rlf_triggers = &reg.counter("p5g.ran.rlf.triggers");
   metrics_.observe_ms = &reg.histogram("p5g.ran.observe_ms");
   metrics_.decide_ms = &reg.histogram("p5g.ran.decide_ms");
@@ -168,6 +158,35 @@ std::vector<EventConfig> MobilityManager::active_event_configs() const {
   out.reserve(monitors_.size());
   for (const EventMonitor& m : monitors_) out.push_back(m.config());
   return out;
+}
+
+HoPolicyContext MobilityManager::policy_context() const {
+  HoPolicyContext ctx;
+  ctx.arch = config_.arch;
+  ctx.nr_band = config_.nr_band;
+  ctx.lte_band = config_.lte_band;
+  ctx.lte_cell_id = state_.lte_cell_id;
+  ctx.nr_cell_id = state_.nr_cell_id;
+  return ctx;
+}
+
+void MobilityManager::refresh_event_configs() {
+  const bool serving_changed = state_.lte_cell_id != cfg_lte_cell_ ||
+                               state_.nr_cell_id != cfg_nr_cell_;
+  if (!serving_changed && !policy_->dirty()) return;
+  cfg_lte_cell_ = state_.lte_cell_id;
+  cfg_nr_cell_ = state_.nr_cell_id;
+  const std::vector<EventConfig> fresh = policy_->event_set(policy_context());
+  const bool unchanged =
+      fresh.size() == monitors_.size() &&
+      std::equal(fresh.begin(), fresh.end(), monitors_.begin(),
+                 [](const EventConfig& c, const EventMonitor& m) {
+                   return c == m.config();
+                 });
+  if (unchanged) return;  // same measConfig: monitor state survives
+  monitors_.clear();
+  monitors_.reserve(fresh.size());
+  for (const EventConfig& c : fresh) monitors_.emplace_back(c);
 }
 
 void MobilityManager::observe(Seconds /*t*/, geo::Point pos, Meters moved,
@@ -786,6 +805,12 @@ void MobilityManager::apply_completed(const HandoverRecord& rec) {
   for (EventMonitor& m : monitors_) m.reset();
   phase_reports_.clear();
   rlf_.reset();  // serving changed; restart the Qout watch
+  // Ping-pong accounting + policy feedback. Pure observation for static
+  // policies (the tracker reads no RNG and the default policy ignores the
+  // hook), so the golden traces are unchanged.
+  const bool ping_pong = ping_pong_.on_handover(rec);
+  if (ping_pong) metrics_.ho_ping_pong->add(1);
+  policy_->on_handover(rec.complete_time, rec, ping_pong);
 }
 
 void MobilityManager::apply_failed(const HandoverRecord& rec) {
@@ -910,9 +935,11 @@ void MobilityManager::tick(Seconds t, geo::Point pos, Meters moved,
   }
   obs_high_water_ = std::max(obs_high_water_, out.observations.size());
 
+  policy_->on_tick(t, moved);
   progress_pending(t, out);
   ensure_attached(out.observations);
   monitor_radio_link(t, route_position, out.observations, out);
+  refresh_event_configs();
 
   // UEs do not report during HO execution or re-establishment.
   const bool executing = pending_ && pending_->phase != Phase::kPrep;

@@ -19,6 +19,7 @@
 //      the fault profile enables it.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -29,6 +30,8 @@
 #include "ran/events.h"
 #include "ran/faults.h"
 #include "ran/handover.h"
+#include "ran/ho_policy.h"
+#include "ran/ping_pong.h"
 
 namespace p5g::ran {
 
@@ -82,6 +85,17 @@ class MobilityManager {
     // Failure injection. The default all-zero profile draws no fault
     // randomness and reproduces the fault-free trace bit-for-bit.
     FaultProfile faults{};
+    // Layered per-cell/per-band HO-parameter overrides (ran/ho_config.h).
+    // The empty default resolves to the carrier event sets and reproduces
+    // the golden traces byte-identically.
+    HoConfigMap ho_config{};
+    // Which policy consumes `ho_config`: kStatic installs the resolved
+    // sets as-is; kAdaptive layers the TTT/hysteresis controller on top
+    // (ran/ho_policy.h).
+    HoPolicyKind ho_policy = HoPolicyKind::kStatic;
+    // Controller knobs for kAdaptive; ping_pong_window also sizes the
+    // manager's ping-pong tracker (metrics + policy feedback).
+    AdaptiveHoParams adaptive_ho{};
     // Use the scalar per-cell reference pipeline in observe() instead of
     // the batched SoA one. Both produce byte-identical traces (the batch
     // kernels preserve expression association and RNG draw order); the
@@ -113,6 +127,13 @@ class MobilityManager {
   // Event configurations currently active (what a real UE would have
   // received via RRC); Prognos consumes these.
   std::vector<EventConfig> active_event_configs() const;
+
+  // The HO policy driving the event configuration (never null).
+  const HoPolicy& policy() const { return *policy_; }
+
+  // Online ping-pong accounting over completed procedures (the same
+  // definition analysis::ping_pong_stats applies offline).
+  const PingPongTracker& ping_pong() const { return ping_pong_; }
 
   // True while any HO is in flight (T1 or T2).
   bool ho_in_flight() const { return pending_.has_value(); }
@@ -187,6 +208,14 @@ class MobilityManager {
   void reset_monitors(MeasScope scope);
   // Configured NR-B1 absolute threshold (SCGC candidate gate).
   Dbm nr_b1_threshold() const;
+  // The serving context the policy resolves its event set against.
+  HoPolicyContext policy_context() const;
+  // Re-resolves the policy's event set when the serving context changed or
+  // the policy reports feedback-driven drift; monitors are swapped only if
+  // the resolved set differs from the installed one (an RRCReconfiguration
+  // with a new measConfig — TTT latches restart), so the default
+  // configuration never rebuilds and traces stay byte-identical.
+  void refresh_event_configs();
 
   const Deployment& deployment_;
   Config config_;
@@ -201,6 +230,12 @@ class MobilityManager {
   // `shadow_` aliases either the owned map or a caller-shared one.
   ShadowMap shadow_owned_;
   const ShadowMap* shadow_ = nullptr;
+  // The event-configuration policy (ran/ho_policy.h) and the serving cells
+  // its installed set was last resolved against.
+  std::unique_ptr<HoPolicy> policy_;
+  int cfg_lte_cell_ = -1;
+  int cfg_nr_cell_ = -1;
+  PingPongTracker ping_pong_;
   std::vector<EventMonitor> monitors_;
   // Scratch for cells_near hits, reused across ticks to avoid reallocation.
   std::vector<CellHit> near_buf_;
@@ -242,6 +277,7 @@ class MobilityManager {
     p5g::obs::Counter* ho_prep_fail = nullptr;
     p5g::obs::Counter* ho_exec_fail = nullptr;
     p5g::obs::Counter* ho_rlf_reest = nullptr;
+    p5g::obs::Counter* ho_ping_pong = nullptr;
     p5g::obs::Counter* rlf_triggers = nullptr;
     p5g::obs::Histogram* observe_ms = nullptr;
     p5g::obs::Histogram* decide_ms = nullptr;

@@ -1,0 +1,32 @@
+#include "ran/ping_pong.h"
+
+#include "radio/band.h"
+
+namespace p5g::ran {
+
+bool PingPongTracker::on_handover(const HandoverRecord& rec) {
+  // Releases (SCGR) and failed procedures end no chain and start none: a
+  // bounce that *fails* on the way back is an RLF problem, not a ping-pong.
+  if (!rec.succeeded() || rec.dst_pci < 0) return false;
+  const auto leg =
+      static_cast<std::size_t>(radio::band_rat(rec.dst_band) == radio::Rat::kNr);
+  LegState& st = legs_[leg];
+  ++handovers_;
+  const bool ping_pong = rec.src_pci >= 0 && st.prev_pci == rec.dst_pci &&
+                         rec.complete_time - st.last_time <= window_;
+  if (ping_pong) ++ping_pongs_;
+  // SCG Addition has no source leg (prev resets): the next HO cannot close
+  // a pair against a cell the UE never left.
+  st.prev_pci = rec.src_pci;
+  st.last_time = rec.complete_time;
+  return ping_pong;
+}
+
+void PingPongTracker::reset() {
+  legs_[0] = LegState{};
+  legs_[1] = LegState{};
+  handovers_ = 0;
+  ping_pongs_ = 0;
+}
+
+}  // namespace p5g::ran

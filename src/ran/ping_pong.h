@@ -1,0 +1,46 @@
+// Ping-pong handover detection: a handover chain A -> B -> A whose return
+// leg completes within a short window of the outbound one. The classic
+// symptom of too-aggressive thresholds (small offset/hysteresis, short
+// TTT) — the adaptive policy in ran/ho_policy.h consumes this online, and
+// analysis::ping_pong_stats applies the same definition offline.
+#pragma once
+
+#include "common/units.h"
+#include "ran/handover.h"
+
+namespace p5g::ran {
+
+// Default return-to-source window (the value the ns-3 handover literature
+// and the PAPERS.md adaptive-TTT design both use).
+inline constexpr Seconds kDefaultPingPongWindow{2.0};
+
+// Feed completed procedures in completion order; on_handover returns true
+// when the record closes a ping-pong pair. Only successful procedures that
+// land on a cell (dst PCI valid) participate; the LTE anchor leg and the
+// NR leg are tracked independently (an SCG change bouncing between gNBs
+// must not be masked by an interleaved anchor HO).
+class PingPongTracker {
+ public:
+  explicit PingPongTracker(Seconds window = kDefaultPingPongWindow)
+      : window_(window) {}
+
+  bool on_handover(const HandoverRecord& rec);
+
+  void reset();
+
+  int handovers() const { return handovers_; }    // eligible HOs seen
+  int ping_pongs() const { return ping_pongs_; }  // pairs closed
+
+ private:
+  struct LegState {
+    int prev_pci = -1;          // cell the last HO left
+    Seconds last_time{-1.0e9};  // completion time of the last HO
+  };
+
+  Seconds window_;
+  LegState legs_[2];  // indexed by radio::Rat of the destination band
+  int handovers_ = 0;
+  int ping_pongs_ = 0;
+};
+
+}  // namespace p5g::ran

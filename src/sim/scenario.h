@@ -10,6 +10,7 @@
 
 #include "ran/deployment.h"
 #include "ran/faults.h"
+#include "ran/ho_policy.h"
 #include "trace/trace.h"
 #include "tput/throughput.h"
 
@@ -40,6 +41,15 @@ struct Scenario {
   // Failure injection (ran/faults.h). The default all-zero profile keeps
   // the trace bit-identical to a fault-free run of the same seed.
   ran::FaultProfile faults{};
+  // HO configuration space (ran/ho_config.h): layered per-cell/per-band
+  // overrides of A3 offset, A5 thresholds, hysteresis, TTT, and per-event
+  // enables. The empty default resolves to the carrier event sets and is
+  // byte-identical to the pre-config-space simulator.
+  ran::HoConfigMap ho_config{};
+  // Policy consuming `ho_config` (ran/ho_policy.h): kStatic installs it
+  // as-is, kAdaptive runs the speed/ping-pong TTT-hysteresis controller.
+  ran::HoPolicyKind ho_policy = ran::HoPolicyKind::kStatic;
+  ran::AdaptiveHoParams adaptive_ho{};
   // Forces the scalar (pre-batching) observe loop in the MobilityManager.
   // The batched SoA pipeline is byte-identical, so this exists only for
   // A/B benchmarking and the identity tests that prove that claim.

@@ -19,6 +19,9 @@ ran::MobilityManager::Config make_mm_config(const Scenario& s) {
   mm_cfg.lte_band = s.lte_band;
   mm_cfg.mnbh_releases_scg = s.mnbh_releases_scg;
   mm_cfg.faults = s.faults;
+  mm_cfg.ho_config = s.ho_config;
+  mm_cfg.ho_policy = s.ho_policy;
+  mm_cfg.adaptive_ho = s.adaptive_ho;
   mm_cfg.scalar_observe = s.scalar_radio_path;
   return mm_cfg;
 }

@@ -1,0 +1,380 @@
+// HO configuration-space and policy tests: HoConfig overlay semantics,
+// HoConfigMap layer precedence, apply_ho_config rewrites, ping-pong
+// detection, the adaptive TTT/hysteresis controller, and the regression
+// gates the policy layer ships under — the default map + static policy must
+// reproduce the golden traces byte for byte, and the adaptive policy must
+// be deterministic for a fixed seed.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/ho_stats.h"
+#include "ran/ho_config.h"
+#include "ran/ho_policy.h"
+#include "ran/ping_pong.h"
+#include "sim/runner.h"
+#include "sim/scenario.h"
+#include "trace/trace.h"
+
+namespace p5g::ran {
+namespace {
+
+// ------------------------------------------------------------ overlay --
+TEST(HoConfig, EmptyDetectsAnySetField) {
+  HoConfig c;
+  EXPECT_TRUE(c.empty());
+  c.ttt = Milliseconds{80.0};
+  EXPECT_FALSE(c.empty());
+
+  HoConfig d;
+  d.set_enabled(EventType::kB1, false);
+  EXPECT_FALSE(d.empty());
+}
+
+TEST(HoConfig, OverlaySetFieldsWinUnsetFallThrough) {
+  HoConfig base;
+  base.a3_offset = Db{2.0};
+  base.ttt = Milliseconds{320.0};
+  base.set_enabled(EventType::kA5, false);
+
+  HoConfig over;
+  over.ttt = Milliseconds{80.0};
+  over.hysteresis = Db{1.5};
+
+  const HoConfig merged = overlay(base, over);
+  EXPECT_EQ(merged.a3_offset, Db{2.0});         // inherited from base
+  EXPECT_EQ(merged.ttt, Milliseconds{80.0});    // overridden
+  EXPECT_EQ(merged.hysteresis, Db{1.5});        // only in over
+  EXPECT_EQ(merged.enabled[event_index(EventType::kA5)], false);
+  EXPECT_FALSE(merged.a5_threshold1.has_value());
+}
+
+// ------------------------------------------------------ map precedence --
+TEST(HoConfigMap, CellBeatsBandBeatsGlobal) {
+  HoConfig global;
+  global.ttt = Milliseconds{560.0};
+  global.a3_offset = Db{5.0};
+  global.hysteresis = Db{3.0};
+
+  HoConfig band;
+  band.ttt = Milliseconds{160.0};
+  band.a3_offset = Db{2.0};
+
+  HoConfig cell;
+  cell.ttt = Milliseconds{40.0};
+
+  HoConfigMap map;
+  map.set_global(global);
+  map.set_band(radio::Band::kNrMid, band);
+  map.set_cell(7, cell);
+
+  // Cell layer wins ttt, band layer wins a3, global supplies hysteresis.
+  const HoConfig r = map.resolve(radio::Band::kNrMid, 7);
+  EXPECT_EQ(r.ttt, Milliseconds{40.0});
+  EXPECT_EQ(r.a3_offset, Db{2.0});
+  EXPECT_EQ(r.hysteresis, Db{3.0});
+
+  // Unknown cell on the same band: band + global only.
+  const HoConfig b = map.resolve(radio::Band::kNrMid, 99);
+  EXPECT_EQ(b.ttt, Milliseconds{160.0});
+
+  // Unattached (< 0) skips the cell layer even when cell ids collide.
+  const HoConfig u = map.resolve(radio::Band::kNrMid, -1);
+  EXPECT_EQ(u.ttt, Milliseconds{160.0});
+
+  // Other band: global only.
+  const HoConfig g = map.resolve(radio::Band::kLteMid, 7);
+  EXPECT_EQ(g.a3_offset, Db{5.0});
+  EXPECT_EQ(g.ttt, Milliseconds{40.0});  // cell layer is band-agnostic
+}
+
+TEST(HoConfigMap, EmptyMapResolvesToIdentity) {
+  const HoConfigMap map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_TRUE(map.resolve(radio::Band::kNrLow, 3).empty());
+}
+
+// ------------------------------------------------------ apply to events --
+TEST(ApplyHoConfig, RewritesMatchingKnobsAndDropsDisabled) {
+  const std::vector<EventConfig> defaults =
+      arch_default_event_set(Arch::kNsa, radio::Band::kNrLow);
+
+  HoConfig cfg;
+  cfg.ttt = Milliseconds{42.0};
+  cfg.hysteresis = Db{2.25};
+  cfg.a3_offset = Db{1.25};
+  cfg.set_enabled(EventType::kB1, false);
+
+  const std::vector<EventConfig> out = apply_ho_config(defaults, cfg);
+  ASSERT_FALSE(out.empty());
+  EXPECT_LT(out.size(), defaults.size());  // B1 dropped
+  for (const EventConfig& e : out) {
+    EXPECT_NE(e.type, EventType::kB1);
+    EXPECT_DOUBLE_EQ(e.ttt_ms.v, 42.0);
+    EXPECT_DOUBLE_EQ(e.hysteresis.v, 2.25);
+    if (e.type == EventType::kA3 || e.type == EventType::kA6) {
+      EXPECT_DOUBLE_EQ(e.offset.v, 1.25);
+    }
+  }
+}
+
+TEST(ApplyHoConfig, EmptyConfigIsIdentity) {
+  const std::vector<EventConfig> defaults =
+      arch_default_event_set(Arch::kSa, radio::Band::kNrMid);
+  EXPECT_EQ(apply_ho_config(defaults, HoConfig{}), defaults);
+}
+
+// The byte-identity contract at the event-set level: an empty map resolves
+// to the carrier defaults for every architecture, bit for bit.
+TEST(ResolvedEventSet, EmptyMapEqualsArchDefaults) {
+  for (const Arch arch : {Arch::kLteOnly, Arch::kNsa, Arch::kSa}) {
+    for (const radio::Band band :
+         {radio::Band::kNrLow, radio::Band::kNrMid, radio::Band::kNrMmWave}) {
+      HoPolicyContext ctx;
+      ctx.arch = arch;
+      ctx.nr_band = band;
+      ctx.lte_cell_id = 3;
+      ctx.nr_cell_id = 5;
+      StaticHoPolicy policy{HoConfigMap{}};
+      EXPECT_EQ(policy.event_set(ctx), arch_default_event_set(arch, band));
+    }
+  }
+}
+
+// ----------------------------------------------------------- ping-pong --
+HandoverRecord ho(Seconds t, int src, int dst,
+                  radio::Band band = radio::Band::kNrLow,
+                  HoOutcome outcome = HoOutcome::kSuccess) {
+  HandoverRecord r;
+  r.complete_time = t;
+  r.src_pci = src;
+  r.dst_pci = dst;
+  r.dst_band = band;
+  r.outcome = outcome;
+  return r;
+}
+
+TEST(PingPongTracker, DetectsReturnToSourceWithinWindow) {
+  PingPongTracker tr;  // 2 s window
+  EXPECT_FALSE(tr.on_handover(ho(Seconds{10.0}, 1, 2)));  // A -> B
+  EXPECT_TRUE(tr.on_handover(ho(Seconds{11.5}, 2, 1)));   // B -> A, 1.5 s
+  EXPECT_EQ(tr.handovers(), 2);
+  EXPECT_EQ(tr.ping_pongs(), 1);
+}
+
+TEST(PingPongTracker, OutsideWindowIsNotAPingPong) {
+  PingPongTracker tr{Seconds{2.0}};
+  tr.on_handover(ho(Seconds{10.0}, 1, 2));
+  EXPECT_FALSE(tr.on_handover(ho(Seconds{12.5}, 2, 1)));  // 2.5 s > window
+  EXPECT_EQ(tr.ping_pongs(), 0);
+}
+
+TEST(PingPongTracker, FailedAndReleaseRecordsAreExcluded) {
+  PingPongTracker tr;
+  tr.on_handover(ho(Seconds{10.0}, 1, 2));
+  // A failed return does not count and must not update the chain.
+  EXPECT_FALSE(tr.on_handover(
+      ho(Seconds{10.5}, 2, 1, radio::Band::kNrLow, HoOutcome::kExecFailure)));
+  // An SCG release (no destination cell) is not a cell landing.
+  EXPECT_FALSE(tr.on_handover(ho(Seconds{10.8}, 2, -1)));
+  // The real return still closes the original pair.
+  EXPECT_TRUE(tr.on_handover(ho(Seconds{11.0}, 2, 1)));
+  EXPECT_EQ(tr.handovers(), 2);  // only the successful cell landings
+}
+
+TEST(PingPongTracker, LegsAreTrackedSeparately) {
+  PingPongTracker tr;
+  // NR leg bounces A -> B -> A; an interleaved LTE handover between
+  // different cells must not break (or satisfy) the NR chain.
+  tr.on_handover(ho(Seconds{10.0}, 1, 2, radio::Band::kNrLow));
+  EXPECT_FALSE(tr.on_handover(ho(Seconds{10.5}, 8, 9, radio::Band::kLteMid)));
+  EXPECT_TRUE(tr.on_handover(ho(Seconds{11.0}, 2, 1, radio::Band::kNrLow)));
+  // LTE leg: returning to 8 within the window is an LTE ping-pong.
+  EXPECT_TRUE(tr.on_handover(ho(Seconds{11.5}, 9, 8, radio::Band::kLteMid)));
+  EXPECT_EQ(tr.ping_pongs(), 2);
+}
+
+TEST(PingPongTracker, AdditionResetsChainOnUnknownSource) {
+  PingPongTracker tr;
+  tr.on_handover(ho(Seconds{10.0}, 1, 2));
+  // SCG addition (src -1): the previous chain must not survive it.
+  EXPECT_FALSE(tr.on_handover(ho(Seconds{10.5}, -1, 1)));
+  EXPECT_FALSE(tr.on_handover(ho(Seconds{11.0}, 1, 2)));  // not a return
+  EXPECT_EQ(tr.ping_pongs(), 0);
+}
+
+TEST(PingPongStats, MatchesTrackerOverARecordSet) {
+  std::vector<HandoverRecord> hos;
+  hos.push_back(ho(Seconds{1.0}, 1, 2));
+  hos.push_back(ho(Seconds{2.0}, 2, 1));   // ping-pong
+  hos.push_back(ho(Seconds{20.0}, 1, 3));
+  hos.push_back(ho(Seconds{30.0}, 3, 1));  // too late
+  const analysis::PingPongStats s = analysis::ping_pong_stats(hos);
+  EXPECT_EQ(s.eligible, 4);
+  EXPECT_EQ(s.ping_pongs, 1);
+  EXPECT_DOUBLE_EQ(s.rate(), 0.25);
+}
+
+// ------------------------------------------------- adaptive controller --
+TEST(AdaptivePolicy, SpeedTierRisesWithEmaAndHoldsDeadband) {
+  AdaptiveTttHysteresisPolicy p{HoConfigMap{}, AdaptiveHoParams{}};
+  // 30 m/s sustained: EMA crosses 8 then 25 m/s.
+  for (int i = 0; i < 200; ++i) {
+    p.on_tick(Seconds{0.1 * i}, Meters{3.0});
+  }
+  EXPECT_EQ(p.speed_tier(), 2);
+  // A single slow tick barely moves the EMA: no flap back down.
+  p.on_tick(Seconds{20.1}, Meters{0.0});
+  EXPECT_EQ(p.speed_tier(), 2);
+  // Sustained stop: decays through both boundaries.
+  for (int i = 0; i < 400; ++i) {
+    p.on_tick(Seconds{20.2 + 0.1 * i}, Meters{0.0});
+  }
+  EXPECT_EQ(p.speed_tier(), 0);
+}
+
+TEST(AdaptivePolicy, PingPongFeedbackEscalatesAndDecays) {
+  AdaptiveHoParams params;
+  AdaptiveTttHysteresisPolicy p{HoConfigMap{}, params};
+  HoPolicyContext ctx;
+
+  const std::vector<EventConfig> before = p.event_set(ctx);
+  EXPECT_FALSE(p.dirty());
+
+  p.on_handover(Seconds{5.0}, ho(Seconds{5.0}, 2, 1), /*ping_pong=*/true);
+  EXPECT_EQ(p.pp_level(), 1);
+  EXPECT_TRUE(p.dirty());  // level changed since last event_set()
+
+  const std::vector<EventConfig> after = p.event_set(ctx);
+  EXPECT_FALSE(p.dirty());
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    // Level 1: TTT stretched by (1 + ttt_stretch), hysteresis widened.
+    EXPECT_DOUBLE_EQ(after[i].ttt_ms.v,
+                     before[i].ttt_ms.v * (1.0 + params.ttt_stretch));
+    EXPECT_DOUBLE_EQ(after[i].hysteresis.v,
+                     before[i].hysteresis.v + params.hysteresis_step.v);
+  }
+
+  // Past the memory window the pressure decays back to zero.
+  p.on_tick(Seconds{5.0 + params.memory.v + 1.0}, Meters{0.0});
+  EXPECT_EQ(p.pp_level(), 0);
+  EXPECT_TRUE(p.dirty());
+  EXPECT_EQ(p.event_set(ctx), before);
+}
+
+TEST(AdaptivePolicy, NonPingPongFeedbackIsIgnored) {
+  AdaptiveTttHysteresisPolicy p{HoConfigMap{}, AdaptiveHoParams{}};
+  p.on_handover(Seconds{5.0}, ho(Seconds{5.0}, 1, 2), /*ping_pong=*/false);
+  EXPECT_EQ(p.pp_level(), 0);
+  EXPECT_FALSE(p.dirty());
+  EXPECT_TRUE(p.trajectory().empty());
+}
+
+TEST(AdaptivePolicy, SyntheticFeedbackTrajectoryIsDeterministic) {
+  const auto drive = [](AdaptiveTttHysteresisPolicy& p) {
+    for (int i = 0; i < 300; ++i) {
+      const Seconds t{0.1 * i};
+      p.on_tick(t, Meters{i < 150 ? 3.0 : 0.5});
+      if (i % 40 == 7) p.on_handover(t, ho(t, 2, 1), true);
+    }
+  };
+  AdaptiveTttHysteresisPolicy a{HoConfigMap{}, AdaptiveHoParams{}};
+  AdaptiveTttHysteresisPolicy b{HoConfigMap{}, AdaptiveHoParams{}};
+  drive(a);
+  drive(b);
+  ASSERT_FALSE(a.trajectory().empty());
+  EXPECT_EQ(a.trajectory(), b.trajectory());
+}
+
+// ---------------------------------------------- end-to-end regressions --
+sim::Scenario golden_scenario() {
+  sim::Scenario s;
+  s.name = "golden_zero_fault";
+  s.carrier = profile_opx();
+  s.arch = Arch::kNsa;
+  s.nr_band = radio::Band::kNrLow;
+  s.mobility = sim::MobilityKind::kFreeway;
+  s.speed_kmh = 110.0;
+  s.duration = Seconds{90.0};
+  s.seed = 42;
+  return s;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// The tentpole's acceptance gate: threading the policy layer through the
+// MobilityManager — with the default (empty) map and static policy spelled
+// out explicitly — must reproduce the seed trace byte for byte.
+TEST(HoPolicyRegression, DefaultMapStaticPolicyKeepsGoldenTraceByteIdentical) {
+  const std::string golden =
+      std::string(P5G_GOLDEN_DIR) + "/zero_fault_seed42.csv";
+  const std::string fresh = "/tmp/p5g_ho_policy_golden_regen.csv";
+
+  sim::Scenario s = golden_scenario();
+  s.ho_config = HoConfigMap{};           // explicit carrier defaults
+  s.ho_policy = HoPolicyKind::kStatic;
+  const trace::TraceLog log = sim::run_scenario(s);
+  ASSERT_TRUE(trace::write_csv(log, fresh).ok);
+
+  const std::string golden_ticks = slurp(golden);
+  ASSERT_FALSE(golden_ticks.empty()) << "golden trace missing: " << golden;
+  EXPECT_EQ(slurp(fresh), golden_ticks) << "tick CSV diverged from seed trace";
+  std::filesystem::remove(fresh);
+  std::filesystem::remove(fresh + ".ho.csv");
+}
+
+// A non-empty override map must actually change behavior (guards against a
+// resolve path that silently returns defaults).
+TEST(HoPolicyRegression, OverrideMapChangesTheTrace) {
+  sim::Scenario base = golden_scenario();
+  HoConfig aggressive;
+  aggressive.a3_offset = Db{0.5};
+  aggressive.hysteresis = Db{0.0};
+  aggressive.ttt = Milliseconds{40.0};
+  sim::Scenario tweaked = golden_scenario();
+  tweaked.ho_config.set_global(aggressive);
+
+  const trace::TraceLog a = sim::run_scenario(base);
+  const trace::TraceLog b = sim::run_scenario(tweaked);
+  EXPECT_NE(a.handovers.size(), b.handovers.size())
+      << "an aggressive global override left the HO sequence untouched";
+}
+
+// Same seed, same adaptive parameters -> byte-identical trace. The policy
+// feeds back into the event configuration, so this proves the controller
+// state is a pure function of the (deterministic) simulation.
+TEST(HoPolicyRegression, AdaptivePolicyIsDeterministic) {
+  sim::Scenario s = golden_scenario();
+  s.ho_policy = HoPolicyKind::kAdaptive;
+  HoConfig aggressive;
+  aggressive.a3_offset = Db{0.5};
+  aggressive.hysteresis = Db{0.0};
+  aggressive.ttt = Milliseconds{40.0};
+  s.ho_config.set_global(aggressive);
+
+  const std::string a_csv = "/tmp/p5g_adaptive_run_a.csv";
+  const std::string b_csv = "/tmp/p5g_adaptive_run_b.csv";
+  const trace::TraceLog a = sim::run_scenario(s);
+  const trace::TraceLog b = sim::run_scenario(s);
+  ASSERT_TRUE(trace::write_csv(a, a_csv).ok);
+  ASSERT_TRUE(trace::write_csv(b, b_csv).ok);
+  EXPECT_EQ(slurp(a_csv), slurp(b_csv));
+  EXPECT_EQ(slurp(a_csv + ".ho.csv"), slurp(b_csv + ".ho.csv"));
+  for (const std::string& p : {a_csv, b_csv}) {
+    std::filesystem::remove(p);
+    std::filesystem::remove(p + ".ho.csv");
+  }
+}
+
+}  // namespace
+}  // namespace p5g::ran

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Docs drift check: the repo's documentation must track its binaries.
+
+Rules (each failure is one line on stderr; exit 1 if any fired):
+
+  B1  every bench binary (bench/bench_*.cpp) has a row in EXPERIMENTS.md's
+      repro index that names it;
+  B2  every `--flag` used by an EXPERIMENTS.md command exists in the
+      sources that parse that binary's arguments (the bench itself plus the
+      shared arg helpers obs::export_from_args / trace::export_trace_from_args);
+  D1  every module named in DESIGN.md's layering DAG exists, either as a
+      src/<module> directory or as an add_library(p5g_<module>) target;
+  D2  every src/ subdirectory appears in the DAG (a new module must be
+      documented before it ships).
+
+Run from anywhere: paths resolve relative to the repo root (the parent of
+this script's directory). `--self-test` proves each rule fires on seeded
+violations, in the spirit of p5g_lint.py.
+"""
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Flags parsed by shared helpers rather than the bench's own main().
+SHARED_ARG_SOURCES = (
+    "src/obs/export.cpp",
+    "src/trace/event_trace.cpp",
+)
+
+
+def bench_names(repo: Path) -> list[str]:
+    return sorted(p.stem for p in (repo / "bench").glob("bench_*.cpp"))
+
+
+def experiments_rows(text: str) -> dict[str, str]:
+    """Maps binary name -> command cell for every repro-index table row."""
+    rows: dict[str, str] = {}
+    for line in text.splitlines():
+        m = re.match(r"\|\s*`([A-Za-z0-9_]+)`\s*\|([^|]*)\|([^|]*)\|", line)
+        if m:
+            rows[m.group(1)] = m.group(3)
+    return rows
+
+
+def command_flags(cell: str) -> set[str]:
+    """All `--flag` tokens inside the backtick-quoted commands of a cell."""
+    flags: set[str] = set()
+    for cmd in re.findall(r"`([^`]*)`", cell):
+        flags.update(re.findall(r"--[A-Za-z0-9-]+", cmd))
+    return flags
+
+
+def check_benches(repo: Path, experiments: str) -> list[str]:
+    errors: list[str] = []
+    rows = experiments_rows(experiments)
+    shared = "".join(
+        (repo / s).read_text(encoding="utf-8") for s in SHARED_ARG_SOURCES
+        if (repo / s).exists())
+    for name in bench_names(repo):
+        if name not in rows:
+            errors.append(
+                f"EXPERIMENTS.md: no repro-index row for bench/{name}.cpp")
+            continue
+        source = (repo / "bench" / f"{name}.cpp").read_text(encoding="utf-8")
+        for flag in sorted(command_flags(rows[name])):
+            if flag not in source and flag not in shared:
+                errors.append(
+                    f"EXPERIMENTS.md: row `{name}` uses {flag}, which "
+                    f"bench/{name}.cpp does not parse")
+    return errors
+
+
+def dag_modules(design: str) -> list[str]:
+    """Module names from the ``level N  name -> deps`` code block."""
+    block = re.search(r"```\nlevel 0.*?```", design, re.DOTALL)
+    if not block:
+        return []
+    names: list[str] = []
+    for line in block.group(0).splitlines():
+        m = re.match(r"(?:level \d+)?\s+([a-z_]+)\s*(?:→|\()", line)
+        if m:
+            names.append(m.group(1))
+    return names
+
+
+def check_dag(repo: Path, design: str) -> list[str]:
+    errors: list[str] = []
+    modules = dag_modules(design)
+    if not modules:
+        return ["DESIGN.md: layering DAG code block not found"]
+    src_dirs = sorted(p.name for p in (repo / "src").iterdir() if p.is_dir())
+    libs: set[str] = set()
+    for cml in (repo / "src").glob("*/CMakeLists.txt"):
+        libs.update(re.findall(r"add_library\(p5g_([a-z_]+)",
+                               cml.read_text(encoding="utf-8")))
+    for mod in modules:
+        if mod not in src_dirs and mod not in libs:
+            errors.append(
+                f"DESIGN.md: DAG names module `{mod}` but src/{mod}/ does "
+                f"not exist and no add_library(p5g_{mod}) was found")
+    for d in src_dirs:
+        if d not in modules:
+            errors.append(
+                f"DESIGN.md: src/{d}/ is not in the layering DAG")
+    return errors
+
+
+def run(repo: Path) -> list[str]:
+    errors: list[str] = []
+    exp = repo / "EXPERIMENTS.md"
+    design = repo / "DESIGN.md"
+    if not exp.exists():
+        errors.append("EXPERIMENTS.md missing")
+    else:
+        errors += check_benches(repo, exp.read_text(encoding="utf-8"))
+    if not design.exists():
+        errors.append("DESIGN.md missing")
+    else:
+        errors += check_dag(repo, design.read_text(encoding="utf-8"))
+    return errors
+
+
+def self_test() -> int:
+    """Each rule must fire on a seeded violation and pass on clean input."""
+    failures: list[str] = []
+
+    # B1/B2 on synthetic tables.
+    rows = experiments_rows(
+        "| `bench_x` | Fig. 1 | `./build/bench/bench_x --quick` | n |\n"
+        "| `bench_y` | Fig. 2 | `./build/bench/bench_y` | n |\n")
+    if set(rows) != {"bench_x", "bench_y"}:
+        failures.append(f"row parser: {sorted(rows)}")
+    if command_flags(rows["bench_x"]) != {"--quick"}:
+        failures.append("flag extraction missed --quick")
+    if command_flags("text `a --b-c 1` and `d --e`") != {"--b-c", "--e"}:
+        failures.append("flag extraction across multiple commands")
+
+    # D1/D2 on a synthetic DAG.
+    dag = ("```\nlevel 0   check        (nothing)\n"
+           "level 1   ghost      → check\n```")
+    mods = dag_modules(dag)
+    if mods != ["check", "ghost"]:
+        failures.append(f"DAG parser: {mods}")
+
+    # The real tree must currently be clean.
+    real = run(REPO)
+    if real:
+        failures.append("real tree not clean: " + "; ".join(real))
+
+    for f in failures:
+        print(f"check_docs self-test FAILED: {f}", file=sys.stderr)
+    if not failures:
+        print("check_docs self-test OK")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    if "--self-test" in sys.argv[1:]:
+        return self_test()
+    errors = run(REPO)
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"check_docs: {len(errors)} doc drift issue(s)", file=sys.stderr)
+        return 1
+    print("check_docs: docs and binaries agree")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
